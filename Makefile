@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer
+
+experiments:
+	dune exec bin/experiments.exe
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/payroll_audit.exe
+	dune exec examples/password_attack.exe
+	dune exec examples/timing_channel.exe
+	dune exec examples/certify_pipeline.exe
+	dune exec examples/file_enforcement.exe
+	dune exec examples/database_session.exe
+
+doc:
+	# requires odoc (opam install odoc)
+	dune build @doc
+
+clean:
+	dune clean
+
+.PHONY: all test test-force experiments bench examples doc clean
