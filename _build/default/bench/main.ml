@@ -1,0 +1,185 @@
+(* E6: cost of enforcement. One Bechamel test per measured series.
+
+   The paper has no measured tables (it is a theory paper); Section 5's
+   argument for compile-time enforcement is nevertheless quantitative -
+   "static techniques would result in efficient security enforcement" - so
+   this harness measures exactly that trade:
+
+   - interp/*          the unprotected interpreter baseline
+   - monitor/*         the four dynamic mechanisms' per-run overhead
+   - instrumented/*    the paper's source-to-source mechanism, run by the
+                       PLAIN interpreter (rule-by-rule faithful, slower)
+   - compile-time/*    one-off costs: certification, instrumentation,
+                       postdominators, maximal-mechanism construction
+   - attack/*          the E4 guessing strategies
+
+   Run: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Policy = Secpol_core.Policy
+module Maximal = Secpol_core.Maximal
+module Ast = Secpol_flowgraph.Ast
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Graphalgo = Secpol_flowgraph.Graphalgo
+module Dynamic = Secpol_taint.Dynamic
+module Instrument = Secpol_taint.Instrument
+module Certify = Secpol_staticflow.Certify
+module Dataflow = Secpol_staticflow.Dataflow
+module Logon = Secpol_channels.Logon
+open Expr.Build
+
+(* Workload: gcd by subtraction plus a polynomial epilogue - a loop whose
+   trip count depends on both inputs, heavy enough that per-box costs
+   dominate dispatch noise. *)
+let workload =
+  Ast.prog ~name:"workload" ~arity:2
+    (Ast.seq
+       [
+         Ast.Assign (Var.Reg 0, (x 0 *: i 3) +: i 7);
+         Ast.Assign (Var.Reg 1, (x 1 *: i 5) +: i 11);
+         Ast.While
+           ( r 0 <>: r 1,
+             Ast.If
+               ( r 0 >: r 1,
+                 Ast.Assign (Var.Reg 0, r 0 -: r 1),
+                 Ast.Assign (Var.Reg 1, r 1 -: r 0) ) );
+         Ast.Assign (Var.Out, (r 0 *: r 0) +: x 0);
+       ])
+
+let graph = Compile.compile workload
+let policy = Policy.allow [ 0 ]
+let inputs = [| Value.int 17; Value.int 5 |]
+let space10 = Space.ints ~lo:0 ~hi:9 ~arity:2
+
+let instrumented =
+  Instrument.instrument Instrument.Untimed ~allowed:(Iset.of_list [ 0 ]) graph
+
+let staged name f = Test.make ~name (Staged.stage f)
+
+let interp_tests =
+  Test.make_grouped ~name:"interp"
+    [
+      staged "ast" (fun () -> Interp.run_ast workload inputs);
+      staged "graph" (fun () -> Interp.run_graph graph inputs);
+    ]
+
+let monitor_tests =
+  let run mode =
+    let cfg = Dynamic.config ~mode policy in
+    staged (Dynamic.mode_name mode) (fun () -> Dynamic.run cfg graph inputs)
+  in
+  Test.make_grouped ~name:"monitor" (List.map run Dynamic.all_modes)
+
+let instrumented_tests =
+  Test.make_grouped ~name:"instrumented"
+    [
+      staged "surveillance-as-flowchart" (fun () ->
+          Interp.run_graph instrumented inputs);
+    ]
+
+let compile_time_tests =
+  Test.make_grouped ~name:"compile-time"
+    [
+      staged "certify-ast" (fun () ->
+          Certify.analyze ~allowed:(Iset.of_list [ 0 ]) workload);
+      staged "dataflow-graph" (fun () ->
+          Dataflow.analyze ~allowed:(Iset.of_list [ 0 ]) graph);
+      staged "instrument" (fun () ->
+          Instrument.instrument Instrument.Untimed ~allowed:(Iset.of_list [ 0 ])
+            graph);
+      staged "postdominators" (fun () -> Graphalgo.immediate_postdominator graph);
+      staged "maximal-10x10" (fun () ->
+          Maximal.build policy (Interp.graph_program graph) space10);
+    ]
+
+let attack_tests =
+  let n = 6 and k = 3 in
+  let secret = [| 3; 1; 4 |] in
+  let oracle = Logon.Attack.make ~n ~k ~secret in
+  Test.make_grouped ~name:"attack"
+    [
+      staged "brute-force" (fun () -> Logon.Attack.brute_force oracle);
+      staged "prefix-walk" (fun () -> Logon.Attack.prefix_walk oracle);
+    ]
+
+(* Scaling: does monitoring overhead stay a constant factor as programs
+   grow, and how fast does brute-forcing the maximal mechanism blow up
+   with the input space (Theorem 4's practical shadow)? *)
+let scaling_tests =
+  (* Deterministic straight-line programs of growing size: n rounds of
+     shuffling between three registers plus a final mix. *)
+  let straightline n =
+    let round _ =
+      [
+        Ast.Assign (Var.Reg 0, (r 1 +: i 1) *: i 3);
+        Ast.Assign (Var.Reg 1, r 2 -: x 0);
+        Ast.Assign (Var.Reg 2, (r 0 +: r 1) %: i 97);
+      ]
+    in
+    Ast.prog ~name:(Printf.sprintf "straight-%d" n) ~arity:2
+      (Ast.seq (List.concat (List.init n round) @ [ Ast.Assign (Var.Out, r 2 +: x 1) ]))
+  in
+  let monitor_at n =
+    let g = Compile.compile (straightline n) in
+    let cfg = Dynamic.config ~mode:Dynamic.Surveillance policy in
+    staged (Printf.sprintf "surveillance-%d-boxes" (3 * n)) (fun () ->
+        Dynamic.run cfg g inputs)
+  in
+  let maximal_at side =
+    let space = Space.ints ~lo:0 ~hi:(side - 1) ~arity:2 in
+    let q = Interp.graph_program graph in
+    staged (Printf.sprintf "maximal-%dx%d" side side) (fun () ->
+        Maximal.build policy q space)
+  in
+  Test.make_grouped ~name:"scaling"
+    (List.map monitor_at [ 4; 16; 64 ] @ List.map maximal_at [ 4; 8; 16 ])
+
+let tests =
+  Test.make_grouped ~name:"secpol"
+    [
+      interp_tests; monitor_tests; instrumented_tests; compile_time_tests;
+      attack_tests; scaling_tests;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-45s %14s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 60 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-45s %14.1f\n" name ns) rows;
+  let find key =
+    match List.assoc_opt key rows with Some v -> v | None -> nan
+  in
+  let base = find "secpol/interp/graph" in
+  Printf.printf "\noverhead vs plain graph interpreter:\n";
+  List.iter
+    (fun mode ->
+      let v = find (Printf.sprintf "secpol/monitor/%s" (Dynamic.mode_name mode)) in
+      Printf.printf "  %-14s %.2fx\n" (Dynamic.mode_name mode) (v /. base))
+    Dynamic.all_modes;
+  Printf.printf "  %-14s %.2fx\n" "instrumented"
+    (find "secpol/instrumented/surveillance-as-flowchart" /. base)

@@ -1,0 +1,1 @@
+bin/secpol_cli.mli:

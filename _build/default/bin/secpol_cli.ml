@@ -1,0 +1,350 @@
+(* secpol: command-line interface to the enforcement library.
+
+   Programs are addressed by their corpus name (see `secpol list`) or by a
+   file path ending in .spl holding While-language source (see `secpol fmt`
+   and examples/programs/). Policies are given as the comma-separated
+   allowed input indices, e.g. `-p 0,2`, or `-p -` for allow() (nothing
+   allowed). *)
+
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+module Mechanism = Secpol_core.Mechanism
+module Soundness = Secpol_core.Soundness
+module Completeness = Secpol_core.Completeness
+module Maximal = Secpol_core.Maximal
+module Ast = Secpol_flowgraph.Ast
+module Graph = Secpol_flowgraph.Graph
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Dynamic = Secpol_taint.Dynamic
+module Instrument = Secpol_taint.Instrument
+module Certify = Secpol_staticflow.Certify
+module Leakage = Secpol_probe.Leakage
+module Tabulate = Secpol_probe.Tabulate
+module Paper = Secpol_corpus.Paper_programs
+open Cmdliner
+
+(* --- shared arguments --------------------------------------------------- *)
+
+let program_arg =
+  let doc = "Corpus program name (try `secpol list`) or a .spl file path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let is_file name =
+  Filename.check_suffix name ".spl" || String.contains name '/'
+
+(* File-loaded programs get a wrapper entry: the file's "# policy:" hint
+   (or allow()) and a small exhaustive space, both overridable with -p. *)
+let entry_of_name name =
+  if is_file name then begin
+    match Secpol_lang.Source.load_with_hint name with
+    | Ok (prog, hint) ->
+        {
+          Paper.name = prog.Ast.name;
+          prog;
+          policy = Option.value hint ~default:Policy.allow_none;
+          space = Secpol_core.Space.ints ~lo:0 ~hi:3 ~arity:prog.Ast.arity;
+          paper_ref = name;
+          claim = "";
+          note = "";
+        }
+    | Error m ->
+        Printf.eprintf "%s: %s\n" name m;
+        exit 2
+  end
+  else
+    match Paper.find name with
+    | e -> e
+    | exception Not_found ->
+        Printf.eprintf "unknown program %S; try `secpol list` or a .spl path\n"
+          name;
+        exit 2
+
+let policy_conv =
+  let parse s =
+    if s = "-" then Ok Policy.allow_none
+    else
+      try
+        Ok
+          (Policy.allow
+             (List.map int_of_string
+                (String.split_on_char ',' s |> List.filter (fun x -> x <> ""))))
+      with Failure _ -> Error (`Msg "policy must be like 0,2 or -")
+  in
+  Arg.conv (parse, fun ppf p -> Format.fprintf ppf "%s" (Policy.name p))
+
+let policy_arg =
+  let doc =
+    "Security policy: comma-separated allowed input indices (0-based), or - \
+     for allow(). Defaults to the policy the paper discusses for the program."
+  in
+  Arg.(value & opt (some policy_conv) None & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let inputs_arg =
+  let doc = "Comma-separated integer inputs, e.g. 3,0." in
+  Arg.(required & opt (some string) None & info [ "i"; "inputs" ] ~docv:"INPUTS" ~doc)
+
+let parse_inputs s =
+  try Array.of_list (List.map (fun x -> Value.int (int_of_string x)) (String.split_on_char ',' s))
+  with Failure _ ->
+    prerr_endline "inputs must be integers like 3,0";
+    exit 2
+
+let mode_conv =
+  let parse = function
+    | "high-water" -> Ok Dynamic.High_water
+    | "surveillance" -> Ok Dynamic.Surveillance
+    | "scoped" -> Ok Dynamic.Scoped
+    | "timed" -> Ok Dynamic.Timed
+    | s -> Error (`Msg (s ^ ": expected high-water|surveillance|scoped|timed"))
+  in
+  Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Dynamic.mode_name m))
+
+let mode_arg =
+  let doc = "Dynamic mechanism: high-water, surveillance, scoped or timed." in
+  Arg.(value & opt mode_conv Dynamic.Surveillance & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let resolve_policy entry = function
+  | Some p -> p
+  | None -> entry.Paper.policy
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let t = Tabulate.create ~header:[ "name"; "paper ref"; "policy"; "claim" ] in
+    List.iter
+      (fun (e : Paper.entry) ->
+        let clip s = if String.length s > 58 then String.sub s 0 55 ^ "..." else s in
+        Tabulate.add_row t
+          [ e.Paper.name; e.Paper.paper_ref; Policy.name e.Paper.policy; clip e.Paper.claim ])
+      Paper.all;
+    Tabulate.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper-program corpus")
+    Term.(const run $ const ())
+
+(* --- show ---------------------------------------------------------------- *)
+
+let show_cmd =
+  let run name instrumented policy =
+    let e = entry_of_name name in
+    Format.printf "%a@.@." Ast.pp_prog e.Paper.prog;
+    let g = Paper.graph e in
+    Format.printf "%a@." Graph.pp g;
+    if instrumented then begin
+      let p = resolve_policy e policy in
+      match Policy.allowed_indices p with
+      | Some allowed ->
+          Format.printf "@.%a@." Graph.pp
+            (Instrument.instrument Instrument.Untimed ~allowed g)
+      | None -> prerr_endline "cannot instrument for a non-allow policy"
+    end
+  in
+  let instr =
+    Arg.(value & flag & info [ "instrumented" ] ~doc:"Also print the surveillance-instrumented flowchart.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a corpus program as source and as a flowchart")
+    Term.(const run $ program_arg $ instr $ policy_arg)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let run name inputs =
+    let e = entry_of_name name in
+    let o = Program.run (Paper.program e) (parse_inputs inputs) in
+    (match o.Program.result with
+    | Program.Value v -> Format.printf "output: %a@." Value.pp v
+    | Program.Diverged -> print_endline "output: <diverged>"
+    | Program.Fault m -> Printf.printf "output: <fault: %s>\n" m);
+    Printf.printf "steps:  %d\n" o.Program.steps
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a corpus program unprotected")
+    Term.(const run $ program_arg $ inputs_arg)
+
+(* --- enforce -------------------------------------------------------------- *)
+
+let enforce_cmd =
+  let run name inputs mode policy =
+    let e = entry_of_name name in
+    let p = resolve_policy e policy in
+    let m = Dynamic.mechanism_of ~mode p (Paper.graph e) in
+    let r = Mechanism.respond m (parse_inputs inputs) in
+    (match r.Mechanism.response with
+    | Mechanism.Granted v -> Format.printf "granted: %a@." Value.pp v
+    | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
+    | Mechanism.Hung -> print_endline "<mechanism diverged>"
+    | Mechanism.Failed msg -> Printf.printf "<mechanism fault: %s>\n" msg);
+    Printf.printf "steps:  %d\n" r.Mechanism.steps
+  in
+  Cmd.v
+    (Cmd.info "enforce"
+       ~doc:"Run a corpus program under a dynamic protection mechanism")
+    Term.(const run $ program_arg $ inputs_arg $ mode_arg $ policy_arg)
+
+(* --- certify --------------------------------------------------------------- *)
+
+let certify_cmd =
+  let run name policy =
+    let e = entry_of_name name in
+    let p = resolve_policy e policy in
+    match Policy.allowed_indices p with
+    | None -> prerr_endline "certification needs an allow(...) policy"; exit 2
+    | Some allowed ->
+        let report = Certify.analyze ~allowed e.Paper.prog in
+        Printf.printf "policy:    %s\n" (Policy.name p);
+        Format.printf "out taint: %a@." Secpol_core.Iset.pp report.Certify.out_taint;
+        Printf.printf "certified: %b\n" report.Certify.certified
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc:"Statically certify a corpus program for a policy")
+    Term.(const run $ program_arg $ policy_arg)
+
+(* --- measure --------------------------------------------------------------- *)
+
+let measure_cmd =
+  let run name policy =
+    let e = entry_of_name name in
+    let p = resolve_policy e policy in
+    let q = Paper.program e in
+    let g = Paper.graph e in
+    let space = e.Paper.space in
+    let t =
+      Tabulate.create ~header:[ "mechanism"; "completeness"; "sound"; "avg leak (bits)" ]
+    in
+    let add label m =
+      let sound =
+        match Soundness.check p m space with
+        | Soundness.Sound -> "yes"
+        | Soundness.Unsound _ -> "NO"
+      in
+      Tabulate.add_row t
+        [
+          label;
+          Printf.sprintf "%.0f%%" (100.0 *. Completeness.ratio m ~q space);
+          sound;
+          Printf.sprintf "%.3f" (Leakage.of_mechanism p m space).Leakage.avg_bits;
+        ]
+    in
+    add "program itself" (Mechanism.of_program q);
+    List.iter
+      (fun mode -> add (Dynamic.mode_name mode) (Dynamic.mechanism_of ~mode p g))
+      Dynamic.all_modes;
+    add "static (certify)" (Certify.mechanism ~policy:p e.Paper.prog);
+    add "maximal (brute force)" (Maximal.build p q space);
+    Tabulate.print ~title:(Printf.sprintf "%s under %s" e.Paper.name (Policy.name p)) t
+  in
+  Cmd.v
+    (Cmd.info "measure"
+       ~doc:"Exhaustively measure every mechanism for a corpus program")
+    Term.(const run $ program_arg $ policy_arg)
+
+(* --- leak ------------------------------------------------------------------ *)
+
+let leak_cmd =
+  let run name policy =
+    let e = entry_of_name name in
+    let p = resolve_policy e policy in
+    let q = Paper.program e in
+    Printf.printf "%s under %s, uniform inputs on %s\n" e.Paper.name
+      (Policy.name p)
+      (Format.asprintf "%a" Secpol_core.Space.pp e.Paper.space);
+    let report view label =
+      let r = Leakage.of_program ~view p q e.Paper.space in
+      Format.printf "%-22s %a@." label Leakage.pp r
+    in
+    report `Value "values only:";
+    report `Timed "with running time:"
+  in
+  Cmd.v
+    (Cmd.info "leak"
+       ~doc:"Measure a program's information leakage in bits, with and \
+             without observable running time")
+    Term.(const run $ program_arg $ policy_arg)
+
+(* --- plan ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let run name policy =
+    let e = entry_of_name name in
+    let p = resolve_policy e policy in
+    let r = Secpol.Release.plan ~policy:p ~space:e.Paper.space e.Paper.prog in
+    Printf.printf "program:  %s\npolicy:   %s\n" e.Paper.name (Policy.name p);
+    Printf.printf "decision: %s\n" (Secpol.Release.route_name r.Secpol.Release.route);
+    Printf.printf "serves:   %.0f%% (best possible %.0f%%)\n"
+      (100.0 *. r.Secpol.Release.completeness)
+      (100.0 *. r.Secpol.Release.maximal);
+    List.iter (Printf.printf "  - %s\n") r.Secpol.Release.notes
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Decide how to release a program under a policy: ship bare, guard \
+          halts, monitor, or refuse")
+    Term.(const run $ program_arg $ policy_arg)
+
+(* --- synthesize ------------------------------------------------------------ *)
+
+let synthesize_cmd =
+  let run name policy =
+    let e = entry_of_name name in
+    let p = resolve_policy e policy in
+    let module Search = Secpol_transform.Search in
+    let r = Search.search ~policy:p ~space:e.Paper.space e.Paper.prog in
+    let t = Tabulate.create ~header:[ "candidate"; "serves" ] in
+    List.iter
+      (fun c ->
+        Tabulate.add_row t
+          [ c.Search.label; Printf.sprintf "%.0f%%" (100.0 *. c.Search.ratio) ])
+      r.Search.candidates;
+    Tabulate.print
+      ~title:(Printf.sprintf "%s under %s" e.Paper.name (Policy.name p))
+      t;
+    List.iter
+      (fun (label, why) -> Printf.printf "discarded %-24s %s\n" label why)
+      r.Search.discarded;
+    Printf.printf
+      "\njoin of sound candidates serves %.0f%%; brute-force maximal serves %.0f%%\n"
+      (100.0 *. r.Search.best_ratio)
+      (100.0 *. r.Search.maximal_ratio);
+    if r.Search.best_ratio +. 1e-9 < r.Search.maximal_ratio then
+      print_endline
+        "(the remaining gap is Theorem 4 territory: no transform sequence in\n\
+        \ the pool closes it)"
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:
+         "Search transform sequences for the most complete sound mechanism \
+          (Section 4's recipe, bounded)")
+    Term.(const run $ program_arg $ policy_arg)
+
+(* --- fmt ------------------------------------------------------------------ *)
+
+let fmt_cmd =
+  let run path =
+    match Secpol_lang.Source.load path with
+    | Ok prog -> print_string (Secpol_lang.Source.to_source prog)
+    | Error m ->
+        Printf.eprintf "%s: %s\n" path m;
+        exit 2
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .spl source file.")
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Parse a .spl file and print it re-formatted")
+    Term.(const run $ path)
+
+let () =
+  let info =
+    Cmd.info "secpol" ~version:"1.0.0"
+      ~doc:"Security policies, protection mechanisms, soundness - Jones & Lipton (1975), executable"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; run_cmd; enforce_cmd; certify_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; fmt_cmd ]))

@@ -1,0 +1,1 @@
+examples/database_session.ml: Array List Printf Secpol_capability Secpol_core Secpol_history Secpol_probe String

@@ -1,0 +1,1 @@
+examples/file_enforcement.ml: Array List Printf Secpol_core Secpol_flowgraph Secpol_lang Secpol_probe Secpol_staticflow Secpol_taint Sys

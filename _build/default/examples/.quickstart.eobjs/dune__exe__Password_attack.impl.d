@@ -1,0 +1,1 @@
+examples/password_attack.ml: Array List Printf Random Secpol_channels Secpol_probe String

@@ -1,0 +1,1 @@
+examples/payroll_audit.mli:

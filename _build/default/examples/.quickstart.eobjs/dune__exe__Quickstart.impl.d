@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Secpol_core Secpol_flowgraph Secpol_taint String

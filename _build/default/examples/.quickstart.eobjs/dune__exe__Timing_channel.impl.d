@@ -1,0 +1,1 @@
+examples/timing_channel.ml: Format List Printf Secpol_core Secpol_flowgraph Secpol_probe Secpol_taint

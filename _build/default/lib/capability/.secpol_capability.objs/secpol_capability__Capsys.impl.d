@@ -1,0 +1,1 @@
+lib/capability/capsys.ml: Array List Printf Secpol_core

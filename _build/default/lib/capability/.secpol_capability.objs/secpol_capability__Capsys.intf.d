@@ -1,0 +1,1 @@
+lib/capability/capsys.mli: Secpol_core

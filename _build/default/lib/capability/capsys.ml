@@ -1,0 +1,113 @@
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+module Mechanism = Secpol_core.Mechanism
+
+type t = { objects : int; stored_caps : int array }
+
+let make ~objects ~stored_caps =
+  if objects <= 0 || objects > 20 then invalid_arg "Capsys.make: bad object count";
+  if Array.length stored_caps <> objects then
+    invalid_arg "Capsys.make: stored_caps length mismatch";
+  Array.iter
+    (fun m ->
+      if m < 0 || m >= 1 lsl objects then
+        invalid_arg "Capsys.make: stored capability mask out of range")
+    stored_caps;
+  { objects; stored_caps }
+
+type op = Load of int | Fetch of int
+type script = op list
+
+let arity sys = sys.objects + 1
+
+let notice = "capability check failed"
+
+let space sys ~value_range ~cap_masks =
+  List.iter
+    (fun m ->
+      if m < 0 || m >= 1 lsl sys.objects then
+        invalid_arg "Capsys.space: capability mask out of range")
+    cap_masks;
+  Space.of_domains
+    (List.init sys.objects (fun _ -> List.init value_range Value.int)
+    @ [ List.map Value.int cap_masks ])
+
+let closure sys mask =
+  let rec grow mask =
+    let bigger = ref mask in
+    for i = 0 to sys.objects - 1 do
+      if mask land (1 lsl i) <> 0 then bigger := !bigger lor sys.stored_caps.(i)
+    done;
+    if !bigger = mask then mask else grow !bigger
+  in
+  grow (mask land ((1 lsl sys.objects) - 1))
+
+let split sys a = (Array.sub a 0 sys.objects, Value.to_int a.(sys.objects))
+
+let policy sys =
+  Policy.filter
+    ~name:(Printf.sprintf "cap-reachability(k=%d)" sys.objects)
+    (fun a ->
+      let values, mask = split sys a in
+      let reach = closure sys mask in
+      Value.tuple
+        (Value.int mask
+        :: List.init sys.objects (fun i ->
+               if reach land (1 lsl i) <> 0 then values.(i) else Value.str "#")))
+
+let check_script sys script =
+  List.iter
+    (function
+      | Load i | Fetch i ->
+          if i < 0 || i >= sys.objects then
+            invalid_arg "Capsys: script touches an unknown object")
+    script
+
+(* The three executions share one engine differing in the check and in
+   whether Fetch has any effect. *)
+type discipline = Unchecked | Checked | Strict
+
+let execute sys script discipline a =
+  let values, initial = split sys a in
+  let caps = ref initial in
+  let sum = ref 0 in
+  let steps = ref 0 in
+  let allowed i = !caps land (1 lsl i) <> 0 in
+  let exception Refused in
+  match
+    List.iter
+      (fun op ->
+        incr steps;
+        match (op, discipline) with
+        | Load i, Unchecked -> sum := !sum + Value.to_int values.(i)
+        | Load i, (Checked | Strict) ->
+            if allowed i then sum := !sum + Value.to_int values.(i)
+            else raise Refused
+        | Fetch i, Unchecked | Fetch i, Checked ->
+            if discipline = Unchecked || allowed i then
+              caps := !caps lor sys.stored_caps.(i)
+            else raise Refused
+        | Fetch _, Strict -> ())
+      script
+  with
+  | () -> Ok (Value.int !sum, !steps)
+  | exception Refused -> Error !steps
+
+let program sys script =
+  check_script sys script;
+  Program.make ~name:"cap-machine" ~arity:(arity sys) (fun a ->
+      match execute sys script Unchecked a with
+      | Ok (v, steps) -> { Program.result = Program.Value v; steps }
+      | Error _ -> assert false)
+
+let mechanism_of_discipline sys script discipline name =
+  check_script sys script;
+  Mechanism.make ~name ~arity:(arity sys) (fun a ->
+      match execute sys script discipline a with
+      | Ok (v, steps) -> { Mechanism.response = Mechanism.Granted v; steps }
+      | Error steps -> { Mechanism.response = Mechanism.Denied notice; steps })
+
+let checked sys script = mechanism_of_discipline sys script Checked "cap-checked"
+let strict sys script = mechanism_of_discipline sys script Strict "cap-strict"

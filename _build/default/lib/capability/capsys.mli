@@ -1,0 +1,71 @@
+(** Capability systems in the enforcement model.
+
+    The paper closes: "Our model is useful for modeling phenomena ignored
+    in other models ... it can be used to model capability systems as well
+    as surveillance." This module does so.
+
+    A system has [k] objects. Each object holds an integer value (the
+    inputs [0 .. k-1]) and, statically, a set of {e capabilities stored
+    inside it} — reading such an object hands you further capabilities,
+    the take–grant phenomenon. Input [k] is the subject's initial
+    capability list, a bitmask over objects.
+
+    The security policy is {e reachability}: a subject may learn the
+    values of exactly the objects in the transitive capability closure of
+    its initial list (read an object you can reach, acquire what is stored
+    in it, repeat). Like Example 2's directory policy it is
+    content-dependent — here on the capability input — and not of the
+    [allow(...)] form.
+
+    Subjects run {e scripts} of loads and fetches. Three executions of the
+    same script give the paper's comparison triple:
+
+    - {!program}: the unchecked machine — every load succeeds. Unsound as
+      its own mechanism as soon as the script can outrun a capability list.
+    - {!checked}: loads and fetches verified against the {e current} list,
+      which grows as fetched capabilities are acquired. Sound, and
+      complete on every input whose closure covers the script.
+    - {!strict}: verifies loads against the {e initial} list only (fetches
+      are dead letters). Also sound — and measurably less complete than
+      {!checked}: a lattice of capability-checking mechanisms, ordered
+      exactly by the paper's completeness relation. *)
+
+type t = {
+  objects : int;  (** number of objects [k] *)
+  stored_caps : int array;
+      (** [stored_caps.(i)] = bitmask of capabilities stored inside object
+          [i]; length [objects] *)
+}
+
+val make : objects:int -> stored_caps:int array -> t
+(** @raise Invalid_argument on bad lengths or out-of-range masks. *)
+
+type op =
+  | Load of int  (** read object's value into the running sum *)
+  | Fetch of int  (** acquire the capabilities stored in the object *)
+
+type script = op list
+
+val arity : t -> int
+(** [objects + 1]: the values, then the capability-list input. *)
+
+val space : t -> value_range:int -> cap_masks:int list -> Secpol_core.Space.t
+
+val closure : t -> int -> int
+(** [closure sys mask] is the transitive capability closure of [mask]. *)
+
+val policy : t -> Secpol_core.Policy.t
+(** Reveal the capability input and the values of objects inside its
+    closure. *)
+
+val program : t -> script -> Secpol_core.Program.t
+(** The unchecked machine: output is the sum of all loaded values. *)
+
+val checked : t -> script -> Secpol_core.Mechanism.t
+(** Capability-checked execution with acquisition. *)
+
+val strict : t -> script -> Secpol_core.Mechanism.t
+(** Capability-checked execution that never acquires. *)
+
+val notice : string
+(** The violation notice both checked machines emit. *)

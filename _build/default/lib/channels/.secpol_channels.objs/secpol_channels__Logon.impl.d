@@ -1,0 +1,1 @@
+lib/channels/logon.ml: Array List Random Secpol_core

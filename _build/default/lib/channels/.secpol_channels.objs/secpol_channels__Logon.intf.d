@@ -1,0 +1,1 @@
+lib/channels/logon.mli: Random Secpol_core

@@ -1,0 +1,1 @@
+lib/channels/paged.ml: Array Fun List Printf Secpol_core

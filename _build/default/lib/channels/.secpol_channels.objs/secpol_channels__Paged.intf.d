@@ -1,0 +1,1 @@
+lib/channels/paged.mli: Secpol_core

@@ -1,0 +1,1 @@
+lib/channels/tape.ml: Array List Printf Secpol_core

@@ -1,0 +1,1 @@
+lib/channels/tape.mli: Secpol_core

@@ -1,0 +1,88 @@
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+
+let logon =
+  Program.of_fun ~name:"logon" ~arity:3 (fun a ->
+      match a.(1) with
+      | Value.Tuple pairs ->
+          let uid = a.(0) and pwd = a.(2) in
+          let hit =
+            List.exists
+              (function
+                | Value.Tuple [ u; p ] -> Value.equal u uid && Value.equal p pwd
+                | _ -> invalid_arg "logon: malformed table entry")
+              pairs
+          in
+          Value.bool hit
+      | _ -> invalid_arg "logon: table is not a tuple")
+
+let logon_policy = Policy.allow [ 0; 2 ]
+
+let logon_space ~uids ~pwds ~table_pairs =
+  let pair (u, p) = Value.tuple [ Value.int u; Value.int p ] in
+  Space.of_domains
+    [
+      List.map Value.int uids;
+      List.map (fun t -> Value.tuple (List.map pair t)) table_pairs;
+      List.map Value.int pwds;
+    ]
+
+module Attack = struct
+  type oracle = { n : int; k : int; secret : int array }
+
+  let make ~n ~k ~secret =
+    if Array.length secret <> k then invalid_arg "Attack.make: bad secret length";
+    Array.iter
+      (fun c -> if c < 0 || c >= n then invalid_arg "Attack.make: symbol out of range")
+      secret;
+    { n; k; secret }
+
+  let random_secret rng ~n ~k = Array.init k (fun _ -> Random.State.int rng n)
+
+  let whole_compare o guess = guess = o.secret
+
+  let paged_compare o guess =
+    let rec prefix i =
+      if i >= o.k then i else if guess.(i) = o.secret.(i) then prefix (i + 1) else i
+    in
+    prefix 0
+
+  (* Lexicographic enumeration, counting whole-guess probes. *)
+  let brute_force o =
+    let guess = Array.make o.k 0 in
+    let rec advance i =
+      if i < 0 then false
+      else begin
+        guess.(i) <- guess.(i) + 1;
+        if guess.(i) >= o.n then begin
+          guess.(i) <- 0;
+          advance (i - 1)
+        end
+        else true
+      end
+    in
+    let rec go count =
+      if whole_compare o guess then count + 1
+      else if advance (o.k - 1) then go (count + 1)
+      else invalid_arg "brute_force: exhausted space without a hit"
+    in
+    go 0
+
+  (* Fix characters left to right using the prefix-length observable. *)
+  let prefix_walk o =
+    let guess = Array.make o.k 0 in
+    let probes = ref 0 in
+    for pos = 0 to o.k - 1 do
+      let rec try_symbol c =
+        guess.(pos) <- c;
+        incr probes;
+        if paged_compare o guess <= pos then
+          if c + 1 < o.n then try_symbol (c + 1)
+          else invalid_arg "prefix_walk: no symbol extends the prefix"
+      in
+      try_symbol 0
+    done;
+    !probes
+end

@@ -1,0 +1,59 @@
+(** Example 5: the logon program, and the password work-factor collapse.
+
+    [Q(userid, table, password)] is true iff [(userid, password)] is in the
+    table. Under [allow(1, 3)] — reveal nothing about the table — the
+    program is its own (unsound!) mechanism: every answer narrows the set
+    of possible tables. It is workable in practice only because the leak
+    per query is small; {!Secpol_probe.Leakage} puts the number on it.
+
+    The second half models the paper's "now-classic case": passwords of
+    [k] characters over an [n]-character alphabet promise a work factor of
+    [n^k] guesses, but if candidate passwords can be laid across a page
+    boundary and page movement observed, a guesser confirms one character
+    at a time and needs only about [n * k] — the forgotten observable
+    (page traffic) voids the observability postulate and with it the
+    work-factor argument. *)
+
+val logon : Secpol_core.Program.t
+(** Arity 3: userid (Int), table (Tuple of (Int uid, Int pwd) pairs),
+    password (Int). Output: Bool. *)
+
+val logon_policy : Secpol_core.Policy.t
+(** [allow(1, 3)] in the paper's 1-based numbering = allow {0, 2}: the
+    table (input 1) is withheld. *)
+
+val logon_space :
+  uids:int list -> pwds:int list -> table_pairs:(int * int) list list ->
+  Secpol_core.Space.t
+
+(** The guessing experiment. A password is a string over an alphabet of
+    size [n], length [k]. Oracles report, per guess, what the attacker can
+    observe. *)
+module Attack : sig
+  type oracle = {
+    n : int;  (** alphabet size *)
+    k : int;  (** password length *)
+    secret : int array;  (** the password, [k] symbols in [0..n-1] *)
+  }
+
+  val make : n:int -> k:int -> secret:int array -> oracle
+
+  val random_secret : Random.State.t -> n:int -> k:int -> int array
+
+  val whole_compare : oracle -> int array -> bool
+  (** The intended interface: equality of the whole guess, one bit out. *)
+
+  val paged_compare : oracle -> int array -> int
+  (** The leaky interface: the comparison proceeds character by character
+      and the attacker observes how many page crossings occurred before the
+      mismatch — i.e. the length of the agreeing prefix. Returns that
+      prefix length ([k] means the guess is correct). *)
+
+  val brute_force : oracle -> int
+  (** Number of calls to {!whole_compare} a lexicographic exhaustive
+      guesser makes before success. Worst case [n^k]. *)
+
+  val prefix_walk : oracle -> int
+  (** Number of calls to {!paged_compare} made by the attacker that fixes
+      one character at a time. Worst case [n * k]. *)
+end

@@ -1,0 +1,48 @@
+module Value = Secpol_core.Value
+module Program = Secpol_core.Program
+
+type t = { nvars : int; page_size : int }
+
+let make ~nvars ~page_size =
+  if nvars <= 0 || page_size <= 0 then
+    invalid_arg "Paged.make: sizes must be positive";
+  { nvars; page_size }
+
+let page_of m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Paged.page_of: no such variable";
+  v / m.page_size
+
+let faults m trace =
+  let rec go resident count = function
+    | [] -> count
+    | v :: rest ->
+        let p = page_of m v in
+        if Some p = resident then go resident count rest
+        else go (Some p) (count + 1) rest
+  in
+  go None 0 trace
+
+let program m ~name ~trace ~result =
+  Program.make ~name ~arity:m.nvars (fun a ->
+      let ints = Array.map Value.to_int a in
+      {
+        Program.result = Program.Value (result ints);
+        steps = faults m (trace ints);
+      })
+
+let scan_sorted_by_secret m ~key =
+  if key < 0 || key >= m.nvars then
+    invalid_arg "Paged.scan_sorted_by_secret: bad key index";
+  let others = List.filter (fun v -> v <> key) (List.init m.nvars Fun.id) in
+  (* Page-friendly order: one fault per page. Page-hostile order: group by
+     in-page offset so consecutive accesses land on different pages. *)
+  let friendly = others in
+  let hostile =
+    List.sort
+      (fun v w -> compare (v mod m.page_size, v) (w mod m.page_size, w))
+      others
+  in
+  program m
+    ~name:(Printf.sprintf "scan-by-x%d" key)
+    ~trace:(fun a -> if a.(key) = 0 then friendly else hostile)
+    ~result:(fun _ -> Value.int 0)

@@ -1,0 +1,47 @@
+(** Page traffic as the observable (the conclusions' other example).
+
+    "Our model is useful for modeling phenomena ignored in other models —
+    such as running time or page faults." Running time is threaded through
+    every interpreter as the step count; this module makes the same point
+    for memory traffic. The observability postulate does not care {e what}
+    the implicit counter counts, so a paged program simply reports its
+    fault count as the outcome's step field and the whole apparatus —
+    timed soundness checks, leakage estimation — applies unchanged.
+
+    The machine: variables live on pages, [page_size] variables per page,
+    in declaration order. A program is a straight-line {e access trace}:
+    which variables it touches, in which order (the order may depend on
+    input values — that is the channel). Each access to a page different
+    from the one currently resident costs one fault; the value computed is
+    whatever the [result] function says. *)
+
+type t = {
+  nvars : int;  (** variables 0 .. nvars-1, also the program's arity *)
+  page_size : int;  (** variables per page *)
+}
+
+val make : nvars:int -> page_size:int -> t
+(** @raise Invalid_argument unless both are positive. *)
+
+val page_of : t -> int -> int
+
+val faults : t -> int list -> int
+(** Fault count of an access trace, starting with no page resident. *)
+
+val program :
+  t ->
+  name:string ->
+  trace:(int array -> int list) ->
+  result:(int array -> Secpol_core.Value.t) ->
+  Secpol_core.Program.t
+(** [program m ~name ~trace ~result]: on input [a] (integer values of the
+    [nvars] variables), touch [trace a] in order and output [result a];
+    the outcome's step count is the fault count. *)
+
+val scan_sorted_by_secret : t -> key:int -> Secpol_core.Program.t
+(** The demonstration program: output the constant 0 after touching every
+    variable {e except} the key, in an order decided by the key's value —
+    page-friendly (one fault per page) when the key is 0, page-hostile
+    (alternating pages on every access) otherwise. Value-constant,
+    fault-variable: sound untimed, unsound the moment page traffic is
+    observable — the password attack's mechanism in miniature. *)

@@ -1,0 +1,44 @@
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Program = Secpol_core.Program
+
+type motion = Walk | Tab_linear | Tab_constant
+
+let motion_name = function
+  | Walk -> "walk"
+  | Tab_linear -> "tab-linear"
+  | Tab_constant -> "tab-constant"
+
+let block_length v =
+  match v with
+  | Value.Tuple l -> List.length l
+  | _ -> invalid_arg "Tape: block is not a tuple"
+
+let read_block motion ~k ~j =
+  if j < 0 || j >= k then invalid_arg "Tape.read_block: block out of range";
+  Program.make
+    ~name:(Printf.sprintf "read-z%d-%s" j (motion_name motion))
+    ~arity:k
+    (fun a ->
+      let distance =
+        let rec total i acc = if i >= j then acc else total (i + 1) (acc + block_length a.(i)) in
+        total 0 0
+      in
+      let seek_cost =
+        match motion with Walk | Tab_linear -> distance | Tab_constant -> 1
+      in
+      let read_cost = block_length a.(j) in
+      { Program.result = Program.Value a.(j); steps = seek_cost + read_cost })
+
+let block_space ~k ~lengths ~alphabet =
+  let letters = List.map Value.int alphabet in
+  (* All tuples over the alphabet with length in [lengths]. *)
+  let rec tuples n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map (fun rest -> List.map (fun c -> c :: rest) letters) (tuples (n - 1))
+  in
+  let domain =
+    List.concat_map (fun n -> List.map Value.tuple (tuples n)) lengths
+  in
+  Space.of_domains (List.init k (fun _ -> domain))

@@ -1,0 +1,32 @@
+(** The one-way input tape of Section 2.
+
+    Inputs sit in blocks [z1 ... zk] on a linear read-only tape, head at the
+    leftmost character. To read block [j] a program must move the head
+    across blocks [1 .. j-1], so even a program that never "looks" at them
+    encodes the {e length} of the earlier blocks into its running time: no
+    program reading a later block can be sound for [allow(j)] while time is
+    observable. The paper's fix is a new primitive, [tab(i)], that jumps to
+    block [i] in constant time — restoring the observability postulate by
+    construction.
+
+    Here each block is an integer tuple; [read_block] produces the
+    program "output block [j]" under three head-motion disciplines. *)
+
+type motion =
+  | Walk  (** move cell by cell: cost = cells crossed (the leaky default) *)
+  | Tab_linear
+      (** [tab(i)] implemented naively: still costs the distance — the
+          trap the paper warns about ("perhaps tab(i) takes time dependent
+          on the length of z1 ... zi-1?") *)
+  | Tab_constant  (** [tab(i)] in one step: the sound implementation *)
+
+val motion_name : motion -> string
+
+val read_block : motion -> k:int -> j:int -> Secpol_core.Program.t
+(** [Q(z1..zk) = zj], with running time determined by the motion
+    discipline: walking costs one step per cell crossed plus one per cell
+    read; constant tab costs one step plus one per cell read. *)
+
+val block_space : k:int -> lengths:int list -> alphabet:int list -> Secpol_core.Space.t
+(** Domain of each block: all tuples over [alphabet] whose length is drawn
+    from [lengths]. Sizes grow fast; keep parameters small. *)

@@ -1,0 +1,1 @@
+lib/core/completeness.ml: Format Mechanism Program Seq Space Value

@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Array Format Hashtbl Mechanism Policy Program Seq Space Value

@@ -1,0 +1,1 @@
+lib/core/integrity.mli: Format Mechanism Policy Program Space Value

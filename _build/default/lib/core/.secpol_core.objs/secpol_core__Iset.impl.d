@@ -1,0 +1,1 @@
+lib/core/iset.ml: Format List Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/iset.mli: Format

@@ -1,0 +1,1 @@
+lib/core/lattice.ml: Completeness List Mechanism Printf Program Seq Space

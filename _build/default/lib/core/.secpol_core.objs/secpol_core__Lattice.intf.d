@@ -1,0 +1,1 @@
+lib/core/lattice.mli: Mechanism Program Space Value

@@ -1,0 +1,1 @@
+lib/core/maximal.ml: Hashtbl Mechanism Policy Printf Program Seq Space Value

@@ -1,0 +1,1 @@
+lib/core/maximal.mli: Mechanism Policy Program Space

@@ -1,0 +1,1 @@
+lib/core/mechanism.ml: Array List Printf Program Seq Space Value

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array Format Iset List Value

@@ -1,0 +1,1 @@
+lib/core/policy_order.ml: Hashtbl Iset Policy Seq Space Value

@@ -1,0 +1,1 @@
+lib/core/policy_order.mli: Iset Policy Space

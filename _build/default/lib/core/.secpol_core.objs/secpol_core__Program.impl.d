@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Format Printf Seq Space Stdlib Value

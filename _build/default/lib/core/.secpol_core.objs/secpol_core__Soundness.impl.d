@@ -1,0 +1,1 @@
+lib/core/soundness.ml: Array Format Hashtbl Mechanism Policy Program Seq Space Value

@@ -1,0 +1,1 @@
+lib/core/space.ml: Array Format List Printf Random Seq Value

@@ -1,0 +1,46 @@
+let grants m ~q a =
+  match (Mechanism.respond m a).Mechanism.response with
+  | Mechanism.Granted v -> (
+      match (Program.run q a).Program.result with
+      | Program.Value w -> Value.equal v w
+      | Program.Diverged | Program.Fault _ -> false)
+  | Mechanism.Denied _ | Mechanism.Hung | Mechanism.Failed _ -> false
+
+let grant_count m ~q space =
+  Seq.fold_left
+    (fun (g, n) a -> ((if grants m ~q a then g + 1 else g), n + 1))
+    (0, 0) (Space.enumerate space)
+
+let ratio m ~q space =
+  let g, n = grant_count m ~q space in
+  if n = 0 then 1.0 else float_of_int g /. float_of_int n
+
+type comparison = Equal | More_complete | Less_complete | Incomparable
+
+let compare m1 m2 ~q space =
+  let m1_extra = ref false and m2_extra = ref false in
+  Seq.iter
+    (fun a ->
+      let g1 = grants m1 ~q a and g2 = grants m2 ~q a in
+      if g1 && not g2 then m1_extra := true;
+      if g2 && not g1 then m2_extra := true)
+    (Space.enumerate space);
+  match (!m1_extra, !m2_extra) with
+  | false, false -> Equal
+  | true, false -> More_complete
+  | false, true -> Less_complete
+  | true, true -> Incomparable
+
+let as_complete_as m1 m2 ~q space =
+  let missing =
+    Seq.find (fun a -> grants m2 ~q a && not (grants m1 ~q a)) (Space.enumerate space)
+  in
+  match missing with None -> Ok () | Some a -> Error a
+
+let pp_comparison ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Equal -> "="
+    | More_complete -> ">"
+    | Less_complete -> "<"
+    | Incomparable -> "<>")

@@ -1,0 +1,39 @@
+(** The completeness (pre-)order on protection mechanisms.
+
+    Pulling the plug is sound; the interesting question is which sound
+    mechanism gives the {e most} real answers. With all violation notices
+    identified, [M1 >= M2] iff for every input where [M2] returns [Q]'s
+    output, so does [M1]. This module decides the order exhaustively over a
+    finite space and also measures the {e completeness ratio} — the fraction
+    of the input space on which a mechanism grants [Q]'s output — which is
+    the quantity the experiment tables report.
+
+    Grants are compared to [Q] by output value only: the paper explicitly
+    allows a mechanism's running time to differ from the program's. *)
+
+val grants : Mechanism.t -> q:Program.t -> Value.t array -> bool
+(** [grants m ~q a] iff [M(a) = Q(a)] (a real answer, not a notice). *)
+
+val ratio : Mechanism.t -> q:Program.t -> Space.t -> float
+(** Fraction of the space on which the mechanism grants. 1.0 means the
+    mechanism is as complete as [Q] itself; 0.0 is pulling the plug. *)
+
+val grant_count : Mechanism.t -> q:Program.t -> Space.t -> int * int
+(** [(grants, total)] over the space. *)
+
+type comparison =
+  | Equal  (** grant exactly the same inputs *)
+  | More_complete  (** [m1 > m2] strictly *)
+  | Less_complete  (** [m1 < m2] strictly *)
+  | Incomparable  (** each grants somewhere the other does not *)
+
+val compare : Mechanism.t -> Mechanism.t -> q:Program.t -> Space.t -> comparison
+(** Decide the paper's [>=] order between two mechanisms for the same
+    program, exhaustively. *)
+
+val as_complete_as :
+  Mechanism.t -> Mechanism.t -> q:Program.t -> Space.t -> (unit, Value.t array) result
+(** [as_complete_as m1 m2 ~q space] is [Ok ()] iff [m1 >= m2]; otherwise the
+    error carries an input where [m2] grants but [m1] does not. *)
+
+val pp_comparison : Format.formatter -> comparison -> unit

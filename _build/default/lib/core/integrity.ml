@@ -1,0 +1,66 @@
+type config = { view : Program.view; identify_violations : bool }
+
+let default = { view = `Value; identify_violations = false }
+
+type witness = {
+  input_a : Value.t array;
+  input_b : Value.t array;
+  image_a : Value.t;
+  image_b : Value.t;
+}
+
+type verdict = Preserves | Loses of witness
+
+let canonicalize config (obs : Program.Obs.t) : Program.Obs.t =
+  if not config.identify_violations then obs
+  else
+    match obs with
+    | Program.Obs.Output (Value.Tuple (Value.Str "violation" :: _)) ->
+        Program.Obs.Output (Value.Tuple [ Value.Str "violation" ])
+    | Program.Obs.Timed_output (Value.Tuple (Value.Str "violation" :: _), t) ->
+        Program.Obs.Timed_output (Value.Tuple [ Value.Str "violation" ], t)
+    | o -> o
+
+(* Dual of Soundness.check: partition by REPLY, require the policy image
+   constant within each block. *)
+let check ?(config = default) policy m space =
+  let seen : (Program.Obs.t, Value.t array * Value.t) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let witness =
+    Seq.find_map
+      (fun a ->
+        let obs =
+          canonicalize config (Mechanism.observe config.view (Mechanism.respond m a))
+        in
+        let image = Policy.image policy a in
+        match Hashtbl.find_opt seen obs with
+        | None ->
+            Hashtbl.add seen obs (a, image);
+            None
+        | Some (b, image_b) ->
+            if Value.equal image image_b then None
+            else Some { input_a = b; input_b = a; image_a = image_b; image_b = image })
+      (Space.enumerate space)
+  in
+  match witness with None -> Preserves | Some w -> Loses w
+
+let check_program ?config policy q space =
+  check ?config policy (Mechanism.of_program q) space
+
+let preserves ?config policy m space =
+  match check ?config policy m space with Preserves -> true | Loses _ -> false
+
+let pp_input ppf a =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    (Array.to_list a)
+
+let pp_verdict ppf = function
+  | Preserves -> Format.pp_print_string ppf "preserves"
+  | Loses w ->
+      Format.fprintf ppf
+        "@[<v>loses information:@ inputs %a and %a produce the same reply@ \
+         but required images %a and %a differ@]"
+        pp_input w.input_a pp_input w.input_b Value.pp w.image_a Value.pp
+        w.image_b

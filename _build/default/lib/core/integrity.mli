@@ -1,0 +1,47 @@
+(** The paper's second security question: data security.
+
+    Section 2 distinguishes two uses of a program. As a {e view} function
+    the question is whether [Q(a)] contains information it should not —
+    confinement, the subject of the rest of the paper. As an {e operator}
+    the question flips: does the result contain {e all} the information it
+    should? ("data security": has a system table been illegally altered and
+    hence lost?) The paper asserts without proof that the same methods
+    handle this case; this module is that assertion, made executable.
+
+    Dualizing soundness: a mechanism {e preserves} a policy [I] if the
+    required information [I(a)] is recoverable from the reply — there is a
+    function [G] with [I(a) = G(M(a))] for every input. Where soundness
+    says the reply may depend on {e at most} [I(a)], preservation says it
+    must determine {e at least} [I(a)]. Over a finite space this is again
+    decidable by partitioning: group inputs by reply; preservation holds
+    iff [I] is constant on every group. A violation witness is a pair of
+    inputs the mechanism merges that the policy requires kept apart. *)
+
+type config = {
+  view : Program.view;
+  identify_violations : bool;
+      (** with [true], all violation notices count as the same reply — the
+          harshest reading, under which any denial on a non-trivial policy
+          destroys information *)
+}
+
+val default : config
+
+type witness = {
+  input_a : Value.t array;
+  input_b : Value.t array;  (** replies are equal... *)
+  image_a : Value.t;
+  image_b : Value.t;  (** ... but the required images differ: information
+                          the operator had to deliver was lost *)
+}
+
+type verdict = Preserves | Loses of witness
+
+val check : ?config:config -> Policy.t -> Mechanism.t -> Space.t -> verdict
+
+val check_program : ?config:config -> Policy.t -> Program.t -> Space.t -> verdict
+(** Does the bare program deliver everything [I] requires? *)
+
+val preserves : ?config:config -> Policy.t -> Mechanism.t -> Space.t -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,54 @@
+type t = int
+
+let max_index = Sys.int_size - 1
+
+let check i =
+  if i < 0 || i >= max_index then
+    invalid_arg (Printf.sprintf "Iset: index %d out of bounds [0,%d)" i max_index)
+
+let empty = 0
+
+let full k =
+  check (k - 1 + if k = 0 then 1 else 0);
+  if k = 0 then 0 else (1 lsl k) - 1
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let add i s = s lor singleton i
+let remove i s = s land lnot (singleton i)
+let mem i s = i >= 0 && i < max_index && s land (1 lsl i) <> 0
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let equal (a : t) (b : t) = a = b
+let is_empty s = s = 0
+
+let cardinal s =
+  let rec count acc s = if s = 0 then acc else count (acc + 1) (s land (s - 1)) in
+  count 0 s
+
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+let fold f s init =
+  let rec go i s acc =
+    if s = 0 then acc
+    else if s land 1 <> 0 then go (i + 1) (s lsr 1) (f i acc)
+    else go (i + 1) (s lsr 1) acc
+  in
+  go 0 s init
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+let union_list l = List.fold_left union empty l
+let to_mask s = s
+
+let of_mask m =
+  if m < 0 then invalid_arg "Iset.of_mask: negative mask";
+  m
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list s)))
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,67 @@
+(** Sets of input indices.
+
+    The paper indexes program inputs [x1 ... xk]; we use 0-based indices
+    [0 .. k-1] throughout the library. An {!Iset.t} denotes a subset of input
+    positions — the allowed set [J] of a policy [allow(J)], or the
+    "surveillance variable" of a program variable (the set of inputs that may
+    have affected its current value).
+
+    The representation is an integer bitset, so indices are limited to
+    [0 .. max_index - 1]. Every program in this reproduction has far fewer
+    inputs than that; constructors assert the bound. *)
+
+type t
+(** An immutable set of input indices. *)
+
+val max_index : int
+(** Exclusive upper bound on representable indices (62 on 64-bit). *)
+
+val empty : t
+
+val full : int -> t
+(** [full k] is [{0, ..., k-1}]. *)
+
+val singleton : int -> t
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val mem : int -> t -> bool
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every index of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val of_list : int list -> t
+
+val to_list : t -> int list
+(** Ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over members in ascending order. *)
+
+val union_list : t list -> t
+
+val to_mask : t -> int
+(** The raw bitset, used when encoding surveillance variables as integer
+    program values in instrumented flowcharts. *)
+
+val of_mask : int -> t
+(** Inverse of {!to_mask}. Negative masks are rejected. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{i1,i2,...}] with 0-based indices. *)
+
+val to_string : t -> string

@@ -1,0 +1,42 @@
+let notice = "\xce\x9b"
+
+let meet m1 m2 =
+  if m1.Mechanism.arity <> m2.Mechanism.arity then
+    invalid_arg "Lattice.meet: arity mismatch";
+  let respond a =
+    let r1 = Mechanism.respond m1 a in
+    match r1.Mechanism.response with
+    | Mechanism.Granted _ -> (
+        match (Mechanism.respond m2 a).Mechanism.response with
+        | Mechanism.Granted _ -> r1
+        | Mechanism.Denied _ | Mechanism.Hung | Mechanism.Failed _ ->
+            { Mechanism.response = Mechanism.Denied notice; steps = 1 })
+    | Mechanism.Denied _ | Mechanism.Hung | Mechanism.Failed _ ->
+        { Mechanism.response = Mechanism.Denied notice; steps = 1 }
+  in
+  Mechanism.make
+    ~name:(Printf.sprintf "(%s ^ %s)" m1.Mechanism.name m2.Mechanism.name)
+    ~arity:m1.Mechanism.arity respond
+
+let grant_set m ~q space =
+  List.of_seq
+    (Seq.filter (fun a -> Completeness.grants m ~q a) (Space.enumerate space))
+
+let equivalent m1 m2 ~q space =
+  Seq.for_all
+    (fun a -> Completeness.grants m1 ~q a = Completeness.grants m2 ~q a)
+    (Space.enumerate space)
+
+let of_grant_predicate ~name ~q pred =
+  let respond a =
+    if pred a then begin
+      let o = Program.run q a in
+      match o.Program.result with
+      | Program.Value v ->
+          { Mechanism.response = Mechanism.Granted v; steps = o.Program.steps }
+      | Program.Diverged -> { Mechanism.response = Mechanism.Hung; steps = o.Program.steps }
+      | Program.Fault m -> { Mechanism.response = Mechanism.Failed m; steps = o.Program.steps }
+    end
+    else { Mechanism.response = Mechanism.Denied notice; steps = 1 }
+  in
+  Mechanism.make ~name ~arity:q.Program.arity respond

@@ -1,0 +1,36 @@
+(** The lattice of protection mechanisms.
+
+    After Theorem 1 the paper remarks: "if we assume only a single
+    violation notice, it can easily be shown that the sound protection
+    mechanisms form a lattice". This module supplies the structure the
+    remark refers to, over a finite space where it can be verified.
+
+    The order is completeness ([Completeness.compare]); mechanisms are
+    identified with their {e grant sets} (the inputs on which they return
+    [Q]'s output — with one violation notice, the grant set is the whole
+    extensional content). Join is {!Mechanism.join}; {!meet} grants where
+    both components grant. Bottom is pulling the plug; the top of the
+    {e sound} sublattice is the maximal mechanism of Theorem 2.
+
+    Soundness closure: the join and meet of sound mechanisms are sound —
+    the join by Theorem 1, the meet because its grant decision is a
+    conjunction of two functions of [I(a)]. The lattice-law tests in the
+    suite check all of this on concrete families. *)
+
+val meet : Mechanism.t -> Mechanism.t -> Mechanism.t
+(** [meet m1 m2] grants (with [m1]'s reply) exactly where both grant;
+    elsewhere it answers the single violation notice. *)
+
+val equivalent : Mechanism.t -> Mechanism.t -> q:Program.t -> Space.t -> bool
+(** Same grant set over the space (the lattice's underlying equality). *)
+
+val grant_set : Mechanism.t -> q:Program.t -> Space.t -> Value.t array list
+(** The inputs on which the mechanism returns [Q]'s output, in enumeration
+    order. *)
+
+val of_grant_predicate :
+  name:string -> q:Program.t -> (Value.t array -> bool) -> Mechanism.t
+(** The mechanism that grants [Q]'s output exactly where the predicate
+    holds — the paper's identification of mechanisms with subsets, as a
+    constructor. Sound iff the predicate and [Q]'s restriction to it factor
+    through the policy; handy for building lattice test families. *)

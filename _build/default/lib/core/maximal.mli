@@ -1,0 +1,30 @@
+(** The maximal sound protection mechanism, constructed by brute force.
+
+    Theorem 2: for any [Q] and [I] a maximal sound mechanism exists — the
+    union of all sound mechanisms. Theorem 4: no effective procedure builds
+    it from an arbitrary ([Q], [I]); indeed it need not even be recursive
+    (Ruzzo). Neither theorem forbids computing it over a {e finite} input
+    space, where "is [Q] constant on this policy class?" is decidable by
+    enumeration. This module does exactly that, yielding the yardstick
+    against which every practical mechanism's completeness is measured.
+
+    Construction: partition the space by [I]-image; on a class where [Q]'s
+    observable is constant, answer [Q(a)]; elsewhere answer a violation
+    notice. The result is sound (it factors through the image by
+    construction) and grants wherever {e any} sound mechanism could: a sound
+    [M] granting at [a] must grant [Q(a)] on the whole class of [a], which
+    forces [Q] constant there. *)
+
+val build :
+  ?view:Program.view -> Policy.t -> Program.t -> Space.t -> Mechanism.t
+(** [build ~view i q space] precomputes the class table (one run of [Q] per
+    point of the space) and returns the maximal sound mechanism. With
+    [`Timed], [Q]'s step count must also be constant on a class for the
+    class to be granted — the stricter notion matching an observable clock.
+    The returned mechanism only answers on inputs of [space].
+
+    The mechanism replies in O(1) per call after the precomputation. *)
+
+val granted_classes : ?view:Program.view -> Policy.t -> Program.t -> Space.t -> int * int
+(** [(constant_classes, total_classes)] — how many policy classes the
+    maximal mechanism can serve. *)

@@ -1,0 +1,95 @@
+type response =
+  | Granted of Value.t
+  | Denied of string
+  | Hung
+  | Failed of string
+
+type reply = { response : response; steps : int }
+type t = { name : string; arity : int; respond : Value.t array -> reply }
+
+let make ~name ~arity respond = { name; arity; respond }
+
+let of_program (q : Program.t) =
+  let respond a =
+    let o = Program.run q a in
+    let response =
+      match o.Program.result with
+      | Program.Value v -> Granted v
+      | Program.Diverged -> Hung
+      | Program.Fault m -> Failed m
+    in
+    { response; steps = o.Program.steps }
+  in
+  make ~name:q.Program.name ~arity:q.Program.arity respond
+
+let pull_the_plug ?(notice = "\xce\x9b") arity =
+  make ~name:"pull-the-plug" ~arity (fun _ ->
+      { response = Denied notice; steps = 1 })
+
+let constant ~arity v =
+  make ~name:"constant" ~arity (fun _ -> { response = Granted v; steps = 1 })
+
+let respond m a =
+  if Array.length a <> m.arity then
+    invalid_arg
+      (Printf.sprintf "Mechanism %s: expected %d inputs, got %d" m.name m.arity
+         (Array.length a));
+  m.respond a
+
+let observe view r =
+  match (view, r.response) with
+  | `Value, Granted v -> Program.Obs.Output v
+  | `Timed, Granted v -> Program.Obs.Timed_output (v, r.steps)
+  | `Value, Denied n -> Program.Obs.Output (Value.Tuple [ Value.Str "violation"; Value.Str n ])
+  | `Timed, Denied n ->
+      Program.Obs.Timed_output
+        (Value.Tuple [ Value.Str "violation"; Value.Str n ], r.steps)
+  | _, Hung -> Program.Obs.Hang
+  | _, Failed m -> Program.Obs.Fail m
+
+let join m1 m2 =
+  if m1.arity <> m2.arity then invalid_arg "Mechanism.join: arity mismatch";
+  let respond a =
+    match m1.respond a with
+    | { response = Granted _; _ } as r -> r
+    | _ -> m2.respond a
+  in
+  make ~name:(Printf.sprintf "(%s v %s)" m1.name m2.name) ~arity:m1.arity respond
+
+let join_list ~arity = function
+  | [] -> pull_the_plug arity
+  | m :: ms ->
+      if m.arity <> arity then invalid_arg "Mechanism.join_list: arity mismatch";
+      List.fold_left join m ms
+
+type counterexample = {
+  input : Value.t array;
+  got : response;
+  expected : Program.result;
+}
+
+let check_protects m q space =
+  if m.arity <> q.Program.arity then
+    invalid_arg "Mechanism.check_protects: arity mismatch";
+  let bad =
+    Seq.find_map
+      (fun a ->
+        let r = respond m a in
+        match r.response with
+        | Denied _ -> None
+        | Granted v -> (
+            let o = Program.run q a in
+            match o.Program.result with
+            | Program.Value w when Value.equal v w -> None
+            | expected -> Some { input = a; got = r.response; expected })
+        | Hung | Failed _ -> (
+            let o = Program.run q a in
+            match (r.response, o.Program.result) with
+            | Hung, Program.Diverged -> None
+            | Failed _, Program.Fault _ -> None
+            | got, expected -> Some { input = a; got; expected }))
+      (Space.enumerate space)
+  in
+  match bad with None -> Ok () | Some c -> Error c
+
+let rename name m = { m with name }

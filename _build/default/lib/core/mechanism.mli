@@ -1,0 +1,75 @@
+(** Protection mechanisms.
+
+    A protection mechanism for [Q : D1 x ... x Dk -> E] is a function
+    [M : D1 x ... x Dk -> E u F]: on every input it either returns exactly
+    [Q]'s output or a violation notice drawn from a set [F] disjoint from [E].
+    The mechanism is the thing users actually run — the "gatekeeper" that
+    suppresses or replaces the protected program's output.
+
+    Because mechanisms are executable objects here, a reply also carries the
+    mechanism's own step count. The paper notes that a mechanism's running
+    time may legitimately differ from the protected program's; what matters
+    (for soundness under an observable clock) is that the mechanism's time
+    does not encode disallowed information. *)
+
+type response =
+  | Granted of Value.t  (** the protected program's own output, [Q(a)] *)
+  | Denied of string  (** a violation notice from [F]; the payload is the
+                          notice's identity — distinct notices are distinct
+                          elements of [F] *)
+  | Hung  (** the mechanism diverged (fuel exhausted) *)
+  | Failed of string  (** the mechanism faulted at runtime *)
+
+type reply = { response : response; steps : int }
+
+type t = {
+  name : string;
+  arity : int;
+  respond : Value.t array -> reply;
+}
+
+val make : name:string -> arity:int -> (Value.t array -> reply) -> t
+
+val of_program : Program.t -> t
+(** The program as its own protection mechanism — "no protection at all"
+    (Example 3). Sound only if the program itself ignores disallowed
+    inputs. *)
+
+val pull_the_plug : ?notice:string -> int -> t
+(** [pull_the_plug arity] always answers the same violation notice —
+    trivially sound for every policy, and useless (Example 3). *)
+
+val constant : arity:int -> Value.t -> t
+(** Always grants a fixed value. A mechanism for [Q] only if [Q] is that
+    constant. *)
+
+val respond : t -> Value.t array -> reply
+
+val observe : Program.view -> reply -> Program.Obs.t
+(** The user-visible observable of a reply. Violation notices are observable
+    values (strings tagged to stay disjoint from program outputs); under
+    [`Timed] the reply's step count is included for grants {e and} denials —
+    the time at which a violation notice appears is itself a channel. *)
+
+val join : t -> t -> t
+(** [join m1 m2] is the union mechanism [M1 v M2] of Theorem 1:
+    grants whenever either component grants, otherwise answers [m2]'s reply.
+    If both components are sound protection mechanisms for the same [Q] and
+    [I], the join is a sound mechanism at least as complete as each. *)
+
+val join_list : arity:int -> t list -> t
+(** Big union [M1 v M2 v ...]; with the empty list this is
+    {!pull_the_plug}. *)
+
+type counterexample = {
+  input : Value.t array;
+  got : response;
+  expected : Program.result;
+}
+
+val check_protects : t -> Program.t -> Space.t -> (unit, counterexample) Stdlib.result
+(** Exhaustively verify the defining condition of a protection mechanism:
+    for every input, [M(a) = Q(a)] or [M(a)] is a violation notice. (Replies
+    are compared by value, not time.) *)
+
+val rename : string -> t -> t

@@ -1,0 +1,28 @@
+type t =
+  | Allow of Iset.t
+  | Filter of { name : string; image : Value.t array -> Value.t }
+
+let allow l = Allow (Iset.of_list l)
+let allow_set j = Allow j
+let allow_none = Allow Iset.empty
+let allow_all ~arity = Allow (Iset.full arity)
+let filter ~name image = Filter { name; image }
+
+let name = function
+  | Allow j -> Format.asprintf "allow%a" Iset.pp j
+  | Filter { name; _ } -> name
+
+let image p a =
+  match p with
+  | Allow j -> Value.Tuple (List.map (fun i -> a.(i)) (Iset.to_list j))
+  | Filter { image; _ } -> image a
+
+let equiv p a b = Value.equal (image p a) (image p b)
+let allowed_indices = function Allow j -> Some j | Filter _ -> None
+
+let disallowed_indices p ~arity =
+  match p with
+  | Allow j -> Some (Iset.diff (Iset.full arity) j)
+  | Filter _ -> None
+
+let pp ppf p = Format.pp_print_string ppf (name p)

@@ -1,0 +1,52 @@
+(** Security policies.
+
+    A security policy for [Q : D1 x ... x Dk -> E] is a function
+    [I : D1 x ... x Dk -> U] into some new set [U]; its value [I(a)] has
+    "filtered out" everything the user must not learn. The family the paper
+    studies in detail is [allow(J)]: project the input vector onto the allowed
+    coordinates [J]. The general constructor {!filter} admits arbitrary
+    policies — including the content-dependent file-system policy of Example 2
+    and history-dependent policies.
+
+    The only thing enforcement definitions ever need from a policy is the
+    equivalence relation it induces on inputs ([a ~ b] iff [I(a) = I(b)]);
+    {!image} computes a canonical representative of [I(a)] for partitioning. *)
+
+type t =
+  | Allow of Iset.t
+      (** [allow(J)]: the user may learn exactly the inputs with index in
+          [J]. *)
+  | Filter of { name : string; image : Value.t array -> Value.t }
+      (** An arbitrary information filter [I]; [image] must be a pure
+          function. *)
+
+val allow : int list -> t
+(** [allow [i; j; ...]] is the policy [allow(i, j, ...)] (0-based). *)
+
+val allow_set : Iset.t -> t
+
+val allow_none : t
+(** [allow()] — the user may learn nothing. *)
+
+val allow_all : arity:int -> t
+(** [allow(0, ..., k-1)] — the user may learn everything. *)
+
+val filter : name:string -> (Value.t array -> Value.t) -> t
+
+val name : t -> string
+
+val image : t -> Value.t array -> Value.t
+(** [image i a] is the canonical value of [I(a)]. For [Allow J] it is the
+    tuple of the allowed coordinates in ascending index order. *)
+
+val equiv : t -> Value.t array -> Value.t array -> bool
+(** [equiv i a b] iff [I(a) = I(b)]: the policy cannot distinguish [a] from
+    [b], hence no sound mechanism may either. *)
+
+val allowed_indices : t -> Iset.t option
+(** [Some j] for [Allow j], [None] for a general filter. *)
+
+val disallowed_indices : t -> arity:int -> Iset.t option
+(** Complement of the allowed set within [0..arity-1], when defined. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(* I1 <= I2 iff the partition induced by I2 refines the partition induced
+   by I1: per I2-image, the I1-image is unique. *)
+let reveals_at_most p1 p2 space =
+  let seen : (Value.t, Value.t) Hashtbl.t = Hashtbl.create 256 in
+  Seq.for_all
+    (fun a ->
+      let key = Policy.image p2 a in
+      let img = Policy.image p1 a in
+      match Hashtbl.find_opt seen key with
+      | None ->
+          Hashtbl.add seen key img;
+          true
+      | Some img' -> Value.equal img img')
+    (Space.enumerate space)
+
+let equivalent p1 p2 space =
+  reveals_at_most p1 p2 space && reveals_at_most p2 p1 space
+
+let strictly_below p1 p2 space =
+  reveals_at_most p1 p2 space && not (reveals_at_most p2 p1 space)
+
+let agrees_with_inclusion ~arity j1 j2 space =
+  ignore arity;
+  reveals_at_most (Policy.allow_set j1) (Policy.allow_set j2) space
+  = Iset.subset j1 j2

@@ -1,0 +1,37 @@
+(** The refinement order on security policies.
+
+    Policies are information filters; one filter is more restrictive than
+    another when its output can be computed from the other's. Over a
+    finite space this is decidable by comparing the induced partitions:
+    [I1] {e reveals at most} [I2] iff whenever [I2] cannot distinguish two
+    inputs, neither can [I1] (every [I2]-class sits inside an [I1]-class).
+
+    For the paper's [allow(...)] family the order is just set inclusion of
+    the allowed index sets — {!agrees_with_inclusion} pins the semantic
+    and syntactic readings together — but the semantic definition also
+    orders content-dependent filters like Example 2's.
+
+    Two facts the test suite verifies on random programs (neither stated
+    in the paper, both immediate in its model):
+
+    - {e soundness is antitone}: a mechanism sound for a more restrictive
+      policy is sound for any laxer one;
+    - {e surveillance is monotone}: enlarging the allowed set never
+      shrinks any dynamic mechanism's grant set. *)
+
+val reveals_at_most : Policy.t -> Policy.t -> Space.t -> bool
+(** [reveals_at_most i1 i2 space]: [I1]'s image is a function of [I2]'s
+    over the space ([I1] is at least as restrictive as [I2]). *)
+
+val equivalent : Policy.t -> Policy.t -> Space.t -> bool
+(** Same induced partition: interchangeable for every enforcement
+    question. *)
+
+val strictly_below : Policy.t -> Policy.t -> Space.t -> bool
+(** Reveals at most, and on some pair strictly less. *)
+
+val agrees_with_inclusion : arity:int -> Iset.t -> Iset.t -> Space.t -> bool
+(** Sanity: [allow(J1) reveals_at_most allow(J2)] iff [J1 ⊆ J2], over the
+    given space (requires every input domain to have at least two values,
+    otherwise a coordinate carries no information and inclusion is
+    sufficient but not necessary). *)

@@ -1,0 +1,52 @@
+type result = Value of Value.t | Diverged | Fault of string
+type outcome = { result : result; steps : int }
+type t = { name : string; arity : int; run : Value.t array -> outcome }
+type view = [ `Value | `Timed ]
+
+let make ~name ~arity run = { name; arity; run }
+
+let of_fun ~name ~arity f =
+  make ~name ~arity (fun a -> { result = Value (f a); steps = 1 })
+
+let value v = Value v
+
+let check_arity q a =
+  if Array.length a <> q.arity then
+    invalid_arg
+      (Printf.sprintf "Program %s: expected %d inputs, got %d" q.name q.arity
+         (Array.length a))
+
+let run q a =
+  check_arity q a;
+  q.run a
+
+module Obs = struct
+  type t =
+    | Output of Value.t
+    | Timed_output of Value.t * int
+    | Hang
+    | Fail of string
+
+  let equal (a : t) (b : t) = a = b
+  let compare (a : t) (b : t) = Stdlib.compare a b
+
+  let pp ppf = function
+    | Output v -> Value.pp ppf v
+    | Timed_output (v, t) -> Format.fprintf ppf "%a@%d" Value.pp v t
+    | Hang -> Format.pp_print_string ppf "<hang>"
+    | Fail m -> Format.fprintf ppf "<fault:%s>" m
+
+  let to_string o = Format.asprintf "%a" pp o
+end
+
+let observe view o =
+  match (view, o.result) with
+  | `Value, Value v -> Obs.Output v
+  | `Timed, Value v -> Obs.Timed_output (v, o.steps)
+  | _, Diverged -> Obs.Hang
+  | _, Fault m -> Obs.Fail m
+
+let total_on q space =
+  Seq.for_all
+    (fun a -> match (run q a).result with Value _ -> true | Diverged | Fault _ -> false)
+    (Space.enumerate space)

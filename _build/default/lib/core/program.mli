@@ -1,0 +1,70 @@
+(** Programs as functions, with an explicit cost model.
+
+    Following the paper's basic model, a program is (extensionally) a function
+    [Q : D1 x ... x Dk -> E]. Two departures, both forced by executability:
+
+    - The paper assumes [Q] total. Concrete interpreters may diverge, so a run
+      produces an {!outcome} whose {!result} distinguishes a proper value from
+      divergence (fuel exhaustion) and from a runtime fault.
+    - The observability postulate says the output must encode {e everything}
+      the user can observe — in particular running time. Every run therefore
+      reports a step count; whether that count is part of the observable
+      output is chosen per-experiment via {!view}. *)
+
+type result =
+  | Value of Value.t  (** normal termination with an output value *)
+  | Diverged  (** fuel exhausted: treated as (observable) nontermination *)
+  | Fault of string  (** runtime error, e.g. division by zero *)
+
+type outcome = {
+  result : result;
+  steps : int;  (** number of elementary steps executed *)
+}
+
+type t = {
+  name : string;
+  arity : int;  (** number of inputs [k] *)
+  run : Value.t array -> outcome;
+}
+
+(** Which implicit outputs the user is assumed to observe. [`Timed] models
+    the paper's "the range of Q is Z x Z": the output is the pair of the
+    computed value and the number of steps executed. *)
+type view = [ `Value | `Timed ]
+
+val make : name:string -> arity:int -> (Value.t array -> outcome) -> t
+
+val of_fun : name:string -> arity:int -> (Value.t array -> Value.t) -> t
+(** Lift a pure total function; every run costs one step. *)
+
+val value : Value.t -> result
+
+val run : t -> Value.t array -> outcome
+
+(** The observable produced by one run under a given view. Comparing
+    observables is how soundness is decided: a mechanism is sound iff its
+    observable is constant on every policy-equivalence class. *)
+module Obs : sig
+  type t =
+    | Output of Value.t
+    | Timed_output of Value.t * int
+    | Hang  (** divergence; observable as "no answer" *)
+    | Fail of string
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+val observe : view -> outcome -> Obs.t
+(** [observe view o] is what a user watching the program sees. Under [`Timed]
+    the step count is part of the observation, including for divergence and
+    faults (a hung terminal and an error message are observable events). *)
+
+val total_on : t -> Space.t -> bool
+(** True iff the program terminates normally on every input of the space —
+    i.e. it really is the total function the paper requires. *)
+
+val check_arity : t -> Value.t array -> unit
+(** @raise Invalid_argument if the vector length differs from [arity]. *)

@@ -1,0 +1,81 @@
+type t = { domains : Value.t array array }
+
+let make domains =
+  Array.iteri
+    (fun i d ->
+      if Array.length d = 0 then
+        invalid_arg (Printf.sprintf "Space.make: empty domain for input %d" i))
+    domains;
+  { domains }
+
+let ints ~lo ~hi ~arity =
+  if hi < lo then invalid_arg "Space.ints: hi < lo";
+  let d = Array.init (hi - lo + 1) (fun j -> Value.Int (lo + j)) in
+  make (Array.init arity (fun _ -> d))
+
+let of_domains ds = make (Array.of_list (List.map Array.of_list ds))
+let heterogeneous ds = make (Array.map Array.of_list ds)
+let arity s = Array.length s.domains
+let domain s i = s.domains.(i)
+
+let size s =
+  Array.fold_left
+    (fun acc d ->
+      let n = acc * Array.length d in
+      if acc <> 0 && n / acc <> Array.length d then
+        invalid_arg "Space.size: overflow";
+      n)
+    1 s.domains
+
+let mem s a =
+  Array.length a = arity s
+  && Array.for_all2 (fun v d -> Array.exists (Value.equal v) d) a s.domains
+
+(* Lexicographic enumeration via an odometer over domain indices. The state
+   is copied on advance so the resulting sequence is persistent. *)
+let enumerate s =
+  let k = arity s in
+  let current idx = Array.init k (fun i -> s.domains.(i).(idx.(i))) in
+  let advance idx =
+    let idx = Array.copy idx in
+    let rec go i =
+      if i < 0 then None
+      else begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) >= Array.length s.domains.(i) then begin
+          idx.(i) <- 0;
+          go (i - 1)
+        end
+        else Some idx
+      end
+    in
+    go (k - 1)
+  in
+  let rec from idx () =
+    Seq.Cons
+      ( current idx,
+        fun () ->
+          match advance idx with None -> Seq.Nil | Some idx' -> from idx' () )
+  in
+  from (Array.make k 0)
+
+let sample rng s =
+  Array.map (fun d -> d.(Random.State.int rng (Array.length d))) s.domains
+
+let sample_seq rng s n =
+  Seq.init n (fun _ -> ()) |> Seq.map (fun () -> sample rng s)
+
+let restrict s i v =
+  if i < 0 || i >= arity s then invalid_arg "Space.restrict: bad index";
+  let domains = Array.copy s.domains in
+  domains.(i) <- [| v |];
+  { domains }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<h>";
+  Array.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf ppf " x ";
+      Format.fprintf ppf "D%d[%d]" i (Array.length d))
+    s.domains;
+  Format.fprintf ppf "@]"

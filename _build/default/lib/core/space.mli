@@ -1,0 +1,49 @@
+(** Finite input spaces [D1 x ... x Dk].
+
+    The paper's definitions of soundness, completeness and maximality
+    universally quantify over the whole input space. By working over finite,
+    explicitly enumerated domains those quantifiers become decidable, so the
+    paper's theorems can be checked exhaustively rather than assumed. A space
+    records one finite domain per input position. *)
+
+type t
+(** A finite cartesian product of per-input domains. *)
+
+val make : Value.t array array -> t
+(** [make domains] builds the space [domains.(0) x ... x domains.(k-1)].
+    Every domain must be non-empty.
+    @raise Invalid_argument on an empty domain. *)
+
+val ints : lo:int -> hi:int -> arity:int -> t
+(** [ints ~lo ~hi ~arity] is the space [{lo..hi}^arity] of integer vectors
+    (bounds inclusive). *)
+
+val of_domains : Value.t list list -> t
+
+val heterogeneous : Value.t list array -> t
+(** Like {!make} but from lists, for spaces whose coordinates differ. *)
+
+val arity : t -> int
+
+val domain : t -> int -> Value.t array
+(** [domain s i] is the domain of input [i]. *)
+
+val size : t -> int
+(** Number of input vectors; raises [Invalid_argument] on overflow. *)
+
+val mem : t -> Value.t array -> bool
+
+val enumerate : t -> Value.t array Seq.t
+(** All input vectors in lexicographic order. Each produced array is fresh
+    and owned by the consumer. *)
+
+val sample : Random.State.t -> t -> Value.t array
+(** One input vector uniformly at random. *)
+
+val sample_seq : Random.State.t -> t -> int -> Value.t array Seq.t
+(** [sample_seq rng s n] draws [n] independent uniform vectors. *)
+
+val restrict : t -> int -> Value.t -> t
+(** [restrict s i v] pins coordinate [i] to the single value [v]. *)
+
+val pp : Format.formatter -> t -> unit

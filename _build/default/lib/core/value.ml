@@ -1,0 +1,30 @@
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Tuple of t list
+
+let unit = Tuple []
+let int n = Int n
+let bool b = Bool b
+let str s = Str s
+let tuple l = Tuple l
+let pair a b = Tuple [ a; b ]
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (v : t) = Hashtbl.hash v
+
+let to_int = function
+  | Int n -> n
+  | Bool _ | Str _ | Tuple _ -> invalid_arg "Value.to_int: not an integer"
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Bool b -> Format.pp_print_bool ppf b
+  | Str s -> Format.fprintf ppf "%S" s
+  | Tuple l ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        l
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,41 @@
+(** First-order values.
+
+    The paper treats a program as a total function [Q : D1 x ... x Dk -> E]
+    over unspecified domains. We instantiate domains with a small universe of
+    first-order values: integers, booleans, strings, and tuples. Tuples let a
+    single output carry several components — in particular [(value, time)]
+    pairs when running time is declared observable, and the canonical image
+    [I(a)] of a policy applied to an input vector. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Tuple of t list
+
+val unit : t
+(** The empty tuple, used as the image of [allow()] ("no information"). *)
+
+val int : int -> t
+
+val bool : bool -> t
+
+val str : string -> t
+
+val tuple : t list -> t
+
+val pair : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** A total order (structural); used to key partitions of input spaces. *)
+
+val hash : t -> int
+
+val to_int : t -> int
+(** @raise Invalid_argument if the value is not an [Int]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

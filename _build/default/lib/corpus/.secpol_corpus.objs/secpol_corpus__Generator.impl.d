@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Format List QCheck Secpol_core Secpol_flowgraph

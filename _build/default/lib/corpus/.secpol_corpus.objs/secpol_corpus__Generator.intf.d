@@ -1,0 +1,1 @@
+lib/corpus/generator.mli: QCheck Secpol_core Secpol_flowgraph

@@ -1,0 +1,1 @@
+lib/corpus/paper_programs.ml: List Secpol_core Secpol_flowgraph

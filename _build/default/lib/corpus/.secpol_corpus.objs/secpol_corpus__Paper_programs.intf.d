@@ -1,0 +1,1 @@
+lib/corpus/paper_programs.mli: Secpol_core Secpol_flowgraph

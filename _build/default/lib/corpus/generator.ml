@@ -1,0 +1,162 @@
+module Space = Secpol_core.Space
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Ast = Secpol_flowgraph.Ast
+
+type params = { arity : int; max_reg : int; depth : int }
+
+let default = { arity = 2; max_reg = 1; depth = 3 }
+
+open QCheck.Gen
+
+let gen_var p =
+  oneof
+    [
+      map (fun i -> Var.Input i) (int_range 0 (p.arity - 1));
+      map (fun i -> Var.Reg i) (int_range 0 (max 0 p.max_reg));
+      return Var.Out;
+    ]
+
+(* Assignable targets: mostly registers and the output; occasionally an
+   input variable — the language permits it and the enforcement machinery
+   must cope. *)
+let gen_target p =
+  frequency
+    [
+      (4, map (fun i -> Var.Reg i) (int_range 0 (max 0 p.max_reg)));
+      (4, return Var.Out);
+      (1, map (fun i -> Var.Input i) (int_range 0 (p.arity - 1)));
+    ]
+
+(* NOTE: generators are eagerly-built values, so the expr/pred recursion
+   must bottom out during CONSTRUCTION — every recursive reference strictly
+   decreases [n]. *)
+let rec gen_expr p n =
+  if n <= 0 then
+    oneof [ map (fun k -> Expr.Const k) (int_range 0 3); map (fun v -> Expr.Var v) (gen_var p) ]
+  else
+    frequency
+      [
+        (4, gen_expr p 0);
+        (4, map2 (fun a b -> Expr.Add (a, b)) (gen_expr p (n - 1)) (gen_expr p (n - 1)));
+        (2, map2 (fun a b -> Expr.Sub (a, b)) (gen_expr p (n - 1)) (gen_expr p (n - 1)));
+        (2, map2 (fun a b -> Expr.Mul (a, b)) (gen_expr p (n - 1)) (gen_expr p (n - 1)));
+        (1, map2 (fun a b -> Expr.Bor (a, b)) (gen_expr p (n - 1)) (gen_expr p (n - 1)));
+        (1, map2 (fun a b -> Expr.Band (a, b)) (gen_expr p (n - 1)) (gen_expr p (n - 1)));
+        ( 1,
+          map3
+            (fun c a b -> Expr.Cond (c, a, b))
+            (gen_pred p (n - 1))
+            (gen_expr p (n - 1))
+            (gen_expr p (n - 1)) );
+      ]
+
+and gen_pred p n =
+  let cmp =
+    oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ]
+  in
+  map2
+    (fun (op, a) b -> Expr.Cmp (op, a, b))
+    (pair cmp (gen_expr p n))
+    (gen_expr p n)
+
+(* Counter registers for loops live above the general-purpose pool, one per
+   nesting level, so a loop body can never change its own counter. *)
+let counter_reg p level = Var.Reg (p.max_reg + 1 + level)
+
+let rec gen_stmt p n ~level =
+  if n <= 0 then
+    frequency
+      [
+        (1, return Ast.Skip);
+        (4, map2 (fun v e -> Ast.Assign (v, e)) (gen_target p) (gen_expr p 1));
+      ]
+  else
+    frequency
+      [
+        (3, map2 (fun v e -> Ast.Assign (v, e)) (gen_target p) (gen_expr p 2));
+        ( 3,
+          map2
+            (fun a b -> Ast.seq [ a; b ])
+            (gen_stmt p (n - 1) ~level)
+            (gen_stmt p (n - 1) ~level) );
+        ( 2,
+          map3
+            (fun c a b -> Ast.If (c, a, b))
+            (gen_pred p 1)
+            (gen_stmt p (n - 1) ~level)
+            (gen_stmt p (n - 1) ~level) );
+        ( 1,
+          let c = counter_reg p level in
+          (* Counters seed from a constant or a CLAMPED input — inputs may
+             have been reassigned arbitrary values by earlier statements,
+             and the termination guarantee rests on bounded trip counts. *)
+          let init =
+            oneof
+              [
+                map (fun k -> Expr.Const k) (int_range 0 3);
+                map
+                  (fun i -> Expr.Band (Expr.Var (Var.Input i), Expr.Const 3))
+                  (int_range 0 (p.arity - 1));
+              ]
+          in
+          map2
+            (fun e body ->
+              Ast.seq
+                [
+                  Ast.Assign (c, e);
+                  Ast.While
+                    ( Expr.Cmp (Expr.Gt, Expr.Var c, Expr.Const 0),
+                      Ast.seq
+                        [ body; Ast.Assign (c, Expr.Sub (Expr.Var c, Expr.Const 1)) ]
+                    );
+                ])
+            init
+            (gen_stmt p (n - 1) ~level:(level + 1)) );
+      ]
+
+let gen p =
+  map
+    (fun body -> Ast.prog ~name:"generated" ~arity:p.arity body)
+    (gen_stmt p p.depth ~level:0)
+
+(* Candidates strictly smaller than [s], most aggressive first. *)
+let rec shrink_stmt s yield =
+  match s with
+  | Ast.Skip -> ()
+  | Ast.Assign (_, Expr.Const _) -> yield Ast.Skip
+  | Ast.Assign (v, _) ->
+      yield Ast.Skip;
+      yield (Ast.Assign (v, Expr.Const 0))
+  | Ast.Seq l ->
+      yield Ast.Skip;
+      (* Drop one element. *)
+      List.iteri
+        (fun i _ -> yield (Ast.seq (List.filteri (fun j _ -> j <> i) l)))
+        l;
+      (* Shrink one element in place. *)
+      List.iteri
+        (fun i s_i ->
+          shrink_stmt s_i (fun s_i' ->
+              yield (Ast.seq (List.mapi (fun j s_j -> if j = i then s_i' else s_j) l))))
+        l
+  | Ast.If (p, a, b) ->
+      yield Ast.Skip;
+      yield a;
+      yield b;
+      shrink_stmt a (fun a' -> yield (Ast.If (p, a', b)));
+      shrink_stmt b (fun b' -> yield (Ast.If (p, a, b')))
+  | Ast.While (p, body) ->
+      yield Ast.Skip;
+      yield body;
+      shrink_stmt body (fun body' -> yield (Ast.While (p, body')))
+
+let shrink (prog : Ast.prog) yield =
+  shrink_stmt prog.Ast.body (fun body -> yield { prog with Ast.body })
+
+let arbitrary p =
+  QCheck.make
+    ~print:(fun prog -> Format.asprintf "%a" Ast.pp_prog prog)
+    ~shrink (gen p)
+
+let space_for p = Space.ints ~lo:0 ~hi:2 ~arity:p.arity

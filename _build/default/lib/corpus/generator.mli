@@ -1,0 +1,35 @@
+(** Random well-formed structured programs for property-based testing.
+
+    Every generated program terminates by construction: loops are counted
+    down on dedicated counter registers that the loop body cannot touch, and
+    counters start from an input or a small constant — so the exhaustive
+    checks the properties perform never hit the fuel bound in practice.
+
+    Generated programs use arithmetic without division, so they never
+    fault. *)
+
+module Ast = Secpol_flowgraph.Ast
+
+type params = {
+  arity : int;  (** number of inputs; at least 1 *)
+  max_reg : int;  (** general-purpose registers 0..max_reg *)
+  depth : int;  (** statement nesting budget *)
+}
+
+val default : params
+(** arity 2, two registers, depth 3. *)
+
+val gen : params -> Ast.prog QCheck.Gen.t
+
+val shrink : Ast.prog QCheck.Shrink.t
+(** Structural shrinking: replace subtrees with [Skip], drop sequence
+    elements, promote branch arms and loop bodies. Shrunk programs remain
+    well-formed (only removals), so failing properties minimize to small
+    readable witnesses. *)
+
+val arbitrary : params -> Ast.prog QCheck.arbitrary
+(** With a printer and {!shrink}, for readable counterexamples. *)
+
+val space_for : params -> Secpol_core.Space.t
+(** A small exhaustive input space ([{0..2}^arity]) matched to the
+    generator's constants. *)

@@ -1,0 +1,247 @@
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Policy = Secpol_core.Policy
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Ast = Secpol_flowgraph.Ast
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+open Expr.Build
+
+type entry = {
+  name : string;
+  prog : Ast.prog;
+  policy : Policy.t;
+  space : Space.t;
+  paper_ref : string;
+  claim : string;
+  note : string;
+}
+
+let graph e = Compile.compile e.prog
+let program ?fuel e = Interp.ast_program ?fuel e.prog
+
+let assign v e = Ast.Assign (v, e)
+let out = Var.Out
+let reg n = Var.Reg n
+
+let small_space arity = Space.ints ~lo:0 ~hi:3 ~arity
+
+let forgetting =
+  {
+    name = "forgetting";
+    prog =
+      Ast.prog ~name:"forgetting" ~arity:2
+        (Ast.seq
+           [ assign out (x 0); Ast.If (x 1 =: i 0, assign out (x 1), Ast.Skip) ]);
+    policy = Policy.allow [ 1 ];
+    space = small_space 2;
+    paper_ref = "Section 3, Ms vs Mh flowchart";
+    claim =
+      "high-water always denies; surveillance forgets y's old taint on \
+       reassignment and grants exactly when x1 = 0";
+    note = "";
+  }
+
+let constant_branch =
+  {
+    name = "constant-branch";
+    prog =
+      Ast.prog ~name:"constant-branch" ~arity:2
+        (Ast.If (x 0 =: i 1, assign out (i 1), assign out (i 1)));
+    policy = Policy.allow [ 1 ];
+    space = small_space 2;
+    paper_ref = "Section 4, non-maximality of surveillance";
+    claim =
+      "Q is the constant 1, so Mmax = Q grants everywhere; surveillance \
+       always denies because both arms assign under a disallowed test";
+    note = "";
+  }
+
+let ex7 =
+  {
+    name = "ex7";
+    prog =
+      Ast.prog ~name:"ex7" ~arity:2
+        (Ast.seq
+           [
+             Ast.If (x 0 =: i 1, assign (reg 0) (i 1), assign (reg 0) (i 2));
+             Ast.If (r 0 =: i 1, assign out (i 1), assign out (i 1));
+           ]);
+    policy = Policy.allow [ 1 ];
+    space = small_space 2;
+    paper_ref = "Example 7";
+    claim =
+      "surveillance on Q always denies; after the if-then-else transform \
+       (with simplification) the mechanism always outputs 1 and is maximal";
+    note = "figure reconstructed from the prose: the last if-then-else has \
+            functionally identical arms";
+  }
+
+let ex8 =
+  {
+    name = "ex8";
+    prog =
+      Ast.prog ~name:"ex8" ~arity:2
+        (Ast.If (x 1 =: i 1, assign out (i 1), assign out (x 0)));
+    policy = Policy.allow [ 1 ];
+    space = small_space 2;
+    paper_ref = "Example 8";
+    claim =
+      "surveillance on Q grants exactly when x1 = 1; the if-then-else \
+       transform merges both arms into one select and always denies — the \
+       transform is not always advisable";
+    note = "figure reconstructed from the prose (M outputs 1 provided the \
+            allowed input equals 1)";
+  }
+
+let ex9 =
+  {
+    name = "ex9";
+    prog =
+      Ast.prog ~name:"ex9" ~arity:2
+        (Ast.seq
+           [
+             Ast.If (x 0 =: i 0, assign (reg 0) (i 1), assign (reg 0) (x 1));
+             assign out (r 0);
+           ]);
+    policy = Policy.allow [ 0 ];
+    space = small_space 2;
+    paper_ref = "Example 9 (Section 5)";
+    claim =
+      "whole-program static certification rejects; the if-then-else \
+       transform always denies; duplicating the assignment to y into both \
+       arms and splitting halt boxes yields a compile-time mechanism that \
+       denies exactly when x0 <> 0";
+    note = "figure reconstructed: branch on the allowed input, one arm \
+            clean, the other reading the disallowed input";
+  }
+
+let timing_constant =
+  {
+    name = "timing-constant";
+    prog =
+      Ast.prog ~name:"timing-constant" ~arity:1
+        (Ast.seq
+           [
+             Ast.If
+               ( x 0 =: i 0,
+                 Ast.seq
+                   [
+                     assign (reg 0) (i 4);
+                     Ast.While (r 0 >: i 0, assign (reg 0) (r 0 -: i 1));
+                   ],
+                 Ast.Skip );
+             assign out (i 1);
+           ]);
+    policy = Policy.allow_none;
+    space = Space.ints ~lo:0 ~hi:3 ~arity:1;
+    paper_ref = "Section 2, observability postulate example";
+    claim =
+      "Q computes the constant 1, hence is sound as its own mechanism when \
+       only values are observable — and unsound the moment the step count \
+       is part of the output";
+    note = "";
+  }
+
+let loop_then_secretfree =
+  {
+    name = "loop-then-secretfree";
+    prog =
+      Ast.prog ~name:"loop-then-secretfree" ~arity:2
+        (Ast.seq
+           [
+             assign (reg 0) (x 0);
+             Ast.While (r 0 >: i 0, assign (reg 0) (r 0 -: i 1));
+             assign out (x 1);
+           ]);
+    policy = Policy.allow [ 1 ];
+    space = small_space 2;
+    paper_ref = "Section 4, while transform";
+    claim =
+      "surveillance's monotone program-counter taint contaminates the \
+       final allowed assignment, denying everywhere; the while transform \
+       (predicated unrolling) makes the mechanism grant everywhere";
+    note = "loop program chosen to exercise the while transform the paper \
+            sketches";
+  }
+
+let scoped_trap =
+  {
+    name = "scoped-trap";
+    prog =
+      Ast.prog ~name:"scoped-trap" ~arity:2
+        (Ast.If (x 1 =: i 0, assign out (x 0), Ast.Skip));
+    policy = Policy.allow [ 0 ];
+    space = small_space 2;
+    paper_ref = "Section 4 discussion / Example 1's negative inference";
+    claim =
+      "restoring the program-counter taint at the join (the scoped \
+       mechanism) grants the untaken-branch inputs and is unsound: whether \
+       y was overwritten reveals the disallowed test; plain surveillance's \
+       monotone counter taint denies everywhere and stays sound";
+    note = "standard counterexample to purely dynamic flow-sensitive \
+            monitoring";
+  }
+
+let direct_flow =
+  {
+    name = "direct-flow";
+    prog =
+      Ast.prog ~name:"direct-flow" ~arity:2 (assign out (x 0 +: x 1));
+    policy = Policy.allow [ 0 ];
+    space = small_space 2;
+    paper_ref = "Section 2 (allow policies)";
+    claim = "the output genuinely depends on the disallowed input; every \
+             sound mechanism must always deny";
+    note = "";
+  }
+
+let branch_allowed =
+  {
+    name = "branch-allowed";
+    prog =
+      Ast.prog ~name:"branch-allowed" ~arity:2
+        (Ast.If (x 0 =: i 0, assign out (i 1), assign out (i 2)));
+    policy = Policy.allow [ 0 ];
+    space = small_space 2;
+    paper_ref = "baseline";
+    claim = "only allowed inputs are consulted: every mechanism, dynamic or \
+             static, grants everywhere";
+    note = "";
+  }
+
+(* Theorem 4: y := A(x0) with nothing allowed. The arbitrary total function
+   A is embedded pointwise over the entry's finite domain as a chain of
+   branchless selects. *)
+let thm4_family f ~name =
+  let lo = 0 and hi = 7 in
+  let rec chain v = if v > hi then i (f hi) else cond (x 0 =: i v) (i (f v)) (chain (v + 1)) in
+  {
+    name;
+    prog = Ast.prog ~name ~arity:1 (assign out (chain lo));
+    policy = Policy.allow_none;
+    space = Space.ints ~lo ~hi ~arity:1;
+    paper_ref = "Theorem 4";
+    claim =
+      "the maximal mechanism grants iff A is constant on the domain; \
+       surveillance always denies; no effective uniform procedure can \
+       decide which case holds for arbitrary A";
+    note = "A embedded pointwise over the finite domain";
+  }
+
+let all =
+  [
+    forgetting;
+    constant_branch;
+    ex7;
+    ex8;
+    ex9;
+    timing_constant;
+    loop_then_secretfree;
+    scoped_trap;
+    direct_flow;
+    branch_allowed;
+  ]
+
+let find name = List.find (fun e -> e.name = name) all

@@ -1,0 +1,87 @@
+(** The programs that appear in the paper, reconstructed.
+
+    Each entry packages a structured program with the policy and the finite
+    input space under which the paper discusses it, plus the claim the
+    experiments check against. Figures in the source text of the paper are
+    partially garbled; where a flowchart had to be reconstructed from the
+    surrounding prose the [note] says so and EXPERIMENTS.md discusses the
+    reconstruction. Input numbering is 0-based here (the paper's [x1] is
+    [x0]).
+
+    Domains default to small integer ranges: every quantifier the paper
+    states ("for all inputs ...") is then checked exhaustively. *)
+
+module Ast = Secpol_flowgraph.Ast
+
+type entry = {
+  name : string;
+  prog : Ast.prog;
+  policy : Secpol_core.Policy.t;
+  space : Secpol_core.Space.t;
+  paper_ref : string;  (** where in the paper the program appears *)
+  claim : string;  (** what the paper asserts about it *)
+  note : string;  (** reconstruction caveats, if any *)
+}
+
+val graph : entry -> Secpol_flowgraph.Graph.t
+
+val program : ?fuel:int -> entry -> Secpol_core.Program.t
+
+val forgetting : entry
+(** Section 3's comparison of surveillance and high-water mark:
+    [y := x0; if x1 = 0 then y := x1]. Surveillance grants when x1 = 0;
+    high-water never grants. *)
+
+val constant_branch : entry
+(** Section 4's non-maximality witness: both branches of a test on the
+    disallowed input assign the same constant, so Q is constant and
+    [Mmax = Q], yet surveillance always denies. *)
+
+val ex7 : entry
+(** Example 7: the if-then-else transform (with simplification) turns the
+    always-denying surveillance mechanism into a maximal one. *)
+
+val ex8 : entry
+(** Example 8: the same transform is harmful — surveillance on the original
+    grants when x1 = 1, on the transformed program never. *)
+
+val ex9 : entry
+(** Example 9 (Section 5): whole-program static certification rejects;
+    duplicating the post-branch assignment into both arms and splitting
+    halt boxes lets the per-halt static mechanism serve the clean path,
+    denying only when x0 <> 0. *)
+
+val timing_constant : entry
+(** Section 2's observability example: output identically 1, but a loop on
+    the secret makes running time reveal whether x0 = 0. Sound untimed,
+    unsound timed. *)
+
+val loop_then_secretfree : entry
+(** A loop governed by the disallowed input followed by an allowed
+    assignment: surveillance's monotone [C̄] ruins it; the while transform
+    (predicated unrolling) rescues it. *)
+
+val scoped_trap : entry
+(** [if x1 = 0 then y := x0] under [allow(0)]: the scoped mechanism grants
+    everywhere and is unsound; plain surveillance denies everywhere. *)
+
+val direct_flow : entry
+(** [y := x0 + x1] under [allow(0)]: nothing can serve this but denial. *)
+
+val branch_allowed : entry
+(** Branching on an {e allowed} input only: every mechanism should grant
+    everywhere. *)
+
+val thm4_family : (int -> int) -> name:string -> entry
+(** Theorem 4's construction: [y := A(x0)] under [allow()]. The maximal
+    mechanism is the constant 0 iff [A] vanishes everywhere — deciding
+    which is as hard as deciding [∀x. A(x) = 0]. The function is supplied
+    as an OCaml function and embedded pointwise over the entry's finite
+    domain (the theorem is about the impossibility of doing this uniformly
+    and effectively for {e all} [A]). *)
+
+val all : entry list
+(** Every fixed entry above, in presentation order. *)
+
+val find : string -> entry
+(** @raise Not_found on an unknown name. *)

@@ -1,0 +1,1 @@
+lib/filesys/filesys.ml: Array List Printf Secpol_core

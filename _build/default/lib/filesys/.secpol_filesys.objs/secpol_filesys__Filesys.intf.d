@@ -1,0 +1,1 @@
+lib/filesys/filesys.mli: Secpol_core

@@ -1,0 +1,58 @@
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+module Mechanism = Secpol_core.Mechanism
+
+let arity ~k = 2 * k
+
+let violation_notice = "Illegal access attempted, run aborted"
+
+let check_slot ~k slot =
+  if slot < 0 || slot >= k then invalid_arg "Filesys: slot out of range"
+
+let space ~k ~file_values =
+  let dirs = List.init k (fun _ -> [ Value.Bool true; Value.Bool false ]) in
+  let files = List.init k (fun _ -> List.map Value.int file_values) in
+  Space.of_domains (dirs @ files)
+
+let permitted a i =
+  match a.(i) with
+  | Value.Bool b -> b
+  | _ -> invalid_arg "Filesys: directory input is not a boolean"
+
+(* fi' = fi if di = YES, else a sentinel outside the file domain (the paper
+   writes 0; a sentinel keeps "filtered" distinct from a file containing 0). *)
+let policy ~k =
+  Policy.filter ~name:(Printf.sprintf "file-system(k=%d)" k) (fun a ->
+      let dirs = Array.to_list (Array.sub a 0 k) in
+      let files =
+        List.init k (fun i ->
+            if permitted a i then a.(k + i) else Value.str "#denied")
+      in
+      Value.tuple (dirs @ files))
+
+let read_file ~k ~slot =
+  check_slot ~k slot;
+  Program.of_fun
+    ~name:(Printf.sprintf "read-file-%d" slot)
+    ~arity:(arity ~k)
+    (fun a -> a.(k + slot))
+
+let read_sum_permitted ~k =
+  Program.of_fun ~name:"read-sum-permitted" ~arity:(arity ~k) (fun a ->
+      let sum = ref 0 in
+      for i = 0 to k - 1 do
+        if permitted a i then sum := !sum + Value.to_int a.(k + i)
+      done;
+      Value.int !sum)
+
+let monitor ~k ~slot =
+  check_slot ~k slot;
+  Mechanism.make
+    ~name:(Printf.sprintf "monitor-file-%d" slot)
+    ~arity:(arity ~k)
+    (fun a ->
+      if permitted a slot then
+        { Mechanism.response = Mechanism.Granted a.(k + slot); steps = 1 }
+      else { Mechanism.response = Mechanism.Denied violation_notice; steps = 1 })

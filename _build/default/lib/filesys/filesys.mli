@@ -1,0 +1,42 @@
+(** Example 2: a simple file system with a content-dependent policy.
+
+    The program shape is [Q : D1 x ... x Dk x F1 x ... x Fk -> E] — [k]
+    directories (each saying whether its file may be read) followed by [k]
+    files. Input [i] is directory [i]; input [k + i] is file [i].
+
+    The policy is the paper's content-dependent one:
+
+    [I(d1..dk, f1..fk) = (d1..dk, f1'..fk')] with [fi' = fi] if
+    [di = YES] and a fixed sentinel otherwise.
+
+    It is {e not} of the [allow(...)] form — what the user may learn about
+    input [k + i] depends on the {e value} of input [i]. Directories
+    themselves are always visible. *)
+
+val arity : k:int -> int
+(** [2 * k]. *)
+
+val space : k:int -> file_values:int list -> Secpol_core.Space.t
+(** Directories range over {YES, NO} (booleans); files over the given
+    contents. *)
+
+val policy : k:int -> Secpol_core.Policy.t
+(** The content-dependent filter above. *)
+
+val read_file : k:int -> slot:int -> Secpol_core.Program.t
+(** [Q = f_slot]: return the file's content, {e ignoring} the directory —
+    unsound as its own mechanism as soon as the slot's directory can say
+    NO. *)
+
+val read_sum_permitted : k:int -> Secpol_core.Program.t
+(** Sum of the contents of exactly the permitted files. Checks permissions
+    itself, so as its own mechanism it is sound — a program can be its own
+    (nontrivial) protection mechanism. *)
+
+val monitor : k:int -> slot:int -> Secpol_core.Mechanism.t
+(** The reference monitor for {!read_file}: grants the file's content when
+    the directory says YES and otherwise answers the paper's violation
+    notice "Illegal access attempted, run aborted". Sound: its decision
+    depends only on the directory, which the policy always reveals. *)
+
+val violation_notice : string

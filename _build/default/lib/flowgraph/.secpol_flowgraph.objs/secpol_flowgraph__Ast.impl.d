@@ -1,0 +1,1 @@
+lib/flowgraph/ast.ml: Expr Format List Printf Var

@@ -1,0 +1,1 @@
+lib/flowgraph/ast.mli: Expr Format Var

@@ -1,0 +1,1 @@
+lib/flowgraph/compile.ml: Array Ast Graph List

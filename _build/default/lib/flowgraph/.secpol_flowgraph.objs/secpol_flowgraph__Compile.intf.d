@@ -1,0 +1,1 @@
+lib/flowgraph/compile.mli: Ast Graph

@@ -1,0 +1,1 @@
+lib/flowgraph/expr.ml: Format Var

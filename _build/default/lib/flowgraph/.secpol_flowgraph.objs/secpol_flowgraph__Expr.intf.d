@@ -1,0 +1,1 @@
+lib/flowgraph/expr.mli: Format Var

@@ -1,0 +1,1 @@
+lib/flowgraph/graph.ml: Array Expr Format List Printf Var

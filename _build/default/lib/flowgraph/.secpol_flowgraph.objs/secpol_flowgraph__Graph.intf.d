@@ -1,0 +1,1 @@
+lib/flowgraph/graph.mli: Expr Format Var

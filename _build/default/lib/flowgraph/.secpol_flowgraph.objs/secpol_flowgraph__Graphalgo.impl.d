@@ -1,0 +1,1 @@
+lib/flowgraph/graphalgo.ml: Array Format Fun Graph Int List Set

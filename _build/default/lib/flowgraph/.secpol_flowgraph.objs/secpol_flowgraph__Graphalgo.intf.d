@@ -1,0 +1,1 @@
+lib/flowgraph/graphalgo.mli: Format Graph Set

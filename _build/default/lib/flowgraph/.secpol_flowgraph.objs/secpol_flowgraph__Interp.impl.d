@@ -1,0 +1,1 @@
+lib/flowgraph/interp.ml: Array Ast Expr Graph List Printf Secpol_core Store String

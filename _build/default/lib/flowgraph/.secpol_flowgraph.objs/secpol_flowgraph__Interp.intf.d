@@ -1,0 +1,1 @@
+lib/flowgraph/interp.mli: Ast Expr Graph Secpol_core

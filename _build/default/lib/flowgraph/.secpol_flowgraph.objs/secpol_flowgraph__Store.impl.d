@@ -1,0 +1,1 @@
+lib/flowgraph/store.ml: Array Secpol_core Var

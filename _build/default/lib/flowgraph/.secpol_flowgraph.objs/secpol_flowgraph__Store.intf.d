@@ -1,0 +1,1 @@
+lib/flowgraph/store.mli: Secpol_core Var

@@ -1,0 +1,1 @@
+lib/flowgraph/var.mli: Format Stdlib

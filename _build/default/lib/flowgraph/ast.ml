@@ -1,0 +1,103 @@
+type t =
+  | Skip
+  | Assign of Var.t * Expr.t
+  | Seq of t list
+  | If of Expr.pred * t * t
+  | While of Expr.pred * t
+
+type prog = { name : string; arity : int; body : t }
+
+let rec assigned_vars = function
+  | Skip -> Var.Set.empty
+  | Assign (v, _) -> Var.Set.singleton v
+  | Seq l -> List.fold_left (fun s st -> Var.Set.union s (assigned_vars st)) Var.Set.empty l
+  | If (_, a, b) -> Var.Set.union (assigned_vars a) (assigned_vars b)
+  | While (_, body) -> assigned_vars body
+
+let rec read_vars = function
+  | Skip -> Var.Set.empty
+  | Assign (_, e) -> Expr.vars e
+  | Seq l -> List.fold_left (fun s st -> Var.Set.union s (read_vars st)) Var.Set.empty l
+  | If (p, a, b) ->
+      Var.Set.union (Expr.pred_vars p) (Var.Set.union (read_vars a) (read_vars b))
+  | While (p, body) -> Var.Set.union (Expr.pred_vars p) (read_vars body)
+
+let validate p =
+  let vs = Var.Set.union (assigned_vars p.body) (read_vars p.body) in
+  let out_of_range = function
+    | Var.Input i -> i >= p.arity || i < 0
+    | Var.Reg _ | Var.Out -> false
+  in
+  let bad = List.find_opt out_of_range (Var.Set.elements vs) in
+  match bad with
+  | Some v ->
+      Error
+        (Printf.sprintf "program %s (arity %d) uses out-of-range input %s"
+           p.name p.arity (Var.to_string v))
+  | None -> Ok ()
+
+let prog ~name ~arity body =
+  let p = { name; arity; body } in
+  match validate p with Ok () -> p | Error m -> invalid_arg ("Ast.prog: " ^ m)
+
+let max_reg p =
+  Var.Set.fold
+    (fun v acc -> match v with Var.Reg i -> max i acc | Var.Input _ | Var.Out -> acc)
+    (Var.Set.union (assigned_vars p.body) (read_vars p.body))
+    (-1)
+
+let seq l =
+  let rec flatten = function
+    | [] -> []
+    | Skip :: rest -> flatten rest
+    | Seq inner :: rest -> flatten (inner @ rest)
+    | st :: rest -> st :: flatten rest
+  in
+  match flatten l with [] -> Skip | [ st ] -> st | sts -> Seq sts
+
+let rec map_exprs ~expr ~pred = function
+  | Skip -> Skip
+  | Assign (v, e) -> Assign (v, expr e)
+  | Seq l -> Seq (List.map (map_exprs ~expr ~pred) l)
+  | If (p, a, b) -> If (pred p, map_exprs ~expr ~pred a, map_exprs ~expr ~pred b)
+  | While (p, body) -> While (pred p, map_exprs ~expr ~pred body)
+
+let simplify_exprs p =
+  {
+    p with
+    body = map_exprs ~expr:Expr.simplify ~pred:Expr.simplify_pred p.body;
+  }
+
+let rec size = function
+  | Skip -> 1
+  | Assign _ -> 1
+  | Seq l -> List.fold_left (fun n st -> n + size st) 1 l
+  | If (_, a, b) -> 1 + size a + size b
+  | While (_, body) -> 1 + size body
+
+let rec loop_free = function
+  | Skip | Assign _ -> true
+  | Seq l -> List.for_all loop_free l
+  | If (_, a, b) -> loop_free a && loop_free b
+  | While _ -> false
+
+let rec pp ppf = function
+  | Skip -> Format.pp_print_string ppf "skip"
+  | Assign (v, e) -> Format.fprintf ppf "@[<h>%a := %a@]" Var.pp v Expr.pp e
+  | Seq l ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+        l
+  | If (p, a, Skip) ->
+      Format.fprintf ppf "@[<v 2>if %a then@ %a@]@,end" Expr.pp_pred p pp a
+  | If (p, a, b) ->
+      Format.fprintf ppf "@[<v>@[<v 2>if %a then@ %a@]@,@[<v 2>else@ %a@]@,end@]"
+        Expr.pp_pred p pp a pp b
+  | While (p, body) ->
+      Format.fprintf ppf "@[<v 2>while %a do@ %a@]@,done" Expr.pp_pred p pp body
+
+let pp_prog ppf p =
+  Format.fprintf ppf "@[<v 2>program %s(x0..x%d):@ %a@]" p.name (p.arity - 1) pp
+    p.body
+
+let to_string st = Format.asprintf "%a" pp st

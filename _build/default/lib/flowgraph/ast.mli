@@ -1,0 +1,60 @@
+(** Structured programs (a While-language).
+
+    The paper works directly on flowcharts, but its Section 4 transforms
+    "recognize higher-level language constructs" — if-then-else, while, and
+    general single-entry single-exit structures. A structured AST makes
+    those constructs syntactically apparent, so the transforms and the
+    static certification of Section 5 are defined here, and {!Compile} maps
+    the AST onto the paper's flowchart graphs for the dynamic mechanisms. *)
+
+type t =
+  | Skip
+  | Assign of Var.t * Expr.t
+  | Seq of t list
+  | If of Expr.pred * t * t
+  | While of Expr.pred * t
+
+type prog = {
+  name : string;
+  arity : int;  (** number of input variables *)
+  body : t;
+}
+
+val prog : name:string -> arity:int -> t -> prog
+(** Builds and {!validate}s a program.
+    @raise Invalid_argument if validation fails. *)
+
+val validate : prog -> (unit, string) result
+(** Checks that every input variable mentioned has index < arity. *)
+
+val assigned_vars : t -> Var.Set.t
+(** Variables appearing on the left of an assignment. *)
+
+val read_vars : t -> Var.Set.t
+(** Variables read in expressions or predicates anywhere in the statement. *)
+
+val max_reg : prog -> int
+(** Largest register index used, or [-1] if none. *)
+
+val seq : t list -> t
+(** Smart sequence: flattens nested [Seq]s and drops [Skip]s. *)
+
+val map_exprs :
+  expr:(Expr.t -> Expr.t) -> pred:(Expr.pred -> Expr.pred) -> t -> t
+(** Rewrite every expression and predicate in place (statement structure
+    unchanged). Used e.g. to pre-simplify a program before static
+    certification. *)
+
+val simplify_exprs : prog -> prog
+(** {!map_exprs} with {!Expr.simplify} — algebraically identical, often
+    syntactically smaller; dead operands like [x * 0] disappear, which
+    static analyses reward. *)
+
+val size : t -> int
+(** Number of statement nodes, for reporting on generated corpora. *)
+
+val loop_free : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_prog : Format.formatter -> prog -> unit
+val to_string : t -> string

@@ -1,0 +1,41 @@
+(* Nodes are accumulated in a growable buffer; While needs its decision box
+   allocated before its body (for the back edge), so the buffer supports
+   patching. *)
+
+type buffer = { mutable nodes : Graph.node array; mutable len : int }
+
+let create () = { nodes = Array.make 16 Graph.Halt; len = 0 }
+
+let push buf node =
+  if buf.len = Array.length buf.nodes then begin
+    let bigger = Array.make (2 * buf.len) Graph.Halt in
+    Array.blit buf.nodes 0 bigger 0 buf.len;
+    buf.nodes <- bigger
+  end;
+  buf.nodes.(buf.len) <- node;
+  buf.len <- buf.len + 1;
+  buf.len - 1
+
+let patch buf i node = buf.nodes.(i) <- node
+
+let rec stmt buf ~next = function
+  | Ast.Skip -> next
+  | Ast.Assign (v, e) -> push buf (Graph.Assign (v, e, next))
+  | Ast.Seq l -> List.fold_right (fun st k -> stmt buf ~next:k st) l next
+  | Ast.If (p, a, b) ->
+      let ia = stmt buf ~next a in
+      let ib = stmt buf ~next b in
+      push buf (Graph.Decision (p, ia, ib))
+  | Ast.While (p, body) ->
+      let d = push buf Graph.Halt (* placeholder *) in
+      let ibody = stmt buf ~next:d body in
+      patch buf d (Graph.Decision (p, ibody, next));
+      d
+
+let compile (p : Ast.prog) =
+  let buf = create () in
+  let halt = push buf Graph.Halt in
+  let body = stmt buf ~next:halt p.Ast.body in
+  let entry = push buf (Graph.Start body) in
+  Graph.make ~name:p.Ast.name ~arity:p.Ast.arity ~entry
+    (Array.sub buf.nodes 0 buf.len)

@@ -1,0 +1,10 @@
+(** Compiling structured programs to flowcharts.
+
+    The translation is the obvious structural one and introduces no extra
+    boxes: each [Assign] becomes one assignment box, each [If]/[While] test
+    one decision box, [Skip] and [Seq] vanish. Consequently a structured
+    program and its flowchart execute the same number of step-consuming
+    boxes on every input — the interpreters' (value, steps) observations
+    agree exactly, which the test suite checks by property. *)
+
+val compile : Ast.prog -> Graph.t

@@ -1,0 +1,335 @@
+exception Runtime_fault of string
+
+type t =
+  | Const of int
+  | Var of Var.t
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Bor of t * t
+  | Band of t * t
+  | Bnot of t
+  | Cond of pred * t * t
+
+and pred =
+  | True
+  | False
+  | Cmp of cmp * t * t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let rec eval env = function
+  | Const n -> n
+  | Var v -> env v
+  | Neg e -> -eval env e
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) ->
+      let d = eval env b in
+      if d = 0 then raise (Runtime_fault "division by zero") else eval env a / d
+  | Mod (a, b) ->
+      let d = eval env b in
+      if d = 0 then raise (Runtime_fault "modulus by zero") else eval env a mod d
+  | Bor (a, b) -> eval env a lor eval env b
+  | Band (a, b) -> eval env a land eval env b
+  | Bnot a -> lnot (eval env a)
+  | Cond (p, a, b) ->
+      (* Branchless: predicate and both arms are always evaluated. *)
+      let c = eval_pred env p in
+      let va = eval env a in
+      let vb = eval env b in
+      if c then va else vb
+
+and eval_pred env = function
+  | True -> true
+  | False -> false
+  | Cmp (op, a, b) -> (
+      let va = eval env a and vb = eval env b in
+      match op with
+      | Eq -> va = vb
+      | Ne -> va <> vb
+      | Lt -> va < vb
+      | Le -> va <= vb
+      | Gt -> va > vb
+      | Ge -> va >= vb)
+  | And (p, q) ->
+      (* No short-circuit: predicate cost must not depend on data. *)
+      let a = eval_pred env p and b = eval_pred env q in
+      a && b
+  | Or (p, q) ->
+      let a = eval_pred env p and b = eval_pred env q in
+      a || b
+  | Not p -> not (eval_pred env p)
+
+type cost_model = Uniform | Operand_sized
+
+let bit_width n =
+  let n = abs n in
+  let rec go acc n = if n = 0 then max acc 1 else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(* Same semantics as [eval]/[eval_pred], additionally accounting for the
+   operand-dependent cost of the "long" arithmetic operations. *)
+let rec eval_cost model env e =
+  match e with
+  | Const n -> (n, 0)
+  | Var v -> (env v, 0)
+  | Neg a ->
+      let va, ca = eval_cost model env a in
+      (-va, ca)
+  | Add (a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      (va + vb, ca + cb)
+  | Sub (a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      (va - vb, ca + cb)
+  | Mul (a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      (va * vb, ca + cb + long_op_cost model va vb)
+  | Div (a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      if vb = 0 then raise (Runtime_fault "division by zero")
+      else (va / vb, ca + cb + long_op_cost model va vb)
+  | Mod (a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      if vb = 0 then raise (Runtime_fault "modulus by zero")
+      else (va mod vb, ca + cb + long_op_cost model va vb)
+  | Bor (a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      (va lor vb, ca + cb)
+  | Band (a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      (va land vb, ca + cb)
+  | Bnot a ->
+      let va, ca = eval_cost model env a in
+      (lnot va, ca)
+  | Cond (p, a, b) ->
+      let c, cp = eval_pred_cost model env p in
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      ((if c then va else vb), cp + ca + cb)
+
+and eval_pred_cost model env p =
+  match p with
+  | True -> (true, 0)
+  | False -> (false, 0)
+  | Cmp (op, a, b) ->
+      let va, ca = eval_cost model env a in
+      let vb, cb = eval_cost model env b in
+      let holds =
+        match op with
+        | Eq -> va = vb
+        | Ne -> va <> vb
+        | Lt -> va < vb
+        | Le -> va <= vb
+        | Gt -> va > vb
+        | Ge -> va >= vb
+      in
+      (holds, ca + cb)
+  | And (p, q) ->
+      let a, ca = eval_pred_cost model env p in
+      let b, cb = eval_pred_cost model env q in
+      (a && b, ca + cb)
+  | Or (p, q) ->
+      let a, ca = eval_pred_cost model env p in
+      let b, cb = eval_pred_cost model env q in
+      (a || b, ca + cb)
+  | Not p ->
+      let a, ca = eval_pred_cost model env p in
+      (not a, ca)
+
+and long_op_cost model va vb =
+  match model with
+  | Uniform -> 0
+  | Operand_sized -> bit_width va + bit_width vb
+
+let rec vars = function
+  | Const _ -> Var.Set.empty
+  | Var v -> Var.Set.singleton v
+  | Neg e | Bnot e -> vars e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Bor (a, b) | Band (a, b) ->
+      Var.Set.union (vars a) (vars b)
+  | Cond (p, a, b) ->
+      Var.Set.union (pred_vars p) (Var.Set.union (vars a) (vars b))
+
+and pred_vars = function
+  | True | False -> Var.Set.empty
+  | Cmp (_, a, b) -> Var.Set.union (vars a) (vars b)
+  | And (p, q) | Or (p, q) -> Var.Set.union (pred_vars p) (pred_vars q)
+  | Not p -> pred_vars p
+
+let rec subst sigma = function
+  | Const n -> Const n
+  | Var v -> ( match Var.Map.find_opt v sigma with Some e -> e | None -> Var v)
+  | Neg e -> Neg (subst sigma e)
+  | Add (a, b) -> Add (subst sigma a, subst sigma b)
+  | Sub (a, b) -> Sub (subst sigma a, subst sigma b)
+  | Mul (a, b) -> Mul (subst sigma a, subst sigma b)
+  | Div (a, b) -> Div (subst sigma a, subst sigma b)
+  | Mod (a, b) -> Mod (subst sigma a, subst sigma b)
+  | Bor (a, b) -> Bor (subst sigma a, subst sigma b)
+  | Band (a, b) -> Band (subst sigma a, subst sigma b)
+  | Bnot a -> Bnot (subst sigma a)
+  | Cond (p, a, b) -> Cond (subst_pred sigma p, subst sigma a, subst sigma b)
+
+and subst_pred sigma = function
+  | True -> True
+  | False -> False
+  | Cmp (op, a, b) -> Cmp (op, subst sigma a, subst sigma b)
+  | And (p, q) -> And (subst_pred sigma p, subst_pred sigma q)
+  | Or (p, q) -> Or (subst_pred sigma p, subst_pred sigma q)
+  | Not p -> Not (subst_pred sigma p)
+
+let equal (a : t) (b : t) = a = b
+let equal_pred (a : pred) (b : pred) = a = b
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Neg a -> ( match simplify a with Const n -> Const (-n) | a -> Neg a)
+  | Add (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x + y)
+      | Const 0, e | e, Const 0 -> e
+      | a, b -> Add (a, b))
+  | Sub (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x - y)
+      | e, Const 0 -> e
+      | a, b -> Sub (a, b))
+  | Mul (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x * y)
+      | Const 0, _ | _, Const 0 -> Const 0
+      | Const 1, e | e, Const 1 -> e
+      | a, b -> Mul (a, b))
+  | Div (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y when y <> 0 -> Const (x / y)
+      | a, b -> Div (a, b))
+  | Mod (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y when y <> 0 -> Const (x mod y)
+      | a, b -> Mod (a, b))
+  | Bor (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x lor y)
+      | Const 0, e | e, Const 0 -> e
+      | a, b -> Bor (a, b))
+  | Band (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (x land y)
+      | Const 0, _ | _, Const 0 -> Const 0
+      | a, b -> Band (a, b))
+  | Bnot a -> ( match simplify a with Const n -> Const (lnot n) | a -> Bnot a)
+  | Cond (p, a, b) -> (
+      let p = simplify_pred p and a = simplify a and b = simplify b in
+      match p with
+      | True -> a
+      | False -> b
+      | _ -> if equal a b then a else Cond (p, a, b))
+
+and simplify_pred p =
+  match p with
+  | True | False -> p
+  | Cmp (op, a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y ->
+          let holds =
+            match op with
+            | Eq -> x = y
+            | Ne -> x <> y
+            | Lt -> x < y
+            | Le -> x <= y
+            | Gt -> x > y
+            | Ge -> x >= y
+          in
+          if holds then True else False
+      | a, b -> Cmp (op, a, b))
+  | And (p, q) -> (
+      match (simplify_pred p, simplify_pred q) with
+      | True, r | r, True -> r
+      | False, _ | _, False -> False
+      | p, q -> And (p, q))
+  | Or (p, q) -> (
+      match (simplify_pred p, simplify_pred q) with
+      | False, r | r, False -> r
+      | True, _ | _, True -> True
+      | p, q -> Or (p, q))
+  | Not p -> (
+      match simplify_pred p with
+      | True -> False
+      | False -> True
+      | p -> Not p)
+
+let rec pp ppf = function
+  | Const n -> Format.pp_print_int ppf n
+  | Var v -> Var.pp ppf v
+  | Neg e -> Format.fprintf ppf "-(%a)" pp e
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Mod (a, b) -> Format.fprintf ppf "(%a %% %a)" pp a pp b
+  | Bor (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+  | Band (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+  | Bnot a -> Format.fprintf ppf "~(%a)" pp a
+  | Cond (p, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp_pred p pp a pp b
+
+and pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (op, a, b) ->
+      let s =
+        match op with
+        | Eq -> "="
+        | Ne -> "<>"
+        | Lt -> "<"
+        | Le -> "<="
+        | Gt -> ">"
+        | Ge -> ">="
+      in
+      Format.fprintf ppf "%a %s %a" pp a s pp b
+  | And (p, q) -> Format.fprintf ppf "(%a and %a)" pp_pred p pp_pred q
+  | Or (p, q) -> Format.fprintf ppf "(%a or %a)" pp_pred p pp_pred q
+  | Not p -> Format.fprintf ppf "not (%a)" pp_pred p
+
+let to_string e = Format.asprintf "%a" pp e
+let pred_to_string p = Format.asprintf "%a" pp_pred p
+
+module Build = struct
+  let i n = Const n
+  let x n = Var (Var.Input n)
+  let r n = Var (Var.Reg n)
+  let y = Var Var.Out
+  let ( +: ) a b = Add (a, b)
+  let ( -: ) a b = Sub (a, b)
+  let ( *: ) a b = Mul (a, b)
+  let ( /: ) a b = Div (a, b)
+  let ( %: ) a b = Mod (a, b)
+  let ( =: ) a b = Cmp (Eq, a, b)
+  let ( <>: ) a b = Cmp (Ne, a, b)
+  let ( <: ) a b = Cmp (Lt, a, b)
+  let ( <=: ) a b = Cmp (Le, a, b)
+  let ( >: ) a b = Cmp (Gt, a, b)
+  let ( >=: ) a b = Cmp (Ge, a, b)
+  let ( &&: ) p q = And (p, q)
+  let ( ||: ) p q = Or (p, q)
+  let not_ p = Not p
+  let cond p a b = Cond (p, a, b)
+end

@@ -1,0 +1,124 @@
+(** Integer expressions and predicates of the flowchart language.
+
+    The paper allows "any reasonable choice" of recursive expressions and
+    predicates; we provide integer arithmetic, comparisons and boolean
+    connectives, plus two constructs this reproduction needs:
+
+    - [Bor]/[Band]/[Bnot]: bitwise operations, used by the source-to-source
+      surveillance instrumentation to manipulate taint sets encoded as
+      integer bitmasks (Section 3's transformation rules work entirely inside
+      the flowchart language, so set union must be expressible in it);
+    - [Cond (p, e1, e2)]: a branchless select. It evaluates the predicate
+      {e and both arms} (so its cost is independent of which arm is chosen),
+      making it the target of the paper's if-then-else transform: control
+      dependence on [p] becomes data dependence. *)
+
+exception Runtime_fault of string
+(** Raised by {!eval} / {!eval_pred} on division or modulus by zero. *)
+
+type t =
+  | Const of int
+  | Var of Var.t
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Bor of t * t
+  | Band of t * t
+  | Bnot of t
+  | Cond of pred * t * t
+
+and pred =
+  | True
+  | False
+  | Cmp of cmp * t * t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+val eval : (Var.t -> int) -> t -> int
+val eval_pred : (Var.t -> int) -> pred -> bool
+
+(** How much time expression evaluation itself consumes.
+
+    Theorem 3' carries a side condition: "the expressions and predicates
+    allowed in a flowchart ... must be restricted to those that can be
+    implemented in time independent of disallowed data values". The two
+    models make the condition testable:
+
+    - [Uniform]: every box costs one step regardless of operand values —
+      the discipline the theorem assumes (and the library's default);
+    - [Operand_sized]: multiplication, division and modulus additionally
+      cost the bit-width of their operands, the way naive bignum hardware
+      would. Under this model even the timed surveillance mechanism leaks:
+      a granted run's duration can encode a disallowed operand that never
+      reaches the output. Experiment E12 measures exactly that. *)
+type cost_model = Uniform | Operand_sized
+
+val eval_cost : cost_model -> (Var.t -> int) -> t -> int * int
+(** [(value, extra_steps)]; [extra_steps] is 0 under [Uniform]. *)
+
+val eval_pred_cost : cost_model -> (Var.t -> int) -> pred -> bool * int
+
+val vars : t -> Var.Set.t
+(** All variables read by the expression, including those of embedded
+    predicates and of {e both} arms of a [Cond] (the surveillance rules must
+    consider everything the value may depend on). *)
+
+val pred_vars : pred -> Var.Set.t
+
+val subst : t Var.Map.t -> t -> t
+(** Simultaneous substitution of expressions for variables; used by program
+    transforms to compose straight-line assignment blocks into single
+    expressions. *)
+
+val subst_pred : t Var.Map.t -> pred -> pred
+
+val simplify : t -> t
+(** Constant folding plus the algebraic laws the paper's Example 7 relies
+    on: in particular [Cond (p, e, e) = e] — once both branches compute the
+    same expression, the dependence on the test disappears. *)
+
+val simplify_pred : pred -> pred
+
+val equal : t -> t -> bool
+val equal_pred : pred -> pred -> bool
+val pp : Format.formatter -> t -> unit
+val pp_pred : Format.formatter -> pred -> unit
+val to_string : t -> string
+val pred_to_string : pred -> string
+
+(** Concise construction helpers for the corpus and tests. *)
+module Build : sig
+  val i : int -> t
+  (** Integer literal. *)
+
+  val x : int -> t
+  (** Input variable. *)
+
+  val r : int -> t
+  (** Register. *)
+
+  val y : t
+  (** The output variable. *)
+
+  val ( +: ) : t -> t -> t
+  val ( -: ) : t -> t -> t
+  val ( *: ) : t -> t -> t
+  val ( /: ) : t -> t -> t
+  val ( %: ) : t -> t -> t
+  val ( =: ) : t -> t -> pred
+  val ( <>: ) : t -> t -> pred
+  val ( <: ) : t -> t -> pred
+  val ( <=: ) : t -> t -> pred
+  val ( >: ) : t -> t -> pred
+  val ( >=: ) : t -> t -> pred
+  val ( &&: ) : pred -> pred -> pred
+  val ( ||: ) : pred -> pred -> pred
+  val not_ : pred -> pred
+  val cond : pred -> t -> t -> t
+end

@@ -1,0 +1,112 @@
+type node =
+  | Start of int
+  | Assign of Var.t * Expr.t * int
+  | Decision of Expr.pred * int * int
+  | Halt
+  | Halt_violation of string
+
+type t = { name : string; arity : int; nodes : node array; entry : int }
+
+let successors g n =
+  match g.nodes.(n) with
+  | Start s -> [ s ]
+  | Assign (_, _, s) -> [ s ]
+  | Decision (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | Halt | Halt_violation _ -> []
+
+let node_count g = Array.length g.nodes
+
+let halt_nodes g =
+  let acc = ref [] in
+  Array.iteri
+    (fun i n -> match n with Halt | Halt_violation _ -> acc := i :: !acc | _ -> ())
+    g.nodes;
+  List.rev !acc
+
+let node_vars = function
+  | Start _ | Halt | Halt_violation _ -> Var.Set.empty
+  | Assign (v, e, _) -> Var.Set.add v (Expr.vars e)
+  | Decision (p, _, _) -> Expr.pred_vars p
+
+let validate g =
+  let n = Array.length g.nodes in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if g.entry < 0 || g.entry >= n then err "entry %d out of range" g.entry
+  else
+    match g.nodes.(g.entry) with
+    | Assign _ | Decision _ | Halt | Halt_violation _ ->
+        err "entry node %d is not a start box" g.entry
+    | Start _ ->
+        let problem = ref None in
+        Array.iteri
+          (fun i node ->
+            let check_edge s =
+              if s < 0 || s >= n then
+                problem := Some (Printf.sprintf "node %d: edge to %d out of range" i s)
+              else if s = g.entry then
+                problem := Some (Printf.sprintf "node %d: edge back into the start box" i)
+            in
+            (match node with
+            | Start s when i <> g.entry ->
+                problem := Some (Printf.sprintf "extra start box at node %d" i);
+                check_edge s
+            | Start s -> check_edge s
+            | Assign (_, _, s) -> check_edge s
+            | Decision (_, a, b) ->
+                check_edge a;
+                check_edge b
+            | Halt | Halt_violation _ -> ());
+            Var.Set.iter
+              (function
+                | Var.Input j when j < 0 || j >= g.arity ->
+                    problem :=
+                      Some
+                        (Printf.sprintf "node %d: input x%d out of range (arity %d)" i
+                           j g.arity)
+                | Var.Input _ | Var.Reg _ | Var.Out -> ())
+              (node_vars node))
+          g.nodes;
+        (match !problem with Some m -> Error m | None -> Ok ())
+
+let make ~name ~arity ~entry nodes =
+  let g = { name; arity; nodes; entry } in
+  match validate g with Ok () -> g | Error m -> invalid_arg ("Graph.make: " ^ m)
+
+let reachable g =
+  let seen = Array.make (node_count g) false in
+  let rec visit n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      List.iter visit (successors g n)
+    end
+  in
+  visit g.entry;
+  seen
+
+let max_reg g =
+  Array.fold_left
+    (fun acc node ->
+      Var.Set.fold
+        (fun v acc -> match v with Var.Reg i -> max i acc | _ -> acc)
+        (node_vars node) acc)
+    (-1) g.nodes
+
+let map_nodes f g =
+  let g' = { g with nodes = Array.mapi f g.nodes } in
+  match validate g' with
+  | Ok () -> g'
+  | Error m -> invalid_arg ("Graph.map_nodes: " ^ m)
+
+let pp_node ppf = function
+  | Start s -> Format.fprintf ppf "start -> %d" s
+  | Assign (v, e, s) -> Format.fprintf ppf "%a := %a -> %d" Var.pp v Expr.pp e s
+  | Decision (p, a, b) ->
+      Format.fprintf ppf "if %a -> %d | %d" Expr.pp_pred p a b
+  | Halt -> Format.pp_print_string ppf "halt"
+  | Halt_violation notice -> Format.fprintf ppf "halt-violation %s" notice
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>flowchart %s (arity %d, entry %d):@ " g.name g.arity
+    g.entry;
+  Array.iteri (fun i n -> Format.fprintf ppf "%3d: %a@ " i pp_node n) g.nodes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,54 @@
+(** Flowchart programs: the paper's Section 3 program representation.
+
+    A flowchart is a finite connected directed graph of boxes: one start
+    box, assignment boxes, decision boxes, and halt boxes. Execution begins
+    at the start box with program variables and the output variable
+    initialized to 0 and input variables initialized to the input value;
+    the value of [y] at a halt box is the output.
+
+    Two kinds of halt box exist here: the ordinary [Halt] that outputs [y],
+    and [Halt_violation] that outputs the violation notice Λ. Plain programs
+    never contain [Halt_violation]; it is the target of the surveillance
+    instrumentation's rule (4), which lets an instrumented flowchart {e be} a
+    protection mechanism while remaining an ordinary flowchart. *)
+
+type node =
+  | Start of int  (** successor *)
+  | Assign of Var.t * Expr.t * int  (** [v := e], successor *)
+  | Decision of Expr.pred * int * int  (** predicate, true-successor, false-successor *)
+  | Halt  (** output the value of [y] *)
+  | Halt_violation of string  (** output a violation notice *)
+
+type t = {
+  name : string;
+  arity : int;
+  nodes : node array;
+  entry : int;  (** index of the unique start box *)
+}
+
+val make : name:string -> arity:int -> entry:int -> node array -> t
+(** Builds and validates.
+    @raise Invalid_argument if malformed (see {!validate}). *)
+
+val validate : t -> (unit, string) result
+(** Checks: the entry is the unique [Start]; all edges in range; no edge
+    targets the start box (so every cycle contains a step-consuming box, and
+    fuel bounds every execution); input indices are < arity. *)
+
+val successors : t -> int -> int list
+
+val node_count : t -> int
+
+val halt_nodes : t -> int list
+(** Indices of [Halt] and [Halt_violation] boxes. *)
+
+val reachable : t -> bool array
+(** [reachable g].(n) iff node [n] is reachable from the entry. *)
+
+val max_reg : t -> int
+(** Largest register index used, [-1] if none. *)
+
+val map_nodes : (int -> node -> node) -> t -> t
+(** Rebuild with rewritten nodes (indices preserved); revalidates. *)
+
+val pp : Format.formatter -> t -> unit

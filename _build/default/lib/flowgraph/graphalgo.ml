@@ -1,0 +1,71 @@
+module ISet = Set.Make (Int)
+
+let predecessors g =
+  let n = Graph.node_count g in
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter (fun s -> preds.(s) <- i :: preds.(s)) (Graph.successors g i)
+  done;
+  preds
+
+let can_reach_halt g =
+  let n = Graph.node_count g in
+  let preds = predecessors g in
+  let ok = Array.make n false in
+  let rec mark i =
+    if not ok.(i) then begin
+      ok.(i) <- true;
+      List.iter mark preds.(i)
+    end
+  in
+  List.iter mark (Graph.halt_nodes g);
+  ok
+
+(* Iterative backward fixpoint: pdom(halt) = {halt};
+   pdom(n) = {n} u intersection of pdom over successors. *)
+let postdominators g =
+  let n = Graph.node_count g in
+  let full = ISet.of_list (List.init n Fun.id) in
+  let pdom = Array.make n full in
+  List.iter (fun h -> pdom.(h) <- ISet.singleton h) (Graph.halt_nodes g);
+  let halts = ISet.of_list (Graph.halt_nodes g) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if not (ISet.mem i halts) then begin
+        let meet =
+          match Graph.successors g i with
+          | [] -> full
+          | s :: rest ->
+              List.fold_left (fun acc t -> ISet.inter acc pdom.(t)) pdom.(s) rest
+        in
+        let updated = ISet.add i meet in
+        if not (ISet.equal updated pdom.(i)) then begin
+          pdom.(i) <- updated;
+          changed := true
+        end
+      end
+    done
+  done;
+  pdom
+
+let immediate_postdominator g =
+  let n = Graph.node_count g in
+  let pdom = postdominators g in
+  let reaches = can_reach_halt g in
+  let ipd = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    if reaches.(i) then begin
+      let strict = ISet.remove i pdom.(i) in
+      (* ipd is the member whose own postdominator set equals the strict
+         set: the closest strict postdominator. *)
+      ISet.iter (fun p -> if ISet.equal pdom.(p) strict then ipd.(i) <- p) strict
+    end
+  done;
+  ipd
+
+let pp_ipd ppf ipd =
+  Format.fprintf ppf "@[<h>";
+  Array.iteri (fun i p -> Format.fprintf ppf "%d->%d " i p) ipd;
+  Format.fprintf ppf "@]"

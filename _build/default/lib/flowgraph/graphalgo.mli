@@ -1,0 +1,27 @@
+(** Control-flow analyses over flowcharts.
+
+    The augmented mechanisms of Section 4 "recognize" single-entry
+    single-exit structures. The graph-level characterization of where such a
+    structure ends is the {e immediate postdominator} of its opening
+    decision box: the first node every path from the decision must pass
+    through on its way to a halt. Both the scoped dynamic mechanism and the
+    static flow analysis consume these. *)
+
+module ISet : Set.S with type elt = int
+
+val predecessors : Graph.t -> int list array
+(** [preds.(n)] = nodes with an edge to [n]. *)
+
+val can_reach_halt : Graph.t -> bool array
+(** [can_reach_halt g].(n) iff some path from [n] reaches a halt box. *)
+
+val postdominators : Graph.t -> ISet.t array
+(** [pdom.(n)] is the set of nodes every path from [n] to a halt box passes
+    through; [n] postdominates itself. For nodes that cannot reach a halt
+    box the result is the vacuous full set. *)
+
+val immediate_postdominator : Graph.t -> int array
+(** [ipd.(n)] is the closest strict postdominator of [n], or [-1] when none
+    exists (halt boxes, and nodes that cannot reach a halt). *)
+
+val pp_ipd : Format.formatter -> int array -> unit

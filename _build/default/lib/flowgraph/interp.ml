@@ -1,0 +1,107 @@
+module Program = Secpol_core.Program
+module Value = Secpol_core.Value
+
+let default_fuel = 100_000
+let violation_prefix = "violation:"
+
+let finish result steps = { Program.result; steps }
+
+let run_graph ?(fuel = default_fuel) ?(cost = Expr.Uniform) g inputs =
+  if Array.length inputs <> g.Graph.arity then
+    invalid_arg
+      (Printf.sprintf "run_graph %s: expected %d inputs, got %d" g.Graph.name
+         g.Graph.arity (Array.length inputs));
+  match Store.of_values ~inputs ~max_reg:(Graph.max_reg g) with
+  | exception Invalid_argument m -> finish (Program.Fault m) 0
+  | store -> (
+      let env = Store.lookup store in
+      let last_steps = ref 0 in
+      let rec go node steps =
+        last_steps := steps;
+        match g.Graph.nodes.(node) with
+        | Graph.Start next -> go next steps
+        | Graph.Assign (v, e, next) ->
+            if steps >= fuel then finish Program.Diverged steps
+            else begin
+              let value, extra = Expr.eval_cost cost env e in
+              Store.set store v value;
+              go next (steps + 1 + extra)
+            end
+        | Graph.Decision (p, if_true, if_false) ->
+            if steps >= fuel then finish Program.Diverged steps
+            else begin
+              let taken, extra = Expr.eval_pred_cost cost env p in
+              go (if taken then if_true else if_false) (steps + 1 + extra)
+            end
+        | Graph.Halt ->
+            finish (Program.Value (Value.Int (Store.output store))) steps
+        | Graph.Halt_violation notice ->
+            finish (Program.Fault (violation_prefix ^ notice)) steps
+      in
+      try go g.Graph.entry 0
+      with Expr.Runtime_fault m -> finish (Program.Fault m) !last_steps)
+
+let run_ast ?(fuel = default_fuel) ?(cost = Expr.Uniform) (p : Ast.prog) inputs =
+  if Array.length inputs <> p.Ast.arity then
+    invalid_arg
+      (Printf.sprintf "run_ast %s: expected %d inputs, got %d" p.Ast.name
+         p.Ast.arity (Array.length inputs));
+  match Store.of_values ~inputs ~max_reg:0 with
+  | exception Invalid_argument m -> finish (Program.Fault m) 0
+  | store -> (
+      let env = Store.lookup store in
+      let exception Out_of_fuel of int in
+      let steps = ref 0 in
+      let tick extra =
+        steps := !steps + 1 + extra;
+        if !steps > fuel then raise (Out_of_fuel !steps)
+      in
+      let rec exec = function
+        | Ast.Skip -> ()
+        | Ast.Assign (v, e) ->
+            let value, extra = Expr.eval_cost cost env e in
+            tick extra;
+            Store.set store v value
+        | Ast.Seq l -> List.iter exec l
+        | Ast.If (p, a, b) ->
+            let taken, extra = Expr.eval_pred_cost cost env p in
+            tick extra;
+            if taken then exec a else exec b
+        | Ast.While (p, body) as loop ->
+            let taken, extra = Expr.eval_pred_cost cost env p in
+            tick extra;
+            if taken then begin
+              exec body;
+              exec loop
+            end
+      in
+      match exec p.Ast.body with
+      | () -> finish (Program.Value (Value.Int (Store.output store))) !steps
+      | exception Out_of_fuel s -> finish Program.Diverged s
+      | exception Expr.Runtime_fault m -> finish (Program.Fault m) !steps)
+
+let graph_program ?fuel ?cost g =
+  Program.make ~name:g.Graph.name ~arity:g.Graph.arity (run_graph ?fuel ?cost g)
+
+let reply_of_outcome (o : Program.outcome) =
+  let module Mechanism = Secpol_core.Mechanism in
+  let response =
+    match o.Program.result with
+    | Program.Value v -> Mechanism.Granted v
+    | Program.Diverged -> Mechanism.Hung
+    | Program.Fault m ->
+        let p = violation_prefix in
+        if String.length m >= String.length p && String.sub m 0 (String.length p) = p
+        then
+          Mechanism.Denied
+            (String.sub m (String.length p) (String.length m - String.length p))
+        else Mechanism.Failed m
+  in
+  { Mechanism.response; steps = o.Program.steps }
+
+let graph_mechanism ?fuel g =
+  Secpol_core.Mechanism.make ~name:g.Graph.name ~arity:g.Graph.arity (fun a ->
+      reply_of_outcome (run_graph ?fuel g a))
+
+let ast_program ?fuel ?cost (p : Ast.prog) =
+  Program.make ~name:p.Ast.name ~arity:p.Ast.arity (run_ast ?fuel ?cost p)

@@ -1,0 +1,38 @@
+module Value = Secpol_core.Value
+
+type t = {
+  inputs : int array;
+  mutable regs : int array;  (* grown on demand *)
+  mutable out : int;
+}
+
+let create ~inputs ~max_reg =
+  { inputs = Array.copy inputs; regs = Array.make (max 1 (max_reg + 1)) 0; out = 0 }
+
+let of_values ~inputs ~max_reg =
+  create ~inputs:(Array.map Value.to_int inputs) ~max_reg
+
+let ensure st i =
+  if i >= Array.length st.regs then begin
+    let bigger = Array.make (max (i + 1) (2 * Array.length st.regs)) 0 in
+    Array.blit st.regs 0 bigger 0 (Array.length st.regs);
+    st.regs <- bigger
+  end
+
+let get st = function
+  | Var.Input i -> st.inputs.(i)
+  | Var.Reg i ->
+      ensure st i;
+      st.regs.(i)
+  | Var.Out -> st.out
+
+let set st v n =
+  match v with
+  | Var.Input i -> st.inputs.(i) <- n
+  | Var.Reg i ->
+      ensure st i;
+      st.regs.(i) <- n
+  | Var.Out -> st.out <- n
+
+let lookup st v = get st v
+let output st = st.out

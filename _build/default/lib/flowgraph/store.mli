@@ -1,0 +1,23 @@
+(** Mutable variable stores for the interpreters.
+
+    A store holds the integer value of every flowchart variable. Inputs are
+    initialized from the input vector, registers and the output variable
+    from 0 — exactly the paper's initialization convention. *)
+
+type t
+
+val create : inputs:int array -> max_reg:int -> t
+
+val of_values : inputs:Secpol_core.Value.t array -> max_reg:int -> t
+(** Converts each input with [Value.to_int].
+    @raise Invalid_argument on a non-integer input (flowchart domains are
+    the integers). *)
+
+val get : t -> Var.t -> int
+val set : t -> Var.t -> int -> unit
+
+val lookup : t -> Var.t -> int
+(** Same as {!get}; shaped for use as an {!Expr.eval} environment. *)
+
+val output : t -> int
+(** Current value of [y]. *)

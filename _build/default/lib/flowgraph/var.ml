@@ -1,0 +1,19 @@
+module T = struct
+  type t = Input of int | Reg of int | Out
+
+  let compare (a : t) (b : t) = Stdlib.compare a b
+end
+
+include T
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Input i -> Format.fprintf ppf "x%d" i
+  | Reg i -> Format.fprintf ppf "r%d" i
+  | Out -> Format.pp_print_string ppf "y"
+
+let to_string v = Format.asprintf "%a" pp v
+
+module Set = Stdlib.Set.Make (T)
+module Map = Stdlib.Map.Make (T)

@@ -1,0 +1,20 @@
+(** Flowchart variables.
+
+    The paper's flowchart language has input variables [x1..xk], program
+    variables [r1..rn] for intermediate values, and a single output variable
+    [y]. We index inputs and registers from 0. The program counter is not a
+    variable of the language — the surveillance mechanism tracks it
+    separately. *)
+
+type t =
+  | Input of int  (** [x i]: initialized to the i-th input value *)
+  | Reg of int  (** [r i]: initialized to 0 *)
+  | Out  (** [y]: initialized to 0; its value at halt is the output *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/history/querydb.ml: Array Fun List Printf Secpol_core

@@ -1,0 +1,1 @@
+lib/history/querydb.mli: Secpol_core

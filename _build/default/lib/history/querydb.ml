@@ -1,0 +1,101 @@
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+module Mechanism = Secpol_core.Mechanism
+
+type t = { k : int; queries : int }
+
+let arity db = db.k + db.queries
+
+let refused = Value.Str "refused"
+
+let space db ~record_values ~query_masks =
+  List.iter
+    (fun m ->
+      if m < 0 || m >= 1 lsl db.k then
+        invalid_arg (Printf.sprintf "Querydb.space: mask %d out of range" m))
+    query_masks;
+  Space.of_domains
+    (List.init db.k (fun _ -> List.map Value.int record_values)
+    @ List.init db.queries (fun _ -> List.map Value.int query_masks))
+
+let popcount m =
+  let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+  go 0 m
+
+(* Query i is permitted iff it is not a singleton and differs from every
+   earlier permitted query in more than one record. *)
+let permitted db masks =
+  ignore db;
+  let rec go earlier = function
+    | [] -> []
+    | m :: rest ->
+        let ok =
+          popcount m <> 1
+          && List.for_all (fun e -> popcount (m lxor e) <> 1) earlier
+        in
+        ok :: go (if ok then m :: earlier else earlier) rest
+  in
+  go [] masks
+
+let split db a =
+  let records = Array.sub a 0 db.k in
+  let masks =
+    List.init db.queries (fun i -> Value.to_int a.(db.k + i))
+  in
+  (records, masks)
+
+let answer records mask =
+  let sum = ref 0 in
+  List.iteri
+    (fun bit v -> if mask land (1 lsl bit) <> 0 then sum := !sum + Value.to_int v)
+    (Array.to_list records);
+  !sum
+
+let session_program db =
+  Program.of_fun ~name:"db-session" ~arity:(arity db) (fun a ->
+      let records, masks = split db a in
+      Value.tuple (List.map (fun m -> Value.int (answer records m)) masks))
+
+let policy db =
+  Policy.filter
+    ~name:(Printf.sprintf "history(k=%d,q=%d)" db.k db.queries)
+    (fun a ->
+      let records, masks = split db a in
+      let oks = permitted db masks in
+      Value.tuple
+        (List.map Value.int masks
+        @ List.map2
+            (fun ok m -> if ok then Value.int (answer records m) else refused)
+            oks masks))
+
+let slotwise_program db =
+  Program.of_fun ~name:"db-session-guarded" ~arity:(arity db) (fun a ->
+      let records, masks = split db a in
+      let oks = permitted db masks in
+      Value.tuple
+        (List.map2
+           (fun ok m -> if ok then Value.int (answer records m) else refused)
+           oks masks))
+
+let monitor db =
+  let q = session_program db in
+  Mechanism.make ~name:"db-monitor" ~arity:(arity db) (fun a ->
+      let _, masks = split db a in
+      if List.for_all Fun.id (permitted db masks) then begin
+        let o = Program.run q a in
+        match o.Program.result with
+        | Program.Value v ->
+            { Mechanism.response = Mechanism.Granted v; steps = o.Program.steps }
+        | Program.Diverged ->
+            { Mechanism.response = Mechanism.Hung; steps = o.Program.steps }
+        | Program.Fault m ->
+            { Mechanism.response = Mechanism.Failed m; steps = o.Program.steps }
+      end
+      else
+        {
+          Mechanism.response =
+            Mechanism.Denied "query sequence enables inference, session refused";
+          steps = 1;
+        })

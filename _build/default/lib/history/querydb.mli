@@ -1,0 +1,69 @@
+(** History-dependent policies over a query session (Section 2's remark).
+
+    "We also include policies (such as might be found in a data base
+    system) where what a user is permitted to view is dependent upon a
+    history of the user's previous queries." This module instantiates that
+    remark with a small statistical database and the classic aggregate
+    inference threat.
+
+    The database holds [k] integer records. A {e session} asks a fixed
+    number of aggregate queries; each query names a subset of records and
+    receives their sum. One aggregate is harmless; two aggregates whose
+    symmetric difference is a single record reveal that record exactly.
+    The history-dependent policy therefore permits a query iff its
+    record-set does not leave a singleton symmetric difference with any
+    {e earlier permitted} query of the session.
+
+    Everything is phrased in the paper's vocabulary: the session is one
+    program [Q : records × queries -> answers]; the policy is an
+    information filter [I] whose value on an input lists the queries and
+    the answers the history rule permits; mechanisms are gatekeepers over
+    the whole session. Inputs [0..k-1] are the records; inputs
+    [k..k+n-1] are the queries, encoded as bitmask integers over the
+    records. *)
+
+type t = {
+  k : int;  (** number of records *)
+  queries : int;  (** queries per session *)
+}
+
+val arity : t -> int
+
+val space :
+  t -> record_values:int list -> query_masks:int list -> Secpol_core.Space.t
+(** Record domains and the candidate query masks (each in
+    [0 .. 2^k - 1]). *)
+
+val permitted : t -> int list -> bool list
+(** [permitted db masks] applies the history rule to the session's query
+    masks, in order: query [i] is permitted iff for every earlier
+    {e permitted} query [j], the symmetric difference of the two mask sets
+    has size <> 1, and the mask itself has size <> 1 (a singleton query is
+    a direct read). *)
+
+val session_program : t -> Secpol_core.Program.t
+(** Answers every query unconditionally: the unprotected database front
+    end. Output: tuple of sums. *)
+
+val policy : t -> Secpol_core.Policy.t
+(** The history-dependent filter: reveals all query masks, and the answers
+    only of permitted queries. Not an [allow(...)] policy — which queries
+    are filtered depends on the query inputs themselves. *)
+
+val monitor : t -> Secpol_core.Mechanism.t
+(** The session gatekeeper: if the history rule permits every query of the
+    session, pass the program's answers through; otherwise refuse the whole
+    session with one violation notice. A protection mechanism for
+    {!session_program} in the paper's strict sense, and sound for
+    {!policy}: both the pass/refuse decision and the passed answers are
+    functions of the policy's image. *)
+
+val slotwise_program : t -> Secpol_core.Program.t
+(** The {e redesigned} front end: answers each permitted query and returns
+    the {!refused} marker in the other slots. As its own mechanism it is
+    sound for the history policy — redesign versus gatekeeping, both
+    expressible in the model. *)
+
+val refused : Secpol_core.Value.t
+(** The per-slot refusal marker used by {!slotwise_program} and by the
+    policy's image. *)

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array List Printf Secpol_flowgraph String Token

@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Secpol_flowgraph Token

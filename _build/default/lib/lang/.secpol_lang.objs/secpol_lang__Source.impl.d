@@ -1,0 +1,1 @@
+lib/lang/source.ml: Format In_channel Lexer List Out_channel Parser Printf Result Secpol_core Secpol_flowgraph String

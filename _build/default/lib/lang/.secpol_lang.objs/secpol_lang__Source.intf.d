@@ -1,0 +1,1 @@
+lib/lang/source.mli: Secpol_core Secpol_flowgraph

@@ -1,0 +1,137 @@
+exception Error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 0
+  | _ -> ());
+  st.col <- st.col + 1;
+  st.pos <- st.pos + 1
+
+let error st message = raise (Error { line = st.line; col = st.col; message })
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let lex_word st =
+  let start = st.pos in
+  while
+    match peek st with Some c -> is_alpha c || is_digit c | None -> false
+  do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let keyword_or_var word =
+  let open Token in
+  match word with
+  | "program" -> PROGRAM
+  | "skip" -> SKIP
+  | "if" -> IF
+  | "then" -> THEN
+  | "else" -> ELSE
+  | "end" -> END
+  | "while" -> WHILE
+  | "do" -> DO
+  | "done" -> DONE
+  | "true" -> TRUE
+  | "false" -> FALSE
+  | "and" -> AND
+  | "or" -> OR
+  | "not" -> NOT
+  | "y" -> OUT
+  | w ->
+      let var_index prefix =
+        if String.length w >= 2 && w.[0] = prefix then begin
+          let suffix = String.sub w 1 (String.length w - 1) in
+          if String.for_all is_digit suffix then Some (int_of_string suffix)
+          else None
+        end
+        else None
+      in
+      (match (var_index 'x', var_index 'r') with
+      | Some i, _ -> INPUT i
+      | _, Some i -> REG i
+      | None, None -> IDENT w)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let acc = ref [] in
+  let emit token ~line ~col = acc := { Token.token; line; col } :: !acc in
+  let rec loop () =
+    match peek st with
+    | None -> emit Token.EOF ~line:st.line ~col:st.col
+    | Some c -> (
+        let line = st.line and col = st.col in
+        let simple t =
+          advance st;
+          emit t ~line ~col
+        in
+        (match c with
+        | ' ' | '\t' | '\r' | '\n' -> advance st
+        | '#' ->
+            while (match peek st with Some c -> c <> '\n' | None -> false) do
+              advance st
+            done
+        | '0' .. '9' -> emit (Token.INT (lex_number st)) ~line ~col
+        | '(' -> simple Token.LPAREN
+        | ')' -> simple Token.RPAREN
+        | '?' -> simple Token.QUESTION
+        | '+' -> simple Token.PLUS
+        | '-' -> simple Token.MINUS
+        | '*' -> simple Token.STAR
+        | '/' -> simple Token.SLASH
+        | '%' -> simple Token.PERCENT
+        | '|' -> simple Token.BAR
+        | '&' -> simple Token.AMP
+        | '~' -> simple Token.TILDE
+        | ';' -> simple Token.SEMI
+        | ',' -> simple Token.COMMA
+        | '=' -> simple Token.EQ
+        | ':' -> (
+            advance st;
+            match peek st with
+            | Some '=' ->
+                advance st;
+                emit Token.ASSIGN ~line ~col
+            | _ -> emit Token.COLON ~line ~col)
+        | '<' -> (
+            advance st;
+            match peek st with
+            | Some '=' ->
+                advance st;
+                emit Token.LE ~line ~col
+            | Some '>' ->
+                advance st;
+                emit Token.NE ~line ~col
+            | _ -> emit Token.LT ~line ~col)
+        | '>' -> (
+            advance st;
+            match peek st with
+            | Some '=' ->
+                advance st;
+                emit Token.GE ~line ~col
+            | _ -> emit Token.GT ~line ~col)
+        | c when is_alpha c -> emit (keyword_or_var (lex_word st)) ~line ~col
+        | c -> error st (Printf.sprintf "unexpected character %C" c));
+        loop ())
+  in
+  loop ();
+  List.rev !acc

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the While-language.
+
+    Comments run from [#] to end of line. [x<digits>] and [r<digits>] are
+    input and register variables; [y] is the output variable; other
+    alphabetic words are keywords or program names. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> Token.located list
+(** The whole input, ending with an [EOF] token.
+    @raise Error on an unexpected character. *)

@@ -1,0 +1,316 @@
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Ast = Secpol_flowgraph.Ast
+
+exception Error of { line : int; col : int; message : string }
+
+type state = { tokens : Token.located array; mutable idx : int }
+
+let current st = st.tokens.(st.idx)
+let peek st = (current st).Token.token
+
+let error st message =
+  let { Token.line; col; _ } = current st in
+  raise (Error { line; col; message })
+
+let advance st = if st.idx < Array.length st.tokens - 1 then st.idx <- st.idx + 1
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s, found %s" (Token.describe token)
+         (Token.describe (peek st)))
+
+(* Backtracking for the one ambiguous spot: '(' opening either a
+   parenthesized expression or a select / parenthesized predicate. *)
+let attempt st f =
+  let saved = st.idx in
+  match f st with
+  | v -> Some v
+  | exception Error _ ->
+      st.idx <- saved;
+      None
+
+let parse_lvalue st =
+  match peek st with
+  | Token.INPUT i ->
+      advance st;
+      Var.Input i
+  | Token.REG i ->
+      advance st;
+      Var.Reg i
+  | Token.OUT ->
+      advance st;
+      Var.Out
+  | t -> error st ("expected a variable, found " ^ Token.describe t)
+
+let rec parse_expr st = parse_bits st
+
+(* | and & bind loosest. *)
+and parse_bits st =
+  let lhs = ref (parse_sum st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.BAR ->
+        advance st;
+        lhs := Expr.Bor (!lhs, parse_sum st)
+    | Token.AMP ->
+        advance st;
+        lhs := Expr.Band (!lhs, parse_sum st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_sum st =
+  let lhs = ref (parse_term st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.PLUS ->
+        advance st;
+        lhs := Expr.Add (!lhs, parse_term st)
+    | Token.MINUS ->
+        advance st;
+        lhs := Expr.Sub (!lhs, parse_term st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_term st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.STAR ->
+        advance st;
+        lhs := Expr.Mul (!lhs, parse_unary st)
+    | Token.SLASH ->
+        advance st;
+        lhs := Expr.Div (!lhs, parse_unary st)
+    | Token.PERCENT ->
+        advance st;
+        lhs := Expr.Mod (!lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      Expr.Neg (parse_unary st)
+  | Token.TILDE ->
+      advance st;
+      Expr.Bnot (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.INT n ->
+      advance st;
+      Expr.Const n
+  | Token.INPUT i ->
+      advance st;
+      Expr.Var (Var.Input i)
+  | Token.REG i ->
+      advance st;
+      Expr.Var (Var.Reg i)
+  | Token.OUT ->
+      advance st;
+      Expr.Var Var.Out
+  | Token.LPAREN -> (
+      advance st;
+      (* Either a select "(p ? a : b)" or a parenthesized expression. *)
+      let select st =
+        let p = parse_pred st in
+        expect st Token.QUESTION;
+        let a = parse_expr st in
+        expect st Token.COLON;
+        let b = parse_expr st in
+        expect st Token.RPAREN;
+        Expr.Cond (p, a, b)
+      in
+      match attempt st select with
+      | Some e -> e
+      | None ->
+          let e = parse_expr st in
+          expect st Token.RPAREN;
+          e)
+  | t -> error st ("expected an expression, found " ^ Token.describe t)
+
+and parse_pred st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = Token.OR do
+    advance st;
+    lhs := Expr.Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while peek st = Token.AND do
+    advance st;
+    lhs := Expr.And (!lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  match peek st with
+  | Token.NOT ->
+      advance st;
+      Expr.Not (parse_not st)
+  | Token.TRUE ->
+      advance st;
+      Expr.True
+  | Token.FALSE ->
+      advance st;
+      Expr.False
+  | Token.LPAREN -> (
+      (* Either "(pred)" or a comparison whose left side is parenthesized. *)
+      let paren st =
+        advance st;
+        let p = parse_pred st in
+        expect st Token.RPAREN;
+        p
+      in
+      match attempt st paren with Some p -> p | None -> parse_cmp st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_expr st in
+  let op =
+    match peek st with
+    | Token.EQ -> Expr.Eq
+    | Token.NE -> Expr.Ne
+    | Token.LT -> Expr.Lt
+    | Token.LE -> Expr.Le
+    | Token.GT -> Expr.Gt
+    | Token.GE -> Expr.Ge
+    | t -> error st ("expected a comparison operator, found " ^ Token.describe t)
+  in
+  advance st;
+  let rhs = parse_expr st in
+  Expr.Cmp (op, lhs, rhs)
+
+let rec parse_stmt st =
+  let first = parse_atom st in
+  if peek st = Token.SEMI then begin
+    advance st;
+    Ast.seq [ first; parse_stmt st ]
+  end
+  else first
+
+and parse_atom st =
+  match peek st with
+  | Token.SKIP ->
+      advance st;
+      Ast.Skip
+  | Token.IF ->
+      advance st;
+      let p = parse_pred st in
+      expect st Token.THEN;
+      let a = parse_stmt st in
+      let b =
+        if peek st = Token.ELSE then begin
+          advance st;
+          parse_stmt st
+        end
+        else Ast.Skip
+      in
+      expect st Token.END;
+      Ast.If (p, a, b)
+  | Token.WHILE ->
+      advance st;
+      let p = parse_pred st in
+      expect st Token.DO;
+      let body = parse_stmt st in
+      expect st Token.DONE;
+      Ast.While (p, body)
+  | Token.INPUT _ | Token.REG _ | Token.OUT ->
+      let v = parse_lvalue st in
+      expect st Token.ASSIGN;
+      Ast.Assign (v, parse_expr st)
+  | t -> error st ("expected a statement, found " ^ Token.describe t)
+
+let parse_params st =
+  expect st Token.LPAREN;
+  let rec go expected =
+    match peek st with
+    | Token.RPAREN ->
+        advance st;
+        expected
+    | Token.INPUT i when i = expected ->
+        advance st;
+        (match peek st with
+        | Token.COMMA ->
+            advance st;
+            go (expected + 1)
+        | Token.RPAREN ->
+            advance st;
+            expected + 1
+        | t -> error st ("expected , or ), found " ^ Token.describe t))
+    | Token.INPUT i ->
+        error st (Printf.sprintf "parameters must be declared in order; expected x%d, found x%d" expected i)
+    | t -> error st ("expected a parameter like x0, found " ^ Token.describe t)
+  in
+  go 0
+
+(* Program names may be hyphenated ("constant-branch") and may reuse
+   keywords as name parts ("loop-then-secretfree"): in name position any
+   word-like token joins in. *)
+let name_part = function
+  | Token.IDENT s -> Some s
+  | Token.INT n -> Some (string_of_int n)
+  | ( Token.PROGRAM | Token.SKIP | Token.IF | Token.THEN | Token.ELSE
+    | Token.END | Token.WHILE | Token.DO | Token.DONE | Token.TRUE
+    | Token.FALSE | Token.AND | Token.OR | Token.NOT | Token.OUT
+    | Token.INPUT _ | Token.REG _ ) as t ->
+      Some (Token.describe t)
+  | _ -> None
+
+let parse_name st =
+  match name_part (peek st) with
+  | None -> error st ("expected a program name, found " ^ Token.describe (peek st))
+  | Some first ->
+      advance st;
+      let parts = ref [ first ] in
+      let rec go () =
+        if peek st = Token.MINUS then begin
+          let after =
+            if st.idx + 1 < Array.length st.tokens then
+              name_part st.tokens.(st.idx + 1).Token.token
+            else None
+          in
+          match after with
+          | Some part ->
+              advance st;
+              advance st;
+              parts := part :: !parts;
+              go ()
+          | None -> ()
+        end
+      in
+      go ();
+      String.concat "-" (List.rev !parts)
+
+let program tokens =
+  let st = { tokens = Array.of_list tokens; idx = 0 } in
+  expect st Token.PROGRAM;
+  let name = parse_name st in
+  let arity = parse_params st in
+  if peek st = Token.COLON then advance st;
+  let body = parse_stmt st in
+  expect st Token.EOF;
+  match Ast.validate { Ast.name; arity; body } with
+  | Ok () -> { Ast.name; arity; body }
+  | Error m -> error st m
+
+let statement tokens =
+  let st = { tokens = Array.of_list tokens; idx = 0 } in
+  let body = parse_stmt st in
+  expect st Token.EOF;
+  body

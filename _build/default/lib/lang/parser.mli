@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the While-language.
+
+    Concrete syntax (comments run from [#] to end of line):
+
+    {v
+    program euclid(x0, x1)
+      r0 := x0 + 1;
+      r1 := x1 + 1;
+      while r0 <> r1 do
+        if r0 > r1 then r0 := r0 - r1 else r1 := r1 - r0 end
+      done;
+      y := r0
+    v}
+
+    Expressions include the branchless select [(p ? e1 : e2)]; predicates
+    are comparisons combined with [and]/[or]/[not]. Input parameters must
+    be declared as [x0, x1, ...] in order; the declared count becomes the
+    program's arity. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val program : Token.located list -> Secpol_flowgraph.Ast.prog
+(** @raise Error on a syntax error (positions are 1-based). *)
+
+val statement : Token.located list -> Secpol_flowgraph.Ast.t
+(** Parse a bare statement (no [program] header), for tests and the CLI. *)

@@ -1,0 +1,58 @@
+module Ast = Secpol_flowgraph.Ast
+
+let position_message ~line ~col message =
+  Printf.sprintf "line %d, column %d: %s" line col message
+
+let parse src =
+  match Parser.program (Lexer.tokenize src) with
+  | prog -> Ok prog
+  | exception Lexer.Error { line; col; message } ->
+      Error (position_message ~line ~col message)
+  | exception Parser.Error { line; col; message } ->
+      Error (position_message ~line ~col message)
+
+let parse_exn src =
+  match parse src with Ok p -> p | Error m -> invalid_arg ("Source.parse: " ^ m)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> parse src
+  | exception Sys_error m -> Error m
+
+let policy_hint src =
+  let prefix = "# policy:" in
+  let parse_spec spec =
+    let spec = String.trim spec in
+    if spec = "-" then Some Secpol_core.Policy.allow_none
+    else
+      match
+        String.split_on_char ',' spec
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map (fun s -> int_of_string (String.trim s))
+      with
+      | indices -> Some (Secpol_core.Policy.allow indices)
+      | exception (Failure _ | Invalid_argument _) -> None
+  in
+  String.split_on_char '\n' src
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if String.length line >= String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then
+           parse_spec
+             (String.sub line (String.length prefix)
+                (String.length line - String.length prefix))
+         else None)
+
+let load_with_hint path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> Result.map (fun prog -> (prog, policy_hint src)) (parse src)
+  | exception Sys_error m -> Error m
+
+let to_source (p : Ast.prog) =
+  let params =
+    String.concat ", " (List.init p.Ast.arity (Printf.sprintf "x%d"))
+  in
+  Format.asprintf "program %s(%s)@.%a@." p.Ast.name params Ast.pp p.Ast.body
+
+let save path p = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_source p))

@@ -1,0 +1,33 @@
+(** Reading and writing programs as text.
+
+    The printer emits exactly the grammar {!Parser} accepts, so programs
+    round-trip: [parse (to_source p)] is semantically identical to [p] (and
+    after one round, syntactically stable — a property test holds the two
+    ends together). *)
+
+val parse : string -> (Secpol_flowgraph.Ast.prog, string) result
+(** Parse a full [program name(x0, ...) body] from a string; the error is a
+    human-readable message with a 1-based position. *)
+
+val parse_exn : string -> Secpol_flowgraph.Ast.prog
+(** @raise Invalid_argument with the same message. *)
+
+val load : string -> (Secpol_flowgraph.Ast.prog, string) result
+(** Parse a program from a file. *)
+
+val policy_hint : string -> Secpol_core.Policy.t option
+(** Scan source text for a policy declaration comment —
+    [# policy: 0,2] (allowed input indices) or [# policy: -] (allow
+    nothing). Tools use it as the program's default policy; the language
+    itself ignores comments. Returns [None] when absent or malformed. *)
+
+val load_with_hint :
+  string ->
+  (Secpol_flowgraph.Ast.prog * Secpol_core.Policy.t option, string) result
+(** {!load} plus the file's {!policy_hint}. *)
+
+val to_source : Secpol_flowgraph.Ast.prog -> string
+(** Render a program in the concrete syntax. *)
+
+val save : string -> Secpol_flowgraph.Ast.prog -> unit
+(** Write [to_source] to a file. *)

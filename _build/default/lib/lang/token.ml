@@ -1,0 +1,87 @@
+type t =
+  | INT of int
+  | INPUT of int
+  | REG of int
+  | OUT
+  | IDENT of string
+  | PROGRAM
+  | SKIP
+  | IF
+  | THEN
+  | ELSE
+  | END
+  | WHILE
+  | DO
+  | DONE
+  | TRUE
+  | FALSE
+  | AND
+  | OR
+  | NOT
+  | ASSIGN
+  | SEMI
+  | COMMA
+  | COLON
+  | LPAREN
+  | RPAREN
+  | QUESTION
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | BAR
+  | AMP
+  | TILDE
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type located = { token : t; line : int; col : int }
+
+let describe = function
+  | INT n -> string_of_int n
+  | INPUT i -> Printf.sprintf "x%d" i
+  | REG i -> Printf.sprintf "r%d" i
+  | OUT -> "y"
+  | IDENT s -> s
+  | PROGRAM -> "program"
+  | SKIP -> "skip"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | END -> "end"
+  | WHILE -> "while"
+  | DO -> "do"
+  | DONE -> "done"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | AND -> "and"
+  | OR -> "or"
+  | NOT -> "not"
+  | ASSIGN -> ":="
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | QUESTION -> "?"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | BAR -> "|"
+  | AMP -> "&"
+  | TILDE -> "~"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,48 @@
+(** Tokens of the concrete While-language syntax. *)
+
+type t =
+  | INT of int
+  | INPUT of int  (** [x3] *)
+  | REG of int  (** [r2] *)
+  | OUT  (** [y] *)
+  | IDENT of string  (** program names *)
+  | PROGRAM
+  | SKIP
+  | IF
+  | THEN
+  | ELSE
+  | END
+  | WHILE
+  | DO
+  | DONE
+  | TRUE
+  | FALSE
+  | AND
+  | OR
+  | NOT
+  | ASSIGN  (** [:=] *)
+  | SEMI
+  | COMMA
+  | COLON
+  | LPAREN
+  | RPAREN
+  | QUESTION
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | BAR
+  | AMP
+  | TILDE
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type located = { token : t; line : int; col : int }
+
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/minsky/dmm.ml: Array Machine Printf Secpol_core

@@ -1,0 +1,1 @@
+lib/minsky/dmm.mli: Machine Secpol_core

@@ -1,0 +1,1 @@
+lib/minsky/machine.ml: Array Printf Secpol_core

@@ -1,0 +1,1 @@
+lib/minsky/machine.mli: Secpol_core

@@ -1,0 +1,99 @@
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+
+type pc_mode = Monotone | Scoped
+type halt_mode = Halt_noop | Halt_error | Halt_checked
+
+type config = {
+  allowed : Iset.t;
+  pc_mode : pc_mode;
+  halt_mode : halt_mode;
+  track_pc : bool;
+  fuel : int;
+}
+
+let notice = "data-mark violation"
+
+let config ?(fuel = 100_000) ?(pc_mode = Monotone) ?(halt_mode = Halt_checked)
+    ?(track_pc = true) policy =
+  match Policy.allowed_indices policy with
+  | Some allowed -> { allowed; pc_mode; halt_mode; track_pc; fuel }
+  | None ->
+      invalid_arg "Dmm.config: data marks are defined for allow(...) policies"
+
+let run cfg (m : Machine.t) inputs =
+  if Array.length inputs <> m.Machine.ninputs then
+    invalid_arg
+      (Printf.sprintf "Dmm.run %s: expected %d inputs, got %d" m.Machine.name
+         m.Machine.ninputs (Array.length inputs));
+  let regs = Array.make m.Machine.nregs 0 in
+  let marks = Array.make m.Machine.nregs Iset.empty in
+  Array.iteri
+    (fun i v ->
+      regs.(i) <- max 0 (Value.to_int v);
+      marks.(i) <- Iset.singleton i)
+    inputs;
+  let pc_mark = ref Iset.empty in
+  let saved : Iset.t list ref = ref [] in
+  let ok l = Iset.subset l cfg.allowed in
+  let reply response steps = { Mechanism.response; steps } in
+  let len = Array.length m.Machine.code in
+  let rec go pc steps =
+    if steps >= cfg.fuel then reply Mechanism.Hung steps
+    else if pc >= len then
+      (* Ran past the end (Halt_noop on the last instruction): Fenton leaves
+         this undefined; the machine simply never answers. *)
+      reply Mechanism.Hung cfg.fuel
+    else
+      match m.Machine.code.(pc) with
+      | Machine.Inc (r, next) ->
+          regs.(r) <- regs.(r) + 1;
+          marks.(r) <- Iset.union marks.(r) !pc_mark;
+          go next (steps + 1)
+      | Machine.Decjz (r, if_zero, next) ->
+          (match cfg.pc_mode with
+          | Monotone -> ()
+          | Scoped -> saved := !pc_mark :: !saved);
+          if cfg.track_pc then pc_mark := Iset.union !pc_mark marks.(r);
+          if regs.(r) = 0 then go if_zero (steps + 1)
+          else begin
+            regs.(r) <- regs.(r) - 1;
+            marks.(r) <- Iset.union marks.(r) !pc_mark;
+            go next (steps + 1)
+          end
+      | Machine.Restore next ->
+          (match (cfg.pc_mode, !saved) with
+          | Scoped, top :: rest ->
+              pc_mark := top;
+              saved := rest
+          | Scoped, [] | Monotone, _ -> ());
+          go next (steps + 1)
+      | Machine.Stop -> (
+          let out_ok = ok (Iset.union marks.(m.Machine.out_reg) !pc_mark) in
+          match cfg.halt_mode with
+          | Halt_checked ->
+              if out_ok then
+                reply (Mechanism.Granted (Value.Int regs.(m.Machine.out_reg))) steps
+              else reply (Mechanism.Denied notice) steps
+          | Halt_noop ->
+              if ok !pc_mark then
+                if ok marks.(m.Machine.out_reg) then
+                  reply (Mechanism.Granted (Value.Int regs.(m.Machine.out_reg))) steps
+                else reply (Mechanism.Denied notice) steps
+              else go (pc + 1) (steps + 1)
+          | Halt_error ->
+              if ok !pc_mark then
+                if ok marks.(m.Machine.out_reg) then
+                  reply (Mechanism.Granted (Value.Int regs.(m.Machine.out_reg))) steps
+                else reply (Mechanism.Denied notice) steps
+              else reply (Mechanism.Denied "halted under privileged control") steps)
+  in
+  go m.Machine.entry 0
+
+let mechanism cfg m =
+  Mechanism.make
+    ~name:(Printf.sprintf "dmm(%s)" m.Machine.name)
+    ~arity:m.Machine.ninputs
+    (fun a -> run cfg m a)

@@ -1,0 +1,67 @@
+(** Fenton's Data Mark Machine, and the paper's critique of it.
+
+    Fenton attaches to each register a security attribute ([null] or
+    [priv]) and to the program counter a class [P] that is raised when the
+    machine branches on marked data. The paper (Example 1, continued) makes
+    two observations this module turns into runnable experiments:
+
+    - Fenton's [halt] statement, "[if P = null then halt]", is {e not
+      completely defined} when [P <> null], and the natural completion that
+      emits an error message is {e unsound}: a program can arrange to
+      produce the error message iff a secret is zero — negative inference.
+    - Even the benign completion (treat [halt] as a no-op) leaks through
+      {e running time}, which Fenton and Denning leave open and the paper
+      resolves by making time part of the output.
+
+    Marks here generalize [priv]/[null] to input-index sets, exactly like
+    the surveillance variables: a register is "[priv]" when its mark is not
+    contained in the policy's allowed set. The program-counter mark is
+    monotone by default; [Scoped] honors the {!Machine.Restore}
+    pseudo-instruction, which models Fenton's class-restoring return
+    discipline and is what makes the unsound halt interpretations
+    {e observable} as unsound. *)
+
+type pc_mode =
+  | Monotone  (** the pc mark only grows; [Restore] is a no-op *)
+  | Scoped  (** [Restore] pops the mark saved by the latest marked branch *)
+
+type halt_mode =
+  | Halt_noop
+      (** [P] marked: skip the halt and continue with the next instruction
+          (running past the last instruction spins forever). Fenton's
+          benign reading. *)
+  | Halt_error
+      (** [P] marked: emit a violation notice immediately. The reading the
+          paper proves unsound. *)
+  | Halt_checked
+      (** always stop; grant only if the output mark and [P] are within the
+          allowed set. The surveillance-style sound completion. *)
+
+type config = {
+  allowed : Secpol_core.Iset.t;
+  pc_mode : pc_mode;
+  halt_mode : halt_mode;
+  track_pc : bool;
+      (** The ablation the paper points at: "A key point here is that we
+          must keep track of [the surveillance variable] not only for
+          input, program, and output variables but also for the program
+          counter. The need to do this ... is independently illustrated in
+          Fenton." With [false] the machine tracks data marks only; the
+          implicit-copy machine then grants while copying a priv bit
+          through pure control flow — measured unsound. Default [true]. *)
+  fuel : int;
+}
+
+val config :
+  ?fuel:int -> ?pc_mode:pc_mode -> ?halt_mode:halt_mode -> ?track_pc:bool ->
+  Secpol_core.Policy.t -> config
+(** Defaults: [Monotone], [Halt_checked], [track_pc = true].
+    @raise Invalid_argument on a non-[allow] policy. *)
+
+val run :
+  config -> Machine.t -> Secpol_core.Value.t array -> Secpol_core.Mechanism.reply
+
+val mechanism : config -> Machine.t -> Secpol_core.Mechanism.t
+
+val notice : string
+(** The violation notice the marked-halt interpretations emit. *)

@@ -1,0 +1,153 @@
+module Program = Secpol_core.Program
+module Value = Secpol_core.Value
+
+type instr =
+  | Inc of int * int
+  | Decjz of int * int * int
+  | Restore of int
+  | Stop
+
+type t = {
+  name : string;
+  ninputs : int;
+  nregs : int;
+  out_reg : int;
+  code : instr array;
+  entry : int;
+}
+
+let make ~name ~ninputs ~nregs ~out_reg ?(entry = 0) code =
+  let m = { name; ninputs; nregs; out_reg; code; entry } in
+  let len = Array.length code in
+  let check_target t =
+    if t < 0 || t >= len then
+      invalid_arg (Printf.sprintf "Machine.make %s: jump target %d out of range" name t)
+  in
+  let check_reg r =
+    if r < 0 || r >= nregs then
+      invalid_arg (Printf.sprintf "Machine.make %s: register %d out of range" name r)
+  in
+  if ninputs > nregs then invalid_arg "Machine.make: ninputs > nregs";
+  if out_reg < 0 || out_reg >= nregs then invalid_arg "Machine.make: bad out_reg";
+  check_target entry;
+  Array.iter
+    (function
+      | Inc (r, n) ->
+          check_reg r;
+          check_target n
+      | Decjz (r, z, n) ->
+          check_reg r;
+          check_target z;
+          check_target n
+      | Restore n -> check_target n
+      | Stop -> ())
+    code;
+  m
+
+let default_fuel = 100_000
+
+let run ?(fuel = default_fuel) m inputs =
+  if Array.length inputs <> m.ninputs then
+    invalid_arg
+      (Printf.sprintf "Machine.run %s: expected %d inputs, got %d" m.name
+         m.ninputs (Array.length inputs));
+  let regs = Array.make m.nregs 0 in
+  Array.iteri (fun i v -> regs.(i) <- max 0 v) inputs;
+  let rec go pc steps =
+    if steps >= fuel then { Program.result = Program.Diverged; steps }
+    else
+      match m.code.(pc) with
+      | Inc (r, next) ->
+          regs.(r) <- regs.(r) + 1;
+          go next (steps + 1)
+      | Decjz (r, if_zero, next) ->
+          if regs.(r) = 0 then go if_zero (steps + 1)
+          else begin
+            regs.(r) <- regs.(r) - 1;
+            go next (steps + 1)
+          end
+      | Restore next -> go next (steps + 1)
+      | Stop ->
+          { Program.result = Program.Value (Value.Int regs.(m.out_reg)); steps }
+  in
+  go m.entry 0
+
+let program ?fuel m =
+  Program.make ~name:m.name ~arity:m.ninputs (fun a ->
+      run ?fuel m (Array.map Value.to_int a))
+
+let halts_within m ~fuel inputs =
+  match (run ~fuel m inputs).Program.result with
+  | Program.Value _ -> true
+  | Program.Diverged | Program.Fault _ -> false
+
+module Zoo = struct
+  (* out := x0 + x1: drain r0 into r2, then r1 into r2. *)
+  let adder =
+    make ~name:"adder" ~ninputs:2 ~nregs:3 ~out_reg:2
+      [|
+        Decjz (0, 2, 1) (* 0: r0 -> ... *);
+        Inc (2, 0) (* 1 *);
+        Decjz (1, 4, 3) (* 2: r1 -> ... *);
+        Inc (2, 2) (* 3 *);
+        Stop (* 4 *);
+      |]
+
+  (* out := 2 * x0 *)
+  let doubler =
+    make ~name:"doubler" ~ninputs:1 ~nregs:2 ~out_reg:1
+      [|
+        Decjz (0, 3, 1) (* 0 *);
+        Inc (1, 2) (* 1 *);
+        Inc (1, 0) (* 2 *);
+        Stop (* 3 *);
+      |]
+
+  (* out := if x0 = 0 then 1 else 0 *)
+  let zero_test =
+    make ~name:"zero-test" ~ninputs:1 ~nregs:2 ~out_reg:1
+      [|
+        Decjz (0, 1, 2) (* 0 *);
+        Inc (1, 2) (* 1 *);
+        Stop (* 2 *);
+      |]
+
+  (* Halts (out 0) iff x0 = 0; otherwise spins. *)
+  let looper =
+    make ~name:"looper" ~ninputs:1 ~nregs:2 ~out_reg:1
+      [|
+        Decjz (0, 2, 1) (* 0 *);
+        Inc (0, 0) (* 1: restore and spin *);
+        Stop (* 2 *);
+      |]
+
+  (* Counts x0 down to zero; output 0, time ~ x0. *)
+  let slow_counter =
+    make ~name:"slow-counter" ~ninputs:1 ~nregs:2 ~out_reg:1
+      [| Decjz (0, 1, 0) (* 0 *); Stop (* 1 *) |]
+
+  (* Implicit flow, Fenton's motivating case: copy whether x0 is zero into
+     the output purely through control flow. No data ever moves from
+     register 0 to register 1, so a machine tracking data marks alone
+     waves it through. *)
+  let implicit_copy =
+    make ~name:"implicit-copy" ~ninputs:1 ~nregs:2 ~out_reg:1
+      [|
+        Decjz (0, 2, 1) (* 0: branch on the secret *);
+        Stop (* 1: x0 <> 0, output stays 0 *);
+        Inc (1, 3) (* 2: x0 = 0, output := 1 *);
+        Stop (* 3 *);
+      |]
+
+  (* The paper's negative-inference trap (Example 1, continued): under the
+     scoped Data Mark Machine with the error-notice halt, this emits the
+     error iff x0 = 0 — leaking exactly the bit the policy withholds. *)
+  let negative_inference =
+    make ~name:"negative-inference" ~ninputs:1 ~nregs:2 ~out_reg:1
+      [|
+        Decjz (0, 1, 2) (* 0: branch on the secret *);
+        Stop (* 1: halt while the pc is marked *);
+        Restore 3 (* 2: clear the pc mark *);
+        Stop (* 3: clean halt *);
+      |]
+end

@@ -1,0 +1,73 @@
+(** Minsky register machines (Example 1's computation model).
+
+    Fenton's memoryless subsystems — the paper's running Example 1 — are
+    programs computed by Minsky machines: finitely many registers holding
+    naturals, increment and decrement-or-jump-if-zero instructions. The
+    machine here adds one pseudo-instruction, [Restore], used only by the
+    Data Mark Machine ({!Dmm}) to model Fenton's restoration of the program
+    counter's security class at control-flow joins; on a plain machine it is
+    a no-op costing one step.
+
+    Inputs load into registers [0 .. ninputs-1]; the output is the value of
+    [out_reg] when the machine halts. *)
+
+type instr =
+  | Inc of int * int  (** [Inc (r, next)]: increment register r *)
+  | Decjz of int * int * int
+      (** [Decjz (r, if_zero, else_next)]: if register r is zero jump to
+          [if_zero], otherwise decrement it and go to [else_next] *)
+  | Restore of int  (** pop the program-counter mark (Dmm only); no-op here *)
+  | Stop  (** halt *)
+
+type t = {
+  name : string;
+  ninputs : int;
+  nregs : int;  (** total registers; must be >= ninputs and > out_reg *)
+  out_reg : int;
+  code : instr array;
+  entry : int;
+}
+
+val make :
+  name:string -> ninputs:int -> nregs:int -> out_reg:int -> ?entry:int ->
+  instr array -> t
+(** @raise Invalid_argument on out-of-range registers or jump targets. *)
+
+val run : ?fuel:int -> t -> int array -> Secpol_core.Program.outcome
+(** Execute; one step per instruction executed. Negative inputs are clamped
+    to 0 (registers hold naturals). *)
+
+val program : ?fuel:int -> t -> Secpol_core.Program.t
+(** As an extensional program over integer inputs. *)
+
+val halts_within : t -> fuel:int -> int array -> bool
+(** Used by the Theorem 4 / Ruzzo construction: does the machine halt in at
+    most [fuel] steps on this input? *)
+
+(** A small zoo used by tests and experiments. *)
+module Zoo : sig
+  val adder : t
+  (** out := x0 + x1 *)
+
+  val doubler : t
+  (** out := 2 * x0 *)
+
+  val zero_test : t
+  (** out := 1 if x0 = 0 else 0 *)
+
+  val looper : t
+  (** halts iff x0 = 0 (spins forever otherwise) *)
+
+  val slow_counter : t
+  (** counts x0 down; running time proportional to x0, output 0 *)
+
+  val implicit_copy : t
+  (** out := (x0 = 0 ? 1 : 0) computed with no data flow at all — the
+      program that forces mark-tracking machines to watch the program
+      counter *)
+
+  val negative_inference : t
+  (** branches on the secret x0, halting inside the marked region when
+      x0 = 0 and after a [Restore] otherwise — the paper's Example 1
+      construction that makes the error-notice halt unsound *)
+end

@@ -1,0 +1,1 @@
+lib/probe/leakage.ml: Float Format Hashtbl List Partition Secpol_core

@@ -1,0 +1,1 @@
+lib/probe/leakage.mli: Format Secpol_core

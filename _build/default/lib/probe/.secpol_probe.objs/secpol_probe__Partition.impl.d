@@ -1,0 +1,1 @@
+lib/probe/partition.ml: Hashtbl List Secpol_core Seq

@@ -1,0 +1,1 @@
+lib/probe/partition.mli: Secpol_core

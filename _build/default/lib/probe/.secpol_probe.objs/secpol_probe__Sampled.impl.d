@@ -1,0 +1,1 @@
+lib/probe/sampled.ml: Array Format Random Secpol_core

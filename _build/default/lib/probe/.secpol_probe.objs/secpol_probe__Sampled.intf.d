@@ -1,0 +1,1 @@
+lib/probe/sampled.mli: Format Random Secpol_core

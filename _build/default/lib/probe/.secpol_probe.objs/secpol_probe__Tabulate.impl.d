@@ -1,0 +1,1 @@
+lib/probe/tabulate.ml: List Printf String

@@ -1,0 +1,68 @@
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+module Mechanism = Secpol_core.Mechanism
+
+type report = {
+  avg_bits : float;
+  max_bits : float;
+  leaky_classes : int;
+  classes : int;
+  points : int;
+}
+
+let entropy counts total =
+  let total = float_of_int total in
+  List.fold_left
+    (fun acc n ->
+      let p = float_of_int n /. total in
+      acc -. (p *. (Float.log p /. Float.log 2.0)))
+    0.0 counts
+
+let of_channel policy observe space =
+  let partition = Partition.compute policy space in
+  let class_stats =
+    List.map
+      (fun (_, members) ->
+        let dist : (Program.Obs.t, int ref) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun a ->
+            let o = observe a in
+            match Hashtbl.find_opt dist o with
+            | Some n -> incr n
+            | None -> Hashtbl.add dist o (ref 1))
+          members;
+        let counts = Hashtbl.fold (fun _ n acc -> !n :: acc) dist [] in
+        let size = List.length members in
+        (size, entropy counts size, Hashtbl.length dist > 1))
+      partition.Partition.classes
+  in
+  let points = partition.Partition.points in
+  let avg_bits =
+    List.fold_left
+      (fun acc (size, h, _) -> acc +. (float_of_int size /. float_of_int points *. h))
+      0.0 class_stats
+  in
+  let max_bits = List.fold_left (fun acc (_, h, _) -> Float.max acc h) 0.0 class_stats in
+  let leaky_classes =
+    List.length (List.filter (fun (_, _, leaky) -> leaky) class_stats)
+  in
+  {
+    avg_bits;
+    max_bits;
+    leaky_classes;
+    classes = List.length class_stats;
+    points;
+  }
+
+let of_program ?(view = `Value) policy q space =
+  of_channel policy (fun a -> Program.observe view (Program.run q a)) space
+
+let of_mechanism ?(view = `Value) policy m space =
+  of_channel policy (fun a -> Mechanism.observe view (Mechanism.respond m a)) space
+
+let is_tight r = r.leaky_classes = 0
+
+let pp ppf r =
+  Format.fprintf ppf "avg %.4f bits, max %.4f bits (%d/%d classes leak)"
+    r.avg_bits r.max_bits r.leaky_classes r.classes

@@ -1,0 +1,50 @@
+(** Quantifying leaks in bits.
+
+    Soundness is all-or-nothing; real systems (the paper's logon program,
+    Example 5) survive on leaks that are merely {e small}. This module puts
+    a number on "small": assuming inputs uniform over the space, the mutual
+    information between what the policy withholds and what the user
+    observes, i.e. the expected Shannon entropy of the observable within a
+    policy class
+
+    [leak = Σ_c (|c| / N) · H(obs | c)].
+
+    A mechanism is sound iff the observable is constant per class iff this
+    is zero bits. The paper's logon program leaks a fraction of a bit per
+    query; an unprotected branch-on-secret leaks a whole bit; a timing
+    channel leaks [log2] of the number of distinguishable durations. *)
+
+type report = {
+  avg_bits : float;  (** expected leak over a uniform input *)
+  max_bits : float;  (** worst class *)
+  leaky_classes : int;  (** classes with a non-constant observable *)
+  classes : int;
+  points : int;
+}
+
+val of_channel :
+  Secpol_core.Policy.t ->
+  (Secpol_core.Value.t array -> Secpol_core.Program.Obs.t) ->
+  Secpol_core.Space.t ->
+  report
+(** Generic form: any deterministic observation function. *)
+
+val of_program :
+  ?view:Secpol_core.Program.view ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  report
+(** Leakage of the bare program (as its own mechanism). *)
+
+val of_mechanism :
+  ?view:Secpol_core.Program.view ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Space.t ->
+  report
+
+val is_tight : report -> bool
+(** Zero leak: the channel is sound. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,29 @@
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Space = Secpol_core.Space
+
+type t = { classes : (Value.t * Value.t array list) list; points : int }
+
+let compute policy space =
+  let tbl : (Value.t, Value.t array list ref) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let points = ref 0 in
+  Seq.iter
+    (fun a ->
+      incr points;
+      let key = Policy.image policy a in
+      match Hashtbl.find_opt tbl key with
+      | Some members -> members := a :: !members
+      | None ->
+          Hashtbl.add tbl key (ref [ a ]);
+          order := key :: !order)
+    (Space.enumerate space);
+  let classes =
+    List.rev_map (fun key -> (key, List.rev !(Hashtbl.find tbl key))) !order
+  in
+  { classes; points = !points }
+
+let class_count t = List.length t.classes
+
+let largest_class t =
+  List.fold_left (fun acc (_, members) -> max acc (List.length members)) 0 t.classes

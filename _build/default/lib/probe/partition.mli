@@ -1,0 +1,20 @@
+(** Partitioning an input space by a policy.
+
+    The equivalence classes of [a ~ b <=> I(a) = I(b)] are the unit of every
+    enforcement question: a sound mechanism is exactly one that is constant
+    on each class, and the maximal mechanism grants exactly the classes on
+    which the protected program is constant. *)
+
+type t = {
+  classes : (Secpol_core.Value.t * Secpol_core.Value.t array list) list;
+      (** [(image, members)] per class; members in enumeration order *)
+  points : int;  (** total number of inputs *)
+}
+
+val compute : Secpol_core.Policy.t -> Secpol_core.Space.t -> t
+
+val class_count : t -> int
+
+val largest_class : t -> int
+(** Size of the biggest class — an upper bound on how much a violation of
+    soundness could reveal. *)

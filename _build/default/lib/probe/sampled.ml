@@ -1,0 +1,46 @@
+module Iset = Secpol_core.Iset
+module Policy = Secpol_core.Policy
+module Space = Secpol_core.Space
+module Program = Secpol_core.Program
+module Mechanism = Secpol_core.Mechanism
+module Soundness = Secpol_core.Soundness
+
+type verdict = Probably_sound of int | Unsound of Soundness.witness
+
+let check ?(view = `Value) ~rng ~trials policy m space =
+  let arity = Space.arity space in
+  let allowed =
+    match Policy.allowed_indices policy with
+    | Some j -> j
+    | None ->
+        invalid_arg
+          "Sampled.check: coordinate resampling needs an allow(...) policy"
+  in
+  let observe a = Mechanism.observe view (Mechanism.respond m a) in
+  let resample_disallowed a =
+    let b = Array.copy a in
+    for i = 0 to arity - 1 do
+      if not (Iset.mem i allowed) then begin
+        let d = Space.domain space i in
+        b.(i) <- d.(Random.State.int rng (Array.length d))
+      end
+    done;
+    b
+  in
+  let rec go t =
+    if t >= trials then Probably_sound trials
+    else begin
+      let a = Space.sample rng space in
+      let b = resample_disallowed a in
+      let oa = observe a and ob = observe b in
+      if Program.Obs.equal oa ob then go (t + 1)
+      else
+        Unsound
+          { Soundness.input_a = a; input_b = b; obs_a = oa; obs_b = ob }
+    end
+  in
+  go 0
+
+let pp_verdict ppf = function
+  | Probably_sound n -> Format.fprintf ppf "no discrepancy in %d trials" n
+  | Unsound w -> Soundness.pp_verdict ppf (Soundness.Unsound w)

@@ -1,0 +1,24 @@
+(** Sampling-based soundness probing for spaces too large to enumerate.
+
+    The black-box analogue of {!Secpol_core.Soundness.check}: draw an input,
+    resample its disallowed coordinates (which by construction stays inside
+    the same policy class), and compare observations. A discrepancy is a
+    proof of unsoundness; [trials] agreements are only evidence — the
+    verdict says so. Only [allow(...)] policies support coordinate
+    resampling. *)
+
+type verdict =
+  | Probably_sound of int  (** trials performed, no discrepancy *)
+  | Unsound of Secpol_core.Soundness.witness
+
+val check :
+  ?view:Secpol_core.Program.view ->
+  rng:Random.State.t ->
+  trials:int ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Space.t ->
+  verdict
+(** @raise Invalid_argument on a non-[allow] policy. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,31 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg
+      (Printf.sprintf "Tabulate.add_row: expected %d cells, got %d"
+         (List.length t.header) (List.length row));
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length t.header)
+      rows
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths cells)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" ((line t.header :: rule :: List.map line rows) @ [ "" ])
+
+let print ?title t =
+  (match title with Some s -> Printf.printf "%s\n" s | None -> ());
+  print_string (render t)

@@ -1,0 +1,14 @@
+(** Plain-text tables for the experiment harness. *)
+
+type t
+
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val render : t -> string
+(** Monospace table with aligned columns and a rule under the header. *)
+
+val print : ?title:string -> t -> unit
+(** Render to stdout, optionally preceded by a title line. *)

@@ -1,0 +1,1 @@
+lib/secpol/release.ml: List Printf Secpol_core Secpol_flowgraph Secpol_staticflow Secpol_taint Secpol_transform

@@ -1,0 +1,1 @@
+lib/secpol/release.mli: Secpol_core Secpol_flowgraph

@@ -1,0 +1,52 @@
+(** The library under one roof.
+
+    [Secpol] re-exports the model ({!Policy}, {!Mechanism}, {!Soundness},
+    ...), the flowchart language ({!Ast}, {!Graph}, {!Compile}, ...), the
+    enforcement constructions ({!Dynamic}, {!Certify}, {!Instrument}, ...)
+    and the measuring apparatus, so applications need a single library
+    dependency — and adds {!Release}, the packaged decision procedure for
+    "how should this program be let out of the building under this
+    policy?". *)
+
+(* The basic model (paper Section 2). *)
+module Value = Secpol_core.Value
+module Iset = Secpol_core.Iset
+module Space = Secpol_core.Space
+module Program = Secpol_core.Program
+module Policy = Secpol_core.Policy
+module Policy_order = Secpol_core.Policy_order
+module Mechanism = Secpol_core.Mechanism
+module Soundness = Secpol_core.Soundness
+module Completeness = Secpol_core.Completeness
+module Maximal = Secpol_core.Maximal
+module Integrity = Secpol_core.Integrity
+module Lattice = Secpol_core.Lattice
+
+(* The flowchart language (Section 3's programs). *)
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Ast = Secpol_flowgraph.Ast
+module Graph = Secpol_flowgraph.Graph
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Graphalgo = Secpol_flowgraph.Graphalgo
+
+(* Enforcement constructions. *)
+module Dynamic = Secpol_taint.Dynamic
+module Instrument = Secpol_taint.Instrument
+module Certify = Secpol_staticflow.Certify
+module Dataflow = Secpol_staticflow.Dataflow
+module Halt_guard = Secpol_staticflow.Halt_guard
+module Transforms = Secpol_transform.Transforms
+module Graph_ite = Secpol_transform.Graph_ite
+module Search = Secpol_transform.Search
+
+(* Measurement. *)
+module Partition = Secpol_probe.Partition
+module Leakage = Secpol_probe.Leakage
+module Sampled = Secpol_probe.Sampled
+
+(* Concrete syntax. *)
+module Source = Secpol_lang.Source
+
+module Release = Release

@@ -1,0 +1,1 @@
+lib/staticflow/certify.ml: List Printf Secpol_core Secpol_flowgraph

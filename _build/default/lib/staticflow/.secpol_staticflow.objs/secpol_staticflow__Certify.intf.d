@@ -1,0 +1,1 @@
+lib/staticflow/certify.mli: Secpol_core Secpol_flowgraph

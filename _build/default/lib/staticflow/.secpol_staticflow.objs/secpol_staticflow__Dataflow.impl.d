@@ -1,0 +1,1 @@
+lib/staticflow/dataflow.ml: Array Fun List Printf Secpol_core Secpol_flowgraph

@@ -1,0 +1,1 @@
+lib/staticflow/dataflow.mli: Secpol_core Secpol_flowgraph

@@ -1,0 +1,1 @@
+lib/staticflow/halt_guard.ml: Array Dataflow List Secpol_core Secpol_flowgraph

@@ -1,0 +1,1 @@
+lib/staticflow/halt_guard.mli: Secpol_core Secpol_flowgraph

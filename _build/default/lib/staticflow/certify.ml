@@ -1,0 +1,78 @@
+module Iset = Secpol_core.Iset
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Ast = Secpol_flowgraph.Ast
+module Interp = Secpol_flowgraph.Interp
+
+type env = Iset.t Var.Map.t
+
+let taint_of env v =
+  match Var.Map.find_opt v env with Some t -> t | None -> Iset.empty
+
+let expr_taint env e =
+  Var.Set.fold (fun v acc -> Iset.union (taint_of env v) acc) (Expr.vars e) Iset.empty
+
+let pred_taint env p =
+  Var.Set.fold
+    (fun v acc -> Iset.union (taint_of env v) acc)
+    (Expr.pred_vars p) Iset.empty
+
+let merge (a : env) (b : env) : env =
+  Var.Map.union (fun _ ta tb -> Some (Iset.union ta tb)) a b
+
+let env_equal (a : env) (b : env) = Var.Map.equal Iset.equal a b
+
+(* Flow-sensitive abstract interpretation over the finite taint lattice.
+   [pc] carries the taint of every enclosing test. *)
+let rec exec (pc : Iset.t) (env : env) = function
+  | Ast.Skip -> env
+  | Ast.Assign (v, e) ->
+      Var.Map.add v (Iset.union (expr_taint env e) pc) env
+  | Ast.Seq l -> List.fold_left (exec pc) env l
+  | Ast.If (p, a, b) ->
+      let pc' = Iset.union pc (pred_taint env p) in
+      merge (exec pc' env a) (exec pc' env b)
+  | Ast.While (p, body) ->
+      (* Iterate to fixpoint; the loop may run zero times, so the result is
+         always joined with the incoming environment. *)
+      let rec fix env =
+        let pc' = Iset.union pc (pred_taint env p) in
+        let env' = merge env (exec pc' env body) in
+        if env_equal env env' then env' else fix env'
+      in
+      fix env
+
+let initial_env arity : env =
+  let rec add i env =
+    if i >= arity then env
+    else add (i + 1) (Var.Map.add (Var.Input i) (Iset.singleton i) env)
+  in
+  add 0 Var.Map.empty
+
+type report = { certified : bool; out_taint : Iset.t; env : env }
+
+let analyze ?(presimplify = false) ~allowed (p : Ast.prog) =
+  let p = if presimplify then Ast.simplify_exprs p else p in
+  let env = exec Iset.empty (initial_env p.Ast.arity) p.Ast.body in
+  let out_taint = taint_of env Var.Out in
+  { certified = Iset.subset out_taint allowed; out_taint; env }
+
+let allowed_of policy =
+  match Policy.allowed_indices policy with
+  | Some j -> j
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Certify: certification is defined for allow(...) policies, got %s"
+           (Policy.name policy))
+
+let certified ~policy p = (analyze ~allowed:(allowed_of policy) p).certified
+
+let mechanism ?fuel ~policy (p : Ast.prog) =
+  let name = Printf.sprintf "certified(%s)" p.Ast.name in
+  if certified ~policy p then
+    Mechanism.rename name (Mechanism.of_program (Interp.ast_program ?fuel p))
+  else
+    Mechanism.rename name (Mechanism.pull_the_plug p.Ast.arity)

@@ -1,0 +1,49 @@
+(** Compile-time certification of information flow (Section 5).
+
+    Section 5 observes that static flow analysis — "closely related to the
+    flow analysis performed by compilers" — can enforce a policy before the
+    program runs, provided the analysis tracks flows through the program
+    counter as well as through data (otherwise negative inference leaks).
+    This is the Denning–Denning certification semantics, implemented over
+    the structured AST.
+
+    The analysis computes, for every variable, a conservative taint: the set
+    of inputs whose value may influence it on {e some} execution. Branches
+    are analyzed in a context carrying the test's taint; the two arms'
+    results are joined pointwise. Loops iterate to a fixpoint (the taint
+    lattice is finite, so this terminates).
+
+    A program certifies for [allow(J)] iff the output variable's final taint
+    is contained in [J]. Certification is conservative: a certified program
+    leaks nothing (for terminating programs with unobservable running time),
+    but non-certified programs may still be perfectly innocent — the E9
+    experiment measures that gap against the dynamic mechanisms. *)
+
+type report = {
+  certified : bool;
+  out_taint : Secpol_core.Iset.t;  (** final taint of the output variable *)
+  env : Secpol_core.Iset.t Secpol_flowgraph.Var.Map.t;
+      (** final taint of every variable *)
+}
+
+val analyze :
+  ?presimplify:bool -> allowed:Secpol_core.Iset.t -> Secpol_flowgraph.Ast.prog -> report
+(** With [~presimplify:true] the program's expressions are algebraically
+    simplified first, so dead operands ([x * 0], equal-armed selects) stop
+    tainting the analysis — strictly more programs certify, at zero
+    soundness cost since simplification preserves meaning. Default
+    [false]: the plain Denning-style analysis. *)
+
+val certified : policy:Secpol_core.Policy.t -> Secpol_flowgraph.Ast.prog -> bool
+(** @raise Invalid_argument on a non-[allow] policy. *)
+
+val mechanism :
+  ?fuel:int ->
+  policy:Secpol_core.Policy.t ->
+  Secpol_flowgraph.Ast.prog ->
+  Secpol_core.Mechanism.t
+(** The compile-time protection mechanism: if the program certifies, run it
+    unmodified (zero runtime overhead — the point of static enforcement);
+    otherwise refuse every input with a violation notice. Either way the
+    mechanism's behaviour is fixed at "compile time", so it is trivially
+    sound; completeness is all-or-nothing per (program, policy). *)

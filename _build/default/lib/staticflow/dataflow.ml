@@ -1,0 +1,140 @@
+module Iset = Secpol_core.Iset
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Graph = Secpol_flowgraph.Graph
+module Interp = Secpol_flowgraph.Interp
+module Graphalgo = Secpol_flowgraph.Graphalgo
+
+type env = Iset.t Var.Map.t
+
+let taint_of env v =
+  match Var.Map.find_opt v env with Some t -> t | None -> Iset.empty
+
+let vars_taint env vs =
+  Var.Set.fold (fun v acc -> Iset.union (taint_of env v) acc) vs Iset.empty
+
+let merge (a : env) (b : env) : env =
+  Var.Map.union (fun _ ta tb -> Some (Iset.union ta tb)) a b
+
+let env_equal (a : env) (b : env) = Var.Map.equal Iset.equal a b
+
+(* Nodes reachable from [d]'s successors without passing through [stop]
+   (-1: no stop). This is the single-entry region the decision controls. *)
+let region g d stop =
+  let n = Graph.node_count g in
+  let in_region = Array.make n false in
+  let rec visit i =
+    if i <> stop && not in_region.(i) then begin
+      in_region.(i) <- true;
+      List.iter visit (Graph.successors g i)
+    end
+  in
+  List.iter visit (Graph.successors g d);
+  in_region
+
+type report = {
+  certified : bool;
+  halt_taints : (int * Iset.t) list;
+  pc_taint : Iset.t array;
+}
+
+let analyze ~allowed g =
+  let n = Graph.node_count g in
+  let reach = Graph.reachable g in
+  let ipd = Graphalgo.immediate_postdominator g in
+  let preds = Graphalgo.predecessors g in
+  let decisions =
+    List.filter
+      (fun i -> reach.(i) && match g.Graph.nodes.(i) with Graph.Decision _ -> true | _ -> false)
+      (List.init n Fun.id)
+  in
+  let regions = List.map (fun d -> (d, region g d ipd.(d))) decisions in
+  let initial : env =
+    let rec add i env =
+      if i >= g.Graph.arity then env
+      else add (i + 1) (Var.Map.add (Var.Input i) (Iset.singleton i) env)
+    in
+    add 0 Var.Map.empty
+  in
+  (* in_env.(i): taint environment on entry to node i. *)
+  let in_env = Array.make n Var.Map.empty in
+  in_env.(g.Graph.entry) <- initial;
+  let pc = Array.make n Iset.empty in
+  let test_taint d =
+    match g.Graph.nodes.(d) with
+    | Graph.Decision (p, _, _) -> vars_taint in_env.(d) (Expr.pred_vars p)
+    | _ -> assert false
+  in
+  let out_env i =
+    match g.Graph.nodes.(i) with
+    | Graph.Assign (v, e, _) ->
+        Var.Map.add v (Iset.union (vars_taint in_env.(i) (Expr.vars e)) pc.(i)) in_env.(i)
+    | Graph.Start _ | Graph.Decision _ | Graph.Halt | Graph.Halt_violation _ ->
+        in_env.(i)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Refresh control contexts from current test taints. *)
+    List.iter
+      (fun (d, in_region) ->
+        let t = test_taint d in
+        for i = 0 to n - 1 do
+          if in_region.(i) then begin
+            let t' = Iset.union pc.(i) t in
+            if not (Iset.equal t' pc.(i)) then begin
+              pc.(i) <- t';
+              changed := true
+            end
+          end
+        done)
+      regions;
+    (* One round of forward propagation. *)
+    for i = 0 to n - 1 do
+      if reach.(i) && i <> g.Graph.entry then begin
+        let joined =
+          List.fold_left
+            (fun acc p -> if reach.(p) then merge acc (out_env p) else acc)
+            Var.Map.empty preds.(i)
+        in
+        if not (env_equal joined in_env.(i)) then begin
+          in_env.(i) <- joined;
+          changed := true
+        end
+      end
+    done
+  done;
+  let halt_taints =
+    List.filter_map
+      (fun h ->
+        if not reach.(h) then None
+        else
+          match g.Graph.nodes.(h) with
+          | Graph.Halt ->
+              Some (h, Iset.union (taint_of in_env.(h) Var.Out) pc.(h))
+          | _ -> None)
+      (Graph.halt_nodes g)
+  in
+  let certified =
+    List.for_all (fun (_, t) -> Iset.subset t allowed) halt_taints
+  in
+  { certified; halt_taints; pc_taint = pc }
+
+let allowed_of policy =
+  match Policy.allowed_indices policy with
+  | Some j -> j
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Dataflow: certification is defined for allow(...) policies, got %s"
+           (Policy.name policy))
+
+let certified ~policy g = (analyze ~allowed:(allowed_of policy) g).certified
+
+let mechanism ?fuel ~policy g =
+  let name = Printf.sprintf "static(%s)" g.Graph.name in
+  if certified ~policy g then
+    Mechanism.rename name (Mechanism.of_program (Interp.graph_program ?fuel g))
+  else Mechanism.rename name (Mechanism.pull_the_plug g.Graph.arity)

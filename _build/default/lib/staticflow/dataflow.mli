@@ -1,0 +1,39 @@
+(** Static information-flow analysis directly over flowcharts.
+
+    The structured certifier ({!Certify}) needs syntax; real programs in the
+    paper's model are arbitrary flowcharts. This module runs a maximal
+    fixed-point dataflow analysis on the graph itself:
+
+    - a forward taint environment per node (join over predecessors), and
+    - a control-context taint per node: node [n] sits in the {e region} of
+      decision [d] — between [d] and [d]'s immediate postdominator — iff
+      [n] is reachable from a successor of [d] without passing through the
+      postdominator. The region is where [d]'s test can influence {e
+      whether} things happen; every assignment inside it picks up the
+      test's taint.
+
+    Because the analysis ranges over all paths (the branch {e not} taken
+    still contributes its assignments' taints), its verdict is sound where
+    the dynamic scoped mechanism is not — the classic static/dynamic
+    flow-sensitivity asymmetry, measured in experiment E9. *)
+
+type report = {
+  certified : bool;
+      (** every reachable halt box outputs taint within the allowed set *)
+  halt_taints : (int * Secpol_core.Iset.t) list;
+      (** per reachable halt node: the output-plus-context taint checked *)
+  pc_taint : Secpol_core.Iset.t array;  (** control context per node *)
+}
+
+val analyze : allowed:Secpol_core.Iset.t -> Secpol_flowgraph.Graph.t -> report
+
+val certified :
+  policy:Secpol_core.Policy.t -> Secpol_flowgraph.Graph.t -> bool
+(** @raise Invalid_argument on a non-[allow] policy. *)
+
+val mechanism :
+  ?fuel:int ->
+  policy:Secpol_core.Policy.t ->
+  Secpol_flowgraph.Graph.t ->
+  Secpol_core.Mechanism.t
+(** Certify-then-run: the flowchart-level compile-time mechanism. *)

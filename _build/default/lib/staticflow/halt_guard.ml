@@ -1,0 +1,34 @@
+module Iset = Secpol_core.Iset
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+module Program = Secpol_core.Program
+module Graph = Secpol_flowgraph.Graph
+module Interp = Secpol_flowgraph.Interp
+
+let notice = "\xce\x9b"
+
+let guard ~allowed g =
+  let report = Dataflow.analyze ~allowed g in
+  let dirty =
+    List.filter_map
+      (fun (h, taint) -> if Iset.subset taint allowed then None else Some h)
+      report.Dataflow.halt_taints
+  in
+  let nodes =
+    Array.mapi
+      (fun i node ->
+        if List.mem i dirty then Graph.Halt_violation notice else node)
+      g.Graph.nodes
+  in
+  Graph.make ~name:(g.Graph.name ^ "+guard") ~arity:g.Graph.arity
+    ~entry:g.Graph.entry nodes
+
+let mechanism ?fuel ~policy g =
+  let allowed =
+    match Policy.allowed_indices policy with
+    | Some j -> j
+    | None ->
+        invalid_arg
+          "Halt_guard.mechanism: defined for allow(...) policies only"
+  in
+  Interp.graph_mechanism ?fuel (guard ~allowed g)

@@ -1,0 +1,29 @@
+(** Per-halt compile-time enforcement (Example 9's mechanism).
+
+    Whole-program certification ({!Dataflow.certified}) is all-or-nothing:
+    one dirty path condemns every input. Example 9's duplication transform
+    works because the mechanism it feeds is finer-grained: each halt box is
+    checked {e separately}, and only the halt boxes whose statically
+    computed output taint escapes the allowed set are replaced by violation
+    halts. The rewritten flowchart is itself the mechanism — enforcement
+    costs nothing at run time, and inputs that reach a clean halt are
+    served.
+
+    The per-halt check includes the halt's control context (the taints of
+    the decisions it sits under), so reaching-a-given-halt can only encode
+    allowed information: the construction stays sound. When the decisions
+    guarding a halt are themselves disallowed, the context taints the halt
+    and it is (correctly) replaced — this is why the mechanism only
+    improves on whole-program certification when the branching is on
+    {e allowed} data, exactly Example 9's situation. *)
+
+val guard : allowed:Secpol_core.Iset.t -> Secpol_flowgraph.Graph.t -> Secpol_flowgraph.Graph.t
+(** Replace statically uncertifiable halt boxes with violation halts. *)
+
+val mechanism :
+  ?fuel:int ->
+  policy:Secpol_core.Policy.t ->
+  Secpol_flowgraph.Graph.t ->
+  Secpol_core.Mechanism.t
+(** Package the guarded flowchart as a protection mechanism.
+    @raise Invalid_argument on a non-[allow] policy. *)

@@ -1,0 +1,1 @@
+lib/taint/dynamic.ml: Array Printf Secpol_core Secpol_flowgraph

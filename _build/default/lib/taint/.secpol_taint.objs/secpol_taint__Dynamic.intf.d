@@ -1,0 +1,1 @@
+lib/taint/dynamic.mli: Secpol_core Secpol_flowgraph

@@ -1,0 +1,1 @@
+lib/taint/instrument.ml: Array Dynamic Printf Secpol_core Secpol_flowgraph

@@ -1,0 +1,1 @@
+lib/taint/instrument.mli: Secpol_core Secpol_flowgraph

@@ -1,0 +1,183 @@
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+module Graph = Secpol_flowgraph.Graph
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Store = Secpol_flowgraph.Store
+module Interp = Secpol_flowgraph.Interp
+module Graphalgo = Secpol_flowgraph.Graphalgo
+
+type mode = High_water | Surveillance | Scoped | Timed
+
+let mode_name = function
+  | High_water -> "high-water"
+  | Surveillance -> "surveillance"
+  | Scoped -> "scoped"
+  | Timed -> "timed"
+
+let all_modes = [ High_water; Surveillance; Scoped; Timed ]
+
+type config = {
+  mode : mode;
+  allowed : Iset.t;
+  fuel : int;
+  cost : Expr.cost_model;
+  chatty_notices : bool;
+}
+
+let notice = "\xce\x9b" (* Λ *)
+
+let config ?(fuel = Interp.default_fuel) ?(cost = Expr.Uniform)
+    ?(chatty_notices = false) ~mode policy =
+  match Policy.allowed_indices policy with
+  | Some allowed -> { mode; allowed; fuel; cost; chatty_notices }
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Dynamic.config: surveillance is defined for allow(...) policies, \
+            got %s"
+           (Policy.name policy))
+
+(* Taint store: one surveillance variable per program variable. *)
+module Taint_store = struct
+  type t = {
+    inputs : Iset.t array;
+    mutable regs : Iset.t array;
+    mutable out : Iset.t;
+  }
+
+  let create ~arity ~max_reg =
+    {
+      inputs = Array.init arity Iset.singleton;
+      regs = Array.make (max 1 (max_reg + 1)) Iset.empty;
+      out = Iset.empty;
+    }
+
+  let ensure st i =
+    if i >= Array.length st.regs then begin
+      let bigger = Array.make (max (i + 1) (2 * Array.length st.regs)) Iset.empty in
+      Array.blit st.regs 0 bigger 0 (Array.length st.regs);
+      st.regs <- bigger
+    end
+
+  let get st = function
+    | Var.Input i -> st.inputs.(i)
+    | Var.Reg i ->
+        ensure st i;
+        st.regs.(i)
+    | Var.Out -> st.out
+
+  let set st v l =
+    match v with
+    | Var.Input i -> st.inputs.(i) <- l
+    | Var.Reg i ->
+        ensure st i;
+        st.regs.(i) <- l
+    | Var.Out -> st.out <- l
+
+  let of_vars st vs =
+    Var.Set.fold (fun v acc -> Iset.union (get st v) acc) vs Iset.empty
+end
+
+let reply response steps = { Mechanism.response; steps }
+
+let denied cfg ~taint steps =
+  let text =
+    if cfg.chatty_notices then
+      Printf.sprintf "%s: disallowed surveillance value %s" notice
+        (Iset.to_string taint)
+    else notice
+  in
+  reply (Mechanism.Denied text) steps
+
+let run cfg g inputs =
+  if Array.length inputs <> g.Graph.arity then
+    invalid_arg
+      (Printf.sprintf "Dynamic.run %s: expected %d inputs, got %d" g.Graph.name
+         g.Graph.arity (Array.length inputs));
+  let max_reg = Graph.max_reg g in
+  match Store.of_values ~inputs ~max_reg with
+  | exception Invalid_argument m -> reply (Mechanism.Failed m) 0
+  | store ->
+      let taints = Taint_store.create ~arity:g.Graph.arity ~max_reg in
+      let env = Store.lookup store in
+      let ipd =
+        match cfg.mode with
+        | Scoped -> Graphalgo.immediate_postdominator g
+        | High_water | Surveillance | Timed -> [||]
+      in
+      (* Scoped mode: frames of (saved C̄, node at which to restore it). *)
+      let frames : (Iset.t * int) list ref = ref [] in
+      let pc = ref Iset.empty in
+      let restore_at node =
+        let rec pop () =
+          match !frames with
+          | (saved, at) :: rest when at = node ->
+              pc := saved;
+              frames := rest;
+              pop ()
+          | _ -> ()
+        in
+        pop ()
+      in
+      let last_steps = ref 0 in
+      let ok l = Iset.subset l cfg.allowed in
+      let rec go node steps =
+        last_steps := steps;
+        if cfg.mode = Scoped then restore_at node;
+        match g.Graph.nodes.(node) with
+        | Graph.Start next -> go next steps
+        | Graph.Assign (v, e, next) ->
+            if steps >= cfg.fuel then reply Mechanism.Hung steps
+            else begin
+              let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
+              let base = Iset.union rhs_taint !pc in
+              let taint =
+                match cfg.mode with
+                | High_water -> Iset.union (Taint_store.get taints v) base
+                | Surveillance | Scoped | Timed -> base
+              in
+              let value, extra = Expr.eval_cost cfg.cost env e in
+              Store.set store v value;
+              Taint_store.set taints v taint;
+              go next (steps + 1 + extra)
+            end
+        | Graph.Decision (p, if_true, if_false) ->
+            if steps >= cfg.fuel then reply Mechanism.Hung steps
+            else begin
+              let test_taint = Taint_store.of_vars taints (Expr.pred_vars p) in
+              match cfg.mode with
+              | Timed when not (ok (Iset.union test_taint !pc)) ->
+                  (* Rule of Theorem 3': abort before the disallowed test. *)
+                  denied cfg ~taint:(Iset.union test_taint !pc) steps
+              | High_water | Surveillance | Timed ->
+                  pc := Iset.union !pc test_taint;
+                  let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                  go (if taken then if_true else if_false) (steps + 1 + extra)
+              | Scoped ->
+                  (if ipd.(node) >= 0 then
+                     frames := (!pc, ipd.(node)) :: !frames);
+                  pc := Iset.union !pc test_taint;
+                  let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                  go (if taken then if_true else if_false) (steps + 1 + extra)
+            end
+        | Graph.Halt ->
+            let out_taint = Iset.union (Taint_store.get taints Var.Out) !pc in
+            if ok out_taint then
+              reply (Mechanism.Granted (Value.Int (Store.output store))) steps
+            else denied cfg ~taint:out_taint steps
+        | Graph.Halt_violation n -> reply (Mechanism.Denied n) steps
+      in
+      (try go g.Graph.entry 0
+       with Expr.Runtime_fault m -> reply (Mechanism.Failed m) !last_steps)
+
+let mechanism cfg g =
+  Mechanism.make
+    ~name:(Printf.sprintf "%s(%s)" (mode_name cfg.mode) g.Graph.name)
+    ~arity:g.Graph.arity
+    (fun a -> run cfg g a)
+
+let mechanism_of ?fuel ?cost ~mode policy g =
+  mechanism (config ?fuel ?cost ~mode policy) g

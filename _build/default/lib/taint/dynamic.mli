@@ -1,0 +1,90 @@
+(** Dynamic enforcement: the surveillance mechanism and its relatives.
+
+    Section 3 of the paper associates with every variable [v] a surveillance
+    variable [v̄] — the set of input indices that may have affected [v]'s
+    current value — and with the program counter a surveillance variable
+    [C̄]. This module implements that bookkeeping directly inside the
+    interpreter (the equivalent source-to-source construction is
+    {!Instrument}; a test asserts they agree pointwise).
+
+    Four mechanisms share the machinery:
+
+    - {b High-water mark} ([High_water]): surveillance variables only ever
+      grow; an assignment adds the right-hand side's taint to the target's.
+      The paper's baseline; it cannot "forget".
+    - {b Surveillance} ([Surveillance], the paper's [M]): an assignment
+      {e replaces} the target's taint by the right-hand side's taint joined
+      with [C̄]. [C̄] grows at every decision and never shrinks. Sound when
+      running time is not observable (Theorem 3); at least as complete as
+      high-water, sometimes strictly more (it forgets).
+    - {b Timed surveillance} ([Timed], the paper's [M']): like surveillance
+      but the violation notice is issued {e at the decision box}, the moment
+      a disallowed variable is about to be tested. Sound even when running
+      time is observable (Theorem 3') — the abort happens before the secret
+      can influence control flow, hence before it can influence timing.
+    - {b Scoped surveillance} ([Scoped]): like surveillance, but [C̄] is
+      restored to its previous value at the immediate postdominator of each
+      decision — the "recognize single-entry single-exit constructs"
+      refinement of Section 4 applied to the program counter. Strictly more
+      complete on programs that compute after a tainted branch rejoins, and
+      {e deliberately included although unsound in general}: whether it
+      emits a violation can itself depend on the tested secret (the paper's
+      "negative inference"). The experiment suite exhibits the
+      counterexample; see EXPERIMENTS.md. *)
+
+module Graph = Secpol_flowgraph.Graph
+
+type mode = High_water | Surveillance | Scoped | Timed
+
+val mode_name : mode -> string
+
+val all_modes : mode list
+
+type config = {
+  mode : mode;
+  allowed : Secpol_core.Iset.t;  (** the policy [allow(J)] being enforced *)
+  fuel : int;
+  cost : Secpol_flowgraph.Expr.cost_model;
+      (** Theorem 3' assumes [Uniform]; under [Operand_sized] even the
+          timed mechanism leaks through granted-run durations — the side
+          condition the paper states, made measurable (experiment E12) *)
+  chatty_notices : bool;
+      (** When true, violation notices name the offending surveillance
+          variable's value — the "helpful" diagnostics of Example 4's
+          Denning/Rotenberg mechanisms. The taint set is path-dependent,
+          the path depends on disallowed values, so distinct notices can
+          split a policy class: the tests exhibit the resulting
+          unsoundness. Default false (the single notice Λ). *)
+}
+
+val config :
+  ?fuel:int ->
+  ?cost:Secpol_flowgraph.Expr.cost_model ->
+  ?chatty_notices:bool ->
+  mode:mode ->
+  Secpol_core.Policy.t ->
+  config
+(** Builds a configuration from an [allow(...)] policy.
+    @raise Invalid_argument on a general filter policy: the surveillance
+    construction is defined for policies of the allow form. *)
+
+val run :
+  config -> Graph.t -> Secpol_core.Value.t array -> Secpol_core.Mechanism.reply
+(** One monitored execution. Steps follow the same cost model as the plain
+    interpreter (one per assignment or decision box), so timing-channel
+    experiments can compare monitored and unmonitored runs. *)
+
+val mechanism : config -> Graph.t -> Secpol_core.Mechanism.t
+(** Package as a protection mechanism for the flowchart's program. *)
+
+val mechanism_of :
+  ?fuel:int ->
+  ?cost:Secpol_flowgraph.Expr.cost_model ->
+  mode:mode ->
+  Secpol_core.Policy.t ->
+  Graph.t ->
+  Secpol_core.Mechanism.t
+(** Convenience: configuration and packaging in one step. *)
+
+val notice : string
+(** The violation notice Λ used by all four mechanisms. *)

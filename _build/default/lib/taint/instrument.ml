@@ -1,0 +1,137 @@
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+module Program = Secpol_core.Program
+module Graph = Secpol_flowgraph.Graph
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Interp = Secpol_flowgraph.Interp
+
+type variant = Untimed | Timed_variant
+
+(* Register layout of the instrumented flowchart. Original registers keep
+   their indices; surveillance variables live in fresh registers above
+   them. *)
+type layout = { first_free : int; arity : int }
+
+let layout_of g =
+  { first_free = Graph.max_reg g + 1; arity = g.Graph.arity }
+
+let sv lay = function
+  | Var.Reg j -> Var.Reg (lay.first_free + j)
+  | Var.Input i -> Var.Reg (lay.first_free + lay.first_free + i)
+  | Var.Out -> Var.Reg (lay.first_free + lay.first_free + lay.arity)
+
+let pc lay = Var.Reg (lay.first_free + lay.first_free + lay.arity + 1)
+
+let surveillance_reg g v = sv (layout_of g) v
+let pc_reg g = pc (layout_of g)
+
+(* w̄1 ∪ ... ∪ w̄p ∪ extra, as a flowchart expression over taint registers. *)
+let taint_union lay vs extra =
+  Var.Set.fold
+    (fun w acc -> Expr.Bor (Expr.Var (sv lay w), acc))
+    vs extra
+
+(* t ⊆ J encoded as (t | maskJ) = maskJ. *)
+let subset_test mask t = Expr.Cmp (Expr.Eq, Expr.Bor (t, Expr.Const mask), Expr.Const mask)
+
+let block_size variant = function
+  | Graph.Start _ -> 1 (* + arity init assignments, accounted separately *)
+  | Graph.Assign _ -> 2
+  | Graph.Decision _ -> ( match variant with Untimed -> 2 | Timed_variant -> 3)
+  | Graph.Halt -> 2
+  | Graph.Halt_violation _ -> 1
+
+let instrument variant ~allowed g =
+  if g.Graph.arity > Iset.max_index then
+    invalid_arg "Instrument.instrument: arity exceeds taint mask width";
+  Array.iter
+    (function
+      | Graph.Halt_violation _ ->
+          invalid_arg "Instrument.instrument: graph already instrumented"
+      | _ -> ())
+    g.Graph.nodes;
+  let lay = layout_of g in
+  let mask = Iset.to_mask allowed in
+  let n = Array.length g.Graph.nodes in
+  (* Block base offsets; the start block also carries the k taint
+     initializations of rule (1). *)
+  let base = Array.make n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i node ->
+      base.(i) <- !total;
+      total := !total + block_size variant node;
+      match node with
+      | Graph.Start _ -> total := !total + g.Graph.arity
+      | _ -> ())
+    g.Graph.nodes;
+  let viol = !total in
+  let nodes = Array.make (!total + 1) Graph.Halt in
+  nodes.(viol) <- Graph.Halt_violation Dynamic.notice;
+  let entry_of i = base.(i) in
+  Array.iteri
+    (fun i node ->
+      let b = base.(i) in
+      match node with
+      | Graph.Start next ->
+          (* start -> x̄0 := {0} -> ... -> x̄k-1 := {k-1} -> body *)
+          let k = g.Graph.arity in
+          nodes.(b) <- Graph.Start (if k > 0 then b + 1 else entry_of next);
+          for j = 0 to k - 1 do
+            let succ = if j = k - 1 then entry_of next else b + 2 + j in
+            nodes.(b + 1 + j) <-
+              Graph.Assign
+                (sv lay (Var.Input j), Expr.Const (Iset.to_mask (Iset.singleton j)), succ)
+          done
+      | Graph.Assign (v, e, next) ->
+          (* v̄ := Ē ∪ C̄ ; v := E *)
+          nodes.(b) <-
+            Graph.Assign
+              (sv lay v, taint_union lay (Expr.vars e) (Expr.Var (pc lay)), b + 1);
+          nodes.(b + 1) <- Graph.Assign (v, e, entry_of next)
+      | Graph.Decision (p, if_true, if_false) -> (
+          let test_taint = taint_union lay (Expr.pred_vars p) (Expr.Var (pc lay)) in
+          match variant with
+          | Untimed ->
+              (* C̄ := C̄ ∪ w̄ ; original decision *)
+              nodes.(b) <- Graph.Assign (pc lay, test_taint, b + 1);
+              nodes.(b + 1) <-
+                Graph.Decision (p, entry_of if_true, entry_of if_false)
+          | Timed_variant ->
+              (* if w̄ ∪ C̄ ⊆ J then (C̄ := ...; original decision)
+                 else halt with a violation notice — before the test runs. *)
+              nodes.(b) <- Graph.Decision (subset_test mask test_taint, b + 1, viol);
+              nodes.(b + 1) <- Graph.Assign (pc lay, test_taint, b + 2);
+              nodes.(b + 2) <-
+                Graph.Decision (p, entry_of if_true, entry_of if_false))
+      | Graph.Halt ->
+          (* if ȳ ∪ C̄ ⊆ J then halt else violation *)
+          let out_taint =
+            Expr.Bor (Expr.Var (sv lay Var.Out), Expr.Var (pc lay))
+          in
+          nodes.(b) <- Graph.Decision (subset_test mask out_taint, b + 1, viol);
+          nodes.(b + 1) <- Graph.Halt
+      | Graph.Halt_violation _ -> assert false)
+    g.Graph.nodes;
+  Graph.make
+    ~name:
+      (Printf.sprintf "%s-instrumented(%s)"
+         (match variant with Untimed -> "surv" | Timed_variant -> "timed")
+         g.Graph.name)
+    ~arity:g.Graph.arity ~entry:(entry_of g.Graph.entry) nodes
+
+let mechanism ?fuel variant ~policy g =
+  let allowed =
+    match Policy.allowed_indices policy with
+    | Some j -> j
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Instrument.mechanism: surveillance is defined for allow(...) \
+              policies, got %s"
+             (Policy.name policy))
+  in
+  Interp.graph_mechanism ?fuel (instrument variant ~allowed g)

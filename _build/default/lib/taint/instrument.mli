@@ -1,0 +1,62 @@
+(** The paper's surveillance construction as a source-to-source transform.
+
+    Section 3 defines the surveillance protection mechanism by {e rewriting
+    the flowchart}: the mechanism [M] is itself a flowchart over the original
+    variables plus surveillance variables. This module performs that exact
+    construction. Taint sets are encoded as integer bitmasks held in fresh
+    registers, set union is bitwise-or ([Expr.Bor]), and the subset test
+    [v̄ ⊆ J] becomes [(v̄ | maskJ) = maskJ].
+
+    Transformation rules (for policy [allow(J)]):
+
+    + after the start box, initialize [x̄i := {i}] (registers and [ȳ] are
+      0-initialized by the language, i.e. the empty set);
+    + each assignment box [v := E(w1..wp)] becomes
+      [v̄ := w̄1 ∪ ... ∪ w̄p ∪ C̄] followed by [v := E];
+    + each decision box on [B(w1..wp)] becomes [C̄ := C̄ ∪ w̄1 ∪ ... ∪ w̄p]
+      followed by the original decision — or, in the timed variant of
+      Theorem 3', a decision [w̄1 ∪ ... ∪ w̄p ∪ C̄ ⊆ J] that halts with a
+      violation notice {e before} the disallowed test executes;
+    + each halt box becomes the decision [ȳ ∪ C̄ ⊆ J], leading to the real
+      halt or to a violation halt.
+
+    The result is an ordinary flowchart; packaged with {!mechanism} it is a
+    protection mechanism for the original program. A property test checks it
+    agrees pointwise with the {!Dynamic} interpreter in the corresponding
+    mode.
+
+    On the halt rule: the paper's figure tests the output's surveillance
+    variable; the test here includes [C̄] as well. Without it, a program
+    halting with an untouched [y] on one branch of a disallowed test would
+    grant on that branch and deny on the other — a violation-notice channel
+    (exactly the "negative inference" the paper warns about). Rule (2)
+    already folds [C̄] into [ȳ] at every assignment, so including [C̄] at
+    halt only affects such untouched-output paths. *)
+
+module Graph = Secpol_flowgraph.Graph
+module Var = Secpol_flowgraph.Var
+
+type variant = Untimed | Timed_variant
+
+val instrument :
+  variant -> allowed:Secpol_core.Iset.t -> Graph.t -> Graph.t
+(** Rewrite a plain flowchart into its surveillance mechanism flowchart.
+    @raise Invalid_argument if the input graph already contains violation
+    halts, or if the arity exceeds {!Secpol_core.Iset.max_index}. *)
+
+val mechanism :
+  ?fuel:int ->
+  variant ->
+  policy:Secpol_core.Policy.t ->
+  Graph.t ->
+  Secpol_core.Mechanism.t
+(** Instrument and package: runs the rewritten flowchart with the plain
+    interpreter and maps its violation halts to violation replies.
+    @raise Invalid_argument on a non-[allow] policy. *)
+
+val surveillance_reg : Graph.t -> Var.t -> Var.t
+(** The fresh register holding the surveillance variable of [v] in the
+    instrumented version of the given graph (for inspection and tests). *)
+
+val pc_reg : Graph.t -> Var.t
+(** The fresh register holding [C̄]. *)

@@ -1,0 +1,1 @@
+lib/transform/graph_ite.ml: Array Fun List Secpol_flowgraph

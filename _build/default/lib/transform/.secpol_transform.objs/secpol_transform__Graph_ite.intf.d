@@ -1,0 +1,1 @@
+lib/transform/graph_ite.mli: Secpol_flowgraph

@@ -1,0 +1,1 @@
+lib/transform/search.ml: Float Graph_ite Hashtbl List Secpol_core Secpol_flowgraph Secpol_staticflow Secpol_taint Transforms

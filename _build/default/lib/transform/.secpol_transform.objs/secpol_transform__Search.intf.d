@@ -1,0 +1,1 @@
+lib/transform/search.mli: Secpol_core Secpol_flowgraph

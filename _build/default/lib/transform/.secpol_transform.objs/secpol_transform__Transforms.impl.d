@@ -1,0 +1,1 @@
+lib/transform/transforms.ml: Array Hashtbl List Option Printf Secpol_core Secpol_flowgraph Seq

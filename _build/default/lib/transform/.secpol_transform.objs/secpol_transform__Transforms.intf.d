@@ -1,0 +1,1 @@
+lib/transform/transforms.mli: Secpol_core Secpol_flowgraph

@@ -1,0 +1,114 @@
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Graph = Secpol_flowgraph.Graph
+module Graphalgo = Secpol_flowgraph.Graphalgo
+
+(* A straight, privately-owned assignment chain from [start] to [stop]:
+   every node strictly between is an Assign with exactly one predecessor. *)
+let chain_to g preds ~start ~stop =
+  let rec walk acc node =
+    if node = stop then Some (List.rev acc)
+    else
+      match g.Graph.nodes.(node) with
+      | Graph.Assign (v, e, next) when List.length preds.(node) = 1 ->
+          walk ((v, e) :: acc) next
+      | _ -> None
+  in
+  walk [] start
+
+let diamond g preds ipd d =
+  match g.Graph.nodes.(d) with
+  | Graph.Decision (p, t, f) when ipd.(d) >= 0 ->
+      let j = ipd.(d) in
+      (match (chain_to g preds ~start:t ~stop:j, chain_to g preds ~start:f ~stop:j) with
+      | Some ct, Some cf -> Some (p, ct, cf, j)
+      | _ -> None)
+  | _ -> None
+
+let diamonds g =
+  let preds = Graphalgo.predecessors g in
+  let ipd = Graphalgo.immediate_postdominator g in
+  List.filter
+    (fun d -> diamond g preds ipd d <> None)
+    (List.init (Graph.node_count g) Fun.id)
+
+(* Sequential composition of a chain as a substitution over the pre-state. *)
+let effect chain =
+  List.fold_left
+    (fun sigma (v, e) -> Var.Map.add v (Expr.subst sigma e) sigma)
+    Var.Map.empty chain
+
+let rewrite_one ~simp g (d, (p, ct, cf, j)) =
+  let st = effect ct and sf = effect cf in
+  let get s v = match Var.Map.find_opt v s with Some e -> e | None -> Expr.Var v in
+  let assigned =
+    Var.Map.fold (fun v _ acc -> Var.Set.add v acc) st Var.Set.empty
+    |> Var.Map.fold (fun v _ acc -> Var.Set.add v acc) sf
+  in
+  let fresh = ref (Graph.max_reg g + 1) in
+  let selects =
+    Var.Set.fold
+      (fun v acc ->
+        let t = Var.Reg !fresh in
+        incr fresh;
+        let e = Expr.Cond (p, get st v, get sf v) in
+        (v, t, if simp then Expr.simplify e else e) :: acc)
+      assigned []
+  in
+  (* d becomes the head of: t_i := select_i ... ; v_i := t_i ... ; -> j.
+     New nodes are appended; d's own slot holds the first instruction. *)
+  let nodes = ref [] in
+  let base = Graph.node_count g in
+  let push node =
+    nodes := node :: !nodes;
+    base + List.length !nodes - 1
+  in
+  let instrs =
+    List.map (fun (_, t, e) -> (t, e)) selects
+    @ List.map (fun (v, t, _) -> (v, Expr.Var t)) selects
+  in
+  let replacement, appended =
+    match instrs with
+    | [] ->
+        (* Degenerate diamond: the test vanishes entirely. *)
+        let t = Var.Reg !fresh in
+        (Graph.Assign (t, Expr.Const 0, j), [])
+    | (v0, e0) :: rest ->
+        (* Chain the tail through appended slots; the head sits at d. *)
+        let rec build = function
+          | [] -> j
+          | (v, e) :: more ->
+              let next = build more in
+              push (Graph.Assign (v, e, next))
+        in
+        let next = build rest in
+        (Graph.Assign (v0, e0, next), List.rev !nodes)
+  in
+  let new_nodes = Array.append (Array.copy g.Graph.nodes) (Array.of_list appended) in
+  new_nodes.(d) <- replacement;
+  Graph.make ~name:g.Graph.name ~arity:g.Graph.arity ~entry:g.Graph.entry new_nodes
+
+let rewrite ?(simplify = true) g =
+  Array.iter
+    (function
+      | Graph.Halt_violation _ ->
+          invalid_arg "Graph_ite.rewrite: graph is already a mechanism"
+      | _ -> ())
+    g.Graph.nodes;
+  let rec fix g =
+    let preds = Graphalgo.predecessors g in
+    let ipd = Graphalgo.immediate_postdominator g in
+    let candidate =
+      List.find_map
+        (fun d ->
+          match diamond g preds ipd d with
+          | Some dd -> Some (d, dd)
+          | None -> None)
+        (List.init (Graph.node_count g) Fun.id)
+    in
+    match candidate with
+    | None -> g
+    | Some c -> fix (rewrite_one ~simp:simplify g c)
+  in
+  let out = fix g in
+  { out with Graph.name = g.Graph.name ^ "+gite" }

@@ -1,0 +1,1 @@
+test/test_capability.ml: Alcotest Array Completeness List Maximal Mechanism Policy Secpol_capability Secpol_probe Util Value

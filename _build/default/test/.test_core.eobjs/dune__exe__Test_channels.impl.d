@@ -1,0 +1,1 @@
+test/test_channels.ml: Alcotest Array List Mechanism Policy Printf Program QCheck Random Secpol_channels Secpol_probe Soundness Space Util Value

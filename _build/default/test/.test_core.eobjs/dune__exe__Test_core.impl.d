@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Completeness List Maximal Mechanism Policy Program QCheck Random Secpol_core Seq Soundness Space String Util Value

@@ -1,0 +1,1 @@
+test/test_filesys.ml: Alcotest Mechanism Policy Program Secpol_filesys Secpol_probe Util Value

@@ -1,0 +1,1 @@
+test/test_flowgraph.ml: Alcotest Array Format List Printf Program QCheck Random Secpol_corpus Secpol_flowgraph Seq Space String Util Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array List Option Printf Program QCheck Secpol_core Secpol_corpus Secpol_flowgraph Secpol_lang Seq Space String Util Value

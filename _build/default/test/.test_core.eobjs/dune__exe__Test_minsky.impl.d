@@ -1,0 +1,1 @@
+test/test_minsky.ml: Alcotest Array Mechanism Policy Program Secpol_minsky Soundness Space Util Value

@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Array Float List Mechanism Policy Program Random Secpol_corpus Secpol_flowgraph Secpol_probe Soundness Space String Util Value

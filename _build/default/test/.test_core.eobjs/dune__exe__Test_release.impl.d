@@ -1,0 +1,1 @@
+test/test_release.ml: Alcotest List Mechanism Policy Secpol Secpol_corpus Secpol_flowgraph Soundness Util Value

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Array Completeness List Maximal Mechanism Policy Printf Program QCheck Secpol_core Secpol_corpus Secpol_flowgraph Secpol_taint Seq Soundness Space String Util Value

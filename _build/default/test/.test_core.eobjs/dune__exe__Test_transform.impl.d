@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Completeness Fun List Mechanism Policy Program Secpol_core Secpol_corpus Secpol_flowgraph Secpol_taint Secpol_transform Seq Soundness Space String Util

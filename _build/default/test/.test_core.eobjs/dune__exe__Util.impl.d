@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Float List QCheck QCheck_alcotest Secpol_core

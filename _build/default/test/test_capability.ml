@@ -1,0 +1,110 @@
+(* Capability systems in the model (the paper's closing claim). *)
+
+open Util
+module Capsys = Secpol_capability.Capsys
+module Leakage = Secpol_probe.Leakage
+
+(* Three objects. Object 0 stores a capability for object 1; object 1
+   stores one for object 2: a take-grant chain 0 -> 1 -> 2. *)
+let sys =
+  Capsys.make ~objects:3 ~stored_caps:[| 0b010; 0b100; 0b000 |]
+
+(* Masks: nothing, object 0 only (whose closure is everything), object 2
+   only, objects 0+2. *)
+let space = Capsys.space sys ~value_range:2 ~cap_masks:[ 0b000; 0b001; 0b100 ]
+let policy = Capsys.policy sys
+
+(* The subject tries to read everything, harvesting capabilities on the
+   way. *)
+let greedy =
+  [
+    Capsys.Load 0; Capsys.Fetch 0; Capsys.Load 1; Capsys.Fetch 1; Capsys.Load 2;
+  ]
+
+let modest = [ Capsys.Load 0 ]
+
+let test_closure () =
+  Alcotest.(check int) "0 reaches all" 0b111 (Capsys.closure sys 0b001);
+  Alcotest.(check int) "1 reaches 1,2" 0b110 (Capsys.closure sys 0b010);
+  Alcotest.(check int) "2 reaches itself" 0b100 (Capsys.closure sys 0b100);
+  Alcotest.(check int) "empty stays empty" 0 (Capsys.closure sys 0)
+
+let test_policy_images () =
+  (* With cap {2}, values of objects 0 and 1 are filtered. *)
+  let image vals mask =
+    Policy.image policy
+      (Array.append (Array.map Value.int (Array.of_list vals)) [| Value.int mask |])
+  in
+  Alcotest.(check bool) "cap{2}: object 0 hidden" true
+    (Value.equal (image [ 0; 1; 1 ] 0b100) (image [ 1; 0; 1 ] 0b100));
+  Alcotest.(check bool) "cap{0}: everything visible" false
+    (Value.equal (image [ 0; 1; 1 ] 0b001) (image [ 1; 1; 1 ] 0b001))
+
+let test_unchecked_machine_leaks () =
+  let q = Capsys.program sys greedy in
+  check_unsound "unchecked machine ignores capabilities" policy
+    (Mechanism.of_program q) space
+
+let test_checked_machine_sound_and_serves_closure () =
+  let q = Capsys.program sys greedy in
+  let m = Capsys.checked sys greedy in
+  check_sound "checked machine is sound" policy m space;
+  (match Mechanism.check_protects m q space with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grants must equal the unchecked sum");
+  (* cap {0}: the whole chain is harvestable - the greedy script runs. *)
+  check_grants "chain harvested" m [ 1; 1; 1; 0b001 ] 3;
+  (* cap {2}: the first load already fails. *)
+  check_denies "no entry without object 0" m [ 1; 1; 1; 0b100 ];
+  Alcotest.(check bool) "no measured leak" true
+    (Leakage.is_tight (Leakage.of_mechanism policy m space))
+
+let test_strict_machine_below_checked () =
+  let q = Capsys.program sys greedy in
+  let mc = Capsys.checked sys greedy in
+  let ms = Capsys.strict sys greedy in
+  check_sound "strict machine is sound too" policy ms space;
+  (* Strict cannot follow the chain: even cap {0} fails at Load 1. *)
+  check_denies "no acquisition, no chain" ms [ 1; 1; 1; 0b001 ];
+  Alcotest.(check bool) "checked strictly more complete" true
+    (Completeness.compare mc ms ~q space = Completeness.More_complete)
+
+let test_modest_script_everyone_agrees () =
+  let q = Capsys.program sys modest in
+  let mc = Capsys.checked sys modest in
+  let ms = Capsys.strict sys modest in
+  Alcotest.(check bool) "same grants on a one-load script" true
+    (Completeness.compare mc ms ~q space = Completeness.Equal);
+  check_sound "checked sound" policy mc space;
+  check_sound "strict sound" policy ms space
+
+let test_maximal_dominates_capability_machines () =
+  let q = Capsys.program sys greedy in
+  let mx = Maximal.build policy q space in
+  List.iter
+    (fun m ->
+      match Completeness.as_complete_as mx m ~q space with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "%s beats maximal" m.Mechanism.name)
+    [ Capsys.checked sys greedy; Capsys.strict sys greedy ]
+
+let test_script_validation () =
+  match Capsys.program sys [ Capsys.Load 9 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "scripts must stay within the system's objects"
+
+let () =
+  Alcotest.run "secpol-capability"
+    [
+      ( "capability",
+        [
+          Alcotest.test_case "closure" `Quick test_closure;
+          Alcotest.test_case "policy-images" `Quick test_policy_images;
+          Alcotest.test_case "unchecked-leaks" `Quick test_unchecked_machine_leaks;
+          Alcotest.test_case "checked-sound" `Quick test_checked_machine_sound_and_serves_closure;
+          Alcotest.test_case "strict-below" `Quick test_strict_machine_below_checked;
+          Alcotest.test_case "modest-script" `Quick test_modest_script_everyone_agrees;
+          Alcotest.test_case "maximal-dominates" `Quick test_maximal_dominates_capability_machines;
+          Alcotest.test_case "script-validation" `Quick test_script_validation;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Section 2's covert channels: the one-way tape, the logon program, and
+   the password work-factor collapse. *)
+
+open Util
+module Tape = Secpol_channels.Tape
+module Logon = Secpol_channels.Logon
+module Leakage = Secpol_probe.Leakage
+
+(* --- tape --------------------------------------------------------------- *)
+
+(* Two blocks; block 0 has length 1 or 2, block 1 is a single letter. The
+   policy allows only block 1. *)
+let tape_space = Tape.block_space ~k:2 ~lengths:[ 1; 2 ] ~alphabet:[ 0; 1 ]
+let tape_policy = Policy.allow [ 1 ]
+
+let test_tape_reads_the_right_block () =
+  let q = Tape.read_block Tape.Walk ~k:2 ~j:1 in
+  let z0 = Value.tuple [ Value.int 0; Value.int 1 ] in
+  let z1 = Value.tuple [ Value.int 1 ] in
+  match (Program.run q [| z0; z1 |]).Program.result with
+  | Program.Value v -> Alcotest.check value_testable "block 1" z1 v
+  | _ -> Alcotest.fail "expected a value"
+
+let test_walk_time_encodes_earlier_lengths () =
+  let q = Tape.read_block Tape.Walk ~k:2 ~j:1 in
+  let z1 = Value.tuple [ Value.int 1 ] in
+  let short = [| Value.tuple [ Value.int 0 ]; z1 |] in
+  let long = [| Value.tuple [ Value.int 0; Value.int 0 ]; z1 |] in
+  let t_short = (Program.run q short).Program.steps in
+  let t_long = (Program.run q long).Program.steps in
+  Alcotest.(check bool) "crossing a longer z0 takes longer" true (t_long > t_short)
+
+let test_tape_soundness_matrix () =
+  (* Value-only view: all three disciplines are sound (the output is z1). *)
+  List.iter
+    (fun motion ->
+      let q = Tape.read_block motion ~k:2 ~j:1 in
+      check_sound
+        (Printf.sprintf "%s sound untimed" (Tape.motion_name motion))
+        tape_policy (Mechanism.of_program q) tape_space)
+    [ Tape.Walk; Tape.Tab_linear; Tape.Tab_constant ];
+  (* Timed view: walking and the naive tab leak |z0|; constant tab does not. *)
+  check_unsound "walk leaks timed" ~config:Soundness.timed tape_policy
+    (Mechanism.of_program (Tape.read_block Tape.Walk ~k:2 ~j:1))
+    tape_space;
+  check_unsound "naive tab leaks timed" ~config:Soundness.timed tape_policy
+    (Mechanism.of_program (Tape.read_block Tape.Tab_linear ~k:2 ~j:1))
+    tape_space;
+  check_sound "constant tab sound timed" ~config:Soundness.timed tape_policy
+    (Mechanism.of_program (Tape.read_block Tape.Tab_constant ~k:2 ~j:1))
+    tape_space
+
+let test_tape_leak_quantified () =
+  let leak motion =
+    (Leakage.of_program ~view:`Timed tape_policy
+       (Tape.read_block motion ~k:2 ~j:1)
+       tape_space)
+      .Leakage.avg_bits
+  in
+  Alcotest.(check bool) "walk leaks bits" true (leak Tape.Walk > 0.5);
+  Alcotest.(check (float 1e-9)) "constant tab leaks nothing" 0.0
+    (leak Tape.Tab_constant)
+
+(* --- logon --------------------------------------------------------------- *)
+
+let logon_space =
+  Logon.logon_space ~uids:[ 1; 2 ] ~pwds:[ 7; 8 ]
+    ~table_pairs:[ [ (1, 7) ]; [ (1, 8) ]; [ (2, 7) ] ]
+
+let test_logon_behaviour () =
+  let run uid table pwd =
+    match
+      (Program.run Logon.logon
+         [|
+           Value.int uid;
+           Value.tuple
+             (List.map (fun (u, p) -> Value.tuple [ Value.int u; Value.int p ]) table);
+           Value.int pwd;
+         |])
+        .Program.result
+    with
+    | Program.Value (Value.Bool b) -> b
+    | _ -> Alcotest.fail "expected a boolean"
+  in
+  Alcotest.(check bool) "right password" true (run 1 [ (1, 7) ] 7);
+  Alcotest.(check bool) "wrong password" false (run 1 [ (1, 7) ] 8);
+  Alcotest.(check bool) "unknown user" false (run 2 [ (1, 7) ] 7)
+
+let test_logon_unsound_but_small_leak () =
+  let m = Mechanism.of_program Logon.logon in
+  check_unsound "logon is not sound for allow(1,3)" Logon.logon_policy m
+    logon_space;
+  let leak = Leakage.of_program Logon.logon_policy Logon.logon logon_space in
+  Alcotest.(check bool) "but the leak is small (< 1 bit/query)" true
+    (leak.Leakage.avg_bits < 1.0);
+  Alcotest.(check bool) "and strictly positive" true (leak.Leakage.avg_bits > 0.0)
+
+(* --- password guessing ---------------------------------------------------- *)
+
+let test_attack_oracles () =
+  let o = Logon.Attack.make ~n:4 ~k:3 ~secret:[| 2; 0; 3 |] in
+  Alcotest.(check bool) "whole: wrong" false
+    (Logon.Attack.whole_compare o [| 2; 0; 2 |]);
+  Alcotest.(check bool) "whole: right" true
+    (Logon.Attack.whole_compare o [| 2; 0; 3 |]);
+  Alcotest.(check int) "prefix 0" 0 (Logon.Attack.paged_compare o [| 1; 0; 3 |]);
+  Alcotest.(check int) "prefix 2" 2 (Logon.Attack.paged_compare o [| 2; 0; 0 |]);
+  Alcotest.(check int) "prefix k" 3 (Logon.Attack.paged_compare o [| 2; 0; 3 |])
+
+let test_work_factor_worst_cases () =
+  (* The worst secret for lexicographic search is the all-(n-1) password. *)
+  let n = 4 and k = 3 in
+  let worst = Array.make k (n - 1) in
+  let o = Logon.Attack.make ~n ~k ~secret:worst in
+  Alcotest.(check int) "brute force worst case = n^k"
+    (int_of_float (float_of_int n ** float_of_int k))
+    (Logon.Attack.brute_force o);
+  Alcotest.(check int) "prefix walk worst case = n*k" (n * k)
+    (Logon.Attack.prefix_walk o)
+
+let test_work_factor_dominance () =
+  (* The page-observing attacker is bounded by n*k on every secret, and on
+     average far cheaper than blind search (n^k / 2-ish). *)
+  let n = 3 and k = 3 in
+  let rng = Random.State.make [| 42 |] in
+  let trials = 50 in
+  let bf_total = ref 0 and pw_total = ref 0 in
+  for _ = 1 to trials do
+    let secret = Logon.Attack.random_secret rng ~n ~k in
+    let o = Logon.Attack.make ~n ~k ~secret in
+    let pw = Logon.Attack.prefix_walk o in
+    Alcotest.(check bool) "prefix <= n*k" true (pw <= n * k);
+    bf_total := !bf_total + Logon.Attack.brute_force o;
+    pw_total := !pw_total + pw
+  done;
+  Alcotest.(check bool) "page channel collapses the average work factor" true
+    (!bf_total > !pw_total)
+
+let prop_prefix_walk_always_succeeds =
+  qtest ~count:200 "prefix walk finds every secret within n*k probes"
+    (QCheck.make
+       ~print:(fun (n, k, seed) -> Printf.sprintf "n=%d k=%d seed=%d" n k seed)
+       QCheck.Gen.(triple (int_range 2 5) (int_range 1 5) int))
+    (fun (n, k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let secret = Logon.Attack.random_secret rng ~n ~k in
+      let o = Logon.Attack.make ~n ~k ~secret in
+      Logon.Attack.prefix_walk o <= n * k)
+
+(* --- page traffic ---------------------------------------------------------- *)
+
+module Paged = Secpol_channels.Paged
+
+let pm = Paged.make ~nvars:5 ~page_size:2
+
+let test_paged_fault_arithmetic () =
+  Alcotest.(check int) "empty trace" 0 (Paged.faults pm []);
+  Alcotest.(check int) "same page reuse" 1 (Paged.faults pm [ 0; 1; 0; 1 ]);
+  Alcotest.(check int) "sequential scan = pages touched" 3
+    (Paged.faults pm [ 0; 1; 2; 3; 4 ]);
+  Alcotest.(check int) "ping-pong faults every access" 4
+    (Paged.faults pm [ 0; 2; 0; 2 ]);
+  Alcotest.check_raises "unknown variable"
+    (Invalid_argument "Paged.page_of: no such variable") (fun () ->
+      ignore (Paged.faults pm [ 9 ]))
+
+let test_paged_channel_soundness () =
+  let q = Paged.scan_sorted_by_secret pm ~key:0 in
+  let policy = Policy.allow [ 1; 2; 3; 4 ] in
+  (* x0 is the secret key *)
+  let space = Space.ints ~lo:0 ~hi:1 ~arity:5 in
+  check_sound "values constant: sound with faults hidden" policy
+    (Mechanism.of_program q) space;
+  check_unsound "fault counts differ: unsound with page traffic observable"
+    ~config:Soundness.timed policy (Mechanism.of_program q) space;
+  let leak = Leakage.of_program ~view:`Timed policy q space in
+  Alcotest.(check (float 1e-9)) "exactly the key bit leaks" 1.0
+    leak.Leakage.avg_bits
+
+let () =
+  Alcotest.run "secpol-channels"
+    [
+      ( "tape",
+        [
+          Alcotest.test_case "reads-right-block" `Quick test_tape_reads_the_right_block;
+          Alcotest.test_case "walk-time" `Quick test_walk_time_encodes_earlier_lengths;
+          Alcotest.test_case "soundness-matrix" `Quick test_tape_soundness_matrix;
+          Alcotest.test_case "leak-quantified" `Quick test_tape_leak_quantified;
+        ] );
+      ( "logon",
+        [
+          Alcotest.test_case "behaviour" `Quick test_logon_behaviour;
+          Alcotest.test_case "unsound-small-leak" `Quick test_logon_unsound_but_small_leak;
+        ] );
+      ( "paged",
+        [
+          Alcotest.test_case "fault-arithmetic" `Quick test_paged_fault_arithmetic;
+          Alcotest.test_case "channel-soundness" `Quick test_paged_channel_soundness;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "oracles" `Quick test_attack_oracles;
+          Alcotest.test_case "worst-cases" `Quick test_work_factor_worst_cases;
+          Alcotest.test_case "dominance" `Quick test_work_factor_dominance;
+          prop_prefix_walk_always_succeeds;
+        ] );
+    ]

@@ -1,0 +1,376 @@
+(* The model's outer reaches: the data-security dual (integrity), the
+   lattice structure of sound mechanisms, and the history-dependent
+   database policy of Section 2's closing remark. *)
+
+open Util
+module Integrity = Secpol_core.Integrity
+module Lattice = Secpol_core.Lattice
+module Querydb = Secpol_history.Querydb
+module Leakage = Secpol_probe.Leakage
+module Sampled = Secpol_probe.Sampled
+
+let space2 = Space.ints ~lo:0 ~hi:3 ~arity:2
+let q_first = Program.of_fun ~name:"first" ~arity:2 (fun a -> a.(0))
+
+let q_sum =
+  Program.of_fun ~name:"sum" ~arity:2 (fun a ->
+      Value.int (Value.to_int a.(0) + Value.to_int a.(1)))
+
+(* --- integrity: the operator-function dual ------------------------------ *)
+
+let test_integrity_identity_preserves_all () =
+  let q_id = Program.of_fun ~name:"id" ~arity:2 (fun a -> Value.tuple (Array.to_list a)) in
+  Alcotest.(check bool) "identity preserves everything" true
+    (Integrity.preserves (Policy.allow_all ~arity:2)
+       (Mechanism.of_program q_id) space2);
+  Alcotest.(check bool) "and trivially allow()" true
+    (Integrity.preserves Policy.allow_none (Mechanism.of_program q_id) space2)
+
+let test_integrity_projection () =
+  let m = Mechanism.of_program q_first in
+  (* Returning x0 delivers all information about x0... *)
+  Alcotest.(check bool) "preserves allow(0)" true
+    (Integrity.preserves (Policy.allow [ 0 ]) m space2);
+  (* ... and destroys x1. *)
+  (match Integrity.check (Policy.allow [ 1 ]) m space2 with
+  | Integrity.Loses w ->
+      Alcotest.(check bool) "witness images differ" false
+        (Value.equal w.Integrity.image_a w.Integrity.image_b)
+  | Integrity.Preserves -> Alcotest.fail "x1 is not recoverable from x0")
+
+let test_integrity_sum_loses_addends () =
+  let m = Mechanism.of_program q_sum in
+  (* The sum determines neither addend: 0+2 = 1+1. *)
+  Alcotest.(check bool) "loses x0" false
+    (Integrity.preserves (Policy.allow [ 0 ]) m space2);
+  Alcotest.(check bool) "but preserves nothing-required" true
+    (Integrity.preserves Policy.allow_none m space2)
+
+let test_integrity_vs_soundness_tension () =
+  (* The paper's two questions pull in opposite directions: the plug is
+     sound for everything and preserves (almost) nothing; the identity
+     preserves everything and is sound only for allow(all). *)
+  let plug = Mechanism.pull_the_plug 2 in
+  Alcotest.(check bool) "plug sound" true
+    (Soundness.is_sound (Policy.allow [ 0 ]) plug space2);
+  Alcotest.(check bool) "plug loses required info" false
+    (Integrity.preserves (Policy.allow [ 0 ]) plug space2);
+  let full = Mechanism.of_program q_first in
+  Alcotest.(check bool) "first preserves allow(0)" true
+    (Integrity.preserves (Policy.allow [ 0 ]) full space2);
+  Alcotest.(check bool) "first sound for allow(0)" true
+    (Soundness.is_sound (Policy.allow [ 0 ]) full space2)
+
+let test_integrity_denial_timing () =
+  (* A mechanism that denies but encodes the required info in WHICH notice
+     it gives still preserves the information. *)
+  let m =
+    Mechanism.make ~name:"chatty-denier" ~arity:2 (fun a ->
+        {
+          Mechanism.response =
+            Mechanism.Denied (Printf.sprintf "n%d" (Value.to_int a.(0)));
+          steps = 1;
+        })
+  in
+  Alcotest.(check bool) "distinct notices preserve x0" true
+    (Integrity.preserves (Policy.allow [ 0 ]) m space2);
+  (* Identifying the notices destroys it. *)
+  let config = { Integrity.default with Integrity.identify_violations = true } in
+  Alcotest.(check bool) "identified notices lose x0" false
+    (Integrity.preserves ~config (Policy.allow [ 0 ]) m space2)
+
+(* --- policy refinement order --------------------------------------------- *)
+
+module Policy_order = Secpol_core.Policy_order
+module Iset = Secpol_core.Iset
+module Dynamic = Secpol_taint.Dynamic
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Generator = Secpol_corpus.Generator
+
+let test_policy_order_allow_inclusion () =
+  let space = Space.ints ~lo:0 ~hi:1 ~arity:3 in
+  let pairs =
+    [ ([], [ 0 ]); ([ 0 ], [ 0; 1 ]); ([ 1 ], [ 0 ]); ([ 0; 2 ], [ 0; 1; 2 ]) ]
+  in
+  List.iter
+    (fun (j1, j2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "inclusion test for {%s} vs {%s}"
+           (String.concat "," (List.map string_of_int j1))
+           (String.concat "," (List.map string_of_int j2)))
+        true
+        (Policy_order.agrees_with_inclusion ~arity:3 (Iset.of_list j1)
+           (Iset.of_list j2) space))
+    pairs
+
+let test_policy_order_content_dependent () =
+  (* Example 2's filter reveals at most allow(everything) and at least
+     allow(directories): it sits strictly between. *)
+  let module Filesys = Secpol_filesys.Filesys in
+  let k = 2 in
+  let space = Filesys.space ~k ~file_values:[ 1; 2 ] in
+  let fs = Filesys.policy ~k in
+  Alcotest.(check bool) "below allow(all)" true
+    (Policy_order.strictly_below fs (Policy.allow [ 0; 1; 2; 3 ]) space);
+  Alcotest.(check bool) "above allow(dirs)" true
+    (Policy_order.strictly_below (Policy.allow [ 0; 1 ]) fs space);
+  Alcotest.(check bool) "equivalent to itself" true
+    (Policy_order.equivalent fs fs space)
+
+(* Soundness is antitone in the refinement order. *)
+let prop_soundness_antitone =
+  let params = Generator.default in
+  qtest ~count:200 "sound for a stricter policy => sound for a laxer one"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      let space = Generator.space_for params in
+      let stricter = Policy.allow [ 1 ] and laxer = Policy.allow [ 0; 1 ] in
+      (* Use the stricter policy's own surveillance mechanism as the test
+         subject: sound for stricter by Theorem 3; must be sound for laxer. *)
+      let m = Dynamic.mechanism_of ~mode:Dynamic.Surveillance stricter g in
+      Policy_order.reveals_at_most stricter laxer space
+      && Soundness.is_sound laxer m space)
+
+(* Every dynamic mechanism's grant set grows with the allowed set. *)
+let prop_surveillance_monotone_in_policy =
+  let params = Generator.default in
+  qtest ~count:200 "grant sets are monotone in the allowed set"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      let q = Interp.ast_program prog in
+      let space = Generator.space_for params in
+      List.for_all
+        (fun mode ->
+          let m_small = Dynamic.mechanism_of ~mode (Policy.allow [ 1 ]) g in
+          let m_big = Dynamic.mechanism_of ~mode (Policy.allow [ 0; 1 ]) g in
+          Completeness.as_complete_as m_big m_small ~q space = Ok ())
+        Dynamic.all_modes)
+
+(* --- arbitrarily complex policies (Section 2's remark) -------------------- *)
+
+(* "the reader should note that our definition of security policy does
+   admit arbitrarily complex policies": here, reveal only the SUM of the
+   two inputs — an aggregate, neither input individually. *)
+let reveal_sum =
+  Policy.filter ~name:"reveal-sum" (fun a ->
+      Value.int (Value.to_int a.(0) + Value.to_int a.(1)))
+
+let test_aggregate_policy () =
+  (* The program that computes exactly the aggregate is sound... *)
+  check_sound "sum program sound for reveal-sum" reveal_sum
+    (Mechanism.of_program q_sum) space2;
+  (* ... a projection is not (knowing x0 exceeds knowing x0 + x1) ... *)
+  check_unsound "projection unsound for reveal-sum" reveal_sum
+    (Mechanism.of_program q_first) space2;
+  (* ... and anything derivable from the sum is fine: parity of the sum. *)
+  let q_parity =
+    Program.of_fun ~name:"parity" ~arity:2 (fun a ->
+        Value.int ((Value.to_int a.(0) + Value.to_int a.(1)) mod 2))
+  in
+  check_sound "parity-of-sum sound" reveal_sum (Mechanism.of_program q_parity)
+    space2
+
+let test_aggregate_policy_maximal () =
+  (* The maximal mechanism for the projection under reveal-sum serves the
+     classes where the sum pins both addends: the extreme diagonals. *)
+  let mx = Maximal.build reveal_sum q_first space2 in
+  check_sound "maximal sound" reveal_sum mx space2;
+  (* Sum 0 = (0,0) and sum 6 = (3,3) are singleton classes; 16 points. *)
+  check_ratio "only the two singleton classes served" ~expected:(2.0 /. 16.0) mx
+    ~q:q_first space2
+
+(* --- the lattice of mechanisms ------------------------------------------ *)
+
+let m_even =
+  Lattice.of_grant_predicate ~name:"even" ~q:q_first (fun a ->
+      Value.to_int a.(0) mod 2 = 0)
+
+let m_small =
+  Lattice.of_grant_predicate ~name:"small" ~q:q_first (fun a ->
+      Value.to_int a.(0) < 2)
+
+let m_big =
+  Lattice.of_grant_predicate ~name:"big" ~q:q_first (fun a ->
+      Value.to_int a.(0) >= 2)
+
+let test_meet_grants_intersection () =
+  let m = Lattice.meet m_even m_small in
+  (* x0 in 0..3: even {0,2}, small {0,1} -> meet {0}. *)
+  check_ratio "meet = intersection" ~expected:0.25 m ~q:q_first space2;
+  check_grants "grants on 0" m [ 0; 3 ] 0;
+  check_denies "denies on 2 (not small)" m [ 2; 0 ];
+  check_denies "denies on 1 (not even)" m [ 1; 0 ]
+
+let test_meet_preserves_soundness () =
+  let p = Policy.allow [ 0 ] in
+  check_sound "m_even sound" p m_even space2;
+  check_sound "m_small sound" p m_small space2;
+  check_sound "meet sound" p (Lattice.meet m_even m_small) space2
+
+let test_lattice_laws () =
+  let ( ||| ) = Mechanism.join and ( &&& ) = Lattice.meet in
+  let eq m1 m2 = Lattice.equivalent m1 m2 ~q:q_first space2 in
+  (* Idempotence, commutativity, associativity, absorption - on grant sets. *)
+  Alcotest.(check bool) "join idempotent" true (eq (m_even ||| m_even) m_even);
+  Alcotest.(check bool) "meet idempotent" true (eq (m_even &&& m_even) m_even);
+  Alcotest.(check bool) "join commutative" true
+    (eq (m_even ||| m_small) (m_small ||| m_even));
+  Alcotest.(check bool) "meet commutative" true
+    (eq (m_even &&& m_small) (m_small &&& m_even));
+  Alcotest.(check bool) "join associative" true
+    (eq ((m_even ||| m_small) ||| m_big) (m_even ||| (m_small ||| m_big)));
+  Alcotest.(check bool) "meet associative" true
+    (eq ((m_even &&& m_small) &&& m_big) (m_even &&& (m_small &&& m_big)));
+  Alcotest.(check bool) "absorption join" true
+    (eq (m_even ||| (m_even &&& m_small)) m_even);
+  Alcotest.(check bool) "absorption meet" true
+    (eq (m_even &&& (m_even ||| m_small)) m_even)
+
+let test_lattice_bounds () =
+  let plug = Mechanism.pull_the_plug 2 in
+  let eq m1 m2 = Lattice.equivalent m1 m2 ~q:q_first space2 in
+  Alcotest.(check bool) "bottom for join" true (eq (Mechanism.join m_even plug) m_even);
+  Alcotest.(check bool) "bottom for meet" true (eq (Lattice.meet m_even plug) plug);
+  (* The maximal mechanism tops every sound one. *)
+  let mx = Maximal.build (Policy.allow [ 0 ]) q_first space2 in
+  Alcotest.(check bool) "top absorbs join" true (eq (Mechanism.join m_even mx) mx);
+  Alcotest.(check bool) "top neutral for meet" true (eq (Lattice.meet m_even mx) m_even)
+
+let test_grant_set () =
+  let gs = Lattice.grant_set m_small ~q:q_first space2 in
+  Alcotest.(check int) "eight grant points" 8 (List.length gs);
+  List.iter
+    (fun a -> Alcotest.(check bool) "all small" true (Value.to_int a.(0) < 2))
+    gs
+
+(* --- history-dependent database policy ----------------------------------- *)
+
+let db = { Querydb.k = 3; queries = 2 }
+
+(* Masks: 0b111 = everyone, 0b110, 0b011 (pairs), 0b001 (a direct read). *)
+let db_space =
+  Querydb.space db ~record_values:[ 0; 1 ] ~query_masks:[ 0b111; 0b110; 0b011; 0b001 ]
+
+let test_history_rule () =
+  Alcotest.(check (list bool)) "pair then full: difference is one record"
+    [ true; false ]
+    (Querydb.permitted db [ 0b110; 0b111 ]);
+  Alcotest.(check (list bool)) "full then pair: same, order-independent"
+    [ true; false ]
+    (Querydb.permitted db [ 0b111; 0b110 ]);
+  Alcotest.(check (list bool)) "two overlapping pairs are fine"
+    [ true; true ]
+    (Querydb.permitted db [ 0b110; 0b011 ]);
+  Alcotest.(check (list bool)) "singleton refused outright"
+    [ false; true ]
+    (Querydb.permitted db [ 0b001; 0b111 ]);
+  (* A refused query does not poison the history. *)
+  Alcotest.(check (list bool)) "refused query keeps no shadow"
+    [ false; true ]
+    (Querydb.permitted db [ 0b001; 0b011 ])
+
+let test_history_unprotected_leaks () =
+  let q = Querydb.session_program db in
+  check_unsound "raw session answers refused queries"
+    (Querydb.policy db) (Mechanism.of_program q) db_space;
+  let leak = Leakage.of_program (Querydb.policy db) q db_space in
+  Alcotest.(check bool) "differencing attack leaks" true (leak.Leakage.avg_bits > 0.0)
+
+let test_history_monitor_sound () =
+  let m = Querydb.monitor db in
+  check_sound "session gatekeeper is sound" (Querydb.policy db) m db_space;
+  (match Mechanism.check_protects m (Querydb.session_program db) db_space with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "monitor must be a strict protection mechanism");
+  Alcotest.(check bool) "leaks nothing" true
+    (Leakage.is_tight (Leakage.of_mechanism (Querydb.policy db) m db_space))
+
+let test_history_redesigned_program_sound () =
+  let q = Querydb.slotwise_program db in
+  check_sound "slotwise front end is its own sound mechanism"
+    (Querydb.policy db) (Mechanism.of_program q) db_space;
+  (* And it serves strictly more sessions than the all-or-nothing monitor:
+     a session with one bad query still gets its good answers. *)
+  match
+    (Program.run q
+       (Array.append
+          [| Value.int 1; Value.int 0; Value.int 1 |]
+          [| Value.int 0b110; Value.int 0b111 |]))
+      .Program.result
+  with
+  | Program.Value (Value.Tuple [ first; second ]) ->
+      Alcotest.check value_testable "good query answered" (Value.int 1) first;
+      Alcotest.check value_testable "bad query marked" Querydb.refused second
+  | _ -> Alcotest.fail "expected a pair"
+
+let test_history_sampled_probe_needs_allow () =
+  (* The sampling prober resamples disallowed coordinates, which only makes
+     sense for allow(...) policies - the filter policy must be rejected. *)
+  let rng = Random.State.make [| 5 |] in
+  match
+    Sampled.check ~rng ~trials:10 (Querydb.policy db) (Querydb.monitor db) db_space
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "filter policies cannot be sample-probed"
+
+let test_sampled_probe_finds_leaks () =
+  let rng = Random.State.make [| 11 |] in
+  let q_leaky = Program.of_fun ~name:"leak" ~arity:2 (fun a -> a.(1)) in
+  (match
+     Sampled.check ~rng ~trials:200 (Policy.allow [ 0 ])
+       (Mechanism.of_program q_leaky) space2
+   with
+  | Sampled.Unsound _ -> ()
+  | Sampled.Probably_sound _ -> Alcotest.fail "sampling must find this leak");
+  match
+    Sampled.check ~rng ~trials:200 (Policy.allow [ 0 ])
+      (Mechanism.of_program q_first) space2
+  with
+  | Sampled.Probably_sound n -> Alcotest.(check int) "all trials ran" 200 n
+  | Sampled.Unsound _ -> Alcotest.fail "q_first does not leak"
+
+let () =
+  Alcotest.run "secpol-extensions"
+    [
+      ( "integrity",
+        [
+          Alcotest.test_case "identity" `Quick test_integrity_identity_preserves_all;
+          Alcotest.test_case "projection" `Quick test_integrity_projection;
+          Alcotest.test_case "sum" `Quick test_integrity_sum_loses_addends;
+          Alcotest.test_case "tension" `Quick test_integrity_vs_soundness_tension;
+          Alcotest.test_case "denial-content" `Quick test_integrity_denial_timing;
+        ] );
+      ( "aggregate-policy",
+        [
+          Alcotest.test_case "soundness" `Quick test_aggregate_policy;
+          Alcotest.test_case "maximal" `Quick test_aggregate_policy_maximal;
+        ] );
+      ( "policy-order",
+        [
+          Alcotest.test_case "allow-inclusion" `Quick test_policy_order_allow_inclusion;
+          Alcotest.test_case "content-dependent" `Quick test_policy_order_content_dependent;
+          prop_soundness_antitone;
+          prop_surveillance_monotone_in_policy;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "meet" `Quick test_meet_grants_intersection;
+          Alcotest.test_case "meet-sound" `Quick test_meet_preserves_soundness;
+          Alcotest.test_case "laws" `Quick test_lattice_laws;
+          Alcotest.test_case "bounds" `Quick test_lattice_bounds;
+          Alcotest.test_case "grant-set" `Quick test_grant_set;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "rule" `Quick test_history_rule;
+          Alcotest.test_case "unprotected-leaks" `Quick test_history_unprotected_leaks;
+          Alcotest.test_case "monitor-sound" `Quick test_history_monitor_sound;
+          Alcotest.test_case "redesign-sound" `Quick test_history_redesigned_program_sound;
+          Alcotest.test_case "probe-needs-allow" `Quick test_history_sampled_probe_needs_allow;
+        ] );
+      ( "sampled",
+        [ Alcotest.test_case "finds-leaks" `Quick test_sampled_probe_finds_leaks ] );
+    ]

@@ -1,0 +1,94 @@
+(* Example 2: the file system with its content-dependent policy. *)
+
+open Util
+module Filesys = Secpol_filesys.Filesys
+module Leakage = Secpol_probe.Leakage
+module Partition = Secpol_probe.Partition
+
+let k = 2
+let space = Filesys.space ~k ~file_values:[ 10; 20 ]
+let policy = Filesys.policy ~k
+
+(* inputs: [d0; d1; f0; f1] with dirs booleans. *)
+let inp d0 d1 f0 f1 =
+  [| Value.bool d0; Value.bool d1; Value.int f0; Value.int f1 |]
+
+let test_policy_filters_denied_files () =
+  (* Same directories; file 1 differs but is denied: images equal. *)
+  let a = inp true false 10 10 and b = inp true false 10 20 in
+  Alcotest.(check bool) "denied file filtered out" true (Policy.equiv policy a b);
+  (* If the directory says YES the file content shows in the image. *)
+  let c = inp true true 10 10 and d = inp true true 10 20 in
+  Alcotest.(check bool) "permitted file visible" false (Policy.equiv policy c d);
+  (* Directories themselves are always visible. *)
+  let e = inp true false 10 10 and f = inp false false 10 10 in
+  Alcotest.(check bool) "directories visible" false (Policy.equiv policy e f)
+
+let test_partition_shape () =
+  (* 4 dir combos x file visibility: d1 hides f1 (2 values collapse), etc.
+     Total points 4*4 = 16; classes: for each dir combo, visible files
+     multiply: YY->4, YN->2, NY->2, NN->1 classes = 9. *)
+  let p = Partition.compute policy space in
+  Alcotest.(check int) "points" 16 p.Partition.points;
+  Alcotest.(check int) "classes" 9 (Partition.class_count p)
+
+let test_raw_read_unsound () =
+  let q = Filesys.read_file ~k ~slot:1 in
+  check_unsound "reading without the permission check leaks" policy
+    (Mechanism.of_program q) space;
+  let leak = Leakage.of_program policy q space in
+  Alcotest.(check bool) "leaks a full bit on denied classes" true
+    (leak.Leakage.max_bits > 0.99)
+
+let test_monitor_sound_and_complete_where_permitted () =
+  let q = Filesys.read_file ~k ~slot:1 in
+  let m = Filesys.monitor ~k ~slot:1 in
+  check_sound "reference monitor is sound" policy m space;
+  (match Mechanism.check_protects m q space with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "monitor grants must equal the file content");
+  (* Grants exactly the half of the space where d1 = YES. *)
+  check_ratio "permitted half served" ~expected:0.5 m ~q space;
+  Alcotest.(check bool) "monitor leaks nothing" true
+    (Leakage.is_tight (Leakage.of_mechanism policy m space))
+
+let test_monitor_notice_text () =
+  match
+    (Mechanism.respond (Filesys.monitor ~k ~slot:0) (inp false true 10 20))
+      .Mechanism.response
+  with
+  | Mechanism.Denied n ->
+      Alcotest.(check string) "paper's notice" Filesys.violation_notice n
+  | _ -> Alcotest.fail "expected denial"
+
+let test_self_checking_program_sound () =
+  (* read_sum_permitted consults the directories itself: sound untouched. *)
+  let q = Filesys.read_sum_permitted ~k in
+  check_sound "self-checking program is its own sound mechanism" policy
+    (Mechanism.of_program q) space;
+  (* And it computes what it should. *)
+  match (Program.run q (inp true false 10 20)).Program.result with
+  | Program.Value v -> Alcotest.check value_testable "sum" (Value.int 10) v
+  | _ -> Alcotest.fail "expected a value"
+
+let test_monitor_for_wrong_slot_is_not_mechanism_for_q () =
+  let q = Filesys.read_file ~k ~slot:1 in
+  let wrong = Filesys.monitor ~k ~slot:0 in
+  match Mechanism.check_protects wrong q space with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "monitoring the wrong slot must not protect q"
+
+let () =
+  Alcotest.run "secpol-filesys"
+    [
+      ( "filesys",
+        [
+          Alcotest.test_case "policy-filters" `Quick test_policy_filters_denied_files;
+          Alcotest.test_case "partition-shape" `Quick test_partition_shape;
+          Alcotest.test_case "raw-read-unsound" `Quick test_raw_read_unsound;
+          Alcotest.test_case "monitor-sound" `Quick test_monitor_sound_and_complete_where_permitted;
+          Alcotest.test_case "monitor-notice" `Quick test_monitor_notice_text;
+          Alcotest.test_case "self-checking-sound" `Quick test_self_checking_program_sound;
+          Alcotest.test_case "wrong-slot" `Quick test_monitor_for_wrong_slot_is_not_mechanism_for_q;
+        ] );
+    ]

@@ -1,0 +1,411 @@
+(* The flowchart language: expressions, structured programs, compilation,
+   the two interpreters and their agreement, and the graph analyses. *)
+
+open Util
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Ast = Secpol_flowgraph.Ast
+module Graph = Secpol_flowgraph.Graph
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Graphalgo = Secpol_flowgraph.Graphalgo
+module Generator = Secpol_corpus.Generator
+open Expr.Build
+
+let env_of_list l v = List.assoc v l
+
+(* --- Expressions ------------------------------------------------------ *)
+
+let test_eval () =
+  let env = env_of_list [ (Var.Input 0, 5); (Var.Reg 0, 3); (Var.Out, 0) ] in
+  Alcotest.(check int) "arith" 13 (Expr.eval env ((x 0 *: i 2) +: r 0));
+  Alcotest.(check int) "sub/neg" (-2) (Expr.eval env (Expr.Neg (i 5 -: r 0)));
+  Alcotest.(check int) "bitwise" 7 (Expr.eval env (Expr.Bor (Expr.Const 5, Expr.Const 3)));
+  Alcotest.(check bool) "pred" true (Expr.eval_pred env ((x 0 >: r 0) &&: (r 0 =: i 3)));
+  Alcotest.(check int) "cond true" 1 (Expr.eval env (cond (x 0 =: i 5) (i 1) (i 2)));
+  Alcotest.(check int) "cond false" 2 (Expr.eval env (cond (x 0 =: i 4) (i 1) (i 2)))
+
+let test_eval_faults () =
+  let env _ = 0 in
+  Alcotest.check_raises "div by zero" (Expr.Runtime_fault "division by zero")
+    (fun () -> ignore (Expr.eval env (i 1 /: i 0)));
+  Alcotest.check_raises "mod by zero" (Expr.Runtime_fault "modulus by zero")
+    (fun () -> ignore (Expr.eval env (i 1 %: i 0)))
+
+let var_set_testable =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map Var.to_string (Var.Set.elements s))))
+    Var.Set.equal
+
+let test_vars () =
+  Alcotest.check var_set_testable "expr vars"
+    (Var.Set.of_list [ Var.Input 0; Var.Reg 1; Var.Out ])
+    (Expr.vars ((x 0 +: r 1) *: y));
+  (* Cond counts the predicate and both arms. *)
+  Alcotest.check var_set_testable "cond vars"
+    (Var.Set.of_list [ Var.Input 0; Var.Input 1; Var.Reg 0 ])
+    (Expr.vars (cond (x 0 =: i 0) (x 1) (r 0)))
+
+let test_subst () =
+  let sigma = Var.Map.singleton (Var.Reg 0) (x 1 +: i 1) in
+  let e = Expr.subst sigma (r 0 *: r 0) in
+  let env = env_of_list [ (Var.Input 1, 2) ] in
+  Alcotest.(check int) "substituted" 9 (Expr.eval env e)
+
+let test_simplify () =
+  Alcotest.(check bool) "constant folding" true
+    (Expr.equal (Expr.simplify ((i 2 +: i 3) *: i 4)) (i 20));
+  Alcotest.(check bool) "x + 0" true (Expr.equal (Expr.simplify (x 0 +: i 0)) (x 0));
+  Alcotest.(check bool) "x * 0" true (Expr.equal (Expr.simplify (x 0 *: i 0)) (i 0));
+  Alcotest.(check bool) "equal-armed select collapses" true
+    (Expr.equal (Expr.simplify (cond (x 0 =: i 1) (i 1) (i 1))) (i 1));
+  Alcotest.(check bool) "decided select collapses" true
+    (Expr.equal (Expr.simplify (cond (i 1 =: i 1) (x 0) (x 1))) (x 0));
+  Alcotest.(check bool) "pred folding" true
+    (Expr.equal_pred (Expr.simplify_pred ((i 1 <: i 2) &&: (x 0 =: x 0))) (x 0 =: x 0))
+
+let prop_simplify_preserves_eval =
+  qtest ~count:150 "simplify preserves evaluation"
+    (QCheck.make QCheck.Gen.(pair (int_range 0 3) (int_range 0 3)))
+    (fun (v0, v1) ->
+      let env = env_of_list [ (Var.Input 0, v0); (Var.Input 1, v1); (Var.Reg 0, 1) ] in
+      let exprs =
+        [
+          (x 0 +: x 1) *: (i 2 -: i 2);
+          cond (x 0 =: x 1) (x 0 *: i 1) (x 1 +: i 0);
+          cond (i 3 >: i 2) (x 0) (x 1);
+          Expr.Bor (x 0, i 0) +: Expr.Band (x 1, i 3);
+        ]
+      in
+      List.for_all
+        (fun e -> Expr.eval env e = Expr.eval env (Expr.simplify e))
+        exprs)
+
+(* --- Ast -------------------------------------------------------------- *)
+
+let test_ast_validate () =
+  (match
+     Ast.validate { Ast.name = "bad"; arity = 1; body = Ast.Assign (Var.Out, x 3) }
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range input accepted");
+  match Ast.prog ~name:"bad" ~arity:1 (Ast.Assign (Var.Out, x 3)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "prog should raise on invalid input index"
+
+let test_ast_seq_smart () =
+  let s = Ast.seq [ Ast.Skip; Ast.Seq [ Ast.Skip; Ast.Assign (Var.Out, i 1) ]; Ast.Skip ] in
+  Alcotest.(check bool) "flattens to single" true (s = Ast.Assign (Var.Out, i 1));
+  Alcotest.(check bool) "empty is skip" true (Ast.seq [] = Ast.Skip)
+
+let test_ast_meta () =
+  let p =
+    Ast.prog ~name:"meta" ~arity:2
+      (Ast.seq
+         [
+           Ast.Assign (Var.Reg 2, x 0);
+           Ast.While (r 2 >: i 0, Ast.Assign (Var.Reg 2, r 2 -: i 1));
+           Ast.Assign (Var.Out, x 1);
+         ])
+  in
+  Alcotest.(check int) "max_reg" 2 (Ast.max_reg p);
+  Alcotest.(check bool) "not loop free" false (Ast.loop_free p.Ast.body);
+  Alcotest.(check bool) "reads x0 and x1" true
+    (Var.Set.mem (Var.Input 0) (Ast.read_vars p.Ast.body)
+    && Var.Set.mem (Var.Input 1) (Ast.read_vars p.Ast.body));
+  Alcotest.(check bool) "assigns out" true
+    (Var.Set.mem Var.Out (Ast.assigned_vars p.Ast.body))
+
+(* --- Interpreters and compilation ------------------------------------- *)
+
+let run_ast p inputs = Interp.run_ast p (ints inputs)
+let run_graph p inputs = Interp.run_graph (Compile.compile p) (ints inputs)
+
+let check_value msg o expected =
+  match o.Program.result with
+  | Program.Value v -> Alcotest.check value_testable msg (Value.int expected) v
+  | Program.Diverged -> Alcotest.failf "%s: diverged" msg
+  | Program.Fault m -> Alcotest.failf "%s: fault %s" msg m
+
+let euclid =
+  (* gcd (x0+1) (x1+1) by repeated subtraction. *)
+  Ast.prog ~name:"euclid" ~arity:2
+    (Ast.seq
+       [
+         Ast.Assign (Var.Reg 0, x 0 +: i 1);
+         Ast.Assign (Var.Reg 1, x 1 +: i 1);
+         Ast.While
+           ( r 0 <>: r 1,
+             Ast.If
+               ( r 0 >: r 1,
+                 Ast.Assign (Var.Reg 0, r 0 -: r 1),
+                 Ast.Assign (Var.Reg 1, r 1 -: r 0) ) );
+         Ast.Assign (Var.Out, r 0);
+       ])
+
+let test_interp_programs () =
+  check_value "gcd(4,6)=2" (run_ast euclid [ 3; 5 ]) 2;
+  check_value "gcd(1,1)=1" (run_ast euclid [ 0; 0 ]) 1;
+  check_value "gcd(8,4)=4" (run_ast euclid [ 7; 3 ]) 4
+
+let test_interp_divergence () =
+  let spin = Ast.prog ~name:"spin" ~arity:1 (Ast.While (Expr.True, Ast.Skip)) in
+  (match (Interp.run_ast ~fuel:50 spin (ints [ 0 ])).Program.result with
+  | Program.Diverged -> ()
+  | _ -> Alcotest.fail "expected divergence (ast)");
+  match
+    (Interp.run_graph ~fuel:50 (Compile.compile spin) (ints [ 0 ])).Program.result
+  with
+  | Program.Diverged -> ()
+  | _ -> Alcotest.fail "expected divergence (graph)"
+
+let test_interp_fault () =
+  let bad = Ast.prog ~name:"bad" ~arity:1 (Ast.Assign (Var.Out, i 1 /: x 0)) in
+  (match (run_ast bad [ 0 ]).Program.result with
+  | Program.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault");
+  check_value "ok when nonzero" (run_ast bad [ 2 ]) 0
+
+let test_step_counting () =
+  let p1 = Ast.prog ~name:"one" ~arity:1 (Ast.Assign (Var.Out, i 1)) in
+  Alcotest.(check int) "single assignment" 1 (run_ast p1 [ 0 ]).Program.steps;
+  let p2 =
+    Ast.prog ~name:"branch" ~arity:1
+      (Ast.If (x 0 =: i 0, Ast.Assign (Var.Out, i 1), Ast.Skip))
+  in
+  Alcotest.(check int) "test+assign" 2 (run_ast p2 [ 0 ]).Program.steps;
+  Alcotest.(check int) "test only" 1 (run_ast p2 [ 1 ]).Program.steps;
+  Alcotest.(check int) "graph test+assign" 2 (run_graph p2 [ 0 ]).Program.steps;
+  Alcotest.(check int) "graph test only" 1 (run_graph p2 [ 1 ]).Program.steps
+
+let outcome_agrees (o1 : Program.outcome) (o2 : Program.outcome) =
+  match (o1.Program.result, o2.Program.result) with
+  | Program.Value v1, Program.Value v2 ->
+      Value.equal v1 v2 && o1.Program.steps = o2.Program.steps
+  | Program.Diverged, Program.Diverged -> true
+  | Program.Fault _, Program.Fault _ -> true
+  | _ -> false
+
+let prop_compile_preserves_semantics =
+  let params = Generator.default in
+  qtest ~count:300 "AST and compiled flowchart agree on (value, steps)"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      Seq.for_all
+        (fun a -> outcome_agrees (Interp.run_ast prog a) (Interp.run_graph g a))
+        (Space.enumerate (Generator.space_for params)))
+
+let prop_generated_programs_terminate =
+  let params = Generator.default in
+  qtest ~count:300 "generated programs terminate well within fuel"
+    (Generator.arbitrary params)
+    (fun prog ->
+      Seq.for_all
+        (fun a ->
+          match (Interp.run_ast ~fuel:20_000 prog a).Program.result with
+          | Program.Value _ -> true
+          | Program.Diverged | Program.Fault _ -> false)
+        (Space.enumerate (Generator.space_for params)))
+
+let test_negative_domains () =
+  (* Flowchart variables are integers, not naturals: the language must be
+     total on negative inputs too. *)
+  let p =
+    Ast.prog ~name:"abs" ~arity:1
+      (Ast.If
+         ( x 0 <: i 0,
+           Ast.Assign (Var.Out, i 0 -: x 0),
+           Ast.Assign (Var.Out, x 0) ))
+  in
+  let space = Space.ints ~lo:(-3) ~hi:3 ~arity:1 in
+  Seq.iter
+    (fun a ->
+      match (Interp.run_ast p a).Program.result with
+      | Program.Value (Value.Int n) ->
+          Alcotest.(check int) "absolute value" (abs (Value.to_int a.(0))) n
+      | _ -> Alcotest.fail "expected a value")
+    (Space.enumerate space)
+
+let test_eval_cost_models () =
+  let env = env_of_list [ (Var.Input 0, 12) ] in
+  let e = x 0 *: x 0 in
+  let v_u, c_u = Expr.eval_cost Expr.Uniform env e in
+  Alcotest.(check int) "uniform value" 144 v_u;
+  Alcotest.(check int) "uniform extra cost" 0 c_u;
+  let v_s, c_s = Expr.eval_cost Expr.Operand_sized env e in
+  Alcotest.(check int) "sized value agrees" 144 v_s;
+  Alcotest.(check bool) "sized cost positive" true (c_s > 0);
+  (* Additions stay free in both models. *)
+  let _, c_add = Expr.eval_cost Expr.Operand_sized env (x 0 +: x 0) in
+  Alcotest.(check int) "addition free" 0 c_add
+
+let test_cost_scales_with_operands () =
+  let cost n =
+    let env = env_of_list [ (Var.Input 0, n) ] in
+    snd (Expr.eval_cost Expr.Operand_sized env (x 0 *: x 0))
+  in
+  Alcotest.(check bool) "wider operands cost more" true (cost 1000 > cost 1)
+
+(* --- Graph validation and analyses ------------------------------------ *)
+
+let test_graph_validation () =
+  (match
+     Graph.validate
+       { Graph.name = "g"; arity = 0; entry = 0; nodes = [| Graph.Halt |] }
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "entry must be a start box");
+  match
+    Graph.validate
+      {
+        Graph.name = "g";
+        arity = 0;
+        entry = 0;
+        nodes = [| Graph.Start 1; Graph.Assign (Var.Out, i 1, 0) |];
+      }
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "edges back into the start box must be rejected"
+
+let diamond =
+  Graph.make ~name:"diamond" ~arity:1 ~entry:0
+    [|
+      Graph.Start 1;
+      Graph.Decision (x 0 =: i 0, 2, 3);
+      Graph.Assign (Var.Reg 0, i 1, 4);
+      Graph.Assign (Var.Reg 0, i 2, 4);
+      Graph.Assign (Var.Out, r 0, 5);
+      Graph.Halt;
+    |]
+
+let test_postdominators () =
+  let ipd = Graphalgo.immediate_postdominator diamond in
+  Alcotest.(check int) "join postdominates the decision" 4 ipd.(1);
+  Alcotest.(check int) "assign's ipd is the join" 4 ipd.(2);
+  Alcotest.(check int) "join's ipd is halt" 5 ipd.(4);
+  Alcotest.(check int) "halt has none" (-1) ipd.(5)
+
+let test_postdominators_loop () =
+  let looping =
+    Graph.make ~name:"loop" ~arity:1 ~entry:0
+      [|
+        Graph.Start 1;
+        Graph.Decision (x 0 =: i 0, 2, 3);
+        Graph.Assign (Var.Reg 0, r 0 +: i 1, 1);
+        Graph.Halt;
+      |]
+  in
+  let ipd = Graphalgo.immediate_postdominator looping in
+  Alcotest.(check int) "loop decision exits to halt" 3 ipd.(1)
+
+let test_postdominators_at_scale () =
+  (* A 400-box assignment chain with a decision every 10 boxes: the
+     analyses must stay correct (and affordable) well beyond toy sizes. *)
+  let n = 400 in
+  let nodes =
+    Array.init (n + 2) (fun k ->
+        if k = n then Graph.Halt
+        else if k = n + 1 then Graph.Start 0
+        else if k mod 10 = 0 then Graph.Decision (x 0 =: i 0, k + 1, k + 1)
+        else Graph.Assign (Var.Reg 0, r 0 +: i 1, k + 1))
+  in
+  let g = Graph.make ~name:"long-chain" ~arity:1 ~entry:(n + 1) nodes in
+  let ipd = Graphalgo.immediate_postdominator g in
+  (* On a chain every node's immediate postdominator is its successor. *)
+  for k = 0 to n - 1 do
+    Alcotest.(check int) (Printf.sprintf "ipd of %d" k) (k + 1) ipd.(k)
+  done;
+  Alcotest.(check int) "halt has none" (-1) ipd.(n)
+
+let test_map_nodes () =
+  (* Rewrite every constant 1 to 2 in the diamond; semantics shifts
+     accordingly, structure is preserved. *)
+  let bumped =
+    Graph.map_nodes
+      (fun _ node ->
+        match node with
+        | Graph.Assign (v, Expr.Const 1, s) -> Graph.Assign (v, Expr.Const 2, s)
+        | n -> n)
+      diamond
+  in
+  (match (Interp.run_graph bumped (ints [ 0 ])).Program.result with
+  | Program.Value v -> Alcotest.check value_testable "then-branch now 2" (Value.int 2) v
+  | _ -> Alcotest.fail "expected a value");
+  match
+    Graph.map_nodes (fun i node -> if i = 0 then Graph.Halt else node) diamond
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "map_nodes must revalidate (entry must stay a start box)"
+
+let test_space_sampling () =
+  let space = Space.ints ~lo:0 ~hi:2 ~arity:2 in
+  let rng = Random.State.make [| 9 |] in
+  Seq.iter
+    (fun a -> Alcotest.(check bool) "sample in space" true (Space.mem space a))
+    (Space.sample_seq rng space 50);
+  Alcotest.(check int) "requested count" 50 (Seq.length (Space.sample_seq rng space 50))
+
+let test_ast_size () =
+  Alcotest.(check int) "euclid size" 8 (Ast.size euclid.Ast.body);
+  Alcotest.(check int) "skip size" 1 (Ast.size Ast.Skip)
+
+let test_no_halt_reachable () =
+  let hopeless =
+    Graph.make ~name:"hopeless" ~arity:0 ~entry:0
+      [|
+        Graph.Start 1;
+        Graph.Assign (Var.Reg 0, i 1, 2);
+        Graph.Assign (Var.Reg 0, i 0, 1);
+        Graph.Halt (* unreachable *);
+      |]
+  in
+  let reach = Graphalgo.can_reach_halt hopeless in
+  Alcotest.(check bool) "spinner cannot reach halt" false reach.(1);
+  let ipd = Graphalgo.immediate_postdominator hopeless in
+  Alcotest.(check int) "no ipd inside the black hole" (-1) ipd.(1)
+
+let () =
+  Alcotest.run "secpol-flowgraph"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "faults" `Quick test_eval_faults;
+          Alcotest.test_case "vars" `Quick test_vars;
+          Alcotest.test_case "subst" `Quick test_subst;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+          prop_simplify_preserves_eval;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "validate" `Quick test_ast_validate;
+          Alcotest.test_case "seq-smart" `Quick test_ast_seq_smart;
+          Alcotest.test_case "meta" `Quick test_ast_meta;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "programs" `Quick test_interp_programs;
+          Alcotest.test_case "divergence" `Quick test_interp_divergence;
+          Alcotest.test_case "fault" `Quick test_interp_fault;
+          Alcotest.test_case "step-counting" `Quick test_step_counting;
+          prop_compile_preserves_semantics;
+          prop_generated_programs_terminate;
+          Alcotest.test_case "negative-domains" `Quick test_negative_domains;
+          Alcotest.test_case "cost-models" `Quick test_eval_cost_models;
+          Alcotest.test_case "cost-scales" `Quick test_cost_scales_with_operands;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+          Alcotest.test_case "postdominators" `Quick test_postdominators;
+          Alcotest.test_case "postdominators-loop" `Quick test_postdominators_loop;
+          Alcotest.test_case "postdominators-scale" `Quick test_postdominators_at_scale;
+          Alcotest.test_case "map-nodes" `Quick test_map_nodes;
+          Alcotest.test_case "space-sampling" `Quick test_space_sampling;
+          Alcotest.test_case "ast-size" `Quick test_ast_size;
+          Alcotest.test_case "no-halt-reachable" `Quick test_no_halt_reachable;
+        ] );
+    ]

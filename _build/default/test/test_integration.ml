@@ -1,0 +1,266 @@
+(* Cross-library integration: the whole paper-programs corpus pushed through
+   every mechanism at once, the join of heterogeneous mechanisms, the
+   Theorem 4 / Ruzzo construction over Minsky machines, and the residual
+   termination channel that bounds what static certification can promise. *)
+
+open Util
+module Iset = Secpol_core.Iset
+module Ast = Secpol_flowgraph.Ast
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Dynamic = Secpol_taint.Dynamic
+module Instrument = Secpol_taint.Instrument
+module Certify = Secpol_staticflow.Certify
+module Halt_guard = Secpol_staticflow.Halt_guard
+module Transforms = Secpol_transform.Transforms
+module Machine = Secpol_minsky.Machine
+module Paper = Secpol_corpus.Paper_programs
+module Leakage = Secpol_probe.Leakage
+open Expr.Build
+
+(* Every mechanism the library can construct for a structured program. *)
+let mechanisms_for (e : Paper.entry) =
+  let g = Paper.graph e in
+  let policy = e.Paper.policy in
+  [
+    ("high-water", Dynamic.mechanism_of ~mode:Dynamic.High_water policy g);
+    ("surveillance", Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g);
+    ("timed", Dynamic.mechanism_of ~mode:Dynamic.Timed policy g);
+    ("instrumented", Instrument.mechanism Instrument.Untimed ~policy g);
+    ("static", Certify.mechanism ~policy e.Paper.prog);
+    ("halt-guard", Halt_guard.mechanism ~policy g);
+  ]
+
+(* The library-wide contract: every constructed mechanism is (1) a protection
+   mechanism for Q and (2) sound, on every corpus entry. (Scoped is excluded:
+   it is the deliberate counterexample.) *)
+let test_all_mechanisms_protect_and_are_sound () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let q = Paper.program e in
+      List.iter
+        (fun (label, m) ->
+          (match Mechanism.check_protects m q e.Paper.space with
+          | Ok () -> ()
+          | Error _ ->
+              Alcotest.failf "%s/%s: not a protection mechanism" e.Paper.name label);
+          check_sound
+            (Printf.sprintf "%s/%s" e.Paper.name label)
+            e.Paper.policy m e.Paper.space;
+          (* Zero measured leakage, by the information-theoretic meter too. *)
+          if not (Leakage.is_tight (Leakage.of_mechanism e.Paper.policy m e.Paper.space))
+          then Alcotest.failf "%s/%s: leaks bits" e.Paper.name label)
+        (mechanisms_for e))
+    Paper.all
+
+(* Maximal dominates everything, on every corpus entry. *)
+let test_maximal_dominates_everything () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let q = Paper.program e in
+      let mx = Maximal.build e.Paper.policy q e.Paper.space in
+      List.iter
+        (fun (label, m) ->
+          match Completeness.as_complete_as mx m ~q e.Paper.space with
+          | Ok () -> ()
+          | Error _ -> Alcotest.failf "%s/%s: beats the maximal mechanism!" e.Paper.name label)
+        (mechanisms_for e))
+    Paper.all
+
+(* Joining a dynamic and a static mechanism: Theorem 1 across kinds. On ex8,
+   surveillance serves x1 = 1; a hand-built sound mechanism serves x1 = 3;
+   their join serves both quarters. *)
+let test_heterogeneous_join () =
+  let e = Paper.ex8 in
+  let q = Paper.program e in
+  let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e) in
+  let serves_three =
+    Mechanism.make ~name:"x1=3" ~arity:2 (fun a ->
+        if Value.to_int a.(1) = 3 then
+          let o = Program.run q a in
+          match o.Program.result with
+          | Program.Value v -> { Mechanism.response = Mechanism.Granted v; steps = 1 }
+          | _ -> { Mechanism.response = Mechanism.Hung; steps = 1 }
+        else { Mechanism.response = Mechanism.Denied "\xce\x9b"; steps = 1 })
+  in
+  (* x1 = 3 forces the else branch: Q = x0... that depends on x0, which is
+     disallowed! Serving it would be unsound - verify the checker agrees. *)
+  check_unsound "serving x1=3 here is unsound" e.Paper.policy serves_three
+    e.Paper.space;
+  (* A genuinely sound partial ally: serve x1 = 1 oddly-timed. *)
+  let serves_one =
+    Mechanism.make ~name:"x1=1" ~arity:2 (fun a ->
+        if Value.to_int a.(1) = 1 then
+          { Mechanism.response = Mechanism.Granted (Value.int 1); steps = 9 }
+        else { Mechanism.response = Mechanism.Denied "other" ; steps = 9 })
+  in
+  check_sound "ally sound" e.Paper.policy serves_one e.Paper.space;
+  let j = Mechanism.join ms serves_one in
+  check_sound "join sound" e.Paper.policy j e.Paper.space;
+  check_ratio "join = surveillance here (same grants)" ~expected:0.25 j ~q
+    e.Paper.space
+
+(* Theorem 4 via Ruzzo's construction: Q_M(x0) = 1 iff machine M halts in
+   at most x0 steps. The maximal mechanism for allow() is constant iff M's
+   halting horizon lies outside the domain — brute force decides it per
+   finite domain, but the bound needed grows with M, which is the content
+   of the impossibility. *)
+let ruzzo_program (m : Machine.t) ~machine_input =
+  Program.of_fun
+    ~name:("ruzzo-" ^ m.Machine.name)
+    ~arity:1
+    (fun a ->
+      Value.int
+        (if Machine.halts_within m ~fuel:(Value.to_int a.(0)) machine_input then 1
+         else 0))
+
+let test_thm4_ruzzo_minsky () =
+  let space = Space.ints ~lo:0 ~hi:40 ~arity:1 in
+  (* looper on input 1 never halts: Q is constantly 0, maximal serves all. *)
+  let q_spin = ruzzo_program Machine.Zoo.looper ~machine_input:[| 1 |] in
+  let mx_spin = Maximal.build Policy.allow_none q_spin space in
+  check_ratio "non-halting machine: constant, fully served" ~expected:1.0
+    mx_spin ~q:q_spin space;
+  (* looper on input 0 halts quickly: Q flips 0 -> 1 inside the domain. *)
+  let q_halt = ruzzo_program Machine.Zoo.looper ~machine_input:[| 0 |] in
+  let mx_halt = Maximal.build Policy.allow_none q_halt space in
+  check_ratio "halting machine: non-constant, nothing served" ~expected:0.0
+    mx_halt ~q:q_halt space;
+  (* adder halts too, but only after its input-dependent run time; the flip
+     point moves with the machine — the 'unbounded search' the theorem
+     turns into undecidability. *)
+  let q_adder = ruzzo_program Machine.Zoo.adder ~machine_input:[| 5; 5 |] in
+  let mx_adder = Maximal.build Policy.allow_none q_adder space in
+  let r = Completeness.ratio mx_adder ~q:q_adder space in
+  Alcotest.(check (float 1e-9)) "adder flips inside the domain" 0.0 r
+
+(* Ruzzo's exact construction: Q(x0, x1) = 1 iff the machine halts on x0
+   after EXACTLY x1 steps, under allow(0). The maximal mechanism denies a
+   whole x0-class precisely when the machine halts on x0 within the x1
+   domain — its denial pattern IS the machine's halting set, which is why
+   it "need not be recursive (even when Q and I are)". *)
+let test_ruzzo_exact_steps () =
+  let exact_steps m =
+    Program.of_fun ~name:"ruzzo-exact" ~arity:2 (fun a ->
+        let x = Value.to_int a.(0) and t = Value.to_int a.(1) in
+        let o = Machine.run ~fuel:(t + 1) m [| x |] in
+        match o.Program.result with
+        | Program.Value _ when o.Program.steps = t -> Value.int 1
+        | _ -> Value.int 0)
+  in
+  (* looper halts on 0 (in 1 step) and spins on positive inputs. *)
+  let q = exact_steps Machine.Zoo.looper in
+  let space =
+    Space.make
+      [|
+        Array.init 3 Value.int (* x0: machine input *);
+        Array.init 30 Value.int (* x1: step counts probed *);
+      |]
+  in
+  let policy = Policy.allow [ 0 ] in
+  let mx = Maximal.build policy q space in
+  let denied_class x =
+    match
+      (Mechanism.respond mx [| Value.int x; Value.int 0 |]).Mechanism.response
+    with
+    | Mechanism.Denied _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "class of a halting input is denied" true (denied_class 0);
+  Alcotest.(check bool) "classes of spinning inputs are served" false (denied_class 1);
+  Alcotest.(check bool) "ditto" false (denied_class 2);
+  (* The denial pattern equals the halting set on this domain. *)
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "denied(%d) = halts(%d)" x x)
+        (Machine.halts_within Machine.Zoo.looper ~fuel:30 [| x |])
+        (denied_class x))
+    [ 0; 1; 2 ]
+
+(* Theorem 4's flowchart family, as in the paper's proof. *)
+let test_thm4_flowchart_family () =
+  let zero = Paper.thm4_family (fun _ -> 0) ~name:"thm4-zero" in
+  let spike = Paper.thm4_family (fun v -> if v = 5 then 1 else 0) ~name:"thm4-spike" in
+  List.iter
+    (fun ((e : Paper.entry), expect) ->
+      let q = Paper.program e in
+      let mx = Maximal.build e.Paper.policy q e.Paper.space in
+      check_ratio (e.Paper.name ^ ": maximal ratio") ~expected:expect mx ~q
+        e.Paper.space;
+      (* Surveillance cannot tell the two cases apart: denies both. *)
+      let ms =
+        Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e)
+      in
+      check_ratio (e.Paper.name ^ ": surveillance blind") ~expected:0.0 ms ~q
+        e.Paper.space)
+    [ (zero, 1.0); (spike, 0.0) ]
+
+(* The termination channel: static certification (and Theorem 3) promise
+   soundness for TERMINATING programs with unobservable time. A program that
+   diverges exactly when the secret is positive slips through any mechanism
+   that runs Q unmodified. *)
+let test_termination_channel () =
+  let p =
+    Ast.prog ~name:"spin-if-positive" ~arity:1
+      (Ast.While (x 0 >: i 0, Ast.Skip))
+  in
+  Alcotest.(check bool) "certifier accepts (y is untouched)" true
+    (Certify.certified ~policy:Policy.allow_none p);
+  let q = Interp.ast_program ~fuel:200 p in
+  let space = Space.ints ~lo:0 ~hi:2 ~arity:1 in
+  (* The 'certified' static mechanism runs Q as-is and hangs on positives:
+     observable divergence distinguishes the class. *)
+  check_unsound "termination leaks through the certified program"
+    Policy.allow_none
+    (Certify.mechanism ~fuel:200 ~policy:Policy.allow_none p)
+    space;
+  (* The timed surveillance mechanism kills the run at the tainted decision
+     and stays sound even against the divergence observer. *)
+  let mt = Dynamic.mechanism_of ~fuel:200 ~mode:Dynamic.Timed Policy.allow_none (Compile.compile p) in
+  check_sound "timed surveillance closes it" Policy.allow_none mt space;
+  ignore q
+
+(* Instrumented mechanisms compose with the core combinators like any other:
+   join(instrumented, static) obeys Theorem 1 on the whole corpus. *)
+let test_join_instrumented_static () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let q = Paper.program e in
+      let g = Paper.graph e in
+      let mi = Instrument.mechanism Instrument.Untimed ~policy:e.Paper.policy g in
+      let mst = Certify.mechanism ~policy:e.Paper.policy e.Paper.prog in
+      let j = Mechanism.join mi mst in
+      check_sound (e.Paper.name ^ ": join sound") e.Paper.policy j e.Paper.space;
+      (match Completeness.as_complete_as j mi ~q e.Paper.space with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "%s: join >= instrumented fails" e.Paper.name);
+      match Completeness.as_complete_as j mst ~q e.Paper.space with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "%s: join >= static fails" e.Paper.name)
+    Paper.all
+
+let () =
+  Alcotest.run "secpol-integration"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "all-mechanisms-sound" `Slow test_all_mechanisms_protect_and_are_sound;
+          Alcotest.test_case "maximal-dominates" `Slow test_maximal_dominates_everything;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "heterogeneous" `Quick test_heterogeneous_join;
+          Alcotest.test_case "instrumented-static" `Slow test_join_instrumented_static;
+        ] );
+      ( "theorem4",
+        [
+          Alcotest.test_case "ruzzo-minsky" `Quick test_thm4_ruzzo_minsky;
+          Alcotest.test_case "ruzzo-exact-steps" `Quick test_ruzzo_exact_steps;
+          Alcotest.test_case "flowchart-family" `Quick test_thm4_flowchart_family;
+        ] );
+      ( "limits",
+        [ Alcotest.test_case "termination-channel" `Quick test_termination_channel ] );
+    ]

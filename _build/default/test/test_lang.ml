@@ -1,0 +1,240 @@
+(* Concrete syntax: lexer, parser, printer, and their round-trip. *)
+
+open Util
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Ast = Secpol_flowgraph.Ast
+module Interp = Secpol_flowgraph.Interp
+module Token = Secpol_lang.Token
+module Lexer = Secpol_lang.Lexer
+module Source = Secpol_lang.Source
+module Generator = Secpol_corpus.Generator
+module Paper = Secpol_corpus.Paper_programs
+
+let parse_ok src =
+  match Source.parse src with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "parse failed: %s\n%s" m src
+
+(* --- lexer -------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks =
+    List.map
+      (fun t -> t.Token.token)
+      (Lexer.tokenize "x0 := r12 + 3; # comment\n y := (x1 ? 1 : 2)")
+  in
+  Alcotest.(check int) "token count" 16 (List.length toks);
+  Alcotest.(check bool) "starts with x0 :=" true
+    (match toks with Token.INPUT 0 :: Token.ASSIGN :: _ -> true | _ -> false);
+  Alcotest.(check bool) "comment skipped, y next" true
+    (List.exists (fun t -> t = Token.OUT) toks)
+
+let test_lexer_positions () =
+  match Lexer.tokenize "x0 :=\n  @" with
+  | exception Lexer.Error { line; col; _ } ->
+      Alcotest.(check int) "line" 2 line;
+      Alcotest.(check int) "col" 3 col
+  | _ -> Alcotest.fail "expected a lexer error"
+
+let test_lexer_operators () =
+  let ops = "<= >= <> < > = := : | & ~" in
+  let toks = List.map (fun t -> t.Token.token) (Lexer.tokenize ops) in
+  Alcotest.(check bool) "all operators" true
+    (toks
+    = [
+        Token.LE; Token.GE; Token.NE; Token.LT; Token.GT; Token.EQ;
+        Token.ASSIGN; Token.COLON; Token.BAR; Token.AMP; Token.TILDE;
+        Token.EOF;
+      ])
+
+(* --- parser ------------------------------------------------------------- *)
+
+let test_parse_simple_program () =
+  let p =
+    parse_ok
+      "program euclid(x0, x1)\n\
+       r0 := x0 + 1;\n\
+       r1 := x1 + 1;\n\
+       while r0 <> r1 do\n\
+       if r0 > r1 then r0 := r0 - r1 else r1 := r1 - r0 end\n\
+       done;\n\
+       y := r0"
+  in
+  Alcotest.(check string) "name" "euclid" p.Ast.name;
+  Alcotest.(check int) "arity" 2 p.Ast.arity;
+  (* gcd(4, 6) = 2 *)
+  match (Interp.run_ast p (ints [ 3; 5 ])).Program.result with
+  | Program.Value v -> Alcotest.check value_testable "runs" (Value.int 2) v
+  | _ -> Alcotest.fail "expected a value"
+
+let test_parse_precedence () =
+  let p = parse_ok "program prec(x0)\ny := 1 + x0 * 2 - 3" in
+  (* 1 + (5*2) - 3 = 8 *)
+  match (Interp.run_ast p (ints [ 5 ])).Program.result with
+  | Program.Value v -> Alcotest.check value_testable "precedence" (Value.int 8) v
+  | _ -> Alcotest.fail "expected a value"
+
+let test_parse_select_vs_paren () =
+  (* Both a parenthesized arithmetic expression and a select must parse. *)
+  let p1 = parse_ok "program a(x0)\ny := (x0 + 1) * 2" in
+  let p2 = parse_ok "program b(x0)\ny := (x0 = 0 ? 10 : 20)" in
+  let run p v =
+    match (Interp.run_ast p (ints [ v ])).Program.result with
+    | Program.Value (Value.Int n) -> n
+    | _ -> Alcotest.fail "expected a value"
+  in
+  Alcotest.(check int) "paren" 8 (run p1 3);
+  Alcotest.(check int) "select true" 10 (run p2 0);
+  Alcotest.(check int) "select false" 20 (run p2 1)
+
+let test_parse_pred_forms () =
+  let p =
+    parse_ok
+      "program preds(x0, x1)\n\
+       if (x0 = 0 or x0 = 1) and not (x1 > 2) then y := 1 else y := 0 end"
+  in
+  let run a b =
+    match (Interp.run_ast p (ints [ a; b ])).Program.result with
+    | Program.Value (Value.Int n) -> n
+    | _ -> -1
+  in
+  Alcotest.(check int) "true case" 1 (run 1 2);
+  Alcotest.(check int) "false by x0" 0 (run 2 0);
+  Alcotest.(check int) "false by x1" 0 (run 0 3)
+
+let test_parse_errors () =
+  let expect_error src fragment =
+    match Source.parse src with
+    | Ok _ -> Alcotest.failf "expected a parse error for %s" src
+    | Error m ->
+        if not (String.length m > 0) then Alcotest.fail "empty error";
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "error %S mentions %S" m fragment)
+          true (contains m fragment)
+  in
+  expect_error "program p(x0) y := " "expression";
+  expect_error "program p(x0) if x0 = 0 then skip" "end";
+  expect_error "program p(x1) y := 1" "expected x0";
+  expect_error "program p(x0) y := x5" "out-of-range"
+
+let test_parse_out_of_range_input () =
+  match Source.parse "program p(x0)\ny := x3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inputs beyond the declared arity must be rejected"
+
+let test_hyphenated_names () =
+  let p = parse_ok "program loop-then-done-2(x0)\ny := x0" in
+  Alcotest.(check string) "name joined" "loop-then-done-2" p.Ast.name
+
+let test_policy_hint () =
+  let hint src =
+    Option.map Secpol_core.Policy.name (Source.policy_hint src)
+  in
+  Alcotest.(check (option string)) "allow list" (Some "allow{0,2}")
+    (hint "# policy: 0,2\nprogram p(x0) y := 1");
+  Alcotest.(check (option string)) "allow nothing" (Some "allow{}")
+    (hint "  # policy: -  \nprogram p(x0) y := 1");
+  Alcotest.(check (option string)) "absent" None (hint "program p(x0) y := 1");
+  Alcotest.(check (option string)) "malformed ignored" None
+    (hint "# policy: banana\nprogram p(x0) y := 1");
+  (* An ordinary comment that merely mentions the word is not a hint. *)
+  Alcotest.(check (option string)) "prose comment" None
+    (hint "# the policy here is strict\nprogram p(x0) y := 1")
+
+(* --- round trips --------------------------------------------------------- *)
+
+let test_corpus_roundtrip () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let src = Source.to_source e.Paper.prog in
+      let p = parse_ok src in
+      Alcotest.(check string)
+        (e.Paper.name ^ " stable after one round")
+        src (Source.to_source p))
+    Paper.all
+
+let prop_generated_roundtrip_stable =
+  let params = Generator.default in
+  qtest ~count:300 "printer/parser round trip is stable and meaning-preserving"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let src = Source.to_source prog in
+      match Source.parse src with
+      | Error _ -> false
+      | Ok p ->
+          Source.to_source p = src
+          && Seq.for_all
+               (fun a ->
+                 let r1 = (Interp.run_ast prog a).Program.result in
+                 let r2 = (Interp.run_ast p a).Program.result in
+                 match (r1, r2) with
+                 | Program.Value v1, Program.Value v2 -> Value.equal v1 v2
+                 | Program.Diverged, Program.Diverged -> true
+                 | Program.Fault _, Program.Fault _ -> true
+                 | _ -> false)
+               (Space.enumerate (Generator.space_for params)))
+
+(* --- robustness ------------------------------------------------------------ *)
+
+(* The parser must never escape its error type, whatever bytes arrive. *)
+let prop_parser_never_crashes_on_noise =
+  qtest ~count:500 "parser is total on arbitrary strings"
+    (QCheck.make ~print:(fun s -> String.escaped s) QCheck.Gen.(string_size (int_bound 60)))
+    (fun s ->
+      match Source.parse s with Ok _ -> true | Error _ -> true)
+
+(* ... including near-miss strings assembled from real syntax fragments. *)
+let prop_parser_never_crashes_on_fragments =
+  let fragments =
+    [| "program"; "p("; "x0"; ", x1)"; "if"; "then"; "else"; "end"; "while";
+       "do"; "done"; "y :="; "r0 :="; "+ 1"; "(x0 ? 1 : 2)"; "= 0"; "and";
+       "not"; ";"; "#c\n"; "<>"; ":"; "("; ")" |]
+  in
+  qtest ~count:500 "parser is total on fragment soup"
+    (QCheck.make
+       ~print:(fun l -> String.concat " " l)
+       QCheck.Gen.(list_size (int_bound 12) (oneofl (Array.to_list fragments))))
+    (fun pieces ->
+      match Source.parse (String.concat " " pieces) with
+      | Ok _ -> true
+      | Error _ -> true)
+
+let () =
+  Alcotest.run "secpol-lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple-program" `Quick test_parse_simple_program;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "select-vs-paren" `Quick test_parse_select_vs_paren;
+          Alcotest.test_case "pred-forms" `Quick test_parse_pred_forms;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "out-of-range" `Quick test_parse_out_of_range_input;
+          Alcotest.test_case "hyphenated-names" `Quick test_hyphenated_names;
+          Alcotest.test_case "policy-hint" `Quick test_policy_hint;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "corpus" `Quick test_corpus_roundtrip;
+          prop_generated_roundtrip_stable;
+        ] );
+      ( "robustness",
+        [
+          prop_parser_never_crashes_on_noise;
+          prop_parser_never_crashes_on_fragments;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Example 1: Minsky machines and Fenton's Data Mark Machine, including the
+   paper's analysis of the ill-defined halt statement. *)
+
+open Util
+module Machine = Secpol_minsky.Machine
+module Dmm = Secpol_minsky.Dmm
+
+let run_value m inputs =
+  match (Machine.run m (Array.of_list inputs)).Program.result with
+  | Program.Value v -> Value.to_int v
+  | Program.Diverged -> Alcotest.fail "unexpected divergence"
+  | Program.Fault msg -> Alcotest.failf "unexpected fault %s" msg
+
+(* --- plain machines ----------------------------------------------------- *)
+
+let test_zoo_outputs () =
+  Alcotest.(check int) "adder 3+4" 7 (run_value Machine.Zoo.adder [ 3; 4 ]);
+  Alcotest.(check int) "adder 0+0" 0 (run_value Machine.Zoo.adder [ 0; 0 ]);
+  Alcotest.(check int) "doubler 5" 10 (run_value Machine.Zoo.doubler [ 5 ]);
+  Alcotest.(check int) "zero-test 0" 1 (run_value Machine.Zoo.zero_test [ 0 ]);
+  Alcotest.(check int) "zero-test 3" 0 (run_value Machine.Zoo.zero_test [ 3 ])
+
+let test_looper_halting () =
+  Alcotest.(check bool) "halts on 0" true
+    (Machine.halts_within Machine.Zoo.looper ~fuel:1000 [| 0 |]);
+  Alcotest.(check bool) "spins on 1" false
+    (Machine.halts_within Machine.Zoo.looper ~fuel:1000 [| 1 |])
+
+let test_negative_inputs_clamped () =
+  Alcotest.(check int) "negative clamps to 0" 1
+    (run_value Machine.Zoo.zero_test [ -5 ])
+
+let test_machine_validation () =
+  (match
+     Machine.make ~name:"bad" ~ninputs:1 ~nregs:1 ~out_reg:0
+       [| Machine.Inc (3, 0) |]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "register out of range accepted");
+  match
+    Machine.make ~name:"bad" ~ninputs:1 ~nregs:1 ~out_reg:0
+      [| Machine.Inc (0, 7) |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jump target out of range accepted"
+
+let test_step_counts_grow_with_input () =
+  let steps n =
+    (Machine.run Machine.Zoo.slow_counter [| n |]).Program.steps
+  in
+  Alcotest.(check bool) "monotone in x0" true (steps 5 > steps 1)
+
+(* --- Data Mark Machine --------------------------------------------------- *)
+
+let secret_policy = Policy.allow []
+(* x0 is priv; there is nothing the user may learn. *)
+
+let space1 = Space.ints ~lo:0 ~hi:3 ~arity:1
+
+let test_dmm_checked_sound () =
+  let cfg = Dmm.config ~pc_mode:Dmm.Monotone ~halt_mode:Dmm.Halt_checked secret_policy in
+  let m = Dmm.mechanism cfg Machine.Zoo.negative_inference in
+  check_denies "denies on 0" m [ 0 ];
+  check_denies "denies on 2" m [ 2 ];
+  check_sound "monotone+checked is sound" secret_policy m space1
+
+let test_dmm_error_halt_unsound () =
+  (* Fenton's halt read as "emit an error when P <> null", with his scoped
+     pc restoration: the error appears iff x0 = 0. The paper's point. *)
+  let cfg = Dmm.config ~pc_mode:Dmm.Scoped ~halt_mode:Dmm.Halt_error secret_policy in
+  let m = Dmm.mechanism cfg Machine.Zoo.negative_inference in
+  check_denies "error notice when x0 = 0" m [ 0 ];
+  check_grants "clean output when x0 <> 0" m [ 2 ] 0;
+  check_unsound "negative inference leaks" secret_policy m space1
+
+let test_dmm_error_halt_monotone_is_sound_here () =
+  (* Without the restoration the pc mark never clears, both paths deny, and
+     the interpretation happens to be sound on this program. *)
+  let cfg = Dmm.config ~pc_mode:Dmm.Monotone ~halt_mode:Dmm.Halt_error secret_policy in
+  let m = Dmm.mechanism cfg Machine.Zoo.negative_inference in
+  check_denies "denies on 0" m [ 0 ];
+  check_denies "denies on 1" m [ 1 ];
+  check_sound "constant denial" secret_policy m space1
+
+let test_dmm_noop_halt_times_leak () =
+  (* The benign no-op reading: both paths eventually output 0, but the
+     skipped halt costs a step — sound untimed, unsound timed. *)
+  let cfg = Dmm.config ~pc_mode:Dmm.Scoped ~halt_mode:Dmm.Halt_noop secret_policy in
+  let m = Dmm.mechanism cfg Machine.Zoo.negative_inference in
+  check_grants "x0=0 output 0" m [ 0 ] 0;
+  check_grants "x0=2 output 0" m [ 2 ] 0;
+  check_sound "values constant: untimed sound" secret_policy m space1;
+  check_unsound "step counts differ: timed unsound" ~config:Soundness.timed
+    secret_policy m space1
+
+let test_dmm_noop_can_run_off_the_end () =
+  (* A marked halt as the LAST instruction: the paper notes the semantics
+     are undefined; here the machine simply never answers. *)
+  let tail_halt =
+    Machine.make ~name:"tail-halt" ~ninputs:1 ~nregs:2 ~out_reg:1
+      [| Machine.Decjz (0, 1, 1); Machine.Stop |]
+  in
+  let cfg =
+    Dmm.config ~fuel:200 ~pc_mode:Dmm.Monotone ~halt_mode:Dmm.Halt_noop
+      secret_policy
+  in
+  let r = Dmm.run cfg tail_halt (Array.map Value.int [| 0 |]) in
+  match r.Mechanism.response with
+  | Mechanism.Hung -> ()
+  | _ -> Alcotest.fail "expected the machine to hang"
+
+let test_dmm_allowed_inputs_flow () =
+  (* With x0 allowed, computation on it is served. *)
+  let policy = Policy.allow [ 0 ] in
+  let cfg = Dmm.config policy in
+  let m = Dmm.mechanism cfg Machine.Zoo.doubler in
+  check_grants "doubler grants" m [ 3 ] 6;
+  check_sound "sound for allow(0)" policy m space1
+
+let test_dmm_adder_mixed_marks () =
+  (* adder with only x1 allowed: output depends on both -> deny; policy
+     allowing both -> grant. *)
+  let space2 = Space.ints ~lo:0 ~hi:2 ~arity:2 in
+  let m1 = Dmm.mechanism (Dmm.config (Policy.allow [ 1 ])) Machine.Zoo.adder in
+  check_denies "mixed marks denied" m1 [ 1; 2 ];
+  check_sound "sound" (Policy.allow [ 1 ]) m1 space2;
+  let m2 = Dmm.mechanism (Dmm.config (Policy.allow [ 0; 1 ])) Machine.Zoo.adder in
+  check_grants "full allowance grants" m2 [ 1; 2 ] 3;
+  check_sound "sound" (Policy.allow [ 0; 1 ]) m2 space2
+
+let test_dmm_pc_tracking_is_necessary () =
+  (* implicit-copy moves the secret without any data flow. The full DMM
+     catches it; the data-marks-only ablation waves it through. *)
+  let m_full = Dmm.mechanism (Dmm.config secret_policy) Machine.Zoo.implicit_copy in
+  check_denies "full DMM denies on 0" m_full [ 0 ];
+  check_denies "full DMM denies on 2" m_full [ 2 ];
+  check_sound "full DMM sound" secret_policy m_full space1;
+  let m_data_only =
+    Dmm.mechanism (Dmm.config ~track_pc:false secret_policy) Machine.Zoo.implicit_copy
+  in
+  check_grants "data-only grants the copied bit" m_data_only [ 0 ] 1;
+  check_grants "data-only grants the copied bit" m_data_only [ 2 ] 0;
+  check_unsound "data-only is unsound: the implicit flow escapes"
+    secret_policy m_data_only space1
+
+(* The checked DMM is a protection mechanism for the machine's program. *)
+let test_dmm_protects () =
+  let q = Machine.program Machine.Zoo.adder in
+  let space2 = Space.ints ~lo:0 ~hi:2 ~arity:2 in
+  let m = Dmm.mechanism (Dmm.config (Policy.allow [ 0 ])) Machine.Zoo.adder in
+  match Mechanism.check_protects m q space2 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "DMM grants must match the machine's outputs"
+
+let () =
+  Alcotest.run "secpol-minsky"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "zoo-outputs" `Quick test_zoo_outputs;
+          Alcotest.test_case "looper-halting" `Quick test_looper_halting;
+          Alcotest.test_case "negative-inputs" `Quick test_negative_inputs_clamped;
+          Alcotest.test_case "validation" `Quick test_machine_validation;
+          Alcotest.test_case "step-counts" `Quick test_step_counts_grow_with_input;
+        ] );
+      ( "dmm",
+        [
+          Alcotest.test_case "checked-sound" `Quick test_dmm_checked_sound;
+          Alcotest.test_case "error-halt-unsound" `Quick test_dmm_error_halt_unsound;
+          Alcotest.test_case "error-halt-monotone" `Quick test_dmm_error_halt_monotone_is_sound_here;
+          Alcotest.test_case "noop-halt-times-leak" `Quick test_dmm_noop_halt_times_leak;
+          Alcotest.test_case "run-off-the-end" `Quick test_dmm_noop_can_run_off_the_end;
+          Alcotest.test_case "allowed-flow" `Quick test_dmm_allowed_inputs_flow;
+          Alcotest.test_case "adder-mixed" `Quick test_dmm_adder_mixed_marks;
+          Alcotest.test_case "pc-tracking-necessary" `Quick test_dmm_pc_tracking_is_necessary;
+          Alcotest.test_case "protects" `Quick test_dmm_protects;
+        ] );
+    ]

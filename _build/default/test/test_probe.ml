@@ -1,0 +1,170 @@
+(* The measuring instruments themselves: partition shapes, exact entropy
+   arithmetic, sampled probing statistics, and the table renderer. *)
+
+open Util
+module Partition = Secpol_probe.Partition
+module Leakage = Secpol_probe.Leakage
+module Sampled = Secpol_probe.Sampled
+module Tabulate = Secpol_probe.Tabulate
+
+let space2 = Space.ints ~lo:0 ~hi:3 ~arity:2
+
+(* --- partition ----------------------------------------------------------- *)
+
+let test_partition_allow () =
+  let p = Partition.compute (Policy.allow [ 0 ]) space2 in
+  Alcotest.(check int) "points" 16 p.Partition.points;
+  Alcotest.(check int) "one class per x0 value" 4 (Partition.class_count p);
+  Alcotest.(check int) "uniform class size" 4 (Partition.largest_class p);
+  (* Members of one class share their allowed coordinate. *)
+  List.iter
+    (fun (_, members) ->
+      match members with
+      | [] -> Alcotest.fail "empty class"
+      | first :: rest ->
+          List.iter
+            (fun a ->
+              Alcotest.check value_testable "same x0" first.(0) a.(0))
+            rest)
+    p.Partition.classes
+
+let test_partition_extremes () =
+  let everything = Partition.compute (Policy.allow_all ~arity:2) space2 in
+  Alcotest.(check int) "allow(all): singleton classes" 16
+    (Partition.class_count everything);
+  let nothing = Partition.compute Policy.allow_none space2 in
+  Alcotest.(check int) "allow(): one class" 1 (Partition.class_count nothing);
+  Alcotest.(check int) "of full size" 16 (Partition.largest_class nothing)
+
+(* --- leakage arithmetic --------------------------------------------------- *)
+
+let leak_of f = Leakage.of_channel Policy.allow_none (fun a -> Program.Obs.Output (f a)) space2
+
+let test_leakage_exact_values () =
+  (* Constant observable: zero bits. *)
+  let r = leak_of (fun _ -> Value.int 7) in
+  Alcotest.(check (float 1e-9)) "constant leaks nothing" 0.0 r.Leakage.avg_bits;
+  Alcotest.(check bool) "tight" true (Leakage.is_tight r);
+  (* The identity on x0 (4 equally likely values): exactly 2 bits. *)
+  let r = leak_of (fun a -> a.(0)) in
+  Alcotest.(check (float 1e-9)) "uniform quaternary = 2 bits" 2.0 r.Leakage.avg_bits;
+  (* A boolean of x0: 1 bit when balanced. *)
+  let r = leak_of (fun a -> Value.bool (Value.to_int a.(0) < 2)) in
+  Alcotest.(check (float 1e-9)) "balanced boolean = 1 bit" 1.0 r.Leakage.avg_bits;
+  (* Unbalanced boolean: H(1/4) = 0.811... bits. *)
+  let r = leak_of (fun a -> Value.bool (Value.to_int a.(0) = 0)) in
+  let h p = -.(p *. Float.log p /. Float.log 2.) -. ((1. -. p) *. Float.log (1. -. p) /. Float.log 2.) in
+  Alcotest.(check (float 1e-9)) "H(1/4)" (h 0.25) r.Leakage.avg_bits
+
+let test_leakage_max_vs_avg () =
+  (* Leak x1 only when x0 = 0: avg = 2/4 * ... wait per-class; policy
+     allow(0) gives one class per x0; only the x0=0 class leaks. *)
+  let policy = Policy.allow [ 0 ] in
+  let r =
+    Leakage.of_channel policy
+      (fun a ->
+        Program.Obs.Output
+          (if Value.to_int a.(0) = 0 then a.(1) else Value.int 0))
+      space2
+  in
+  Alcotest.(check (float 1e-9)) "only one class leaks, fully" 2.0 r.Leakage.max_bits;
+  Alcotest.(check (float 1e-9)) "a quarter of the mass" 0.5 r.Leakage.avg_bits;
+  Alcotest.(check int) "leaky class count" 1 r.Leakage.leaky_classes
+
+(* --- sampled probing ------------------------------------------------------ *)
+
+let test_sampled_respects_class_structure () =
+  (* The resampled partner must stay in the same policy class; a sound
+     mechanism therefore never trips the prober, whatever the seed. *)
+  let m =
+    Mechanism.make ~name:"x0-echo" ~arity:2 (fun a ->
+        { Mechanism.response = Mechanism.Granted a.(0); steps = 1 })
+  in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      match Sampled.check ~rng ~trials:100 (Policy.allow [ 0 ]) m space2 with
+      | Sampled.Probably_sound 100 -> ()
+      | Sampled.Probably_sound n -> Alcotest.failf "stopped at %d" n
+      | Sampled.Unsound _ -> Alcotest.fail "false positive")
+    [ 1; 2; 3; 42 ]
+
+(* --- cross-instrument consistency ------------------------------------------ *)
+
+(* Two independent meters must agree: the soundness checker's verdict and
+   the leakage estimator's zero-bits predicate are both "constant per
+   policy class", computed by different code. *)
+let prop_soundness_iff_zero_leak =
+  let module Generator = Secpol_corpus.Generator in
+  let module Interp = Secpol_flowgraph.Interp in
+  let params = Generator.default in
+  qtest ~count:200 "sound <=> leaks 0.000 bits, on random programs"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let q = Interp.ast_program prog in
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          List.for_all
+            (fun view ->
+              let sound =
+                Soundness.is_sound
+                  ~config:{ Soundness.view; identify_violations = false }
+                  policy (Mechanism.of_program q) space
+              in
+              let tight = Leakage.is_tight (Leakage.of_program ~view policy q space) in
+              sound = tight)
+            [ `Value; `Timed ])
+        [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 0; 1 ] ])
+
+(* --- tabulate -------------------------------------------------------------- *)
+
+let test_tabulate_rendering () =
+  let t = Tabulate.create ~header:[ "name"; "value" ] in
+  Tabulate.add_row t [ "short"; "1" ];
+  Tabulate.add_row t [ "much-longer-name"; "22" ];
+  let rendered = Tabulate.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check int) "rule matches header width" (String.length header)
+        (String.length rule)
+  | _ -> Alcotest.fail "expected header and rule");
+  (* All rows padded to equal width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "width" w w') rest
+  | [] -> Alcotest.fail "no lines")
+
+let test_tabulate_rejects_ragged_rows () =
+  let t = Tabulate.create ~header:[ "a"; "b" ] in
+  match Tabulate.add_row t [ "only-one" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "ragged row accepted"
+
+let () =
+  Alcotest.run "secpol-probe"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "allow" `Quick test_partition_allow;
+          Alcotest.test_case "extremes" `Quick test_partition_extremes;
+        ] );
+      ( "leakage",
+        [
+          Alcotest.test_case "exact-values" `Quick test_leakage_exact_values;
+          Alcotest.test_case "max-vs-avg" `Quick test_leakage_max_vs_avg;
+        ] );
+      ( "sampled",
+        [ Alcotest.test_case "class-structure" `Quick test_sampled_respects_class_structure ] );
+      ("consistency", [ prop_soundness_iff_zero_leak ]);
+      ( "tabulate",
+        [
+          Alcotest.test_case "rendering" `Quick test_tabulate_rendering;
+          Alcotest.test_case "ragged-rows" `Quick test_tabulate_rejects_ragged_rows;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+(* Section 5: compile-time enforcement — certification over the structured
+   AST, the graph-level dataflow analysis, and the per-halt guard that
+   realizes Example 9. *)
+
+open Util
+module Iset = Secpol_core.Iset
+module Ast = Secpol_flowgraph.Ast
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Certify = Secpol_staticflow.Certify
+module Dataflow = Secpol_staticflow.Dataflow
+module Halt_guard = Secpol_staticflow.Halt_guard
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Generator = Secpol_corpus.Generator
+open Expr.Build
+
+(* --- AST certification -------------------------------------------------- *)
+
+let test_certify_direct_flow () =
+  let e = Paper.direct_flow in
+  Alcotest.(check bool) "rejected under allow(0)" false
+    (Certify.certified ~policy:e.Paper.policy e.Paper.prog);
+  Alcotest.(check bool) "accepted under allow(all)" true
+    (Certify.certified ~policy:(Policy.allow [ 0; 1 ]) e.Paper.prog)
+
+let test_certify_implicit_flow () =
+  (* if x0 = 0 then y := 1 else y := 2 depends on x0 only implicitly; the
+     program-counter context must catch it. *)
+  let e = Paper.branch_allowed in
+  Alcotest.(check bool) "accepted when the test is allowed" true
+    (Certify.certified ~policy:(Policy.allow [ 0 ]) e.Paper.prog);
+  Alcotest.(check bool) "rejected when the test is withheld" false
+    (Certify.certified ~policy:(Policy.allow [ 1 ]) e.Paper.prog)
+
+let test_certify_loop_fixpoint () =
+  (* Taint flows around the loop: x0 -> r0 -> r1 -> y needs two iterations
+     of the fixpoint to surface. *)
+  let p =
+    Ast.prog ~name:"ripple" ~arity:2
+      (Ast.seq
+         [
+           Ast.Assign (Var.Reg 0, x 0);
+           Ast.Assign (Var.Reg 2, i 3);
+           Ast.While
+             ( r 2 >: i 0,
+               Ast.seq
+                 [
+                   Ast.Assign (Var.Reg 1, r 0);
+                   Ast.Assign (Var.Reg 0, r 1);
+                   Ast.Assign (Var.Out, r 1);
+                   Ast.Assign (Var.Reg 2, r 2 -: i 1);
+                 ] );
+         ])
+  in
+  let report = Certify.analyze ~allowed:(Iset.of_list [ 1 ]) p in
+  Alcotest.(check bool) "x0 reaches y through the loop" true
+    (Iset.mem 0 report.Certify.out_taint);
+  Alcotest.(check bool) "rejected" false report.Certify.certified
+
+let test_certify_flow_sensitive () =
+  (* y := x0; y := x1 — flow-sensitivity lets the second assignment erase
+     the first's taint (unlike high-water). *)
+  let p =
+    Ast.prog ~name:"overwrite" ~arity:2
+      (Ast.seq [ Ast.Assign (Var.Out, x 0); Ast.Assign (Var.Out, x 1) ])
+  in
+  Alcotest.(check bool) "certified for allow(1)" true
+    (Certify.certified ~policy:(Policy.allow [ 1 ]) p)
+
+let test_certify_mechanism_all_or_nothing () =
+  let e = Paper.direct_flow in
+  let m = Certify.mechanism ~policy:e.Paper.policy e.Paper.prog in
+  check_ratio "rejected program: serves nothing" ~expected:0.0 m
+    ~q:(Paper.program e) e.Paper.space;
+  let e' = Paper.branch_allowed in
+  let m' = Certify.mechanism ~policy:e'.Paper.policy e'.Paper.prog in
+  check_ratio "certified program: serves everything" ~expected:1.0 m'
+    ~q:(Paper.program e') e'.Paper.space
+
+let test_presimplify_rescues_dead_operands () =
+  let p =
+    Ast.prog ~name:"dead-operand" ~arity:2
+      (Ast.Assign (Var.Out, Expr.Add (x 0, Expr.Mul (x 1, i 0))))
+  in
+  let allowed = Iset.of_list [ 0 ] in
+  Alcotest.(check bool) "plain analysis rejects x1 * 0" false
+    (Certify.analyze ~allowed p).Certify.certified;
+  Alcotest.(check bool) "presimplified analysis certifies" true
+    (Certify.analyze ~presimplify:true ~allowed p).Certify.certified
+
+(* Pre-simplification must never cost soundness: whenever the simplified
+   analysis certifies, the ORIGINAL program leaks nothing. *)
+let prop_presimplified_certification_still_sound =
+  let params = Generator.default in
+  qtest ~count:300 "presimplify-certified => original program leaks nothing"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          let allowed =
+            match Policy.allowed_indices policy with Some j -> j | None -> assert false
+          in
+          (not (Certify.analyze ~presimplify:true ~allowed prog).Certify.certified)
+          || Soundness.is_sound policy
+               (Mechanism.of_program (Interp.ast_program prog))
+               space)
+        [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 1 ] ])
+
+(* And it is monotone: everything the plain analysis certifies, the
+   presimplified analysis certifies too. *)
+let prop_presimplify_monotone =
+  let params = Generator.default in
+  qtest ~count:300 "presimplification only gains certifications"
+    (Generator.arbitrary params)
+    (fun prog ->
+      List.for_all
+        (fun allowed ->
+          (not (Certify.analyze ~allowed prog).Certify.certified)
+          || (Certify.analyze ~presimplify:true ~allowed prog).Certify.certified)
+        [ Iset.empty; Iset.of_list [ 0 ]; Iset.of_list [ 1 ] ])
+
+(* Certification is conservative and correct: a certified program is sound
+   as its own mechanism (checked exhaustively on random programs). *)
+let prop_certified_implies_sound =
+  let params = Generator.default in
+  qtest ~count:300 "certified => program leaks nothing (untimed)"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          (not (Certify.certified ~policy prog))
+          || Soundness.is_sound policy
+               (Mechanism.of_program (Interp.ast_program prog))
+               space)
+        [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 1 ] ])
+
+(* The static mechanism can never out-grant the (runtime) maximal one. *)
+let prop_static_below_maximal =
+  let params = Generator.default in
+  qtest ~count:150 "static mechanism <= maximal"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let q = Interp.ast_program prog in
+      let space = Generator.space_for params in
+      let policy = Policy.allow [ 1 ] in
+      let mstat = Certify.mechanism ~policy prog in
+      let mx = Maximal.build policy q space in
+      Completeness.as_complete_as mx mstat ~q space = Ok ())
+
+(* --- Graph dataflow ------------------------------------------------------ *)
+
+let test_dataflow_agrees_on_corpus () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let ast_v = Certify.certified ~policy:e.Paper.policy e.Paper.prog in
+      let graph_v = Dataflow.certified ~policy:e.Paper.policy (Paper.graph e) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: AST and graph certifiers agree" e.Paper.name)
+        ast_v graph_v)
+    Paper.all
+
+(* The graph certifier is sound in the same exhaustive sense. *)
+let prop_graph_certified_implies_sound =
+  let params = Generator.default in
+  qtest ~count:300 "graph-certified => program leaks nothing"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          (not (Dataflow.certified ~policy g))
+          || Soundness.is_sound policy
+               (Mechanism.of_program (Interp.graph_program g))
+               space)
+        [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 1 ] ])
+
+(* Static analysis ranges over all paths, so it must accept no more than the
+   dynamic surveillance mechanism grants: if the graph certifies, dynamic
+   surveillance may still deny (static scoping is finer), but certification
+   must never contradict dynamic soundness. Concretely: certified programs
+   are served completely by the static mechanism, and that service agrees
+   with Q. *)
+let prop_static_mechanism_protects =
+  let params = Generator.default in
+  qtest ~count:150 "static mechanism is a protection mechanism"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let q = Interp.ast_program prog in
+      let space = Generator.space_for params in
+      Mechanism.check_protects
+        (Certify.mechanism ~policy:(Policy.allow [ 0 ]) prog)
+        q space
+      = Ok ())
+
+(* --- Per-halt guard (Example 9) ----------------------------------------- *)
+
+let test_ex9_whole_program_rejected () =
+  let e = Paper.ex9 in
+  Alcotest.(check bool) "whole-program certification rejects" false
+    (Certify.certified ~policy:e.Paper.policy e.Paper.prog)
+
+let test_ex9_halt_guard_after_duplication () =
+  let e = Paper.ex9 in
+  let q = Paper.program e in
+  (* Duplicate the trailing assignment into both arms, split the halt, and
+     guard per halt: the clean path (x0 = 0) survives. *)
+  let dup = Secpol_transform.Transforms.sink_into_branches e.Paper.prog in
+  let g = Secpol_transform.Transforms.split_halts (Compile.compile dup) in
+  let m = Halt_guard.mechanism ~policy:e.Paper.policy g in
+  check_grants "clean path grants y=1" m [ 0; 2 ] 1;
+  check_denies "dirty path denies" m [ 1; 2 ];
+  check_denies "dirty path denies" m [ 3; 0 ];
+  check_sound "per-halt mechanism is sound" e.Paper.policy m e.Paper.space;
+  check_ratio "serves exactly the x0=0 quarter" ~expected:0.25 m ~q e.Paper.space;
+  (* Without duplication + splitting, the shared halt is condemned. *)
+  let m0 = Halt_guard.mechanism ~policy:e.Paper.policy (Paper.graph e) in
+  check_ratio "undup: serves nothing" ~expected:0.0 m0 ~q e.Paper.space
+
+let prop_halt_guard_sound =
+  let params = Generator.default in
+  qtest ~count:200 "per-halt guard is sound on random programs"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          Soundness.is_sound policy (Halt_guard.mechanism ~policy g) space)
+        [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 1 ] ])
+
+let prop_halt_guard_sound_after_split =
+  let params = Generator.default in
+  qtest ~count:200 "per-halt guard stays sound after halt splitting"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Secpol_transform.Transforms.split_halts (Compile.compile prog) in
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          Soundness.is_sound policy (Halt_guard.mechanism ~policy g) space)
+        [ Policy.allow_none; Policy.allow [ 1 ] ])
+
+let () =
+  Alcotest.run "secpol-staticflow"
+    [
+      ( "certify",
+        [
+          Alcotest.test_case "direct-flow" `Quick test_certify_direct_flow;
+          Alcotest.test_case "implicit-flow" `Quick test_certify_implicit_flow;
+          Alcotest.test_case "loop-fixpoint" `Quick test_certify_loop_fixpoint;
+          Alcotest.test_case "flow-sensitive" `Quick test_certify_flow_sensitive;
+          Alcotest.test_case "mechanism" `Quick test_certify_mechanism_all_or_nothing;
+          Alcotest.test_case "presimplify" `Quick test_presimplify_rescues_dead_operands;
+          prop_presimplified_certification_still_sound;
+          prop_presimplify_monotone;
+          prop_certified_implies_sound;
+          prop_static_below_maximal;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "agrees-on-corpus" `Quick test_dataflow_agrees_on_corpus;
+          prop_graph_certified_implies_sound;
+          prop_static_mechanism_protects;
+        ] );
+      ( "halt-guard",
+        [
+          Alcotest.test_case "ex9-whole-rejected" `Quick test_ex9_whole_program_rejected;
+          Alcotest.test_case "ex9-guarded" `Quick test_ex9_halt_guard_after_duplication;
+          prop_halt_guard_sound;
+          prop_halt_guard_sound_after_split;
+        ] );
+    ]

@@ -1,0 +1,391 @@
+(* Section 4's transforms: functional equivalence always; completeness
+   effects exactly as the paper's Examples 7, 8, 9 describe. *)
+
+open Util
+module Ast = Secpol_flowgraph.Ast
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Compile = Secpol_flowgraph.Compile
+module Interp = Secpol_flowgraph.Interp
+module Transforms = Secpol_transform.Transforms
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Generator = Secpol_corpus.Generator
+
+let surveil policy prog =
+  Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy (Compile.compile prog)
+
+let check_equiv msg p1 p2 space =
+  match Transforms.equivalent_on p1 p2 space with
+  | Ok () -> ()
+  | Error a ->
+      Alcotest.failf "%s: programs differ at (%s)" msg
+        (String.concat ","
+           (Array.to_list (Array.map Secpol_core.Value.to_string a)))
+
+(* --- if-then-else transform -------------------------------------------- *)
+
+let test_ite_flattens () =
+  let e = Paper.ex7 in
+  let t = Transforms.ite e.Paper.prog in
+  Alcotest.(check bool) "result is loop-free straight-line" true
+    (Ast.loop_free t.Ast.body);
+  check_equiv "ex7 ite equivalence" e.Paper.prog t e.Paper.space
+
+let test_ex7_transform_wins () =
+  (* Paper: surveillance on Q always denies; on the transformed program it
+     always outputs 1 — maximal. *)
+  let e = Paper.ex7 in
+  let q = Paper.program e in
+  let ms = surveil e.Paper.policy e.Paper.prog in
+  check_ratio "original: always denies" ~expected:0.0 ms ~q e.Paper.space;
+  let t = Transforms.ite e.Paper.prog in
+  let mt = surveil e.Paper.policy t in
+  check_ratio "transformed: always grants" ~expected:1.0 mt ~q e.Paper.space;
+  check_grants "outputs 1" mt [ 0; 0 ] 1;
+  check_sound "transformed mechanism sound for original Q" e.Paper.policy mt
+    e.Paper.space;
+  Alcotest.(check bool) "strictly more complete" true
+    (Completeness.compare mt ms ~q e.Paper.space = Completeness.More_complete)
+
+let test_ex7_needs_simplification () =
+  (* Without the Cond(p, e, e) collapse the select keeps the test's taint:
+     the unsimplified transform gains nothing here. *)
+  let e = Paper.ex7 in
+  let t = Transforms.ite ~simplify:false e.Paper.prog in
+  let mt = surveil e.Paper.policy t in
+  check_ratio "unsimplified: still denies" ~expected:0.0 mt ~q:(Paper.program e)
+    e.Paper.space
+
+let test_ex8_transform_hurts () =
+  (* Paper: M grants where x1 = 1; M' (transformed) always denies; M > M'. *)
+  let e = Paper.ex8 in
+  let q = Paper.program e in
+  let ms = surveil e.Paper.policy e.Paper.prog in
+  check_grants "x1=1 grants 1" ms [ 3; 1 ] 1;
+  check_denies "x1<>1 denies" ms [ 3; 2 ];
+  check_ratio "original grants a quarter" ~expected:0.25 ms ~q e.Paper.space;
+  let t = Transforms.ite e.Paper.prog in
+  check_equiv "ex8 ite equivalence" e.Paper.prog t e.Paper.space;
+  let mt = surveil e.Paper.policy t in
+  check_ratio "transformed always denies" ~expected:0.0 mt ~q e.Paper.space;
+  Alcotest.(check bool) "M > M'" true
+    (Completeness.compare ms mt ~q e.Paper.space = Completeness.More_complete)
+
+let prop_ite_preserves_semantics =
+  let params = Generator.default in
+  qtest ~count:300 "ite transform preserves semantics"
+    (Generator.arbitrary params)
+    (fun prog ->
+      Transforms.equivalent_on prog (Transforms.ite prog)
+        (Generator.space_for params)
+      = Ok ())
+
+let prop_ite_surveillance_still_sound =
+  let params = Generator.default in
+  qtest ~count:200 "surveillance after ite is sound for the ORIGINAL program"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          let mt = surveil policy (Transforms.ite prog) in
+          Soundness.is_sound policy mt space
+          && Mechanism.check_protects mt (Interp.ast_program prog) space = Ok ())
+        [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 1 ] ])
+
+(* --- while transform (predicated unrolling) ----------------------------- *)
+
+let test_while_transform_equivalence () =
+  let e = Paper.loop_then_secretfree in
+  (* x0 <= 3 on the space, so 4 unrollings suffice. *)
+  let t = Transforms.predicate_loops ~bound:4 e.Paper.prog in
+  Alcotest.(check bool) "no residual iterations needed" true
+    (Transforms.equivalent_on e.Paper.prog t e.Paper.space = Ok ());
+  (* An insufficient bound must diverge, never answer wrongly. *)
+  let t1 = Transforms.predicate_loops ~bound:1 e.Paper.prog in
+  let g = Compile.compile t1 in
+  match (Interp.run_graph ~fuel:500 g (ints [ 3; 1 ])).Program.result with
+  | Program.Diverged -> ()
+  | Program.Value v ->
+      Alcotest.failf "expected divergence past the bound, got %a"
+        Secpol_core.Value.pp v
+  | Program.Fault m -> Alcotest.failf "unexpected fault %s" m
+
+let test_while_transform_rescues_surveillance () =
+  let e = Paper.loop_then_secretfree in
+  let q = Paper.program e in
+  let ms = surveil e.Paper.policy e.Paper.prog in
+  check_ratio "original: loop taints everything after it" ~expected:0.0 ms ~q
+    e.Paper.space;
+  (* With the residual safety loop, its decision re-taints the program
+     counter: nothing is gained. *)
+  let t_res = Transforms.predicate_loops ~bound:4 e.Paper.prog in
+  let mt_res = surveil e.Paper.policy t_res in
+  check_ratio "residual decision still poisons" ~expected:0.0 mt_res ~q
+    e.Paper.space;
+  (* Establish the bound suffices, then drop the residual: the transformed
+     program is branch-free and surveillance grants everywhere. *)
+  let t = Transforms.predicate_loops ~residual:false ~bound:4 e.Paper.prog in
+  (match Transforms.equivalent_on e.Paper.prog t e.Paper.space with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "bound 4 must cover the space");
+  let mt = surveil e.Paper.policy t in
+  check_ratio "predicated: grants everywhere" ~expected:1.0 mt ~q e.Paper.space;
+  check_sound "and is sound" e.Paper.policy mt e.Paper.space
+
+let prop_while_transform_preserves_semantics =
+  (* Generated loops iterate at most max(input) <= 2 or a constant <= 3
+     times per level; depth 3 nesting multiplies, so give a generous bound
+     and fuel. *)
+  let params = Generator.default in
+  qtest ~count:150 "predicated unrolling preserves semantics (big bound)"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let t = Transforms.predicate_loops ~bound:4 prog in
+      Seq.for_all
+        (fun a ->
+          let r1 = (Interp.run_ast ~fuel:200_000 prog a).Program.result in
+          let r2 = (Interp.run_ast ~fuel:200_000 t a).Program.result in
+          match (r1, r2) with
+          | Program.Value v1, Program.Value v2 -> Secpol_core.Value.equal v1 v2
+          | Program.Value _, Program.Diverged ->
+              (* Legal only when the bound was insufficient; the generator's
+                 loops run at most 3 iterations per level, so 4 suffices for
+                 un-nested loops; nested loops multiply. Accept divergence
+                 (never-wrong), reject wrong values. *)
+              true
+          | Program.Diverged, Program.Diverged -> true
+          | _ -> false)
+        (Space.enumerate (Generator.space_for params)))
+
+(* --- duplication and halt splitting -------------------------------------- *)
+
+let test_sink_equivalence () =
+  let e = Paper.ex9 in
+  let dup = Transforms.sink_into_branches e.Paper.prog in
+  check_equiv "duplication preserves semantics" e.Paper.prog dup e.Paper.space
+
+let prop_sink_preserves_semantics =
+  let params = Generator.default in
+  qtest ~count:300 "duplication preserves semantics"
+    (Generator.arbitrary params)
+    (fun prog ->
+      Transforms.equivalent_on prog (Transforms.sink_into_branches prog)
+        (Generator.space_for params)
+      = Ok ())
+
+let prop_split_halts_preserves_semantics =
+  let params = Generator.default in
+  qtest ~count:300 "halt splitting preserves graph semantics"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      let g' = Transforms.split_halts g in
+      Seq.for_all
+        (fun a ->
+          let o1 = Interp.run_graph g a and o2 = Interp.run_graph g' a in
+          match (o1.Program.result, o2.Program.result) with
+          | Program.Value v1, Program.Value v2 ->
+              Secpol_core.Value.equal v1 v2 && o1.Program.steps = o2.Program.steps
+          | Program.Diverged, Program.Diverged -> true
+          | _ -> false)
+        (Space.enumerate (Generator.space_for params)))
+
+let test_split_halts_structure () =
+  let e = Paper.ex9 in
+  let dup = Transforms.sink_into_branches e.Paper.prog in
+  let g = Compile.compile dup in
+  let g' = Transforms.split_halts g in
+  let halts gr =
+    List.length
+      (List.filter
+         (fun i -> gr.Secpol_flowgraph.Graph.nodes.(i) = Secpol_flowgraph.Graph.Halt)
+         (List.init (Secpol_flowgraph.Graph.node_count gr) Fun.id))
+  in
+  Alcotest.(check int) "one shared halt before" 1 (halts g);
+  Alcotest.(check int) "two private halts after" 2 (halts g')
+
+(* --- the graph-level diamond transform ------------------------------------ *)
+
+module Graph_ite = Secpol_transform.Graph_ite
+module Graph = Secpol_flowgraph.Graph
+
+let test_graph_ite_finds_diamonds () =
+  let g = Compile.compile Paper.ex7.Paper.prog in
+  Alcotest.(check bool) "ex7 has rewritable diamonds" true
+    (Graph_ite.diamonds g <> []);
+  let g' = Graph_ite.rewrite g in
+  Alcotest.(check (list int)) "none remain after the fixpoint" []
+    (Graph_ite.diamonds g');
+  (* All decisions are gone: ex7 is two pure diamonds. *)
+  let decisions gr =
+    Array.fold_left
+      (fun n -> function Graph.Decision _ -> n + 1 | _ -> n)
+      0 gr.Graph.nodes
+  in
+  Alcotest.(check int) "branch-free" 0 (decisions g')
+
+let test_graph_ite_matches_ast_ite_on_ex7 () =
+  let e = Paper.ex7 in
+  let q = Paper.program e in
+  let g' = Graph_ite.rewrite (Compile.compile e.Paper.prog) in
+  let m = Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy g' in
+  check_ratio "graph-level transform also reaches 100%" ~expected:1.0 m ~q
+    e.Paper.space;
+  check_sound "and stays sound" e.Paper.policy m e.Paper.space
+
+let test_graph_ite_leaves_loops_alone () =
+  let e = Paper.loop_then_secretfree in
+  let g = Compile.compile e.Paper.prog in
+  let g' = Graph_ite.rewrite g in
+  (* The loop decision must survive (it is not a diamond). *)
+  let decisions gr =
+    Array.fold_left
+      (fun n -> function Graph.Decision _ -> n + 1 | _ -> n)
+      0 gr.Graph.nodes
+  in
+  Alcotest.(check int) "loop decision kept" 1 (decisions g')
+
+let test_graph_ite_rejects_mechanism_graphs () =
+  let module Instrument = Secpol_taint.Instrument in
+  let g =
+    Instrument.instrument Instrument.Untimed
+      ~allowed:(Secpol_core.Iset.of_list [ 1 ])
+      (Compile.compile Paper.ex7.Paper.prog)
+  in
+  match Graph_ite.rewrite g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "instrumented graphs must be rejected"
+
+let prop_graph_ite_preserves_semantics =
+  let params = Generator.default in
+  qtest ~count:300 "graph diamond collapse preserves output values"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      let g' = Graph_ite.rewrite g in
+      Seq.for_all
+        (fun a ->
+          let r1 = (Interp.run_graph g a).Program.result in
+          let r2 = (Interp.run_graph g' a).Program.result in
+          match (r1, r2) with
+          | Program.Value v1, Program.Value v2 -> Secpol_core.Value.equal v1 v2
+          | Program.Diverged, Program.Diverged -> true
+          | Program.Fault _, Program.Fault _ -> true
+          | _ -> false)
+        (Space.enumerate (Generator.space_for params)))
+
+let prop_graph_ite_surveillance_sound =
+  let params = Generator.default in
+  qtest ~count:200 "surveillance after the graph transform is sound"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g' = Graph_ite.rewrite (Compile.compile prog) in
+      let space = Generator.space_for params in
+      List.for_all
+        (fun policy ->
+          Soundness.is_sound policy
+            (Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g')
+            space)
+        [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 1 ] ])
+
+(* --- bounded mechanism synthesis (Section 4's general recipe) ----------- *)
+
+module Search = Secpol_transform.Search
+
+let search_ratio (e : Paper.entry) =
+  let r =
+    Search.search ~policy:e.Paper.policy ~space:e.Paper.space e.Paper.prog
+  in
+  (r.Search.best_ratio, r.Search.maximal_ratio, r)
+
+let test_search_closes_ex7 () =
+  let best, mx, _ = search_ratio Paper.ex7 in
+  Alcotest.(check (float 1e-9)) "reaches maximal on ex7" mx best;
+  Alcotest.(check (float 1e-9)) "which is total" 1.0 best
+
+let test_search_keeps_ex8_baseline () =
+  (* The harmful transform is in the pool; the join keeps the better
+     component, so the search can only match-or-beat plain surveillance. *)
+  let best, mx, _ = search_ratio Paper.ex8 in
+  Alcotest.(check (float 1e-9)) "matches maximal on ex8" mx best
+
+let test_search_rescues_loops () =
+  let best, mx, _ = search_ratio Paper.loop_then_secretfree in
+  Alcotest.(check (float 1e-9)) "while transform found" mx best
+
+let test_search_gap_remains_on_scoped_trap () =
+  (* Theorem 4's practical face: no sequence in the pool closes this gap. *)
+  let best, mx, r = search_ratio Paper.scoped_trap in
+  Alcotest.(check (float 1e-9)) "maximal serves a quarter" 0.25 mx;
+  Alcotest.(check (float 1e-9)) "the search finds nothing" 0.0 best;
+  Alcotest.(check bool) "yet every candidate it kept is sound" true
+    (List.for_all
+       (fun c ->
+         Soundness.is_sound Paper.scoped_trap.Paper.policy c.Search.mechanism
+           Paper.scoped_trap.Paper.space)
+       r.Search.candidates)
+
+let test_search_result_is_sound_mechanism () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let r = Search.search ~policy:e.Paper.policy ~space:e.Paper.space e.Paper.prog in
+      check_sound (e.Paper.name ^ ": searched mechanism sound") e.Paper.policy
+        r.Search.best e.Paper.space;
+      (match
+         Mechanism.check_protects r.Search.best
+           (Interp.ast_program e.Paper.prog)
+           e.Paper.space
+       with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "%s: search result lies" e.Paper.name);
+      Alcotest.(check bool)
+        (e.Paper.name ^ ": bounded by maximal")
+        true
+        (r.Search.best_ratio <= r.Search.maximal_ratio +. 1e-9))
+    [ Paper.ex7; Paper.ex8; Paper.ex9; Paper.forgetting; Paper.constant_branch ]
+
+let () =
+  Alcotest.run "secpol-transform"
+    [
+      ( "ite",
+        [
+          Alcotest.test_case "flattens" `Quick test_ite_flattens;
+          Alcotest.test_case "ex7-wins" `Quick test_ex7_transform_wins;
+          Alcotest.test_case "ex7-needs-simplify" `Quick test_ex7_needs_simplification;
+          Alcotest.test_case "ex8-hurts" `Quick test_ex8_transform_hurts;
+          prop_ite_preserves_semantics;
+          prop_ite_surveillance_still_sound;
+        ] );
+      ( "while",
+        [
+          Alcotest.test_case "equivalence" `Quick test_while_transform_equivalence;
+          Alcotest.test_case "rescues-surveillance" `Quick test_while_transform_rescues_surveillance;
+          prop_while_transform_preserves_semantics;
+        ] );
+      ( "duplication",
+        [
+          Alcotest.test_case "sink-equivalence" `Quick test_sink_equivalence;
+          prop_sink_preserves_semantics;
+          prop_split_halts_preserves_semantics;
+          Alcotest.test_case "split-structure" `Quick test_split_halts_structure;
+        ] );
+      ( "graph-ite",
+        [
+          Alcotest.test_case "finds-diamonds" `Quick test_graph_ite_finds_diamonds;
+          Alcotest.test_case "matches-ast-ite" `Quick test_graph_ite_matches_ast_ite_on_ex7;
+          Alcotest.test_case "leaves-loops" `Quick test_graph_ite_leaves_loops_alone;
+          Alcotest.test_case "rejects-mechanisms" `Quick test_graph_ite_rejects_mechanism_graphs;
+          prop_graph_ite_preserves_semantics;
+          prop_graph_ite_surveillance_sound;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "closes-ex7" `Quick test_search_closes_ex7;
+          Alcotest.test_case "keeps-ex8" `Quick test_search_keeps_ex8_baseline;
+          Alcotest.test_case "rescues-loops" `Quick test_search_rescues_loops;
+          Alcotest.test_case "gap-remains" `Quick test_search_gap_remains_on_scoped_trap;
+          Alcotest.test_case "sound-result" `Quick test_search_result_is_sound_mechanism;
+        ] );
+    ]

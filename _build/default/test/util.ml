@@ -1,0 +1,58 @@
+(* Shared helpers for the test suites. *)
+
+module Value = Secpol_core.Value
+module Iset = Secpol_core.Iset
+module Space = Secpol_core.Space
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+module Mechanism = Secpol_core.Mechanism
+module Soundness = Secpol_core.Soundness
+module Completeness = Secpol_core.Completeness
+module Maximal = Secpol_core.Maximal
+
+let ints l = Array.of_list (List.map Value.int l)
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+let obs_testable = Alcotest.testable Program.Obs.pp Program.Obs.equal
+let iset_testable = Alcotest.testable Iset.pp Iset.equal
+
+let check_sound ?config msg policy m space =
+  match Soundness.check ?config policy m space with
+  | Soundness.Sound -> ()
+  | Soundness.Unsound _ as v ->
+      Alcotest.failf "%s: expected sound, got %a" msg Soundness.pp_verdict v
+
+let check_unsound ?config msg policy m space =
+  match Soundness.check ?config policy m space with
+  | Soundness.Unsound _ -> ()
+  | Soundness.Sound -> Alcotest.failf "%s: expected unsound, got sound" msg
+
+(* The response a mechanism gives on a concrete input, collapsed for easy
+   assertions: [Ok v] for a grant, [Error notice] otherwise. *)
+let respond m inputs =
+  match (Mechanism.respond m (ints inputs)).Mechanism.response with
+  | Mechanism.Granted v -> Ok v
+  | Mechanism.Denied n -> Error n
+  | Mechanism.Hung -> Error "<hung>"
+  | Mechanism.Failed msg -> Error ("<failed: " ^ msg ^ ">")
+
+let check_grants msg m inputs expected =
+  match respond m inputs with
+  | Ok v -> Alcotest.check value_testable msg (Value.int expected) v
+  | Error e -> Alcotest.failf "%s: expected grant of %d, got %s" msg expected e
+
+let check_denies msg m inputs =
+  match respond m inputs with
+  | Ok v -> Alcotest.failf "%s: expected denial, got %a" msg Value.pp v
+  | Error _ -> ()
+
+let ratio m ~q space = Completeness.ratio m ~q space
+
+let check_ratio msg ~expected m ~q space =
+  let r = ratio m ~q space in
+  if Float.abs (r -. expected) > 1e-9 then
+    Alcotest.failf "%s: expected completeness %.3f, measured %.3f" msg expected r
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest ~verbose:false
+    (QCheck.Test.make ~count ~name gen prop)
