@@ -9,6 +9,26 @@ test:
 test-force:
 	dune runtest --force --no-buffer
 
+# Lint every example program and fail on an unexpected verdict. The same
+# sweep runs inside `dune runtest` (test/lint_corpus.ml); this target drives
+# it through the CLI, exit codes and all.
+lint-corpus:
+	@dune build bin/secpol_cli.exe
+	@status=0; \
+	for f in examples/programs/*.spl; do \
+	  ./_build/default/bin/secpol_cli.exe lint $$f > /dev/null 2>&1; code=$$?; \
+	  case $$(basename $$f) in \
+	    gcd.spl|mix.spl) want=0 ;; \
+	    blind_vote.spl|bounded_search.spl|wage_gap.spl) want=1 ;; \
+	    *) echo "UNEXPECTED $$f: add it here and to test/lint_corpus.ml"; status=1; continue ;; \
+	  esac; \
+	  if [ $$code -ne $$want ]; then \
+	    echo "FAIL $$f: exit $$code, want $$want"; status=1; \
+	  else \
+	    echo "ok   $$f (exit $$code)"; \
+	  fi; \
+	done; exit $$status
+
 experiments:
 	dune exec bin/experiments.exe
 
@@ -31,4 +51,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force experiments bench examples doc clean
+.PHONY: all test test-force lint-corpus experiments bench examples doc clean

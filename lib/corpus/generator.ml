@@ -150,6 +150,9 @@ let rec shrink_stmt s yield =
       yield Ast.Skip;
       yield body;
       shrink_stmt body (fun body' -> yield (Ast.While (p, body')))
+  | Ast.At (_, s) ->
+      yield s;
+      shrink_stmt s yield
 
 let shrink (prog : Ast.prog) yield =
   shrink_stmt prog.Ast.body (fun body -> yield { prog with Ast.body })

@@ -4,8 +4,23 @@ type t =
   | Seq of t list
   | If of Expr.pred * t * t
   | While of Expr.pred * t
+  | At of Span.t * t
 
 type prog = { name : string; arity : int; body : t }
+
+let at span s = At (span, s)
+
+let rec strip_spans = function
+  | Skip -> Skip
+  | Assign _ as s -> s
+  | Seq l -> Seq (List.map strip_spans l)
+  | If (p, a, b) -> If (p, strip_spans a, strip_spans b)
+  | While (p, body) -> While (p, strip_spans body)
+  | At (_, s) -> strip_spans s
+
+let strip_spans_prog p = { p with body = strip_spans p.body }
+
+let span_of = function At (sp, _) -> Some sp | _ -> None
 
 let rec assigned_vars = function
   | Skip -> Var.Set.empty
@@ -13,6 +28,7 @@ let rec assigned_vars = function
   | Seq l -> List.fold_left (fun s st -> Var.Set.union s (assigned_vars st)) Var.Set.empty l
   | If (_, a, b) -> Var.Set.union (assigned_vars a) (assigned_vars b)
   | While (_, body) -> assigned_vars body
+  | At (_, s) -> assigned_vars s
 
 let rec read_vars = function
   | Skip -> Var.Set.empty
@@ -21,6 +37,7 @@ let rec read_vars = function
   | If (p, a, b) ->
       Var.Set.union (Expr.pred_vars p) (Var.Set.union (read_vars a) (read_vars b))
   | While (p, body) -> Var.Set.union (Expr.pred_vars p) (read_vars body)
+  | At (_, s) -> read_vars s
 
 let validate p =
   let vs = Var.Set.union (assigned_vars p.body) (read_vars p.body) in
@@ -49,7 +66,7 @@ let max_reg p =
 let seq l =
   let rec flatten = function
     | [] -> []
-    | Skip :: rest -> flatten rest
+    | Skip :: rest | At (_, Skip) :: rest -> flatten rest
     | Seq inner :: rest -> flatten (inner @ rest)
     | st :: rest -> st :: flatten rest
   in
@@ -61,6 +78,7 @@ let rec map_exprs ~expr ~pred = function
   | Seq l -> Seq (List.map (map_exprs ~expr ~pred) l)
   | If (p, a, b) -> If (pred p, map_exprs ~expr ~pred a, map_exprs ~expr ~pred b)
   | While (p, body) -> While (pred p, map_exprs ~expr ~pred body)
+  | At (sp, s) -> At (sp, map_exprs ~expr ~pred s)
 
 let simplify_exprs p =
   {
@@ -68,18 +86,41 @@ let simplify_exprs p =
     body = map_exprs ~expr:Expr.simplify ~pred:Expr.simplify_pred p.body;
   }
 
+(* Drop branches a constant test can never take. Tests are simplified
+   first, so [prune_dead_branches (simplify_exprs p)] eliminates exactly the
+   code constant folding proves dead. [While (True, _)] is kept: it is not
+   dead, it diverges. *)
+let rec prune_dead = function
+  | (Skip | Assign _) as s -> s
+  | Seq l -> seq (List.map prune_dead l)
+  | If (p, a, b) -> (
+      match Expr.simplify_pred p with
+      | Expr.True -> prune_dead a
+      | Expr.False -> prune_dead b
+      | p' -> If (p', prune_dead a, prune_dead b))
+  | While (p, body) -> (
+      match Expr.simplify_pred p with
+      | Expr.False -> Skip
+      | p' -> While (p', prune_dead body))
+  | At (sp, s) -> (
+      match prune_dead s with Skip -> Skip | s' -> At (sp, s'))
+
+let prune_dead_branches p = { p with body = prune_dead p.body }
+
 let rec size = function
   | Skip -> 1
   | Assign _ -> 1
   | Seq l -> List.fold_left (fun n st -> n + size st) 1 l
   | If (_, a, b) -> 1 + size a + size b
   | While (_, body) -> 1 + size body
+  | At (_, s) -> size s
 
 let rec loop_free = function
   | Skip | Assign _ -> true
   | Seq l -> List.for_all loop_free l
   | If (_, a, b) -> loop_free a && loop_free b
   | While _ -> false
+  | At (_, s) -> loop_free s
 
 let rec pp ppf = function
   | Skip -> Format.pp_print_string ppf "skip"
@@ -88,13 +129,14 @@ let rec pp ppf = function
       Format.fprintf ppf "@[<v>%a@]"
         (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
         l
-  | If (p, a, Skip) ->
+  | If (p, a, (Skip | At (_, Skip))) ->
       Format.fprintf ppf "@[<v 2>if %a then@ %a@]@,end" Expr.pp_pred p pp a
   | If (p, a, b) ->
       Format.fprintf ppf "@[<v>@[<v 2>if %a then@ %a@]@,@[<v 2>else@ %a@]@,end@]"
         Expr.pp_pred p pp a pp b
   | While (p, body) ->
       Format.fprintf ppf "@[<v 2>while %a do@ %a@]@,done" Expr.pp_pred p pp body
+  | At (_, s) -> pp ppf s
 
 let pp_prog ppf p =
   Format.fprintf ppf "@[<v 2>program %s(x0..x%d):@ %a@]" p.name (p.arity - 1) pp

@@ -13,6 +13,11 @@ type t =
   | Seq of t list
   | If of Expr.pred * t * t
   | While of Expr.pred * t
+  | At of Span.t * t
+      (** Source-span annotation, semantically transparent: every analysis
+          and interpreter treats [At (sp, s)] exactly as [s]. The parser
+          wraps each statement it reads; hand-built programs carry no
+          spans. *)
 
 type prog = {
   name : string;
@@ -26,6 +31,18 @@ val prog : name:string -> arity:int -> t -> prog
 
 val validate : prog -> (unit, string) result
 (** Checks that every input variable mentioned has index < arity. *)
+
+val at : Span.t -> t -> t
+(** [at sp s] is [At (sp, s)]. *)
+
+val span_of : t -> Span.t option
+(** The outermost annotation, if any. *)
+
+val strip_spans : t -> t
+(** Remove every [At] node — for structural comparison against span-free
+    programs. *)
+
+val strip_spans_prog : prog -> prog
 
 val assigned_vars : t -> Var.Set.t
 (** Variables appearing on the left of an assignment. *)
@@ -49,6 +66,16 @@ val simplify_exprs : prog -> prog
 (** {!map_exprs} with {!Expr.simplify} — algebraically identical, often
     syntactically smaller; dead operands like [x * 0] disappear, which
     static analyses reward. *)
+
+val prune_dead : t -> t
+(** Remove branches a constant test can never take: [if true] keeps only
+    the then-arm, [if false] only the else-arm, [while false] disappears.
+    Tests are simplified ({!Expr.simplify_pred}) on the way, so composing
+    with {!simplify_exprs} removes exactly the code constant folding proves
+    dead. Meaning-preserving on all inputs. *)
+
+val prune_dead_branches : prog -> prog
+(** {!prune_dead} on the program body. *)
 
 val size : t -> int
 (** Number of statement nodes, for reporting on generated corpora. *)

@@ -1,41 +1,53 @@
 (* Nodes are accumulated in a growable buffer; While needs its decision box
    allocated before its body (for the back edge), so the buffer supports
-   patching. *)
+   patching. A parallel span table records, for every pushed node, the
+   innermost [Ast.At] annotation enclosing the statement it came from. *)
 
-type buffer = { mutable nodes : Graph.node array; mutable len : int }
+type buffer = {
+  mutable nodes : Graph.node array;
+  mutable spans : Span.t option array;
+  mutable len : int;
+}
 
-let create () = { nodes = Array.make 16 Graph.Halt; len = 0 }
+let create () =
+  { nodes = Array.make 16 Graph.Halt; spans = Array.make 16 None; len = 0 }
 
-let push buf node =
+let push buf ~span node =
   if buf.len = Array.length buf.nodes then begin
     let bigger = Array.make (2 * buf.len) Graph.Halt in
     Array.blit buf.nodes 0 bigger 0 buf.len;
-    buf.nodes <- bigger
+    buf.nodes <- bigger;
+    let bigger_spans = Array.make (2 * buf.len) None in
+    Array.blit buf.spans 0 bigger_spans 0 buf.len;
+    buf.spans <- bigger_spans
   end;
   buf.nodes.(buf.len) <- node;
+  buf.spans.(buf.len) <- span;
   buf.len <- buf.len + 1;
   buf.len - 1
 
 let patch buf i node = buf.nodes.(i) <- node
 
-let rec stmt buf ~next = function
+let rec stmt buf ~span ~next = function
   | Ast.Skip -> next
-  | Ast.Assign (v, e) -> push buf (Graph.Assign (v, e, next))
-  | Ast.Seq l -> List.fold_right (fun st k -> stmt buf ~next:k st) l next
+  | Ast.Assign (v, e) -> push buf ~span (Graph.Assign (v, e, next))
+  | Ast.Seq l -> List.fold_right (fun st k -> stmt buf ~span ~next:k st) l next
   | Ast.If (p, a, b) ->
-      let ia = stmt buf ~next a in
-      let ib = stmt buf ~next b in
-      push buf (Graph.Decision (p, ia, ib))
+      let ia = stmt buf ~span ~next a in
+      let ib = stmt buf ~span ~next b in
+      push buf ~span (Graph.Decision (p, ia, ib))
   | Ast.While (p, body) ->
-      let d = push buf Graph.Halt (* placeholder *) in
-      let ibody = stmt buf ~next:d body in
+      let d = push buf ~span Graph.Halt (* placeholder *) in
+      let ibody = stmt buf ~span ~next:d body in
       patch buf d (Graph.Decision (p, ibody, next));
       d
+  | Ast.At (sp, s) -> stmt buf ~span:(Some sp) ~next s
 
 let compile (p : Ast.prog) =
   let buf = create () in
-  let halt = push buf Graph.Halt in
-  let body = stmt buf ~next:halt p.Ast.body in
-  let entry = push buf (Graph.Start body) in
+  let halt = push buf ~span:None Graph.Halt in
+  let body = stmt buf ~span:None ~next:halt p.Ast.body in
+  let entry = push buf ~span:None (Graph.Start body) in
   Graph.make ~name:p.Ast.name ~arity:p.Ast.arity ~entry
+    ~spans:(Array.sub buf.spans 0 buf.len)
     (Array.sub buf.nodes 0 buf.len)

@@ -5,7 +5,13 @@ type node =
   | Halt
   | Halt_violation of string
 
-type t = { name : string; arity : int; nodes : node array; entry : int }
+type t = {
+  name : string;
+  arity : int;
+  nodes : node array;
+  entry : int;
+  spans : Span.t option array;
+}
 
 let successors g n =
   match g.nodes.(n) with
@@ -15,6 +21,8 @@ let successors g n =
   | Halt | Halt_violation _ -> []
 
 let node_count g = Array.length g.nodes
+
+let span g n = g.spans.(n)
 
 let halt_nodes g =
   let acc = ref [] in
@@ -32,6 +40,8 @@ let validate g =
   let n = Array.length g.nodes in
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   if g.entry < 0 || g.entry >= n then err "entry %d out of range" g.entry
+  else if Array.length g.spans <> n then
+    err "span table length %d does not match %d nodes" (Array.length g.spans) n
   else
     match g.nodes.(g.entry) with
     | Assign _ | Decision _ | Halt | Halt_violation _ ->
@@ -68,8 +78,13 @@ let validate g =
           g.nodes;
         (match !problem with Some m -> Error m | None -> Ok ())
 
-let make ~name ~arity ~entry nodes =
-  let g = { name; arity; nodes; entry } in
+let make ?spans ~name ~arity ~entry nodes =
+  let spans =
+    match spans with
+    | Some s -> s
+    | None -> Array.make (Array.length nodes) None
+  in
+  let g = { name; arity; nodes; entry; spans } in
   match validate g with Ok () -> g | Error m -> invalid_arg ("Graph.make: " ^ m)
 
 let reachable g =

@@ -24,16 +24,24 @@ type t = {
   arity : int;
   nodes : node array;
   entry : int;  (** index of the unique start box *)
+  spans : Span.t option array;
+      (** per-node source provenance, same length as [nodes]; [None] for
+          nodes with no source counterpart (hand-built graphs, start/halt
+          boxes, instrumentation) *)
 }
 
-val make : name:string -> arity:int -> entry:int -> node array -> t
-(** Builds and validates.
+val make : ?spans:Span.t option array -> name:string -> arity:int -> entry:int -> node array -> t
+(** Builds and validates. [spans] defaults to all-[None].
     @raise Invalid_argument if malformed (see {!validate}). *)
 
 val validate : t -> (unit, string) result
 (** Checks: the entry is the unique [Start]; all edges in range; no edge
     targets the start box (so every cycle contains a step-consuming box, and
-    fuel bounds every execution); input indices are < arity. *)
+    fuel bounds every execution); input indices are < arity; the span table
+    matches the node array in length. *)
+
+val span : t -> int -> Span.t option
+(** Source span of node [n], if it came from a source statement. *)
 
 val successors : t -> int -> int list
 

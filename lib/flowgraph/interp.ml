@@ -74,6 +74,7 @@ let run_ast ?(fuel = default_fuel) ?(cost = Expr.Uniform) (p : Ast.prog) inputs 
               exec body;
               exec loop
             end
+        | Ast.At (_, s) -> exec s
       in
       match exec p.Ast.body with
       | () -> finish (Program.Value (Value.Int (Store.output store))) !steps

@@ -1,0 +1,35 @@
+type t = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+let make ~start_line ~start_col ~end_line ~end_col =
+  { start_line; start_col; end_line; end_col }
+
+let point ~line ~col =
+  { start_line = line; start_col = col; end_line = line; end_col = col }
+
+let join a b =
+  let before (l1, c1) (l2, c2) = l1 < l2 || (l1 = l2 && c1 <= c2) in
+  let s1 = (a.start_line, a.start_col) and s2 = (b.start_line, b.start_col) in
+  let e1 = (a.end_line, a.end_col) and e2 = (b.end_line, b.end_col) in
+  let start_line, start_col = if before s1 s2 then s1 else s2 in
+  let end_line, end_col = if before e1 e2 then e2 else e1 in
+  { start_line; start_col; end_line; end_col }
+
+let line s = s.start_line
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let equal a b = compare a b = 0
+
+let pp ppf s =
+  if s.start_line = s.end_line then
+    Format.fprintf ppf "%d:%d-%d" s.start_line s.start_col s.end_col
+  else
+    Format.fprintf ppf "%d:%d-%d:%d" s.start_line s.start_col s.end_line
+      s.end_col
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,37 @@
+(** Source spans: where a statement (or flowchart box) came from in a
+    [.spl] file.
+
+    Spans originate in the lexer's token positions, are attached to AST
+    statements by the parser, and ride through {!Compile} onto flowchart
+    nodes, so static analyses ({!Secpol_staticflow.Lint} in particular) can
+    point diagnostics at the offending source line rather than at a bare
+    node index. Positions are 1-based; [end_col] is exclusive (the column
+    just past the last character). *)
+
+type t = {
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;  (** exclusive *)
+}
+
+val make :
+  start_line:int -> start_col:int -> end_line:int -> end_col:int -> t
+
+val point : line:int -> col:int -> t
+(** A zero-width span, for positions without a known extent. *)
+
+val join : t -> t -> t
+(** Smallest span covering both arguments. *)
+
+val line : t -> int
+(** The starting line — what a one-line diagnostic quotes. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [3:5-17] (one line) or [3:5-6:2] (spanning lines). *)
+
+val to_string : t -> string

@@ -74,7 +74,12 @@ let keyword_or_var word =
 let tokenize src =
   let st = { src; pos = 0; line = 1; col = 1 } in
   let acc = ref [] in
-  let emit token ~line ~col = acc := { Token.token; line; col } :: !acc in
+  (* [emit]'s token argument is evaluated first, so the lexer has already
+     advanced past the token: [st.line]/[st.col] here are its end position. *)
+  let emit token ~line ~col =
+    acc :=
+      { Token.token; line; col; end_line = st.line; end_col = st.col } :: !acc
+  in
   let rec loop () =
     match peek st with
     | None -> emit Token.EOF ~line:st.line ~col:st.col

@@ -1,6 +1,7 @@
 module Var = Secpol_flowgraph.Var
 module Expr = Secpol_flowgraph.Expr
 module Ast = Secpol_flowgraph.Ast
+module Span = Secpol_flowgraph.Span
 
 exception Error of { line : int; col : int; message : string }
 
@@ -204,7 +205,18 @@ let rec parse_stmt st =
   end
   else first
 
+(* Each atom is wrapped in [Ast.At] spanning its first through last token,
+   so compiled flowchart nodes can point diagnostics at the source. *)
 and parse_atom st =
+  let start = current st in
+  let s = parse_atom_inner st in
+  let last = st.tokens.(if st.idx > 0 then st.idx - 1 else 0) in
+  Ast.at
+    (Span.make ~start_line:start.Token.line ~start_col:start.Token.col
+       ~end_line:last.Token.end_line ~end_col:last.Token.end_col)
+    s
+
+and parse_atom_inner st =
   match peek st with
   | Token.SKIP ->
       advance st;

@@ -41,7 +41,13 @@ type t =
   | GE
   | EOF
 
-type located = { token : t; line : int; col : int }
+type located = {
+  token : t;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+}
 
 let describe = function
   | INT n -> string_of_int n

@@ -43,6 +43,12 @@ type t =
   | GE
   | EOF
 
-type located = { token : t; line : int; col : int }
+type located = {
+  token : t;
+  line : int;
+  col : int;  (** 1-based start position *)
+  end_line : int;
+  end_col : int;  (** column just past the last character (exclusive) *)
+}
 
 val describe : t -> string

@@ -43,6 +43,7 @@ let rec exec (pc : Iset.t) (env : env) = function
         if env_equal env env' then env' else fix env'
       in
       fix env
+  | Ast.At (_, s) -> exec pc env s
 
 let initial_env arity : env =
   let rec add i env =

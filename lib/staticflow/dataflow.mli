@@ -27,6 +27,13 @@ type report = {
 
 val analyze : allowed:Secpol_core.Iset.t -> Secpol_flowgraph.Graph.t -> report
 
+val region : Secpol_flowgraph.Graph.t -> int -> int -> bool array
+(** [region g d stop].(n) iff [n] is reachable from a successor of decision
+    [d] without passing through [stop] ([-1]: no stop). With [stop] the
+    immediate postdominator of [d], this is the single-entry region whose
+    execution [d]'s test controls. Shared with {!Lint}, which rebuilds the
+    same control contexts while carrying witnesses. *)
+
 val certified :
   policy:Secpol_core.Policy.t -> Secpol_flowgraph.Graph.t -> bool
 (** @raise Invalid_argument on a non-[allow] policy. *)

@@ -21,7 +21,7 @@ let guard ~allowed g =
       g.Graph.nodes
   in
   Graph.make ~name:(g.Graph.name ^ "+guard") ~arity:g.Graph.arity
-    ~entry:g.Graph.entry nodes
+    ~entry:g.Graph.entry ~spans:g.Graph.spans nodes
 
 let mechanism ?fuel ~policy g =
   let allowed =

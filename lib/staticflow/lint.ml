@@ -1,0 +1,634 @@
+module Iset = Secpol_core.Iset
+module Policy = Secpol_core.Policy
+module Var = Secpol_flowgraph.Var
+module Expr = Secpol_flowgraph.Expr
+module Span = Secpol_flowgraph.Span
+module Ast = Secpol_flowgraph.Ast
+module Graph = Secpol_flowgraph.Graph
+module Compile = Secpol_flowgraph.Compile
+module Graphalgo = Secpol_flowgraph.Graphalgo
+
+type kind = Explicit | Implicit
+
+type step = { node : int; kind : kind; label : string; span : Span.t option }
+
+type rule = Explicit_flow | Implicit_flow | Termination_channel | Imprecision
+
+type severity = Error | Warning
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  input : int;
+  span : Span.t option;
+  witness : step list;
+  message : string;
+}
+
+type report = {
+  program : string;
+  allowed : Iset.t;
+  certified : bool;
+  findings : finding list;
+}
+
+let rule_name = function
+  | Explicit_flow -> "explicit-flow"
+  | Implicit_flow -> "implicit-flow"
+  | Termination_channel -> "termination-channel"
+  | Imprecision -> "imprecision"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+(* --- The witness-carrying dataflow ------------------------------------ *)
+
+module Imap = Map.Make (Int)
+
+(* A witness map binds each input index whose taint reaches this point to
+   the chain of steps it travelled. The fixpoint below is the same maximal
+   fixed point as {!Dataflow.analyze} on the map *domains*; chains are
+   "sticky" — once an index arrives, its first chain is kept — so the
+   domains grow monotonically and convergence is checked on domains only. *)
+type wmap = step list Imap.t
+
+let wunion (a : wmap) (b : wmap) = Imap.union (fun _ x _ -> Some x) a b
+
+let wdom_equal (a : wmap) (b : wmap) = Imap.equal (fun _ _ -> true) a b
+
+let extend step (m : wmap) = Imap.map (fun chain -> chain @ [ step ]) m
+
+type env = wmap Var.Map.t
+
+let wmap_of (env : env) v =
+  match Var.Map.find_opt v env with Some m -> m | None -> Imap.empty
+
+let vars_wmap env vs =
+  Var.Set.fold (fun v acc -> wunion acc (wmap_of env v)) vs Imap.empty
+
+let env_union (a : env) (b : env) =
+  Var.Map.union (fun _ ma mb -> Some (wunion ma mb)) a b
+
+let env_dom_equal (a : env) (b : env) = Var.Map.equal wdom_equal a b
+
+let node_label g i =
+  match g.Graph.nodes.(i) with
+  | Graph.Assign (v, e, _) ->
+      Format.asprintf "%a := %a" Var.pp v Expr.pp e
+  | Graph.Decision (p, _, _) -> Format.asprintf "if %a" Expr.pp_pred p
+  | Graph.Start _ -> "start"
+  | Graph.Halt -> "halt"
+  | Graph.Halt_violation _ -> "halt-violation"
+
+let make_step g i kind =
+  { node = i; kind; label = node_label g i; span = Graph.span g i }
+
+let last_span (witness : step list) =
+  List.fold_left
+    (fun acc (s : step) -> match s.span with Some _ as sp -> sp | None -> acc)
+    None witness
+
+let has_implicit (witness : step list) =
+  List.exists (fun (s : step) -> s.kind = Implicit) witness
+
+(* Mirrors Dataflow.analyze, with witness maps in place of Isets. Returns
+   (out_wmap, pc_wmap, test_wmap) observations for the findings pass. *)
+let solve g =
+  let n = Graph.node_count g in
+  let reach = Graph.reachable g in
+  let ipd = Graphalgo.immediate_postdominator g in
+  let preds = Graphalgo.predecessors g in
+  let decisions =
+    List.filter
+      (fun i ->
+        reach.(i)
+        && match g.Graph.nodes.(i) with Graph.Decision _ -> true | _ -> false)
+      (List.init n Fun.id)
+  in
+  let regions = List.map (fun d -> (d, Dataflow.region g d ipd.(d))) decisions in
+  let initial : env =
+    let rec add i env =
+      if i >= g.Graph.arity then env
+      else add (i + 1) (Var.Map.add (Var.Input i) (Imap.singleton i []) env)
+    in
+    add 0 Var.Map.empty
+  in
+  let in_env = Array.make n Var.Map.empty in
+  in_env.(g.Graph.entry) <- initial;
+  let pc = Array.make n Imap.empty in
+  let test_wmap d =
+    match g.Graph.nodes.(d) with
+    | Graph.Decision (p, _, _) -> vars_wmap in_env.(d) (Expr.pred_vars p)
+    | _ -> assert false
+  in
+  let out_env i =
+    match g.Graph.nodes.(i) with
+    | Graph.Assign (v, e, _) ->
+        let sources = wunion (vars_wmap in_env.(i) (Expr.vars e)) pc.(i) in
+        Var.Map.add v (extend (make_step g i Explicit) sources) in_env.(i)
+    | Graph.Start _ | Graph.Decision _ | Graph.Halt | Graph.Halt_violation _ ->
+        in_env.(i)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (d, in_region) ->
+        let chains = extend (make_step g d Implicit) (test_wmap d) in
+        for i = 0 to n - 1 do
+          if in_region.(i) then begin
+            let merged = wunion pc.(i) chains in
+            if not (wdom_equal merged pc.(i)) then begin
+              pc.(i) <- merged;
+              changed := true
+            end
+          end
+        done)
+      regions;
+    for i = 0 to n - 1 do
+      if reach.(i) && i <> g.Graph.entry then begin
+        let joined =
+          List.fold_left
+            (fun acc p -> if reach.(p) then env_union acc (out_env p) else acc)
+            Var.Map.empty preds.(i)
+        in
+        let merged = env_union in_env.(i) joined in
+        if not (env_dom_equal merged in_env.(i)) then begin
+          in_env.(i) <- merged;
+          changed := true
+        end
+      end
+    done
+  done;
+  (reach, in_env, pc, test_wmap)
+
+(* --- Findings ---------------------------------------------------------- *)
+
+let dedup_findings findings =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun f ->
+      let key = (f.rule, f.input) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    findings
+  |> List.stable_sort (fun a b -> compare a.input b.input)
+
+let check ?prog ~allowed g =
+  let reach, in_env, pc, test_wmap = solve g in
+  let halts =
+    List.filter
+      (fun h -> reach.(h) && g.Graph.nodes.(h) = Graph.Halt)
+      (Graph.halt_nodes g)
+  in
+  let flow_findings =
+    List.concat_map
+      (fun h ->
+        Imap.fold
+          (fun j chain acc ->
+            if Iset.mem j allowed then acc
+            else
+              let rule =
+                if has_implicit chain then Implicit_flow else Explicit_flow
+              in
+              let via =
+                if rule = Implicit_flow then
+                  " (through the outcome of a tainted test)"
+                else ""
+              in
+              {
+                rule;
+                severity = Error;
+                input = j;
+                span = last_span chain;
+                witness = chain;
+                message =
+                  Printf.sprintf "input %d flows to the output%s" j via;
+              }
+              :: acc)
+          (wmap_of in_env.(h) Var.Out)
+          [])
+      halts
+  in
+  let halt_pc_findings =
+    List.concat_map
+      (fun h ->
+        let out_dom = wmap_of in_env.(h) Var.Out in
+        Imap.fold
+          (fun j chain acc ->
+            if Iset.mem j allowed || Imap.mem j out_dom then acc
+            else
+              {
+                rule = Termination_channel;
+                severity = Error;
+                input = j;
+                span = last_span chain;
+                witness = chain;
+                message =
+                  Printf.sprintf
+                    "which halt the program reaches depends on input %d" j;
+              }
+              :: acc)
+          pc.(h) [])
+      halts
+  in
+  (* A tainted decision with a successor that cannot reach any halt box:
+     the halt-taint check above never sees that path (there is no halt on
+     it), yet observing non-termination reveals the test's inputs.
+     Reachability here is predicate-aware — [while true] compiles to a
+     decision whose exit edge exists structurally but can never be taken, so
+     constant tests contribute only their live edge. *)
+  let crh =
+    let n = Graph.node_count g in
+    let live_successors i =
+      match g.Graph.nodes.(i) with
+      | Graph.Decision (p, a, b) -> (
+          match Expr.simplify_pred p with
+          | Expr.True -> [ a ]
+          | Expr.False -> [ b ]
+          | _ -> Graph.successors g i)
+      | _ -> Graph.successors g i
+    in
+    let sem_preds = Array.make n [] in
+    for i = 0 to n - 1 do
+      List.iter (fun s -> sem_preds.(s) <- i :: sem_preds.(s)) (live_successors i)
+    done;
+    let ok = Array.make n false in
+    let rec mark i =
+      if not ok.(i) then begin
+        ok.(i) <- true;
+        List.iter mark sem_preds.(i)
+      end
+    in
+    List.iter mark (Graph.halt_nodes g);
+    ok
+  in
+  let spin_findings =
+    List.concat
+      (List.init (Graph.node_count g) (fun d ->
+           match g.Graph.nodes.(d) with
+           | Graph.Decision _
+             when reach.(d)
+                  && List.exists (fun s -> not crh.(s)) (Graph.successors g d)
+             ->
+               let chains = extend (make_step g d Implicit) (test_wmap d) in
+               Imap.fold
+                 (fun j chain acc ->
+                   if Iset.mem j allowed then acc
+                   else
+                     {
+                       rule = Termination_channel;
+                       severity = Warning;
+                       input = j;
+                       span = last_span chain;
+                       witness = chain;
+                       message =
+                         Printf.sprintf
+                           "input %d can steer execution onto a path that \
+                            never halts (invisible to halt-taint \
+                            certification)"
+                           j;
+                     }
+                     :: acc)
+                 chains []
+           | _ -> []))
+  in
+  let errors = dedup_findings (flow_findings @ halt_pc_findings) in
+  (* Spin warnings only for indices not already reported as
+     termination-channel errors. *)
+  let spin =
+    dedup_findings
+      (List.filter
+         (fun w ->
+           not
+             (List.exists
+                (fun e -> e.rule = Termination_channel && e.input = w.input)
+                errors))
+         spin_findings)
+  in
+  (* Imprecision pass: does the violation survive constant folding and
+     dead-branch pruning? Needs the AST; graph-only callers skip it. *)
+  let imprecision =
+    match (prog, errors) with
+    | None, _ | _, [] -> []
+    | Some p, _ -> (
+        match
+          Compile.compile (Ast.prune_dead_branches (Ast.simplify_exprs p))
+        with
+        | exception Invalid_argument _ -> []
+        | refined ->
+            let r = Dataflow.analyze ~allowed refined in
+            let refined_leak =
+              List.fold_left
+                (fun acc (_, t) -> Iset.union acc t)
+                Iset.empty r.Dataflow.halt_taints
+            in
+            dedup_findings
+              (List.filter_map
+                 (fun e ->
+                   if Iset.mem e.input refined_leak then None
+                   else
+                     Some
+                       {
+                         rule = Imprecision;
+                         severity = Warning;
+                         input = e.input;
+                         span = e.span;
+                         witness = [];
+                         message =
+                           Printf.sprintf
+                             "the flow from input %d disappears after \
+                              constant folding and dead-branch pruning; the \
+                              violation may be an artifact of dead code"
+                             e.input;
+                       })
+                 errors))
+  in
+  {
+    program = g.Graph.name;
+    allowed;
+    certified = errors = [];
+    findings = errors @ spin @ imprecision;
+  }
+
+let check_policy ?prog ~policy g =
+  match Policy.allowed_indices policy with
+  | Some allowed -> check ?prog ~allowed g
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Lint: linting is defined for allow(...) policies, got %s"
+           (Policy.name policy))
+
+(* --- Text rendering ---------------------------------------------------- *)
+
+let pp_step ppf (s : step) =
+  let where =
+    match s.span with
+    | Some sp -> Printf.sprintf "line %d" (Span.line sp)
+    | None -> Printf.sprintf "node %d" s.node
+  in
+  let kind = match s.kind with Explicit -> "explicit" | Implicit -> "implicit" in
+  Format.fprintf ppf "%s (%s, %s)" s.label kind where
+
+let pp_finding ppf f =
+  let loc =
+    match f.span with
+    | Some sp -> Format.asprintf "%a: " Span.pp sp
+    | None -> ""
+  in
+  Format.fprintf ppf "@[<v 2>%s[%s] %s%s" (severity_name f.severity)
+    (rule_name f.rule) loc f.message;
+  if f.witness <> [] then begin
+    Format.fprintf ppf "@,x%d (input)" f.input;
+    List.iter (fun s -> Format.fprintf ppf "@,-> %a" pp_step s) f.witness
+  end;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf r =
+  let verdict = if r.certified then "certified" else "NOT certified" in
+  Format.fprintf ppf "@[<v>%s: %s for allow(%a)" r.program verdict Iset.pp
+    r.allowed;
+  List.iter (fun f -> Format.fprintf ppf "@,%a" pp_finding f) r.findings;
+  Format.fprintf ppf "@]"
+
+(* --- JSON -------------------------------------------------------------- *)
+
+module Json = struct
+  type value =
+    | Null
+    | Bool of bool
+    | Int of int
+    | String of string
+    | List of value list
+    | Obj of (string * value) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec render = function
+    | Null -> "null"
+    | Bool b -> string_of_bool b
+    | Int n -> string_of_int n
+    | String s -> "\"" ^ escape s ^ "\""
+    | List l -> "[" ^ String.concat "," (List.map render l) ^ "]"
+    | Obj fields ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ render v)
+               fields)
+        ^ "}"
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser over a string cursor; enough JSON to read the
+     linter's own output back (the test suite round-trips through it). *)
+  let parse s =
+    let pos = ref 0 in
+    let len = String.length s in
+    let fail m = raise (Parse_error (Printf.sprintf "%s at offset %d" m !pos)) in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < len
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = Some c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let n = String.length word in
+      if !pos + n <= len && String.sub s !pos n = word then begin
+        pos := !pos + n;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              (if !pos >= len then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'
+                 | '\\' -> Buffer.add_char buf '\\'
+                 | '/' -> Buffer.add_char buf '/'
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | 'r' -> Buffer.add_char buf '\r'
+                 | 't' -> Buffer.add_char buf '\t'
+                 | 'b' -> Buffer.add_char buf '\b'
+                 | 'f' -> Buffer.add_char buf '\012'
+                 | 'u' ->
+                     if !pos + 4 >= len then fail "truncated \\u escape"
+                     else begin
+                       let hex = String.sub s (!pos + 1) 4 in
+                       let code =
+                         try int_of_string ("0x" ^ hex)
+                         with _ -> fail "bad \\u escape"
+                       in
+                       (* The emitter only writes \u00XX control codes. *)
+                       if code > 0xff then fail "unsupported \\u escape"
+                       else Buffer.add_char buf (Char.chr code);
+                       pos := !pos + 4
+                     end
+                 | c -> fail (Printf.sprintf "bad escape %C" c));
+              incr pos;
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> String (parse_string ())
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else begin
+            let items = ref [ parse_value () ] in
+            skip_ws ();
+            while peek () = Some ',' do
+              incr pos;
+              items := parse_value () :: !items;
+              skip_ws ()
+            done;
+            expect ']';
+            List (List.rev !items)
+          end
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let field () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              (k, v)
+            in
+            let fields = ref [ field () ] in
+            skip_ws ();
+            while peek () = Some ',' do
+              incr pos;
+              fields := field () :: !fields;
+              skip_ws ()
+            done;
+            expect '}';
+            Obj (List.rev !fields)
+          end
+      | Some ('-' | '0' .. '9') ->
+          let start = !pos in
+          if peek () = Some '-' then incr pos;
+          while
+            match peek () with Some ('0' .. '9') -> true | _ -> false
+          do
+            incr pos
+          done;
+          if !pos = start || (s.[start] = '-' && !pos = start + 1) then
+            fail "bad number"
+          else Int (int_of_string (String.sub s start (!pos - start)))
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> len then fail "trailing input";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error m -> Error m
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+let json_of_span = function
+  | None -> Json.Null
+  | Some sp ->
+      Json.Obj
+        [
+          ("start_line", Json.Int sp.Span.start_line);
+          ("start_col", Json.Int sp.Span.start_col);
+          ("end_line", Json.Int sp.Span.end_line);
+          ("end_col", Json.Int sp.Span.end_col);
+        ]
+
+let json_of_step s =
+  Json.Obj
+    [
+      ("node", Json.Int s.node);
+      ( "kind",
+        Json.String (match s.kind with Explicit -> "explicit" | Implicit -> "implicit")
+      );
+      ("label", Json.String s.label);
+      ("span", json_of_span s.span);
+    ]
+
+let json_of_finding f =
+  Json.Obj
+    [
+      ("rule", Json.String (rule_name f.rule));
+      ("severity", Json.String (severity_name f.severity));
+      ("input", Json.Int f.input);
+      ("span", json_of_span f.span);
+      ("message", Json.String f.message);
+      ("witness", Json.List (List.map json_of_step f.witness));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("program", Json.String r.program);
+      ( "allowed",
+        Json.List (List.map (fun i -> Json.Int i) (Iset.to_list r.allowed)) );
+      ("certified", Json.Bool r.certified);
+      ("findings", Json.List (List.map json_of_finding r.findings));
+    ]
+
+let to_json_string r = Json.render (to_json r)

@@ -1,0 +1,103 @@
+(** A witness-carrying variant of the flowchart dataflow analysis
+    ({!Dataflow}), for diagnostics rather than enforcement.
+
+    {!Dataflow.analyze} answers {e whether} a flowchart is certifiable under
+    [allow(J)]; this module answers {e why not}. Every taint element is
+    paired with a provenance chain of program points — the sequence of
+    assignments (explicit flows) and decisions (implicit flows) by which a
+    disallowed input reaches the output — and each chain step carries the
+    source span that {!Secpol_flowgraph.Compile} threaded onto the node, so
+    findings point at source lines.
+
+    Four rules:
+    - [Explicit_flow]: a disallowed input reaches the output through
+      assignments alone.
+    - [Implicit_flow]: the witness chain passes through a decision box — the
+      input influenced {e which} assignments ran (Section 5's control-flow
+      channel).
+    - [Termination_channel]: the input decides {e whether} (or at which halt
+      box) the program halts: either a halt box's control context is tainted
+      (an error — certification fails), or a tainted decision has a
+      successor that cannot reach any halt box (a warning — the halt-taint
+      check itself is blind to it, but observing non-termination reveals the
+      input; the paper's Example 9 channel).
+    - [Imprecision]: a violation that vanishes when the program is constant
+      folded ({!Secpol_flowgraph.Ast.simplify_exprs}) and dead branches are
+      pruned ({!Secpol_flowgraph.Ast.prune_dead_branches}) — the failure may
+      be an artifact of dead code rather than a real flow. Reported as a
+      warning alongside the original error, so the verdict (and exit code)
+      still agrees with {!Dataflow.certified}. *)
+
+module Iset = Secpol_core.Iset
+module Span = Secpol_flowgraph.Span
+module Ast = Secpol_flowgraph.Ast
+module Graph = Secpol_flowgraph.Graph
+
+type kind = Explicit | Implicit
+
+type step = {
+  node : int;  (** flowchart node index *)
+  kind : kind;
+  label : string;  (** rendered statement, e.g. ["y := x0 + 1"] *)
+  span : Span.t option;
+}
+
+type rule = Explicit_flow | Implicit_flow | Termination_channel | Imprecision
+
+type severity = Error | Warning
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  input : int;  (** offending input index *)
+  span : Span.t option;  (** primary location: the last located step *)
+  witness : step list;  (** provenance chain, in flow order *)
+  message : string;
+}
+
+type report = {
+  program : string;
+  allowed : Iset.t;
+  certified : bool;
+      (** agrees with {!Dataflow.certified}: no [Error] findings *)
+  findings : finding list;  (** errors first, then warnings *)
+}
+
+val check : ?prog:Ast.prog -> allowed:Iset.t -> Graph.t -> report
+(** Lint [g] against [allow(allowed)]. When [prog] (the AST [g] was
+    compiled from) is supplied, the imprecision pass re-analyzes its
+    constant-folded, dead-branch-pruned form and flags violations that
+    disappear. *)
+
+val check_policy : ?prog:Ast.prog -> policy:Secpol_core.Policy.t -> Graph.t -> report
+(** @raise Invalid_argument on a non-[allow] policy. *)
+
+val rule_name : rule -> string
+(** Kebab-case, as used in JSON: ["explicit-flow"], ["implicit-flow"],
+    ["termination-channel"], ["imprecision"]. *)
+
+val severity_name : severity -> string
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** Minimal JSON tree — hand-rolled; the toolchain has no JSON library and
+    the linter must not grow dependencies. [render] and [parse] round-trip:
+    [parse (render v) = Ok v]. *)
+module Json : sig
+  type value =
+    | Null
+    | Bool of bool
+    | Int of int
+    | String of string
+    | List of value list
+    | Obj of (string * value) list
+
+  val render : value -> string
+  val parse : string -> (value, string) result
+  val member : string -> value -> value option
+  (** Field lookup; [None] on missing field or non-object. *)
+end
+
+val to_json : report -> Json.value
+val to_json_string : report -> string

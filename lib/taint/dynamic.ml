@@ -173,6 +173,62 @@ let run cfg g inputs =
       (try go g.Graph.entry 0
        with Expr.Runtime_fault m -> reply (Mechanism.Failed m) !last_steps)
 
+(* Observer variant for the static-soundness cross-check: track taint with
+   Scoped semantics (pc restored at the immediate postdominator — the
+   dynamic counterpart of the static analysis's bounded decision regions)
+   but enforce nothing, and report the taint the halt-box check would see. *)
+let out_taint ?(fuel = Interp.default_fuel) g inputs =
+  if Array.length inputs <> g.Graph.arity then
+    invalid_arg
+      (Printf.sprintf "Dynamic.out_taint %s: expected %d inputs, got %d"
+         g.Graph.name g.Graph.arity (Array.length inputs));
+  let max_reg = Graph.max_reg g in
+  match Store.of_values ~inputs ~max_reg with
+  | exception Invalid_argument m -> Error m
+  | store ->
+      let taints = Taint_store.create ~arity:g.Graph.arity ~max_reg in
+      let env = Store.lookup store in
+      let ipd = Graphalgo.immediate_postdominator g in
+      let frames : (Iset.t * int) list ref = ref [] in
+      let pc = ref Iset.empty in
+      let restore_at node =
+        let rec pop () =
+          match !frames with
+          | (saved, at) :: rest when at = node ->
+              pc := saved;
+              frames := rest;
+              pop ()
+          | _ -> ()
+        in
+        pop ()
+      in
+      let rec go node steps =
+        restore_at node;
+        match g.Graph.nodes.(node) with
+        | Graph.Start next -> go next steps
+        | Graph.Assign (v, e, next) ->
+            if steps >= fuel then Error "diverged"
+            else begin
+              let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
+              let value, extra = Expr.eval_cost Expr.Uniform env e in
+              Store.set store v value;
+              Taint_store.set taints v (Iset.union rhs_taint !pc);
+              go next (steps + 1 + extra)
+            end
+        | Graph.Decision (p, if_true, if_false) ->
+            if steps >= fuel then Error "diverged"
+            else begin
+              let test_taint = Taint_store.of_vars taints (Expr.pred_vars p) in
+              (if ipd.(node) >= 0 then frames := (!pc, ipd.(node)) :: !frames);
+              pc := Iset.union !pc test_taint;
+              let taken, extra = Expr.eval_pred_cost Expr.Uniform env p in
+              go (if taken then if_true else if_false) (steps + 1 + extra)
+            end
+        | Graph.Halt -> Ok (Iset.union (Taint_store.get taints Var.Out) !pc)
+        | Graph.Halt_violation n -> Error ("halted with violation notice " ^ n)
+      in
+      (try go g.Graph.entry 0 with Expr.Runtime_fault m -> Error m)
+
 let mechanism cfg g =
   Mechanism.make
     ~name:(Printf.sprintf "%s(%s)" (mode_name cfg.mode) g.Graph.name)

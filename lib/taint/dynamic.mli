@@ -88,3 +88,22 @@ val mechanism_of :
 
 val notice : string
 (** The violation notice Λ used by all four mechanisms. *)
+
+val out_taint :
+  ?fuel:int ->
+  Graph.t ->
+  Secpol_core.Value.t array ->
+  (Secpol_core.Iset.t, string) result
+(** Observer, not enforcer: run once on [inputs] tracking taint with
+    [Scoped] semantics (the program-counter taint is restored at each
+    decision's immediate postdominator — the run-time counterpart of the
+    static analysis's bounded decision regions) and return the taint the
+    halt box would check, enforcing nothing. [Error] on divergence, fault,
+    or a [Halt_violation] box.
+
+    The static analysis ranges over {e all} paths through each region while
+    a run takes one, so for every terminating run the static out-taint of
+    {!Secpol_staticflow.Dataflow} is a superset of this set — the soundness
+    inclusion the test suite checks corpus-wide. (The [Surveillance] mode's
+    monotone pc would {e not} satisfy that inclusion: its pc keeps taint
+    from branches the static analysis already closed at the join.) *)

@@ -29,6 +29,7 @@ let symbolic_effect stmt =
           (fun v acc -> Var.Map.add v (Expr.Cond (p', get sa v, get sb v)) acc)
           dom sigma
     | Ast.While _ -> invalid_arg "symbolic_effect: loop"
+    | Ast.At (_, s) -> eff sigma s
   in
   eff Var.Map.empty stmt
 
@@ -60,6 +61,7 @@ let ite ?(simplify = true) (p : Ast.prog) =
         if Ast.loop_free a && Ast.loop_free b then
           emit_effect ~fresh ~simp:simplify (symbolic_effect branch)
         else branch
+    | Ast.At (sp, s) -> Ast.At (sp, tr s)
   in
   Ast.prog ~name:(p.Ast.name ^ "+ite") ~arity:p.Ast.arity (tr p.Ast.body)
 
@@ -99,6 +101,7 @@ let predicate_loops ?(residual = true) ~bound (p : Ast.prog) =
     | Ast.While (c, body) ->
         let body = tr body in
         if Ast.loop_free body then predicated c body else Ast.While (c, body)
+    | Ast.At (sp, s) -> Ast.At (sp, tr s)
   in
   Ast.prog
     ~name:(Printf.sprintf "%s+while%d" p.Ast.name bound)
@@ -110,6 +113,7 @@ let sink_into_branches (p : Ast.prog) =
     | Ast.If (c, a, b) -> Ast.If (c, sink a, sink b)
     | Ast.While (c, body) -> Ast.While (c, sink body)
     | Ast.Seq l -> sink_seq l
+    | Ast.At (sp, s) -> Ast.At (sp, sink s)
   and sink_seq = function
     | [] -> Ast.Skip
     | [ s ] -> sink s
@@ -117,6 +121,7 @@ let sink_into_branches (p : Ast.prog) =
         let tail = sink_seq rest in
         Ast.If (c, Ast.seq [ sink a; tail ], Ast.seq [ sink b; tail ])
     | Ast.Seq inner :: rest -> sink_seq (inner @ rest)
+    | Ast.At (_, (Ast.If _ | Ast.Seq _ as s)) :: rest -> sink_seq (s :: rest)
     | s :: rest -> Ast.seq [ sink s; sink_seq rest ]
   in
   Ast.prog ~name:(p.Ast.name ^ "+dup") ~arity:p.Ast.arity (sink p.Ast.body)
@@ -171,9 +176,13 @@ let split_halts (g : Graph.t) =
         | (Graph.Halt | Graph.Halt_violation _) as h -> h)
       g.Graph.nodes
   in
-  let nodes = Array.append rewritten (Array.of_list (List.rev !extra)) in
+  let extra = Array.of_list (List.rev !extra) in
+  let nodes = Array.append rewritten extra in
+  let spans =
+    Array.append g.Graph.spans (Array.make (Array.length extra) None)
+  in
   Graph.make ~name:(g.Graph.name ^ "+split") ~arity:g.Graph.arity
-    ~entry:g.Graph.entry nodes
+    ~entry:g.Graph.entry ~spans nodes
 
 let equivalent_on ?fuel (p1 : Ast.prog) (p2 : Ast.prog) space =
   if p1.Ast.arity <> p2.Ast.arity then

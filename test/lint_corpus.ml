@@ -1,0 +1,78 @@
+(* Lint every example program against its "# policy:" hint and compare the
+   verdict and the set of fired rules with this expected table. `make
+   lint-corpus` drives the same sweep through the CLI; this executable wires
+   it into `dune runtest`. A new .spl file must be added to the table — the
+   sweep fails on unexpected files as well as unexpected verdicts. *)
+
+module Iset = Secpol_core.Iset
+module Policy = Secpol_core.Policy
+module Compile = Secpol_flowgraph.Compile
+module Lint = Secpol_staticflow.Lint
+module Source = Secpol_lang.Source
+
+let examples_dir = "../examples/programs"
+
+(* file -> (certified, rules fired, in kebab-case and sorted) *)
+let expected =
+  [
+    ("blind_vote.spl", (false, [ "explicit-flow" ]));
+    ("bounded_search.spl", (false, [ "explicit-flow"; "imprecision" ]));
+    ("gcd.spl", (true, []));
+    ("mix.spl", (true, []));
+    ("wage_gap.spl", (false, [ "implicit-flow" ]));
+  ]
+
+let lint file =
+  let path = Filename.concat examples_dir file in
+  match Source.load_with_hint path with
+  | Error m -> Error (Printf.sprintf "does not parse: %s" m)
+  | Ok (prog, hint) -> (
+      let policy = Option.value hint ~default:Policy.allow_none in
+      match Policy.allowed_indices policy with
+      | None -> Error "policy hint is not an allow(...) policy"
+      | Some allowed -> Ok (Lint.check ~prog ~allowed (Compile.compile prog)))
+
+let check_file failed file =
+  match List.assoc_opt file expected with
+  | None ->
+      Printf.printf "FAIL %-20s not in the expected table; add a verdict\n" file;
+      true
+  | Some (want_certified, want_rules) -> (
+      match lint file with
+      | Error m ->
+          Printf.printf "FAIL %-20s %s\n" file m;
+          true
+      | Ok report ->
+          let rules =
+            List.sort_uniq compare
+              (List.map
+                 (fun (f : Lint.finding) -> Lint.rule_name f.Lint.rule)
+                 report.Lint.findings)
+          in
+          if report.Lint.certified <> want_certified || rules <> want_rules then begin
+            Printf.printf
+              "FAIL %-20s certified=%b (want %b), rules=[%s] (want [%s])\n" file
+              report.Lint.certified want_certified (String.concat "," rules)
+              (String.concat "," want_rules);
+            true
+          end
+          else begin
+            Printf.printf "ok   %-20s certified=%b rules=[%s]\n" file
+              report.Lint.certified (String.concat "," rules);
+            failed
+          end)
+
+let () =
+  let files =
+    Sys.readdir examples_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".spl")
+    |> List.sort compare
+  in
+  let missing =
+    List.filter (fun (f, _) -> not (List.mem f files)) expected
+  in
+  List.iter
+    (fun (f, _) -> Printf.printf "FAIL %-20s expected but not on disk\n" f)
+    missing;
+  let failed = List.fold_left check_file (missing <> []) files in
+  if failed then exit 1

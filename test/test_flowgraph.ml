@@ -254,7 +254,13 @@ let test_cost_scales_with_operands () =
 let test_graph_validation () =
   (match
      Graph.validate
-       { Graph.name = "g"; arity = 0; entry = 0; nodes = [| Graph.Halt |] }
+       {
+         Graph.name = "g";
+         arity = 0;
+         entry = 0;
+         nodes = [| Graph.Halt |];
+         spans = [| None |];
+       }
    with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "entry must be a start box");
@@ -265,6 +271,7 @@ let test_graph_validation () =
         arity = 0;
         entry = 0;
         nodes = [| Graph.Start 1; Graph.Assign (Var.Out, i 1, 0) |];
+        spans = [| None; None |];
       }
   with
   | Error _ -> ()

@@ -1,0 +1,432 @@
+(* The witness-carrying linter: finding structure, JSON round-trips, and
+   the cross-checks tying the static analyses to each other and to the
+   dynamic taint semantics (the differential and superset satellites). *)
+
+open Util
+module Expr = Secpol_flowgraph.Expr
+module Var = Secpol_flowgraph.Var
+module Ast = Secpol_flowgraph.Ast
+module Span = Secpol_flowgraph.Span
+module Graph = Secpol_flowgraph.Graph
+module Compile = Secpol_flowgraph.Compile
+module Certify = Secpol_staticflow.Certify
+module Dataflow = Secpol_staticflow.Dataflow
+module Lint = Secpol_staticflow.Lint
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Generator = Secpol_corpus.Generator
+module Source = Secpol_lang.Source
+open Expr.Build
+
+let examples_dir = "../examples/programs"
+
+let load_spl file =
+  let path = Filename.concat examples_dir file in
+  match Source.load_with_hint path with
+  | Ok (prog, hint) -> (prog, hint)
+  | Error m -> Alcotest.failf "%s: %s" file m
+
+let lint_spl ?allowed file =
+  let prog, hint = load_spl file in
+  let allowed =
+    match allowed with
+    | Some a -> a
+    | None -> (
+        match Option.map Policy.allowed_indices hint with
+        | Some (Some a) -> a
+        | _ -> Iset.empty)
+  in
+  Lint.check ~prog ~allowed (Compile.compile prog)
+
+(* Every subset of the program's input indices, as allowed sets. *)
+let all_allowed_sets arity = List.init (1 lsl arity) Iset.of_mask
+
+let errors_of (r : Lint.report) =
+  List.filter (fun (f : Lint.finding) -> f.Lint.severity = Lint.Error) r.Lint.findings
+
+let rules_of (r : Lint.report) =
+  List.sort_uniq compare
+    (List.map (fun (f : Lint.finding) -> Lint.rule_name f.Lint.rule) r.Lint.findings)
+
+(* --- Differential: AST certifier vs graph dataflow vs linter ------------- *)
+
+(* Satellite: on every corpus program and EVERY allow(J) policy over its
+   inputs, the structured certifier and the graph dataflow agree — and the
+   linter's verdict agrees with both (its errors are exactly the dataflow
+   violations). *)
+let test_differential_corpus_sweep () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let g = Paper.graph e in
+      List.iter
+        (fun allowed ->
+          let ast_v = (Certify.analyze ~allowed e.Paper.prog).Certify.certified in
+          let graph_v = (Dataflow.analyze ~allowed g).Dataflow.certified in
+          let lint_v = (Lint.check ~allowed g).Lint.certified in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / allow(%s): AST vs graph" e.Paper.name
+               (Iset.to_string allowed))
+            ast_v graph_v;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / allow(%s): graph vs lint" e.Paper.name
+               (Iset.to_string allowed))
+            graph_v lint_v)
+        (all_allowed_sets e.Paper.prog.Ast.arity))
+    Paper.all
+
+let prop_differential_generated =
+  let params = Generator.default in
+  qtest ~count:300 "AST certifier and graph dataflow agree on random programs"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      List.for_all
+        (fun allowed ->
+          let ast_v = (Certify.analyze ~allowed prog).Certify.certified in
+          let graph_v = (Dataflow.analyze ~allowed g).Dataflow.certified in
+          let lint_v = (Lint.check ~prog ~allowed g).Lint.certified in
+          ast_v = graph_v && graph_v = lint_v)
+        (all_allowed_sets prog.Ast.arity))
+
+(* --- Soundness: static out-taint contains every dynamic out-taint -------- *)
+
+let static_out_taint g =
+  let r = Dataflow.analyze ~allowed:Iset.empty g in
+  List.fold_left
+    (fun acc (_, t) -> Iset.union acc t)
+    Iset.empty r.Dataflow.halt_taints
+
+(* Satellite: the static analysis ranges over all paths, a run takes one,
+   so on every terminating run the scoped-dynamic taint at the halt box is
+   contained in the static halt taint. Checked exhaustively over each
+   corpus program's input space. *)
+let test_static_superset_dynamic_corpus () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let g = Paper.graph e in
+      let static = static_out_taint g in
+      Seq.iter
+        (fun inputs ->
+          match Dynamic.out_taint g inputs with
+          | Error _ -> () (* diverged or faulted: no halt-box check happens *)
+          | Ok dynamic ->
+              if not (Iset.subset dynamic static) then
+                Alcotest.failf
+                  "%s: dynamic out-taint %s escapes static %s on some input"
+                  e.Paper.name (Iset.to_string dynamic) (Iset.to_string static))
+        (Secpol_core.Space.enumerate e.Paper.space))
+    Paper.all
+
+let prop_static_superset_dynamic_generated =
+  let params = Generator.default in
+  qtest ~count:200 "static out-taint contains scoped-dynamic out-taint"
+    (Generator.arbitrary params)
+    (fun prog ->
+      let g = Compile.compile prog in
+      let static = static_out_taint g in
+      Seq.for_all
+        (fun inputs ->
+          match Dynamic.out_taint g inputs with
+          | Error _ -> true
+          | Ok dynamic -> Iset.subset dynamic static)
+        (Secpol_core.Space.enumerate (Generator.space_for params)))
+
+(* --- Finding structure --------------------------------------------------- *)
+
+(* Witness chains are structurally meaningful: implicit steps sit on
+   decision boxes, explicit steps on assignments, and a flow to the output
+   ends at an assignment to y. *)
+let test_witness_structure () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let g = Paper.graph e in
+      let report = Lint.check_policy ~policy:e.Paper.policy g in
+      List.iter
+        (fun (f : Lint.finding) ->
+          List.iter
+            (fun (s : Lint.step) ->
+              match (s.Lint.kind, g.Graph.nodes.(s.Lint.node)) with
+              | Lint.Implicit, Graph.Decision _ -> ()
+              | Lint.Explicit, Graph.Assign _ -> ()
+              | _ ->
+                  Alcotest.failf "%s: step %S has kind/node mismatch"
+                    e.Paper.name s.Lint.label)
+            f.Lint.witness;
+          match f.Lint.rule with
+          | Lint.Explicit_flow | Lint.Implicit_flow -> (
+              match List.rev f.Lint.witness with
+              | { Lint.node; _ } :: _ -> (
+                  match g.Graph.nodes.(node) with
+                  | Graph.Assign (Var.Out, _, _) -> ()
+                  | _ ->
+                      Alcotest.failf
+                        "%s: flow witness does not end at an assignment to y"
+                        e.Paper.name)
+              | [] ->
+                  Alcotest.failf "%s: flow finding with empty witness"
+                    e.Paper.name)
+          | Lint.Termination_channel | Lint.Imprecision -> ())
+        (errors_of report))
+    Paper.all
+
+let test_uncertifiable_corpus_has_findings () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let g = Paper.graph e in
+      match Secpol_core.Policy.allowed_indices e.Paper.policy with
+      | None -> ()
+      | Some allowed ->
+          let report = Lint.check ~allowed g in
+          if not (Dataflow.analyze ~allowed g).Dataflow.certified then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: uncertifiable => at least one error"
+                 e.Paper.name)
+              true
+              (errors_of report <> []))
+    Paper.all
+
+let test_explicit_vs_implicit_classification () =
+  let direct = Lint.check ~allowed:Iset.empty (Paper.graph Paper.direct_flow) in
+  Alcotest.(check (list string))
+    "direct-flow is explicit" [ "explicit-flow" ] (rules_of direct);
+  let branch =
+    Lint.check ~allowed:(Iset.of_list [ 1 ]) (Paper.graph Paper.branch_allowed)
+  in
+  Alcotest.(check bool) "withheld test => implicit flow" true
+    (List.exists
+       (fun (f : Lint.finding) -> f.Lint.rule = Lint.Implicit_flow)
+       branch.Lint.findings)
+
+(* A two-halt program where the output is clean at both halts but WHICH
+   halt is reached depends on the withheld input. *)
+let test_which_halt_channel () =
+  let g =
+    Graph.make ~name:"two-halts" ~arity:1 ~entry:0
+      [| Graph.Start 1; Graph.Decision (x 0 =: i 0, 2, 3); Graph.Halt; Graph.Halt |]
+  in
+  let report = Lint.check ~allowed:Iset.empty g in
+  Alcotest.(check bool) "not certified" false report.Lint.certified;
+  match errors_of report with
+  | [ f ] ->
+      Alcotest.(check string)
+        "rule" "termination-channel" (Lint.rule_name f.Lint.rule);
+      Alcotest.(check int) "input" 0 f.Lint.input
+  | fs -> Alcotest.failf "expected exactly one error, got %d" (List.length fs)
+
+(* The spin program: certification (halt-taint) is blind to it — the only
+   leak is whether the program halts at all. The linter's predicate-aware
+   termination rule flags it as a warning, keeping the verdict aligned
+   with certification. *)
+let spin_graph =
+  Graph.make ~name:"spin" ~arity:1 ~entry:0
+    [|
+      Graph.Start 1;
+      Graph.Decision (x 0 =: i 0, 2, 3);
+      Graph.Decision (Expr.True, 2, 2);
+      Graph.Assign (Var.Out, i 1, 4);
+      Graph.Halt;
+    |]
+
+let test_termination_warning_on_spin () =
+  let report = Lint.check ~allowed:Iset.empty spin_graph in
+  Alcotest.(check bool) "halt-taint certifies (the blind spot)" true
+    (Dataflow.analyze ~allowed:Iset.empty spin_graph).Dataflow.certified;
+  Alcotest.(check bool) "linter verdict agrees" true report.Lint.certified;
+  match report.Lint.findings with
+  | [ f ] ->
+      Alcotest.(check string)
+        "rule" "termination-channel" (Lint.rule_name f.Lint.rule);
+      Alcotest.(check string) "severity" "warning"
+        (Lint.severity_name f.Lint.severity);
+      Alcotest.(check int) "input" 0 f.Lint.input
+  | fs -> Alcotest.failf "expected exactly one warning, got %d" (List.length fs)
+
+(* ... and the spin leak is real: the guarded mechanism observable-hangs on
+   x0 = 0 only, which is unsound under allow(). *)
+let test_spin_leak_is_real () =
+  let m =
+    Secpol_staticflow.Halt_guard.mechanism ~fuel:200 ~policy:Policy.allow_none
+      spin_graph
+  in
+  check_unsound "termination channel defeats the halt guard" Policy.allow_none
+    m
+    (Secpol_core.Space.ints ~lo:0 ~hi:1 ~arity:1)
+
+(* --- Source spans -------------------------------------------------------- *)
+
+let test_spl_findings_have_spans () =
+  let report = lint_spl "wage_gap.spl" in
+  Alcotest.(check bool) "not certified" false report.Lint.certified;
+  let errs = errors_of report in
+  Alcotest.(check bool) "has errors" true (errs <> []);
+  List.iter
+    (fun (f : Lint.finding) ->
+      (match f.Lint.span with
+      | Some _ -> ()
+      | None -> Alcotest.failf "finding %S has no span" f.Lint.message);
+      Alcotest.(check bool)
+        (Printf.sprintf "witness of %S is non-empty" f.Lint.message)
+        true (f.Lint.witness <> []);
+      List.iter
+        (fun (s : Lint.step) ->
+          match s.Lint.span with
+          | Some sp ->
+              Alcotest.(check bool)
+                (Printf.sprintf "step %S has a sane line" s.Lint.label)
+                true
+                (Span.line sp >= 1)
+          | None -> Alcotest.failf "step %S has no span" s.Lint.label)
+        f.Lint.witness)
+    errs;
+  Alcotest.(check bool) "an implicit-flow finding is present" true
+    (List.exists
+       (fun (f : Lint.finding) -> f.Lint.rule = Lint.Implicit_flow)
+       errs)
+
+let test_imprecision_warning () =
+  let report = lint_spl "bounded_search.spl" in
+  Alcotest.(check bool) "not certified" false report.Lint.certified;
+  Alcotest.(check (list string))
+    "explicit error plus imprecision warning"
+    [ "explicit-flow"; "imprecision" ] (rules_of report);
+  List.iter
+    (fun (f : Lint.finding) ->
+      if f.Lint.rule = Lint.Imprecision then begin
+        Alcotest.(check string) "imprecision is a warning" "warning"
+          (Lint.severity_name f.Lint.severity);
+        Alcotest.(check int) "about the dead operand x1" 1 f.Lint.input
+      end)
+    report.Lint.findings
+
+let test_certified_examples_are_clean () =
+  List.iter
+    (fun file ->
+      let report = lint_spl file in
+      Alcotest.(check bool) (file ^ " certified") true report.Lint.certified;
+      Alcotest.(check (list string)) (file ^ " has no findings") [] (rules_of report))
+    [ "gcd.spl"; "mix.spl" ]
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let rec json_equal (a : Lint.Json.value) (b : Lint.Json.value) =
+  match (a, b) with
+  | Lint.Json.Null, Lint.Json.Null -> true
+  | Lint.Json.Bool x, Lint.Json.Bool y -> x = y
+  | Lint.Json.Int x, Lint.Json.Int y -> x = y
+  | Lint.Json.String x, Lint.Json.String y -> String.equal x y
+  | Lint.Json.List x, Lint.Json.List y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Lint.Json.Obj x, Lint.Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  let reports =
+    [
+      lint_spl "wage_gap.spl";
+      lint_spl "bounded_search.spl";
+      lint_spl "gcd.spl";
+      Lint.check ~allowed:Iset.empty (Paper.graph Paper.direct_flow);
+      Lint.check ~allowed:Iset.empty spin_graph;
+    ]
+  in
+  List.iter
+    (fun r ->
+      let tree = Lint.to_json r in
+      match Lint.Json.parse (Lint.Json.render tree) with
+      | Ok tree' ->
+          Alcotest.(check bool)
+            (r.Lint.program ^ ": render/parse round-trip")
+            true (json_equal tree tree')
+      | Error m -> Alcotest.failf "%s: JSON did not parse back: %s" r.Lint.program m)
+    reports
+
+let test_json_fields () =
+  let report = lint_spl "wage_gap.spl" in
+  match Lint.Json.parse (Lint.to_json_string report) with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok v -> (
+      (match Lint.Json.member "certified" v with
+      | Some (Lint.Json.Bool false) -> ()
+      | _ -> Alcotest.fail "certified field should be false");
+      (match Lint.Json.member "allowed" v with
+      | Some (Lint.Json.List [ Lint.Json.Int 2 ]) -> ()
+      | _ -> Alcotest.fail "allowed field should be [2]");
+      match Lint.Json.member "findings" v with
+      | Some (Lint.Json.List (first :: _ as fs)) ->
+          Alcotest.(check int)
+            "as many JSON findings as report findings"
+            (List.length report.Lint.findings)
+            (List.length fs);
+          (match Lint.Json.member "rule" first with
+          | Some (Lint.Json.String _) -> ()
+          | _ -> Alcotest.fail "finding lacks a rule");
+          (match Lint.Json.member "span" first with
+          | Some (Lint.Json.Obj _) -> ()
+          | _ -> Alcotest.fail "finding lacks a span object");
+          (match Lint.Json.member "witness" first with
+          | Some (Lint.Json.List (_ :: _)) -> ()
+          | _ -> Alcotest.fail "finding lacks a witness")
+      | _ -> Alcotest.fail "findings field should be a non-empty list")
+
+let test_json_parser_edge_cases () =
+  let ok s v =
+    match Lint.Json.parse s with
+    | Ok v' ->
+        Alcotest.(check bool) (Printf.sprintf "parse %S" s) true (json_equal v v')
+    | Error m -> Alcotest.failf "parse %S: %s" s m
+  in
+  ok {| {"a": [1, -2, null], "b": "q\"\\\n", "c": {}} |}
+    (Lint.Json.Obj
+       [
+         ("a", Lint.Json.List [ Lint.Json.Int 1; Lint.Json.Int (-2); Lint.Json.Null ]);
+         ("b", Lint.Json.String "q\"\\\n");
+         ("c", Lint.Json.Obj []);
+       ]);
+  ok "[]" (Lint.Json.List []);
+  ok "true" (Lint.Json.Bool true);
+  List.iter
+    (fun s ->
+      match Lint.Json.parse s with
+      | Ok _ -> Alcotest.failf "parse %S should fail" s
+      | Error _ -> ())
+    [ "{"; "[1,]"; "\"unterminated"; "12 34"; "nul"; "-" ]
+
+let () =
+  Alcotest.run "secpol-lint"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "corpus-policy-sweep" `Quick test_differential_corpus_sweep;
+          prop_differential_generated;
+        ] );
+      ( "static-vs-dynamic",
+        [
+          Alcotest.test_case "corpus-superset" `Quick test_static_superset_dynamic_corpus;
+          prop_static_superset_dynamic_generated;
+        ] );
+      ( "findings",
+        [
+          Alcotest.test_case "witness-structure" `Quick test_witness_structure;
+          Alcotest.test_case "uncertifiable-has-findings" `Quick test_uncertifiable_corpus_has_findings;
+          Alcotest.test_case "explicit-vs-implicit" `Quick test_explicit_vs_implicit_classification;
+          Alcotest.test_case "which-halt-channel" `Quick test_which_halt_channel;
+          Alcotest.test_case "spin-warning" `Quick test_termination_warning_on_spin;
+          Alcotest.test_case "spin-leak-real" `Quick test_spin_leak_is_real;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "spl-findings-have-spans" `Quick test_spl_findings_have_spans;
+          Alcotest.test_case "imprecision" `Quick test_imprecision_warning;
+          Alcotest.test_case "clean-examples" `Quick test_certified_examples_are_clean;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "fields" `Quick test_json_fields;
+          Alcotest.test_case "parser-edge-cases" `Quick test_json_parser_edge_cases;
+        ] );
+    ]

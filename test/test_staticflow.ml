@@ -222,6 +222,80 @@ let test_ex9_halt_guard_after_duplication () =
   let m0 = Halt_guard.mechanism ~policy:e.Paper.policy (Paper.graph e) in
   check_ratio "undup: serves nothing" ~expected:0.0 m0 ~q e.Paper.space
 
+(* Direct coverage for the graph rewrite itself (not just the packaged
+   mechanism). *)
+let count_violations g =
+  Array.fold_left
+    (fun n -> function Secpol_flowgraph.Graph.Halt_violation _ -> n + 1 | _ -> n)
+    0 g.Secpol_flowgraph.Graph.nodes
+
+let test_guard_rewrites_dirty_halts () =
+  let module Graph = Secpol_flowgraph.Graph in
+  let e = Paper.direct_flow in
+  let g = Paper.graph e in
+  (* Everything allowed: the guard must be the identity on the node array. *)
+  let clean = Halt_guard.guard ~allowed:(Iset.of_list [ 0; 1 ]) g in
+  Alcotest.(check int) "allow-all leaves every halt alone" 0
+    (count_violations clean);
+  Alcotest.(check bool) "allow-all preserves the nodes" true
+    (g.Graph.nodes = clean.Graph.nodes);
+  (* Nothing allowed: the unique halt is condemned, structure preserved. *)
+  let guarded = Halt_guard.guard ~allowed:Iset.empty g in
+  Alcotest.(check int) "allow-none condemns the halt" 1
+    (count_violations guarded);
+  Alcotest.(check int) "same number of nodes"
+    (Graph.node_count g) (Graph.node_count guarded);
+  Array.iteri
+    (fun i node ->
+      match (node, guarded.Graph.nodes.(i)) with
+      | Graph.Halt, Graph.Halt_violation n ->
+          Alcotest.(check string) "violation halts carry the notice Λ"
+            Dynamic.notice n
+      | Graph.Halt, _ ->
+          Alcotest.failf "halt %d was not replaced by a violation halt" i
+      | other, other' when other = other' -> ()
+      | _ -> Alcotest.failf "non-halt node %d was rewritten" i)
+    g.Graph.nodes
+
+let test_guard_preserves_spans () =
+  let module Graph = Secpol_flowgraph.Graph in
+  (* A parsed program has source spans on its flowchart; the guard rewrite
+     must carry them over unchanged. *)
+  let src = "program spanned(x0)\n  y := x0\n" in
+  let prog =
+    match Secpol_lang.Source.parse src with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let g = Compile.compile prog in
+  Alcotest.(check bool) "compiled graph carries at least one span" true
+    (Array.exists Option.is_some g.Graph.spans);
+  let guarded = Halt_guard.guard ~allowed:Iset.empty g in
+  Alcotest.(check bool) "guard preserves the span table" true
+    (g.Graph.spans = guarded.Graph.spans)
+
+(* A per-halt-certifiable mix: branching on allowed data with one dirty arm
+   condemns only that arm's halt (after splitting). *)
+let test_guard_split_condemns_only_dirty_arm () =
+  let e = Paper.ex9 in
+  let dup = Secpol_transform.Transforms.sink_into_branches e.Paper.prog in
+  let g = Secpol_transform.Transforms.split_halts (Compile.compile dup) in
+  let allowed =
+    match Policy.allowed_indices e.Paper.policy with
+    | Some a -> a
+    | None -> assert false
+  in
+  let guarded = Halt_guard.guard ~allowed g in
+  let total =
+    List.length (Secpol_flowgraph.Graph.halt_nodes guarded)
+  in
+  let condemned = count_violations guarded in
+  Alcotest.(check bool)
+    (Printf.sprintf "some but not all halts condemned (%d of %d)" condemned
+       total)
+    true
+    (condemned > 0 && condemned < total)
+
 let prop_halt_guard_sound =
   let params = Generator.default in
   qtest ~count:200 "per-halt guard is sound on random programs"
@@ -272,6 +346,9 @@ let () =
         [
           Alcotest.test_case "ex9-whole-rejected" `Quick test_ex9_whole_program_rejected;
           Alcotest.test_case "ex9-guarded" `Quick test_ex9_halt_guard_after_duplication;
+          Alcotest.test_case "guard-rewrite" `Quick test_guard_rewrites_dirty_halts;
+          Alcotest.test_case "guard-spans" `Quick test_guard_preserves_spans;
+          Alcotest.test_case "guard-split-dirty-arm" `Quick test_guard_split_condemns_only_dirty_arm;
           prop_halt_guard_sound;
           prop_halt_guard_sound_after_split;
         ] );
