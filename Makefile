@@ -29,6 +29,13 @@ lint-corpus:
 	  fi; \
 	done; exit $$status
 
+# Differential fault-injection sweep over the whole corpus: every seeded
+# fault must land in a violation notice, never in a fail-open grant. The
+# same sweep runs inside `dune runtest` (test/chaos_sweep.ml); this target
+# drives it through the CLI with the full seed count and text report.
+chaos:
+	dune exec bin/secpol_cli.exe -- chaos --seeds 100
+
 experiments:
 	dune exec bin/experiments.exe
 
@@ -51,4 +58,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force lint-corpus experiments bench examples doc clean
+.PHONY: all test test-force lint-corpus chaos experiments bench examples doc clean

@@ -111,6 +111,16 @@ let resolve_policy entry = function
   | Some p -> p
   | None -> entry.Paper.policy
 
+(* The interpreters are total, but Mechanism.respond still treats a
+   wrong-length input vector as a caller bug; catch it at the door. *)
+let check_arity (e : Paper.entry) a =
+  let k = e.Paper.prog.Ast.arity in
+  if Array.length a <> k then begin
+    Printf.eprintf "%s expects %d input(s), got %d\n" e.Paper.name k
+      (Array.length a);
+    exit 2
+  end
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -156,7 +166,9 @@ let show_cmd =
 let run_cmd =
   let run name inputs =
     let e = entry_of_name name in
-    let o = Program.run (Paper.program e) (parse_inputs inputs) in
+    let a = parse_inputs inputs in
+    check_arity e a;
+    let o = Program.run (Paper.program e) a in
     (match o.Program.result with
     | Program.Value v -> Format.printf "output: %a@." Value.pp v
     | Program.Diverged -> print_endline "output: <diverged>"
@@ -173,8 +185,10 @@ let enforce_cmd =
   let run name inputs mode policy =
     let e = entry_of_name name in
     let p = resolve_policy e policy in
+    let a = parse_inputs inputs in
+    check_arity e a;
     let m = Dynamic.mechanism_of ~mode p (Paper.graph e) in
-    let r = Mechanism.respond m (parse_inputs inputs) in
+    let r = Mechanism.respond m a in
     (match r.Mechanism.response with
     | Mechanism.Granted v -> Format.printf "granted: %a@." Value.pp v
     | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
@@ -373,6 +387,63 @@ let lint_cmd =
           violations, 2 on usage errors.")
     Term.(const run $ program_arg $ policy_arg $ format)
 
+(* --- chaos ----------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let module Sweep = Secpol_fault.Sweep in
+  let run program mode seeds base_seed horizon retries format =
+    let entries =
+      match program with None -> Paper.all | Some name -> [ entry_of_name name ]
+    in
+    let report =
+      Sweep.run ~entries ~mode ~seeds ~base_seed ~horizon ~retries ()
+    in
+    (match format with
+    | `Json -> print_endline (Sweep.to_json_string report)
+    | `Text -> Format.printf "%a" Sweep.pp report);
+    exit (if report.Sweep.ok then 0 else 1)
+  in
+  let program =
+    let doc =
+      "Corpus program name or .spl path; the whole corpus when omitted."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let seeds =
+    let doc = "Number of seeded fault plans per (program, policy) pair." in
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let base_seed =
+    let doc = "First seed of the range (plans are seed-deterministic)." in
+    Arg.(value & opt int 0 & info [ "base-seed" ] ~docv:"SEED" ~doc)
+  in
+  let horizon =
+    let doc = "Fault points strike at steps below this bound." in
+    Arg.(value & opt int 24 & info [ "horizon" ] ~docv:"STEPS" ~doc)
+  in
+  let retries =
+    let doc = "Supervisor retry budget (transient faults clear on retry)." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let format =
+    let doc = "Output format: text or json." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Differential fault-injection sweep: run monitors under seeded \
+          fault plans and verify every failure lands in a violation notice \
+          (fail-secure), never in a disallowed grant (fail-open). Exits 0 \
+          when fail-secure, 1 on a fail-open or clean-run mismatch, 2 on \
+          usage errors.")
+    Term.(
+      const run $ program $ mode_arg $ seeds $ base_seed $ horizon $ retries
+      $ format)
+
 (* --- fmt ------------------------------------------------------------------ *)
 
 let fmt_cmd =
@@ -401,6 +472,6 @@ let () =
   let code =
     Cmd.eval ~term_err:2
       (Cmd.group info
-         [ list_cmd; show_cmd; run_cmd; enforce_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; fmt_cmd ])
+         [ list_cmd; show_cmd; run_cmd; enforce_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; fmt_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,0 +1,167 @@
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Program = Secpol_core.Program
+module Space = Secpol_core.Space
+module Mechanism = Secpol_core.Mechanism
+
+type fault_report = {
+  mechanism : string;
+  attempts : int;
+  symptoms : string list;
+  backoff_steps : int;
+}
+
+type outcome = Output of Value.t | Notice of string | Degraded of fault_report
+
+type config = { retries : int; backoff_base : int; step_budget : int option }
+
+let default = { retries = 2; backoff_base = 4; step_budget = None }
+
+let degraded_notice = "\xce\x9b/degraded" (* Λ/degraded *)
+
+(* One attempt's verdict: either a final outcome or a symptom to retry on. *)
+let classify config (reply : Mechanism.reply) =
+  let over_budget =
+    match config.step_budget with
+    | Some b -> reply.Mechanism.steps > b
+    | None -> false
+  in
+  if over_budget then
+    Error
+      (Printf.sprintf "step budget exceeded (%d steps)" reply.Mechanism.steps)
+  else
+    match reply.Mechanism.response with
+    | Mechanism.Granted v -> Ok (Output v)
+    | Mechanism.Denied f -> Ok (Notice f)
+    | Mechanism.Hung -> Error "hung (step budget exhausted)"
+    | Mechanism.Failed msg -> Error msg
+
+let run ?(config = default) ?injector (m : Mechanism.t) a =
+  Option.iter Injector.reset injector;
+  let total_steps = ref 0 in
+  let backoff_steps = ref 0 in
+  let symptoms = ref [] in
+  let rec attempt i =
+    let reply =
+      (* The supervised mechanism is supposed to be total, but the whole
+         point of the guard is not to rely on that. *)
+      try Mechanism.respond m a
+      with e ->
+        { Mechanism.response = Mechanism.Failed (Printexc.to_string e); steps = 0 }
+    in
+    total_steps := !total_steps + reply.Mechanism.steps;
+    match classify config reply with
+    | Ok outcome -> outcome
+    | Error symptom ->
+        symptoms := symptom :: !symptoms;
+        if i > config.retries then
+          Degraded
+            {
+              mechanism = m.Mechanism.name;
+              attempts = i;
+              symptoms = List.rev !symptoms;
+              backoff_steps = !backoff_steps;
+            }
+        else begin
+          (* Exponential backoff, charged in steps: under an observable
+             clock the penalty is part of the reply's timing. *)
+          let penalty = config.backoff_base * (1 lsl (i - 1)) in
+          backoff_steps := !backoff_steps + penalty;
+          total_steps := !total_steps + penalty;
+          Option.iter Injector.next_attempt injector;
+          attempt (i + 1)
+        end
+  in
+  let outcome = attempt 1 in
+  (outcome, !total_steps)
+
+let reply_of_outcome (outcome, steps) =
+  let response =
+    match outcome with
+    | Output v -> Mechanism.Granted v
+    | Notice f -> Mechanism.Denied f
+    | Degraded _ -> Mechanism.Denied degraded_notice
+  in
+  { Mechanism.response; steps }
+
+let protect ?config ?injector (m : Mechanism.t) =
+  Mechanism.make
+    ~name:(Printf.sprintf "guard(%s)" m.Mechanism.name)
+    ~arity:m.Mechanism.arity
+    (fun a -> reply_of_outcome (run ?config ?injector m a))
+
+type breach = {
+  input : Value.t array;
+  reply : Mechanism.response;
+  detail : string;
+}
+
+let check_fail_secure ~q (m : Mechanism.t) space =
+  let check a =
+    let reply = Mechanism.respond m a in
+    match reply.Mechanism.response with
+    | Mechanism.Denied _ -> None
+    | Mechanism.Granted v -> (
+        match (Program.run q a).Program.result with
+        | Program.Value expected when Value.equal v expected -> None
+        | expected ->
+            Some
+              {
+                input = Array.copy a;
+                reply = reply.Mechanism.response;
+                detail =
+                  Printf.sprintf "granted %s but Q's outcome is %s"
+                    (Value.to_string v)
+                    (match expected with
+                    | Program.Value w -> Value.to_string w
+                    | Program.Diverged -> "divergence"
+                    | Program.Fault f -> "fault: " ^ f);
+              })
+    | (Mechanism.Hung | Mechanism.Failed _) as r ->
+        Some
+          {
+            input = Array.copy a;
+            reply = r;
+            detail = "reply escaped E u F (mechanism not fail-secure)";
+          }
+  in
+  Seq.fold_left
+    (fun acc a -> match acc with Error _ -> acc | Ok () -> (
+         match check a with None -> Ok () | Some b -> Error b))
+    (Ok ()) (Space.enumerate space)
+
+let sound_modulo_notices policy (m : Mechanism.t) space =
+  (* Canonical policy image -> first granted value seen in that class. *)
+  let grants : (Value.t, Value.t * Value.t array) Hashtbl.t = Hashtbl.create 64 in
+  let check a =
+    match (Mechanism.respond m a).Mechanism.response with
+    | Mechanism.Granted v -> (
+        let key = Policy.image policy a in
+        match Hashtbl.find_opt grants key with
+        | None ->
+            Hashtbl.add grants key (v, Array.copy a);
+            None
+        | Some (v0, a0) when Value.equal v v0 -> ignore a0; None
+        | Some (v0, a0) ->
+            Some
+              {
+                input = Array.copy a;
+                reply = Mechanism.Granted v;
+                detail =
+                  Printf.sprintf
+                    "class %s granted both %s (at %s) and %s — grants split \
+                     an I-equivalence class"
+                    (Value.to_string key) (Value.to_string v0)
+                    (String.concat ","
+                       (Array.to_list (Array.map Value.to_string a0)))
+                    (Value.to_string v);
+              })
+    | Mechanism.Denied _ | Mechanism.Hung | Mechanism.Failed _ ->
+        (* Notices (and residual failures) are exactly what "modulo
+           notices" quotients away; fail-secureness is the other check. *)
+        None
+  in
+  Seq.fold_left
+    (fun acc a -> match acc with Error _ -> acc | Ok () -> (
+         match check a with None -> Ok () | Some b -> Error b))
+    (Ok ()) (Space.enumerate space)

@@ -1,0 +1,107 @@
+(** The fail-secure supervisor.
+
+    A Jones–Lipton protection mechanism is a total function into [E ∪ F]:
+    output or violation notice, nothing else. A real monitor can crash,
+    hang, or have its state corrupted — three ways to leave that codomain.
+    The guard closes the gap: it runs a mechanism under a step-budget
+    watchdog with bounded retry, and collapses every residual failure into
+    the {!Degraded} outcome, which is itself a violation notice
+    ({!degraded_notice} ∈ F). Supervised, a mechanism is total into
+    [E ∪ F] {e by construction}, whatever its internals do.
+
+    Fail-secure direction: failures map into [F], never into [E]. A fault
+    can cost the user an answer they were entitled to (completeness loss),
+    but can never hand them an answer the policy forbids (soundness loss).
+    Hence the two checkable properties:
+
+    - a guarded mechanism grants only the protected program's own outputs
+      ({!check_fail_secure}), and
+    - it stays sound {e modulo notices} — on each policy-equivalence class
+      all granted values agree ({!sound_modulo_notices}). Full soundness
+      (Denied vs Granted constant per class) cannot survive arbitrary
+      step-targeted faults, since a fault point can hit the longer runs of
+      a class and miss the shorter ones; but because the guarded
+      mechanism's grants are a subset of a sound mechanism's grants, the
+      values that do flow remain constant per class. *)
+
+type fault_report = {
+  mechanism : string;  (** name of the supervised mechanism *)
+  attempts : int;  (** attempts made, including the first run *)
+  symptoms : string list;  (** one per failed attempt, oldest first *)
+  backoff_steps : int;  (** penalty steps charged by the backoff schedule *)
+}
+
+(** The supervisor's verdict. [Degraded] is {e not} a third kind of thing
+    next to output and notice — {!reply_of_outcome} maps it to the
+    violation notice {!degraded_notice}, keeping the supervised mechanism
+    inside [E ∪ F]. It is kept distinct here so reports can say {e why}
+    the notice was issued. *)
+type outcome =
+  | Output of Secpol_core.Value.t
+  | Notice of string
+  | Degraded of fault_report
+
+type config = {
+  retries : int;  (** failed attempts retried at most this many times *)
+  backoff_base : int;
+      (** attempt [i]'s failure charges [backoff_base * 2^(i-1)] penalty
+          steps before the retry *)
+  step_budget : int option;
+      (** watchdog: an attempt whose reply reports more steps than this is
+          treated as hung, whatever its response *)
+}
+
+val default : config
+(** [{ retries = 2; backoff_base = 4; step_budget = None }]. *)
+
+val degraded_notice : string
+(** The single canonical notice ("Λ/degraded") for all degraded outcomes.
+    One notice for every failure mode on purpose: per-fault diagnostic
+    notices would let the {e pattern} of failures split a policy class
+    (the chatty-notice trap of Example 4). *)
+
+val run :
+  ?config:config ->
+  ?injector:Injector.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Value.t array ->
+  outcome * int
+(** One supervised invocation; the [int] is the total step count across
+    attempts, backoff penalties included. If [injector] is given it is
+    {!Injector.reset} first and advanced with {!Injector.next_attempt}
+    before each retry, so transient faults clear on schedule. [run] never
+    raises: an exception escaping the mechanism is a symptom, not a
+    crash. *)
+
+val reply_of_outcome : outcome * int -> Secpol_core.Mechanism.reply
+(** [Output v] ↦ [Granted v], [Notice f] ↦ [Denied f],
+    [Degraded _] ↦ [Denied degraded_notice]. No [Hung], no [Failed]. *)
+
+val protect :
+  ?config:config -> ?injector:Injector.t -> Secpol_core.Mechanism.t -> Secpol_core.Mechanism.t
+(** The supervised mechanism, packaged: ["guard(M)"] with the same arity,
+    replying via {!run} and {!reply_of_outcome}. *)
+
+type breach = {
+  input : Secpol_core.Value.t array;
+  reply : Secpol_core.Mechanism.response;
+  detail : string;
+}
+
+val check_fail_secure :
+  q:Secpol_core.Program.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Space.t ->
+  (unit, breach) result
+(** Exhaustive over the space: every reply must be [Granted Q(a)] or
+    [Denied _]. A [Hung] or [Failed] reply, or a grant of anything but the
+    protected program's own output, is a breach. *)
+
+val sound_modulo_notices :
+  Secpol_core.Policy.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Space.t ->
+  (unit, breach) result
+(** Exhaustive over the space: within each policy-equivalence class, all
+    [Granted] values must be equal (denials are ignored — "modulo
+    notices"). *)

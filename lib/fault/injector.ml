@@ -1,0 +1,47 @@
+module Hook = Secpol_flowgraph.Hook
+
+type t = {
+  plan : Plan.t;
+  mutable attempt : int;
+  mutable fired_this_attempt : int;
+  mutable fired_total : int;
+}
+
+let create plan = { plan; attempt = 1; fired_this_attempt = 0; fired_total = 0 }
+
+let plan t = t.plan
+
+let reset t =
+  t.attempt <- 1;
+  t.fired_this_attempt <- 0;
+  t.fired_total <- 0
+
+let next_attempt t =
+  t.attempt <- t.attempt + 1;
+  t.fired_this_attempt <- 0
+
+let attempt t = t.attempt
+let fired_this_attempt t = t.fired_this_attempt
+let fired_total t = t.fired_total
+
+let active t (p : Plan.point) =
+  match p.Plan.kind with Plan.Transient k -> t.attempt <= k | _ -> true
+
+let action_of = function
+  | Plan.Crash -> Hook.Crash "injected crash"
+  | Plan.Corrupt_taint -> Hook.Corrupt
+  | Plan.Exhaust_fuel -> Hook.Starve
+  | Plan.Transient _ -> Hook.Crash "injected transient crash"
+
+let hook t : Hook.t =
+ fun ~step ->
+  match
+    List.find_opt
+      (fun p -> p.Plan.at_step = step && active t p)
+      t.plan.Plan.points
+  with
+  | None -> None
+  | Some p ->
+      t.fired_this_attempt <- t.fired_this_attempt + 1;
+      t.fired_total <- t.fired_total + 1;
+      Some (action_of p.Plan.kind)

@@ -1,0 +1,39 @@
+(** Turning a {!Plan} into a live interpreter hook.
+
+    An injector owns the mutable state a fault plan needs at run time: which
+    retry attempt is in progress (so [Transient k] faults can clear from
+    attempt [k+1] on) and how many faults have actually fired. {!Guard}
+    calls {!reset} before a supervised run and {!next_attempt} before each
+    retry; the sweep inspects {!fired_total} afterwards to tell a genuinely
+    faulted run from one whose fault points were never reached. *)
+
+type t
+
+val create : Plan.t -> t
+(** Fresh injector on attempt 1 with zeroed counters. *)
+
+val plan : t -> Plan.t
+
+val reset : t -> unit
+(** Back to attempt 1, counters zeroed — call before each supervised run so
+    one injector can serve many inputs of a sweep. *)
+
+val next_attempt : t -> unit
+(** Advance to the next retry attempt; the per-attempt fired counter is
+    zeroed, the total is kept. *)
+
+val attempt : t -> int
+(** 1-based index of the attempt in progress. *)
+
+val fired_this_attempt : t -> int
+
+val fired_total : t -> int
+(** Faults fired since the last {!reset}, across all attempts. [0] means
+    the plan never interfered with this run — the supervised reply must
+    then be bit-identical to an unfaulted one. *)
+
+val hook : t -> Secpol_flowgraph.Hook.t
+(** The hook to thread into {!Secpol_taint.Dynamic.config} (or
+    {!Secpol_flowgraph.Interp.run_graph}): at each executed box it fires
+    the plan's fault point for that step, if any is active on the current
+    attempt. [Transient k] points are active on attempts [1..k] only. *)

@@ -1,0 +1,80 @@
+type kind = Crash | Corrupt_taint | Exhaust_fuel | Transient of int
+
+type point = { at_step : int; kind : kind }
+
+type t = { seed : int; points : point list }
+
+(* splitmix64: deterministic across runs and platforms, unlike Stdlib.Random
+   whose sequence is not pinned across OCaml versions. Seeds must replay
+   bit-for-bit forever — a chaos failure that cannot be reproduced from its
+   seed is worthless. *)
+module Rng = struct
+  type state = int64 ref
+
+  let create seed = ref (Int64.of_int seed)
+
+  let next (st : state) =
+    st := Int64.add !st 0x9E3779B97F4A7C15L;
+    let z = !st in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* Uniform-enough draw in [0, n): the modulo bias is irrelevant for fault
+     scheduling. *)
+  let below st n =
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next st) 1) (Int64.of_int n))
+end
+
+let none = { seed = -1; points = [] }
+
+let normalize points =
+  let sorted = List.sort (fun a b -> compare a.at_step b.at_step) points in
+  (* One fault per step: the interpreters consult the hook once per box. *)
+  let rec dedupe = function
+    | a :: b :: rest when a.at_step = b.at_step -> dedupe (a :: rest)
+    | a :: rest -> a :: dedupe rest
+    | [] -> []
+  in
+  dedupe sorted
+
+let make points = { seed = -1; points = normalize points }
+
+let generate ?(horizon = 24) ?(max_points = 3) ~seed () =
+  let st = Rng.create seed in
+  let n = 1 + Rng.below st (max max_points 1) in
+  let point () =
+    let at_step = Rng.below st (max horizon 1) in
+    let kind =
+      match Rng.below st 4 with
+      | 0 -> Crash
+      | 1 -> Corrupt_taint
+      | 2 -> Exhaust_fuel
+      | _ -> Transient (1 + Rng.below st 3)
+    in
+    { at_step; kind }
+  in
+  { seed; points = normalize (List.init n (fun _ -> point ())) }
+
+let worst_transient t =
+  List.fold_left
+    (fun acc p -> match p.kind with Transient k -> max acc k | _ -> acc)
+    0 t.points
+
+let is_transient_only t =
+  t.points <> []
+  && List.for_all (fun p -> match p.kind with Transient _ -> true | _ -> false) t.points
+
+let kind_name = function
+  | Crash -> "crash"
+  | Corrupt_taint -> "corrupt-taint"
+  | Exhaust_fuel -> "exhaust-fuel"
+  | Transient k -> Printf.sprintf "transient(%d)" k
+
+let describe t =
+  if t.points = [] then "(no faults)"
+  else
+    String.concat " "
+      (List.map (fun p -> Printf.sprintf "%s@%d" (kind_name p.kind) p.at_step) t.points)
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,55 @@
+(** Deterministic, seedable fault plans.
+
+    A fault plan is a small script of failures to visit on a monitored run:
+    {e at step 7, crash; at step 12, flip a bit of a surveillance
+    variable}. Plans are pure data generated from an integer seed by a
+    splitmix64 PRNG, so a chaos sweep is exactly reproducible from its
+    seed — rerunning a failing seed replays the failure bit-for-bit.
+
+    Plans say nothing about {e how} faults are applied; {!Injector} turns a
+    plan into the interpreter hook of {!Secpol_flowgraph.Hook}, tracking
+    retry attempts so transient faults can clear. *)
+
+(** The failure modes of the enforcement machinery itself. *)
+type kind =
+  | Crash  (** the monitor dies mid-run with an internal error *)
+  | Corrupt_taint  (** one bit of one surveillance variable flips *)
+  | Exhaust_fuel  (** the step budget collapses to zero *)
+  | Transient of int
+      (** [Transient k]: a crash that strikes on attempts [1..k] and
+          clears from attempt [k+1] on — the fault a bounded retry loop
+          can ride out iff it is allowed at least [k] retries. *)
+
+type point = { at_step : int; kind : kind }
+
+type t = {
+  seed : int;  (** the seed this plan was generated from, [-1] if built by hand *)
+  points : point list;  (** sorted by [at_step] *)
+}
+
+val none : t
+(** The empty plan: injects nothing; runs are bit-identical to unfaulted
+    ones. *)
+
+val make : point list -> t
+(** A hand-built plan (sorted, one point per step kept). *)
+
+val generate : ?horizon:int -> ?max_points:int -> seed:int -> unit -> t
+(** [generate ~seed ()] derives 1 to [max_points] (default 3) fault points
+    with steps below [horizon] (default 24) deterministically from [seed].
+    Transient faults clear after 1–3 attempts. *)
+
+val worst_transient : t -> int
+(** The largest [k] among [Transient k] points, 0 if none — the number of
+    retries needed to outlast every transient fault of the plan. *)
+
+val is_transient_only : t -> bool
+(** True iff every point is [Transient _] — i.e. enough retries recover the
+    run completely. *)
+
+val kind_name : kind -> string
+
+val describe : t -> string
+(** E.g. ["crash@5 transient(2)@11"]; ["(no faults)"] for {!none}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,247 @@
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Space = Secpol_core.Space
+module Mechanism = Secpol_core.Mechanism
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Json = Secpol_staticflow.Lint.Json
+
+type totals = {
+  runs : int;
+  plans : int;
+  grants : int;
+  recovered : int;
+  notices : int;
+  degraded : int;
+  fail_open : int;
+  clean_mismatch : int;
+  unguarded_failures : int;
+}
+
+type finding = {
+  entry : string;
+  policy : string;
+  seed : int;
+  input : string;
+  detail : string;
+}
+
+type report = {
+  base_seed : int;
+  seeds : int;
+  mode : Dynamic.mode;
+  totals : totals;
+  findings : finding list;
+  ok : bool;
+}
+
+let max_findings = 20
+
+let zero_totals =
+  {
+    runs = 0;
+    plans = 0;
+    grants = 0;
+    recovered = 0;
+    notices = 0;
+    degraded = 0;
+    fail_open = 0;
+    clean_mismatch = 0;
+    unguarded_failures = 0;
+  }
+
+let show_input a =
+  "(" ^ String.concat "," (Array.to_list (Array.map Value.to_string a)) ^ ")"
+
+let show_response = function
+  | Mechanism.Granted v -> "granted " ^ Value.to_string v
+  | Mechanism.Denied f -> "denied " ^ f
+  | Mechanism.Hung -> "hung"
+  | Mechanism.Failed m -> "failed: " ^ m
+
+(* All allow(J) policies over an entry's inputs: one per subset of
+   {0..arity-1}, enumerated through the bitset representation. *)
+let policies_of_arity arity =
+  List.init (1 lsl arity) (fun mask -> Policy.allow_set (Iset.of_mask mask))
+
+let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
+    ?(base_seed = 0) ?(horizon = 24) ?(retries = 2) () =
+  let totals = ref zero_totals in
+  let findings = ref [] in
+  let note f = if List.length !findings < max_findings then findings := f :: !findings in
+  let config = { Guard.default with Guard.retries } in
+  List.iter
+    (fun (entry : Paper.entry) ->
+      let g = Paper.graph entry in
+      let inputs = List.of_seq (Space.enumerate entry.Paper.space) in
+      List.iter
+        (fun policy ->
+          let pname = Policy.name policy in
+          let clean_mech = Dynamic.mechanism_of ~mode policy g in
+          let clean = List.map (fun a -> (a, Mechanism.respond clean_mech a)) inputs in
+          (* Fault-free guarded pass: with no injector the guard must be a
+             bit-identical wrapper. *)
+          List.iter
+            (fun (a, (c : Mechanism.reply)) ->
+              let r = Guard.reply_of_outcome (Guard.run ~config clean_mech a) in
+              if r <> c then begin
+                totals := { !totals with clean_mismatch = !totals.clean_mismatch + 1 };
+                note
+                  {
+                    entry = entry.Paper.name;
+                    policy = pname;
+                    seed = -1;
+                    input = show_input a;
+                    detail =
+                      Printf.sprintf
+                        "guard without faults not bit-identical: %s (%d steps) \
+                         vs clean %s (%d steps)"
+                        (show_response r.Mechanism.response)
+                        r.Mechanism.steps
+                        (show_response c.Mechanism.response)
+                        c.Mechanism.steps;
+                  }
+              end)
+            clean;
+          for seed = base_seed to base_seed + seeds - 1 do
+            totals := { !totals with plans = !totals.plans + 1 };
+            let plan = Plan.generate ~horizon ~seed () in
+            let injector = Injector.create plan in
+            let faulty =
+              Dynamic.mechanism_of ~hook:(Injector.hook injector) ~mode policy g
+            in
+            List.iter
+              (fun (a, (c : Mechanism.reply)) ->
+                let fault f detail =
+                  note
+                    {
+                      entry = entry.Paper.name;
+                      policy = pname;
+                      seed;
+                      input = show_input a;
+                      detail =
+                        Printf.sprintf "[plan %s] %s" (Plan.describe plan) detail;
+                    };
+                  totals := f !totals
+                in
+                (* Contrast pass: same faulty monitor, no supervisor. *)
+                Injector.reset injector;
+                (match (Mechanism.respond faulty a).Mechanism.response with
+                | Mechanism.Failed _ | Mechanism.Hung ->
+                    totals :=
+                      { !totals with unguarded_failures = !totals.unguarded_failures + 1 }
+                | Mechanism.Granted _ | Mechanism.Denied _ -> ());
+                (* Guarded pass. *)
+                let outcome, steps = Guard.run ~config ~injector faulty a in
+                totals := { !totals with runs = !totals.runs + 1 };
+                let fired = Injector.fired_total injector > 0 in
+                (match outcome with
+                | Guard.Output v -> (
+                    match c.Mechanism.response with
+                    | Mechanism.Granted w when Value.equal v w ->
+                        totals :=
+                          {
+                            !totals with
+                            grants = !totals.grants + 1;
+                            recovered = (!totals.recovered + if fired then 1 else 0);
+                          }
+                    | _ ->
+                        fault
+                          (fun t -> { t with fail_open = t.fail_open + 1 })
+                          (Printf.sprintf
+                             "FAIL-OPEN: guarded run granted %s but clean \
+                              monitor replied %s"
+                             (Value.to_string v)
+                             (show_response c.Mechanism.response)))
+                | Guard.Notice _ ->
+                    totals := { !totals with notices = !totals.notices + 1 }
+                | Guard.Degraded _ ->
+                    totals := { !totals with degraded = !totals.degraded + 1 });
+                if not fired then begin
+                  let r = Guard.reply_of_outcome (outcome, steps) in
+                  if r <> c then
+                    fault
+                      (fun t -> { t with clean_mismatch = t.clean_mismatch + 1 })
+                      (Printf.sprintf
+                         "no fault fired yet reply differs: %s (%d steps) vs \
+                          clean %s (%d steps)"
+                         (show_response r.Mechanism.response)
+                         r.Mechanism.steps
+                         (show_response c.Mechanism.response)
+                         c.Mechanism.steps)
+                end)
+              clean
+          done)
+        (policies_of_arity g.Secpol_flowgraph.Graph.arity))
+    entries;
+  let totals = !totals in
+  {
+    base_seed;
+    seeds;
+    mode;
+    totals;
+    findings = List.rev !findings;
+    ok = totals.fail_open = 0 && totals.clean_mismatch = 0;
+  }
+
+let pp ppf r =
+  let t = r.totals in
+  Format.fprintf ppf "chaos sweep: %d fault plans (%d seeds from %d), mode %s@."
+    t.plans r.seeds r.base_seed
+    (Dynamic.mode_name r.mode);
+  Format.fprintf ppf "  guarded runs      %6d@." t.runs;
+  Format.fprintf ppf "  grants            %6d  (%d recovered after faults fired)@."
+    t.grants t.recovered;
+  Format.fprintf ppf "  notices           %6d@." t.notices;
+  Format.fprintf ppf "  degraded          %6d@." t.degraded;
+  Format.fprintf ppf "  unguarded crashes %6d  (absorbed into F by the guard)@."
+    t.unguarded_failures;
+  Format.fprintf ppf "  fail-open         %6d@." t.fail_open;
+  Format.fprintf ppf "  clean mismatches  %6d@." t.clean_mismatch;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  ! %s / %s / seed %d / %s: %s@." f.entry f.policy
+        f.seed f.input f.detail)
+    r.findings;
+  Format.fprintf ppf "verdict: %s@."
+    (if r.ok then "fail-secure (no fail-open outcome, clean runs bit-identical)"
+     else "FAIL-OPEN OR DIVERGENCE FROM CLEAN RUNS DETECTED")
+
+let to_json r =
+  let t = r.totals in
+  Json.Obj
+    [
+      ("base_seed", Json.Int r.base_seed);
+      ("seeds", Json.Int r.seeds);
+      ("mode", Json.String (Dynamic.mode_name r.mode));
+      ( "totals",
+        Json.Obj
+          [
+            ("runs", Json.Int t.runs);
+            ("plans", Json.Int t.plans);
+            ("grants", Json.Int t.grants);
+            ("recovered", Json.Int t.recovered);
+            ("notices", Json.Int t.notices);
+            ("degraded", Json.Int t.degraded);
+            ("fail_open", Json.Int t.fail_open);
+            ("clean_mismatch", Json.Int t.clean_mismatch);
+            ("unguarded_failures", Json.Int t.unguarded_failures);
+          ] );
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("entry", Json.String f.entry);
+                   ("policy", Json.String f.policy);
+                   ("seed", Json.Int f.seed);
+                   ("input", Json.String f.input);
+                   ("detail", Json.String f.detail);
+                 ])
+             r.findings) );
+      ("ok", Json.Bool r.ok);
+    ]
+
+let to_json_string r = Json.render (to_json r)

@@ -1,0 +1,73 @@
+(** Differential chaos sweep: fail-open hunting over the whole corpus.
+
+    For every paper program, every [allow(J)] policy over its inputs and
+    every seed in a range, the sweep generates a fault {!Plan}, runs the
+    surveillance monitor under the {!Guard} with the plan injected, and
+    compares each reply against the clean (unfaulted) monitor on the same
+    input. The invariant hunted for is {b zero fail-open outcomes}:
+
+    - a guarded faulty run may grant {e only} the value the clean monitor
+      grants on that input — any other grant is a fail-open breach;
+    - a run whose fault points never fired must be {b bit-identical}
+      (response and step count) to the clean run — injection is free when
+      inactive;
+    - everything else must surface as a violation notice ([Notice] or
+      [Degraded]), never as a raw crash or hang.
+
+    As a contrast, each faulty mechanism is also run {e unguarded} and its
+    raw [Failed]/[Hung] replies counted — the failures the guard absorbs
+    into [F]. *)
+
+type totals = {
+  runs : int;  (** guarded faulty runs classified *)
+  plans : int;  (** (entry, policy, seed) triples swept *)
+  grants : int;  (** guarded grants, all equal to the clean grant *)
+  recovered : int;  (** grants on runs where at least one fault fired *)
+  notices : int;
+  degraded : int;
+  fail_open : int;  (** guarded grants differing from the clean reply *)
+  clean_mismatch : int;
+      (** fault-free runs (no point fired, or guard with no injector) that
+          were not bit-identical to the clean monitor *)
+  unguarded_failures : int;
+      (** raw [Failed]/[Hung] replies of the same faulty mechanisms run
+          without the guard — what users would see without it *)
+}
+
+type finding = {
+  entry : string;
+  policy : string;
+  seed : int;
+  input : string;
+  detail : string;
+}
+
+type report = {
+  base_seed : int;
+  seeds : int;
+  mode : Secpol_taint.Dynamic.mode;
+  totals : totals;
+  findings : finding list;  (** capped at {!max_findings} *)
+  ok : bool;  (** [fail_open = 0 && clean_mismatch = 0] *)
+}
+
+val max_findings : int
+
+val run :
+  ?entries:Secpol_corpus.Paper_programs.entry list ->
+  ?mode:Secpol_taint.Dynamic.mode ->
+  ?seeds:int ->
+  ?base_seed:int ->
+  ?horizon:int ->
+  ?retries:int ->
+  unit ->
+  report
+(** Defaults: the whole corpus, [Surveillance] monitors, 100 seeds from
+    base seed 0, fault-step horizon 24, 2 retries. Policies are {e all}
+    [2^arity] subsets of each entry's inputs. *)
+
+val pp : Format.formatter -> report -> unit
+
+val to_json : report -> Secpol_staticflow.Lint.Json.value
+
+val to_json_string : report -> string

@@ -1,4 +1,14 @@
-exception Runtime_fault of string
+type eval_error =
+  | Division_by_zero
+  | Modulus_by_zero
+  | Unbound_input of int
+
+let error_message = function
+  | Division_by_zero -> "division by zero"
+  | Modulus_by_zero -> "modulus by zero"
+  | Unbound_input i -> Printf.sprintf "unbound input variable x%d" i
+
+exception Runtime_fault of eval_error
 
 type t =
   | Const of int
@@ -33,10 +43,10 @@ let rec eval env = function
   | Mul (a, b) -> eval env a * eval env b
   | Div (a, b) ->
       let d = eval env b in
-      if d = 0 then raise (Runtime_fault "division by zero") else eval env a / d
+      if d = 0 then raise (Runtime_fault Division_by_zero) else eval env a / d
   | Mod (a, b) ->
       let d = eval env b in
-      if d = 0 then raise (Runtime_fault "modulus by zero") else eval env a mod d
+      if d = 0 then raise (Runtime_fault Modulus_by_zero) else eval env a mod d
   | Bor (a, b) -> eval env a lor eval env b
   | Band (a, b) -> eval env a land eval env b
   | Bnot a -> lnot (eval env a)
@@ -99,12 +109,12 @@ let rec eval_cost model env e =
   | Div (a, b) ->
       let va, ca = eval_cost model env a in
       let vb, cb = eval_cost model env b in
-      if vb = 0 then raise (Runtime_fault "division by zero")
+      if vb = 0 then raise (Runtime_fault Division_by_zero)
       else (va / vb, ca + cb + long_op_cost model va vb)
   | Mod (a, b) ->
       let va, ca = eval_cost model env a in
       let vb, cb = eval_cost model env b in
-      if vb = 0 then raise (Runtime_fault "modulus by zero")
+      if vb = 0 then raise (Runtime_fault Modulus_by_zero)
       else (va mod vb, ca + cb + long_op_cost model va vb)
   | Bor (a, b) ->
       let va, ca = eval_cost model env a in

@@ -13,8 +13,24 @@
       making it the target of the paper's if-then-else transform: control
       dependence on [p] becomes data dependence. *)
 
-exception Runtime_fault of string
-(** Raised by {!eval} / {!eval_pred} on division or modulus by zero. *)
+(** The ways expression evaluation can go wrong at run time. A typed error
+    instead of a bare [failwith]: the interpreters catch {!Runtime_fault}
+    and turn it into a fault {e outcome}, and the fail-secure supervisor
+    ([Secpol_fault.Guard]) maps that outcome to a [Degraded] violation
+    notice — so no input can crash a monitor or the CLI. *)
+type eval_error =
+  | Division_by_zero
+  | Modulus_by_zero
+  | Unbound_input of int
+      (** The expression names an input variable at an index outside the
+          program's arity (raised by [Store] on lookup). *)
+
+val error_message : eval_error -> string
+
+exception Runtime_fault of eval_error
+(** Raised by {!eval} / {!eval_pred} on division or modulus by zero, and by
+    [Store] on an out-of-range input variable. Never escapes the
+    interpreters. *)
 
 type t =
   | Const of int

@@ -1,0 +1,5 @@
+type action = Crash of string | Corrupt | Starve
+
+type t = step:int -> action option
+
+let none : t = fun ~step:_ -> None

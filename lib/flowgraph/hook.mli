@@ -1,0 +1,44 @@
+(** Fault-injection hooks for the interpreters.
+
+    A protection mechanism, per the paper's definition, returns on every
+    input either [Q]'s output or a violation notice — there is no third
+    "the monitor crashed" outcome. The executable monitors in this
+    reproduction are real programs, so they {e can} crash, hang, or have
+    their state corrupted; the fail-secure runtime ({!Secpol_fault.Guard})
+    exists to collapse every such failure back into the notice set [F].
+
+    To test that collapse, both interpreters accept a hook consulted once
+    per executed box with the current step count. The hook decides whether
+    a fault strikes at that step and, if so, which kind. Hooks are pure
+    observation points: [None] means the step proceeds untouched, and the
+    default hook {!none} never fires, so an un-hooked run and a run with
+    {!none} are bit-identical.
+
+    The deterministic seeded implementation lives in
+    [Secpol_fault.Injector]; keeping the {e type} here lets the
+    interpreters stay free of any dependency on the fault library. *)
+
+(** What strikes the interpreter at the chosen step. *)
+type action =
+  | Crash of string
+      (** The monitor process dies with an internal error. The interpreter
+          reports a fault outcome ([Program.Fault] / [Mechanism.Failed])
+          tagged with the message — it never lets an exception escape. *)
+  | Corrupt
+      (** Monitor state is silently damaged. The taint interpreter flips a
+          bit of one surveillance variable in its primary store; its
+          redundant shadow copy detects the discrepancy before the state is
+          next read and aborts with a fault. The plain interpreter has no
+          redundant state, so it reports the corruption as a detected
+          fault directly. *)
+  | Starve
+      (** The step budget collapses: the run behaves as if fuel were
+          exhausted at this step (divergence for the plain interpreter, a
+          fuel-watchdog violation notice for the monitors). *)
+
+type t = step:int -> action option
+(** [hook ~step] is consulted before each assignment, decision, or halt
+    box executes, with the number of steps consumed so far. *)
+
+val none : t
+(** Never fires. *)

@@ -3,86 +3,122 @@ module Value = Secpol_core.Value
 
 let default_fuel = 100_000
 let violation_prefix = "violation:"
+let monitor_fault_prefix = "monitor fault: "
 
 let finish result steps = { Program.result; steps }
 
-let run_graph ?(fuel = default_fuel) ?(cost = Expr.Uniform) g inputs =
+let arity_fault what name ~expected ~got =
+  finish
+    (Program.Fault
+       (Printf.sprintf "%s %s: expected %d inputs, got %d" what name expected
+          got))
+    0
+
+(* What an injected fault does to a plain (un-monitored) run. The plain
+   interpreter has no redundant state, so Corrupt is reported as a
+   detected corruption fault; Starve collapses the remaining fuel. *)
+let plain_fault = function
+  | Hook.Crash m -> finish (Program.Fault (monitor_fault_prefix ^ m))
+  | Hook.Corrupt ->
+      finish (Program.Fault (monitor_fault_prefix ^ "state corruption detected"))
+  | Hook.Starve -> finish Program.Diverged
+
+let run_graph ?(fuel = default_fuel) ?(cost = Expr.Uniform)
+    ?(hook = Hook.none) g inputs =
   if Array.length inputs <> g.Graph.arity then
-    invalid_arg
-      (Printf.sprintf "run_graph %s: expected %d inputs, got %d" g.Graph.name
-         g.Graph.arity (Array.length inputs));
-  match Store.of_values ~inputs ~max_reg:(Graph.max_reg g) with
-  | exception Invalid_argument m -> finish (Program.Fault m) 0
-  | store -> (
-      let env = Store.lookup store in
-      let last_steps = ref 0 in
-      let rec go node steps =
-        last_steps := steps;
-        match g.Graph.nodes.(node) with
-        | Graph.Start next -> go next steps
-        | Graph.Assign (v, e, next) ->
-            if steps >= fuel then finish Program.Diverged steps
-            else begin
-              let value, extra = Expr.eval_cost cost env e in
-              Store.set store v value;
-              go next (steps + 1 + extra)
-            end
-        | Graph.Decision (p, if_true, if_false) ->
-            if steps >= fuel then finish Program.Diverged steps
-            else begin
-              let taken, extra = Expr.eval_pred_cost cost env p in
-              go (if taken then if_true else if_false) (steps + 1 + extra)
-            end
-        | Graph.Halt ->
-            finish (Program.Value (Value.Int (Store.output store))) steps
-        | Graph.Halt_violation notice ->
-            finish (Program.Fault (violation_prefix ^ notice)) steps
-      in
-      try go g.Graph.entry 0
-      with Expr.Runtime_fault m -> finish (Program.Fault m) !last_steps)
+    arity_fault "run_graph" g.Graph.name ~expected:g.Graph.arity
+      ~got:(Array.length inputs)
+  else
+    match Store.of_values ~inputs ~max_reg:(Graph.max_reg g) with
+    | exception Invalid_argument m -> finish (Program.Fault m) 0
+    | store -> (
+        let env = Store.lookup store in
+        let last_steps = ref 0 in
+        let rec go node steps =
+          last_steps := steps;
+          match g.Graph.nodes.(node) with
+          | Graph.Start next -> go next steps
+          | Graph.Assign (v, e, next) -> (
+              match hook ~step:steps with
+              | Some a -> plain_fault a steps
+              | None ->
+                  if steps >= fuel then finish Program.Diverged steps
+                  else begin
+                    let value, extra = Expr.eval_cost cost env e in
+                    Store.set store v value;
+                    go next (steps + 1 + extra)
+                  end)
+          | Graph.Decision (p, if_true, if_false) -> (
+              match hook ~step:steps with
+              | Some a -> plain_fault a steps
+              | None ->
+                  if steps >= fuel then finish Program.Diverged steps
+                  else begin
+                    let taken, extra = Expr.eval_pred_cost cost env p in
+                    go (if taken then if_true else if_false) (steps + 1 + extra)
+                  end)
+          | Graph.Halt -> (
+              match hook ~step:steps with
+              | Some a -> plain_fault a steps
+              | None ->
+                  finish (Program.Value (Value.Int (Store.output store))) steps)
+          | Graph.Halt_violation notice ->
+              finish (Program.Fault (violation_prefix ^ notice)) steps
+        in
+        try go g.Graph.entry 0
+        with Expr.Runtime_fault e ->
+          finish (Program.Fault (Expr.error_message e)) !last_steps)
 
-let run_ast ?(fuel = default_fuel) ?(cost = Expr.Uniform) (p : Ast.prog) inputs =
+let run_ast ?(fuel = default_fuel) ?(cost = Expr.Uniform) ?(hook = Hook.none)
+    (p : Ast.prog) inputs =
   if Array.length inputs <> p.Ast.arity then
-    invalid_arg
-      (Printf.sprintf "run_ast %s: expected %d inputs, got %d" p.Ast.name
-         p.Ast.arity (Array.length inputs));
-  match Store.of_values ~inputs ~max_reg:0 with
-  | exception Invalid_argument m -> finish (Program.Fault m) 0
-  | store -> (
-      let env = Store.lookup store in
-      let exception Out_of_fuel of int in
-      let steps = ref 0 in
-      let tick extra =
-        steps := !steps + 1 + extra;
-        if !steps > fuel then raise (Out_of_fuel !steps)
-      in
-      let rec exec = function
-        | Ast.Skip -> ()
-        | Ast.Assign (v, e) ->
-            let value, extra = Expr.eval_cost cost env e in
-            tick extra;
-            Store.set store v value
-        | Ast.Seq l -> List.iter exec l
-        | Ast.If (p, a, b) ->
-            let taken, extra = Expr.eval_pred_cost cost env p in
-            tick extra;
-            if taken then exec a else exec b
-        | Ast.While (p, body) as loop ->
-            let taken, extra = Expr.eval_pred_cost cost env p in
-            tick extra;
-            if taken then begin
-              exec body;
-              exec loop
-            end
-        | Ast.At (_, s) -> exec s
-      in
-      match exec p.Ast.body with
-      | () -> finish (Program.Value (Value.Int (Store.output store))) !steps
-      | exception Out_of_fuel s -> finish Program.Diverged s
-      | exception Expr.Runtime_fault m -> finish (Program.Fault m) !steps)
+    arity_fault "run_ast" p.Ast.name ~expected:p.Ast.arity
+      ~got:(Array.length inputs)
+  else
+    match Store.of_values ~inputs ~max_reg:0 with
+    | exception Invalid_argument m -> finish (Program.Fault m) 0
+    | store -> (
+        let env = Store.lookup store in
+        let exception Out_of_fuel of int in
+        let exception Injected of Hook.action * int in
+        let steps = ref 0 in
+        let tick extra =
+          (match hook ~step:!steps with
+          | Some a -> raise (Injected (a, !steps))
+          | None -> ());
+          steps := !steps + 1 + extra;
+          if !steps > fuel then raise (Out_of_fuel !steps)
+        in
+        let rec exec = function
+          | Ast.Skip -> ()
+          | Ast.Assign (v, e) ->
+              let value, extra = Expr.eval_cost cost env e in
+              tick extra;
+              Store.set store v value
+          | Ast.Seq l -> List.iter exec l
+          | Ast.If (p, a, b) ->
+              let taken, extra = Expr.eval_pred_cost cost env p in
+              tick extra;
+              if taken then exec a else exec b
+          | Ast.While (p, body) as loop ->
+              let taken, extra = Expr.eval_pred_cost cost env p in
+              tick extra;
+              if taken then begin
+                exec body;
+                exec loop
+              end
+          | Ast.At (_, s) -> exec s
+        in
+        match exec p.Ast.body with
+        | () -> finish (Program.Value (Value.Int (Store.output store))) !steps
+        | exception Out_of_fuel s -> finish Program.Diverged s
+        | exception Injected (a, s) -> plain_fault a s
+        | exception Expr.Runtime_fault e ->
+            finish (Program.Fault (Expr.error_message e)) !steps)
 
-let graph_program ?fuel ?cost g =
-  Program.make ~name:g.Graph.name ~arity:g.Graph.arity (run_graph ?fuel ?cost g)
+let graph_program ?fuel ?cost ?hook g =
+  Program.make ~name:g.Graph.name ~arity:g.Graph.arity
+    (run_graph ?fuel ?cost ?hook g)
 
 let reply_of_outcome (o : Program.outcome) =
   let module Mechanism = Secpol_core.Mechanism in
@@ -100,9 +136,9 @@ let reply_of_outcome (o : Program.outcome) =
   in
   { Mechanism.response; steps = o.Program.steps }
 
-let graph_mechanism ?fuel g =
+let graph_mechanism ?fuel ?hook g =
   Secpol_core.Mechanism.make ~name:g.Graph.name ~arity:g.Graph.arity (fun a ->
-      reply_of_outcome (run_graph ?fuel g a))
+      reply_of_outcome (run_graph ?fuel ?hook g a))
 
-let ast_program ?fuel ?cost (p : Ast.prog) =
-  Program.make ~name:p.Ast.name ~arity:p.Ast.arity (run_ast ?fuel ?cost p)
+let ast_program ?fuel ?cost ?hook (p : Ast.prog) =
+  Program.make ~name:p.Ast.name ~arity:p.Ast.arity (run_ast ?fuel ?cost ?hook p)

@@ -8,7 +8,13 @@
 
     Both interpreters — over flowchart graphs and directly over structured
     ASTs — use the same cost model, and the compiler introduces no extra
-    boxes, so the two agree on (value, steps) pointwise. *)
+    boxes, so the two agree on (value, steps) pointwise.
+
+    Both accept a fault-injection {!Hook.t} (default {!Hook.none}, which
+    leaves runs bit-identical to un-hooked ones) and are {e total}: every
+    failure — arity mismatch, division by zero, an out-of-range input
+    variable, an injected crash — is returned as a [Fault] outcome, never
+    raised. No input can crash a caller. *)
 
 val default_fuel : int
 (** 100_000 steps. *)
@@ -16,6 +22,7 @@ val default_fuel : int
 val run_graph :
   ?fuel:int ->
   ?cost:Expr.cost_model ->
+  ?hook:Hook.t ->
   Graph.t ->
   Secpol_core.Value.t array ->
   Secpol_core.Program.outcome
@@ -27,15 +34,23 @@ val run_graph :
 val run_ast :
   ?fuel:int ->
   ?cost:Expr.cost_model ->
+  ?hook:Hook.t ->
   Ast.prog ->
   Secpol_core.Value.t array ->
   Secpol_core.Program.outcome
 (** Execute a structured program directly. *)
 
-val graph_program : ?fuel:int -> ?cost:Expr.cost_model -> Graph.t -> Secpol_core.Program.t
+val graph_program :
+  ?fuel:int -> ?cost:Expr.cost_model -> ?hook:Hook.t -> Graph.t -> Secpol_core.Program.t
 (** Package a flowchart as an extensional program. *)
 
-val ast_program : ?fuel:int -> ?cost:Expr.cost_model -> Ast.prog -> Secpol_core.Program.t
+val ast_program :
+  ?fuel:int -> ?cost:Expr.cost_model -> ?hook:Hook.t -> Ast.prog -> Secpol_core.Program.t
+
+val monitor_fault_prefix : string
+(** Prefix of [Fault] messages that report an injected or detected failure
+    of the machinery itself (as opposed to a fault of the interpreted
+    program, like division by zero). *)
 
 val violation_prefix : string
 (** Prefix of the [Fault] message used to smuggle a [Halt_violation] notice
@@ -46,6 +61,6 @@ val reply_of_outcome : Secpol_core.Program.outcome -> Secpol_core.Mechanism.repl
     faults (from [Halt_violation] boxes) deny with their notice, other
     faults fail, divergence hangs. *)
 
-val graph_mechanism : ?fuel:int -> Graph.t -> Secpol_core.Mechanism.t
+val graph_mechanism : ?fuel:int -> ?hook:Hook.t -> Graph.t -> Secpol_core.Mechanism.t
 (** Package a flowchart that {e is} a mechanism (it may contain violation
     halts) as a {!Secpol_core.Mechanism.t}. *)

@@ -19,8 +19,17 @@ let ensure st i =
     st.regs <- bigger
   end
 
+(* A program may name an input variable beyond its own arity (nothing in
+   the AST prevents it); that must surface as a typed runtime fault the
+   interpreters catch, never as an array bounds crash. *)
+let checked_input st i =
+  if i < 0 || i >= Array.length st.inputs then
+    raise (Expr.Runtime_fault (Expr.Unbound_input i))
+
 let get st = function
-  | Var.Input i -> st.inputs.(i)
+  | Var.Input i ->
+      checked_input st i;
+      st.inputs.(i)
   | Var.Reg i ->
       ensure st i;
       st.regs.(i)
@@ -28,7 +37,9 @@ let get st = function
 
 let set st v n =
   match v with
-  | Var.Input i -> st.inputs.(i) <- n
+  | Var.Input i ->
+      checked_input st i;
+      st.inputs.(i) <- n
   | Var.Reg i ->
       ensure st i;
       st.regs.(i) <- n

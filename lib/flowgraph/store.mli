@@ -14,7 +14,12 @@ val of_values : inputs:Secpol_core.Value.t array -> max_reg:int -> t
     the integers). *)
 
 val get : t -> Var.t -> int
+(** @raise Expr.Runtime_fault ([Unbound_input]) when an input variable's
+    index lies outside the store's arity — a typed fault the interpreters
+    catch, rather than an array bounds crash. *)
+
 val set : t -> Var.t -> int -> unit
+(** Same out-of-range discipline as {!get}. *)
 
 val lookup : t -> Var.t -> int
 (** Same as {!get}; shaped for use as an {!Expr.eval} environment. *)

@@ -41,6 +41,13 @@ module Transforms = Secpol_transform.Transforms
 module Graph_ite = Secpol_transform.Graph_ite
 module Search = Secpol_transform.Search
 
+(* The fail-secure runtime: fault plans, injection, supervision. *)
+module Hook = Secpol_flowgraph.Hook
+module Fault_plan = Secpol_fault.Plan
+module Injector = Secpol_fault.Injector
+module Guard = Secpol_fault.Guard
+module Chaos = Secpol_fault.Sweep
+
 (* Measurement. *)
 module Partition = Secpol_probe.Partition
 module Leakage = Secpol_probe.Leakage

@@ -7,6 +7,7 @@ module Var = Secpol_flowgraph.Var
 module Expr = Secpol_flowgraph.Expr
 module Store = Secpol_flowgraph.Store
 module Interp = Secpol_flowgraph.Interp
+module Hook = Secpol_flowgraph.Hook
 module Graphalgo = Secpol_flowgraph.Graphalgo
 
 type mode = High_water | Surveillance | Scoped | Timed
@@ -25,14 +26,17 @@ type config = {
   fuel : int;
   cost : Expr.cost_model;
   chatty_notices : bool;
+  hook : Hook.t;
 }
 
 let notice = "\xce\x9b" (* Λ *)
+let fuel_notice = notice ^ "/fuel"
+let corruption_fault = Interp.monitor_fault_prefix ^ "surveillance state corrupted"
 
 let config ?(fuel = Interp.default_fuel) ?(cost = Expr.Uniform)
-    ?(chatty_notices = false) ~mode policy =
+    ?(chatty_notices = false) ?(hook = Hook.none) ~mode policy =
   match Policy.allowed_indices policy with
-  | Some allowed -> { mode; allowed; fuel; cost; chatty_notices }
+  | Some allowed -> { mode; allowed; fuel; cost; chatty_notices; hook }
   | None ->
       invalid_arg
         (Printf.sprintf
@@ -40,12 +44,23 @@ let config ?(fuel = Interp.default_fuel) ?(cost = Expr.Uniform)
             got %s"
            (Policy.name policy))
 
-(* Taint store: one surveillance variable per program variable. *)
+(* Taint store: one surveillance variable per program variable, kept in TWO
+   copies. [set] writes both; reads come from the primary. An injected
+   Corrupt fault damages only the primary, so the copies disagree — and the
+   monitor cross-checks them before every read of taint state ([verify]),
+   turning silent corruption into a detected monitor fault. The discipline
+   matters: were a corrupted taint ever read, it could propagate through an
+   assignment into BOTH copies of the target's surveillance variable and
+   become undetectable — an unsound "healed" state that might later grant a
+   disallowed output. *)
 module Taint_store = struct
   type t = {
     inputs : Iset.t array;
     mutable regs : Iset.t array;
     mutable out : Iset.t;
+    shadow_inputs : Iset.t array;
+    mutable shadow_regs : Iset.t array;
+    mutable shadow_out : Iset.t;
   }
 
   let create ~arity ~max_reg =
@@ -53,13 +68,20 @@ module Taint_store = struct
       inputs = Array.init arity Iset.singleton;
       regs = Array.make (max 1 (max_reg + 1)) Iset.empty;
       out = Iset.empty;
+      shadow_inputs = Array.init arity Iset.singleton;
+      shadow_regs = Array.make (max 1 (max_reg + 1)) Iset.empty;
+      shadow_out = Iset.empty;
     }
+
+  let grow a i =
+    let bigger = Array.make (max (i + 1) (2 * Array.length a)) Iset.empty in
+    Array.blit a 0 bigger 0 (Array.length a);
+    bigger
 
   let ensure st i =
     if i >= Array.length st.regs then begin
-      let bigger = Array.make (max (i + 1) (2 * Array.length st.regs)) Iset.empty in
-      Array.blit st.regs 0 bigger 0 (Array.length st.regs);
-      st.regs <- bigger
+      st.regs <- grow st.regs i;
+      st.shadow_regs <- grow st.shadow_regs i
     end
 
   let get st = function
@@ -71,14 +93,42 @@ module Taint_store = struct
 
   let set st v l =
     match v with
-    | Var.Input i -> st.inputs.(i) <- l
+    | Var.Input i ->
+        st.inputs.(i) <- l;
+        st.shadow_inputs.(i) <- l
     | Var.Reg i ->
         ensure st i;
-        st.regs.(i) <- l
-    | Var.Out -> st.out <- l
+        st.regs.(i) <- l;
+        st.shadow_regs.(i) <- l
+    | Var.Out ->
+        st.out <- l;
+        st.shadow_out <- l
 
   let of_vars st vs =
     Var.Set.fold (fun v acc -> Iset.union (get st v) acc) vs Iset.empty
+
+  (* Deterministically pick a surveillance variable and flip one bit of its
+     PRIMARY copy only — the injected hardware fault. *)
+  let corrupt st ~step =
+    let nregs = Array.length st.regs in
+    let nvars = Array.length st.inputs + nregs + 1 in
+    let slot = abs step mod nvars in
+    let bit = abs (step / nvars) mod 4 in
+    let flip l = if Iset.mem bit l then Iset.remove bit l else Iset.add bit l in
+    if slot < Array.length st.inputs then st.inputs.(slot) <- flip st.inputs.(slot)
+    else if slot < Array.length st.inputs + nregs then
+      st.regs.(slot - Array.length st.inputs) <-
+        flip st.regs.(slot - Array.length st.inputs)
+    else st.out <- flip st.out
+
+  let consistent st =
+    let eq a b =
+      let n = Array.length a in
+      let rec go i = i >= n || (Iset.equal a.(i) b.(i) && go (i + 1)) in
+      go 0
+    in
+    eq st.inputs st.shadow_inputs && eq st.regs st.shadow_regs
+    && Iset.equal st.out st.shadow_out
 end
 
 let reply response steps = { Mechanism.response; steps }
@@ -92,86 +142,133 @@ let denied cfg ~taint steps =
   in
   reply (Mechanism.Denied text) steps
 
+(* Fuel exhaustion is a WATCHDOG trip, not a hang: the monitor stays a total
+   function into E u F by reporting a distinguished violation notice. *)
+let out_of_fuel steps = reply (Mechanism.Denied fuel_notice) steps
+
 let run cfg g inputs =
   if Array.length inputs <> g.Graph.arity then
-    invalid_arg
-      (Printf.sprintf "Dynamic.run %s: expected %d inputs, got %d" g.Graph.name
-         g.Graph.arity (Array.length inputs));
-  let max_reg = Graph.max_reg g in
-  match Store.of_values ~inputs ~max_reg with
-  | exception Invalid_argument m -> reply (Mechanism.Failed m) 0
-  | store ->
-      let taints = Taint_store.create ~arity:g.Graph.arity ~max_reg in
-      let env = Store.lookup store in
-      let ipd =
-        match cfg.mode with
-        | Scoped -> Graphalgo.immediate_postdominator g
-        | High_water | Surveillance | Timed -> [||]
-      in
-      (* Scoped mode: frames of (saved C̄, node at which to restore it). *)
-      let frames : (Iset.t * int) list ref = ref [] in
-      let pc = ref Iset.empty in
-      let restore_at node =
-        let rec pop () =
-          match !frames with
-          | (saved, at) :: rest when at = node ->
-              pc := saved;
-              frames := rest;
-              pop ()
-          | _ -> ()
+    reply
+      (Mechanism.Failed
+         (Printf.sprintf "Dynamic.run %s: expected %d inputs, got %d"
+            g.Graph.name g.Graph.arity (Array.length inputs)))
+      0
+  else
+    match Store.of_values ~inputs ~max_reg:(Graph.max_reg g) with
+    | exception Invalid_argument m -> reply (Mechanism.Failed m) 0
+    | store ->
+        let max_reg = Graph.max_reg g in
+        let taints = Taint_store.create ~arity:g.Graph.arity ~max_reg in
+        let env = Store.lookup store in
+        let ipd =
+          match cfg.mode with
+          | Scoped -> Graphalgo.immediate_postdominator g
+          | High_water | Surveillance | Timed -> [||]
         in
-        pop ()
-      in
-      let last_steps = ref 0 in
-      let ok l = Iset.subset l cfg.allowed in
-      let rec go node steps =
-        last_steps := steps;
-        if cfg.mode = Scoped then restore_at node;
-        match g.Graph.nodes.(node) with
-        | Graph.Start next -> go next steps
-        | Graph.Assign (v, e, next) ->
-            if steps >= cfg.fuel then reply Mechanism.Hung steps
-            else begin
-              let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
-              let base = Iset.union rhs_taint !pc in
-              let taint =
-                match cfg.mode with
-                | High_water -> Iset.union (Taint_store.get taints v) base
-                | Surveillance | Scoped | Timed -> base
-              in
-              let value, extra = Expr.eval_cost cfg.cost env e in
-              Store.set store v value;
-              Taint_store.set taints v taint;
-              go next (steps + 1 + extra)
-            end
-        | Graph.Decision (p, if_true, if_false) ->
-            if steps >= cfg.fuel then reply Mechanism.Hung steps
-            else begin
-              let test_taint = Taint_store.of_vars taints (Expr.pred_vars p) in
-              match cfg.mode with
-              | Timed when not (ok (Iset.union test_taint !pc)) ->
-                  (* Rule of Theorem 3': abort before the disallowed test. *)
-                  denied cfg ~taint:(Iset.union test_taint !pc) steps
-              | High_water | Surveillance | Timed ->
-                  pc := Iset.union !pc test_taint;
-                  let taken, extra = Expr.eval_pred_cost cfg.cost env p in
-                  go (if taken then if_true else if_false) (steps + 1 + extra)
-              | Scoped ->
-                  (if ipd.(node) >= 0 then
-                     frames := (!pc, ipd.(node)) :: !frames);
-                  pc := Iset.union !pc test_taint;
-                  let taken, extra = Expr.eval_pred_cost cfg.cost env p in
-                  go (if taken then if_true else if_false) (steps + 1 + extra)
-            end
-        | Graph.Halt ->
-            let out_taint = Iset.union (Taint_store.get taints Var.Out) !pc in
-            if ok out_taint then
-              reply (Mechanism.Granted (Value.Int (Store.output store))) steps
-            else denied cfg ~taint:out_taint steps
-        | Graph.Halt_violation n -> reply (Mechanism.Denied n) steps
-      in
-      (try go g.Graph.entry 0
-       with Expr.Runtime_fault m -> reply (Mechanism.Failed m) !last_steps)
+        (* Scoped mode: frames of (saved C̄, node at which to restore it). *)
+        let frames : (Iset.t * int) list ref = ref [] in
+        let pc = ref Iset.empty in
+        let restore_at node =
+          let rec pop () =
+            match !frames with
+            | (saved, at) :: rest when at = node ->
+                pc := saved;
+                frames := rest;
+                pop ()
+            | _ -> ()
+          in
+          pop ()
+        in
+        let last_steps = ref 0 in
+        let ok l = Iset.subset l cfg.allowed in
+        (* Consult the fault hook, then cross-check the redundant taint
+           store BEFORE any surveillance variable is read at this box. The
+           result is the fail-secure path to take instead of the box's
+           normal behavior, if any. *)
+        let stricken steps =
+          let injected =
+            match cfg.hook ~step:steps with
+            | Some (Hook.Crash m) ->
+                Some (reply (Mechanism.Failed (Interp.monitor_fault_prefix ^ m)) steps)
+            | Some Hook.Starve -> Some (out_of_fuel steps)
+            | Some Hook.Corrupt ->
+                Taint_store.corrupt taints ~step:steps;
+                None
+            | None -> None
+          in
+          match injected with
+          | Some _ as r -> r
+          | None ->
+              if Taint_store.consistent taints then None
+              else Some (reply (Mechanism.Failed corruption_fault) steps)
+        in
+        let rec go node steps =
+          last_steps := steps;
+          if cfg.mode = Scoped then restore_at node;
+          match g.Graph.nodes.(node) with
+          | Graph.Start next -> go next steps
+          | Graph.Assign (v, e, next) -> (
+              match stricken steps with
+              | Some r -> r
+              | None ->
+                  if steps >= cfg.fuel then out_of_fuel steps
+                  else begin
+                    let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
+                    let base = Iset.union rhs_taint !pc in
+                    let taint =
+                      match cfg.mode with
+                      | High_water -> Iset.union (Taint_store.get taints v) base
+                      | Surveillance | Scoped | Timed -> base
+                    in
+                    let value, extra = Expr.eval_cost cfg.cost env e in
+                    Store.set store v value;
+                    Taint_store.set taints v taint;
+                    go next (steps + 1 + extra)
+                  end)
+          | Graph.Decision (p, if_true, if_false) -> (
+              match stricken steps with
+              | Some r -> r
+              | None ->
+                  if steps >= cfg.fuel then out_of_fuel steps
+                  else begin
+                    let test_taint =
+                      Taint_store.of_vars taints (Expr.pred_vars p)
+                    in
+                    match cfg.mode with
+                    | Timed when not (ok (Iset.union test_taint !pc)) ->
+                        (* Rule of Theorem 3': abort before the disallowed
+                           test. *)
+                        denied cfg ~taint:(Iset.union test_taint !pc) steps
+                    | High_water | Surveillance | Timed ->
+                        pc := Iset.union !pc test_taint;
+                        let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                        go (if taken then if_true else if_false)
+                          (steps + 1 + extra)
+                    | Scoped ->
+                        (if ipd.(node) >= 0 then
+                           frames := (!pc, ipd.(node)) :: !frames);
+                        pc := Iset.union !pc test_taint;
+                        let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                        go (if taken then if_true else if_false)
+                          (steps + 1 + extra)
+                  end)
+          | Graph.Halt -> (
+              match stricken steps with
+              | Some r -> r
+              | None ->
+                  let out_taint =
+                    Iset.union (Taint_store.get taints Var.Out) !pc
+                  in
+                  if ok out_taint then
+                    reply
+                      (Mechanism.Granted (Value.Int (Store.output store)))
+                      steps
+                  else denied cfg ~taint:out_taint steps)
+          | Graph.Halt_violation n -> reply (Mechanism.Denied n) steps
+        in
+        (try go g.Graph.entry 0
+         with Expr.Runtime_fault e ->
+           reply (Mechanism.Failed (Expr.error_message e)) !last_steps)
 
 (* Observer variant for the static-soundness cross-check: track taint with
    Scoped semantics (pc restored at the immediate postdominator — the
@@ -179,55 +276,57 @@ let run cfg g inputs =
    but enforce nothing, and report the taint the halt-box check would see. *)
 let out_taint ?(fuel = Interp.default_fuel) g inputs =
   if Array.length inputs <> g.Graph.arity then
-    invalid_arg
+    Error
       (Printf.sprintf "Dynamic.out_taint %s: expected %d inputs, got %d"
-         g.Graph.name g.Graph.arity (Array.length inputs));
-  let max_reg = Graph.max_reg g in
-  match Store.of_values ~inputs ~max_reg with
-  | exception Invalid_argument m -> Error m
-  | store ->
-      let taints = Taint_store.create ~arity:g.Graph.arity ~max_reg in
-      let env = Store.lookup store in
-      let ipd = Graphalgo.immediate_postdominator g in
-      let frames : (Iset.t * int) list ref = ref [] in
-      let pc = ref Iset.empty in
-      let restore_at node =
-        let rec pop () =
-          match !frames with
-          | (saved, at) :: rest when at = node ->
-              pc := saved;
-              frames := rest;
-              pop ()
-          | _ -> ()
+         g.Graph.name g.Graph.arity (Array.length inputs))
+  else
+    let max_reg = Graph.max_reg g in
+    match Store.of_values ~inputs ~max_reg with
+    | exception Invalid_argument m -> Error m
+    | store ->
+        let taints = Taint_store.create ~arity:g.Graph.arity ~max_reg in
+        let env = Store.lookup store in
+        let ipd = Graphalgo.immediate_postdominator g in
+        let frames : (Iset.t * int) list ref = ref [] in
+        let pc = ref Iset.empty in
+        let restore_at node =
+          let rec pop () =
+            match !frames with
+            | (saved, at) :: rest when at = node ->
+                pc := saved;
+                frames := rest;
+                pop ()
+            | _ -> ()
+          in
+          pop ()
         in
-        pop ()
-      in
-      let rec go node steps =
-        restore_at node;
-        match g.Graph.nodes.(node) with
-        | Graph.Start next -> go next steps
-        | Graph.Assign (v, e, next) ->
-            if steps >= fuel then Error "diverged"
-            else begin
-              let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
-              let value, extra = Expr.eval_cost Expr.Uniform env e in
-              Store.set store v value;
-              Taint_store.set taints v (Iset.union rhs_taint !pc);
-              go next (steps + 1 + extra)
-            end
-        | Graph.Decision (p, if_true, if_false) ->
-            if steps >= fuel then Error "diverged"
-            else begin
-              let test_taint = Taint_store.of_vars taints (Expr.pred_vars p) in
-              (if ipd.(node) >= 0 then frames := (!pc, ipd.(node)) :: !frames);
-              pc := Iset.union !pc test_taint;
-              let taken, extra = Expr.eval_pred_cost Expr.Uniform env p in
-              go (if taken then if_true else if_false) (steps + 1 + extra)
-            end
-        | Graph.Halt -> Ok (Iset.union (Taint_store.get taints Var.Out) !pc)
-        | Graph.Halt_violation n -> Error ("halted with violation notice " ^ n)
-      in
-      (try go g.Graph.entry 0 with Expr.Runtime_fault m -> Error m)
+        let rec go node steps =
+          restore_at node;
+          match g.Graph.nodes.(node) with
+          | Graph.Start next -> go next steps
+          | Graph.Assign (v, e, next) ->
+              if steps >= fuel then Error "diverged"
+              else begin
+                let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
+                let value, extra = Expr.eval_cost Expr.Uniform env e in
+                Store.set store v value;
+                Taint_store.set taints v (Iset.union rhs_taint !pc);
+                go next (steps + 1 + extra)
+              end
+          | Graph.Decision (p, if_true, if_false) ->
+              if steps >= fuel then Error "diverged"
+              else begin
+                let test_taint = Taint_store.of_vars taints (Expr.pred_vars p) in
+                (if ipd.(node) >= 0 then frames := (!pc, ipd.(node)) :: !frames);
+                pc := Iset.union !pc test_taint;
+                let taken, extra = Expr.eval_pred_cost Expr.Uniform env p in
+                go (if taken then if_true else if_false) (steps + 1 + extra)
+              end
+          | Graph.Halt -> Ok (Iset.union (Taint_store.get taints Var.Out) !pc)
+          | Graph.Halt_violation n -> Error ("halted with violation notice " ^ n)
+        in
+        (try go g.Graph.entry 0
+         with Expr.Runtime_fault e -> Error (Expr.error_message e))
 
 let mechanism cfg g =
   Mechanism.make
@@ -235,5 +334,5 @@ let mechanism cfg g =
     ~arity:g.Graph.arity
     (fun a -> run cfg g a)
 
-let mechanism_of ?fuel ?cost ~mode policy g =
-  mechanism (config ?fuel ?cost ~mode policy) g
+let mechanism_of ?fuel ?cost ?hook ~mode policy g =
+  mechanism (config ?fuel ?cost ?hook ~mode policy) g

@@ -44,6 +44,11 @@ type config = {
   mode : mode;
   allowed : Secpol_core.Iset.t;  (** the policy [allow(J)] being enforced *)
   fuel : int;
+      (** Explicit step budget for each monitored run — the watchdog that
+          makes the monitor a total function. Defaults to
+          {!Secpol_flowgraph.Interp.default_fuel} (100_000 steps); there is
+          no unbounded stepping. Exhaustion yields the violation notice
+          {!fuel_notice}, never a hang or an exception. *)
   cost : Secpol_flowgraph.Expr.cost_model;
       (** Theorem 3' assumes [Uniform]; under [Operand_sized] even the
           timed mechanism leaks through granted-run durations — the side
@@ -55,12 +60,22 @@ type config = {
           the path depends on disallowed values, so distinct notices can
           split a policy class: the tests exhibit the resulting
           unsoundness. Default false (the single notice Λ). *)
+  hook : Secpol_flowgraph.Hook.t;
+      (** Fault-injection point, consulted once per executed box (default
+          {!Secpol_flowgraph.Hook.none}, which leaves runs bit-identical).
+          An injected [Crash] becomes a [Failed] reply; [Starve] trips the
+          fuel watchdog; [Corrupt] flips a bit of one surveillance
+          variable's primary copy — the monitor keeps its taint state in
+          two copies and cross-checks them before every read, so the
+          damage surfaces as a [Failed] reply instead of silently
+          steering enforcement. *)
 }
 
 val config :
   ?fuel:int ->
   ?cost:Secpol_flowgraph.Expr.cost_model ->
   ?chatty_notices:bool ->
+  ?hook:Secpol_flowgraph.Hook.t ->
   mode:mode ->
   Secpol_core.Policy.t ->
   config
@@ -72,7 +87,11 @@ val run :
   config -> Graph.t -> Secpol_core.Value.t array -> Secpol_core.Mechanism.reply
 (** One monitored execution. Steps follow the same cost model as the plain
     interpreter (one per assignment or decision box), so timing-channel
-    experiments can compare monitored and unmonitored runs. *)
+    experiments can compare monitored and unmonitored runs.
+
+    [run] is total: a wrong-arity input vector, a non-integer input, a
+    runtime fault of the program or an injected fault of the monitor all
+    come back as [Failed] (or [Denied]) replies — it never raises. *)
 
 val mechanism : config -> Graph.t -> Secpol_core.Mechanism.t
 (** Package as a protection mechanism for the flowchart's program. *)
@@ -80,6 +99,7 @@ val mechanism : config -> Graph.t -> Secpol_core.Mechanism.t
 val mechanism_of :
   ?fuel:int ->
   ?cost:Secpol_flowgraph.Expr.cost_model ->
+  ?hook:Secpol_flowgraph.Hook.t ->
   mode:mode ->
   Secpol_core.Policy.t ->
   Graph.t ->
@@ -88,6 +108,17 @@ val mechanism_of :
 
 val notice : string
 (** The violation notice Λ used by all four mechanisms. *)
+
+val fuel_notice : string
+(** The distinguished violation notice ("Λ/fuel") issued when a monitored
+    run exhausts its step budget. Jones–Lipton mechanisms map every input
+    into [E ∪ F]; a monitor that hangs would be a third outcome, so the
+    watchdog trip is itself an element of [F]. *)
+
+val corruption_fault : string
+(** The [Failed] message reporting that the redundant surveillance store's
+    two copies disagreed — i.e. injected state corruption was detected
+    before it could steer enforcement. *)
 
 val out_taint :
   ?fuel:int ->

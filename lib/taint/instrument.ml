@@ -134,4 +134,13 @@ let mechanism ?fuel variant ~policy g =
               policies, got %s"
              (Policy.name policy))
   in
-  Interp.graph_mechanism ?fuel (instrument variant ~allowed g)
+  let m = Interp.graph_mechanism ?fuel (instrument variant ~allowed g) in
+  (* Fail-secure parity with Dynamic: a monitor that exhausts its step
+     budget reports the fuel-watchdog violation notice, not a hang — both
+     constructions stay total functions into E u F and keep agreeing
+     pointwise. *)
+  Mechanism.make ~name:m.Mechanism.name ~arity:m.Mechanism.arity (fun a ->
+      let r = m.Mechanism.respond a in
+      match r.Mechanism.response with
+      | Mechanism.Hung -> { r with Mechanism.response = Mechanism.Denied Dynamic.fuel_notice }
+      | _ -> r)

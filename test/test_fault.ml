@@ -1,0 +1,360 @@
+(* The fail-secure enforcement runtime: seeded fault plans, injection into
+   the monitors, the Guard supervisor's retry/backoff and watchdogs, and the
+   properties the issue demands — soundness modulo notices under every fault
+   plan, guarded below unfaulted in the completeness order, transient
+   retries recovering full completeness. *)
+
+open Util
+module Iset = Secpol_core.Iset
+module Hook = Secpol_flowgraph.Hook
+module Expr = Secpol_flowgraph.Expr
+module Interp = Secpol_flowgraph.Interp
+module Dynamic = Secpol_taint.Dynamic
+module Instrument = Secpol_taint.Instrument
+module Paper = Secpol_corpus.Paper_programs
+module Plan = Secpol_fault.Plan
+module Injector = Secpol_fault.Injector
+module Guard = Secpol_fault.Guard
+module Sweep = Secpol_fault.Sweep
+
+(* Entries with total programs and small spaces, used for the exhaustive
+   property checks. *)
+let entries = [ Paper.forgetting; Paper.branch_allowed; Paper.direct_flow ]
+
+let clean_mech (e : Paper.entry) =
+  Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e)
+
+let faulty_mech (e : Paper.entry) injector =
+  Dynamic.mechanism_of
+    ~hook:(Injector.hook injector)
+    ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e)
+
+(* --- plans ------------------------------------------------------------- *)
+
+let test_plan_deterministic () =
+  for seed = 0 to 49 do
+    let p1 = Plan.generate ~seed () and p2 = Plan.generate ~seed () in
+    if p1 <> p2 then Alcotest.failf "seed %d: generate not deterministic" seed;
+    if p1.Plan.points = [] then Alcotest.failf "seed %d: empty plan" seed;
+    List.iter
+      (fun (pt : Plan.point) ->
+        if pt.Plan.at_step < 0 || pt.Plan.at_step >= 24 then
+          Alcotest.failf "seed %d: step %d outside horizon" seed pt.Plan.at_step)
+      p1.Plan.points;
+    let steps = List.map (fun (pt : Plan.point) -> pt.Plan.at_step) p1.Plan.points in
+    if List.sort compare steps <> steps then
+      Alcotest.failf "seed %d: points not sorted" seed
+  done
+
+let test_plan_make_dedupes () =
+  let p =
+    Plan.make
+      [
+        { Plan.at_step = 5; kind = Plan.Crash };
+        { Plan.at_step = 2; kind = Plan.Exhaust_fuel };
+        { Plan.at_step = 5; kind = Plan.Corrupt_taint };
+      ]
+  in
+  Alcotest.(check int) "one point per step" 2 (List.length p.Plan.points);
+  Alcotest.(check string) "describe" "exhaust-fuel@2 crash@5" (Plan.describe p)
+
+(* --- injector ---------------------------------------------------------- *)
+
+let test_injector_transient_clears () =
+  let plan = Plan.make [ { Plan.at_step = 0; kind = Plan.Transient 2 } ] in
+  let inj = Injector.create plan in
+  let hook = Injector.hook inj in
+  Alcotest.(check bool) "fires on attempt 1" true (hook ~step:0 <> None);
+  Injector.next_attempt inj;
+  Alcotest.(check bool) "fires on attempt 2" true (hook ~step:0 <> None);
+  Injector.next_attempt inj;
+  Alcotest.(check bool) "cleared on attempt 3" true (hook ~step:0 = None);
+  Alcotest.(check int) "fired twice in total" 2 (Injector.fired_total inj);
+  Injector.reset inj;
+  Alcotest.(check int) "reset zeroes counters" 0 (Injector.fired_total inj);
+  Alcotest.(check bool) "fires again after reset" true (hook ~step:0 <> None)
+
+let test_injector_persistent_always_fires () =
+  let plan = Plan.make [ { Plan.at_step = 1; kind = Plan.Crash } ] in
+  let inj = Injector.create plan in
+  let hook = Injector.hook inj in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "fires every attempt" true (hook ~step:1 <> None);
+    Alcotest.(check bool) "only at its step" true (hook ~step:0 = None);
+    Injector.next_attempt inj
+  done
+
+(* --- the Guard supervisor ---------------------------------------------- *)
+
+(* forgetting: y := x0; if x1 = 0 then y := x1, under allow(1).
+   Clean surveillance grants 0 exactly when x1 = 0. *)
+
+let test_guard_transient_recovers () =
+  let e = Paper.forgetting in
+  let inj =
+    Injector.create (Plan.make [ { Plan.at_step = 0; kind = Plan.Transient 2 } ])
+  in
+  let m = faulty_mech e inj in
+  (* 2 retries = 3 attempts; the fault clears on attempt 3. *)
+  (match Guard.run ~config:{ Guard.default with Guard.retries = 2 } ~injector:inj m (ints [ 3; 0 ]) with
+  | Guard.Output v, _ -> Alcotest.check value_testable "Q's real output" (Value.int 0) v
+  | Guard.Notice n, _ -> Alcotest.failf "expected recovery, got notice %s" n
+  | Guard.Degraded _, _ -> Alcotest.fail "expected recovery, got degraded");
+  Alcotest.(check int) "the fault really fired" 2 (Injector.fired_total inj);
+  (* Same transient on a denied input: the retried attempt re-delivers the
+     clean denial, not a degraded notice. *)
+  (match Guard.run ~config:{ Guard.default with Guard.retries = 2 } ~injector:inj m (ints [ 3; 1 ]) with
+  | Guard.Notice n, _ -> Alcotest.(check string) "clean notice" Dynamic.notice n
+  | Guard.Output v, _ -> Alcotest.failf "expected denial, got grant %s" (Value.to_string v)
+  | Guard.Degraded _, _ -> Alcotest.fail "expected denial, got degraded")
+
+let test_guard_insufficient_retries_degrade () =
+  let e = Paper.forgetting in
+  let inj =
+    Injector.create (Plan.make [ { Plan.at_step = 0; kind = Plan.Transient 3 } ])
+  in
+  let m = faulty_mech e inj in
+  match Guard.run ~config:{ Guard.default with Guard.retries = 1 } ~injector:inj m (ints [ 3; 0 ]) with
+  | Guard.Degraded r, _ ->
+      Alcotest.(check int) "both attempts failed" 2 r.Guard.attempts;
+      Alcotest.(check int) "one symptom per attempt" 2 (List.length r.Guard.symptoms)
+  | Guard.Output _, _ -> Alcotest.fail "fail-open: transient outlasted the retry budget yet run granted"
+  | Guard.Notice n, _ -> Alcotest.failf "expected degraded, got notice %s" n
+
+let test_guard_persistent_degrades_never_grants () =
+  let e = Paper.forgetting in
+  let inj = Injector.create (Plan.make [ { Plan.at_step = 0; kind = Plan.Crash } ]) in
+  let m = faulty_mech e inj in
+  List.iter
+    (fun retries ->
+      match Guard.run ~config:{ Guard.default with Guard.retries } ~injector:inj m (ints [ 3; 0 ]) with
+      | Guard.Degraded r, steps ->
+          Alcotest.(check int) "attempts = retries + 1" (retries + 1) r.Guard.attempts;
+          (* Backoff penalty: base * (2^0 + ... + 2^(retries-1)). *)
+          let expected_backoff = 4 * ((1 lsl retries) - 1) in
+          Alcotest.(check int) "backoff accounted" expected_backoff r.Guard.backoff_steps;
+          if steps < expected_backoff then
+            Alcotest.failf "steps %d below backoff %d" steps expected_backoff
+      | Guard.Output v, _ ->
+          Alcotest.failf "fail-open under persistent crash: granted %s" (Value.to_string v)
+      | Guard.Notice n, _ -> Alcotest.failf "expected degraded, got notice %s" n)
+    [ 0; 1; 2; 3 ]
+
+let test_guard_fuel_fault_is_notice () =
+  (* An injected fuel collapse is already a violation notice at the monitor
+     layer; the guard passes it through rather than retrying. *)
+  let e = Paper.forgetting in
+  let inj = Injector.create (Plan.make [ { Plan.at_step = 0; kind = Plan.Exhaust_fuel } ]) in
+  let m = faulty_mech e inj in
+  match Guard.run ~injector:inj m (ints [ 3; 0 ]) with
+  | Guard.Notice n, _ -> Alcotest.(check string) "fuel notice" Dynamic.fuel_notice n
+  | _ -> Alcotest.fail "expected the fuel watchdog notice"
+
+let test_guard_no_faults_bit_identical () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let m = clean_mech e in
+      Seq.iter
+        (fun a ->
+          let direct = Mechanism.respond m a in
+          let guarded = Guard.reply_of_outcome (Guard.run m a) in
+          if direct <> guarded then
+            Alcotest.failf "%s: guard not bit-identical without faults" e.Paper.name)
+        (Space.enumerate e.Paper.space))
+    entries
+
+let test_guard_absorbs_exceptions () =
+  let bomb =
+    Mechanism.make ~name:"bomb" ~arity:1 (fun _ -> failwith "kaboom")
+  in
+  match Guard.run bomb (ints [ 0 ]) with
+  | Guard.Degraded r, _ ->
+      Alcotest.(check bool) "symptom recorded" true
+        (List.exists (fun s -> String.length s > 0) r.Guard.symptoms)
+  | _ -> Alcotest.fail "expected a raising mechanism to degrade"
+
+let test_guard_step_budget_watchdog () =
+  let slow =
+    Mechanism.make ~name:"slow" ~arity:1 (fun _ ->
+        { Mechanism.response = Mechanism.Granted (Value.int 7); steps = 1000 })
+  in
+  (match Guard.run ~config:{ Guard.default with Guard.step_budget = Some 10 } slow (ints [ 0 ]) with
+  | Guard.Degraded _, _ -> ()
+  | _ -> Alcotest.fail "expected the step-budget watchdog to degrade");
+  match Guard.run ~config:{ Guard.default with Guard.step_budget = Some 2000 } slow (ints [ 0 ]) with
+  | Guard.Output v, _ -> Alcotest.check value_testable "under budget grants" (Value.int 7) v
+  | _ -> Alcotest.fail "expected a grant under a loose budget"
+
+let test_protect_replies_stay_in_E_u_F () =
+  let bomb = Mechanism.make ~name:"bomb" ~arity:1 (fun _ -> failwith "kaboom") in
+  let g = Guard.protect bomb in
+  (match (Mechanism.respond g (ints [ 0 ])).Mechanism.response with
+  | Mechanism.Denied n -> Alcotest.(check string) "degraded notice" Guard.degraded_notice n
+  | _ -> Alcotest.fail "expected Denied degraded_notice");
+  Alcotest.(check string) "wrapper name" "guard(bomb)" g.Mechanism.name
+
+(* --- totality of the monitor layer -------------------------------------- *)
+
+let test_dynamic_total_on_bad_inputs () =
+  let e = Paper.forgetting in
+  let m = clean_mech e in
+  (* Wrong arity through Dynamic.run directly (Mechanism.respond checks
+     before dispatch, so go underneath it). *)
+  let cfg = Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy in
+  (match (Dynamic.run cfg (Paper.graph e) (ints [ 1 ])).Mechanism.response with
+  | Mechanism.Failed _ -> ()
+  | _ -> Alcotest.fail "wrong arity should be a Failed reply");
+  ignore m
+
+let test_fuel_exhaustion_is_notice_everywhere () =
+  let e = Paper.loop_then_secretfree in
+  let g = Paper.graph e in
+  (* Starve both constructions of the surveillance mechanism. *)
+  let dyn = Dynamic.mechanism_of ~fuel:2 ~mode:Dynamic.Surveillance e.Paper.policy g in
+  (match (Mechanism.respond dyn (ints [ 3; 1 ])).Mechanism.response with
+  | Mechanism.Denied n -> Alcotest.(check string) "dynamic fuel notice" Dynamic.fuel_notice n
+  | _ -> Alcotest.fail "dynamic: starved monitor must deny, not hang");
+  let inst = Instrument.mechanism ~fuel:2 Instrument.Untimed ~policy:e.Paper.policy g in
+  match (Mechanism.respond inst (ints [ 3; 1 ])).Mechanism.response with
+  | Mechanism.Denied n -> Alcotest.(check string) "instrumented fuel notice" Dynamic.fuel_notice n
+  | _ -> Alcotest.fail "instrumented: starved monitor must deny, not hang"
+
+let test_interp_hook_faults () =
+  let g = Paper.graph Paper.forgetting in
+  let crash = fun ~step -> if step = 0 then Some (Hook.Crash "boom") else None in
+  (match (Interp.run_graph ~hook:crash g (ints [ 1; 2 ])).Program.result with
+  | Program.Fault m ->
+      Alcotest.(check bool) "tagged as monitor fault" true
+        (String.length m >= String.length Interp.monitor_fault_prefix
+        && String.sub m 0 (String.length Interp.monitor_fault_prefix)
+           = Interp.monitor_fault_prefix)
+  | _ -> Alcotest.fail "injected crash must be a Fault outcome");
+  let starve = fun ~step -> if step = 1 then Some Hook.Starve else None in
+  (match (Interp.run_graph ~hook:starve g (ints [ 1; 2 ])).Program.result with
+  | Program.Diverged -> ()
+  | _ -> Alcotest.fail "injected starvation must be Diverged");
+  (* Hook.none is the identity. *)
+  let plain = Interp.run_graph g (ints [ 1; 2 ]) in
+  let hooked = Interp.run_graph ~hook:Hook.none g (ints [ 1; 2 ]) in
+  if plain <> hooked then Alcotest.fail "Hook.none must be bit-identical"
+
+(* --- the three issue properties, as qcheck properties over seeds --------- *)
+
+let seed_gen = QCheck.int_range 0 5000
+
+let with_seeded_guard (e : Paper.entry) seed ~retries f =
+  let plan = Plan.generate ~seed () in
+  let inj = Injector.create plan in
+  let faulty = faulty_mech e inj in
+  let guarded =
+    Guard.protect ~config:{ Guard.default with Guard.retries } ~injector:inj faulty
+  in
+  f plan guarded
+
+(* Property 1: under EVERY fault plan the guarded mechanism is fail-secure
+   (grants only Q's output, no reply outside E u F) and sound modulo
+   notices (grants constant on each I-equivalence class). *)
+let prop_sound_modulo_notices_under_faults =
+  qtest ~count:120 "sound-modulo-notices-under-any-plan" seed_gen (fun seed ->
+      List.for_all
+        (fun (e : Paper.entry) ->
+          with_seeded_guard e seed ~retries:2 (fun _plan guarded ->
+              (match Guard.check_fail_secure ~q:(Paper.program e) guarded e.Paper.space with
+              | Ok () -> ()
+              | Error b -> QCheck.Test.fail_reportf "%s: %s" e.Paper.name b.Guard.detail);
+              match Guard.sound_modulo_notices e.Paper.policy guarded e.Paper.space with
+              | Ok () -> true
+              | Error b -> QCheck.Test.fail_reportf "%s: %s" e.Paper.name b.Guard.detail))
+        entries)
+
+(* Property 2: faults only ever lose answers — the unfaulted monitor is at
+   least as complete as the guarded faulty one, for every plan. *)
+let prop_guarded_below_clean =
+  qtest ~count:120 "guarded-below-unfaulted-completeness" seed_gen (fun seed ->
+      List.for_all
+        (fun (e : Paper.entry) ->
+          with_seeded_guard e seed ~retries:2 (fun _plan guarded ->
+              match
+                Completeness.as_complete_as (clean_mech e) guarded
+                  ~q:(Paper.program e) e.Paper.space
+              with
+              | Ok () -> true
+              | Error a ->
+                  QCheck.Test.fail_reportf
+                    "%s: guarded grants where the clean monitor does not, at %s"
+                    e.Paper.name
+                    (String.concat "," (List.map Value.to_string (Array.to_list a)))))
+        entries)
+
+(* Property 3: if every fault of the plan is transient and the retry budget
+   covers the worst of them, the guard recovers FULL completeness — every
+   reply equals the clean monitor's (response for response; steps differ by
+   the retries and backoff, which is the price of recovery). *)
+let prop_transient_retry_recovers =
+  qtest ~count:200 "transient-retries-recover-completeness" seed_gen (fun seed ->
+      let plan = Plan.generate ~seed () in
+      QCheck.assume (Plan.is_transient_only plan);
+      let retries = Plan.worst_transient plan in
+      List.for_all
+        (fun (e : Paper.entry) ->
+          let inj = Injector.create plan in
+          let faulty = faulty_mech e inj in
+          let m = clean_mech e in
+          Seq.for_all
+            (fun a ->
+              let clean = (Mechanism.respond m a).Mechanism.response in
+              let outcome, _ =
+                Guard.run ~config:{ Guard.default with Guard.retries } ~injector:inj faulty a
+              in
+              match ((Guard.reply_of_outcome (outcome, 0)).Mechanism.response, clean) with
+              | Mechanism.Granted v, Mechanism.Granted w -> Value.equal v w
+              | Mechanism.Denied n, Mechanism.Denied n' -> n = n'
+              | got, want ->
+                  let show = function
+                    | Mechanism.Granted v -> "granted " ^ Value.to_string v
+                    | Mechanism.Denied n -> "denied " ^ n
+                    | Mechanism.Hung -> "hung"
+                    | Mechanism.Failed m -> "failed: " ^ m
+                  in
+                  QCheck.Test.fail_reportf "%s: recovered %s but clean is %s"
+                    e.Paper.name (show got) (show want))
+            (Space.enumerate e.Paper.space))
+        entries)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
+          Alcotest.test_case "make-dedupes" `Quick test_plan_make_dedupes;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "transient-clears" `Quick test_injector_transient_clears;
+          Alcotest.test_case "persistent-fires" `Quick test_injector_persistent_always_fires;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "transient-recovers" `Quick test_guard_transient_recovers;
+          Alcotest.test_case "insufficient-retries" `Quick test_guard_insufficient_retries_degrade;
+          Alcotest.test_case "persistent-degrades" `Quick test_guard_persistent_degrades_never_grants;
+          Alcotest.test_case "fuel-fault-notice" `Quick test_guard_fuel_fault_is_notice;
+          Alcotest.test_case "no-faults-bit-identical" `Quick test_guard_no_faults_bit_identical;
+          Alcotest.test_case "absorbs-exceptions" `Quick test_guard_absorbs_exceptions;
+          Alcotest.test_case "step-budget" `Quick test_guard_step_budget_watchdog;
+          Alcotest.test_case "protect-E-u-F" `Quick test_protect_replies_stay_in_E_u_F;
+        ] );
+      ( "totality",
+        [
+          Alcotest.test_case "dynamic-bad-inputs" `Quick test_dynamic_total_on_bad_inputs;
+          Alcotest.test_case "fuel-notice-everywhere" `Quick test_fuel_exhaustion_is_notice_everywhere;
+          Alcotest.test_case "interp-hooks" `Quick test_interp_hook_faults;
+        ] );
+      ( "properties",
+        [
+          prop_sound_modulo_notices_under_faults;
+          prop_guarded_below_clean;
+          prop_transient_retry_recovers;
+        ] );
+    ]

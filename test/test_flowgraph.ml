@@ -27,9 +27,9 @@ let test_eval () =
 
 let test_eval_faults () =
   let env _ = 0 in
-  Alcotest.check_raises "div by zero" (Expr.Runtime_fault "division by zero")
+  Alcotest.check_raises "div by zero" (Expr.Runtime_fault Expr.Division_by_zero)
     (fun () -> ignore (Expr.eval env (i 1 /: i 0)));
-  Alcotest.check_raises "mod by zero" (Expr.Runtime_fault "modulus by zero")
+  Alcotest.check_raises "mod by zero" (Expr.Runtime_fault Expr.Modulus_by_zero)
     (fun () -> ignore (Expr.eval env (i 1 %: i 0)))
 
 let var_set_testable =
