@@ -36,11 +36,22 @@ lint-corpus:
 chaos:
 	dune exec bin/secpol_cli.exe -- chaos --seeds 100
 
+# Crash-recovery sweep: kill journaled monitored runs at every crash point,
+# tamper with the media, and verify every resume is bit-identical to the
+# uninterrupted run or degrades to the violation notice Λ/recovery. The
+# same sweep runs inside `dune runtest` (test/crash_sweep.ml).
+chaos-crash:
+	dune exec bin/secpol_cli.exe -- chaos --crash --crash-points 50
+
 experiments:
 	dune exec bin/experiments.exe
 
 bench:
 	dune exec bench/main.exe
+
+# Benchmarks plus a machine-readable BENCH_secpol.json (series -> ns/run).
+bench-json:
+	dune exec bench/main.exe -- --json
 
 examples:
 	dune exec examples/quickstart.exe
@@ -58,4 +69,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force lint-corpus chaos experiments bench examples doc clean
+.PHONY: all test test-force lint-corpus chaos chaos-crash experiments bench bench-json examples doc clean

@@ -12,8 +12,11 @@
    - compile-time/*    one-off costs: certification, instrumentation,
                        postdominators, maximal-mechanism construction
    - attack/*          the E4 guessing strategies
+   - journal/*         durable enforcement: the journaled monitor's write
+                       overhead and the cost of a crash recovery
 
-   Run: dune exec bench/main.exe *)
+   Run: dune exec bench/main.exe
+        dune exec bench/main.exe -- --json   # also write BENCH_secpol.json *)
 
 open Bechamel
 open Toolkit
@@ -99,6 +102,29 @@ let compile_time_tests =
           Maximal.build policy (Interp.graph_program graph) space10);
     ]
 
+let journal_tests =
+  let module Media = Secpol_journal.Media in
+  let module Runner = Secpol_journal.Runner in
+  let cfg = Dynamic.config ~mode:Dynamic.Surveillance policy in
+  (* A mid-run crash image, built once: resume re-executes the suffix. *)
+  let killed =
+    let media = Media.memory () in
+    ignore
+      (Runner.run ~kill_at:40 ~snapshot_every:32 ~media ~program_ref:"workload"
+         cfg graph inputs);
+    match Media.load media with Some b -> b | None -> assert false
+  in
+  let resolve (_ : Runner.header) = Ok graph in
+  Test.make_grouped ~name:"journal"
+    [
+      staged "surveillance-journaled" (fun () ->
+          Runner.run ~media:(Media.memory ()) ~program_ref:"workload" cfg graph
+            inputs);
+      staged "resume-mid-run" (fun () ->
+          let snapshot, journal = killed in
+          Runner.resume ~resolve ~media:(Media.memory ~snapshot ~journal ()) ());
+    ]
+
 let attack_tests =
   let n = 6 and k = 3 in
   let secret = [| 3; 1; 4 |] in
@@ -145,7 +171,7 @@ let tests =
   Test.make_grouped ~name:"secpol"
     [
       interp_tests; monitor_tests; instrumented_tests; compile_time_tests;
-      attack_tests; scaling_tests;
+      attack_tests; journal_tests; scaling_tests;
     ]
 
 let () =
@@ -182,4 +208,20 @@ let () =
       Printf.printf "  %-14s %.2fx\n" (Dynamic.mode_name mode) (v /. base))
     Dynamic.all_modes;
   Printf.printf "  %-14s %.2fx\n" "instrumented"
-    (find "secpol/instrumented/surveillance-as-flowchart" /. base)
+    (find "secpol/instrumented/surveillance-as-flowchart" /. base);
+  Printf.printf "  %-14s %.2fx\n" "journaled"
+    (find "secpol/journal/surveillance-journaled" /. base);
+  (* Machine-readable results for CI trend lines: series name -> ns/run.
+     Hand-rolled JSON; names are [A-Za-z0-9/_-] so no escaping is needed. *)
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    let oc = open_out "BENCH_secpol.json" in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  %S: %.1f%s\n" name ns
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "\nwrote BENCH_secpol.json (%d series)\n" (List.length rows)
+  end

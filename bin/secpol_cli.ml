@@ -23,6 +23,8 @@ module Certify = Secpol_staticflow.Certify
 module Leakage = Secpol_probe.Leakage
 module Tabulate = Secpol_probe.Tabulate
 module Paper = Secpol_corpus.Paper_programs
+module Media = Secpol_journal.Media
+module Runner = Secpol_journal.Runner
 open Cmdliner
 
 (* --- shared arguments --------------------------------------------------- *)
@@ -36,30 +38,35 @@ let is_file name =
 
 (* File-loaded programs get a wrapper entry: the file's "# policy:" hint
    (or allow()) and a small exhaustive space, both overridable with -p. *)
-let entry_of_name name =
-  if is_file name then begin
+let entry_result name =
+  if is_file name then
     match Secpol_lang.Source.load_with_hint name with
     | Ok (prog, hint) ->
-        {
-          Paper.name = prog.Ast.name;
-          prog;
-          policy = Option.value hint ~default:Policy.allow_none;
-          space = Secpol_core.Space.ints ~lo:0 ~hi:3 ~arity:prog.Ast.arity;
-          paper_ref = name;
-          claim = "";
-          note = "";
-        }
-    | Error m ->
-        Printf.eprintf "%s: %s\n" name m;
-        exit 2
-  end
+        Ok
+          {
+            Paper.name = prog.Ast.name;
+            prog;
+            policy = Option.value hint ~default:Policy.allow_none;
+            space = Secpol_core.Space.ints ~lo:0 ~hi:3 ~arity:prog.Ast.arity;
+            paper_ref = name;
+            claim = "";
+            note = "";
+          }
+    | Error m -> Error (Printf.sprintf "%s: %s" name m)
   else
     match Paper.find name with
-    | e -> e
+    | e -> Ok e
     | exception Not_found ->
-        Printf.eprintf "unknown program %S; try `secpol list` or a .spl path\n"
-          name;
-        exit 2
+        Error
+          (Printf.sprintf "unknown program %S; try `secpol list` or a .spl path"
+             name)
+
+let entry_of_name name =
+  match entry_result name with
+  | Ok e -> e
+  | Error m ->
+      prerr_endline m;
+      exit 2
 
 let policy_conv =
   let parse s =
@@ -110,6 +117,53 @@ let mode_arg =
 let resolve_policy entry = function
   | Some p -> p
   | None -> entry.Paper.policy
+
+(* --- journal arguments --------------------------------------------------- *)
+
+let journal_arg =
+  let doc =
+    "Journal the monitored run into $(docv) (created if missing): every \
+     committed interpreter box is appended as a checksummed record, with \
+     periodic atomic snapshots. A killed run is resumed with `secpol \
+     resume`."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+
+let kill_at_arg =
+  let doc =
+    "Fault injection: abort the journaled run after $(docv) committed boxes, \
+     simulating a crash (requires --journal)."
+  in
+  Arg.(value & opt (some int) None & info [ "kill-at" ] ~docv:"N" ~doc)
+
+let snapshot_every_arg =
+  let doc = "Fold the journal into a fresh snapshot every $(docv) records." in
+  Arg.(
+    value
+    & opt int Runner.default_snapshot_every
+    & info [ "snapshot-every" ] ~docv:"N" ~doc)
+
+(* One journaled monitored run, shared by `run --journal` and `enforce
+   --journal`. Prints the reply and returns the exit code. *)
+let journaled_run ~dir ~kill_at ~snapshot_every ~program_ref ~show_reply cfg g a
+    =
+  if snapshot_every < 1 then begin
+    prerr_endline "--snapshot-every must be at least 1";
+    exit 2
+  end;
+  let media = Media.dir dir in
+  let outcome =
+    Runner.run ?kill_at ~snapshot_every ~media ~program_ref cfg g a
+  in
+  Media.close media;
+  match outcome with
+  | Runner.Killed { at_box } ->
+      Printf.printf "killed after %d journaled box(es); recover with: secpol resume %s\n"
+        at_box dir;
+      0
+  | Runner.Completed r ->
+      show_reply r;
+      0
 
 (* The interpreters are total, but Mechanism.respond still treats a
    wrong-length input vector as a caller bug; catch it at the door. *)
@@ -164,42 +218,141 @@ let show_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name inputs =
+  let run name inputs journal kill_at snapshot_every =
     let e = entry_of_name name in
     let a = parse_inputs inputs in
     check_arity e a;
-    let o = Program.run (Paper.program e) a in
-    (match o.Program.result with
-    | Program.Value v -> Format.printf "output: %a@." Value.pp v
-    | Program.Diverged -> print_endline "output: <diverged>"
-    | Program.Fault m -> Printf.printf "output: <fault: %s>\n" m);
-    Printf.printf "steps:  %d\n" o.Program.steps
+    match journal with
+    | None ->
+        let o = Program.run (Paper.program e) a in
+        (match o.Program.result with
+        | Program.Value v -> Format.printf "output: %a@." Value.pp v
+        | Program.Diverged -> print_endline "output: <diverged>"
+        | Program.Fault m -> Printf.printf "output: <fault: %s>\n" m);
+        Printf.printf "steps:  %d\n" o.Program.steps
+    | Some dir ->
+        (* Journaling needs the step machine, so the run goes through the
+           monitored interpreter under allow(everything) — same outputs,
+           plus durability. *)
+        let p = Policy.allow_all ~arity:e.Paper.prog.Ast.arity in
+        let cfg = Dynamic.config ~mode:Dynamic.Surveillance p in
+        let show_reply (r : Mechanism.reply) =
+          (match r.Mechanism.response with
+          | Mechanism.Granted v -> Format.printf "output: %a@." Value.pp v
+          | Mechanism.Denied n when n = Dynamic.fuel_notice ->
+              print_endline "output: <diverged>"
+          | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
+          | Mechanism.Hung -> print_endline "output: <diverged>"
+          | Mechanism.Failed m -> Printf.printf "output: <fault: %s>\n" m);
+          Printf.printf "steps:  %d\n" r.Mechanism.steps
+        in
+        exit
+          (journaled_run ~dir ~kill_at ~snapshot_every ~program_ref:name
+             ~show_reply cfg (Paper.graph e) a)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run a corpus program unprotected")
-    Term.(const run $ program_arg $ inputs_arg)
+    (Cmd.info "run"
+       ~doc:
+         "Run a corpus program unprotected; with --journal, run it durably \
+          under an allow-everything monitor")
+    Term.(
+      const run $ program_arg $ inputs_arg $ journal_arg $ kill_at_arg
+      $ snapshot_every_arg)
 
 (* --- enforce -------------------------------------------------------------- *)
 
+let show_enforce_reply (r : Mechanism.reply) =
+  (match r.Mechanism.response with
+  | Mechanism.Granted v -> Format.printf "granted: %a@." Value.pp v
+  | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
+  | Mechanism.Hung -> print_endline "<mechanism diverged>"
+  | Mechanism.Failed msg -> Printf.printf "<mechanism fault: %s>\n" msg);
+  Printf.printf "steps:  %d\n" r.Mechanism.steps
+
 let enforce_cmd =
-  let run name inputs mode policy =
+  let run name inputs mode policy journal kill_at snapshot_every =
     let e = entry_of_name name in
     let p = resolve_policy e policy in
     let a = parse_inputs inputs in
     check_arity e a;
-    let m = Dynamic.mechanism_of ~mode p (Paper.graph e) in
-    let r = Mechanism.respond m a in
-    (match r.Mechanism.response with
-    | Mechanism.Granted v -> Format.printf "granted: %a@." Value.pp v
-    | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
-    | Mechanism.Hung -> print_endline "<mechanism diverged>"
-    | Mechanism.Failed msg -> Printf.printf "<mechanism fault: %s>\n" msg);
-    Printf.printf "steps:  %d\n" r.Mechanism.steps
+    match journal with
+    | None ->
+        let m = Dynamic.mechanism_of ~mode p (Paper.graph e) in
+        show_enforce_reply (Mechanism.respond m a)
+    | Some dir ->
+        if Policy.allowed_indices p = None then begin
+          prerr_endline "journaled enforcement needs an allow(...) policy";
+          exit 2
+        end;
+        let cfg = Dynamic.config ~mode p in
+        exit
+          (journaled_run ~dir ~kill_at ~snapshot_every ~program_ref:name
+             ~show_reply:show_enforce_reply cfg (Paper.graph e) a)
   in
   Cmd.v
     (Cmd.info "enforce"
-       ~doc:"Run a corpus program under a dynamic protection mechanism")
-    Term.(const run $ program_arg $ inputs_arg $ mode_arg $ policy_arg)
+       ~doc:
+         "Run a corpus program under a dynamic protection mechanism, \
+          optionally journaled for crash recovery")
+    Term.(
+      const run $ program_arg $ inputs_arg $ mode_arg $ policy_arg
+      $ journal_arg $ kill_at_arg $ snapshot_every_arg)
+
+(* --- resume ---------------------------------------------------------------- *)
+
+let resume_cmd =
+  let run dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "%s: no such journal directory\n" dir;
+      exit 2
+    end;
+    let media = Media.dir dir in
+    let resolve (h : Runner.header) =
+      Result.map Paper.graph (entry_result h.Runner.program_ref)
+    in
+    let result = Runner.resume ~resolve ~media () in
+    Media.close media;
+    match result with
+    | Ok res ->
+        Printf.printf "program:  %s (%s mode, %s)\n" res.Runner.header.Runner.program_ref
+          (Dynamic.mode_name res.Runner.header.Runner.mode)
+          (Policy.name (Policy.allow_set res.Runner.header.Runner.allowed));
+        if res.Runner.was_complete then
+          print_endline "journal already held the verdict; nothing re-executed"
+        else
+          Printf.printf
+            "replayed %d journal record(s)%s, resumed at step %d\n"
+            res.Runner.replayed
+            (if res.Runner.torn_bytes > 0 then
+               Printf.sprintf " (dropped %d torn byte(s))" res.Runner.torn_bytes
+             else "")
+            res.Runner.resumed_steps;
+        show_enforce_reply res.Runner.reply
+    | Error e ->
+        (* Fail-secure degradation: an unrecoverable journal is the single
+           violation notice, with the diagnosis on stderr only. *)
+        let reply = Secpol_fault.Guard.reply_of_recovery (Error e) in
+        (match reply.Mechanism.response with
+        | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
+        | _ -> assert false);
+        Printf.eprintf "journal unrecoverable: %s\n" (Runner.failure_message e);
+        exit 1
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Journal directory written by --journal.")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Recover a journaled run: replay the last snapshot plus the journal \
+          suffix and continue under the same monitor. Bit-identical to the \
+          uninterrupted run on intact media; degrades to the violation \
+          notice \xce\x9b/recovery on unrecoverable media. Exits 0 when the \
+          run was reproduced, 1 on \xce\x9b/recovery, 2 on usage errors.")
+    Term.(const run $ dir)
 
 (* --- certify --------------------------------------------------------------- *)
 
@@ -391,10 +544,21 @@ let lint_cmd =
 
 let chaos_cmd =
   let module Sweep = Secpol_fault.Sweep in
-  let run program mode seeds base_seed horizon retries format =
+  let module Crash = Secpol_fault.Crash in
+  let run program mode seeds base_seed horizon retries crash crash_points
+      snapshot_every format =
     let entries =
       match program with None -> Paper.all | Some name -> [ entry_of_name name ]
     in
+    if crash then begin
+      let report =
+        Crash.run ~entries ~mode ~crash_points ~base_seed ~snapshot_every ()
+      in
+      (match format with
+      | `Json -> print_endline (Crash.to_json_string report)
+      | `Text -> Format.printf "%a" Crash.pp report);
+      exit (if report.Crash.ok then 0 else 1)
+    end;
     let report =
       Sweep.run ~entries ~mode ~seeds ~base_seed ~horizon ~retries ()
     in
@@ -402,6 +566,25 @@ let chaos_cmd =
     | `Json -> print_endline (Sweep.to_json_string report)
     | `Text -> Format.printf "%a" Sweep.pp report);
     exit (if report.Sweep.ok then 0 else 1)
+  in
+  let crash =
+    let doc =
+      "Run the crash-recovery sweep instead: kill journaled runs at every \
+       crash point, tamper with the media, and verify every resume is \
+       bit-identical to the uninterrupted run or degrades to \xce\x9b/recovery."
+    in
+    Arg.(value & flag & info [ "crash" ] ~doc)
+  in
+  let crash_points =
+    let doc = "Crash points per (program, policy, input) case (with --crash)." in
+    Arg.(value & opt int 50 & info [ "crash-points" ] ~docv:"N" ~doc)
+  in
+  let snapshot_every =
+    let doc = "Snapshot interval of the journaled runs (with --crash)." in
+    Arg.(
+      value
+      & opt int Crash.default_snapshot_every
+      & info [ "snapshot-every" ] ~docv:"N" ~doc)
   in
   let program =
     let doc =
@@ -442,7 +625,7 @@ let chaos_cmd =
           usage errors.")
     Term.(
       const run $ program $ mode_arg $ seeds $ base_seed $ horizon $ retries
-      $ format)
+      $ crash $ crash_points $ snapshot_every $ format)
 
 (* --- fmt ------------------------------------------------------------------ *)
 
@@ -472,6 +655,6 @@ let () =
   let code =
     Cmd.eval ~term_err:2
       (Cmd.group info
-         [ list_cmd; show_cmd; run_cmd; enforce_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; fmt_cmd ])
+         [ list_cmd; show_cmd; run_cmd; enforce_cmd; resume_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; fmt_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,0 +1,399 @@
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Space = Secpol_core.Space
+module Mechanism = Secpol_core.Mechanism
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Json = Secpol_staticflow.Lint.Json
+module Media = Secpol_journal.Media
+module Frame = Secpol_journal.Frame
+module Runner = Secpol_journal.Runner
+
+(* The crash-recovery sweep: the durable runner's fail-secure proof by
+   exhaustion. For every corpus entry, every allow(J) policy and a spread
+   of inputs, run the journaled monitor, kill it at every crash point, and
+   resume. The invariants hunted:
+
+   - PRISTINE media: resume(kill_at(k)) must be BIT-IDENTICAL (response and
+     step count) to the uninterrupted run, for every k. The journal is a
+     perfect memory of the run.
+   - TAMPERED media (torn tails, dropped record frames, flipped bits):
+     resume either still reproduces the uninterrupted run bit-identically
+     (damage that crashes legitimately cause — torn tails, lost suffixes —
+     is survivable by re-execution) or refuses with a typed error that the
+     supervisor maps to Λ/recovery. NEVER a third thing: a grant differing
+     from the clean run is fail-open, any other difference is divergence.
+
+   All randomness (chop lengths, flipped bit positions) comes from the same
+   splitmix64 stream as Plan.generate, so a failing sweep replays
+   bit-for-bit from its base seed. *)
+
+type tamper = Pristine | Torn_tail | Drop_records | Flip_bit_journal | Flip_bit_snapshot
+
+let tamper_name = function
+  | Pristine -> "pristine"
+  | Torn_tail -> "torn-tail"
+  | Drop_records -> "drop-records"
+  | Flip_bit_journal -> "flip-bit-journal"
+  | Flip_bit_snapshot -> "flip-bit-snapshot"
+
+type totals = {
+  cases : int;  (** (entry, policy, input) triples exercised *)
+  crashes : int;  (** kill/resume cycles, pristine and tampered *)
+  identical : int;  (** resumes bit-identical to the uninterrupted run *)
+  complete_replays : int;  (** resumes that found the verdict already journaled *)
+  recovery_notices : int;  (** tampered resumes refused with Λ/recovery *)
+  tamper_survived : int;  (** tampered resumes that still reproduced the run *)
+  divergent : int;  (** resumes differing from the clean run — must be 0 *)
+  fail_open : int;  (** resumes granting a value the clean run did not — must be 0 *)
+  journal_mismatch : int;  (** journaled baseline differing from Dynamic.run — must be 0 *)
+}
+
+let zero_totals =
+  {
+    cases = 0;
+    crashes = 0;
+    identical = 0;
+    complete_replays = 0;
+    recovery_notices = 0;
+    tamper_survived = 0;
+    divergent = 0;
+    fail_open = 0;
+    journal_mismatch = 0;
+  }
+
+type finding = {
+  entry : string;
+  policy : string;
+  input : string;
+  crash_point : int;  (** [-1] when no kill was involved *)
+  tamper : string;
+  detail : string;
+}
+
+type report = {
+  base_seed : int;
+  crash_points : int;
+  mode : Dynamic.mode;
+  totals : totals;
+  findings : finding list;
+  ok : bool;
+}
+
+let max_findings = 20
+
+let show_input a =
+  "(" ^ String.concat "," (Array.to_list (Array.map Value.to_string a)) ^ ")"
+
+let show_response = function
+  | Mechanism.Granted v -> "granted " ^ Value.to_string v
+  | Mechanism.Denied f -> "denied " ^ f
+  | Mechanism.Hung -> "hung"
+  | Mechanism.Failed m -> "failed: " ^ m
+
+let show_reply (r : Mechanism.reply) =
+  Printf.sprintf "%s (%d steps)" (show_response r.Mechanism.response)
+    r.Mechanism.steps
+
+let policies_of_arity arity =
+  List.init (1 lsl arity) (fun mask -> Policy.allow_set (Iset.of_mask mask))
+
+(* Up to [k] inputs spread across the enumerated space — endpoints first,
+   so arity-0 spaces and singletons still contribute. *)
+let spread k inputs =
+  let n = List.length inputs in
+  if n <= k then inputs
+  else
+    let arr = Array.of_list inputs in
+    List.init k (fun i -> arr.(i * (n - 1) / (k - 1)))
+
+(* --- media tampering ----------------------------------------------------- *)
+
+let flip_bit rng s =
+  if String.length s = 0 then s
+  else
+    let pos = Plan.Rng.below rng (String.length s) in
+    let bit = Plan.Rng.below rng 8 in
+    let by = Bytes.of_string s in
+    Bytes.set by pos (Char.chr (Char.code (Bytes.get by pos) lxor (1 lsl bit)));
+    Bytes.to_string by
+
+let torn_tail rng s =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    let chop = 1 + Plan.Rng.below rng (min n 24) in
+    String.sub s 0 (n - chop)
+
+let drop_last_record s =
+  match Frame.scan s with
+  | Error _ -> s
+  | Ok { Frame.records; _ } -> (
+      match records with
+      | [] -> s
+      | _ :: _ ->
+          let keep = List.filteri (fun i _ -> i < List.length records - 1) records in
+          let b = Buffer.create (String.length s) in
+          List.iter (Frame.append b) keep;
+          Buffer.contents b)
+
+let tampered_media rng tamper (snapshot, journal) =
+  match tamper with
+  | Pristine -> (snapshot, journal)
+  | Torn_tail -> (snapshot, torn_tail rng journal)
+  | Drop_records -> (snapshot, drop_last_record journal)
+  | Flip_bit_journal -> (snapshot, flip_bit rng journal)
+  | Flip_bit_snapshot -> (flip_bit rng snapshot, journal)
+
+(* Damage that removes journal suffix (torn tails, dropped frames) forces
+   honest re-execution and must land back on the clean verdict; damage that
+   rewrites surviving bytes (bit flips) must be caught and refused. *)
+let survivable = function
+  | Pristine | Torn_tail | Drop_records -> true
+  | Flip_bit_journal | Flip_bit_snapshot -> false
+
+(* --- the sweep ----------------------------------------------------------- *)
+
+let default_fuel = 2000
+let default_snapshot_every = 8
+
+let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
+    ?(crash_points = 50) ?(base_seed = 0) ?(fuel = default_fuel)
+    ?(snapshot_every = default_snapshot_every) ?(inputs_per_case = 4) () =
+  let totals = ref zero_totals in
+  let findings = ref [] in
+  let note f =
+    if List.length !findings < max_findings then findings := f :: !findings
+  in
+  let bump f = totals := f !totals in
+  let resolve (h : Runner.header) =
+    match List.find_opt (fun (e : Paper.entry) -> e.Paper.name = h.Runner.program_ref) entries with
+    | Some e -> Ok (Paper.graph e)
+    | None -> Error (Printf.sprintf "no corpus entry named %s" h.Runner.program_ref)
+  in
+  List.iteri
+    (fun ei (entry : Paper.entry) ->
+      let g = Paper.graph entry in
+      let all_inputs = List.of_seq (Space.enumerate entry.Paper.space) in
+      let inputs = spread inputs_per_case all_inputs in
+      List.iter
+        (fun policy ->
+          let pname = Policy.name policy in
+          let cfg = Dynamic.config ~fuel ~mode policy in
+          List.iteri
+            (fun ii a ->
+              let a = Array.of_list (Array.to_list a) in
+              bump (fun t -> { t with cases = t.cases + 1 });
+              let iname = show_input a in
+              let fault ?(crash_point = -1) ?(tamper = "none") bump_field detail =
+                bump bump_field;
+                note { entry = entry.Paper.name; policy = pname; input = iname;
+                       crash_point; tamper; detail }
+              in
+              (* The uninterrupted truth, twice over: the plain monitor and
+                 the journaled baseline must already agree. *)
+              let clean = Dynamic.run cfg g a in
+              let base_media = Media.memory () in
+              (match
+                 Runner.run ~snapshot_every ~media:base_media
+                   ~program_ref:entry.Paper.name cfg g a
+               with
+              | Runner.Killed _ -> assert false (* no kill_at *)
+              | Runner.Completed r ->
+                  if r <> clean then
+                    fault
+                      (fun t -> { t with journal_mismatch = t.journal_mismatch + 1 })
+                      (Printf.sprintf
+                         "journaled run %s differs from plain monitor %s"
+                         (show_reply r) (show_reply clean)));
+              (* Resuming a COMPLETED journal must re-deliver the verdict
+                 without re-executing anything. *)
+              (match Runner.resume ~resolve ~media:base_media () with
+              | Ok res
+                when res.Runner.was_complete && res.Runner.reply = clean ->
+                  bump (fun t ->
+                      { t with complete_replays = t.complete_replays + 1 })
+              | Ok res ->
+                  fault
+                    (fun t -> { t with divergent = t.divergent + 1 })
+                    (Printf.sprintf
+                       "resume of completed journal gave %s (complete=%b), \
+                        clean run was %s"
+                       (show_reply res.Runner.reply) res.Runner.was_complete
+                       (show_reply clean))
+              | Error e ->
+                  fault
+                    (fun t -> { t with divergent = t.divergent + 1 })
+                    ("resume of completed journal refused: "
+                    ^ Runner.failure_message e));
+              (* Kill at every crash point, then resume — pristine first,
+                 then with seeded damage. *)
+              let tampers =
+                [ Pristine; Torn_tail; Drop_records; Flip_bit_journal;
+                  Flip_bit_snapshot ]
+              in
+              let pmask =
+                match Policy.allowed_indices policy with
+                | Some s -> Iset.to_mask s
+                | None -> 0
+              in
+              let rng =
+                Plan.Rng.create (base_seed + (((ei * 131) + pmask) * 8191) + ii)
+              in
+              for k = 0 to crash_points - 1 do
+                let media = Media.memory () in
+                let outcome =
+                  Runner.run ~kill_at:k ~snapshot_every ~media
+                    ~program_ref:entry.Paper.name cfg g a
+                in
+                ignore outcome;
+                match Media.load media with
+                | None ->
+                    fault ~crash_point:k
+                      (fun t -> { t with divergent = t.divergent + 1 })
+                      "killed run left no snapshot at all"
+                | Some bytes ->
+                    let tamper =
+                      List.nth tampers (k mod List.length tampers)
+                    in
+                    let snapshot, journal = tampered_media rng tamper bytes in
+                    let media' = Media.memory ~snapshot ~journal () in
+                    bump (fun t -> { t with crashes = t.crashes + 1 });
+                    let tname = tamper_name tamper in
+                    (match Runner.resume ~resolve ~media:media' () with
+                    | Ok res when res.Runner.reply = clean ->
+                        bump (fun t ->
+                            if tamper = Pristine then
+                              { t with identical = t.identical + 1 }
+                            else
+                              {
+                                t with
+                                identical = t.identical + 1;
+                                tamper_survived = t.tamper_survived + 1;
+                              })
+                    | Ok res -> (
+                        match res.Runner.reply.Mechanism.response with
+                        | Mechanism.Granted _ ->
+                            fault ~crash_point:k ~tamper:tname
+                              (fun t -> { t with fail_open = t.fail_open + 1 })
+                              (Printf.sprintf
+                                 "FAIL-OPEN: resume granted %s, clean run \
+                                  was %s"
+                                 (show_reply res.Runner.reply)
+                                 (show_reply clean))
+                        | _ ->
+                            fault ~crash_point:k ~tamper:tname
+                              (fun t -> { t with divergent = t.divergent + 1 })
+                              (Printf.sprintf
+                                 "resume gave %s, clean run was %s"
+                                 (show_reply res.Runner.reply)
+                                 (show_reply clean)))
+                    | Error e ->
+                        if survivable tamper then
+                          fault ~crash_point:k ~tamper:tname
+                            (fun t -> { t with divergent = t.divergent + 1 })
+                            (Printf.sprintf
+                               "crash damage should be survivable but \
+                                resume refused: %s"
+                               (Runner.failure_message e))
+                        else begin
+                          (* The supervisor's mapping: every refusal is the
+                             single notice Λ/recovery, nothing chattier. *)
+                          let reply = Guard.reply_of_recovery (Error e) in
+                          if
+                            reply.Mechanism.response
+                            = Mechanism.Denied Guard.recovery_notice
+                          then
+                            bump (fun t ->
+                                {
+                                  t with
+                                  recovery_notices = t.recovery_notices + 1;
+                                })
+                          else
+                            fault ~crash_point:k ~tamper:tname
+                              (fun t -> { t with divergent = t.divergent + 1 })
+                              (Printf.sprintf
+                                 "recovery refusal mapped to %s, not \
+                                  Λ/recovery"
+                                 (show_reply reply))
+                        end)
+              done)
+            inputs)
+        (policies_of_arity g.Secpol_flowgraph.Graph.arity))
+    entries;
+  let totals = !totals in
+  {
+    base_seed;
+    crash_points;
+    mode;
+    totals;
+    findings = List.rev !findings;
+    ok =
+      totals.divergent = 0 && totals.fail_open = 0
+      && totals.journal_mismatch = 0;
+  }
+
+let pp ppf r =
+  let t = r.totals in
+  Format.fprintf ppf
+    "crash-recovery sweep: %d cases, %d crash points each, mode %s@." t.cases
+    r.crash_points
+    (Dynamic.mode_name r.mode);
+  Format.fprintf ppf "  kill/resume cycles %6d@." t.crashes;
+  Format.fprintf ppf "  bit-identical      %6d  (%d after tampering)@."
+    t.identical t.tamper_survived;
+  Format.fprintf ppf "  complete replays   %6d@." t.complete_replays;
+  Format.fprintf ppf "  recovery notices   %6d  (unrecoverable media; all map to Λ/recovery ∈ F)@."
+    t.recovery_notices;
+  Format.fprintf ppf "  journal mismatches %6d@." t.journal_mismatch;
+  Format.fprintf ppf "  divergent          %6d@." t.divergent;
+  Format.fprintf ppf "  fail-open          %6d@." t.fail_open;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  ! %s / %s / %s / crash@%d / %s: %s@." f.entry
+        f.policy f.input f.crash_point f.tamper f.detail)
+    r.findings;
+  Format.fprintf ppf "verdict: %s@."
+    (if r.ok then
+       "durable (every resume bit-identical or Λ/recovery, never fail-open)"
+     else "DIVERGENT OR FAIL-OPEN RECOVERY DETECTED")
+
+let to_json r =
+  let t = r.totals in
+  Json.Obj
+    [
+      ("base_seed", Json.Int r.base_seed);
+      ("crash_points", Json.Int r.crash_points);
+      ("mode", Json.String (Dynamic.mode_name r.mode));
+      ( "totals",
+        Json.Obj
+          [
+            ("cases", Json.Int t.cases);
+            ("crashes", Json.Int t.crashes);
+            ("identical", Json.Int t.identical);
+            ("complete_replays", Json.Int t.complete_replays);
+            ("recovery_notices", Json.Int t.recovery_notices);
+            ("tamper_survived", Json.Int t.tamper_survived);
+            ("divergent", Json.Int t.divergent);
+            ("fail_open", Json.Int t.fail_open);
+            ("journal_mismatch", Json.Int t.journal_mismatch);
+          ] );
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("entry", Json.String f.entry);
+                   ("policy", Json.String f.policy);
+                   ("input", Json.String f.input);
+                   ("crash_point", Json.Int f.crash_point);
+                   ("tamper", Json.String f.tamper);
+                   ("detail", Json.String f.detail);
+                 ])
+             r.findings) );
+      ("ok", Json.Bool r.ok);
+    ]
+
+let to_json_string r = Json.render (to_json r)

@@ -1,0 +1,88 @@
+(** Crash-recovery chaos sweep: differential verification of the durable
+    runner ({!Secpol_journal.Runner}).
+
+    For every corpus entry, every [allow(J)] policy over its inputs and a
+    spread of input vectors, the sweep runs the journaled monitor, kills it
+    at every crash point [k < crash_points], and resumes from the medium.
+    Two invariants are hunted, mirroring the fail-secure direction of the
+    {!Sweep}:
+
+    - on {e pristine} media (and on media with damage a real crash can
+      cause — torn tails, lost journal suffixes), the resumed run must be
+      {b bit-identical} — response {e and} step count — to the
+      uninterrupted run;
+    - on media with damage a crash {e cannot} cause (flipped bits in
+      surviving records or the snapshot), recovery must either still
+      reproduce the run or refuse with a typed error that
+      {!Guard.reply_of_recovery} maps to the violation notice
+      [Λ/recovery ∈ F] — never a divergent verdict, and above all never a
+      grant the clean monitor did not issue.
+
+    Tamper randomness is drawn from {!Plan.Rng} (splitmix64), so a failing
+    sweep replays bit-for-bit from [base_seed]. *)
+
+type totals = {
+  cases : int;  (** (entry, policy, input) triples exercised *)
+  crashes : int;  (** kill/resume cycles, pristine and tampered *)
+  identical : int;  (** resumes bit-identical to the uninterrupted run *)
+  complete_replays : int;
+      (** resumes that found the verdict already journaled and re-delivered
+          it without executing anything *)
+  recovery_notices : int;
+      (** tampered resumes refused and mapped to [Λ/recovery] *)
+  tamper_survived : int;
+      (** tampered resumes that nonetheless reproduced the clean run *)
+  divergent : int;  (** resumes differing from the clean run — must be 0 *)
+  fail_open : int;
+      (** resumes granting a value the clean run did not — must be 0 *)
+  journal_mismatch : int;
+      (** journaled baselines differing from the plain monitor — must be 0 *)
+}
+
+type finding = {
+  entry : string;
+  policy : string;
+  input : string;
+  crash_point : int;  (** [-1] when no kill was involved *)
+  tamper : string;
+  detail : string;
+}
+
+type report = {
+  base_seed : int;
+  crash_points : int;
+  mode : Secpol_taint.Dynamic.mode;
+  totals : totals;
+  findings : finding list;  (** capped at {!max_findings} *)
+  ok : bool;
+      (** [divergent = 0 && fail_open = 0 && journal_mismatch = 0] *)
+}
+
+val max_findings : int
+
+val default_fuel : int
+(** 2000 — enough for every terminating corpus run, small enough that the
+    diverging entries journal bounded records before [Λ/fuel]. *)
+
+val default_snapshot_every : int
+(** 8 — low, so the sweep exercises many snapshot/journal-reset boundaries,
+    including crashes landing between them. *)
+
+val run :
+  ?entries:Secpol_corpus.Paper_programs.entry list ->
+  ?mode:Secpol_taint.Dynamic.mode ->
+  ?crash_points:int ->
+  ?base_seed:int ->
+  ?fuel:int ->
+  ?snapshot_every:int ->
+  ?inputs_per_case:int ->
+  unit ->
+  report
+(** Defaults: the whole corpus, [Surveillance] monitors, 50 crash points,
+    base seed 0, {!default_fuel}, {!default_snapshot_every}, 4 inputs
+    spread across each entry's space. Policies are all [2^arity] subsets
+    of each entry's inputs. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Secpol_staticflow.Lint.Json.value
+val to_json_string : report -> string

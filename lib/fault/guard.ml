@@ -18,6 +18,12 @@ type config = { retries : int; backoff_base : int; step_budget : int option }
 let default = { retries = 2; backoff_base = 4; step_budget = None }
 
 let degraded_notice = "\xce\x9b/degraded" (* Λ/degraded *)
+let recovery_notice = "\xce\x9b/recovery" (* Λ/recovery *)
+
+let reply_of_recovery = function
+  | Ok reply -> reply
+  | Error _ ->
+      { Mechanism.response = Mechanism.Denied recovery_notice; steps = 0 }
 
 (* One attempt's verdict: either a final outcome or a symptom to retry on. *)
 let classify config (reply : Mechanism.reply) =

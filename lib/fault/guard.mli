@@ -60,6 +60,22 @@ val degraded_notice : string
     notices would let the {e pattern} of failures split a policy class
     (the chatty-notice trap of Example 4). *)
 
+val recovery_notice : string
+(** The violation notice ("Λ/recovery") for unrecoverable journals: when
+    crash recovery finds a snapshot or journal it cannot trust — checksum
+    failure, foreign layout version, malformed state, missing program —
+    the run is not re-executed and not guessed at; it is denied with this
+    single notice. Λ/recovery ∈ F: a broken journal can cost an answer,
+    never leak one. Like {!degraded_notice} it is deliberately
+    uninformative, so the {e pattern} of recovery failures cannot split a
+    policy class. *)
+
+val reply_of_recovery :
+  (Secpol_core.Mechanism.reply, 'e) result -> Secpol_core.Mechanism.reply
+(** Collapse a recovery result into [E ∪ F]: [Ok reply] passes through,
+    any [Error _] becomes [Denied recovery_notice] (0 steps — the run
+    never resumed). *)
+
 val run :
   ?config:config ->
   ?injector:Injector.t ->

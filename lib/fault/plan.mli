@@ -20,6 +20,19 @@ type kind =
           clears from attempt [k+1] on — the fault a bounded retry loop
           can ride out iff it is allowed at least [k] retries. *)
 
+(** The splitmix64 generator behind {!generate}, exposed so other
+    deterministic sweeps (notably the crash-recovery sweep of {!Crash})
+    derive their randomness from the same pinned, platform-stable
+    sequence. *)
+module Rng : sig
+  type state
+
+  val create : int -> state
+
+  val below : state -> int -> int
+  (** Draw in [\[0, n)]. *)
+end
+
 type point = { at_step : int; kind : kind }
 
 type t = {

@@ -47,3 +47,25 @@ let set st v n =
 
 let lookup st v = get st v
 let output st = st.out
+
+type snapshot = {
+  snap_inputs : int array;
+  snap_regs : int array;
+  snap_out : int;
+}
+
+let snapshot st =
+  {
+    snap_inputs = Array.copy st.inputs;
+    snap_regs = Array.copy st.regs;
+    snap_out = st.out;
+  }
+
+let restore s =
+  if Array.length s.snap_regs = 0 then
+    invalid_arg "Store.restore: empty register array";
+  {
+    inputs = Array.copy s.snap_inputs;
+    regs = Array.copy s.snap_regs;
+    out = s.snap_out;
+  }

@@ -26,3 +26,20 @@ val lookup : t -> Var.t -> int
 
 val output : t -> int
 (** Current value of [y]. *)
+
+(** An immutable copy of a store's full contents, the value-store half of a
+    snapshotable interpreter state. [snapshot] copies the arrays out;
+    [restore] builds a fresh store around copies of them, preserving the
+    exact register-array length (grow-on-demand sizing is part of the state:
+    deterministic replay must reproduce it bit-for-bit). *)
+type snapshot = {
+  snap_inputs : int array;
+  snap_regs : int array;
+  snap_out : int;
+}
+
+val snapshot : t -> snapshot
+
+val restore : snapshot -> t
+(** @raise Invalid_argument on an empty register array (stores always hold
+    at least one register slot). *)

@@ -1,0 +1,83 @@
+(** Binary codec for durable enforcement state.
+
+    Everything the journal writes goes through this module: 8-byte
+    little-endian integers, length-prefixed strings and arrays, a CRC-32
+    checksum, and a layout {!format_version} stamped into every snapshot
+    and record. Decoding is total — every way the bytes can be wrong
+    (truncation, foreign version, bad checksum, nonsense lengths) is a
+    constructor of {!decode_error}, never an exception escaping to the
+    caller and never a misread state. The fail-secure supervisor maps any
+    such error to the violation notice [Λ/recovery]
+    ({!Secpol_fault.Guard.recovery_notice}). *)
+
+val format_version : int
+(** Version tag of the byte layout, covering the [Expr]/[Store]/
+    [Dynamic.image] shapes this build serializes. Decoders reject any other
+    version with {!Bad_version}: a journal written under one layout must
+    never be replayed under another. *)
+
+type decode_error =
+  | Truncated of { wanted : int; have : int }
+  | Bad_magic of { got : string; want : string }
+  | Bad_version of { got : int; want : int }
+  | Bad_checksum of { at : int }
+  | Malformed of string
+
+exception Error of decode_error
+(** Raised by readers; confined to this library — the public entry points
+    return [result]s via {!guard}. *)
+
+val error_message : decode_error -> string
+
+val guard : (unit -> 'a) -> ('a, decode_error) result
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, reflected). [crc32 "123456789" = 0xCBF43926]. *)
+
+(** Primitive writers over a [Buffer]. *)
+module W : sig
+  type t = Buffer.t
+
+  val create : unit -> t
+  val contents : t -> string
+  val int : t -> int -> unit
+  val bool : t -> bool -> unit
+  val string : t -> string -> unit
+  val int_array : t -> int array -> unit
+end
+
+(** Primitive readers; length fields are validated against the remaining
+    bytes before any allocation. *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val remaining : t -> int
+  val eof : t -> bool
+  val int : t -> int
+  val bool : t -> bool
+  val string : t -> string
+  val int_array : t -> int array
+end
+
+val write_version : ?version:int -> W.t -> unit
+(** Defaults to {!format_version}; the override exists for version-mismatch
+    tests and future migration tooling. *)
+
+val read_version : R.t -> unit
+(** @raise Error [Bad_version] on any version other than
+    {!format_version}. *)
+
+val write_value : W.t -> Secpol_core.Value.t -> unit
+val read_value : R.t -> Secpol_core.Value.t
+
+val write_image : W.t -> Secpol_taint.Dynamic.image -> unit
+val read_image : R.t -> Secpol_taint.Dynamic.image
+
+val encode_image : ?version:int -> Secpol_taint.Dynamic.image -> string
+(** Version tag followed by the image; the unit the QCheck round-trip
+    property quantifies over. *)
+
+val decode_image : string -> (Secpol_taint.Dynamic.image, decode_error) result
+(** Inverse of {!encode_image} on exact encodings; rejects trailing bytes,
+    foreign versions and truncations with the precise error. *)

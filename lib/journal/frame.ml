@@ -1,0 +1,74 @@
+(* Record framing: magic ("sj"), u32-LE payload length, u32-LE CRC-32 of
+   the payload, payload. The scan distinguishes the two ways a journal can
+   be damaged:
+
+   - a TORN TAIL — the file ends inside a frame (fewer bytes than the
+     header promises, or not even a full header). That is exactly what a
+     crash mid-append produces; the tail is dropped and recovery replays
+     the intact prefix, which the deterministic interpreter extends to the
+     same verdict.
+   - CORRUPTION — a complete frame whose checksum fails, or bytes that are
+     not a frame at all. Appends cannot produce that; the medium lied, so
+     nothing after the damage can be trusted and the scan refuses the whole
+     journal with a typed error (the caller degrades to Λ/recovery). *)
+
+let magic = "sj"
+let header_size = 2 + 4 + 4
+
+let u32_max = 0xFFFFFFFF
+
+let frame payload =
+  let n = String.length payload in
+  if n > u32_max then invalid_arg "Frame.frame: payload too large";
+  let b = Buffer.create (header_size + n) in
+  Buffer.add_string b magic;
+  let by = Bytes.create 8 in
+  Bytes.set_int32_le by 0 (Int32.of_int n);
+  Bytes.set_int32_le by 4 (Int32.of_int (Codec.crc32 payload));
+  Buffer.add_bytes b (Bytes.sub by 0 8);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let append buf payload = Buffer.add_string buf (frame payload)
+
+let get_u32 s pos = Int32.to_int (String.get_int32_le s pos) land u32_max
+
+type scan = { records : string list; dropped_bytes : int }
+
+let scan s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos = n then Ok { records = List.rev acc; dropped_bytes = 0 }
+    else if n - pos < header_size then
+      (* Torn mid-header: a crash wrote a prefix of the next frame. *)
+      Ok { records = List.rev acc; dropped_bytes = n - pos }
+    else
+      let m = String.sub s pos 2 in
+      if m <> magic then Error (Codec.Bad_magic { got = m; want = magic })
+      else
+        let len = get_u32 s (pos + 2) in
+        let crc = get_u32 s (pos + 6) in
+        if pos + header_size + len > n then
+          (* Torn mid-payload: header complete, payload cut short at EOF. *)
+          Ok { records = List.rev acc; dropped_bytes = n - pos }
+        else
+          let payload = String.sub s (pos + header_size) len in
+          if Codec.crc32 payload <> crc then
+            Error (Codec.Bad_checksum { at = pos })
+          else go (pos + header_size + len) (payload :: acc)
+  in
+  go 0 []
+
+let one s =
+  match scan s with
+  | Error _ as e -> e
+  | Ok { records = [ payload ]; dropped_bytes = 0 } -> Ok payload
+  | Ok { dropped_bytes; _ } when dropped_bytes > 0 ->
+      Error
+        (Codec.Truncated
+           { wanted = dropped_bytes; have = String.length s - dropped_bytes })
+  | Ok { records; _ } ->
+      Error
+        (Codec.Malformed
+           (Printf.sprintf "expected exactly one frame, found %d"
+              (List.length records)))

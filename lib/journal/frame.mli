@@ -1,0 +1,33 @@
+(** Checksummed, length-prefixed record framing for the journal.
+
+    A frame is [magic | u32 length | u32 crc32(payload) | payload]. The
+    format is append-only: the only damage an interrupted append can cause
+    is a {e torn tail} — a strict byte prefix of a frame at end-of-file —
+    which {!scan} silently drops (recovery re-executes from the intact
+    prefix and, the interpreter being deterministic, reaches the same
+    verdict). Any other inconsistency (checksum failure, bytes that are not
+    a frame) cannot come from a crash, only from a lying medium, and makes
+    the whole journal untrusted: {!scan} returns the typed error and the
+    caller degrades to the [Λ/recovery] violation notice. *)
+
+val magic : string
+
+val header_size : int
+
+val frame : string -> string
+(** One framed payload.
+    @raise Invalid_argument beyond the u32 length limit. *)
+
+val append : Buffer.t -> string -> unit
+
+type scan = {
+  records : string list;  (** payloads of the intact frames, in order *)
+  dropped_bytes : int;  (** torn-tail bytes dropped at EOF; 0 when clean *)
+}
+
+val scan : string -> (scan, Codec.decode_error) result
+
+val one : string -> (string, Codec.decode_error) result
+(** Exactly one intact frame and nothing else — the shape of a snapshot
+    file. Torn or multi-frame inputs are errors: a snapshot is replaced
+    atomically, so unlike the journal it is never legitimately torn. *)

@@ -1,0 +1,95 @@
+type t = {
+  load : unit -> (string * string) option;
+  append : string -> unit;
+  checkpoint : string -> unit;
+  close : unit -> unit;
+}
+
+let load t = t.load ()
+let append t s = t.append s
+let checkpoint t s = t.checkpoint s
+let close t = t.close ()
+
+let memory ?snapshot ?journal () =
+  let snap = ref snapshot in
+  let jour = Buffer.create 256 in
+  Option.iter (Buffer.add_string jour) journal;
+  {
+    load =
+      (fun () ->
+        match !snap with
+        | None -> None
+        | Some s -> Some (s, Buffer.contents jour));
+    append = Buffer.add_string jour;
+    checkpoint =
+      (fun s ->
+        snap := Some s;
+        Buffer.clear jour);
+    close = ignore;
+  }
+
+let snapshot_file = "snapshot.bin"
+let journal_file = "journal.bin"
+
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+
+let write_file p s =
+  Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+
+let dir path =
+  if not (Sys.file_exists path) then Sys.mkdir path 0o755
+  else if not (Sys.is_directory path) then
+    invalid_arg (Printf.sprintf "Media.dir: %s exists and is not a directory" path);
+  let snap_path = Filename.concat path snapshot_file in
+  let jour_path = Filename.concat path journal_file in
+  let oc = ref None in
+  let close_journal () =
+    match !oc with
+    | Some c ->
+        Out_channel.close c;
+        oc := None
+    | None -> ()
+  in
+  let journal_oc () =
+    match !oc with
+    | Some c -> c
+    | None ->
+        let c =
+          Out_channel.open_gen
+            [ Open_wronly; Open_append; Open_creat; Open_binary ]
+            0o644 jour_path
+        in
+        oc := Some c;
+        c
+  in
+  {
+    load =
+      (fun () ->
+        if Sys.file_exists snap_path then
+          let jour =
+            if Sys.file_exists jour_path then read_file jour_path else ""
+          in
+          Some (read_file snap_path, jour)
+        else None);
+    append =
+      (fun s ->
+        let c = journal_oc () in
+        Out_channel.output_string c s;
+        (* Flush per record: the journal must be ahead of any externally
+           visible effect, and the verdict frame in particular must be on
+           the medium before the reply is released. *)
+        Out_channel.flush c);
+    checkpoint =
+      (fun s ->
+        close_journal ();
+        (* Write-then-rename: the snapshot is replaced atomically, so a
+           crash leaves either the old snapshot or the new one, never a
+           torn hybrid. The journal is reset only AFTER the rename; a crash
+           between the two leaves stale pre-snapshot records, which replay
+           skips by step monotonicity. *)
+        let tmp = snap_path ^ ".tmp" in
+        write_file tmp s;
+        Sys.rename tmp snap_path;
+        write_file jour_path "");
+    close = close_journal;
+  }

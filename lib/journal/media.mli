@@ -1,0 +1,41 @@
+(** Where a journal lives: storage backends behind one small interface.
+
+    A medium holds two byte streams — an atomically replaced {e snapshot}
+    and an append-only {e journal} — and nothing else; all interpretation
+    of the bytes belongs to {!Frame} and {!Runner}. Two backends:
+
+    - {!memory}: a buffer pair. The crash-recovery chaos sweep runs
+      thousands of kill/tamper/resume cycles per second against it, and its
+      optional initializers let the sweep hand recovery a deliberately
+      damaged journal.
+    - {!dir}: a directory with [snapshot.bin] and [journal.bin]. Appends
+      are flushed per record (the journal stays ahead of any externally
+      visible effect); snapshots are replaced by write-then-rename, so a
+      crash leaves the old or the new snapshot, never a torn hybrid. The
+      journal is reset only after the rename — a crash between the two
+      leaves stale records, which replay skips by step monotonicity. *)
+
+type t
+
+val load : t -> (string * string) option
+(** [(snapshot_bytes, journal_bytes)], or [None] before the first
+    checkpoint. *)
+
+val append : t -> string -> unit
+(** Append (already framed) bytes to the journal. *)
+
+val checkpoint : t -> string -> unit
+(** Atomically replace the snapshot and reset the journal. *)
+
+val close : t -> unit
+
+val memory : ?snapshot:string -> ?journal:string -> unit -> t
+(** Fresh in-memory medium, optionally preloaded (for handing recovery a
+    tampered journal). With no [snapshot], {!load} is [None]. *)
+
+val dir : string -> t
+(** Directory backend; the directory is created if missing.
+    @raise Invalid_argument if the path exists and is not a directory. *)
+
+val snapshot_file : string
+val journal_file : string

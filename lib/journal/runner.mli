@@ -1,0 +1,91 @@
+(** The durable enforcement runner: journaled monitored runs and recovery.
+
+    {!run} drives {!Secpol_taint.Dynamic}'s step machine and commits each
+    interpreter box to a {!Media.t} as a framed full-state record, with a
+    periodic atomic snapshot folding the journal down. The verdict is
+    appended {e before} the reply is released, so a crash can never lose an
+    already-delivered answer. {!resume} rebuilds the run from the last
+    intact snapshot plus the journal suffix and continues it under the same
+    monitor; on an intact medium the resumed run is bit-identical (response
+    {e and} step count) to the uninterrupted one, and on a corrupted medium
+    it returns a typed {!failure} which the fail-secure supervisor maps to
+    the violation notice [Λ/recovery] — degraded recovery lands in [F],
+    never in a disallowed grant. *)
+
+type header = {
+  program_ref : string;  (** how to find the program again, e.g. a corpus entry name *)
+  graph_name : string;
+  graph_hash : int;  (** CRC-32 of the printed graph; checked on resume *)
+  arity : int;
+  inputs : Secpol_core.Value.t array;
+  mode : Secpol_taint.Dynamic.mode;
+  allowed : Secpol_core.Iset.t;
+  fuel : int;
+  cost : Secpol_flowgraph.Expr.cost_model;
+  chatty : bool;
+  snapshot_every : int;
+}
+(** Everything needed to re-create the monitor configuration and restart
+    the run from scratch; written into every snapshot. *)
+
+val graph_hash : Secpol_flowgraph.Graph.t -> int
+
+val config_of_header : header -> Secpol_taint.Dynamic.config
+(** The journaled configuration with {!Secpol_flowgraph.Hook.none} — hooks
+    are process-local and cannot be serialized. *)
+
+val default_snapshot_every : int
+
+type outcome =
+  | Completed of Secpol_core.Mechanism.reply
+  | Killed of { at_box : int }
+      (** Only with [?kill_at]: the run stopped after journaling that many
+          boxes, simulating process death for the crash sweep. *)
+
+val run :
+  ?kill_at:int ->
+  ?snapshot_every:int ->
+  media:Media.t ->
+  program_ref:string ->
+  Secpol_taint.Dynamic.config ->
+  Secpol_flowgraph.Graph.t ->
+  Secpol_core.Value.t array ->
+  outcome
+(** Run the monitored interpreter, journaling every committed box.
+    [kill_at n] aborts after [n] journaled boxes (fault injection);
+    [snapshot_every] bounds the journal length between snapshots.
+    @raise Invalid_argument if [snapshot_every < 1]. *)
+
+type failure =
+  | No_journal  (** the medium has no snapshot at all *)
+  | Decode of Codec.decode_error
+      (** corrupted snapshot, journal, or state image — the journal is
+          untrusted and the run degrades to [Λ/recovery] *)
+  | Program_mismatch of string
+      (** the resolver's graph does not hash to the journaled one *)
+
+val failure_message : failure -> string
+
+type resumed = {
+  header : header;
+  replayed : int;  (** state records adopted from the journal suffix *)
+  resumed_steps : int;  (** charged steps at the point recovery took over *)
+  torn_bytes : int;  (** torn-tail bytes dropped at the journal's EOF *)
+  was_complete : bool;
+      (** the journal already held the verdict; nothing was re-executed *)
+  reply : Secpol_core.Mechanism.reply;
+}
+
+val resume :
+  ?kill_at:int ->
+  resolve:(header -> (Secpol_flowgraph.Graph.t, string) result) ->
+  media:Media.t ->
+  unit ->
+  (resumed, failure) result
+(** Recover the run on [media]: load the last snapshot, replay the journal
+    suffix (adopting records by strictly increasing step count, which makes
+    replay idempotent and skips stale pre-snapshot records), then either
+    re-deliver the journaled verdict or continue executing — journaling as
+    it goes, so a crash during recovery also recovers. [resolve] maps the
+    journaled {!header} back to a graph; a hash or arity mismatch is a
+    {!Program_mismatch}. *)

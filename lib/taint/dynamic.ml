@@ -146,129 +146,313 @@ let denied cfg ~taint steps =
    function into E u F by reporting a distinguished violation notice. *)
 let out_of_fuel steps = reply (Mechanism.Denied fuel_notice) steps
 
-let run cfg g inputs =
+(* --- the step machine ----------------------------------------------------
+
+   The monitor as an explicit small-step machine: [prepare] fixes the
+   per-graph analyses, [start] materializes the state a run carries between
+   boxes, [step] commits exactly one box (one hook consultation, one fuel
+   check). [run] below folds the machine to a reply and is bit-identical to
+   the historical recursive interpreter — every chaos sweep and parity test
+   holds it to that. The explicit state is what makes monitored runs
+   durable: between any two [step]s the whole run is a first-class value
+   that can be imaged, journaled, and restored after a crash
+   ([Secpol_journal]). *)
+
+type state = {
+  st_node : int;
+  st_steps : int;
+  st_store : Store.t;
+  st_taints : Taint_store.t;
+  st_pc : Iset.t;
+  (* Scoped mode: frames of (saved C̄, node at which to restore it),
+     innermost first. *)
+  st_frames : (Iset.t * int) list;
+}
+
+type machine = { m_cfg : config; m_graph : Graph.t; m_ipd : int array }
+
+type step_result = Step of state | Final of Mechanism.reply
+
+let prepare cfg g =
+  let ipd =
+    match cfg.mode with
+    | Scoped -> Graphalgo.immediate_postdominator g
+    | High_water | Surveillance | Timed -> [||]
+  in
+  { m_cfg = cfg; m_graph = g; m_ipd = ipd }
+
+let machine_config m = m.m_cfg
+let machine_graph m = m.m_graph
+let steps_of st = st.st_steps
+let node_of st = st.st_node
+
+let start m inputs =
+  let g = m.m_graph in
   if Array.length inputs <> g.Graph.arity then
-    reply
-      (Mechanism.Failed
-         (Printf.sprintf "Dynamic.run %s: expected %d inputs, got %d"
-            g.Graph.name g.Graph.arity (Array.length inputs)))
-      0
+    Error
+      (reply
+         (Mechanism.Failed
+            (Printf.sprintf "Dynamic.run %s: expected %d inputs, got %d"
+               g.Graph.name g.Graph.arity (Array.length inputs)))
+         0)
   else
     match Store.of_values ~inputs ~max_reg:(Graph.max_reg g) with
-    | exception Invalid_argument m -> reply (Mechanism.Failed m) 0
+    | exception Invalid_argument msg -> Error (reply (Mechanism.Failed msg) 0)
     | store ->
-        let max_reg = Graph.max_reg g in
-        let taints = Taint_store.create ~arity:g.Graph.arity ~max_reg in
-        let env = Store.lookup store in
-        let ipd =
-          match cfg.mode with
-          | Scoped -> Graphalgo.immediate_postdominator g
-          | High_water | Surveillance | Timed -> [||]
+        let taints =
+          Taint_store.create ~arity:g.Graph.arity ~max_reg:(Graph.max_reg g)
         in
-        (* Scoped mode: frames of (saved C̄, node at which to restore it). *)
-        let frames : (Iset.t * int) list ref = ref [] in
-        let pc = ref Iset.empty in
-        let restore_at node =
-          let rec pop () =
-            match !frames with
-            | (saved, at) :: rest when at = node ->
-                pc := saved;
-                frames := rest;
-                pop ()
-            | _ -> ()
-          in
-          pop ()
+        (* The start box costs no step and consults no hook; cross it here
+           so every [step] commits a real box. (Graph.validate guarantees a
+           single start box with no back edges into it.) *)
+        let node =
+          match g.Graph.nodes.(g.Graph.entry) with
+          | Graph.Start next -> next
+          | Graph.Assign _ | Graph.Decision _ | Graph.Halt
+          | Graph.Halt_violation _ ->
+              g.Graph.entry
         in
-        let last_steps = ref 0 in
-        let ok l = Iset.subset l cfg.allowed in
-        (* Consult the fault hook, then cross-check the redundant taint
-           store BEFORE any surveillance variable is read at this box. The
-           result is the fail-secure path to take instead of the box's
-           normal behavior, if any. *)
-        let stricken steps =
-          let injected =
-            match cfg.hook ~step:steps with
-            | Some (Hook.Crash m) ->
-                Some (reply (Mechanism.Failed (Interp.monitor_fault_prefix ^ m)) steps)
-            | Some Hook.Starve -> Some (out_of_fuel steps)
-            | Some Hook.Corrupt ->
-                Taint_store.corrupt taints ~step:steps;
-                None
-            | None -> None
-          in
-          match injected with
-          | Some _ as r -> r
-          | None ->
-              if Taint_store.consistent taints then None
-              else Some (reply (Mechanism.Failed corruption_fault) steps)
-        in
-        let rec go node steps =
-          last_steps := steps;
-          if cfg.mode = Scoped then restore_at node;
-          match g.Graph.nodes.(node) with
-          | Graph.Start next -> go next steps
-          | Graph.Assign (v, e, next) -> (
-              match stricken steps with
-              | Some r -> r
-              | None ->
-                  if steps >= cfg.fuel then out_of_fuel steps
-                  else begin
-                    let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
-                    let base = Iset.union rhs_taint !pc in
-                    let taint =
-                      match cfg.mode with
-                      | High_water -> Iset.union (Taint_store.get taints v) base
-                      | Surveillance | Scoped | Timed -> base
-                    in
-                    let value, extra = Expr.eval_cost cfg.cost env e in
-                    Store.set store v value;
-                    Taint_store.set taints v taint;
-                    go next (steps + 1 + extra)
-                  end)
-          | Graph.Decision (p, if_true, if_false) -> (
-              match stricken steps with
-              | Some r -> r
-              | None ->
-                  if steps >= cfg.fuel then out_of_fuel steps
-                  else begin
-                    let test_taint =
-                      Taint_store.of_vars taints (Expr.pred_vars p)
-                    in
-                    match cfg.mode with
-                    | Timed when not (ok (Iset.union test_taint !pc)) ->
-                        (* Rule of Theorem 3': abort before the disallowed
-                           test. *)
-                        denied cfg ~taint:(Iset.union test_taint !pc) steps
-                    | High_water | Surveillance | Timed ->
-                        pc := Iset.union !pc test_taint;
-                        let taken, extra = Expr.eval_pred_cost cfg.cost env p in
-                        go (if taken then if_true else if_false)
-                          (steps + 1 + extra)
-                    | Scoped ->
-                        (if ipd.(node) >= 0 then
-                           frames := (!pc, ipd.(node)) :: !frames);
-                        pc := Iset.union !pc test_taint;
-                        let taken, extra = Expr.eval_pred_cost cfg.cost env p in
-                        go (if taken then if_true else if_false)
-                          (steps + 1 + extra)
-                  end)
-          | Graph.Halt -> (
-              match stricken steps with
-              | Some r -> r
-              | None ->
-                  let out_taint =
-                    Iset.union (Taint_store.get taints Var.Out) !pc
+        Ok
+          {
+            st_node = node;
+            st_steps = 0;
+            st_store = store;
+            st_taints = taints;
+            st_pc = Iset.empty;
+            st_frames = [];
+          }
+
+let rec restore_frames node pc frames =
+  match frames with
+  | (saved, at) :: rest when at = node -> restore_frames node saved rest
+  | _ -> (pc, frames)
+
+let step m st =
+  let cfg = m.m_cfg and g = m.m_graph in
+  let steps = st.st_steps in
+  let pc, frames =
+    if cfg.mode = Scoped then restore_frames st.st_node st.st_pc st.st_frames
+    else (st.st_pc, st.st_frames)
+  in
+  let taints = st.st_taints in
+  let env = Store.lookup st.st_store in
+  let ok l = Iset.subset l cfg.allowed in
+  (* Consult the fault hook, then cross-check the redundant taint store
+     BEFORE any surveillance variable is read at this box. The result is
+     the fail-secure path to take instead of the box's normal behavior, if
+     any. *)
+  let stricken () =
+    let injected =
+      match cfg.hook ~step:steps with
+      | Some (Hook.Crash msg) ->
+          Some (reply (Mechanism.Failed (Interp.monitor_fault_prefix ^ msg)) steps)
+      | Some Hook.Starve -> Some (out_of_fuel steps)
+      | Some Hook.Corrupt ->
+          Taint_store.corrupt taints ~step:steps;
+          None
+      | None -> None
+    in
+    match injected with
+    | Some _ as r -> r
+    | None ->
+        if Taint_store.consistent taints then None
+        else Some (reply (Mechanism.Failed corruption_fault) steps)
+  in
+  try
+    match g.Graph.nodes.(st.st_node) with
+    | Graph.Start next ->
+        Step { st with st_node = next; st_pc = pc; st_frames = frames }
+    | Graph.Assign (v, e, next) -> (
+        match stricken () with
+        | Some r -> Final r
+        | None ->
+            if steps >= cfg.fuel then Final (out_of_fuel steps)
+            else begin
+              let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
+              let base = Iset.union rhs_taint pc in
+              let taint =
+                match cfg.mode with
+                | High_water -> Iset.union (Taint_store.get taints v) base
+                | Surveillance | Scoped | Timed -> base
+              in
+              let value, extra = Expr.eval_cost cfg.cost env e in
+              Store.set st.st_store v value;
+              Taint_store.set taints v taint;
+              Step
+                {
+                  st with
+                  st_node = next;
+                  st_steps = steps + 1 + extra;
+                  st_pc = pc;
+                  st_frames = frames;
+                }
+            end)
+    | Graph.Decision (p, if_true, if_false) -> (
+        match stricken () with
+        | Some r -> Final r
+        | None ->
+            if steps >= cfg.fuel then Final (out_of_fuel steps)
+            else begin
+              let test_taint = Taint_store.of_vars taints (Expr.pred_vars p) in
+              match cfg.mode with
+              | Timed when not (ok (Iset.union test_taint pc)) ->
+                  (* Rule of Theorem 3': abort before the disallowed
+                     test. *)
+                  Final (denied cfg ~taint:(Iset.union test_taint pc) steps)
+              | High_water | Surveillance | Timed ->
+                  let pc = Iset.union pc test_taint in
+                  let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                  Step
+                    {
+                      st with
+                      st_node = (if taken then if_true else if_false);
+                      st_steps = steps + 1 + extra;
+                      st_pc = pc;
+                      st_frames = frames;
+                    }
+              | Scoped ->
+                  let frames =
+                    if m.m_ipd.(st.st_node) >= 0 then
+                      (pc, m.m_ipd.(st.st_node)) :: frames
+                    else frames
                   in
-                  if ok out_taint then
-                    reply
-                      (Mechanism.Granted (Value.Int (Store.output store)))
-                      steps
-                  else denied cfg ~taint:out_taint steps)
-          | Graph.Halt_violation n -> reply (Mechanism.Denied n) steps
-        in
-        (try go g.Graph.entry 0
-         with Expr.Runtime_fault e ->
-           reply (Mechanism.Failed (Expr.error_message e)) !last_steps)
+                  let pc = Iset.union pc test_taint in
+                  let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                  Step
+                    {
+                      st with
+                      st_node = (if taken then if_true else if_false);
+                      st_steps = steps + 1 + extra;
+                      st_pc = pc;
+                      st_frames = frames;
+                    }
+            end)
+    | Graph.Halt -> (
+        match stricken () with
+        | Some r -> Final r
+        | None ->
+            let out_taint = Iset.union (Taint_store.get taints Var.Out) pc in
+            if ok out_taint then
+              Final
+                (reply (Mechanism.Granted (Value.Int (Store.output st.st_store))) steps)
+            else Final (denied cfg ~taint:out_taint steps))
+    | Graph.Halt_violation n -> Final (reply (Mechanism.Denied n) steps)
+  with Expr.Runtime_fault e ->
+    Final (reply (Mechanism.Failed (Expr.error_message e)) steps)
+
+let run_to_end m st =
+  let rec loop st = match step m st with Step st -> loop st | Final r -> r in
+  loop st
+
+let run cfg g inputs =
+  let m = prepare cfg g in
+  match start m inputs with Error r -> r | Ok st -> run_to_end m st
+
+(* --- serializable state images ------------------------------------------
+
+   A flat, integer-only copy of everything a [state] carries, including the
+   shadow copies of the redundant taint store (restoring a corrupted state
+   must keep the corruption detectable) and the exact array lengths
+   (grow-on-demand sizing is part of deterministic replay). Taint sets
+   travel as their bitmask encoding. *)
+
+type image = {
+  im_node : int;
+  im_steps : int;
+  im_inputs : int array;
+  im_regs : int array;
+  im_out : int;
+  im_taint_inputs : int array;
+  im_taint_regs : int array;
+  im_taint_out : int;
+  im_shadow_inputs : int array;
+  im_shadow_regs : int array;
+  im_shadow_out : int;
+  im_pc : int;
+  im_frames : (int * int) list;
+}
+
+let image st =
+  let snap = Store.snapshot st.st_store in
+  let ts = st.st_taints in
+  let masks = Array.map Iset.to_mask in
+  {
+    im_node = st.st_node;
+    im_steps = st.st_steps;
+    im_inputs = snap.Store.snap_inputs;
+    im_regs = snap.Store.snap_regs;
+    im_out = snap.Store.snap_out;
+    im_taint_inputs = masks ts.Taint_store.inputs;
+    im_taint_regs = masks ts.Taint_store.regs;
+    im_taint_out = Iset.to_mask ts.Taint_store.out;
+    im_shadow_inputs = masks ts.Taint_store.shadow_inputs;
+    im_shadow_regs = masks ts.Taint_store.shadow_regs;
+    im_shadow_out = Iset.to_mask ts.Taint_store.shadow_out;
+    im_pc = Iset.to_mask st.st_pc;
+    im_frames =
+      List.map (fun (pc, at) -> (Iset.to_mask pc, at)) st.st_frames;
+  }
+
+let image_equal (a : image) (b : image) = a = b
+
+let of_image g img =
+  let err fmt = Printf.ksprintf (fun m -> Error ("Dynamic.of_image: " ^ m)) fmt in
+  let nodes = Graph.node_count g in
+  let nonneg a = Array.for_all (fun m -> m >= 0) a in
+  if img.im_node < 0 || img.im_node >= nodes then
+    err "node %d outside [0,%d)" img.im_node nodes
+  else if img.im_steps < 0 then err "negative step count %d" img.im_steps
+  else if Array.length img.im_inputs <> g.Graph.arity then
+    err "input array length %d, arity %d" (Array.length img.im_inputs)
+      g.Graph.arity
+  else if Array.length img.im_regs = 0 then err "empty register array"
+  else if
+    Array.length img.im_taint_inputs <> g.Graph.arity
+    || Array.length img.im_shadow_inputs <> g.Graph.arity
+  then err "taint input arrays do not match arity %d" g.Graph.arity
+  else if
+    Array.length img.im_taint_regs = 0
+    || Array.length img.im_taint_regs <> Array.length img.im_shadow_regs
+  then err "taint register arrays empty or of unequal length"
+  else if
+    not
+      (nonneg img.im_taint_inputs && nonneg img.im_taint_regs
+      && nonneg img.im_shadow_inputs && nonneg img.im_shadow_regs
+      && img.im_taint_out >= 0 && img.im_shadow_out >= 0 && img.im_pc >= 0)
+  then err "negative taint mask"
+  else if
+    List.exists (fun (pc, at) -> pc < 0 || at < 0 || at >= nodes) img.im_frames
+  then err "frame with negative mask or out-of-range restore node"
+  else
+    let sets = Array.map Iset.of_mask in
+    let store =
+      Store.restore
+        {
+          Store.snap_inputs = img.im_inputs;
+          snap_regs = img.im_regs;
+          snap_out = img.im_out;
+        }
+    in
+    let taints =
+      {
+        Taint_store.inputs = sets img.im_taint_inputs;
+        regs = sets img.im_taint_regs;
+        out = Iset.of_mask img.im_taint_out;
+        shadow_inputs = sets img.im_shadow_inputs;
+        shadow_regs = sets img.im_shadow_regs;
+        shadow_out = Iset.of_mask img.im_shadow_out;
+      }
+    in
+    Ok
+      {
+        st_node = img.im_node;
+        st_steps = img.im_steps;
+        st_store = store;
+        st_taints = taints;
+        st_pc = Iset.of_mask img.im_pc;
+        st_frames =
+          List.map (fun (pc, at) -> (Iset.of_mask pc, at)) img.im_frames;
+      }
 
 (* Observer variant for the static-soundness cross-check: track taint with
    Scoped semantics (pc restored at the immediate postdominator — the

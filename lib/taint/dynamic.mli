@@ -93,6 +93,89 @@ val run :
     runtime fault of the program or an injected fault of the monitor all
     come back as [Failed] (or [Denied]) replies — it never raises. *)
 
+(** {2 The step machine}
+
+    [run] folded open: a prepared {!machine} (configuration plus the
+    per-graph analyses), an explicit {!state} carried between boxes, and a
+    {!step} function that commits exactly one assignment, decision or halt
+    box — one hook consultation, one fuel check. [run] is definitionally
+    [start] followed by {!run_to_end}, and is bit-identical to the
+    historical recursive interpreter.
+
+    The machine exists for durability: between steps the whole monitored
+    run is a first-class value. {!image} flattens it to integers (taint
+    sets as bitmasks, shadow copies and exact array lengths included) so
+    [Secpol_journal] can checkpoint and journal it; {!of_image} validates
+    and rebuilds a state, after which {!run_to_end} continues the run as if
+    it had never stopped. *)
+
+type machine
+
+type state
+
+type step_result = Step of state | Final of Secpol_core.Mechanism.reply
+
+val prepare : config -> Graph.t -> machine
+(** Fix the per-graph analyses (immediate postdominators for [Scoped]
+    mode); pure in the graph, reusable across runs. *)
+
+val machine_config : machine -> config
+
+val machine_graph : machine -> Graph.t
+
+val start :
+  machine -> Secpol_core.Value.t array -> (state, Secpol_core.Mechanism.reply) result
+(** The state poised at the first real box (the start box costs nothing and
+    is crossed here). [Error] carries the [Failed] reply for a wrong-arity
+    or non-integer input vector — the same reply {!run} would return. *)
+
+val step : machine -> state -> step_result
+(** Commit one box. [Step] is the state after the box; [Final] is the
+    run's reply (grant, violation notice, or fault). The store and taint
+    arrays are mutated in place — a [state] is a cursor into a live run,
+    not a persistent value; use {!image} to take a durable copy. Never
+    raises: runtime faults of the program become [Final (Failed _)]. *)
+
+val run_to_end : machine -> state -> Secpol_core.Mechanism.reply
+(** Fold {!step} to the reply. *)
+
+val steps_of : state -> int
+(** The step counter (fuel consumed so far). *)
+
+val node_of : state -> int
+(** The node about to execute. *)
+
+(** A flat integer-only copy of a {!state}: variable store, both copies of
+    the redundant taint store (masks), program-counter taint, scoped-mode
+    frames, node and step counter. Exact array lengths are preserved —
+    grow-on-demand sizing is part of deterministic replay. *)
+type image = {
+  im_node : int;
+  im_steps : int;
+  im_inputs : int array;
+  im_regs : int array;
+  im_out : int;
+  im_taint_inputs : int array;
+  im_taint_regs : int array;
+  im_taint_out : int;
+  im_shadow_inputs : int array;
+  im_shadow_regs : int array;
+  im_shadow_out : int;
+  im_pc : int;
+  im_frames : (int * int) list;
+}
+
+val image : state -> image
+(** A durable copy; shares nothing with the live state. *)
+
+val of_image : Graph.t -> image -> (state, string) result
+(** Validate an image against the graph (node range, arity, array lengths,
+    non-negative masks, frame targets) and rebuild the state. [Error]
+    explains the first inconsistency — a decoded-but-nonsensical image must
+    be a typed failure, never a crash or a silently wrong resume. *)
+
+val image_equal : image -> image -> bool
+
 val mechanism : config -> Graph.t -> Secpol_core.Mechanism.t
 (** Package as a protection mechanism for the flowchart's program. *)
 

@@ -16,6 +16,8 @@ module Plan = Secpol_fault.Plan
 module Injector = Secpol_fault.Injector
 module Guard = Secpol_fault.Guard
 module Sweep = Secpol_fault.Sweep
+module Media = Secpol_journal.Media
+module Runner = Secpol_journal.Runner
 
 (* Entries with total programs and small spaces, used for the exhaustive
    property checks. *)
@@ -238,6 +240,95 @@ let test_interp_hook_faults () =
   let hooked = Interp.run_graph ~hook:Hook.none g (ints [ 1; 2 ]) in
   if plain <> hooked then Alcotest.fail "Hook.none must be bit-identical"
 
+(* --- durability: torn writes and truncation ------------------------------ *)
+
+let journal_resolve (h : Runner.header) =
+  match
+    List.find_opt
+      (fun (e : Paper.entry) -> e.Paper.name = h.Runner.program_ref)
+      Paper.all
+  with
+  | Some e -> Ok (Paper.graph e)
+  | None -> Error ("unknown " ^ h.Runner.program_ref)
+
+(* A killed journaled run for entry/input/crash point derived from [seed],
+   plus the clean verdict it must resume to. *)
+let killed_run seed =
+  let e = List.nth entries (seed mod List.length entries) in
+  let g = Paper.graph e in
+  let cfg = Dynamic.config ~fuel:2000 ~mode:Dynamic.Surveillance e.Paper.policy in
+  let inputs = List.of_seq (Space.enumerate e.Paper.space) in
+  let a = List.nth inputs (seed / 7 mod List.length inputs) in
+  let clean = Dynamic.run cfg g a in
+  let media = Media.memory () in
+  ignore
+    (Runner.run ~kill_at:(seed / 13 mod 16) ~snapshot_every:3 ~media
+       ~program_ref:e.Paper.name cfg g a);
+  match Media.load media with
+  | Some bytes -> (e, clean, bytes)
+  | None -> Alcotest.fail "killed run left no snapshot"
+
+let resume_on (snapshot, journal) =
+  Runner.resume ~resolve:journal_resolve
+    ~media:(Media.memory ~snapshot ~journal ())
+    ()
+
+(* Property: TRUNCATING the journal anywhere — mid-frame (a torn write) or
+   at a frame boundary (a lost suffix) — is always survivable: resume
+   re-executes the missing steps and lands on the clean verdict exactly. *)
+let prop_truncation_always_resumes =
+  qtest ~count:300 "journal-truncation-resumes-bit-identically"
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let _, clean, (snapshot, journal) = killed_run seed in
+      let cut = seed / 17 mod (String.length journal + 1) in
+      match resume_on (snapshot, String.sub journal 0 cut) with
+      | Ok res ->
+          res.Runner.reply = clean
+          || QCheck.Test.fail_reportf "cut at %d/%d: resumed %s, clean %s" cut
+               (String.length journal)
+               (show_mech_reply res.Runner.reply)
+               (show_mech_reply clean)
+      | Error f ->
+          QCheck.Test.fail_reportf "cut at %d: truncation must be survivable: %s"
+            cut (Runner.failure_message f))
+
+(* Property: a FLIPPED BIT anywhere on the medium yields the clean verdict
+   or a typed refusal (mapped to Λ/recovery) — never a divergent verdict,
+   and never a grant the clean run did not issue. *)
+let prop_bitflip_never_diverges =
+  qtest ~count:300 "media-bit-flip-is-identical-or-recovery-notice"
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      let _, clean, (snapshot, journal) = killed_run seed in
+      let total = String.length snapshot + String.length journal in
+      let pos = seed / 17 mod total in
+      let flip s i =
+        let by = Bytes.of_string s in
+        Bytes.set by i (Char.chr (Char.code (Bytes.get by i) lxor (1 lsl (seed / 23 mod 8))));
+        Bytes.to_string by
+      in
+      let damaged =
+        if pos < String.length snapshot then (flip snapshot pos, journal)
+        else (snapshot, flip journal (pos - String.length snapshot))
+      in
+      match resume_on damaged with
+      | Ok res -> (
+          if res.Runner.reply = clean then true
+          else
+            match res.Runner.reply.Mechanism.response with
+            | Mechanism.Granted _ ->
+                QCheck.Test.fail_reportf "FAIL-OPEN: flip at %d granted %s, clean %s"
+                  pos
+                  (show_mech_reply res.Runner.reply)
+                  (show_mech_reply clean)
+            | _ ->
+                QCheck.Test.fail_reportf "flip at %d diverged: %s vs clean %s" pos
+                  (show_mech_reply res.Runner.reply)
+                  (show_mech_reply clean))
+      | Error err -> (
+          match (Guard.reply_of_recovery (Error err)).Mechanism.response with
+          | Mechanism.Denied n when n = Guard.recovery_notice -> true
+          | _ -> QCheck.Test.fail_report "refusal escaped Λ/recovery"))
+
 (* --- the three issue properties, as qcheck properties over seeds --------- *)
 
 let seed_gen = QCheck.int_range 0 5000
@@ -357,4 +448,6 @@ let () =
           prop_guarded_below_clean;
           prop_transient_retry_recovers;
         ] );
+      ( "durability",
+        [ prop_truncation_always_resumes; prop_bitflip_never_diverges ] );
     ]

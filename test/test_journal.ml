@@ -1,0 +1,445 @@
+(* The durable enforcement runtime: binary codec (round-trips, version
+   rejection, truncation), record framing (torn tails vs corruption), media
+   semantics, and the journaled runner — kill at every crash point and
+   resume bit-identically, replay idempotently, skip stale records, and
+   degrade unrecoverable media to Λ/recovery. *)
+
+open Util
+module Iset = Secpol_core.Iset
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Codec = Secpol_journal.Codec
+module Frame = Secpol_journal.Frame
+module Media = Secpol_journal.Media
+module Runner = Secpol_journal.Runner
+module Guard = Secpol_fault.Guard
+
+let entries = [ Paper.forgetting; Paper.branch_allowed; Paper.direct_flow ]
+
+let resolve (h : Runner.header) =
+  match
+    List.find_opt (fun (e : Paper.entry) -> e.Paper.name = h.Runner.program_ref) Paper.all
+  with
+  | Some e -> Ok (Paper.graph e)
+  | None -> Error ("unknown " ^ h.Runner.program_ref)
+
+let cfg_of (e : Paper.entry) =
+  Dynamic.config ~fuel:2000 ~mode:Dynamic.Surveillance e.Paper.policy
+
+(* --- codec --------------------------------------------------------------- *)
+
+let test_crc32_vectors () =
+  (* The IEEE 802.3 check value; any table or reflection bug breaks it. *)
+  Alcotest.(check int) "123456789" 0xCBF43926 (Codec.crc32 "123456789");
+  Alcotest.(check int) "empty" 0 (Codec.crc32 "");
+  Alcotest.(check bool) "sensitive to one bit" true
+    (Codec.crc32 "123456789" <> Codec.crc32 "123456788")
+
+let test_value_roundtrip () =
+  let values =
+    [
+      Value.int 0;
+      Value.int (-7);
+      Value.int max_int;
+      Value.int min_int;
+      Value.Bool true;
+      Value.Str "";
+      Value.Str "x\x00y\xff";
+      Value.Tuple [ Value.int 1; Value.Tuple [ Value.Bool false ]; Value.Str "s" ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let b = Codec.W.create () in
+      Codec.write_value b v;
+      let r = Codec.R.of_string (Codec.W.contents b) in
+      let v' = Codec.read_value r in
+      if not (Value.equal v v') then
+        Alcotest.failf "value %s did not round-trip" (Value.to_string v);
+      Alcotest.(check bool) "consumed everything" true (Codec.R.eof r))
+    values
+
+(* A reachable interpreter state: run the machine a pseudo-random number of
+   boxes into a pseudo-random corpus run. *)
+let reachable_state seed =
+  let e = List.nth entries (seed mod List.length entries) in
+  let g = Paper.graph e in
+  let cfg = cfg_of e in
+  let m = Dynamic.prepare cfg g in
+  let inputs = List.of_seq (Space.enumerate e.Paper.space) in
+  let a = List.nth inputs (seed / 7 mod List.length inputs) in
+  match Dynamic.start m a with
+  | Error _ -> None
+  | Ok st0 ->
+      let rec go st k =
+        if k = 0 then st
+        else
+          match Dynamic.step m st with
+          | Dynamic.Final _ -> st
+          | Dynamic.Step st' -> go st' (k - 1)
+      in
+      Some (g, go st0 (seed / 31 mod 9))
+
+let prop_image_roundtrip =
+  qtest ~count:400 "encode-decode-is-id-on-reachable-states"
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      match reachable_state seed with
+      | None -> true
+      | Some (g, st) -> (
+          let im = Dynamic.image st in
+          (match Codec.decode_image (Codec.encode_image im) with
+          | Ok im' when Dynamic.image_equal im im' -> ()
+          | Ok _ -> QCheck.Test.fail_report "decode(encode im) <> im"
+          | Error e -> QCheck.Test.fail_report (Codec.error_message e));
+          (* And the image really rebuilds the state: rehydrate, reflatten. *)
+          match Dynamic.of_image g im with
+          | Error m -> QCheck.Test.fail_report ("of_image refused: " ^ m)
+          | Ok st' -> Dynamic.image_equal im (Dynamic.image st')))
+
+(* Rehydrated states must also RUN identically, not just compare equal. *)
+let prop_rehydrated_runs_identically =
+  qtest ~count:200 "of-image-continues-bit-identically"
+    (QCheck.int_range 0 1_000_000) (fun seed ->
+      match reachable_state seed with
+      | None -> true
+      | Some (g, st) -> (
+          let e = List.nth entries (seed mod List.length entries) in
+          let m = Dynamic.prepare (cfg_of e) g in
+          let direct = Dynamic.run_to_end m st in
+          match Dynamic.of_image g (Dynamic.image st) with
+          | Error msg -> QCheck.Test.fail_report msg
+          | Ok st' ->
+              let resumed = Dynamic.run_to_end m st' in
+              if direct = resumed then true
+              else QCheck.Test.fail_report "resumed run diverged from direct run"))
+
+let test_version_rejected () =
+  match reachable_state 5 with
+  | None -> Alcotest.fail "no reachable state"
+  | Some (_, st) -> (
+      let im = Dynamic.image st in
+      match Codec.decode_image (Codec.encode_image ~version:99 im) with
+      | Error (Codec.Bad_version { got = 99; want }) ->
+          Alcotest.(check int) "wants this build's layout" Codec.format_version want
+      | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_message e)
+      | Ok _ -> Alcotest.fail "foreign layout version must be rejected")
+
+let test_truncation_rejected () =
+  match reachable_state 11 with
+  | None -> Alcotest.fail "no reachable state"
+  | Some (_, st) ->
+      let s = Codec.encode_image (Dynamic.image st) in
+      for cut = 0 to String.length s - 1 do
+        match Codec.decode_image (String.sub s 0 cut) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "prefix of %d bytes decoded as an image" cut
+      done;
+      (match Codec.decode_image (s ^ "x") with
+      | Error (Codec.Malformed _) -> ()
+      | _ -> Alcotest.fail "trailing bytes must be rejected")
+
+(* --- framing ------------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "a"; String.make 300 '\x00'; "sj"; "\xff\xfe" ] in
+  let b = Buffer.create 64 in
+  List.iter (Frame.append b) payloads;
+  match Frame.scan (Buffer.contents b) with
+  | Ok { Frame.records; dropped_bytes } ->
+      Alcotest.(check (list string)) "payloads back in order" payloads records;
+      Alcotest.(check int) "nothing dropped" 0 dropped_bytes
+  | Error e -> Alcotest.failf "clean scan failed: %s" (Codec.error_message e)
+
+let test_frame_torn_tail_dropped () =
+  let intact = Frame.frame "first" ^ Frame.frame "second" in
+  let torn = intact ^ Frame.frame "third" in
+  (* Every strict prefix that cuts into the third frame: torn tail, first
+     two records survive. *)
+  for cut = String.length intact + 1 to String.length torn - 1 do
+    match Frame.scan (String.sub torn 0 cut) with
+    | Ok { Frame.records; dropped_bytes } ->
+        Alcotest.(check (list string)) "intact prefix survives"
+          [ "first"; "second" ] records;
+        Alcotest.(check int) "tail accounted" (cut - String.length intact)
+          dropped_bytes
+    | Error e ->
+        Alcotest.failf "cut %d: torn tail must not be an error: %s" cut
+          (Codec.error_message e)
+  done
+
+let test_frame_corruption_refused () =
+  let s = Frame.frame "first" ^ Frame.frame "second" in
+  (* Flip one bit of the first payload: complete frame, wrong checksum. *)
+  let by = Bytes.of_string s in
+  Bytes.set by Frame.header_size
+    (Char.chr (Char.code (Bytes.get by Frame.header_size) lxor 1));
+  (match Frame.scan (Bytes.to_string by) with
+  | Error (Codec.Bad_checksum _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_message e)
+  | Ok _ -> Alcotest.fail "bit flip must poison the scan");
+  match Frame.scan ("xx" ^ s) with
+  | Error (Codec.Bad_magic _) -> ()
+  | _ -> Alcotest.fail "non-frame bytes must be Bad_magic"
+
+let test_frame_one () =
+  (match Frame.one (Frame.frame "snap") with
+  | Ok p -> Alcotest.(check string) "payload" "snap" p
+  | Error e -> Alcotest.failf "single frame: %s" (Codec.error_message e));
+  (match Frame.one (Frame.frame "a" ^ Frame.frame "b") with
+  | Error (Codec.Malformed _) -> ()
+  | _ -> Alcotest.fail "two frames are not a snapshot");
+  let f = Frame.frame "snap" in
+  match Frame.one (String.sub f 0 (String.length f - 1)) with
+  | Error (Codec.Truncated _) -> ()
+  | _ -> Alcotest.fail "a torn snapshot is unrecoverable (snapshots are atomic)"
+
+(* --- media --------------------------------------------------------------- *)
+
+let test_memory_media () =
+  let m = Media.memory () in
+  Alcotest.(check bool) "empty before checkpoint" true (Media.load m = None);
+  Media.append m "r1";
+  Alcotest.(check bool) "journal alone is not loadable" true (Media.load m = None);
+  Media.checkpoint m "snap1";
+  Alcotest.(check bool) "checkpoint resets journal" true
+    (Media.load m = Some ("snap1", ""));
+  Media.append m "r2";
+  Media.append m "r3";
+  Alcotest.(check bool) "appends accumulate" true
+    (Media.load m = Some ("snap1", "r2r3"))
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "secpol_journal_test_%d" (Hashtbl.hash (Sys.time ())))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let test_dir_media_kill_resume () =
+  with_temp_dir (fun dir ->
+      let e = Paper.forgetting in
+      let cfg = cfg_of e in
+      let a = ints [ 3; 0 ] in
+      let clean = Dynamic.run cfg (Paper.graph e) a in
+      let media = Media.dir dir in
+      (match
+         Runner.run ~kill_at:1 ~snapshot_every:2 ~media
+           ~program_ref:e.Paper.name cfg (Paper.graph e) a
+       with
+      | Runner.Killed { at_box } -> Alcotest.(check int) "killed where asked" 1 at_box
+      | Runner.Completed _ -> Alcotest.fail "expected the kill to land");
+      Media.close media;
+      (* A separate handle, as a restarted process would open. *)
+      let media' = Media.dir dir in
+      (match Runner.resume ~resolve ~media:media' () with
+      | Ok res ->
+          if res.Runner.reply <> clean then
+            Alcotest.fail "resume from disk not bit-identical"
+      | Error f -> Alcotest.failf "resume failed: %s" (Runner.failure_message f));
+      Media.close media')
+
+(* --- the journaled runner ------------------------------------------------ *)
+
+(* Kill at EVERY crash point of every small-corpus run and resume: response
+   and step count must match the uninterrupted run exactly. The full-corpus
+   version of this (plus tampering) is crash_sweep.ml. *)
+let test_kill_everywhere_resume_identical () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let g = Paper.graph e in
+      let cfg = cfg_of e in
+      Seq.iter
+        (fun a ->
+          let clean = Dynamic.run cfg g a in
+          for k = 0 to 24 do
+            let media = Media.memory () in
+            ignore
+              (Runner.run ~kill_at:k ~snapshot_every:3 ~media
+                 ~program_ref:e.Paper.name cfg g a);
+            match Runner.resume ~resolve ~media () with
+            | Ok res ->
+                if res.Runner.reply <> clean then
+                  Alcotest.failf "%s kill@%d: resume %s, clean %s" e.Paper.name
+                    k
+                    (show_mech_reply res.Runner.reply)
+                    (show_mech_reply clean)
+            | Error f ->
+                Alcotest.failf "%s kill@%d: %s" e.Paper.name k
+                  (Runner.failure_message f)
+          done)
+        (Space.enumerate e.Paper.space))
+    entries
+
+(* Replaying the same journal twice (crash during recovery) lands on the
+   same verdict: resume, kill the RESUMED run, resume again. *)
+let test_replay_idempotent () =
+  let e = Paper.forgetting in
+  let g = Paper.graph e in
+  let cfg = cfg_of e in
+  let a = ints [ 3; 0 ] in
+  let clean = Dynamic.run cfg g a in
+  for k1 = 0 to 5 do
+    for k2 = 0 to 3 do
+      let media = Media.memory () in
+      ignore
+        (Runner.run ~kill_at:k1 ~snapshot_every:2 ~media
+           ~program_ref:e.Paper.name cfg g a);
+      (match Runner.resume ~kill_at:k2 ~resolve ~media () with
+      | Ok _ | Error _ -> ());
+      match Runner.resume ~resolve ~media () with
+      | Ok res ->
+          if res.Runner.reply <> clean then
+            Alcotest.failf "kill@%d then kill@%d: double resume diverged" k1 k2
+      | Error f ->
+          Alcotest.failf "kill@%d then kill@%d: %s" k1 k2
+            (Runner.failure_message f)
+    done
+  done
+
+(* Stale journal records (a crash between snapshot rename and journal
+   reset) are skipped by step monotonicity. *)
+let test_stale_records_skipped () =
+  let e = Paper.forgetting in
+  let g = Paper.graph e in
+  let cfg = cfg_of e in
+  let a = ints [ 3; 0 ] in
+  let clean = Dynamic.run cfg g a in
+  (* Journal with records 1..k and the initial snapshot. *)
+  let media_old = Media.memory () in
+  ignore
+    (Runner.run ~kill_at:4 ~snapshot_every:100 ~media:media_old
+       ~program_ref:e.Paper.name cfg g a);
+  (* A later snapshot, from a run that checkpointed at box 3. *)
+  let media_new = Media.memory () in
+  ignore
+    (Runner.run ~kill_at:3 ~snapshot_every:3 ~media:media_new
+       ~program_ref:e.Paper.name cfg g a);
+  match (Media.load media_old, Media.load media_new) with
+  | Some (_, old_journal), Some (new_snapshot, _) -> (
+      (* The composite a rename-then-crash leaves behind: new snapshot,
+         old (stale) journal. *)
+      let media = Media.memory ~snapshot:new_snapshot ~journal:old_journal () in
+      match Runner.resume ~resolve ~media () with
+      | Ok res ->
+          if res.Runner.reply <> clean then
+            Alcotest.fail "stale records corrupted the resume"
+      | Error f -> Alcotest.failf "resume refused: %s" (Runner.failure_message f))
+  | _ -> Alcotest.fail "expected both media loadable"
+
+let test_completed_journal_redelivers () =
+  let e = Paper.direct_flow in
+  let cfg = cfg_of e in
+  let a = ints [ 2 ] in
+  let media = Media.memory () in
+  let r0 =
+    match
+      Runner.run ~media ~program_ref:e.Paper.name cfg (Paper.graph e) a
+    with
+    | Runner.Completed r -> r
+    | Runner.Killed _ -> Alcotest.fail "no kill requested"
+  in
+  match Runner.resume ~resolve ~media () with
+  | Ok res ->
+      Alcotest.(check bool) "verdict came from the journal" true
+        res.Runner.was_complete;
+      if res.Runner.reply <> r0 then Alcotest.fail "re-delivered verdict differs"
+  | Error f -> Alcotest.failf "resume failed: %s" (Runner.failure_message f)
+
+(* Unrecoverable media: every refusal maps to the single notice Λ/recovery,
+   and Λ/recovery is an F element, not a grant. *)
+let test_unrecoverable_is_recovery_notice () =
+  let e = Paper.forgetting in
+  let cfg = cfg_of e in
+  let a = ints [ 3; 0 ] in
+  let media = Media.memory () in
+  ignore
+    (Runner.run ~kill_at:2 ~snapshot_every:2 ~media ~program_ref:e.Paper.name
+       cfg (Paper.graph e) a);
+  let snapshot, journal =
+    match Media.load media with Some p -> p | None -> Alcotest.fail "no media"
+  in
+  let cases =
+    [
+      ("empty medium", Media.memory ());
+      ("flipped snapshot bit",
+       let by = Bytes.of_string snapshot in
+       Bytes.set by 20 (Char.chr (Char.code (Bytes.get by 20) lxor 4));
+       Media.memory ~snapshot:(Bytes.to_string by) ~journal ());
+      ("snapshot is garbage", Media.memory ~snapshot:"not a frame" ~journal ());
+      ("foreign program",
+       let media' = Media.memory () in
+       ignore
+         (Runner.run ~kill_at:2 ~media:media' ~program_ref:"no-such-program"
+            cfg (Paper.graph e) a);
+       media');
+    ]
+  in
+  List.iter
+    (fun (label, m) ->
+      match Runner.resume ~resolve ~media:m () with
+      | Ok _ -> Alcotest.failf "%s: resume should refuse" label
+      | Error _ as err -> (
+          match (Guard.reply_of_recovery err).Mechanism.response with
+          | Mechanism.Denied n ->
+              Alcotest.(check string) label Guard.recovery_notice n
+          | _ -> Alcotest.failf "%s: refusal escaped F" label))
+    cases
+
+(* Resume under a DIFFERENT program than the journal was written against
+   must be refused — the journal is not portable across programs. *)
+let test_program_hash_checked () =
+  let e = Paper.forgetting in
+  let cfg = cfg_of e in
+  let media = Media.memory () in
+  ignore
+    (Runner.run ~kill_at:2 ~media ~program_ref:e.Paper.name cfg (Paper.graph e)
+       (ints [ 3; 0 ]));
+  let bad_resolve (_ : Runner.header) = Ok (Paper.graph Paper.direct_flow) in
+  match Runner.resume ~resolve:bad_resolve ~media () with
+  | Error (Runner.Program_mismatch _) -> ()
+  | Error f -> Alcotest.failf "wrong failure: %s" (Runner.failure_message f)
+  | Ok _ -> Alcotest.fail "hash mismatch must refuse to resume"
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "crc32-vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "value-roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "version-rejected" `Quick test_version_rejected;
+          Alcotest.test_case "truncation-rejected" `Quick test_truncation_rejected;
+          prop_image_roundtrip;
+          prop_rehydrated_runs_identically;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "torn-tail-dropped" `Quick test_frame_torn_tail_dropped;
+          Alcotest.test_case "corruption-refused" `Quick test_frame_corruption_refused;
+          Alcotest.test_case "one" `Quick test_frame_one;
+        ] );
+      ( "media",
+        [
+          Alcotest.test_case "memory" `Quick test_memory_media;
+          Alcotest.test_case "dir-kill-resume" `Quick test_dir_media_kill_resume;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "kill-everywhere-resume-identical" `Quick
+            test_kill_everywhere_resume_identical;
+          Alcotest.test_case "replay-idempotent" `Quick test_replay_idempotent;
+          Alcotest.test_case "stale-records-skipped" `Quick test_stale_records_skipped;
+          Alcotest.test_case "completed-redelivers" `Quick test_completed_journal_redelivers;
+          Alcotest.test_case "unrecoverable-is-recovery-notice" `Quick
+            test_unrecoverable_is_recovery_notice;
+          Alcotest.test_case "program-hash-checked" `Quick test_program_hash_checked;
+        ] );
+    ]

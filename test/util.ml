@@ -53,6 +53,16 @@ let check_ratio msg ~expected m ~q space =
   if Float.abs (r -. expected) > 1e-9 then
     Alcotest.failf "%s: expected completeness %.3f, measured %.3f" msg expected r
 
+let show_mech_reply (r : Mechanism.reply) =
+  let resp =
+    match r.Mechanism.response with
+    | Mechanism.Granted v -> "granted " ^ Value.to_string v
+    | Mechanism.Denied n -> "denied " ^ n
+    | Mechanism.Hung -> "hung"
+    | Mechanism.Failed m -> "failed: " ^ m
+  in
+  Printf.sprintf "%s (%d steps)" resp r.Mechanism.steps
+
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest ~verbose:false
     (QCheck.Test.make ~count ~name gen prop)
