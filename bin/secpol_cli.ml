@@ -157,7 +157,7 @@ let journaled_run ~dir ~kill_at ~snapshot_every ~program_ref ~show_reply cfg g a
   in
   Media.close media;
   match outcome with
-  | Runner.Killed { at_box } ->
+  | Runner.Killed { at_box; _ } ->
       Printf.printf "killed after %d journaled box(es); recover with: secpol resume %s\n"
         at_box dir;
       0

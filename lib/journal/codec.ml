@@ -6,8 +6,10 @@ module Dynamic = Secpol_taint.Dynamic
    this module writes changes — the Expr/Store/Dynamic.image shape included:
    a journal written by one layout must never be replayed under another, so
    the decoder rejects foreign versions with a typed error instead of
-   misinterpreting bytes. *)
-let format_version = 1
+   misinterpreting bytes. Version history: 1 = initial layout; 2 = snapshot
+   headers carry an MD5 graph digest and a per-run nonce, and every journal
+   record is stamped with that nonce. *)
+let format_version = 2
 
 type decode_error =
   | Truncated of { wanted : int; have : int }
@@ -28,7 +30,16 @@ let error_message = function
   | Bad_checksum { at } -> Printf.sprintf "checksum mismatch at byte %d" at
   | Malformed m -> "malformed: " ^ m
 
-let guard f = match f () with v -> Ok v | exception Error e -> Error e
+(* Decoding must be total on arbitrary bytes: besides the typed {!Error},
+   any exception a reader could be goaded into (the journal is untrusted
+   input) is degraded to [Malformed] rather than allowed to escape — the
+   caller maps every decode failure to Λ/recovery, never a crash. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Error e
+  | exception exn ->
+      Error (Malformed ("unexpected exception: " ^ Printexc.to_string exn))
 
 (* --- CRC-32 (IEEE, reflected), the record checksum ---------------------- *)
 
@@ -113,7 +124,16 @@ module R = struct
 
   let int_array r =
     let n = length r "array" in
-    need r (8 * n);
+    (* Compare by division: [8 * n] can wrap for absurd [n], letting a
+       crafted length slip past the bound and crash in [Array.init]. *)
+    if n > remaining r / 8 then
+      raise
+        (Error
+           (Truncated
+              {
+                wanted = (if n > max_int / 8 then max_int else 8 * n);
+                have = remaining r;
+              }));
     Array.init n (fun _ -> int r)
 end
 
@@ -191,8 +211,16 @@ let read_image r =
   let im_shadow_out = R.int r in
   let im_pc = R.int r in
   let nframes = R.length r "frames" in
-  if 16 * nframes > R.remaining r then
-    raise (Error (Truncated { wanted = 16 * nframes; have = R.remaining r }));
+  (* Division, not multiplication: [16 * nframes] can wrap (see
+     [R.int_array]). *)
+  if nframes > R.remaining r / 16 then
+    raise
+      (Error
+         (Truncated
+            {
+              wanted = (if nframes > max_int / 16 then max_int else 16 * nframes);
+              have = R.remaining r;
+            }));
   let im_frames =
     List.init nframes (fun _ ->
         let pc = R.int r in

@@ -30,6 +30,9 @@ exception Error of decode_error
 val error_message : decode_error -> string
 
 val guard : (unit -> 'a) -> ('a, decode_error) result
+(** Runs a decoder to a [result]. Totality backstop included: any
+    exception other than {!Error} (the bytes are untrusted input) is
+    degraded to [Malformed] rather than allowed to escape. *)
 
 val crc32 : string -> int
 (** CRC-32 (IEEE 802.3, reflected). [crc32 "123456789" = 0xCBF43926]. *)

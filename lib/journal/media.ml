@@ -33,8 +33,27 @@ let journal_file = "journal.bin"
 
 let read_file p = In_channel.with_open_bin p In_channel.input_all
 
-let write_file p s =
-  Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+let fsync_out oc =
+  Out_channel.flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Write, flush, and fsync before close: the bytes are on the medium, not
+   merely in the page cache, when this returns. *)
+let write_file_sync p s =
+  Out_channel.with_open_bin p (fun oc ->
+      Out_channel.output_string oc s;
+      fsync_out oc)
+
+(* Persist a rename: fsync the containing directory so the new entry
+   survives power loss. Best-effort — some filesystems refuse fsync on a
+   directory fd, and a refusal must not take down the run. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 let dir path =
   if not (Sys.file_exists path) then Sys.mkdir path 0o755
@@ -75,21 +94,28 @@ let dir path =
       (fun s ->
         let c = journal_oc () in
         Out_channel.output_string c s;
-        (* Flush per record: the journal must be ahead of any externally
-           visible effect, and the verdict frame in particular must be on
-           the medium before the reply is released. *)
-        Out_channel.flush c);
+        (* Flush AND fsync per record: the journal must be ahead of any
+           externally visible effect, and the verdict frame in particular
+           must be on the medium — not just in the page cache — before the
+           reply is released. This holds the durability story up against
+           power loss, not only process death. *)
+        fsync_out c)
+    ;
     checkpoint =
       (fun s ->
         close_journal ();
-        (* Write-then-rename: the snapshot is replaced atomically, so a
-           crash leaves either the old snapshot or the new one, never a
-           torn hybrid. The journal is reset only AFTER the rename; a crash
-           between the two leaves stale pre-snapshot records, which replay
-           skips by step monotonicity. *)
+        (* Write-then-rename, fsynced at every stage: the tmp file is
+           synced before the rename (no empty snapshot can surface), and
+           the directory is synced after it (the rename itself survives
+           power loss). A crash leaves either the old snapshot or the new
+           one, never a torn hybrid. The journal is reset only AFTER the
+           rename; a crash between the two leaves stale records, which
+           replay skips — same-run records by step monotonicity,
+           previous-run records by their foreign run nonce. *)
         let tmp = snap_path ^ ".tmp" in
-        write_file tmp s;
+        write_file_sync tmp s;
         Sys.rename tmp snap_path;
-        write_file jour_path "");
+        fsync_dir path;
+        write_file_sync jour_path "");
     close = close_journal;
   }

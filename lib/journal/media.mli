@@ -9,11 +9,14 @@
       optional initializers let the sweep hand recovery a deliberately
       damaged journal.
     - {!dir}: a directory with [snapshot.bin] and [journal.bin]. Appends
-      are flushed per record (the journal stays ahead of any externally
-      visible effect); snapshots are replaced by write-then-rename, so a
-      crash leaves the old or the new snapshot, never a torn hybrid. The
+      are flushed and [fsync]ed per record (the journal stays ahead of any
+      externally visible effect, and survives power loss, not just process
+      death); snapshots are replaced by write-then-rename with the tmp file
+      synced before and the directory synced after, so a crash leaves the
+      old or the new snapshot, never a torn hybrid or an empty file. The
       journal is reset only after the rename — a crash between the two
-      leaves stale records, which replay skips by step monotonicity. *)
+      leaves stale records, which replay skips: same-run records by step
+      monotonicity, previous-run records by their foreign run nonce. *)
 
 type t
 

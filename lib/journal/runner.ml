@@ -12,7 +12,7 @@ let default_snapshot_every = 32
 type header = {
   program_ref : string;
   graph_name : string;
-  graph_hash : int;
+  graph_hash : string;
   arity : int;
   inputs : Value.t array;
   mode : Dynamic.mode;
@@ -21,9 +21,23 @@ type header = {
   cost : Expr.cost_model;
   chatty : bool;
   snapshot_every : int;
+  run_nonce : int;
 }
 
-let graph_hash g = Codec.crc32 (Format.asprintf "%a" Graph.pp g)
+(* MD5 over the printed graph, not CRC-32: the resume gate that refuses to
+   replay a journal against a different program must not be defeatable by a
+   32-bit collision. *)
+let graph_hash g = Digest.string (Format.asprintf "%a" Graph.pp g)
+
+(* Each run stamps a fresh nonce into its snapshot header and every journal
+   record it appends. Replay skips records carrying a foreign nonce: when a
+   journal directory is reused for a second run and a crash lands between
+   the new snapshot's rename and the journal truncation, the previous run's
+   strayed records — its verdict included — must never be adopted under the
+   new header (a stale grant under different inputs or policy would be
+   fail-open). *)
+let nonce_rng = lazy (Random.State.make_self_init ())
+let fresh_nonce () = Random.State.full_int (Lazy.force nonce_rng) max_int
 
 let config_of_header h =
   {
@@ -62,7 +76,8 @@ let cost_of_tag = function
 let write_header b h =
   Codec.W.string b h.program_ref;
   Codec.W.string b h.graph_name;
-  Codec.W.int b h.graph_hash;
+  Codec.W.string b h.graph_hash;
+  Codec.W.int b h.run_nonce;
   Codec.W.int b h.arity;
   Codec.W.int b (Array.length h.inputs);
   Array.iter (Codec.write_value b) h.inputs;
@@ -76,7 +91,8 @@ let write_header b h =
 let read_header r =
   let program_ref = Codec.R.string r in
   let graph_name = Codec.R.string r in
-  let graph_hash = Codec.R.int r in
+  let graph_hash = Codec.R.string r in
+  let run_nonce = Codec.R.int r in
   let arity = Codec.R.int r in
   let n = Codec.R.int r in
   if n < 0 || n > Codec.R.remaining r then
@@ -105,6 +121,7 @@ let read_header r =
     cost;
     chatty;
     snapshot_every;
+    run_nonce;
   }
 
 let snapshot_payload ?version h image =
@@ -136,16 +153,22 @@ let decode_snapshot payload =
 
 type record = State of Dynamic.image | Verdict of Mechanism.reply
 
-let state_payload ?version im =
+(* Every record opens with the layout version and the nonce of the run that
+   appended it; {!decode_record} surfaces the nonce so replay can skip
+   records strayed from a previous run of the same medium. *)
+
+let state_payload ?version ~nonce im =
   let b = Codec.W.create () in
   Codec.write_version ?version b;
+  Codec.W.int b nonce;
   Codec.W.int b 0;
   Codec.write_image b im;
   Codec.W.contents b
 
-let verdict_payload ?version (reply : Mechanism.reply) =
+let verdict_payload ?version ~nonce (reply : Mechanism.reply) =
   let b = Codec.W.create () in
   Codec.write_version ?version b;
+  Codec.W.int b nonce;
   Codec.W.int b 1;
   (match reply.Mechanism.response with
   | Mechanism.Granted v ->
@@ -165,6 +188,7 @@ let decode_record payload =
   Codec.guard (fun () ->
       let r = Codec.R.of_string payload in
       Codec.read_version r;
+      let nonce = Codec.R.int r in
       let record =
         match Codec.R.int r with
         | 0 -> State (Codec.read_image r)
@@ -190,11 +214,13 @@ let decode_record payload =
       in
       if not (Codec.R.eof r) then
         raise (Codec.Error (Codec.Malformed "record: trailing bytes"));
-      record)
+      (nonce, record))
 
 (* --- the journaled run --------------------------------------------------- *)
 
-type outcome = Completed of Mechanism.reply | Killed of { at_box : int }
+type outcome =
+  | Completed of Mechanism.reply
+  | Killed of { at_box : int; steps : int }
 
 (* Shared by fresh runs and resumed ones. Commit one box at a time; after
    each commit append its full-state record, and every [snapshot_every]
@@ -204,9 +230,10 @@ type outcome = Completed of Mechanism.reply | Killed of { at_box : int }
    [kill_at] stops the loop after that many committed (journaled) boxes —
    the chaos sweep's simulated process death. *)
 let journaled_loop ?kill_at ~media ~header m st0 =
+  let nonce = header.run_nonce in
   let boxes = ref 0 and since_snap = ref 0 in
   let emit st =
-    Media.append media (Frame.frame (state_payload (Dynamic.image st)));
+    Media.append media (Frame.frame (state_payload ~nonce (Dynamic.image st)));
     incr since_snap;
     if !since_snap >= header.snapshot_every then begin
       Media.checkpoint media (Frame.frame (snapshot_payload header (Some (Dynamic.image st))));
@@ -215,11 +242,12 @@ let journaled_loop ?kill_at ~media ~header m st0 =
   in
   let rec loop st =
     match kill_at with
-    | Some k when !boxes >= k -> Killed { at_box = !boxes }
+    | Some k when !boxes >= k ->
+        Killed { at_box = !boxes; steps = Dynamic.steps_of st }
     | _ -> (
         match Dynamic.step m st with
         | Dynamic.Final r ->
-            Media.append media (Frame.frame (verdict_payload r));
+            Media.append media (Frame.frame (verdict_payload ~nonce r));
             Completed r
         | Dynamic.Step st' ->
             incr boxes;
@@ -244,6 +272,7 @@ let run ?kill_at ?(snapshot_every = default_snapshot_every) ~media ~program_ref
       cost = cfg.Dynamic.cost;
       chatty = cfg.Dynamic.chatty_notices;
       snapshot_every;
+      run_nonce = fresh_nonce ();
     }
   in
   let m = Dynamic.prepare cfg g in
@@ -252,7 +281,8 @@ let run ?kill_at ?(snapshot_every = default_snapshot_every) ~media ~program_ref
       (* The run died at the door (arity, non-integer input). Journal the
          verdict anyway: resuming must reproduce the same Failed reply. *)
       Media.checkpoint media (Frame.frame (snapshot_payload header None));
-      Media.append media (Frame.frame (verdict_payload r));
+      Media.append media
+        (Frame.frame (verdict_payload ~nonce:header.run_nonce r));
       Completed r
   | Ok st0 ->
       Media.checkpoint media (Frame.frame (snapshot_payload header (Some (Dynamic.image st0))));
@@ -296,8 +326,10 @@ let resume ?kill_at ~resolve ~media () =
                     Error
                       (Program_mismatch
                          (Printf.sprintf
-                            "%s hashes to %d, journal was written against %d"
-                            g.Graph.name (graph_hash g) header.graph_hash))
+                            "%s digests to %s, journal was written against %s"
+                            g.Graph.name
+                            (Digest.to_hex (graph_hash g))
+                            (Digest.to_hex header.graph_hash)))
                   else if g.Graph.arity <> header.arity then
                     Error
                       (Program_mismatch
@@ -312,14 +344,25 @@ let resume ?kill_at ~resolve ~media () =
                            make replay a monotone fold, so replaying a
                            journal twice lands on the same state as once,
                            and stale records left by a crash between
-                           snapshot rename and journal reset are skipped. *)
+                           snapshot rename and journal reset are skipped.
+                           Records stamped with a nonce other than this
+                           run's are strays from a PREVIOUS run of the same
+                           medium (the crash landed between the new
+                           snapshot's rename and the journal truncation);
+                           adopting them — the old verdict above all —
+                           would re-deliver a stale reply under the new
+                           header, so they are skipped wholesale. *)
                         let rec replay current verdict n = function
                           | [] -> Ok (current, verdict, n)
                           | payload :: rest -> (
                               match decode_record payload with
                               | Error e -> Error (Decode e)
-                              | Ok (Verdict r) -> replay current (Some r) n rest
-                              | Ok (State im) ->
+                              | Ok (nonce, _) when nonce <> header.run_nonce
+                                ->
+                                  replay current verdict n rest
+                              | Ok (_, Verdict r) ->
+                                  replay current (Some r) n rest
+                              | Ok (_, State im) ->
                                   let advance =
                                     match current with
                                     | None -> true
@@ -379,14 +422,19 @@ let resume ?kill_at ~resolve ~media () =
                                 let reply =
                                   match outcome with
                                   | Completed r -> r
-                                  | Killed { at_box } ->
+                                  | Killed { at_box; steps } ->
+                                      (* [steps] is the interpreter's count
+                                         when the kill fired, not the count
+                                         recovery started from — the
+                                         simulated-crash reply reports real
+                                         progress. *)
                                       {
                                         Mechanism.response =
                                           Mechanism.Failed
                                             (Printf.sprintf
                                                "resume killed after %d boxes"
                                                at_box);
-                                        steps = resumed_steps;
+                                        steps;
                                       }
                                 in
                                 Ok

@@ -15,7 +15,7 @@
 type header = {
   program_ref : string;  (** how to find the program again, e.g. a corpus entry name *)
   graph_name : string;
-  graph_hash : int;  (** CRC-32 of the printed graph; checked on resume *)
+  graph_hash : string;  (** MD5 digest of the printed graph; checked on resume *)
   arity : int;
   inputs : Secpol_core.Value.t array;
   mode : Secpol_taint.Dynamic.mode;
@@ -24,11 +24,16 @@ type header = {
   cost : Secpol_flowgraph.Expr.cost_model;
   chatty : bool;
   snapshot_every : int;
+  run_nonce : int;
+      (** Fresh per {!run}; stamped into every journal record the run
+          appends. Replay skips records with a foreign nonce — strays from
+          a previous run of a reused medium must never be adopted (a stale
+          verdict under a new header would be fail-open). *)
 }
 (** Everything needed to re-create the monitor configuration and restart
     the run from scratch; written into every snapshot. *)
 
-val graph_hash : Secpol_flowgraph.Graph.t -> int
+val graph_hash : Secpol_flowgraph.Graph.t -> string
 
 val config_of_header : header -> Secpol_taint.Dynamic.config
 (** The journaled configuration with {!Secpol_flowgraph.Hook.none} — hooks
@@ -38,9 +43,10 @@ val default_snapshot_every : int
 
 type outcome =
   | Completed of Secpol_core.Mechanism.reply
-  | Killed of { at_box : int }
-      (** Only with [?kill_at]: the run stopped after journaling that many
-          boxes, simulating process death for the crash sweep. *)
+  | Killed of { at_box : int; steps : int }
+      (** Only with [?kill_at]: the run stopped after journaling [at_box]
+          boxes, simulating process death for the crash sweep; [steps] is
+          the interpreter's charged-step count at that moment. *)
 
 val run :
   ?kill_at:int ->
@@ -84,8 +90,10 @@ val resume :
   (resumed, failure) result
 (** Recover the run on [media]: load the last snapshot, replay the journal
     suffix (adopting records by strictly increasing step count, which makes
-    replay idempotent and skips stale pre-snapshot records), then either
-    re-deliver the journaled verdict or continue executing — journaling as
-    it goes, so a crash during recovery also recovers. [resolve] maps the
-    journaled {!header} back to a graph; a hash or arity mismatch is a
-    {!Program_mismatch}. *)
+    replay idempotent and skips stale pre-snapshot records; records whose
+    run nonce differs from the snapshot header's are strays from a previous
+    run of a reused medium and are skipped wholesale, verdicts included),
+    then either re-deliver the journaled verdict or continue executing —
+    journaling as it goes, so a crash during recovery also recovers.
+    [resolve] maps the journaled {!header} back to a graph; a digest or
+    arity mismatch is a {!Program_mismatch}. *)

@@ -138,6 +138,34 @@ let test_truncation_rejected () =
       | Error (Codec.Malformed _) -> ()
       | _ -> Alcotest.fail "trailing bytes must be rejected")
 
+let test_absurd_length_rejected () =
+  (* A crafted inputs-array length around 2^61: the naive bound check
+     [8 * n <= remaining] wraps and passes, and [Array.init] then blows up
+     with an exception that is not a [decode_error]. Decode must instead
+     return the typed error that degrades to Λ/recovery. *)
+  let b = Codec.W.create () in
+  Codec.write_version b;
+  Codec.W.int b 0 (* im_node *);
+  Codec.W.int b 0 (* im_steps *);
+  Codec.W.int b 0x2000_0000_0000_0000 (* im_inputs length *);
+  (match Codec.decode_image (Codec.W.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "absurd array length decoded as an image");
+  (* Same overflow shape on the scoped-frames count, patched into an
+     otherwise valid image (the frame count is the trailing word when the
+     frame list is empty). *)
+  match reachable_state 5 with
+  | None -> Alcotest.fail "no reachable state"
+  | Some (_, st) -> (
+      let im = Dynamic.image st in
+      if im.Dynamic.im_frames <> [] then
+        Alcotest.fail "expected a frameless (non-scoped) state";
+      let by = Bytes.of_string (Codec.encode_image im) in
+      Bytes.set_int64_le by (Bytes.length by - 8) 0x1000_0000_0000_0000L;
+      match Codec.decode_image (Bytes.to_string by) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "absurd frame count decoded as an image")
+
 (* --- framing ------------------------------------------------------------- *)
 
 let test_frame_roundtrip () =
@@ -233,7 +261,7 @@ let test_dir_media_kill_resume () =
          Runner.run ~kill_at:1 ~snapshot_every:2 ~media
            ~program_ref:e.Paper.name cfg (Paper.graph e) a
        with
-      | Runner.Killed { at_box } -> Alcotest.(check int) "killed where asked" 1 at_box
+      | Runner.Killed { at_box; _ } -> Alcotest.(check int) "killed where asked" 1 at_box
       | Runner.Completed _ -> Alcotest.fail "expected the kill to land");
       Media.close media;
       (* A separate handle, as a restarted process would open. *)
@@ -333,6 +361,92 @@ let test_stale_records_skipped () =
       | Error f -> Alcotest.failf "resume refused: %s" (Runner.failure_message f))
   | _ -> Alcotest.fail "expected both media loadable"
 
+(* The cross-run stale-journal window: a journal directory REUSED for a
+   second run, with the crash landing between the new snapshot's rename and
+   the journal truncation. The medium then holds the new run's snapshot
+   (steps = 0) next to the ENTIRE previous run's journal — its verdict
+   record included. Resume must execute the new run, never re-deliver the
+   old verdict under the new header (a stale grant under different inputs
+   is fail-open). Records are told apart by their per-run nonce. *)
+let test_cross_run_stale_journal_not_adopted () =
+  let e = Paper.forgetting in
+  let g = Paper.graph e in
+  let cfg = cfg_of e in
+  let cleans =
+    List.map
+      (fun a -> (a, Dynamic.run cfg g a))
+      (List.of_seq (Space.enumerate e.Paper.space))
+  in
+  let (a_old, clean_old), (a_new, clean_new) =
+    match cleans with
+    | (a0, r0) :: rest -> (
+        match List.find_opt (fun (_, r) -> r <> r0) rest with
+        | Some p -> ((a0, r0), p)
+        | None -> Alcotest.fail "need two inputs with differing verdicts")
+    | [] -> Alcotest.fail "empty input space"
+  in
+  (* The previous run, complete: journal ends in its verdict record. *)
+  let media_old = Media.memory () in
+  (match
+     Runner.run ~snapshot_every:100 ~media:media_old ~program_ref:e.Paper.name
+       cfg g a_old
+   with
+  | Runner.Completed r ->
+      if r <> clean_old then Alcotest.fail "old journaled run diverged"
+  | Runner.Killed _ -> Alcotest.fail "no kill requested");
+  (* The new run, killed right after its initial checkpoint. *)
+  let media_new = Media.memory () in
+  ignore
+    (Runner.run ~kill_at:0 ~snapshot_every:100 ~media:media_new
+       ~program_ref:e.Paper.name cfg g a_new);
+  match (Media.load media_old, Media.load media_new) with
+  | Some (_, old_journal), Some (new_snapshot, _) -> (
+      let media = Media.memory ~snapshot:new_snapshot ~journal:old_journal () in
+      match Runner.resume ~resolve ~media () with
+      | Ok res ->
+          if res.Runner.was_complete then
+            Alcotest.fail "stale verdict from the previous run was adopted";
+          if res.Runner.reply = clean_old && clean_old <> clean_new then
+            Alcotest.fail "resume re-delivered the previous run's verdict";
+          if res.Runner.reply <> clean_new then
+            Alcotest.failf "resume gave %s, new run's clean verdict is %s"
+              (show_mech_reply res.Runner.reply)
+              (show_mech_reply clean_new)
+      | Error f -> Alcotest.failf "resume refused: %s" (Runner.failure_message f))
+  | _ -> Alcotest.fail "expected both media loadable"
+
+(* A kill DURING resume must report the interpreter's step count at the
+   moment the kill fired, not the count recovery started from. *)
+let test_killed_resume_reports_progress () =
+  let e = Paper.forgetting in
+  let g = Paper.graph e in
+  let cfg = cfg_of e in
+  let a = ints [ 3; 0 ] in
+  (* What the clean interpreter's charge is after three boxes. *)
+  let m = Dynamic.prepare cfg g in
+  let expected =
+    match Dynamic.start m a with
+    | Error _ -> Alcotest.fail "start failed"
+    | Ok st0 ->
+        let rec go st k =
+          if k = 0 then Dynamic.steps_of st
+          else
+            match Dynamic.step m st with
+            | Dynamic.Final _ -> Dynamic.steps_of st
+            | Dynamic.Step st' -> go st' (k - 1)
+        in
+        go st0 3
+  in
+  let media = Media.memory () in
+  ignore
+    (Runner.run ~kill_at:0 ~snapshot_every:100 ~media ~program_ref:e.Paper.name
+       cfg g a);
+  match Runner.resume ~kill_at:3 ~resolve ~media () with
+  | Ok res ->
+      Alcotest.(check int) "killed reply carries current steps" expected
+        res.Runner.reply.Mechanism.steps
+  | Error f -> Alcotest.failf "resume failed: %s" (Runner.failure_message f)
+
 let test_completed_journal_redelivers () =
   let e = Paper.direct_flow in
   let cfg = cfg_of e in
@@ -416,6 +530,7 @@ let () =
           Alcotest.test_case "value-roundtrip" `Quick test_value_roundtrip;
           Alcotest.test_case "version-rejected" `Quick test_version_rejected;
           Alcotest.test_case "truncation-rejected" `Quick test_truncation_rejected;
+          Alcotest.test_case "absurd-length-rejected" `Quick test_absurd_length_rejected;
           prop_image_roundtrip;
           prop_rehydrated_runs_identically;
         ] );
@@ -437,6 +552,10 @@ let () =
             test_kill_everywhere_resume_identical;
           Alcotest.test_case "replay-idempotent" `Quick test_replay_idempotent;
           Alcotest.test_case "stale-records-skipped" `Quick test_stale_records_skipped;
+          Alcotest.test_case "cross-run-stale-journal-not-adopted" `Quick
+            test_cross_run_stale_journal_not_adopted;
+          Alcotest.test_case "killed-resume-reports-progress" `Quick
+            test_killed_resume_reports_progress;
           Alcotest.test_case "completed-redelivers" `Quick test_completed_journal_redelivers;
           Alcotest.test_case "unrecoverable-is-recovery-notice" `Quick
             test_unrecoverable_is_recovery_notice;
