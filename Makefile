@@ -43,8 +43,10 @@ chaos:
 chaos-crash:
 	dune exec bin/secpol_cli.exe -- chaos --crash --crash-points 50
 
+# Regenerates experiments_output.txt (gitignored — it is derived output;
+# EXPERIMENTS.md narrates the numbers).
 experiments:
-	dune exec bin/experiments.exe
+	dune exec bin/experiments.exe | tee experiments_output.txt
 
 bench:
 	dune exec bench/main.exe

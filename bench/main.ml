@@ -125,6 +125,41 @@ let journal_tests =
           Runner.resume ~resolve ~media:(Media.memory ~snapshot ~journal ()) ());
     ]
 
+(* Tracing overhead. The null-sink series must coincide with their
+   un-traced baselines: Sink.emitter on the null sink IS Emit.none, so
+   "trace to nowhere" is the identical code path, and the gate at the
+   bottom holds the measured difference under 2% (noise). The other two
+   series price actually keeping the events: in memory, and as JSONL to a
+   bit bucket. *)
+let trace_tests =
+  let module Sink = Secpol_trace.Sink in
+  let null_emit = Sink.emitter ~graph Sink.null in
+  let cfg_null =
+    Dynamic.config ~mode:Dynamic.Surveillance ~emit:null_emit policy
+  in
+  let devnull = open_out "/dev/null" in
+  let jsonl_sink = Sink.stream Sink.Jsonl devnull in
+  let cfg_jsonl =
+    Dynamic.config ~mode:Dynamic.Surveillance
+      ~emit:(Sink.emitter ~graph jsonl_sink) policy
+  in
+  Test.make_grouped ~name:"trace"
+    [
+      staged "graph-null-sink" (fun () ->
+          Interp.run_graph ~emit:null_emit graph inputs);
+      staged "surveillance-null-sink" (fun () ->
+          Dynamic.run cfg_null graph inputs);
+      staged "surveillance-memory-sink" (fun () ->
+          let sink = Sink.memory () in
+          let cfg =
+            Dynamic.config ~mode:Dynamic.Surveillance
+              ~emit:(Sink.emitter ~graph sink) policy
+          in
+          Dynamic.run cfg graph inputs);
+      staged "surveillance-jsonl-devnull" (fun () ->
+          Dynamic.run cfg_jsonl graph inputs);
+    ]
+
 let attack_tests =
   let n = 6 and k = 3 in
   let secret = [| 3; 1; 4 |] in
@@ -171,7 +206,7 @@ let tests =
   Test.make_grouped ~name:"secpol"
     [
       interp_tests; monitor_tests; instrumented_tests; compile_time_tests;
-      attack_tests; journal_tests; scaling_tests;
+      attack_tests; journal_tests; trace_tests; scaling_tests;
     ]
 
 let () =
@@ -211,6 +246,59 @@ let () =
     (find "secpol/instrumented/surveillance-as-flowchart" /. base);
   Printf.printf "  %-14s %.2fx\n" "journaled"
     (find "secpol/journal/surveillance-journaled" /. base);
+  (* The null-sink gate: tracing to nowhere must cost nothing. Both pairs
+     compare physically identical code paths, so anything past 2% would
+     mean an allocation or branch leaked onto the hot path. The OLS point
+     estimates above carry several percent of run-to-run noise (the two
+     sides are measured seconds apart), so the gate measures each pair
+     directly: interleaved timing blocks, minimum per side — the minimum
+     strips scheduler and cache noise, and a leaked branch would shift it
+     systematically. *)
+  let paired_ratio ~baseline ~traced =
+    let iters = 5000 and rounds = 25 in
+    let block f =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    ignore (block baseline);
+    ignore (block traced);
+    let best_b = ref infinity and best_t = ref infinity in
+    for _ = 1 to rounds do
+      best_b := Float.min !best_b (block baseline);
+      best_t := Float.min !best_t (block traced)
+    done;
+    !best_t /. !best_b
+  in
+  let null_emit =
+    Secpol_trace.Sink.emitter ~graph Secpol_trace.Sink.null
+  in
+  let cfg_plain = Dynamic.config ~mode:Dynamic.Surveillance policy in
+  let cfg_null =
+    Dynamic.config ~mode:Dynamic.Surveillance ~emit:null_emit policy
+  in
+  let gate = ref true in
+  Printf.printf "\nnull-sink trace overhead (gate: within 2%% of baseline, paired blocks):\n";
+  List.iter
+    (fun (traced_name, baseline_name, baseline, traced) ->
+      let ratio = paired_ratio ~baseline ~traced in
+      let ok = Float.is_finite ratio && ratio <= 1.02 in
+      if not ok then gate := false;
+      Printf.printf "  %-34s %.3fx vs %-26s %s\n" traced_name ratio
+        baseline_name
+        (if ok then "ok" else "OVER BUDGET"))
+    [
+      ( "secpol/trace/graph-null-sink",
+        "secpol/interp/graph",
+        (fun () -> ignore (Sys.opaque_identity (Interp.run_graph graph inputs))),
+        fun () -> ignore (Sys.opaque_identity (Interp.run_graph ~emit:null_emit graph inputs)) );
+      ( "secpol/trace/surveillance-null-sink",
+        "secpol/monitor/surveillance",
+        (fun () -> ignore (Sys.opaque_identity (Dynamic.run cfg_plain graph inputs))),
+        fun () -> ignore (Sys.opaque_identity (Dynamic.run cfg_null graph inputs)) );
+    ];
   (* Machine-readable results for CI trend lines: series name -> ns/run.
      Hand-rolled JSON; names are [A-Za-z0-9/_-] so no escaping is needed. *)
   if Array.exists (( = ) "--json") Sys.argv then begin
@@ -224,4 +312,5 @@ let () =
     output_string oc "}\n";
     close_out oc;
     Printf.printf "\nwrote BENCH_secpol.json (%d series)\n" (List.length rows)
-  end
+  end;
+  if not !gate then exit 1

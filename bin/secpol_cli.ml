@@ -25,6 +25,10 @@ module Tabulate = Secpol_probe.Tabulate
 module Paper = Secpol_corpus.Paper_programs
 module Media = Secpol_journal.Media
 module Runner = Secpol_journal.Runner
+module Iset = Secpol_core.Iset
+module Event = Secpol_trace.Event
+module Sink = Secpol_trace.Sink
+module Provenance = Secpol_trace.Provenance
 open Cmdliner
 
 (* --- shared arguments --------------------------------------------------- *)
@@ -118,6 +122,49 @@ let resolve_policy entry = function
   | Some p -> p
   | None -> entry.Paper.policy
 
+(* --- trace arguments ------------------------------------------------------ *)
+
+let trace_arg =
+  let doc =
+    "Write a structured trace of the run to $(docv): one event per executed \
+     box, surveillance-variable update, control-context change, guard \
+     retry, journal checkpoint and verdict. Format per $(b,--trace-format)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace format: jsonl (one decodable event per line — the format `secpol \
+     explain --from` reads back) or chrome (a trace-event array for \
+     chrome://tracing or Perfetto)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", Sink.Jsonl); ("chrome", Sink.Chrome) ]) Sink.Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+(* Run [f] with a sink on [trace] (null when omitted) and return its exit
+   code; the sink is closed here rather than by [f], because [exit] inside
+   [f] would skip any finaliser. *)
+let with_sink trace format f =
+  match trace with
+  | None -> f Sink.null
+  | Some path ->
+      let sink =
+        try Sink.to_file format path
+        with Sys_error m ->
+          prerr_endline m;
+          exit 2
+      in
+      let code =
+        try f sink
+        with e ->
+          Sink.close sink;
+          raise e
+      in
+      Sink.close sink;
+      code
+
 (* --- journal arguments --------------------------------------------------- *)
 
 let journal_arg =
@@ -145,15 +192,15 @@ let snapshot_every_arg =
 
 (* One journaled monitored run, shared by `run --journal` and `enforce
    --journal`. Prints the reply and returns the exit code. *)
-let journaled_run ~dir ~kill_at ~snapshot_every ~program_ref ~show_reply cfg g a
-    =
+let journaled_run ~dir ~kill_at ~snapshot_every ~sink ~program_ref ~show_reply
+    cfg g a =
   if snapshot_every < 1 then begin
     prerr_endline "--snapshot-every must be at least 1";
     exit 2
   end;
   let media = Media.dir dir in
   let outcome =
-    Runner.run ?kill_at ~snapshot_every ~media ~program_ref cfg g a
+    Runner.run ?kill_at ~snapshot_every ~sink ~media ~program_ref cfg g a
   in
   Media.close media;
   match outcome with
@@ -218,37 +265,62 @@ let show_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name inputs journal kill_at snapshot_every =
+  let run name inputs journal kill_at snapshot_every trace trace_format =
     let e = entry_of_name name in
     let a = parse_inputs inputs in
     check_arity e a;
-    match journal with
-    | None ->
-        let o = Program.run (Paper.program e) a in
-        (match o.Program.result with
-        | Program.Value v -> Format.printf "output: %a@." Value.pp v
-        | Program.Diverged -> print_endline "output: <diverged>"
-        | Program.Fault m -> Printf.printf "output: <fault: %s>\n" m);
-        Printf.printf "steps:  %d\n" o.Program.steps
-    | Some dir ->
-        (* Journaling needs the step machine, so the run goes through the
-           monitored interpreter under allow(everything) — same outputs,
-           plus durability. *)
-        let p = Policy.allow_all ~arity:e.Paper.prog.Ast.arity in
-        let cfg = Dynamic.config ~mode:Dynamic.Surveillance p in
-        let show_reply (r : Mechanism.reply) =
-          (match r.Mechanism.response with
-          | Mechanism.Granted v -> Format.printf "output: %a@." Value.pp v
-          | Mechanism.Denied n when n = Dynamic.fuel_notice ->
-              print_endline "output: <diverged>"
-          | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
-          | Mechanism.Hung -> print_endline "output: <diverged>"
-          | Mechanism.Failed m -> Printf.printf "output: <fault: %s>\n" m);
-          Printf.printf "steps:  %d\n" r.Mechanism.steps
-        in
-        exit
-          (journaled_run ~dir ~kill_at ~snapshot_every ~program_ref:name
-             ~show_reply cfg (Paper.graph e) a)
+    let code =
+      with_sink trace trace_format (fun sink ->
+          match journal with
+          | None ->
+              let o =
+                if Sink.is_null sink then Program.run (Paper.program e) a
+                else begin
+                  (* Tracing hooks live on flowchart boxes, so a traced run
+                     goes through the graph interpreter. *)
+                  let g = Paper.graph e in
+                  Sink.emit sink
+                    (Event.run_header ~program:e.Paper.name
+                       ~arity:g.Graph.arity ~mode:"unmonitored"
+                       ~allowed:Iset.empty ~inputs:a);
+                  let p =
+                    Interp.graph_program ~emit:(Sink.emitter ~graph:g sink) g
+                  in
+                  let o = Program.run p a in
+                  Sink.emit sink (Event.of_reply (Interp.reply_of_outcome o));
+                  o
+                end
+              in
+              (match o.Program.result with
+              | Program.Value v -> Format.printf "output: %a@." Value.pp v
+              | Program.Diverged -> print_endline "output: <diverged>"
+              | Program.Fault m -> Printf.printf "output: <fault: %s>\n" m);
+              Printf.printf "steps:  %d\n" o.Program.steps;
+              0
+          | Some dir ->
+              (* Journaling needs the step machine, so the run goes through
+                 the monitored interpreter under allow(everything) — same
+                 outputs, plus durability. *)
+              let g = Paper.graph e in
+              let p = Policy.allow_all ~arity:e.Paper.prog.Ast.arity in
+              let cfg =
+                Dynamic.config ~mode:Dynamic.Surveillance
+                  ~emit:(Sink.emitter ~graph:g sink) p
+              in
+              let show_reply (r : Mechanism.reply) =
+                (match r.Mechanism.response with
+                | Mechanism.Granted v -> Format.printf "output: %a@." Value.pp v
+                | Mechanism.Denied n when n = Dynamic.fuel_notice ->
+                    print_endline "output: <diverged>"
+                | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
+                | Mechanism.Hung -> print_endline "output: <diverged>"
+                | Mechanism.Failed m -> Printf.printf "output: <fault: %s>\n" m);
+                Printf.printf "steps:  %d\n" r.Mechanism.steps
+              in
+              journaled_run ~dir ~kill_at ~snapshot_every ~sink
+                ~program_ref:name ~show_reply cfg g a)
+    in
+    exit code
   in
   Cmd.v
     (Cmd.info "run"
@@ -257,7 +329,7 @@ let run_cmd =
           under an allow-everything monitor")
     Term.(
       const run $ program_arg $ inputs_arg $ journal_arg $ kill_at_arg
-      $ snapshot_every_arg)
+      $ snapshot_every_arg $ trace_arg $ trace_format_arg)
 
 (* --- enforce -------------------------------------------------------------- *)
 
@@ -270,24 +342,40 @@ let show_enforce_reply (r : Mechanism.reply) =
   Printf.printf "steps:  %d\n" r.Mechanism.steps
 
 let enforce_cmd =
-  let run name inputs mode policy journal kill_at snapshot_every =
+  let run name inputs mode policy journal kill_at snapshot_every trace
+      trace_format =
     let e = entry_of_name name in
     let p = resolve_policy e policy in
     let a = parse_inputs inputs in
     check_arity e a;
-    match journal with
-    | None ->
-        let m = Dynamic.mechanism_of ~mode p (Paper.graph e) in
-        show_enforce_reply (Mechanism.respond m a)
-    | Some dir ->
-        if Policy.allowed_indices p = None then begin
-          prerr_endline "journaled enforcement needs an allow(...) policy";
-          exit 2
-        end;
-        let cfg = Dynamic.config ~mode p in
-        exit
-          (journaled_run ~dir ~kill_at ~snapshot_every ~program_ref:name
-             ~show_reply:show_enforce_reply cfg (Paper.graph e) a)
+    let g = Paper.graph e in
+    let code =
+      with_sink trace trace_format (fun sink ->
+          let emit = Sink.emitter ~graph:g sink in
+          match journal with
+          | None ->
+              Sink.emit sink
+                (Event.run_header ~program:e.Paper.name ~arity:g.Graph.arity
+                   ~mode:(Dynamic.mode_name mode)
+                   ~allowed:
+                     (Option.value (Policy.allowed_indices p)
+                        ~default:Iset.empty)
+                   ~inputs:a);
+              let m = Dynamic.mechanism_of ~mode ~emit p g in
+              let r = Mechanism.respond m a in
+              Sink.emit sink (Event.of_reply r);
+              show_enforce_reply r;
+              0
+          | Some dir ->
+              if Policy.allowed_indices p = None then begin
+                prerr_endline "journaled enforcement needs an allow(...) policy";
+                exit 2
+              end;
+              let cfg = Dynamic.config ~mode ~emit p in
+              journaled_run ~dir ~kill_at ~snapshot_every ~sink
+                ~program_ref:name ~show_reply:show_enforce_reply cfg g a)
+    in
+    exit code
   in
   Cmd.v
     (Cmd.info "enforce"
@@ -296,21 +384,28 @@ let enforce_cmd =
           optionally journaled for crash recovery")
     Term.(
       const run $ program_arg $ inputs_arg $ mode_arg $ policy_arg
-      $ journal_arg $ kill_at_arg $ snapshot_every_arg)
+      $ journal_arg $ kill_at_arg $ snapshot_every_arg $ trace_arg
+      $ trace_format_arg)
 
 (* --- resume ---------------------------------------------------------------- *)
 
 let resume_cmd =
-  let run dir =
+  let run dir trace trace_format =
     if not (Sys.file_exists dir && Sys.is_directory dir) then begin
       Printf.eprintf "%s: no such journal directory\n" dir;
       exit 2
     end;
+    let code =
+      with_sink trace trace_format (fun sink ->
     let media = Media.dir dir in
     let resolve (h : Runner.header) =
       Result.map Paper.graph (entry_result h.Runner.program_ref)
     in
-    let result = Runner.resume ~resolve ~media () in
+    (* The graph is only known once [resolve] runs, so resume traces carry
+       no source spans. *)
+    let result =
+      Runner.resume ~emit:(Sink.emitter sink) ~sink ~resolve ~media ()
+    in
     Media.close media;
     match result with
     | Ok res ->
@@ -327,7 +422,8 @@ let resume_cmd =
                Printf.sprintf " (dropped %d torn byte(s))" res.Runner.torn_bytes
              else "")
             res.Runner.resumed_steps;
-        show_enforce_reply res.Runner.reply
+        show_enforce_reply res.Runner.reply;
+        0
     | Error e ->
         (* Fail-secure degradation: an unrecoverable journal is the single
            violation notice, with the diagnosis on stderr only. *)
@@ -336,7 +432,9 @@ let resume_cmd =
         | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
         | _ -> assert false);
         Printf.eprintf "journal unrecoverable: %s\n" (Runner.failure_message e);
-        exit 1
+        1)
+    in
+    exit code
   in
   let dir =
     Arg.(
@@ -352,7 +450,7 @@ let resume_cmd =
           uninterrupted run on intact media; degrades to the violation \
           notice \xce\x9b/recovery on unrecoverable media. Exits 0 when the \
           run was reproduced, 1 on \xce\x9b/recovery, 2 on usage errors.")
-    Term.(const run $ dir)
+    Term.(const run $ dir $ trace_arg $ trace_format_arg)
 
 (* --- certify --------------------------------------------------------------- *)
 
@@ -546,26 +644,34 @@ let chaos_cmd =
   let module Sweep = Secpol_fault.Sweep in
   let module Crash = Secpol_fault.Crash in
   let run program mode seeds base_seed horizon retries crash crash_points
-      snapshot_every format =
+      snapshot_every format trace trace_format =
     let entries =
       match program with None -> Paper.all | Some name -> [ entry_of_name name ]
     in
-    if crash then begin
-      let report =
-        Crash.run ~entries ~mode ~crash_points ~base_seed ~snapshot_every ()
-      in
-      (match format with
-      | `Json -> print_endline (Crash.to_json_string report)
-      | `Text -> Format.printf "%a" Crash.pp report);
-      exit (if report.Crash.ok then 0 else 1)
-    end;
-    let report =
-      Sweep.run ~entries ~mode ~seeds ~base_seed ~horizon ~retries ()
+    let code =
+      with_sink trace trace_format (fun sink ->
+          if crash then begin
+            let report =
+              Crash.run ~entries ~mode ~crash_points ~base_seed ~snapshot_every
+                ~sink ()
+            in
+            (match format with
+            | `Json -> print_endline (Crash.to_json_string report)
+            | `Text -> Format.printf "%a" Crash.pp report);
+            if report.Crash.ok then 0 else 1
+          end
+          else begin
+            let report =
+              Sweep.run ~entries ~mode ~seeds ~base_seed ~horizon ~retries
+                ~sink ()
+            in
+            (match format with
+            | `Json -> print_endline (Sweep.to_json_string report)
+            | `Text -> Format.printf "%a" Sweep.pp report);
+            if report.Sweep.ok then 0 else 1
+          end)
     in
-    (match format with
-    | `Json -> print_endline (Sweep.to_json_string report)
-    | `Text -> Format.printf "%a" Sweep.pp report);
-    exit (if report.Sweep.ok then 0 else 1)
+    exit code
   in
   let crash =
     let doc =
@@ -625,7 +731,108 @@ let chaos_cmd =
           usage errors.")
     Term.(
       const run $ program $ mode_arg $ seeds $ base_seed $ horizon $ retries
-      $ crash $ crash_points $ snapshot_every $ format)
+      $ crash $ crash_points $ snapshot_every $ format $ trace_arg
+      $ trace_format_arg)
+
+(* --- explain ---------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run program inputs mode policy from =
+    let explain_events ?allowed events =
+      match Provenance.explain ?allowed events with
+      | Ok ex ->
+          Format.printf "%a@." Provenance.pp ex;
+          0
+      | Error m ->
+          prerr_endline ("cannot explain: " ^ m);
+          1
+    in
+    let code =
+      match from with
+      | Some path ->
+          let contents =
+            try In_channel.with_open_bin path In_channel.input_all
+            with Sys_error m ->
+              prerr_endline m;
+              exit 2
+          in
+          (match Event.decode_lines contents with
+          | Ok events ->
+              let allowed =
+                Option.bind policy Policy.allowed_indices
+              in
+              explain_events ?allowed events
+          | Error m ->
+              Printf.eprintf "%s: %s\n" path m;
+              2)
+      | None -> (
+          match (program, inputs) with
+          | Some name, Some inputs ->
+              let e = entry_of_name name in
+              let p = resolve_policy e policy in
+              let a = parse_inputs inputs in
+              check_arity e a;
+              (match Policy.allowed_indices p with
+              | None ->
+                  prerr_endline "explain needs an allow(...) policy";
+                  2
+              | Some allowed ->
+                  let g = Paper.graph e in
+                  let sink = Sink.memory () in
+                  Sink.emit sink
+                    (Event.run_header ~program:e.Paper.name
+                       ~arity:g.Graph.arity ~mode:(Dynamic.mode_name mode)
+                       ~allowed ~inputs:a);
+                  let m =
+                    Dynamic.mechanism_of ~mode
+                      ~emit:(Sink.emitter ~graph:g sink) p g
+                  in
+                  let r = Mechanism.respond m a in
+                  Sink.emit sink (Event.of_reply r);
+                  (match r.Mechanism.response with
+                  | Mechanism.Granted v ->
+                      Format.printf "granted: %a — nothing to explain@."
+                        Value.pp v;
+                      0
+                  | _ -> explain_events (Sink.events sink)))
+          | _ ->
+              prerr_endline
+                "explain needs PROGRAM and --inputs, or --from TRACE";
+              2)
+    in
+    exit code
+  in
+  let program =
+    let doc =
+      "Corpus program name or .spl path (omit when reading --from)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let inputs =
+    let doc = "Comma-separated integer inputs, e.g. 3,0." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "inputs" ] ~docv:"INPUTS" ~doc)
+  in
+  let from =
+    let doc =
+      "Explain a previously recorded JSONL trace (written by --trace) \
+       instead of running anything."
+    in
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"TRACE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a violation verdict: run the monitor (or read a recorded \
+          trace) and reconstruct, for each disallowed input coordinate, the \
+          chain of boxes that carried it from the input to the condemning \
+          box — data flow for \xce\x9b/explicit, control flow for \
+          \xce\x9b/implicit, the about-to-test decision for \xce\x9b/timed. \
+          Exits 0 when the run was granted or the denial explained, 1 when \
+          there is nothing explainable, 2 on usage errors.")
+    Term.(const run $ program $ inputs $ mode_arg $ policy_arg $ from)
 
 (* --- fmt ------------------------------------------------------------------ *)
 
@@ -655,6 +862,6 @@ let () =
   let code =
     Cmd.eval ~term_err:2
       (Cmd.group info
-         [ list_cmd; show_cmd; run_cmd; enforce_cmd; resume_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; fmt_cmd ])
+         [ list_cmd; show_cmd; run_cmd; enforce_cmd; resume_cmd; explain_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; fmt_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

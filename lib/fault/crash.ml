@@ -9,6 +9,8 @@ module Json = Secpol_staticflow.Lint.Json
 module Media = Secpol_journal.Media
 module Frame = Secpol_journal.Frame
 module Runner = Secpol_journal.Runner
+module Metrics = Secpol_trace.Metrics
+module Sink = Secpol_trace.Sink
 
 (* The crash-recovery sweep: the durable runner's fail-secure proof by
    exhaustion. For every corpus entry, every allow(J) policy and a spread
@@ -50,19 +52,6 @@ type totals = {
   journal_mismatch : int;  (** journaled baseline differing from Dynamic.run — must be 0 *)
 }
 
-let zero_totals =
-  {
-    cases = 0;
-    crashes = 0;
-    identical = 0;
-    complete_replays = 0;
-    recovery_notices = 0;
-    tamper_survived = 0;
-    divergent = 0;
-    fail_open = 0;
-    journal_mismatch = 0;
-  }
-
 type finding = {
   entry : string;
   policy : string;
@@ -77,27 +66,16 @@ type report = {
   crash_points : int;
   mode : Dynamic.mode;
   totals : totals;
+  metrics : Metrics.t;
   findings : finding list;
   ok : bool;
 }
 
 let max_findings = 20
 
-let show_input a =
-  "(" ^ String.concat "," (Array.to_list (Array.map Value.to_string a)) ^ ")"
-
-let show_response = function
-  | Mechanism.Granted v -> "granted " ^ Value.to_string v
-  | Mechanism.Denied f -> "denied " ^ f
-  | Mechanism.Hung -> "hung"
-  | Mechanism.Failed m -> "failed: " ^ m
-
-let show_reply (r : Mechanism.reply) =
-  Printf.sprintf "%s (%d steps)" (show_response r.Mechanism.response)
-    r.Mechanism.steps
-
-let policies_of_arity arity =
-  List.init (1 lsl arity) (fun mask -> Policy.allow_set (Iset.of_mask mask))
+let show_input = Report.show_input
+let show_reply = Report.show_reply
+let policies_of_arity = Report.policies_of_arity
 
 (* Up to [k] inputs spread across the enumerated space — endpoints first,
    so arity-0 spaces and singletons still contribute. *)
@@ -160,13 +138,23 @@ let default_snapshot_every = 8
 
 let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
     ?(crash_points = 50) ?(base_seed = 0) ?(fuel = default_fuel)
-    ?(snapshot_every = default_snapshot_every) ?(inputs_per_case = 4) () =
-  let totals = ref zero_totals in
+    ?(snapshot_every = default_snapshot_every) ?(inputs_per_case = 4)
+    ?(sink = Sink.null) () =
+  let metrics = Metrics.create () in
+  let c_cases = Metrics.counter metrics "cases" in
+  let c_crashes = Metrics.counter metrics "crashes" in
+  let c_identical = Metrics.counter metrics "identical" in
+  let c_complete = Metrics.counter metrics "complete_replays" in
+  let c_recovery = Metrics.counter metrics "recovery_notices" in
+  let c_survived = Metrics.counter metrics "tamper_survived" in
+  let c_divergent = Metrics.counter metrics "divergent" in
+  let c_fail_open = Metrics.counter metrics "fail_open" in
+  let c_journal_mismatch = Metrics.counter metrics "journal_mismatch" in
+  let h_replayed = Metrics.histogram metrics "replayed_records" in
   let findings = ref [] in
   let note f =
     if List.length !findings < max_findings then findings := f :: !findings
   in
-  let bump f = totals := f !totals in
   let resolve (h : Runner.header) =
     match List.find_opt (fun (e : Paper.entry) -> e.Paper.name = h.Runner.program_ref) entries with
     | Some e -> Ok (Paper.graph e)
@@ -184,10 +172,10 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
           List.iteri
             (fun ii a ->
               let a = Array.of_list (Array.to_list a) in
-              bump (fun t -> { t with cases = t.cases + 1 });
+              Metrics.incr c_cases;
               let iname = show_input a in
-              let fault ?(crash_point = -1) ?(tamper = "none") bump_field detail =
-                bump bump_field;
+              let fault ?(crash_point = -1) ?(tamper = "none") counter detail =
+                Metrics.incr counter;
                 note { entry = entry.Paper.name; policy = pname; input = iname;
                        crash_point; tamper; detail }
               in
@@ -196,35 +184,32 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
               let clean = Dynamic.run cfg g a in
               let base_media = Media.memory () in
               (match
-                 Runner.run ~snapshot_every ~media:base_media
+                 Runner.run ~snapshot_every ~sink ~media:base_media
                    ~program_ref:entry.Paper.name cfg g a
                with
               | Runner.Killed _ -> assert false (* no kill_at *)
               | Runner.Completed r ->
                   if r <> clean then
-                    fault
-                      (fun t -> { t with journal_mismatch = t.journal_mismatch + 1 })
+                    fault c_journal_mismatch
                       (Printf.sprintf
                          "journaled run %s differs from plain monitor %s"
                          (show_reply r) (show_reply clean)));
               (* Resuming a COMPLETED journal must re-deliver the verdict
                  without re-executing anything. *)
-              (match Runner.resume ~resolve ~media:base_media () with
+              (match Runner.resume ~sink ~resolve ~media:base_media () with
               | Ok res
                 when res.Runner.was_complete && res.Runner.reply = clean ->
-                  bump (fun t ->
-                      { t with complete_replays = t.complete_replays + 1 })
+                  Metrics.incr c_complete;
+                  Metrics.observe h_replayed res.Runner.replayed
               | Ok res ->
-                  fault
-                    (fun t -> { t with divergent = t.divergent + 1 })
+                  fault c_divergent
                     (Printf.sprintf
                        "resume of completed journal gave %s (complete=%b), \
                         clean run was %s"
                        (show_reply res.Runner.reply) res.Runner.was_complete
                        (show_reply clean))
               | Error e ->
-                  fault
-                    (fun t -> { t with divergent = t.divergent + 1 })
+                  fault c_divergent
                     ("resume of completed journal refused: "
                     ^ Runner.failure_message e));
               (* Kill at every crash point, then resume — pristine first,
@@ -250,8 +235,7 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
                 ignore outcome;
                 match Media.load media with
                 | None ->
-                    fault ~crash_point:k
-                      (fun t -> { t with divergent = t.divergent + 1 })
+                    fault ~crash_point:k c_divergent
                       "killed run left no snapshot at all"
                 | Some bytes ->
                     let tamper =
@@ -259,40 +243,31 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
                     in
                     let snapshot, journal = tampered_media rng tamper bytes in
                     let media' = Media.memory ~snapshot ~journal () in
-                    bump (fun t -> { t with crashes = t.crashes + 1 });
+                    Metrics.incr c_crashes;
                     let tname = tamper_name tamper in
-                    (match Runner.resume ~resolve ~media:media' () with
+                    (match Runner.resume ~sink ~resolve ~media:media' () with
                     | Ok res when res.Runner.reply = clean ->
-                        bump (fun t ->
-                            if tamper = Pristine then
-                              { t with identical = t.identical + 1 }
-                            else
-                              {
-                                t with
-                                identical = t.identical + 1;
-                                tamper_survived = t.tamper_survived + 1;
-                              })
+                        Metrics.incr c_identical;
+                        Metrics.observe h_replayed res.Runner.replayed;
+                        if tamper <> Pristine then Metrics.incr c_survived
                     | Ok res -> (
                         match res.Runner.reply.Mechanism.response with
                         | Mechanism.Granted _ ->
-                            fault ~crash_point:k ~tamper:tname
-                              (fun t -> { t with fail_open = t.fail_open + 1 })
+                            fault ~crash_point:k ~tamper:tname c_fail_open
                               (Printf.sprintf
                                  "FAIL-OPEN: resume granted %s, clean run \
                                   was %s"
                                  (show_reply res.Runner.reply)
                                  (show_reply clean))
                         | _ ->
-                            fault ~crash_point:k ~tamper:tname
-                              (fun t -> { t with divergent = t.divergent + 1 })
+                            fault ~crash_point:k ~tamper:tname c_divergent
                               (Printf.sprintf
                                  "resume gave %s, clean run was %s"
                                  (show_reply res.Runner.reply)
                                  (show_reply clean)))
                     | Error e ->
                         if survivable tamper then
-                          fault ~crash_point:k ~tamper:tname
-                            (fun t -> { t with divergent = t.divergent + 1 })
+                          fault ~crash_point:k ~tamper:tname c_divergent
                             (Printf.sprintf
                                "crash damage should be survivable but \
                                 resume refused: %s"
@@ -304,15 +279,9 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
                           if
                             reply.Mechanism.response
                             = Mechanism.Denied Guard.recovery_notice
-                          then
-                            bump (fun t ->
-                                {
-                                  t with
-                                  recovery_notices = t.recovery_notices + 1;
-                                })
+                          then Metrics.incr c_recovery
                           else
-                            fault ~crash_point:k ~tamper:tname
-                              (fun t -> { t with divergent = t.divergent + 1 })
+                            fault ~crash_point:k ~tamper:tname c_divergent
                               (Printf.sprintf
                                  "recovery refusal mapped to %s, not \
                                   Λ/recovery"
@@ -322,78 +291,90 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
             inputs)
         (policies_of_arity g.Secpol_flowgraph.Graph.arity))
     entries;
-  let totals = !totals in
+  let v name = Metrics.counter_value metrics name in
+  let totals =
+    {
+      cases = v "cases";
+      crashes = v "crashes";
+      identical = v "identical";
+      complete_replays = v "complete_replays";
+      recovery_notices = v "recovery_notices";
+      tamper_survived = v "tamper_survived";
+      divergent = v "divergent";
+      fail_open = v "fail_open";
+      journal_mismatch = v "journal_mismatch";
+    }
+  in
   {
     base_seed;
     crash_points;
     mode;
     totals;
+    metrics;
     findings = List.rev !findings;
     ok =
       totals.divergent = 0 && totals.fail_open = 0
       && totals.journal_mismatch = 0;
   }
 
-let pp ppf r =
+let report_of r =
   let t = r.totals in
-  Format.fprintf ppf
-    "crash-recovery sweep: %d cases, %d crash points each, mode %s@." t.cases
-    r.crash_points
-    (Dynamic.mode_name r.mode);
-  Format.fprintf ppf "  kill/resume cycles %6d@." t.crashes;
-  Format.fprintf ppf "  bit-identical      %6d  (%d after tampering)@."
-    t.identical t.tamper_survived;
-  Format.fprintf ppf "  complete replays   %6d@." t.complete_replays;
-  Format.fprintf ppf "  recovery notices   %6d  (unrecoverable media; all map to Λ/recovery ∈ F)@."
-    t.recovery_notices;
-  Format.fprintf ppf "  journal mismatches %6d@." t.journal_mismatch;
-  Format.fprintf ppf "  divergent          %6d@." t.divergent;
-  Format.fprintf ppf "  fail-open          %6d@." t.fail_open;
-  List.iter
-    (fun f ->
-      Format.fprintf ppf "  ! %s / %s / %s / crash@%d / %s: %s@." f.entry
-        f.policy f.input f.crash_point f.tamper f.detail)
-    r.findings;
-  Format.fprintf ppf "verdict: %s@."
-    (if r.ok then
-       "durable (every resume bit-identical or Λ/recovery, never fail-open)"
-     else "DIVERGENT OR FAIL-OPEN RECOVERY DETECTED")
+  {
+    Report.title =
+      Printf.sprintf
+        "crash-recovery sweep: %d cases, %d crash points each, mode %s"
+        t.cases r.crash_points
+        (Dynamic.mode_name r.mode);
+    params =
+      [
+        ("base_seed", Json.Int r.base_seed);
+        ("crash_points", Json.Int r.crash_points);
+        ("mode", Json.String (Dynamic.mode_name r.mode));
+      ];
+    metrics = r.metrics;
+    rows =
+      [
+        ("crashes", "kill/resume cycles", None);
+        ( "identical",
+          "bit-identical",
+          Some (Printf.sprintf "%d after tampering" t.tamper_survived) );
+        ("complete_replays", "complete replays", None);
+        ( "recovery_notices",
+          "recovery notices",
+          Some "unrecoverable media; all map to Λ/recovery ∈ F" );
+        ("journal_mismatch", "journal mismatches", None);
+        ("divergent", "divergent", None);
+        ("fail_open", "fail-open", None);
+      ];
+    findings =
+      List.map
+        (fun f ->
+          {
+            Report.subject =
+              [
+                f.entry;
+                f.policy;
+                f.input;
+                Printf.sprintf "crash@%d" f.crash_point;
+                f.tamper;
+              ];
+            fields =
+              [
+                ("entry", Json.String f.entry);
+                ("policy", Json.String f.policy);
+                ("input", Json.String f.input);
+                ("crash_point", Json.Int f.crash_point);
+                ("tamper", Json.String f.tamper);
+              ];
+            detail = f.detail;
+          })
+        r.findings;
+    ok = r.ok;
+    verdict_ok =
+      "durable (every resume bit-identical or Λ/recovery, never fail-open)";
+    verdict_fail = "DIVERGENT OR FAIL-OPEN RECOVERY DETECTED";
+  }
 
-let to_json r =
-  let t = r.totals in
-  Json.Obj
-    [
-      ("base_seed", Json.Int r.base_seed);
-      ("crash_points", Json.Int r.crash_points);
-      ("mode", Json.String (Dynamic.mode_name r.mode));
-      ( "totals",
-        Json.Obj
-          [
-            ("cases", Json.Int t.cases);
-            ("crashes", Json.Int t.crashes);
-            ("identical", Json.Int t.identical);
-            ("complete_replays", Json.Int t.complete_replays);
-            ("recovery_notices", Json.Int t.recovery_notices);
-            ("tamper_survived", Json.Int t.tamper_survived);
-            ("divergent", Json.Int t.divergent);
-            ("fail_open", Json.Int t.fail_open);
-            ("journal_mismatch", Json.Int t.journal_mismatch);
-          ] );
-      ( "findings",
-        Json.List
-          (List.map
-             (fun f ->
-               Json.Obj
-                 [
-                   ("entry", Json.String f.entry);
-                   ("policy", Json.String f.policy);
-                   ("input", Json.String f.input);
-                   ("crash_point", Json.Int f.crash_point);
-                   ("tamper", Json.String f.tamper);
-                   ("detail", Json.String f.detail);
-                 ])
-             r.findings) );
-      ("ok", Json.Bool r.ok);
-    ]
-
-let to_json_string r = Json.render (to_json r)
+let pp ppf r = Report.pp ppf (report_of r)
+let to_json r = Report.to_json (report_of r)
+let to_json_string r = Report.to_json_string (report_of r)

@@ -53,6 +53,10 @@ type report = {
   crash_points : int;
   mode : Secpol_taint.Dynamic.mode;
   totals : totals;
+  metrics : Secpol_trace.Metrics.t;
+      (** the registry the totals are read from; also carries the
+          [replayed_records] histogram (journal records adopted per
+          successful resume) *)
   findings : finding list;  (** capped at {!max_findings} *)
   ok : bool;
       (** [divergent = 0 && fail_open = 0 && journal_mismatch = 0] *)
@@ -76,12 +80,14 @@ val run :
   ?fuel:int ->
   ?snapshot_every:int ->
   ?inputs_per_case:int ->
+  ?sink:Secpol_trace.Sink.t ->
   unit ->
   report
 (** Defaults: the whole corpus, [Surveillance] monitors, 50 crash points,
     base seed 0, {!default_fuel}, {!default_snapshot_every}, 4 inputs
     spread across each entry's space. Policies are all [2^arity] subsets
-    of each entry's inputs. *)
+    of each entry's inputs. [sink] (default null) receives the journal
+    lifecycle events of every baseline run and resume the sweep drives. *)
 
 val pp : Format.formatter -> report -> unit
 val to_json : report -> Secpol_staticflow.Lint.Json.value

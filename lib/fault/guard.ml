@@ -3,6 +3,8 @@ module Policy = Secpol_core.Policy
 module Program = Secpol_core.Program
 module Space = Secpol_core.Space
 module Mechanism = Secpol_core.Mechanism
+module Event = Secpol_trace.Event
+module Sink = Secpol_trace.Sink
 
 type fault_report = {
   mechanism : string;
@@ -42,7 +44,7 @@ let classify config (reply : Mechanism.reply) =
     | Mechanism.Hung -> Error "hung (step budget exhausted)"
     | Mechanism.Failed msg -> Error msg
 
-let run ?(config = default) ?injector (m : Mechanism.t) a =
+let run ?(config = default) ?injector ?(sink = Sink.null) (m : Mechanism.t) a =
   Option.iter Injector.reset injector;
   let total_steps = ref 0 in
   let backoff_steps = ref 0 in
@@ -60,7 +62,15 @@ let run ?(config = default) ?injector (m : Mechanism.t) a =
     | Ok outcome -> outcome
     | Error symptom ->
         symptoms := symptom :: !symptoms;
-        if i > config.retries then
+        if i > config.retries then begin
+          Sink.emit sink
+            (Event.Guard
+               {
+                 kind = Event.Degraded;
+                 mechanism = m.Mechanism.name;
+                 attempt = i;
+                 detail = symptom;
+               });
           Degraded
             {
               mechanism = m.Mechanism.name;
@@ -68,7 +78,16 @@ let run ?(config = default) ?injector (m : Mechanism.t) a =
               symptoms = List.rev !symptoms;
               backoff_steps = !backoff_steps;
             }
+        end
         else begin
+          Sink.emit sink
+            (Event.Guard
+               {
+                 kind = Event.Retry;
+                 mechanism = m.Mechanism.name;
+                 attempt = i;
+                 detail = symptom;
+               });
           (* Exponential backoff, charged in steps: under an observable
              clock the penalty is part of the reply's timing. *)
           let penalty = config.backoff_base * (1 lsl (i - 1)) in
@@ -90,11 +109,11 @@ let reply_of_outcome (outcome, steps) =
   in
   { Mechanism.response; steps }
 
-let protect ?config ?injector (m : Mechanism.t) =
+let protect ?config ?injector ?sink (m : Mechanism.t) =
   Mechanism.make
     ~name:(Printf.sprintf "guard(%s)" m.Mechanism.name)
     ~arity:m.Mechanism.arity
-    (fun a -> reply_of_outcome (run ?config ?injector m a))
+    (fun a -> reply_of_outcome (run ?config ?injector ?sink m a))
 
 type breach = {
   input : Value.t array;

@@ -79,22 +79,29 @@ val reply_of_recovery :
 val run :
   ?config:config ->
   ?injector:Injector.t ->
+  ?sink:Secpol_trace.Sink.t ->
   Secpol_core.Mechanism.t ->
   Secpol_core.Value.t array ->
   outcome * int
 (** One supervised invocation; the [int] is the total step count across
     attempts, backoff penalties included. If [injector] is given it is
     {!Injector.reset} first and advanced with {!Injector.next_attempt}
-    before each retry, so transient faults clear on schedule. [run] never
-    raises: an exception escaping the mechanism is a symptom, not a
-    crash. *)
+    before each retry, so transient faults clear on schedule. [sink]
+    (default null) receives one guard event per observed symptom: a retry
+    event for each attempt that will be retried, a degraded event when the
+    supervisor gives up. [run] never raises: an exception escaping the
+    mechanism is a symptom, not a crash. *)
 
 val reply_of_outcome : outcome * int -> Secpol_core.Mechanism.reply
 (** [Output v] ↦ [Granted v], [Notice f] ↦ [Denied f],
     [Degraded _] ↦ [Denied degraded_notice]. No [Hung], no [Failed]. *)
 
 val protect :
-  ?config:config -> ?injector:Injector.t -> Secpol_core.Mechanism.t -> Secpol_core.Mechanism.t
+  ?config:config ->
+  ?injector:Injector.t ->
+  ?sink:Secpol_trace.Sink.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Mechanism.t
 (** The supervised mechanism, packaged: ["guard(M)"] with the same arity,
     replying via {!run} and {!reply_of_outcome}. *)
 

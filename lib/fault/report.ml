@@ -1,0 +1,83 @@
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+module Json = Secpol_staticflow.Lint.Json
+module Metrics = Secpol_trace.Metrics
+
+let show_input a =
+  "(" ^ String.concat "," (Array.to_list (Array.map Value.to_string a)) ^ ")"
+
+let show_response = function
+  | Mechanism.Granted v -> "granted " ^ Value.to_string v
+  | Mechanism.Denied f -> "denied " ^ f
+  | Mechanism.Hung -> "hung"
+  | Mechanism.Failed m -> "failed: " ^ m
+
+let show_reply (r : Mechanism.reply) =
+  Printf.sprintf "%s (%d steps)" (show_response r.Mechanism.response)
+    r.Mechanism.steps
+
+let policies_of_arity arity =
+  List.init (1 lsl arity) (fun mask -> Policy.allow_set (Iset.of_mask mask))
+
+type finding = {
+  subject : string list;
+  fields : (string * Json.value) list;
+  detail : string;
+}
+
+type t = {
+  title : string;
+  params : (string * Json.value) list;
+  metrics : Metrics.t;
+  rows : (string * string * string option) list;
+  findings : finding list;
+  ok : bool;
+  verdict_ok : string;
+  verdict_fail : string;
+}
+
+let pp ppf r =
+  Format.fprintf ppf "%s@." r.title;
+  let width =
+    List.fold_left (fun w (_, label, _) -> max w (String.length label)) 0 r.rows
+  in
+  List.iter
+    (fun (name, label, note) ->
+      Format.fprintf ppf "  %-*s %6d%s@." width label
+        (Metrics.counter_value r.metrics name)
+        (match note with None -> "" | Some n -> "  (" ^ n ^ ")"))
+    r.rows;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  ! %s: %s@." (String.concat " / " f.subject)
+        f.detail)
+    r.findings;
+  Format.fprintf ppf "verdict: %s@."
+    (if r.ok then r.verdict_ok else r.verdict_fail)
+
+let to_json r =
+  let totals =
+    List.filter_map
+      (fun (name, stat) ->
+        match stat with
+        | Metrics.Counter n -> Some (name, Json.Int n)
+        | Metrics.Histogram _ -> None)
+      (Metrics.stats r.metrics)
+  in
+  Json.Obj
+    (r.params
+    @ [
+        ("totals", Json.Obj totals);
+        ( "findings",
+          Json.List
+            (List.map
+               (fun f ->
+                 Json.Obj (f.fields @ [ ("detail", Json.String f.detail) ]))
+               r.findings) );
+        ("metrics", Metrics.to_json r.metrics);
+        ("ok", Json.Bool r.ok);
+      ])
+
+let to_json_string r = Json.render (to_json r)

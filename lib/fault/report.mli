@@ -1,0 +1,59 @@
+(** Shared rendering for the sweep reports.
+
+    {!Sweep} and {!Crash} used to carry two nearly identical pp/to_json
+    pairs plus private copies of the input/response formatters. Both now
+    accumulate their aggregates in a {!Secpol_trace.Metrics} registry and
+    describe their report declaratively as a {!t}; the one renderer here
+    produces the text block and the JSON document for both. *)
+
+module Json = Secpol_staticflow.Lint.Json
+module Metrics = Secpol_trace.Metrics
+
+(** {1 Shared formatters} *)
+
+val show_input : Secpol_core.Value.t array -> string
+(** [(v0,v1,...)]. *)
+
+val show_response : Secpol_core.Mechanism.response -> string
+
+val show_reply : Secpol_core.Mechanism.reply -> string
+(** Response plus step count. *)
+
+val policies_of_arity : int -> Secpol_core.Policy.t list
+(** All [allow(J)] policies over [arity] inputs: one per subset of
+    [{0..arity-1}], enumerated through the bitset representation. *)
+
+(** {1 The declarative report} *)
+
+type finding = {
+  subject : string list;  (** joined with [" / "] in the text rendering *)
+  fields : (string * Json.value) list;
+      (** JSON object fields of the finding, [detail] appended last *)
+  detail : string;
+}
+
+type t = {
+  title : string;  (** first line of the text rendering *)
+  params : (string * Json.value) list;
+      (** leading fields of the JSON document (seeds, mode, ...) *)
+  metrics : Metrics.t;  (** the sweep's aggregates *)
+  rows : (string * string * string option) list;
+      (** text rendering of the totals: counter name, display label,
+          optional parenthetical note. Counters absent from [rows] still
+          appear in the JSON totals (registration order). *)
+  findings : finding list;
+  ok : bool;
+  verdict_ok : string;  (** verdict line when [ok] *)
+  verdict_fail : string;  (** verdict line otherwise *)
+}
+
+val pp : Format.formatter -> t -> unit
+(** Title, one aligned line per row, [  ! subject: detail] per finding,
+    then the verdict line. *)
+
+val to_json : t -> Json.value
+(** [params] fields, a ["totals"] object with every {e counter} in the
+    registry (registration order), the ["findings"] list, the full
+    ["metrics"] rendering (histograms included), and ["ok"]. *)
+
+val to_json_string : t -> string

@@ -6,6 +6,8 @@ module Mechanism = Secpol_core.Mechanism
 module Dynamic = Secpol_taint.Dynamic
 module Paper = Secpol_corpus.Paper_programs
 module Json = Secpol_staticflow.Lint.Json
+module Metrics = Secpol_trace.Metrics
+module Sink = Secpol_trace.Sink
 
 type totals = {
   runs : int;
@@ -32,42 +34,32 @@ type report = {
   seeds : int;
   mode : Dynamic.mode;
   totals : totals;
+  metrics : Metrics.t;
   findings : finding list;
   ok : bool;
 }
 
 let max_findings = 20
 
-let zero_totals =
-  {
-    runs = 0;
-    plans = 0;
-    grants = 0;
-    recovered = 0;
-    notices = 0;
-    degraded = 0;
-    fail_open = 0;
-    clean_mismatch = 0;
-    unguarded_failures = 0;
-  }
-
-let show_input a =
-  "(" ^ String.concat "," (Array.to_list (Array.map Value.to_string a)) ^ ")"
-
-let show_response = function
-  | Mechanism.Granted v -> "granted " ^ Value.to_string v
-  | Mechanism.Denied f -> "denied " ^ f
-  | Mechanism.Hung -> "hung"
-  | Mechanism.Failed m -> "failed: " ^ m
-
-(* All allow(J) policies over an entry's inputs: one per subset of
-   {0..arity-1}, enumerated through the bitset representation. *)
-let policies_of_arity arity =
-  List.init (1 lsl arity) (fun mask -> Policy.allow_set (Iset.of_mask mask))
+let show_input = Report.show_input
+let show_response = Report.show_response
+let policies_of_arity = Report.policies_of_arity
 
 let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
-    ?(base_seed = 0) ?(horizon = 24) ?(retries = 2) () =
-  let totals = ref zero_totals in
+    ?(base_seed = 0) ?(horizon = 24) ?(retries = 2) ?(sink = Sink.null) () =
+  let metrics = Metrics.create () in
+  (* Registered up front so renderings keep this order whatever fires
+     first. *)
+  let c_runs = Metrics.counter metrics "runs" in
+  let c_plans = Metrics.counter metrics "plans" in
+  let c_grants = Metrics.counter metrics "grants" in
+  let c_recovered = Metrics.counter metrics "recovered" in
+  let c_notices = Metrics.counter metrics "notices" in
+  let c_degraded = Metrics.counter metrics "degraded" in
+  let c_fail_open = Metrics.counter metrics "fail_open" in
+  let c_clean_mismatch = Metrics.counter metrics "clean_mismatch" in
+  let c_unguarded = Metrics.counter metrics "unguarded_failures" in
+  let h_steps = Metrics.histogram metrics "guard_steps" in
   let findings = ref [] in
   let note f = if List.length !findings < max_findings then findings := f :: !findings in
   let config = { Guard.default with Guard.retries } in
@@ -84,9 +76,9 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
              bit-identical wrapper. *)
           List.iter
             (fun (a, (c : Mechanism.reply)) ->
-              let r = Guard.reply_of_outcome (Guard.run ~config clean_mech a) in
+              let r = Guard.reply_of_outcome (Guard.run ~config ~sink clean_mech a) in
               if r <> c then begin
-                totals := { !totals with clean_mismatch = !totals.clean_mismatch + 1 };
+                Metrics.incr c_clean_mismatch;
                 note
                   {
                     entry = entry.Paper.name;
@@ -105,7 +97,7 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
               end)
             clean;
           for seed = base_seed to base_seed + seeds - 1 do
-            totals := { !totals with plans = !totals.plans + 1 };
+            Metrics.incr c_plans;
             let plan = Plan.generate ~horizon ~seed () in
             let injector = Injector.create plan in
             let faulty =
@@ -113,7 +105,7 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
             in
             List.iter
               (fun (a, (c : Mechanism.reply)) ->
-                let fault f detail =
+                let fault counter detail =
                   note
                     {
                       entry = entry.Paper.name;
@@ -123,46 +115,37 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
                       detail =
                         Printf.sprintf "[plan %s] %s" (Plan.describe plan) detail;
                     };
-                  totals := f !totals
+                  Metrics.incr counter
                 in
                 (* Contrast pass: same faulty monitor, no supervisor. *)
                 Injector.reset injector;
                 (match (Mechanism.respond faulty a).Mechanism.response with
-                | Mechanism.Failed _ | Mechanism.Hung ->
-                    totals :=
-                      { !totals with unguarded_failures = !totals.unguarded_failures + 1 }
+                | Mechanism.Failed _ | Mechanism.Hung -> Metrics.incr c_unguarded
                 | Mechanism.Granted _ | Mechanism.Denied _ -> ());
                 (* Guarded pass. *)
-                let outcome, steps = Guard.run ~config ~injector faulty a in
-                totals := { !totals with runs = !totals.runs + 1 };
+                let outcome, steps = Guard.run ~config ~injector ~sink faulty a in
+                Metrics.incr c_runs;
+                Metrics.observe h_steps steps;
                 let fired = Injector.fired_total injector > 0 in
                 (match outcome with
                 | Guard.Output v -> (
                     match c.Mechanism.response with
                     | Mechanism.Granted w when Value.equal v w ->
-                        totals :=
-                          {
-                            !totals with
-                            grants = !totals.grants + 1;
-                            recovered = (!totals.recovered + if fired then 1 else 0);
-                          }
+                        Metrics.incr c_grants;
+                        if fired then Metrics.incr c_recovered
                     | _ ->
-                        fault
-                          (fun t -> { t with fail_open = t.fail_open + 1 })
+                        fault c_fail_open
                           (Printf.sprintf
                              "FAIL-OPEN: guarded run granted %s but clean \
                               monitor replied %s"
                              (Value.to_string v)
                              (show_response c.Mechanism.response)))
-                | Guard.Notice _ ->
-                    totals := { !totals with notices = !totals.notices + 1 }
-                | Guard.Degraded _ ->
-                    totals := { !totals with degraded = !totals.degraded + 1 });
+                | Guard.Notice _ -> Metrics.incr c_notices
+                | Guard.Degraded _ -> Metrics.incr c_degraded);
                 if not fired then begin
                   let r = Guard.reply_of_outcome (outcome, steps) in
                   if r <> c then
-                    fault
-                      (fun t -> { t with clean_mismatch = t.clean_mismatch + 1 })
+                    fault c_clean_mismatch
                       (Printf.sprintf
                          "no fault fired yet reply differs: %s (%d steps) vs \
                           clean %s (%d steps)"
@@ -175,73 +158,79 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
           done)
         (policies_of_arity g.Secpol_flowgraph.Graph.arity))
     entries;
-  let totals = !totals in
+  let v name = Metrics.counter_value metrics name in
+  let totals =
+    {
+      runs = v "runs";
+      plans = v "plans";
+      grants = v "grants";
+      recovered = v "recovered";
+      notices = v "notices";
+      degraded = v "degraded";
+      fail_open = v "fail_open";
+      clean_mismatch = v "clean_mismatch";
+      unguarded_failures = v "unguarded_failures";
+    }
+  in
   {
     base_seed;
     seeds;
     mode;
     totals;
+    metrics;
     findings = List.rev !findings;
     ok = totals.fail_open = 0 && totals.clean_mismatch = 0;
   }
 
-let pp ppf r =
+let report_of r =
   let t = r.totals in
-  Format.fprintf ppf "chaos sweep: %d fault plans (%d seeds from %d), mode %s@."
-    t.plans r.seeds r.base_seed
-    (Dynamic.mode_name r.mode);
-  Format.fprintf ppf "  guarded runs      %6d@." t.runs;
-  Format.fprintf ppf "  grants            %6d  (%d recovered after faults fired)@."
-    t.grants t.recovered;
-  Format.fprintf ppf "  notices           %6d@." t.notices;
-  Format.fprintf ppf "  degraded          %6d@." t.degraded;
-  Format.fprintf ppf "  unguarded crashes %6d  (absorbed into F by the guard)@."
-    t.unguarded_failures;
-  Format.fprintf ppf "  fail-open         %6d@." t.fail_open;
-  Format.fprintf ppf "  clean mismatches  %6d@." t.clean_mismatch;
-  List.iter
-    (fun f ->
-      Format.fprintf ppf "  ! %s / %s / seed %d / %s: %s@." f.entry f.policy
-        f.seed f.input f.detail)
-    r.findings;
-  Format.fprintf ppf "verdict: %s@."
-    (if r.ok then "fail-secure (no fail-open outcome, clean runs bit-identical)"
-     else "FAIL-OPEN OR DIVERGENCE FROM CLEAN RUNS DETECTED")
+  {
+    Report.title =
+      Printf.sprintf "chaos sweep: %d fault plans (%d seeds from %d), mode %s"
+        t.plans r.seeds r.base_seed
+        (Dynamic.mode_name r.mode);
+    params =
+      [
+        ("base_seed", Json.Int r.base_seed);
+        ("seeds", Json.Int r.seeds);
+        ("mode", Json.String (Dynamic.mode_name r.mode));
+      ];
+    metrics = r.metrics;
+    rows =
+      [
+        ("runs", "guarded runs", None);
+        ( "grants",
+          "grants",
+          Some (Printf.sprintf "%d recovered after faults fired" t.recovered) );
+        ("notices", "notices", None);
+        ("degraded", "degraded", None);
+        ( "unguarded_failures",
+          "unguarded crashes",
+          Some "absorbed into F by the guard" );
+        ("fail_open", "fail-open", None);
+        ("clean_mismatch", "clean mismatches", None);
+      ];
+    findings =
+      List.map
+        (fun f ->
+          {
+            Report.subject =
+              [ f.entry; f.policy; "seed " ^ string_of_int f.seed; f.input ];
+            fields =
+              [
+                ("entry", Json.String f.entry);
+                ("policy", Json.String f.policy);
+                ("seed", Json.Int f.seed);
+                ("input", Json.String f.input);
+              ];
+            detail = f.detail;
+          })
+        r.findings;
+    ok = r.ok;
+    verdict_ok = "fail-secure (no fail-open outcome, clean runs bit-identical)";
+    verdict_fail = "FAIL-OPEN OR DIVERGENCE FROM CLEAN RUNS DETECTED";
+  }
 
-let to_json r =
-  let t = r.totals in
-  Json.Obj
-    [
-      ("base_seed", Json.Int r.base_seed);
-      ("seeds", Json.Int r.seeds);
-      ("mode", Json.String (Dynamic.mode_name r.mode));
-      ( "totals",
-        Json.Obj
-          [
-            ("runs", Json.Int t.runs);
-            ("plans", Json.Int t.plans);
-            ("grants", Json.Int t.grants);
-            ("recovered", Json.Int t.recovered);
-            ("notices", Json.Int t.notices);
-            ("degraded", Json.Int t.degraded);
-            ("fail_open", Json.Int t.fail_open);
-            ("clean_mismatch", Json.Int t.clean_mismatch);
-            ("unguarded_failures", Json.Int t.unguarded_failures);
-          ] );
-      ( "findings",
-        Json.List
-          (List.map
-             (fun f ->
-               Json.Obj
-                 [
-                   ("entry", Json.String f.entry);
-                   ("policy", Json.String f.policy);
-                   ("seed", Json.Int f.seed);
-                   ("input", Json.String f.input);
-                   ("detail", Json.String f.detail);
-                 ])
-             r.findings) );
-      ("ok", Json.Bool r.ok);
-    ]
-
-let to_json_string r = Json.render (to_json r)
+let pp ppf r = Report.pp ppf (report_of r)
+let to_json r = Report.to_json (report_of r)
+let to_json_string r = Report.to_json_string (report_of r)

@@ -47,6 +47,9 @@ type report = {
   seeds : int;
   mode : Secpol_taint.Dynamic.mode;
   totals : totals;
+  metrics : Secpol_trace.Metrics.t;
+      (** the registry the totals are read from; also carries the
+          [guard_steps] histogram (steps per guarded run) *)
   findings : finding list;  (** capped at {!max_findings} *)
   ok : bool;  (** [fail_open = 0 && clean_mismatch = 0] *)
 }
@@ -60,11 +63,14 @@ val run :
   ?base_seed:int ->
   ?horizon:int ->
   ?retries:int ->
+  ?sink:Secpol_trace.Sink.t ->
   unit ->
   report
 (** Defaults: the whole corpus, [Surveillance] monitors, 100 seeds from
     base seed 0, fault-step horizon 24, 2 retries. Policies are {e all}
-    [2^arity] subsets of each entry's inputs. *)
+    [2^arity] subsets of each entry's inputs. [sink] (default null)
+    receives the {!Guard}'s retry/degradation events from every guarded
+    run of the sweep. *)
 
 val pp : Format.formatter -> report -> unit
 

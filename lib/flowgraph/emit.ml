@@ -1,0 +1,31 @@
+module Iset = Secpol_core.Iset
+
+type callbacks = {
+  box : step:int -> node:int -> unit;
+  assign : step:int -> node:int -> var:Var.t -> value:int -> unit;
+  taint : step:int -> node:int -> var:Var.t -> taint:Iset.t -> srcs:Var.Set.t -> unit;
+  pc : step:int -> node:int -> pc:Iset.t -> srcs:Var.Set.t -> unit;
+  condemn :
+    step:int -> node:int -> at_decision:bool -> taint:Iset.t -> srcs:Var.Set.t -> notice:string -> unit;
+}
+
+type t = Null | Sink of callbacks
+
+let none = Null
+
+let box t ~step ~node =
+  match t with Null -> () | Sink c -> c.box ~step ~node
+
+let assign t ~step ~node ~var ~value =
+  match t with Null -> () | Sink c -> c.assign ~step ~node ~var ~value
+
+let taint t ~step ~node ~var ~taint:l ~srcs =
+  match t with Null -> () | Sink c -> c.taint ~step ~node ~var ~taint:l ~srcs
+
+let pc t ~step ~node ~pc:l ~srcs =
+  match t with Null -> () | Sink c -> c.pc ~step ~node ~pc:l ~srcs
+
+let condemn t ~step ~node ~at_decision ~taint:l ~srcs ~notice =
+  match t with
+  | Null -> ()
+  | Sink c -> c.condemn ~step ~node ~at_decision ~taint:l ~srcs ~notice

@@ -1,0 +1,61 @@
+(** Trace-emission hooks for the interpreters.
+
+    The surveillance machinery computes, at every box, exactly why
+    information flows where it does — and then historically threw that
+    record away, reporting only the final verdict. An emitter is the
+    observation channel that keeps it: the interpreters call it once per
+    committed box with what the box did (step count, node, assignment,
+    surveillance update, control-context growth, condemnation).
+
+    Like {!Hook}, the {e type} lives here so the interpreters stay free of
+    any dependency on the trace library ([Secpol_trace] supplies the
+    sinks). Unlike [Hook], an emitter is pure observation with a hard
+    bit-identity contract: {!none} is a single pattern match per call site
+    — no closure invocation, no allocation — so an un-traced run and a run
+    with [none] are bit-identical and indistinguishable on the hot path
+    (the null-sink benches gate this at ≤2% overhead). *)
+
+module Iset = Secpol_core.Iset
+
+(** The receiving end. All arguments are immediate values the emitting
+    interpreter has already computed — building an emitter must never force
+    extra work on the emitting side. [step] is the fuel consumed {e before}
+    the box executes and [node] the box's index in the executing graph;
+    spans are not passed (a sink that wants source positions looks them up
+    from the graph it was built over). *)
+type callbacks = {
+  box : step:int -> node:int -> unit;
+      (** A box committed: one call per executed assignment, decision or
+          halt box, in execution order. *)
+  assign : step:int -> node:int -> var:Var.t -> value:int -> unit;
+      (** An assignment box committed [var := value]. Emitted by the plain
+          interpreter; the instrumented-flowchart adapter inverts the
+          register layout to turn assignments to surveillance registers
+          back into [taint]/[pc] calls. *)
+  taint : step:int -> node:int -> var:Var.t -> taint:Iset.t -> srcs:Var.Set.t -> unit;
+      (** A surveillance variable changed: [var]'s taint became [taint]
+          because the box read [srcs] (plus, implicitly, the current
+          program-counter taint). *)
+  pc : step:int -> node:int -> pc:Iset.t -> srcs:Var.Set.t -> unit;
+      (** The program-counter taint [C̄] changed — it grew at a decision on
+          [srcs], or was restored at a postdominator ([srcs] empty). *)
+  condemn :
+    step:int -> node:int -> at_decision:bool -> taint:Iset.t -> srcs:Var.Set.t -> notice:string -> unit;
+      (** The run was condemned at this box: the surveillance value [taint]
+          escaped the allowed set. [at_decision] distinguishes the timed
+          mechanism's abort-before-the-test from a halt-box denial; [srcs]
+          are the variables whose taint was checked ([{y}] at a halt). *)
+}
+
+type t = Null | Sink of callbacks
+
+val none : t
+(** Emits nothing; statically free. *)
+
+val box : t -> step:int -> node:int -> unit
+val assign : t -> step:int -> node:int -> var:Var.t -> value:int -> unit
+val taint : t -> step:int -> node:int -> var:Var.t -> taint:Iset.t -> srcs:Var.Set.t -> unit
+val pc : t -> step:int -> node:int -> pc:Iset.t -> srcs:Var.Set.t -> unit
+
+val condemn :
+  t -> step:int -> node:int -> at_decision:bool -> taint:Iset.t -> srcs:Var.Set.t -> notice:string -> unit

@@ -24,7 +24,7 @@ let plain_fault = function
   | Hook.Starve -> finish Program.Diverged
 
 let run_graph ?(fuel = default_fuel) ?(cost = Expr.Uniform)
-    ?(hook = Hook.none) g inputs =
+    ?(hook = Hook.none) ?(emit = Emit.none) g inputs =
   if Array.length inputs <> g.Graph.arity then
     arity_fault "run_graph" g.Graph.name ~expected:g.Graph.arity
       ~got:(Array.length inputs)
@@ -46,6 +46,8 @@ let run_graph ?(fuel = default_fuel) ?(cost = Expr.Uniform)
                   else begin
                     let value, extra = Expr.eval_cost cost env e in
                     Store.set store v value;
+                    Emit.box emit ~step:steps ~node;
+                    Emit.assign emit ~step:steps ~node ~var:v ~value;
                     go next (steps + 1 + extra)
                   end)
           | Graph.Decision (p, if_true, if_false) -> (
@@ -55,14 +57,17 @@ let run_graph ?(fuel = default_fuel) ?(cost = Expr.Uniform)
                   if steps >= fuel then finish Program.Diverged steps
                   else begin
                     let taken, extra = Expr.eval_pred_cost cost env p in
+                    Emit.box emit ~step:steps ~node;
                     go (if taken then if_true else if_false) (steps + 1 + extra)
                   end)
           | Graph.Halt -> (
               match hook ~step:steps with
               | Some a -> plain_fault a steps
               | None ->
+                  Emit.box emit ~step:steps ~node;
                   finish (Program.Value (Value.Int (Store.output store))) steps)
           | Graph.Halt_violation notice ->
+              Emit.box emit ~step:steps ~node;
               finish (Program.Fault (violation_prefix ^ notice)) steps
         in
         try go g.Graph.entry 0
@@ -116,9 +121,9 @@ let run_ast ?(fuel = default_fuel) ?(cost = Expr.Uniform) ?(hook = Hook.none)
         | exception Expr.Runtime_fault e ->
             finish (Program.Fault (Expr.error_message e)) !steps)
 
-let graph_program ?fuel ?cost ?hook g =
+let graph_program ?fuel ?cost ?hook ?emit g =
   Program.make ~name:g.Graph.name ~arity:g.Graph.arity
-    (run_graph ?fuel ?cost ?hook g)
+    (run_graph ?fuel ?cost ?hook ?emit g)
 
 let reply_of_outcome (o : Program.outcome) =
   let module Mechanism = Secpol_core.Mechanism in
@@ -136,9 +141,9 @@ let reply_of_outcome (o : Program.outcome) =
   in
   { Mechanism.response; steps = o.Program.steps }
 
-let graph_mechanism ?fuel ?hook g =
+let graph_mechanism ?fuel ?hook ?emit g =
   Secpol_core.Mechanism.make ~name:g.Graph.name ~arity:g.Graph.arity (fun a ->
-      reply_of_outcome (run_graph ?fuel ?hook g a))
+      reply_of_outcome (run_graph ?fuel ?hook ?emit g a))
 
 let ast_program ?fuel ?cost ?hook (p : Ast.prog) =
   Program.make ~name:p.Ast.name ~arity:p.Ast.arity (run_ast ?fuel ?cost ?hook p)

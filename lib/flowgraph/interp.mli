@@ -14,7 +14,13 @@
     leaves runs bit-identical to un-hooked ones) and are {e total}: every
     failure — arity mismatch, division by zero, an out-of-range input
     variable, an injected crash — is returned as a [Fault] outcome, never
-    raised. No input can crash a caller. *)
+    raised. No input can crash a caller.
+
+    The graph interpreter additionally accepts a trace emitter {!Emit.t}
+    (default {!Emit.none}, same bit-identity contract as the hook): one
+    [box] call per committed box plus an [assign] call per assignment,
+    emitted only for boxes that actually commit (a box pre-empted by an
+    injected fault or fuel exhaustion is not reported). *)
 
 val default_fuel : int
 (** 100_000 steps. *)
@@ -23,6 +29,7 @@ val run_graph :
   ?fuel:int ->
   ?cost:Expr.cost_model ->
   ?hook:Hook.t ->
+  ?emit:Emit.t ->
   Graph.t ->
   Secpol_core.Value.t array ->
   Secpol_core.Program.outcome
@@ -41,7 +48,12 @@ val run_ast :
 (** Execute a structured program directly. *)
 
 val graph_program :
-  ?fuel:int -> ?cost:Expr.cost_model -> ?hook:Hook.t -> Graph.t -> Secpol_core.Program.t
+  ?fuel:int ->
+  ?cost:Expr.cost_model ->
+  ?hook:Hook.t ->
+  ?emit:Emit.t ->
+  Graph.t ->
+  Secpol_core.Program.t
 (** Package a flowchart as an extensional program. *)
 
 val ast_program :
@@ -61,6 +73,7 @@ val reply_of_outcome : Secpol_core.Program.outcome -> Secpol_core.Mechanism.repl
     faults (from [Halt_violation] boxes) deny with their notice, other
     faults fail, divergence hangs. *)
 
-val graph_mechanism : ?fuel:int -> ?hook:Hook.t -> Graph.t -> Secpol_core.Mechanism.t
+val graph_mechanism :
+  ?fuel:int -> ?hook:Hook.t -> ?emit:Emit.t -> Graph.t -> Secpol_core.Mechanism.t
 (** Package a flowchart that {e is} a mechanism (it may contain violation
     halts) as a {!Secpol_core.Mechanism.t}. *)

@@ -3,8 +3,11 @@ module Value = Secpol_core.Value
 module Mechanism = Secpol_core.Mechanism
 module Graph = Secpol_flowgraph.Graph
 module Hook = Secpol_flowgraph.Hook
+module Emit = Secpol_flowgraph.Emit
 module Expr = Secpol_flowgraph.Expr
 module Dynamic = Secpol_taint.Dynamic
+module Event = Secpol_trace.Event
+module Sink = Secpol_trace.Sink
 
 let snapshot_magic = "secpol-journal"
 let default_snapshot_every = 32
@@ -39,7 +42,7 @@ let graph_hash g = Digest.string (Format.asprintf "%a" Graph.pp g)
 let nonce_rng = lazy (Random.State.make_self_init ())
 let fresh_nonce () = Random.State.full_int (Lazy.force nonce_rng) max_int
 
-let config_of_header h =
+let config_of_header ?(emit = Emit.none) h =
   {
     Dynamic.mode = h.mode;
     allowed = h.allowed;
@@ -47,6 +50,7 @@ let config_of_header h =
     cost = h.cost;
     chatty_notices = h.chatty;
     hook = Hook.none;
+    emit;
   }
 
 (* --- payload codecs ------------------------------------------------------ *)
@@ -229,7 +233,7 @@ type outcome =
    medium, so no recovery can ever contradict an already-released verdict.
    [kill_at] stops the loop after that many committed (journaled) boxes —
    the chaos sweep's simulated process death. *)
-let journaled_loop ?kill_at ~media ~header m st0 =
+let journaled_loop ?kill_at ?(sink = Sink.null) ~media ~header m st0 =
   let nonce = header.run_nonce in
   let boxes = ref 0 and since_snap = ref 0 in
   let emit st =
@@ -237,6 +241,13 @@ let journaled_loop ?kill_at ~media ~header m st0 =
     incr since_snap;
     if !since_snap >= header.snapshot_every then begin
       Media.checkpoint media (Frame.frame (snapshot_payload header (Some (Dynamic.image st))));
+      Sink.emit sink
+        (Event.Journal
+           {
+             kind = Event.Checkpoint;
+             step = Dynamic.steps_of st;
+             detail = Printf.sprintf "after box %d" !boxes;
+           });
       since_snap := 0
     end
   in
@@ -248,6 +259,7 @@ let journaled_loop ?kill_at ~media ~header m st0 =
         match Dynamic.step m st with
         | Dynamic.Final r ->
             Media.append media (Frame.frame (verdict_payload ~nonce r));
+            Sink.emit sink (Event.of_reply r);
             Completed r
         | Dynamic.Step st' ->
             incr boxes;
@@ -256,9 +268,13 @@ let journaled_loop ?kill_at ~media ~header m st0 =
   in
   loop st0
 
-let run ?kill_at ?(snapshot_every = default_snapshot_every) ~media ~program_ref
-    (cfg : Dynamic.config) g inputs =
+let run ?kill_at ?(snapshot_every = default_snapshot_every) ?(sink = Sink.null)
+    ~media ~program_ref (cfg : Dynamic.config) g inputs =
   if snapshot_every < 1 then invalid_arg "Runner.run: snapshot_every < 1";
+  Sink.emit sink
+    (Event.run_header ~program:program_ref ~arity:g.Graph.arity
+       ~mode:(Dynamic.mode_name cfg.Dynamic.mode)
+       ~allowed:cfg.Dynamic.allowed ~inputs);
   let header =
     {
       program_ref;
@@ -283,10 +299,11 @@ let run ?kill_at ?(snapshot_every = default_snapshot_every) ~media ~program_ref
       Media.checkpoint media (Frame.frame (snapshot_payload header None));
       Media.append media
         (Frame.frame (verdict_payload ~nonce:header.run_nonce r));
+      Sink.emit sink (Event.of_reply r);
       Completed r
   | Ok st0 ->
       Media.checkpoint media (Frame.frame (snapshot_payload header (Some (Dynamic.image st0))));
-      journaled_loop ?kill_at ~media ~header m st0
+      journaled_loop ?kill_at ~sink ~media ~header m st0
 
 (* --- recovery ------------------------------------------------------------ *)
 
@@ -309,7 +326,7 @@ type resumed = {
   reply : Mechanism.reply;
 }
 
-let resume ?kill_at ~resolve ~media () =
+let resume ?kill_at ?emit ?(sink = Sink.null) ~resolve ~media () =
   match Media.load media with
   | None -> Error No_journal
   | Some (snap_bytes, jour_bytes) -> (
@@ -352,6 +369,10 @@ let resume ?kill_at ~resolve ~media () =
                            adopting them — the old verdict above all —
                            would re-deliver a stale reply under the new
                            header, so they are skipped wholesale. *)
+                        let skip step detail =
+                          Sink.emit sink
+                            (Event.Journal { kind = Event.Replay_skip; step; detail })
+                        in
                         let rec replay current verdict n = function
                           | [] -> Ok (current, verdict, n)
                           | payload :: rest -> (
@@ -359,6 +380,7 @@ let resume ?kill_at ~resolve ~media () =
                               | Error e -> Error (Decode e)
                               | Ok (nonce, _) when nonce <> header.run_nonce
                                 ->
+                                  skip 0 "foreign run nonce";
                                   replay current verdict n rest
                               | Ok (_, Verdict r) ->
                                   replay current (Some r) n rest
@@ -371,13 +393,28 @@ let resume ?kill_at ~resolve ~media () =
                                         > cur.Dynamic.im_steps
                                   in
                                   if advance then replay (Some im) verdict (n + 1) rest
-                                  else replay current verdict n rest)
+                                  else begin
+                                    skip im.Dynamic.im_steps
+                                      "stale state record (step count does not advance)";
+                                    replay current verdict n rest
+                                  end)
                         in
                         match replay snap_image None 0 records with
                         | Error e -> Error e
                         | Ok (_, Some r, replayed) ->
                             (* The run finished and its verdict is on the
                                medium; re-deliver it bit-identically. *)
+                            Sink.emit sink
+                              (Event.Journal
+                                 {
+                                   kind = Event.Resume;
+                                   step = r.Mechanism.steps;
+                                   detail =
+                                     Printf.sprintf
+                                       "verdict already journaled (%d records replayed)"
+                                       replayed;
+                                 });
+                            Sink.emit sink (Event.of_reply r);
                             Ok
                               {
                                 header;
@@ -388,7 +425,7 @@ let resume ?kill_at ~resolve ~media () =
                                 reply = r;
                               }
                         | Ok (current, None, replayed) -> (
-                            let cfg = config_of_header header in
+                            let cfg = config_of_header ?emit header in
                             let m = Dynamic.prepare cfg g in
                             let st =
                               match current with
@@ -413,11 +450,23 @@ let resume ?kill_at ~resolve ~media () =
                             | Error e -> Error e
                             | Ok st ->
                                 let resumed_steps = Dynamic.steps_of st in
+                                Sink.emit sink
+                                  (Event.Journal
+                                     {
+                                       kind = Event.Resume;
+                                       step = resumed_steps;
+                                       detail =
+                                         Printf.sprintf
+                                           "continuing from step %d (%d records \
+                                            replayed, %d torn bytes dropped)"
+                                           resumed_steps replayed dropped_bytes;
+                                     });
                                 (* Continue the monitored run, journaling as
                                    we go — a crash during recovery recovers
                                    too. *)
                                 let outcome =
-                                  journaled_loop ?kill_at ~media ~header m st
+                                  journaled_loop ?kill_at ~sink ~media ~header
+                                    m st
                                 in
                                 let reply =
                                   match outcome with

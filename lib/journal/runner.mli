@@ -35,9 +35,12 @@ type header = {
 
 val graph_hash : Secpol_flowgraph.Graph.t -> string
 
-val config_of_header : header -> Secpol_taint.Dynamic.config
+val config_of_header :
+  ?emit:Secpol_flowgraph.Emit.t -> header -> Secpol_taint.Dynamic.config
 (** The journaled configuration with {!Secpol_flowgraph.Hook.none} — hooks
-    are process-local and cannot be serialized. *)
+    are process-local and cannot be serialized. [emit] (default
+    {!Secpol_flowgraph.Emit.none}) re-attaches a process-local trace
+    emitter to the rebuilt configuration, for the same reason. *)
 
 val default_snapshot_every : int
 
@@ -51,6 +54,7 @@ type outcome =
 val run :
   ?kill_at:int ->
   ?snapshot_every:int ->
+  ?sink:Secpol_trace.Sink.t ->
   media:Media.t ->
   program_ref:string ->
   Secpol_taint.Dynamic.config ->
@@ -59,7 +63,11 @@ val run :
   outcome
 (** Run the monitored interpreter, journaling every committed box.
     [kill_at n] aborts after [n] journaled boxes (fault injection);
-    [snapshot_every] bounds the journal length between snapshots.
+    [snapshot_every] bounds the journal length between snapshots. [sink]
+    (default null) receives the journal lifecycle: the run header, one
+    checkpoint event per folded snapshot, and the verdict. Per-box trace
+    events flow through the configuration's own [emit] channel, not the
+    sink.
     @raise Invalid_argument if [snapshot_every < 1]. *)
 
 type failure =
@@ -84,6 +92,8 @@ type resumed = {
 
 val resume :
   ?kill_at:int ->
+  ?emit:Secpol_flowgraph.Emit.t ->
+  ?sink:Secpol_trace.Sink.t ->
   resolve:(header -> (Secpol_flowgraph.Graph.t, string) result) ->
   media:Media.t ->
   unit ->
@@ -96,4 +106,9 @@ val resume :
     then either re-deliver the journaled verdict or continue executing —
     journaling as it goes, so a crash during recovery also recovers.
     [resolve] maps the journaled {!header} back to a graph; a digest or
-    arity mismatch is a {!Program_mismatch}. *)
+    arity mismatch is a {!Program_mismatch}. [sink] (default null)
+    receives the recovery lifecycle — a replay-skip event per rejected
+    journal record, a resume event at the point recovery takes over, then
+    checkpoints and verdict as in {!run}; [emit] is threaded into the
+    rebuilt configuration ({!config_of_header}) so the re-executed suffix
+    is traced like a live run. *)

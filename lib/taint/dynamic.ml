@@ -8,6 +8,7 @@ module Expr = Secpol_flowgraph.Expr
 module Store = Secpol_flowgraph.Store
 module Interp = Secpol_flowgraph.Interp
 module Hook = Secpol_flowgraph.Hook
+module Emit = Secpol_flowgraph.Emit
 module Graphalgo = Secpol_flowgraph.Graphalgo
 
 type mode = High_water | Surveillance | Scoped | Timed
@@ -27,6 +28,7 @@ type config = {
   cost : Expr.cost_model;
   chatty_notices : bool;
   hook : Hook.t;
+  emit : Emit.t;
 }
 
 let notice = "\xce\x9b" (* Λ *)
@@ -34,9 +36,10 @@ let fuel_notice = notice ^ "/fuel"
 let corruption_fault = Interp.monitor_fault_prefix ^ "surveillance state corrupted"
 
 let config ?(fuel = Interp.default_fuel) ?(cost = Expr.Uniform)
-    ?(chatty_notices = false) ?(hook = Hook.none) ~mode policy =
+    ?(chatty_notices = false) ?(hook = Hook.none) ?(emit = Emit.none) ~mode
+    policy =
   match Policy.allowed_indices policy with
-  | Some allowed -> { mode; allowed; fuel; cost; chatty_notices; hook }
+  | Some allowed -> { mode; allowed; fuel; cost; chatty_notices; hook; emit }
   | None ->
       invalid_arg
         (Printf.sprintf
@@ -133,14 +136,13 @@ end
 
 let reply response steps = { Mechanism.response; steps }
 
-let denied cfg ~taint steps =
-  let text =
-    if cfg.chatty_notices then
-      Printf.sprintf "%s: disallowed surveillance value %s" notice
-        (Iset.to_string taint)
-    else notice
-  in
-  reply (Mechanism.Denied text) steps
+let denial_text cfg ~taint =
+  if cfg.chatty_notices then
+    Printf.sprintf "%s: disallowed surveillance value %s" notice
+      (Iset.to_string taint)
+  else notice
+
+let denied cfg ~taint steps = reply (Mechanism.Denied (denial_text cfg ~taint)) steps
 
 (* Fuel exhaustion is a WATCHDOG trip, not a hang: the monitor stays a total
    function into E u F by reporting a distinguished violation notice. *)
@@ -227,6 +229,8 @@ let rec restore_frames node pc frames =
   | (saved, at) :: rest when at = node -> restore_frames node saved rest
   | _ -> (pc, frames)
 
+let out_src = Var.Set.singleton Var.Out
+
 let step m st =
   let cfg = m.m_cfg and g = m.m_graph in
   let steps = st.st_steps in
@@ -234,6 +238,12 @@ let step m st =
     if cfg.mode = Scoped then restore_frames st.st_node st.st_pc st.st_frames
     else (st.st_pc, st.st_frames)
   in
+  (match cfg.emit with
+  | Emit.Null -> ()
+  | Emit.Sink _ ->
+      (* A scope frame popped: the control context shrank at this box. *)
+      if not (frames == st.st_frames) then
+        Emit.pc cfg.emit ~step:steps ~node:st.st_node ~pc ~srcs:Var.Set.empty);
   let taints = st.st_taints in
   let env = Store.lookup st.st_store in
   let ok l = Iset.subset l cfg.allowed in
@@ -268,7 +278,8 @@ let step m st =
         | None ->
             if steps >= cfg.fuel then Final (out_of_fuel steps)
             else begin
-              let rhs_taint = Taint_store.of_vars taints (Expr.vars e) in
+              let vs = Expr.vars e in
+              let rhs_taint = Taint_store.of_vars taints vs in
               let base = Iset.union rhs_taint pc in
               let taint =
                 match cfg.mode with
@@ -278,6 +289,9 @@ let step m st =
               let value, extra = Expr.eval_cost cfg.cost env e in
               Store.set st.st_store v value;
               Taint_store.set taints v taint;
+              Emit.box cfg.emit ~step:steps ~node:st.st_node;
+              Emit.taint cfg.emit ~step:steps ~node:st.st_node ~var:v ~taint
+                ~srcs:vs;
               Step
                 {
                   st with
@@ -293,15 +307,23 @@ let step m st =
         | None ->
             if steps >= cfg.fuel then Final (out_of_fuel steps)
             else begin
-              let test_taint = Taint_store.of_vars taints (Expr.pred_vars p) in
+              let pvs = Expr.pred_vars p in
+              let test_taint = Taint_store.of_vars taints pvs in
               match cfg.mode with
               | Timed when not (ok (Iset.union test_taint pc)) ->
                   (* Rule of Theorem 3': abort before the disallowed
                      test. *)
-                  Final (denied cfg ~taint:(Iset.union test_taint pc) steps)
+                  let taint = Iset.union test_taint pc in
+                  Emit.box cfg.emit ~step:steps ~node:st.st_node;
+                  Emit.condemn cfg.emit ~step:steps ~node:st.st_node
+                    ~at_decision:true ~taint ~srcs:pvs
+                    ~notice:(denial_text cfg ~taint);
+                  Final (denied cfg ~taint steps)
               | High_water | Surveillance | Timed ->
                   let pc = Iset.union pc test_taint in
                   let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                  Emit.box cfg.emit ~step:steps ~node:st.st_node;
+                  Emit.pc cfg.emit ~step:steps ~node:st.st_node ~pc ~srcs:pvs;
                   Step
                     {
                       st with
@@ -318,6 +340,8 @@ let step m st =
                   in
                   let pc = Iset.union pc test_taint in
                   let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                  Emit.box cfg.emit ~step:steps ~node:st.st_node;
+                  Emit.pc cfg.emit ~step:steps ~node:st.st_node ~pc ~srcs:pvs;
                   Step
                     {
                       st with
@@ -332,11 +356,21 @@ let step m st =
         | Some r -> Final r
         | None ->
             let out_taint = Iset.union (Taint_store.get taints Var.Out) pc in
+            Emit.box cfg.emit ~step:steps ~node:st.st_node;
             if ok out_taint then
               Final
                 (reply (Mechanism.Granted (Value.Int (Store.output st.st_store))) steps)
-            else Final (denied cfg ~taint:out_taint steps))
-    | Graph.Halt_violation n -> Final (reply (Mechanism.Denied n) steps)
+            else begin
+              Emit.condemn cfg.emit ~step:steps ~node:st.st_node
+                ~at_decision:false ~taint:out_taint ~srcs:out_src
+                ~notice:(denial_text cfg ~taint:out_taint);
+              Final (denied cfg ~taint:out_taint steps)
+            end)
+    | Graph.Halt_violation n ->
+        Emit.box cfg.emit ~step:steps ~node:st.st_node;
+        Emit.condemn cfg.emit ~step:steps ~node:st.st_node ~at_decision:false
+          ~taint:Iset.empty ~srcs:Var.Set.empty ~notice:n;
+        Final (reply (Mechanism.Denied n) steps)
   with Expr.Runtime_fault e ->
     Final (reply (Mechanism.Failed (Expr.error_message e)) steps)
 
@@ -518,5 +552,5 @@ let mechanism cfg g =
     ~arity:g.Graph.arity
     (fun a -> run cfg g a)
 
-let mechanism_of ?fuel ?cost ?hook ~mode policy g =
-  mechanism (config ?fuel ?cost ?hook ~mode policy) g
+let mechanism_of ?fuel ?cost ?hook ?emit ~mode policy g =
+  mechanism (config ?fuel ?cost ?hook ?emit ~mode policy) g

@@ -69,6 +69,15 @@ type config = {
           two copies and cross-checks them before every read, so the
           damage surfaces as a [Failed] reply instead of silently
           steering enforcement. *)
+  emit : Secpol_flowgraph.Emit.t;
+      (** Trace-emission point (default {!Secpol_flowgraph.Emit.none},
+          which leaves runs bit-identical — the same contract as [hook]).
+          A sink receives one [box] call per committed box, a [taint] call
+          for every surveillance-variable update, a [pc] call whenever the
+          control-context taint changes, and a [condemn] call at the box
+          that issues a Λ notice — enough to reconstruct, offline, the
+          taint chain from input coordinate to condemning box
+          ([Secpol_trace.Provenance]). *)
 }
 
 val config :
@@ -76,6 +85,7 @@ val config :
   ?cost:Secpol_flowgraph.Expr.cost_model ->
   ?chatty_notices:bool ->
   ?hook:Secpol_flowgraph.Hook.t ->
+  ?emit:Secpol_flowgraph.Emit.t ->
   mode:mode ->
   Secpol_core.Policy.t ->
   config
@@ -183,6 +193,7 @@ val mechanism_of :
   ?fuel:int ->
   ?cost:Secpol_flowgraph.Expr.cost_model ->
   ?hook:Secpol_flowgraph.Hook.t ->
+  ?emit:Secpol_flowgraph.Emit.t ->
   mode:mode ->
   Secpol_core.Policy.t ->
   Graph.t ->

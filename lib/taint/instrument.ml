@@ -7,6 +7,7 @@ module Graph = Secpol_flowgraph.Graph
 module Var = Secpol_flowgraph.Var
 module Expr = Secpol_flowgraph.Expr
 module Interp = Secpol_flowgraph.Interp
+module Emit = Secpol_flowgraph.Emit
 
 type variant = Untimed | Timed_variant
 
@@ -123,7 +124,48 @@ let instrument variant ~allowed g =
          g.Graph.name)
     ~arity:g.Graph.arity ~entry:(entry_of g.Graph.entry) nodes
 
-let mechanism ?fuel variant ~policy g =
+(* Trace adapter: the instrumented flowchart manipulates surveillance
+   variables as ordinary integer registers, so its trace arrives as plain
+   [assign] events. Invert the register layout to report them as the
+   [taint]/[pc] events the original program's observer expects: an
+   assignment to the register holding v̄ becomes a taint event for [v], one
+   to the C̄ register becomes a pc event. Source sets are not recoverable
+   from the rewritten flowchart and are reported empty. *)
+let emit_adapter g target =
+  match target with
+  | Emit.Null -> Emit.none
+  | Emit.Sink cb ->
+      let lay = layout_of g in
+      let ff = lay.first_free in
+      let taint_base = ff + ff in
+      let out_slot = taint_base + lay.arity in
+      let pc_slot = out_slot + 1 in
+      Emit.Sink
+        {
+          Emit.box = cb.Emit.box;
+          assign =
+            (fun ~step ~node ~var ~value ->
+              match var with
+              | Var.Reg k when k >= ff && k <= pc_slot && value >= 0 ->
+                  if k = pc_slot then
+                    cb.Emit.pc ~step ~node ~pc:(Iset.of_mask value)
+                      ~srcs:Var.Set.empty
+                  else
+                    let v =
+                      if k < taint_base then Var.Reg (k - ff)
+                      else if k < out_slot then Var.Input (k - taint_base)
+                      else Var.Out
+                    in
+                    cb.Emit.taint ~step ~node ~var:v ~taint:(Iset.of_mask value)
+                      ~srcs:Var.Set.empty
+              | Var.Reg _ | Var.Input _ | Var.Out ->
+                  cb.Emit.assign ~step ~node ~var ~value);
+          taint = cb.Emit.taint;
+          pc = cb.Emit.pc;
+          condemn = cb.Emit.condemn;
+        }
+
+let mechanism ?fuel ?emit variant ~policy g =
   let allowed =
     match Policy.allowed_indices policy with
     | Some j -> j
@@ -134,7 +176,8 @@ let mechanism ?fuel variant ~policy g =
               policies, got %s"
              (Policy.name policy))
   in
-  let m = Interp.graph_mechanism ?fuel (instrument variant ~allowed g) in
+  let emit = Option.map (emit_adapter g) emit in
+  let m = Interp.graph_mechanism ?fuel ?emit (instrument variant ~allowed g) in
   (* Fail-secure parity with Dynamic: a monitor that exhausts its step
      budget reports the fuel-watchdog violation notice, not a hang — both
      constructions stay total functions into E u F and keep agreeing

@@ -46,13 +46,26 @@ val instrument :
 
 val mechanism :
   ?fuel:int ->
+  ?emit:Secpol_flowgraph.Emit.t ->
   variant ->
   policy:Secpol_core.Policy.t ->
   Graph.t ->
   Secpol_core.Mechanism.t
 (** Instrument and package: runs the rewritten flowchart with the plain
-    interpreter and maps its violation halts to violation replies.
+    interpreter and maps its violation halts to violation replies. [emit]
+    observes the run in the {e original} program's vocabulary via
+    {!emit_adapter}.
     @raise Invalid_argument on a non-[allow] policy. *)
+
+val emit_adapter :
+  Graph.t -> Secpol_flowgraph.Emit.t -> Secpol_flowgraph.Emit.t
+(** [emit_adapter g target] adapts a trace emitter for the original graph
+    [g] into one suitable for [g]'s instrumented flowchart: assignments to
+    the fresh surveillance registers are decoded (via the register layout
+    and the bitmask encoding) and reported to [target] as [taint]/[pc]
+    events over the original variables, other calls pass through. Source
+    variable sets are not recoverable from the rewritten flowchart and
+    arrive empty. [emit_adapter g Emit.none == Emit.none]. *)
 
 val surveillance_reg : Graph.t -> Var.t -> Var.t
 (** The fresh register holding the surveillance variable of [v] in the

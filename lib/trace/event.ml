@@ -1,0 +1,496 @@
+module Iset = Secpol_core.Iset
+module Span = Secpol_flowgraph.Span
+module Var = Secpol_flowgraph.Var
+module Json = Secpol_staticflow.Lint.Json
+
+type guard_kind = Retry | Degraded
+
+type journal_kind = Checkpoint | Resume | Replay_skip
+
+type response_kind = Granted | Denied | Hung | Failed
+
+type t =
+  | Run of {
+      program : string;
+      arity : int;
+      mode : string;
+      allowed : Iset.t;
+      inputs : string list;
+    }
+  | Box of { step : int; node : int; span : Span.t option }
+  | Assign of { step : int; node : int; var : Var.t; value : int }
+  | Taint of {
+      step : int;
+      node : int;
+      span : Span.t option;
+      var : Var.t;
+      taint : Iset.t;
+      srcs : Var.t list;
+    }
+  | Pc of {
+      step : int;
+      node : int;
+      span : Span.t option;
+      pc : Iset.t;
+      srcs : Var.t list;
+    }
+  | Condemn of {
+      step : int;
+      node : int;
+      span : Span.t option;
+      at_decision : bool;
+      taint : Iset.t;
+      srcs : Var.t list;
+      notice : string;
+    }
+  | Guard of { kind : guard_kind; mechanism : string; attempt : int; detail : string }
+  | Journal of { kind : journal_kind; step : int; detail : string }
+  | Verdict of { response : response_kind; text : string; steps : int }
+
+let equal (a : t) (b : t) = a = b
+
+(* ---------- encoding ---------- *)
+
+let json_of_iset s = Json.List (List.map (fun i -> Json.Int i) (Iset.to_list s))
+
+let json_of_var v = Json.String (Var.to_string v)
+
+let json_of_srcs vs = Json.List (List.map json_of_var vs)
+
+let json_of_span = function
+  | None -> Json.Null
+  | Some (s : Span.t) ->
+      Json.List
+        [
+          Json.Int s.Span.start_line;
+          Json.Int s.Span.start_col;
+          Json.Int s.Span.end_line;
+          Json.Int s.Span.end_col;
+        ]
+
+let guard_kind_name = function Retry -> "retry" | Degraded -> "degraded"
+
+let journal_kind_name = function
+  | Checkpoint -> "checkpoint"
+  | Resume -> "resume"
+  | Replay_skip -> "replay-skip"
+
+let response_kind_name = function
+  | Granted -> "granted"
+  | Denied -> "denied"
+  | Hung -> "hung"
+  | Failed -> "failed"
+
+let to_json = function
+  | Run { program; arity; mode; allowed; inputs } ->
+      Json.Obj
+        [
+          ("ev", Json.String "run");
+          ("program", Json.String program);
+          ("arity", Json.Int arity);
+          ("mode", Json.String mode);
+          ("allowed", json_of_iset allowed);
+          ("inputs", Json.List (List.map (fun i -> Json.String i) inputs));
+        ]
+  | Box { step; node; span } ->
+      Json.Obj
+        [
+          ("ev", Json.String "box");
+          ("step", Json.Int step);
+          ("node", Json.Int node);
+          ("span", json_of_span span);
+        ]
+  | Assign { step; node; var; value } ->
+      Json.Obj
+        [
+          ("ev", Json.String "assign");
+          ("step", Json.Int step);
+          ("node", Json.Int node);
+          ("var", json_of_var var);
+          ("value", Json.Int value);
+        ]
+  | Taint { step; node; span; var; taint; srcs } ->
+      Json.Obj
+        [
+          ("ev", Json.String "taint");
+          ("step", Json.Int step);
+          ("node", Json.Int node);
+          ("span", json_of_span span);
+          ("var", json_of_var var);
+          ("taint", json_of_iset taint);
+          ("srcs", json_of_srcs srcs);
+        ]
+  | Pc { step; node; span; pc; srcs } ->
+      Json.Obj
+        [
+          ("ev", Json.String "pc");
+          ("step", Json.Int step);
+          ("node", Json.Int node);
+          ("span", json_of_span span);
+          ("pc", json_of_iset pc);
+          ("srcs", json_of_srcs srcs);
+        ]
+  | Condemn { step; node; span; at_decision; taint; srcs; notice } ->
+      Json.Obj
+        [
+          ("ev", Json.String "condemn");
+          ("step", Json.Int step);
+          ("node", Json.Int node);
+          ("span", json_of_span span);
+          ("at_decision", Json.Bool at_decision);
+          ("taint", json_of_iset taint);
+          ("srcs", json_of_srcs srcs);
+          ("notice", Json.String notice);
+        ]
+  | Guard { kind; mechanism; attempt; detail } ->
+      Json.Obj
+        [
+          ("ev", Json.String "guard");
+          ("kind", Json.String (guard_kind_name kind));
+          ("mechanism", Json.String mechanism);
+          ("attempt", Json.Int attempt);
+          ("detail", Json.String detail);
+        ]
+  | Journal { kind; step; detail } ->
+      Json.Obj
+        [
+          ("ev", Json.String "journal");
+          ("kind", Json.String (journal_kind_name kind));
+          ("step", Json.Int step);
+          ("detail", Json.String detail);
+        ]
+  | Verdict { response; text; steps } ->
+      Json.Obj
+        [
+          ("ev", Json.String "verdict");
+          ("response", Json.String (response_kind_name response));
+          ("text", Json.String text);
+          ("steps", Json.Int steps);
+        ]
+
+(* ---------- decoding ---------- *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_int name = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S: expected int" name)
+
+let as_string name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected string" name)
+
+let as_bool name = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: expected bool" name)
+
+let int_field name j =
+  let* v = field name j in
+  as_int name v
+
+let string_field name j =
+  let* v = field name j in
+  as_string name v
+
+let bool_field name j =
+  let* v = field name j in
+  as_bool name v
+
+let int_list name = function
+  | Json.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Int i :: rest -> go (i :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S: expected int list" name)
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "field %S: expected list" name)
+
+let iset_field name j =
+  let* v = field name j in
+  let* is = int_list name v in
+  if List.exists (fun i -> i < 0 || i >= Iset.max_index) is then
+    Error (Printf.sprintf "field %S: index out of range" name)
+  else Ok (Iset.of_list is)
+
+let var_of_string s =
+  let num tail =
+    match int_of_string_opt tail with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "bad variable %S" s)
+  in
+  if s = "y" then Ok Var.Out
+  else if String.length s >= 2 && s.[0] = 'x' then
+    let* i = num (String.sub s 1 (String.length s - 1)) in
+    Ok (Var.Input i)
+  else if String.length s >= 2 && s.[0] = 'r' then
+    let* i = num (String.sub s 1 (String.length s - 1)) in
+    Ok (Var.Reg i)
+  else Error (Printf.sprintf "bad variable %S" s)
+
+let var_field name j =
+  let* s = string_field name j in
+  var_of_string s
+
+let srcs_field name j =
+  let* v = field name j in
+  match v with
+  | Json.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.String s :: rest ->
+            let* v = var_of_string s in
+            go (v :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S: expected variable list" name)
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "field %S: expected list" name)
+
+let span_field j =
+  let* v = field "span" j in
+  match v with
+  | Json.Null -> Ok None
+  | Json.List [ Json.Int a; Json.Int b; Json.Int c; Json.Int d ] ->
+      Ok (Some (Span.make ~start_line:a ~start_col:b ~end_line:c ~end_col:d))
+  | _ -> Error "field \"span\": expected null or 4-int list"
+
+let guard_kind_of_string = function
+  | "retry" -> Ok Retry
+  | "degraded" -> Ok Degraded
+  | s -> Error (Printf.sprintf "bad guard kind %S" s)
+
+let journal_kind_of_string = function
+  | "checkpoint" -> Ok Checkpoint
+  | "resume" -> Ok Resume
+  | "replay-skip" -> Ok Replay_skip
+  | s -> Error (Printf.sprintf "bad journal kind %S" s)
+
+let response_kind_of_string = function
+  | "granted" -> Ok Granted
+  | "denied" -> Ok Denied
+  | "hung" -> Ok Hung
+  | "failed" -> Ok Failed
+  | s -> Error (Printf.sprintf "bad response kind %S" s)
+
+let of_json j =
+  let* ev = string_field "ev" j in
+  match ev with
+  | "run" ->
+      let* program = string_field "program" j in
+      let* arity = int_field "arity" j in
+      let* mode = string_field "mode" j in
+      let* allowed = iset_field "allowed" j in
+      let* inputs_j = field "inputs" j in
+      let* inputs =
+        match inputs_j with
+        | Json.List items ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | Json.String s :: rest -> go (s :: acc) rest
+              | _ -> Error "field \"inputs\": expected string list"
+            in
+            go [] items
+        | _ -> Error "field \"inputs\": expected list"
+      in
+      Ok (Run { program; arity; mode; allowed; inputs })
+  | "box" ->
+      let* step = int_field "step" j in
+      let* node = int_field "node" j in
+      let* span = span_field j in
+      Ok (Box { step; node; span })
+  | "assign" ->
+      let* step = int_field "step" j in
+      let* node = int_field "node" j in
+      let* var = var_field "var" j in
+      let* value = int_field "value" j in
+      Ok (Assign { step; node; var; value })
+  | "taint" ->
+      let* step = int_field "step" j in
+      let* node = int_field "node" j in
+      let* span = span_field j in
+      let* var = var_field "var" j in
+      let* taint = iset_field "taint" j in
+      let* srcs = srcs_field "srcs" j in
+      Ok (Taint { step; node; span; var; taint; srcs })
+  | "pc" ->
+      let* step = int_field "step" j in
+      let* node = int_field "node" j in
+      let* span = span_field j in
+      let* pc = iset_field "pc" j in
+      let* srcs = srcs_field "srcs" j in
+      Ok (Pc { step; node; span; pc; srcs })
+  | "condemn" ->
+      let* step = int_field "step" j in
+      let* node = int_field "node" j in
+      let* span = span_field j in
+      let* at_decision = bool_field "at_decision" j in
+      let* taint = iset_field "taint" j in
+      let* srcs = srcs_field "srcs" j in
+      let* notice = string_field "notice" j in
+      Ok (Condemn { step; node; span; at_decision; taint; srcs; notice })
+  | "guard" ->
+      let* kind_s = string_field "kind" j in
+      let* kind = guard_kind_of_string kind_s in
+      let* mechanism = string_field "mechanism" j in
+      let* attempt = int_field "attempt" j in
+      let* detail = string_field "detail" j in
+      Ok (Guard { kind; mechanism; attempt; detail })
+  | "journal" ->
+      let* kind_s = string_field "kind" j in
+      let* kind = journal_kind_of_string kind_s in
+      let* step = int_field "step" j in
+      let* detail = string_field "detail" j in
+      Ok (Journal { kind; step; detail })
+  | "verdict" ->
+      let* response_s = string_field "response" j in
+      let* response = response_kind_of_string response_s in
+      let* text = string_field "text" j in
+      let* steps = int_field "steps" j in
+      Ok (Verdict { response; text; steps })
+  | s -> Error (Printf.sprintf "unknown event kind %S" s)
+
+let to_jsonl e = Json.render (to_json e)
+
+let of_jsonl line =
+  let* j = Json.parse line in
+  of_json j
+
+let decode_lines doc =
+  let lines = String.split_on_char '\n' doc in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest ->
+        let l = String.trim l in
+        if l = "" then go (lineno + 1) acc rest
+        else (
+          match of_jsonl l with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines
+
+let pp ppf e = Format.pp_print_string ppf (to_jsonl e)
+
+let of_reply (r : Secpol_core.Mechanism.reply) =
+  let response, text =
+    match r.Secpol_core.Mechanism.response with
+    | Secpol_core.Mechanism.Granted v -> (Granted, Secpol_core.Value.to_string v)
+    | Secpol_core.Mechanism.Denied n -> (Denied, n)
+    | Secpol_core.Mechanism.Hung -> (Hung, "")
+    | Secpol_core.Mechanism.Failed m -> (Failed, m)
+  in
+  Verdict { response; text; steps = r.Secpol_core.Mechanism.steps }
+
+let run_header ~program ~arity ~mode ~allowed ~inputs =
+  Run
+    {
+      program;
+      arity;
+      mode;
+      allowed;
+      inputs =
+        Array.to_list (Array.map Secpol_core.Value.to_string inputs);
+    }
+
+(* ---------- Chrome trace-event rendering ---------- *)
+
+let chrome ?(args = []) ~name ~cat ~ph ~ts extra =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("cat", Json.String cat);
+       ("ph", Json.String ph);
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int 1);
+     ]
+    @ extra
+    @ [ ("args", Json.Obj args) ])
+
+let span_args = function
+  | None -> []
+  | Some s -> [ ("span", Json.String (Span.to_string s)) ]
+
+let instant ?(args = []) ~name ~cat ~ts () =
+  chrome ~args ~name ~cat ~ph:"i" ~ts [ ("s", Json.String "t") ]
+
+let to_chrome = function
+  | Run { program; arity; mode; allowed; inputs } ->
+      instant ~name:(Printf.sprintf "run %s" program) ~cat:"run" ~ts:0
+        ~args:
+          [
+            ("arity", Json.Int arity);
+            ("mode", Json.String mode);
+            ("allowed", Json.String (Iset.to_string allowed));
+            ("inputs", Json.List (List.map (fun i -> Json.String i) inputs));
+          ]
+        ()
+  | Box { step; node; span } ->
+      chrome
+        ~name:(Printf.sprintf "box %d" node)
+        ~cat:"box" ~ph:"X" ~ts:step
+        [ ("dur", Json.Int 1) ]
+        ~args:(span_args span)
+  | Assign { step; node; var; value } ->
+      instant
+        ~name:(Printf.sprintf "%s := %d" (Var.to_string var) value)
+        ~cat:"assign" ~ts:step
+        ~args:[ ("node", Json.Int node) ]
+        ()
+  | Taint { step; node; span; var; taint; srcs } ->
+      instant
+        ~name:(Printf.sprintf "λ(%s) = %s" (Var.to_string var) (Iset.to_string taint))
+        ~cat:"taint" ~ts:step
+        ~args:
+          ([
+             ("node", Json.Int node);
+             ("srcs", Json.List (List.map (fun v -> Json.String (Var.to_string v)) srcs));
+           ]
+          @ span_args span)
+        ()
+  | Pc { step; node; span; pc; srcs } ->
+      instant
+        ~name:(Printf.sprintf "pc = %s" (Iset.to_string pc))
+        ~cat:"pc" ~ts:step
+        ~args:
+          ([
+             ("node", Json.Int node);
+             ("srcs", Json.List (List.map (fun v -> Json.String (Var.to_string v)) srcs));
+           ]
+          @ span_args span)
+        ()
+  | Condemn { step; node; span; at_decision; taint; srcs = _; notice } ->
+      instant
+        ~name:(Printf.sprintf "condemned: %s" notice)
+        ~cat:"condemn" ~ts:step
+        ~args:
+          ([
+             ("node", Json.Int node);
+             ("at_decision", Json.Bool at_decision);
+             ("taint", Json.String (Iset.to_string taint));
+           ]
+          @ span_args span)
+        ()
+  | Guard { kind; mechanism; attempt; detail } ->
+      instant
+        ~name:(Printf.sprintf "guard %s" (guard_kind_name kind))
+        ~cat:"guard" ~ts:attempt
+        ~args:[ ("mechanism", Json.String mechanism); ("detail", Json.String detail) ]
+        ()
+  | Journal { kind; step; detail } ->
+      instant
+        ~name:(Printf.sprintf "journal %s" (journal_kind_name kind))
+        ~cat:"journal" ~ts:step
+        ~args:[ ("detail", Json.String detail) ]
+        ()
+  | Verdict { response; text; steps } ->
+      instant
+        ~name:(Printf.sprintf "verdict %s" (response_kind_name response))
+        ~cat:"verdict" ~ts:steps
+        ~args:[ ("text", Json.String text) ]
+        ()

@@ -1,0 +1,103 @@
+(** Structured trace events for monitored runs.
+
+    One value of {!t} is one observation from an enforcement path: a box
+    executing, a surveillance variable changing, a guard retrying, a
+    journal checkpointing, a verdict landing. Events are plain data — the
+    interpreters never see this type (they talk to {!Secpol_flowgraph.Emit});
+    the {!Sink} bridge turns emitter calls into events and decorates them
+    with source spans looked up from the graph.
+
+    Two codecs are provided: a line-oriented JSON encoding (JSONL, one
+    event per line, round-trip tested: [of_json ∘ to_json = id]) and a
+    render-only Chrome trace-event encoding loadable in
+    [chrome://tracing] / Perfetto. *)
+
+module Iset = Secpol_core.Iset
+module Span = Secpol_flowgraph.Span
+module Var = Secpol_flowgraph.Var
+module Json = Secpol_staticflow.Lint.Json
+
+type guard_kind = Retry | Degraded
+
+type journal_kind = Checkpoint | Resume | Replay_skip
+
+type response_kind = Granted | Denied | Hung | Failed
+
+type t =
+  | Run of {
+      program : string;
+      arity : int;
+      mode : string;
+      allowed : Iset.t;
+      inputs : string list;  (** rendered input values *)
+    }  (** Header: which program ran under which policy and mechanism. *)
+  | Box of { step : int; node : int; span : Span.t option }
+      (** A box committed at fuel count [step]. *)
+  | Assign of { step : int; node : int; var : Var.t; value : int }
+      (** A plain-interpreter assignment [var := value]. *)
+  | Taint of {
+      step : int;
+      node : int;
+      span : Span.t option;
+      var : Var.t;
+      taint : Iset.t;
+      srcs : Var.t list;
+    }  (** [var]'s surveillance value became [taint], read from [srcs]. *)
+  | Pc of {
+      step : int;
+      node : int;
+      span : Span.t option;
+      pc : Iset.t;
+      srcs : Var.t list;
+    }  (** The control-context taint changed ([srcs] empty on restore). *)
+  | Condemn of {
+      step : int;
+      node : int;
+      span : Span.t option;
+      at_decision : bool;
+      taint : Iset.t;
+      srcs : Var.t list;
+      notice : string;
+    }  (** The run was condemned here; [taint] escaped the allowed set. *)
+  | Guard of { kind : guard_kind; mechanism : string; attempt : int; detail : string }
+      (** A fault guard observed a symptom: a retry or a degradation. *)
+  | Journal of { kind : journal_kind; step : int; detail : string }
+      (** Journal lifecycle: checkpoint taken, run resumed, record skipped. *)
+  | Verdict of { response : response_kind; text : string; steps : int }
+      (** Final reply of the run: granted value or denial notice. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val of_reply : Secpol_core.Mechanism.reply -> t
+(** The {!Verdict} event of a mechanism reply. *)
+
+val run_header :
+  program:string ->
+  arity:int ->
+  mode:string ->
+  allowed:Iset.t ->
+  inputs:Secpol_core.Value.t array ->
+  t
+(** The {!Run} event of a run about to start (inputs are rendered). *)
+
+(** {1 JSONL codec} *)
+
+val to_json : t -> Json.value
+val of_json : Json.value -> (t, string) result
+
+val to_jsonl : t -> string
+(** One line, no trailing newline. *)
+
+val of_jsonl : string -> (t, string) result
+
+val decode_lines : string -> (t list, string) result
+(** Decode a whole JSONL document; blank lines are skipped, the first
+    malformed line aborts with its line number. *)
+
+(** {1 Chrome trace-event rendering} *)
+
+val to_chrome : t -> Json.value
+(** One Chrome trace-event object ([ph:"X"] complete events for boxes,
+    instants for everything else, [ts] in step counts). Render-only: the
+    Chrome format is lossy and has no decoder here. *)

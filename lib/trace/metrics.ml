@@ -1,0 +1,149 @@
+module Json = Secpol_staticflow.Lint.Json
+
+type counter = { mutable c : int }
+
+type hist = {
+  mutable n : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+  bucket_counts : int array;  (* index b counts samples with 2^b <= s < 2^(b+1); index 0 also holds 0 *)
+}
+
+type entry = C of counter | H of hist
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable rev_order : string list;
+}
+
+type histogram = hist
+
+let create () = { tbl = Hashtbl.create 16; rev_order = [] }
+
+let register t name entry =
+  Hashtbl.add t.tbl name entry;
+  t.rev_order <- name :: t.rev_order
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (C c) -> c
+  | Some (H _) -> invalid_arg (Printf.sprintf "Metrics.counter: %S is a histogram" name)
+  | None ->
+      let c = { c = 0 } in
+      register t name (C c);
+      c
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.c <- c.c + by
+
+let count c = c.c
+
+let counter_value t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (C c) -> c.c
+  | Some (H _) | None -> 0
+
+let hist_buckets = 62
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (H h) -> h
+  | Some (C _) -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is a counter" name)
+  | None ->
+      let h =
+        { n = 0; sum = 0; min = 0; max = 0; bucket_counts = Array.make hist_buckets 0 }
+      in
+      register t name (H h);
+      h
+
+let bucket_of sample =
+  let rec go b v = if v <= 1 then b else go (b + 1) (v lsr 1) in
+  go 0 sample
+
+let observe h sample =
+  if sample < 0 then invalid_arg "Metrics.observe: negative sample";
+  if h.n = 0 then (
+    h.min <- sample;
+    h.max <- sample)
+  else (
+    if sample < h.min then h.min <- sample;
+    if sample > h.max then h.max <- sample);
+  h.n <- h.n + 1;
+  h.sum <- h.sum + sample;
+  let b = bucket_of sample in
+  h.bucket_counts.(b) <- h.bucket_counts.(b) + 1
+
+type summary = {
+  n : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let summary h =
+  let buckets = ref [] in
+  for b = hist_buckets - 1 downto 0 do
+    if h.bucket_counts.(b) > 0 then
+      let upper = if b >= 62 then max_int else (1 lsl (b + 1)) - 1 in
+      buckets := (upper, h.bucket_counts.(b)) :: !buckets
+  done;
+  { n = h.n; sum = h.sum; min = h.min; max = h.max; buckets = !buckets }
+
+type stat = Counter of int | Histogram of summary
+
+let stats t =
+  List.rev_map
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | C c -> (name, Counter c.c)
+      | H h -> (name, Histogram (summary h)))
+    t.rev_order
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> None
+  | Some (C c) -> Some (Counter c.c)
+  | Some (H h) -> Some (Histogram (summary h))
+
+let pp ppf t =
+  let width =
+    List.fold_left (fun w (name, _) -> Stdlib.max w (String.length name)) 0 (stats t)
+  in
+  List.iter
+    (fun (name, stat) ->
+      match stat with
+      | Counter c -> Format.fprintf ppf "  %-*s %6d@," width name c
+      | Histogram s ->
+          if s.n = 0 then Format.fprintf ppf "  %-*s (no samples)@," width name
+          else
+            Format.fprintf ppf "  %-*s n=%d sum=%d min=%d max=%d avg=%.1f@," width name
+              s.n s.sum s.min s.max
+              (float_of_int s.sum /. float_of_int s.n))
+    (stats t)
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, stat) ->
+         match stat with
+         | Counter c -> (name, Json.Int c)
+         | Histogram s ->
+             ( name,
+               Json.Obj
+                 [
+                   ("count", Json.Int s.n);
+                   ("sum", Json.Int s.sum);
+                   ("min", Json.Int s.min);
+                   ("max", Json.Int s.max);
+                   ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (upper, c) -> Json.List [ Json.Int upper; Json.Int c ])
+                          s.buckets) );
+                 ] ))
+       (stats t))
+
+let to_json_string t = Json.render (to_json t)

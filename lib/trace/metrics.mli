@@ -1,0 +1,71 @@
+(** A small counters/histograms registry.
+
+    Replaces the ad-hoc mutable tallies that used to live inside
+    [Fault.Sweep] and [Fault.Crash]: a registry is a named collection of
+    monotone counters and integer histograms, rendered uniformly as text
+    or JSON. Names are registered on first use and keep their
+    registration order in every rendering, so reports stay stable.
+
+    Counters and histograms share one namespace; re-registering a name
+    with the other kind raises [Invalid_argument]. *)
+
+module Json = Secpol_staticflow.Lint.Json
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create. *)
+
+val incr : ?by:int -> counter -> unit
+(** [by] defaults to 1 and must be non-negative. *)
+
+val count : counter -> int
+
+val counter_value : t -> string -> int
+(** [0] if the name was never registered. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** Get or create. *)
+
+val observe : histogram -> int -> unit
+(** Records a non-negative sample into log2 buckets. *)
+
+type summary = {
+  n : int;  (** samples observed *)
+  sum : int;
+  min : int;  (** 0 when [n = 0] *)
+  max : int;
+  buckets : (int * int) list;
+      (** [(upper, count)]: samples [<= upper], one bucket per occupied
+          power of two, ascending. *)
+}
+
+val summary : histogram -> summary
+
+(** {1 Rendering} *)
+
+type stat = Counter of int | Histogram of summary
+
+val stats : t -> (string * stat) list
+(** Registration order. *)
+
+val find : t -> string -> stat option
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.value
+(** [{"name": int, ...}] for counters;
+    [{"count":_, "sum":_, "min":_, "max":_, "buckets":[[upper,count],...]}]
+    for histograms. *)
+
+val to_json_string : t -> string

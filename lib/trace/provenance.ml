@@ -1,0 +1,265 @@
+module Iset = Secpol_core.Iset
+module Span = Secpol_flowgraph.Span
+module Var = Secpol_flowgraph.Var
+
+type from = [ `Input | `Var of Var.t | `Pc ]
+
+type link = {
+  step : int;
+  node : int;
+  span : Span.t option;
+  site : [ `Assign of Var.t | `Pc | `Condemn ];
+  taint : Iset.t;
+  from : from;
+}
+
+type chain = {
+  coordinate : int;
+  via : [ `Data | `Control ];
+  links : link list;
+}
+
+type kind = Explicit | Implicit | Timed | Other of string
+
+let notice_prefix = "\xce\x9b" (* Λ *)
+
+let kind_name = function
+  | Explicit -> notice_prefix ^ "/explicit"
+  | Implicit -> notice_prefix ^ "/implicit"
+  | Timed -> notice_prefix ^ "/timed"
+  | Other n -> n
+
+type explanation = {
+  program : string option;
+  mode : string option;
+  notice : string;
+  kind : kind;
+  step : int;
+  node : int;
+  span : Span.t option;
+  taint : Iset.t;
+  allowed : Iset.t;
+  disallowed : Iset.t;
+  chains : chain list;
+}
+
+(* Replay state: the surveillance value currently bound to each variable,
+   the current control-context taint, and — for every (coordinate, carrier)
+   pair — the chain of links that carried the coordinate there, most recent
+   first. Carriers are variables and the control context itself. *)
+
+type carrier = CV of Var.t | CPc
+
+type replay = {
+  taints : (Var.t, Iset.t) Hashtbl.t;
+  chains : (int * carrier, link list) Hashtbl.t;
+  mutable pc : Iset.t;
+}
+
+let fresh_replay () = { taints = Hashtbl.create 32; chains = Hashtbl.create 32; pc = Iset.empty }
+
+(* An input variable is born carrying its own coordinate. *)
+let taint_of r v =
+  match Hashtbl.find_opt r.taints v with
+  | Some l -> l
+  | None -> ( match v with Var.Input i -> Iset.singleton i | Var.Reg _ | Var.Out -> Iset.empty)
+
+let chain_of r c carrier =
+  match Hashtbl.find_opt r.chains (c, carrier) with Some l -> l | None -> []
+
+(* Where did coordinate [c] come from at a box reading [srcs]? Prefer the
+   first source variable already carrying it (inputs sort first), then the
+   control context, else it is the coordinate's own input being
+   initialized. The lookup must use the PRE-box taint state. *)
+let parent_of r c srcs =
+  match List.find_opt (fun w -> Iset.mem c (taint_of r w)) srcs with
+  | Some w -> (chain_of r c (CV w), `Var w)
+  | None -> if Iset.mem c r.pc then (chain_of r c CPc, `Pc) else ([], `Input)
+
+let replay_taint r ~step ~node ~span ~var ~taint ~srcs =
+  let old = taint_of r var in
+  (* Compute new bindings against the pre-box state before committing any. *)
+  let fresh =
+    List.filter_map
+      (fun c ->
+        if Iset.mem c old then None (* coordinate already carried: keep its chain *)
+        else
+          let parent, from = parent_of r c srcs in
+          Some (c, { step; node; span; site = `Assign var; taint; from } :: parent))
+      (Iset.to_list taint)
+  in
+  List.iter (fun (c, links) -> Hashtbl.replace r.chains (c, CV var) links) fresh;
+  List.iter
+    (fun c -> if not (Iset.mem c taint) then Hashtbl.remove r.chains (c, CV var))
+    (Iset.to_list old);
+  Hashtbl.replace r.taints var taint
+
+let replay_pc r ~step ~node ~span ~pc ~srcs =
+  let old = r.pc in
+  let fresh =
+    List.filter_map
+      (fun c ->
+        if Iset.mem c old then None
+        else
+          let parent, from = parent_of r c srcs in
+          Some (c, { step; node; span; site = `Pc; taint = pc; from } :: parent))
+      (Iset.to_list pc)
+  in
+  List.iter (fun (c, links) -> Hashtbl.replace r.chains (c, CPc) links) fresh;
+  List.iter
+    (fun c -> if not (Iset.mem c pc) then Hashtbl.remove r.chains (c, CPc))
+    (Iset.to_list old);
+  r.pc <- pc
+
+let control_link l =
+  match (l.site, l.from) with
+  | `Pc, _ | _, `Pc -> true
+  | (`Assign _ | `Condemn), (`Input | `Var _) -> false
+
+let chains_at_condemn r ~step ~node ~span ~taint ~srcs ~disallowed =
+  List.map
+    (fun c ->
+      let parent, from = parent_of r c srcs in
+      let final = { step; node; span; site = `Condemn; taint; from } in
+      let links = List.rev (final :: parent) in
+      let via = if List.exists control_link links then `Control else `Data in
+      { coordinate = c; via; links })
+    (Iset.to_list disallowed)
+
+let explain ?allowed events =
+  let r = ref (fresh_replay ()) in
+  let header_program = ref None in
+  let header_mode = ref None in
+  let header_allowed = ref None in
+  let last_box = ref None in
+  let condemned = ref None in
+  let verdict = ref None in
+  List.iter
+    (fun (e : Event.t) ->
+      match e with
+      | Event.Run { program; mode; allowed; _ } ->
+          (* A new attempt (guard retries re-run the mechanism): start over. *)
+          r := fresh_replay ();
+          header_program := Some program;
+          header_mode := Some mode;
+          header_allowed := Some allowed;
+          if !verdict = None then condemned := None
+      | Event.Box { step; node; span } -> last_box := Some (step, node, span)
+      | Event.Assign _ -> ()
+      | Event.Taint { step; node; span; var; taint; srcs } ->
+          if !condemned = None then replay_taint !r ~step ~node ~span ~var ~taint ~srcs
+      | Event.Pc { step; node; span; pc; srcs } ->
+          if !condemned = None then replay_pc !r ~step ~node ~span ~pc ~srcs
+      | Event.Condemn { step; node; span; at_decision; taint; srcs; notice } ->
+          if !condemned = None then
+            condemned := Some (step, node, span, at_decision, taint, srcs, notice)
+      | Event.Guard _ | Event.Journal _ -> ()
+      | Event.Verdict { response; text; steps } ->
+          if !verdict = None then verdict := Some (response, text, steps))
+    events;
+  let allowed =
+    match (allowed, !header_allowed) with
+    | Some a, _ -> Some a
+    | None, h -> h
+  in
+  match (!condemned, !verdict) with
+  | None, None -> Error "trace contains no condemnation and no verdict"
+  | None, Some (Event.Granted, text, _) ->
+      Error (Printf.sprintf "run was granted (%s): nothing to explain" text)
+  | None, Some ((Event.Denied | Event.Hung | Event.Failed), text, steps) ->
+      (* Denied without a condemnation: fuel, degradation, injected fault,
+         explicit violation halts... — no taint chain to reconstruct. *)
+      let step, node, span =
+        match !last_box with Some (s, n, sp) -> (s, n, sp) | None -> (steps, -1, None)
+      in
+      Ok
+        {
+          program = !header_program;
+          mode = !header_mode;
+          notice = text;
+          kind = Other text;
+          step;
+          node;
+          span;
+          taint = Iset.empty;
+          allowed = Option.value allowed ~default:Iset.empty;
+          disallowed = Iset.empty;
+          chains = [];
+        }
+  | Some (step, node, span, at_decision, taint, srcs, notice), _ -> (
+      match allowed with
+      | None -> Error "trace has no run header: pass the policy's allowed set explicitly"
+      | Some allowed ->
+          let srcs_vars = srcs in
+          let disallowed = Iset.diff taint allowed in
+          let chains =
+            chains_at_condemn !r ~step ~node ~span ~taint ~srcs:srcs_vars ~disallowed
+          in
+          let kind =
+            if at_decision then Timed
+            else if Iset.is_empty disallowed then Other notice
+            else if List.exists (fun ch -> ch.via = `Data) chains then Explicit
+            else Implicit
+          in
+          Ok
+            {
+              program = !header_program;
+              mode = !header_mode;
+              notice;
+              kind;
+              step;
+              node;
+              span;
+              taint;
+              allowed;
+              disallowed;
+              chains;
+            })
+
+(* ---------- pretty-printing ---------- *)
+
+let pp_span_opt ppf = function
+  | None -> ()
+  | Some s -> Format.fprintf ppf " (%a)" Span.pp s
+
+let pp_link ppf (l : link) =
+  Format.fprintf ppf "step %-3d box %-3d" l.step l.node;
+  (match l.site with
+  | `Assign v -> Format.fprintf ppf " %a := \xce\xbb%a" Var.pp v Iset.pp l.taint
+  | `Pc -> Format.fprintf ppf " pc \xe2\x86\x90 \xce\xbb%a" Iset.pp l.taint
+  | `Condemn -> Format.fprintf ppf " condemned with \xce\xbb%a" Iset.pp l.taint);
+  (match l.from with
+  | `Input -> ()
+  | `Var w -> Format.fprintf ppf "  \xe2\x86\x90 %a" Var.pp w
+  | `Pc -> Format.fprintf ppf "  \xe2\x86\x90 pc");
+  pp_span_opt ppf l.span
+
+let pp_chain ppf ch =
+  Format.fprintf ppf "@[<v 2>coordinate %d (input x%d) reached the condemning box by %s flow:@,"
+    ch.coordinate ch.coordinate
+    (match ch.via with `Data -> "data" | `Control -> "control");
+  Format.fprintf ppf "input x%d" ch.coordinate;
+  List.iter (fun l -> Format.fprintf ppf "@,%a" pp_link l) ch.links;
+  Format.fprintf ppf "@]"
+
+let pp ppf e =
+  Format.fprintf ppf "@[<v>";
+  (match e.kind with
+  | Other n -> Format.fprintf ppf "verdict: %s \xe2\x80\x94 no surveillance value condemned" n
+  | _ ->
+      Format.fprintf ppf "verdict: %s \xe2\x80\x94 condemned at box %d, step %d%a"
+        (kind_name e.kind) e.node e.step pp_span_opt e.span);
+  (match (e.program, e.mode) with
+  | Some p, Some m -> Format.fprintf ppf "@,program: %s  mode: %s" p m
+  | Some p, None -> Format.fprintf ppf "@,program: %s" p
+  | None, Some m -> Format.fprintf ppf "@,mode: %s" m
+  | None, None -> ());
+  (match e.kind with
+  | Other _ -> Format.fprintf ppf "@,notice: %s" e.notice
+  | _ ->
+      Format.fprintf ppf "@,policy: allow %a; surveillance value %a; disallowed %a"
+        Iset.pp e.allowed Iset.pp e.taint Iset.pp e.disallowed);
+  List.iter (fun ch -> Format.fprintf ppf "@,@,%a" pp_chain ch) e.chains;
+  Format.fprintf ppf "@]"
+
+let to_string e = Format.asprintf "%a" pp e

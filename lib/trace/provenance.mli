@@ -1,0 +1,68 @@
+(** Verdict provenance: why was this run condemned?
+
+    Replays a trace's taint-propagation events ({!Event.Taint},
+    {!Event.Pc}, {!Event.Condemn}) and reconstructs, for every disallowed
+    input coordinate in the condemning surveillance value, the chain of
+    boxes that carried that coordinate from the input to the condemning
+    box: input coordinate → variable assignments / control context →
+    condemnation.
+
+    Chains are classified: a coordinate that travelled only through
+    assignments arrived by {e data} flow (Λ/explicit); one that passed
+    through the control-context taint [C̄] at any point arrived by
+    {e control} flow (Λ/implicit); a condemnation raised at a decision box
+    by the timed mechanism is Λ/timed. *)
+
+module Iset = Secpol_core.Iset
+module Span = Secpol_flowgraph.Span
+module Var = Secpol_flowgraph.Var
+
+type from = [ `Input  (** origin: the coordinate's own input *) | `Var of Var.t | `Pc ]
+
+type link = {
+  step : int;
+  node : int;
+  span : Span.t option;
+  site : [ `Assign of Var.t | `Pc | `Condemn ];
+      (** what happened at this box: the coordinate flowed into an
+          assigned variable, into the control context, or into the
+          condemning check. *)
+  taint : Iset.t;  (** the surveillance value bound at this box *)
+  from : from;  (** where the coordinate came from *)
+}
+
+type chain = {
+  coordinate : int;
+  via : [ `Data | `Control ];
+  links : link list;  (** execution order, ending at the condemning box *)
+}
+
+type kind = Explicit | Implicit | Timed | Other of string
+
+val kind_name : kind -> string
+(** ["Λ/explicit"], ["Λ/implicit"], ["Λ/timed"], or the raw notice. *)
+
+type explanation = {
+  program : string option;  (** from the {!Event.Run} header, if present *)
+  mode : string option;
+  notice : string;
+  kind : kind;
+  step : int;  (** fuel count at the condemning box *)
+  node : int;  (** the condemning box *)
+  span : Span.t option;
+  taint : Iset.t;  (** the condemned surveillance value *)
+  allowed : Iset.t;
+  disallowed : Iset.t;  (** [taint \ allowed] *)
+  chains : chain list;  (** one per disallowed coordinate, ascending *)
+}
+
+val explain : ?allowed:Iset.t -> Event.t list -> (explanation, string) result
+(** [allowed] overrides the policy recorded in the trace's {!Event.Run}
+    header (required if the trace has no header). Succeeds for any trace
+    ending in a denial; traces of granted runs and traces with no verdict
+    at all are errors. Denials that condemn no surveillance value
+    (Λ/fuel, Λ/degraded, explicit [violation:] halts...) yield an
+    explanation with [kind = Other] and no chains. *)
+
+val pp : Format.formatter -> explanation -> unit
+val to_string : explanation -> string

@@ -1,0 +1,107 @@
+module Emit = Secpol_flowgraph.Emit
+module Graph = Secpol_flowgraph.Graph
+module Var = Secpol_flowgraph.Var
+
+type format = Jsonl | Chrome
+
+type stream_state = {
+  oc : out_channel;
+  format : format;
+  owns_channel : bool;
+  mutable emitted : int;
+  mutable closed : bool;
+}
+
+type t =
+  | Null
+  | Memory of { mutable rev_events : Event.t list; mutable n : int }
+  | Stream of stream_state
+
+let null = Null
+
+let memory () = Memory { rev_events = []; n = 0 }
+
+let stream format oc = Stream { oc; format; owns_channel = false; emitted = 0; closed = false }
+
+let to_file format path =
+  let oc = open_out path in
+  Stream { oc; format; owns_channel = true; emitted = 0; closed = false }
+
+let emit t e =
+  match t with
+  | Null -> ()
+  | Memory m ->
+      m.rev_events <- e :: m.rev_events;
+      m.n <- m.n + 1
+  | Stream s ->
+      if not s.closed then (
+        (match s.format with
+        | Jsonl ->
+            output_string s.oc (Event.to_jsonl e);
+            output_char s.oc '\n'
+        | Chrome ->
+            output_string s.oc (if s.emitted = 0 then "[\n  " else ",\n  ");
+            output_string s.oc
+              (Secpol_staticflow.Lint.Json.render (Event.to_chrome e)));
+        s.emitted <- s.emitted + 1)
+
+let events = function
+  | Null | Stream _ -> []
+  | Memory m -> List.rev m.rev_events
+
+let count = function Null -> 0 | Memory m -> m.n | Stream s -> s.emitted
+
+let close = function
+  | Null | Memory _ -> ()
+  | Stream s ->
+      if not s.closed then (
+        s.closed <- true;
+        (match s.format with
+        | Jsonl -> ()
+        | Chrome -> output_string s.oc (if s.emitted = 0 then "[]\n" else "\n]\n"));
+        if s.owns_channel then close_out s.oc else flush s.oc)
+
+let is_null = function Null -> true | Memory _ | Stream _ -> false
+
+let emitter ?graph t =
+  match t with
+  | Null -> Emit.none
+  | Memory _ | Stream _ ->
+      let span node =
+        match graph with None -> None | Some g -> Graph.span g node
+      in
+      Emit.Sink
+        {
+          Emit.box = (fun ~step ~node -> emit t (Event.Box { step; node; span = span node }));
+          assign =
+            (fun ~step ~node ~var ~value -> emit t (Event.Assign { step; node; var; value }));
+          taint =
+            (fun ~step ~node ~var ~taint ~srcs ->
+              emit t
+                (Event.Taint
+                   { step; node; span = span node; var; taint; srcs = Var.Set.elements srcs }));
+          pc =
+            (fun ~step ~node ~pc ~srcs ->
+              emit t
+                (Event.Pc { step; node; span = span node; pc; srcs = Var.Set.elements srcs }));
+          condemn =
+            (fun ~step ~node ~at_decision ~taint ~srcs ~notice ->
+              emit t
+                (Event.Condemn
+                   {
+                     step;
+                     node;
+                     span = span node;
+                     at_decision;
+                     taint;
+                     srcs = Var.Set.elements srcs;
+                     notice;
+                   }));
+        }
+
+let format_of_string = function
+  | "jsonl" -> Ok Jsonl
+  | "chrome" -> Ok Chrome
+  | s -> Error (Printf.sprintf "unknown trace format %S (expected jsonl or chrome)" s)
+
+let format_name = function Jsonl -> "jsonl" | Chrome -> "chrome"

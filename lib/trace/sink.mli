@@ -1,0 +1,60 @@
+(** Trace sinks: where events go.
+
+    A sink receives {!Event.t} values and either drops them ({!null}),
+    accumulates them in memory ({!memory}), or streams them to an output
+    channel as JSONL or a Chrome trace-event array ({!stream},
+    {!to_file}).
+
+    The bridge to the interpreters is {!emitter}: it wraps a sink as a
+    {!Secpol_flowgraph.Emit.t} and decorates events with source spans
+    looked up from the graph the run executes. For the null sink the
+    bridge returns {!Secpol_flowgraph.Emit.none} itself — physically the
+    same value an un-traced run uses — so "tracing to the null sink" is
+    not merely cheap but the identical code path, which is what the
+    bit-identity test and the [secpol/trace/*] bench group check. *)
+
+module Emit = Secpol_flowgraph.Emit
+module Graph = Secpol_flowgraph.Graph
+
+type format = Jsonl | Chrome
+
+type t
+
+val null : t
+(** Drops everything. *)
+
+val memory : unit -> t
+(** Accumulates events in order; read them back with {!events}. *)
+
+val stream : format -> out_channel -> t
+(** Streams each event as it arrives. The channel is not closed by
+    {!close} (the caller owns it); Chrome streams are only valid JSON
+    after {!close} writes the closing bracket. *)
+
+val to_file : format -> string -> t
+(** Opens [path] for writing; {!close} flushes and closes it. *)
+
+val emit : t -> Event.t -> unit
+
+val events : t -> Event.t list
+(** In-memory events in arrival order; [[]] for other sinks. *)
+
+val count : t -> int
+(** Events received so far. *)
+
+val close : t -> unit
+(** Finalises the sink: terminates a Chrome array, flushes, and closes
+    the channel if the sink owns it. Idempotent; {!emit} after [close]
+    is a no-op. *)
+
+val is_null : t -> bool
+
+val emitter : ?graph:Graph.t -> t -> Emit.t
+(** An interpreter-side emitter feeding this sink. [graph] supplies
+    source spans for box/taint/pc/condemn events (omit it for graphs
+    without spans). [emitter null == Emit.none]. *)
+
+val format_of_string : string -> (format, string) result
+(** ["jsonl" | "chrome"]. *)
+
+val format_name : format -> string
