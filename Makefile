@@ -43,6 +43,13 @@ chaos:
 chaos-crash:
 	dune exec bin/secpol_cli.exe -- chaos --crash --crash-points 50
 
+# Both sweeps through the engine pool at 4 domains. Reports are promised
+# byte-identical to the sequential ones; the pool's scheduling telemetry
+# (steals, idle probes) lands on stderr.
+chaos-par:
+	dune exec bin/secpol_cli.exe -- chaos --seeds 100 --jobs 4
+	dune exec bin/secpol_cli.exe -- chaos --crash --crash-points 50 --jobs 4
+
 # Regenerates experiments_output.txt (gitignored — it is derived output;
 # EXPERIMENTS.md narrates the numbers).
 experiments:
@@ -71,4 +78,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force lint-corpus chaos chaos-crash experiments bench bench-json examples doc clean
+.PHONY: all test test-force lint-corpus chaos chaos-crash chaos-par experiments bench bench-json examples doc clean

@@ -202,11 +202,35 @@ let scaling_tests =
   Test.make_grouped ~name:"scaling"
     (List.map monitor_at [ 4; 16; 64 ] @ List.map maximal_at [ 4; 8; 16 ])
 
+(* The parallel engine: the same exhaustive checks and chaos sweep, routed
+   through the domain pool at 1 vs 4 domains. Every series returns the
+   byte-identical result whatever [jobs] — the gate below enforces it. *)
+let engine_tests =
+  let module Sweep = Secpol_fault.Sweep in
+  let module Exhaustive = Secpol_engine.Exhaustive in
+  let entries = [ Secpol_corpus.Paper_programs.find "ex7" ] in
+  let q = Interp.graph_program graph in
+  let space16 = Space.ints ~lo:0 ~hi:15 ~arity:2 in
+  let surv =
+    Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) graph
+  in
+  Test.make_grouped ~name:"engine"
+    [
+      staged "chaos-ex7-jobs1" (fun () -> Sweep.run ~entries ~seeds:25 ~jobs:1 ());
+      staged "chaos-ex7-jobs4" (fun () -> Sweep.run ~entries ~seeds:25 ~jobs:4 ());
+      staged "soundness-16x16-jobs1" (fun () ->
+          Exhaustive.check ~jobs:1 policy surv space16);
+      staged "soundness-16x16-jobs4" (fun () ->
+          Exhaustive.check ~jobs:4 policy surv space16);
+      staged "maximal-16x16-jobs4" (fun () ->
+          Exhaustive.build_maximal ~jobs:4 policy q space16);
+    ]
+
 let tests =
   Test.make_grouped ~name:"secpol"
     [
       interp_tests; monitor_tests; instrumented_tests; compile_time_tests;
-      attack_tests; journal_tests; trace_tests; scaling_tests;
+      attack_tests; journal_tests; trace_tests; scaling_tests; engine_tests;
     ]
 
 let () =
@@ -299,6 +323,45 @@ let () =
         (fun () -> ignore (Sys.opaque_identity (Dynamic.run cfg_plain graph inputs))),
         fun () -> ignore (Sys.opaque_identity (Dynamic.run cfg_null graph inputs)) );
     ];
+  (* The engine gate, paired like the trace gate: the same reduced chaos
+     sweep at 1 vs 4 domains, minimum of interleaved rounds. Two promises:
+     zero verdict drift (the reports render byte-identically — always
+     enforced), and a >= 2x wall-clock speedup at 4 domains (enforced only
+     where 4 cores actually exist; on smaller machines the ratio is printed
+     as telemetry and the gate is waived). *)
+  let module Sweep = Secpol_fault.Sweep in
+  let entries = [ Secpol_corpus.Paper_programs.find "ex7" ] in
+  let sweep jobs () = Sweep.run ~entries ~seeds:60 ~jobs () in
+  let r1 = sweep 1 () and r4 = sweep 4 () in
+  Printf.printf "\nengine gate (chaos ex7, 60 seeds, jobs=1 vs jobs=4):\n";
+  if Sweep.to_json_string r1 <> Sweep.to_json_string r4 then begin
+    Printf.printf "  VERDICT DRIFT: reports differ between jobs=1 and jobs=4\n";
+    gate := false
+  end
+  else Printf.printf "  verdict drift: none (reports byte-identical)\n";
+  let best f =
+    let rounds = 5 in
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  ignore (Sys.opaque_identity (sweep 4 ()));
+  let t1 = best (sweep 1) and t4 = best (sweep 4) in
+  let speedup = t1 /. t4 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  speedup: %.2fx (%d core(s) recommended)\n" speedup cores;
+  if cores >= 4 then
+    if speedup >= 2.0 then Printf.printf "  ok (gate: >= 2x on >= 4 cores)\n"
+    else begin
+      Printf.printf "  UNDER BUDGET: expected >= 2x at 4 domains on >= 4 cores\n";
+      gate := false
+    end
+  else
+    Printf.printf "  speedup gate waived: fewer than 4 cores on this machine\n";
   (* Machine-readable results for CI trend lines: series name -> ns/run.
      Hand-rolled JSON; names are [A-Za-z0-9/_-] so no escaping is needed. *)
   if Array.exists (( = ) "--json") Sys.argv then begin

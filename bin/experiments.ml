@@ -61,19 +61,21 @@ let e1 () =
       let q = Paper.program e in
       let space = e.Paper.space in
       let policy = e.Paper.policy in
-      let dyn mode = Dynamic.mechanism_of ~mode policy g in
+      let dyn mode = Dynamic.mechanism (Dynamic.config ~mode policy) g in
       let ratio m = pct (Completeness.ratio m ~q space) in
       let ite_m =
-        Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy
-          (Compile.compile (Transforms.ite e.Paper.prog))
+        Dynamic.mechanism
+            (Dynamic.config ~mode:Dynamic.Surveillance policy)
+            (Compile.compile (Transforms.ite e.Paper.prog))
       in
       let while_m =
         let tprog = Transforms.predicate_loops ~residual:false ~bound:4 e.Paper.prog in
         match Transforms.equivalent_on e.Paper.prog tprog space with
         | Ok () ->
             Some
-              (Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy
-                 (Compile.compile tprog))
+              (Dynamic.mechanism
+                   (Dynamic.config ~mode:Dynamic.Surveillance policy)
+                   (Compile.compile tprog))
         | Error _ -> None
       in
       Tabulate.add_row t
@@ -113,7 +115,7 @@ let e2 () =
       let policy = e.Paper.policy in
       List.iter
         (fun mode ->
-          let m = Dynamic.mechanism_of ~mode policy g in
+          let m = Dynamic.mechanism (Dynamic.config ~mode policy) g in
           Tabulate.add_row t
             [
               e.Paper.name;
@@ -157,8 +159,8 @@ let e3 () =
       let space = Space.ints ~lo:0 ~hi ~arity:1 in
       let leak ?(view = `Timed) m = (Leakage.of_mechanism ~view policy m space).Leakage.avg_bits in
       let raw = Mechanism.of_program (Interp.graph_program g) in
-      let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
-      let mt = Dynamic.mechanism_of ~mode:Dynamic.Timed policy g in
+      let ms = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
+      let mt = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g in
       Tabulate.add_row t
         [
           Printf.sprintf "0..%d" hi;
@@ -230,10 +232,11 @@ let e5 () =
       let q = Paper.program e in
       let policy = e.Paper.policy in
       let space = e.Paper.space in
-      let m1 = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+      let m1 = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
       let m2 =
-        Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy
-          (Compile.compile (Transforms.ite e.Paper.prog))
+        Dynamic.mechanism
+            (Dynamic.config ~mode:Dynamic.Surveillance policy)
+            (Compile.compile (Transforms.ite e.Paper.prog))
       in
       let j = Mechanism.join m1 m2 in
       Tabulate.add_row t
@@ -356,7 +359,7 @@ let e9 () =
         in
         let rd =
           Completeness.ratio
-            (Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g)
+            (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g)
             ~q space
         in
         let rm = Completeness.ratio (Maximal.build policy q space) ~q space in
@@ -395,7 +398,7 @@ let e10 () =
     (fun (e, label) ->
       let q = Paper.program e in
       let ms =
-        Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e)
+        Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy) (Paper.graph e)
       in
       let mx = Maximal.build e.Paper.policy q e.Paper.space in
       Tabulate.add_row t
@@ -519,7 +522,7 @@ let e12 () =
     (fun (cost, cost_name) ->
       List.iter
         (fun mode ->
-          let m = Dynamic.mechanism_of ~cost ~mode policy g in
+          let m = Dynamic.mechanism (Dynamic.config ~cost ~mode policy) g in
           Tabulate.add_row t
             [
               cost_name;
@@ -684,9 +687,9 @@ let e16 () =
       Tabulate.add_row t
         [
           Policy.name policy;
-          ratio (Dynamic.mechanism_of ~mode:Dynamic.High_water policy g);
-          ratio (Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g);
-          ratio (Dynamic.mechanism_of ~mode:Dynamic.Timed policy g);
+          ratio (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.High_water policy) g);
+          ratio (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g);
+          ratio (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g);
           ratio (Certify.mechanism ~policy prog);
           ratio (Maximal.build policy q space);
         ])
@@ -718,7 +721,7 @@ let e17 () =
       let q = Paper.program e in
       let plain =
         Completeness.ratio
-          (Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e))
+          (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy) (Paper.graph e))
           ~q e.Paper.space
       in
       let r = Search.search ~policy:e.Paper.policy ~space:e.Paper.space e.Paper.prog in

@@ -29,6 +29,9 @@ module Iset = Secpol_core.Iset
 module Event = Secpol_trace.Event
 module Sink = Secpol_trace.Sink
 module Provenance = Secpol_trace.Provenance
+module Run = Secpol.Run
+module Pool = Secpol.Pool
+module Exhaustive = Secpol.Exhaustive
 open Cmdliner
 
 (* --- shared arguments --------------------------------------------------- *)
@@ -121,6 +124,46 @@ let mode_arg =
 let resolve_policy entry = function
   | Some p -> p
   | None -> entry.Paper.policy
+
+let seed_arg =
+  let doc =
+    "Base seed of the deterministic RNG streams (fault plans and media \
+     tampers replay bit-for-bit from it)."
+  in
+  Arg.(value & opt int 0 & info [ "seed"; "base-seed" ] ~docv:"SEED" ~doc)
+
+let json_arg =
+  let doc = "Emit the report as JSON (same as $(b,--format) json)." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let format_arg =
+  let doc = "Output format: text or json." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let output_format json format = if json then `Json else format
+
+let jobs_arg =
+  let doc =
+    "Engine pool width: spread the command's independent work over $(docv) \
+     domains. Reports and verdicts are byte-identical whatever the value; \
+     scheduling telemetry goes to stderr."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let check_jobs jobs =
+  if jobs < 1 || jobs > Pool.max_jobs then begin
+    Printf.eprintf "--jobs must be between 1 and %d\n" Pool.max_jobs;
+    exit 2
+  end;
+  jobs
+
+(* Scheduling telemetry is stderr-only: stdout carries the report, whose
+   bytes are promised independent of --jobs. *)
+let report_pool (stats : Pool.stats) =
+  if stats.Pool.jobs > 1 then Format.eprintf "%a@." Pool.pp_stats stats
 
 (* --- trace arguments ------------------------------------------------------ *)
 
@@ -273,29 +316,20 @@ let run_cmd =
       with_sink trace trace_format (fun sink ->
           match journal with
           | None ->
-              let o =
-                if Sink.is_null sink then Program.run (Paper.program e) a
-                else begin
-                  (* Tracing hooks live on flowchart boxes, so a traced run
-                     goes through the graph interpreter. *)
-                  let g = Paper.graph e in
-                  Sink.emit sink
-                    (Event.run_header ~program:e.Paper.name
-                       ~arity:g.Graph.arity ~mode:"unmonitored"
-                       ~allowed:Iset.empty ~inputs:a);
-                  let p =
-                    Interp.graph_program ~emit:(Sink.emitter ~graph:g sink) g
-                  in
-                  let o = Program.run p a in
-                  Sink.emit sink (Event.of_reply (Interp.reply_of_outcome o));
-                  o
-                end
-              in
-              (match o.Program.result with
-              | Program.Value v -> Format.printf "output: %a@." Value.pp v
-              | Program.Diverged -> print_endline "output: <diverged>"
-              | Program.Fault m -> Printf.printf "output: <fault: %s>\n" m);
-              Printf.printf "steps:  %d\n" o.Program.steps;
+              (* A policy-less Run config is the plain graph interpreter:
+                 raw Q, never monitored, never cached. *)
+              let g = Paper.graph e in
+              Sink.emit sink
+                (Event.run_header ~program:e.Paper.name ~arity:g.Graph.arity
+                   ~mode:"unmonitored" ~allowed:Iset.empty ~inputs:a);
+              let r = Run.run (Run.config ~trace:sink ()) g a in
+              Sink.emit sink (Event.of_reply r);
+              (match r.Mechanism.response with
+              | Mechanism.Granted v -> Format.printf "output: %a@." Value.pp v
+              | Mechanism.Hung -> print_endline "output: <diverged>"
+              | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
+              | Mechanism.Failed m -> Printf.printf "output: <fault: %s>\n" m);
+              Printf.printf "steps:  %d\n" r.Mechanism.steps;
               0
           | Some dir ->
               (* Journaling needs the step machine, so the run goes through
@@ -351,7 +385,6 @@ let enforce_cmd =
     let g = Paper.graph e in
     let code =
       with_sink trace trace_format (fun sink ->
-          let emit = Sink.emitter ~graph:g sink in
           match journal with
           | None ->
               Sink.emit sink
@@ -361,8 +394,7 @@ let enforce_cmd =
                      (Option.value (Policy.allowed_indices p)
                         ~default:Iset.empty)
                    ~inputs:a);
-              let m = Dynamic.mechanism_of ~mode ~emit p g in
-              let r = Mechanism.respond m a in
+              let r = Run.run (Run.config ~policy:p ~mode ~trace:sink ()) g a in
               Sink.emit sink (Event.of_reply r);
               show_enforce_reply r;
               0
@@ -371,7 +403,9 @@ let enforce_cmd =
                 prerr_endline "journaled enforcement needs an allow(...) policy";
                 exit 2
               end;
-              let cfg = Dynamic.config ~mode ~emit p in
+              let cfg =
+                Dynamic.config ~mode ~emit:(Sink.emitter ~graph:g sink) p
+              in
               journaled_run ~dir ~kill_at ~snapshot_every ~sink
                 ~program_ref:name ~show_reply:show_enforce_reply cfg g a)
     in
@@ -403,9 +437,7 @@ let resume_cmd =
     in
     (* The graph is only known once [resolve] runs, so resume traces carry
        no source spans. *)
-    let result =
-      Runner.resume ~emit:(Sink.emitter sink) ~sink ~resolve ~media ()
-    in
+    let result = Run.resume (Run.config ~trace:sink ()) ~resolve ~media in
     Media.close media;
     match result with
     | Ok res ->
@@ -427,7 +459,7 @@ let resume_cmd =
     | Error e ->
         (* Fail-secure degradation: an unrecoverable journal is the single
            violation notice, with the diagnosis on stderr only. *)
-        let reply = Secpol_fault.Guard.reply_of_recovery (Error e) in
+        let reply = Run.reply_of_resume (Error e) in
         (match reply.Mechanism.response with
         | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
         | _ -> assert false);
@@ -473,18 +505,26 @@ let certify_cmd =
 (* --- measure --------------------------------------------------------------- *)
 
 let measure_cmd =
-  let run name policy =
+  let run name policy jobs =
+    let jobs = check_jobs jobs in
     let e = entry_of_name name in
     let p = resolve_policy e policy in
     let q = Paper.program e in
     let g = Paper.graph e in
     let space = e.Paper.space in
+    let pool_runs = ref [] in
+    let note s = pool_runs := s :: !pool_runs in
     let t =
       Tabulate.create ~header:[ "mechanism"; "completeness"; "sound"; "avg leak (bits)" ]
     in
     let add label m =
+      (* The exhaustive soundness check is the expensive cell: route it
+         through the engine pool. Verdicts are bit-identical to the
+         sequential Soundness.check whatever --jobs is. *)
+      let verdict, stats = Exhaustive.check ~jobs p m space in
+      note stats;
       let sound =
-        match Soundness.check p m space with
+        match verdict with
         | Soundness.Sound -> "yes"
         | Soundness.Unsound _ -> "NO"
       in
@@ -498,16 +538,31 @@ let measure_cmd =
     in
     add "program itself" (Mechanism.of_program q);
     List.iter
-      (fun mode -> add (Dynamic.mode_name mode) (Dynamic.mechanism_of ~mode p g))
+      (fun mode -> add (Dynamic.mode_name mode) (Dynamic.mechanism (Dynamic.config ~mode p) g))
       Dynamic.all_modes;
     add "static (certify)" (Certify.mechanism ~policy:p e.Paper.prog);
-    add "maximal (brute force)" (Maximal.build p q space);
-    Tabulate.print ~title:(Printf.sprintf "%s under %s" e.Paper.name (Policy.name p)) t
+    let mx, mx_stats = Exhaustive.build_maximal ~jobs p q space in
+    note mx_stats;
+    add "maximal (brute force)" mx;
+    Tabulate.print ~title:(Printf.sprintf "%s under %s" e.Paper.name (Policy.name p)) t;
+    if jobs > 1 then begin
+      let tasks, steals, idle =
+        List.fold_left
+          (fun (a, b, c) s ->
+            let t, st, i = Pool.total s in
+            (a + t, b + st, c + i))
+          (0, 0, 0) !pool_runs
+      in
+      Format.eprintf
+        "engine: %d pool run(s) on %d domain(s): %d task(s), %d steal(s), %d \
+         idle probe(s)@."
+        (List.length !pool_runs) jobs tasks steals idle
+    end
   in
   Cmd.v
     (Cmd.info "measure"
        ~doc:"Exhaustively measure every mechanism for a corpus program")
-    Term.(const run $ program_arg $ policy_arg)
+    Term.(const run $ program_arg $ policy_arg $ jobs_arg)
 
 (* --- leak ------------------------------------------------------------------ *)
 
@@ -593,7 +648,8 @@ let synthesize_cmd =
 
 let lint_cmd =
   let module Lint = Secpol_staticflow.Lint in
-  let run name policy format =
+  let run name policy format json =
+    let format = output_format json format in
     let e = entry_of_name name in
     let p = resolve_policy e policy in
     match Policy.allowed_indices p with
@@ -623,20 +679,13 @@ let lint_cmd =
             Format.printf "%a@." Lint.pp_report report);
         exit (if report.Lint.certified then 0 else 1)
   in
-  let format =
-    let doc = "Output format: text or json." in
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FORMAT" ~doc)
-  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically lint a program for information-flow violations, with \
           source-span witness chains. Exits 0 when certified, 1 on \
           violations, 2 on usage errors.")
-    Term.(const run $ program_arg $ policy_arg $ format)
+    Term.(const run $ program_arg $ policy_arg $ format_arg $ json_arg)
 
 (* --- chaos ----------------------------------------------------------------- *)
 
@@ -644,7 +693,9 @@ let chaos_cmd =
   let module Sweep = Secpol_fault.Sweep in
   let module Crash = Secpol_fault.Crash in
   let run program mode seeds base_seed horizon retries crash crash_points
-      snapshot_every format trace trace_format =
+      snapshot_every format json jobs trace trace_format =
+    let jobs = check_jobs jobs in
+    let format = output_format json format in
     let entries =
       match program with None -> Paper.all | Some name -> [ entry_of_name name ]
     in
@@ -653,8 +704,9 @@ let chaos_cmd =
           if crash then begin
             let report =
               Crash.run ~entries ~mode ~crash_points ~base_seed ~snapshot_every
-                ~sink ()
+                ~sink ~jobs ()
             in
+            report_pool report.Crash.pool;
             (match format with
             | `Json -> print_endline (Crash.to_json_string report)
             | `Text -> Format.printf "%a" Crash.pp report);
@@ -663,8 +715,9 @@ let chaos_cmd =
           else begin
             let report =
               Sweep.run ~entries ~mode ~seeds ~base_seed ~horizon ~retries
-                ~sink ()
+                ~sink ~jobs ()
             in
+            report_pool report.Sweep.pool;
             (match format with
             | `Json -> print_endline (Sweep.to_json_string report)
             | `Text -> Format.printf "%a" Sweep.pp report);
@@ -702,10 +755,6 @@ let chaos_cmd =
     let doc = "Number of seeded fault plans per (program, policy) pair." in
     Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc)
   in
-  let base_seed =
-    let doc = "First seed of the range (plans are seed-deterministic)." in
-    Arg.(value & opt int 0 & info [ "base-seed" ] ~docv:"SEED" ~doc)
-  in
   let horizon =
     let doc = "Fault points strike at steps below this bound." in
     Arg.(value & opt int 24 & info [ "horizon" ] ~docv:"STEPS" ~doc)
@@ -713,13 +762,6 @@ let chaos_cmd =
   let retries =
     let doc = "Supervisor retry budget (transient faults clear on retry)." in
     Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
-  in
-  let format =
-    let doc = "Output format: text or json." in
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FORMAT" ~doc)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -730,9 +772,9 @@ let chaos_cmd =
           when fail-secure, 1 on a fail-open or clean-run mismatch, 2 on \
           usage errors.")
     Term.(
-      const run $ program $ mode_arg $ seeds $ base_seed $ horizon $ retries
-      $ crash $ crash_points $ snapshot_every $ format $ trace_arg
-      $ trace_format_arg)
+      const run $ program $ mode_arg $ seeds $ seed_arg $ horizon $ retries
+      $ crash $ crash_points $ snapshot_every $ format_arg $ json_arg
+      $ jobs_arg $ trace_arg $ trace_format_arg)
 
 (* --- explain ---------------------------------------------------------------- *)
 
@@ -783,11 +825,9 @@ let explain_cmd =
                     (Event.run_header ~program:e.Paper.name
                        ~arity:g.Graph.arity ~mode:(Dynamic.mode_name mode)
                        ~allowed ~inputs:a);
-                  let m =
-                    Dynamic.mechanism_of ~mode
-                      ~emit:(Sink.emitter ~graph:g sink) p g
+                  let r =
+                    Run.run (Run.config ~policy:p ~mode ~trace:sink ()) g a
                   in
-                  let r = Mechanism.respond m a in
                   Sink.emit sink (Event.of_reply r);
                   (match r.Mechanism.response with
                   | Mechanism.Granted v ->

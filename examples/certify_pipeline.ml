@@ -54,8 +54,9 @@ let stages =
       build =
         (fun e ->
           Some
-            (Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy
-               (Compile.compile (Transforms.ite e.Paper.prog))));
+            (Dynamic.mechanism
+                 (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy)
+                 (Compile.compile (Transforms.ite e.Paper.prog))));
     };
     {
       label = "3b while transform + surveillance";
@@ -67,8 +68,9 @@ let stages =
           match Transforms.equivalent_on e.Paper.prog t e.Paper.space with
           | Ok () ->
               Some
-                (Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy
-                   (Compile.compile t))
+                (Dynamic.mechanism
+                     (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy)
+                     (Compile.compile t))
           | Error _ -> None);
     };
     {
@@ -76,8 +78,9 @@ let stages =
       build =
         (fun e ->
           Some
-            (Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy
-               (Paper.graph e)));
+            (Dynamic.mechanism
+                 (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy)
+                 (Paper.graph e)));
     };
   ]
 

@@ -54,7 +54,7 @@ let () =
         | Soundness.Sound -> "safe to ship"
         | Soundness.Unsound _ -> "LEAKS"
       in
-      let monitor = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+      let monitor = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
       let mx = Maximal.build policy q space in
       Tabulate.add_row t
         [

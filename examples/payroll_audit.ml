@@ -92,7 +92,7 @@ let () =
         | Soundness.Sound -> "safe"
         | Soundness.Unsound _ -> "LEAKS"
       in
-      let monitor = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+      let monitor = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
       let mx = Maximal.build policy q space in
       Tabulate.add_row t
         [
@@ -119,7 +119,7 @@ let () =
 
   (* The run-time view of the debug query under the monitor. *)
   let monitor =
-    Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy (Compile.compile q_debug)
+    Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) (Compile.compile q_debug)
   in
   print_endline "\ndebug-path under the monitor:";
   List.iter

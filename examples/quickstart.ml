@@ -36,7 +36,7 @@ let () =
   (* Compile to the paper's flowchart form and wrap it in the surveillance
      protection mechanism of Section 3. *)
   let graph = Compile.compile prog in
-  let monitor = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy graph in
+  let monitor = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) graph in
 
   let show inputs =
     let a = Array.of_list (List.map Value.int inputs) in

@@ -62,7 +62,7 @@ let () =
 
   (* Surveillance suppresses the value at halt - but the HALT arrives at a
      secret-dependent moment, so its violation notices tick out the secret. *)
-  let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+  let ms = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
   Printf.printf "\nsurveillance (suppress at halt), time observable: %s\n"
     (verdict Soundness.timed ms);
   Printf.printf "  leaked through violation timing: %.3f bits\n"
@@ -70,7 +70,7 @@ let () =
 
   (* The Theorem 3' mechanism aborts at the first disallowed TEST - before
      the secret can shape the schedule. *)
-  let mt = Dynamic.mechanism_of ~mode:Dynamic.Timed policy g in
+  let mt = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g in
   Printf.printf "\ntimed surveillance (abort at the test), time observable: %s\n"
     (verdict Soundness.timed mt);
   Printf.printf "  leaked: %.3f bits\n"

@@ -19,8 +19,7 @@ let table view policy q space =
     (Space.enumerate space);
   tbl
 
-let build ?(view = `Value) policy q space =
-  let tbl = table view policy q space in
+let of_table policy q tbl =
   let respond a =
     let key = Policy.image policy a in
     match Hashtbl.find_opt tbl key with
@@ -37,9 +36,14 @@ let build ?(view = `Value) policy q space =
   Mechanism.make ~name:(Printf.sprintf "maximal(%s)" q.Program.name)
     ~arity:q.Program.arity respond
 
-let granted_classes ?(view = `Value) policy q space =
-  let tbl = table view policy q space in
+let classes_of_table tbl =
   Hashtbl.fold
     (fun _ e (served, total) ->
       match e with Serve _ -> (served + 1, total + 1) | Mixed -> (served, total + 1))
     tbl (0, 0)
+
+let build ?(view = `Value) policy q space =
+  of_table policy q (table view policy q space)
+
+let granted_classes ?(view = `Value) policy q space =
+  classes_of_table (table view policy q space)

@@ -15,6 +15,22 @@
     [M] granting at [a] must grant [Q(a)] on the whole class of [a], which
     forces [Q] constant there. *)
 
+type entry = Serve of Program.outcome * Program.Obs.t | Mixed
+    (** Per-class verdict: serve [Q]'s common outcome, or deny a mixed
+        class. *)
+
+val table :
+  Program.view -> Policy.t -> Program.t -> Space.t -> (Value.t, entry) Hashtbl.t
+(** The class table underlying {!build}: policy image -> verdict, keeping
+    the first-enumerated outcome of each constant class. Exposed so the
+    parallel engine can assemble the same table from precomputed runs. *)
+
+val of_table : Policy.t -> Program.t -> (Value.t, entry) Hashtbl.t -> Mechanism.t
+(** The maximal mechanism answering from a precomputed class table. *)
+
+val classes_of_table : (Value.t, entry) Hashtbl.t -> int * int
+(** [(constant_classes, total_classes)] of a class table. *)
+
 val build :
   ?view:Program.view -> Policy.t -> Program.t -> Space.t -> Mechanism.t
 (** [build ~view i q space] precomputes the class table (one run of [Q] per

@@ -30,6 +30,12 @@ val default : config
 
 val timed : config
 
+val canonicalize : config -> Program.Obs.t -> Program.Obs.t
+(** The observable actually compared by {!check}: identity unless
+    [identify_violations], which collapses every violation notice to one.
+    Exposed so alternative drivers of the same check (the parallel engine)
+    compare exactly what the sequential check compares. *)
+
 type witness = {
   input_a : Value.t array;
   input_b : Value.t array;  (** policy-equivalent to [input_a] *)

@@ -1,0 +1,73 @@
+open Secpol_core
+
+(* Evaluating [Mechanism.respond] / [Program.run] point-by-point is the
+   whole cost of an exhaustive check; the partition scan is hashtable
+   lookups. So: pool the evaluations into index-ordered arrays, then replay
+   the sequential scan over them — exact parity by construction. *)
+
+let points space = Array.of_seq (Space.enumerate space)
+
+let check ?(config = Soundness.default) ~jobs policy m space =
+  let inputs = points space in
+  let n = Array.length inputs in
+  let cells, stats =
+    Pool.map ~jobs n (fun i ->
+        let a = inputs.(i) in
+        let obs =
+          Soundness.canonicalize config
+            (Mechanism.observe config.view (Mechanism.respond m a))
+        in
+        (Policy.image policy a, obs))
+  in
+  let seen : (Value.t, Value.t array * Program.Obs.t) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let rec scan i =
+    if i >= n then Soundness.Sound
+    else
+      let key, obs = cells.(i) in
+      match Hashtbl.find_opt seen key with
+      | None ->
+          Hashtbl.add seen key (inputs.(i), obs);
+          scan (i + 1)
+      | Some (b, obs_b) ->
+          if Program.Obs.equal obs obs_b then scan (i + 1)
+          else
+            Soundness.Unsound
+              {
+                Soundness.input_a = b;
+                input_b = inputs.(i);
+                obs_a = obs_b;
+                obs_b = obs;
+              }
+  in
+  (scan 0, stats)
+
+let maximal_table ?(view = `Value) ~jobs policy q space =
+  let inputs = points space in
+  let n = Array.length inputs in
+  let cells, stats =
+    Pool.map ~jobs n (fun i ->
+        let a = inputs.(i) in
+        let o = Program.run q a in
+        (Policy.image policy a, o, Program.observe view o))
+  in
+  let tbl : (Value.t, Maximal.entry) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun (key, o, obs) ->
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.replace tbl key (Maximal.Serve (o, obs))
+      | Some (Maximal.Serve (_, obs')) ->
+          if not (Program.Obs.equal obs obs') then
+            Hashtbl.replace tbl key Maximal.Mixed
+      | Some Maximal.Mixed -> ())
+    cells;
+  (tbl, stats)
+
+let build_maximal ?view ~jobs policy q space =
+  let tbl, stats = maximal_table ?view ~jobs policy q space in
+  (Maximal.of_table policy q tbl, stats)
+
+let granted_classes ?view ~jobs policy q space =
+  let tbl, stats = maximal_table ?view ~jobs policy q space in
+  (Maximal.classes_of_table tbl, stats)

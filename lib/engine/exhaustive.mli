@@ -1,0 +1,43 @@
+(** Parallel drivers for the exhaustive core checks.
+
+    Both checks decompose the same way: the expensive part — running the
+    mechanism or program on every point of the space — is evaluated by the
+    {!Pool} into an array indexed by the space's lexicographic enumeration
+    order; the cheap partition scan over that array is then the {e verbatim}
+    sequential algorithm. Verdicts, witnesses and class tables are therefore
+    bit-for-bit those of {!Secpol_core.Soundness.check} and
+    {!Secpol_core.Maximal.build}, whatever [jobs] is. *)
+
+val check :
+  ?config:Secpol_core.Soundness.config ->
+  jobs:int ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Space.t ->
+  Secpol_core.Soundness.verdict * Pool.stats
+(** Parallel [Soundness.check]: same verdict, same witness. *)
+
+val maximal_table :
+  ?view:Secpol_core.Program.view ->
+  jobs:int ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  (Secpol_core.Value.t, Secpol_core.Maximal.entry) Hashtbl.t * Pool.stats
+
+val build_maximal :
+  ?view:Secpol_core.Program.view ->
+  jobs:int ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  Secpol_core.Mechanism.t * Pool.stats
+(** Parallel [Maximal.build]: same class table, same mechanism. *)
+
+val granted_classes :
+  ?view:Secpol_core.Program.view ->
+  jobs:int ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  (int * int) * Pool.stats

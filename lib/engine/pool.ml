@@ -1,0 +1,131 @@
+type worker_stats = {
+  worker : int;
+  tasks : int;
+  steals : int;
+  idle_probes : int;
+}
+
+type stats = { jobs : int; task_count : int; workers : worker_stats list }
+
+let total s =
+  List.fold_left
+    (fun (t, st, i) w -> (t + w.tasks, st + w.steals, i + w.idle_probes))
+    (0, 0, 0) s.workers
+
+let pp_stats ppf s =
+  let tasks, steals, idle = total s in
+  Format.fprintf ppf "%d domain(s), %d task(s), %d stolen, %d idle probe(s)"
+    s.jobs tasks steals idle
+
+let max_jobs = 64
+
+(* One contiguous slice of the queue per worker. [next] is claimed with a
+   fetch-and-add, so a slice can be drained concurrently by its owner and
+   by thieves without ever running a task twice; over-claiming past [limit]
+   is harmless. *)
+type range = { next : int Atomic.t; limit : int }
+
+let ranges_of n jobs =
+  let base = n / jobs and extra = n mod jobs in
+  let start = ref 0 in
+  Array.init jobs (fun w ->
+      let len = base + if w < extra then 1 else 0 in
+      let lo = !start in
+      start := lo + len;
+      { next = Atomic.make lo; limit = lo + len })
+
+(* A failing task wins the right to abort the map only if it has the lowest
+   task index among failures — the deterministic choice. Other workers keep
+   draining already-claimed tasks but stop claiming new ones. *)
+type failure = { index : int; exn : exn; bt : Printexc.raw_backtrace }
+
+let run ~jobs n f =
+  let jobs = max 1 (min (min jobs max_jobs) (max 1 n)) in
+  if jobs = 1 then begin
+    for i = 0 to n - 1 do
+      f i
+    done;
+    {
+      jobs = 1;
+      task_count = n;
+      workers = [ { worker = 0; tasks = n; steals = 0; idle_probes = 0 } ];
+    }
+  end
+  else begin
+    let ranges = ranges_of n jobs in
+    let failed : failure option Atomic.t = Atomic.make None in
+    let note_failure index exn bt =
+      let rec go () =
+        let cur = Atomic.get failed in
+        let better =
+          match cur with None -> true | Some f -> index < f.index
+        in
+        if better then
+          if not (Atomic.compare_and_set failed cur (Some { index; exn; bt }))
+          then go ()
+      in
+      go ()
+    in
+    let worker w =
+      let tasks = ref 0 and steals = ref 0 and idle = ref 0 in
+      let exec ~stolen i =
+        incr tasks;
+        if stolen then incr steals;
+        match f i with
+        | () -> ()
+        | exception exn ->
+            note_failure i exn (Printexc.get_raw_backtrace ())
+      in
+      let claim r =
+        let i = Atomic.fetch_and_add r.next 1 in
+        if i < r.limit then Some i else None
+      in
+      (* Own range first, then sweep the others until every range is dry.
+         Claimed-but-running tasks belong to their claimants, so a worker
+         may retire while others still run. *)
+      let rec drain_own () =
+        if Atomic.get failed = None then
+          match claim ranges.(w) with
+          | Some i ->
+              exec ~stolen:false i;
+              drain_own ()
+          | None -> ()
+      in
+      let rec scavenge () =
+        if Atomic.get failed = None then begin
+          let found = ref false in
+          for d = 1 to jobs - 1 do
+            if not !found then
+              let r = ranges.((w + d) mod jobs) in
+              if Atomic.get r.next < r.limit then
+                match claim r with
+                | Some i ->
+                    found := true;
+                    exec ~stolen:true i
+                | None -> ()
+          done;
+          if !found then scavenge () else incr idle
+        end
+      in
+      drain_own ();
+      scavenge ();
+      { worker = w; tasks = !tasks; steals = !steals; idle_probes = !idle }
+    in
+    let spawned =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    let own = worker 0 in
+    let others = Array.to_list (Array.map Domain.join spawned) in
+    (match Atomic.get failed with
+    | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    { jobs; task_count = n; workers = own :: others }
+  end
+
+let map ~jobs n f =
+  let results = Array.make n None in
+  let stats = run ~jobs n (fun i -> results.(i) <- Some (f i)) in
+  ( Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map: missing result")
+      results,
+    stats )

@@ -1,0 +1,50 @@
+(** A fixed pool of domains draining an indexed work queue.
+
+    [map ~jobs n f] evaluates [f 0 .. f (n-1)] on a pool of [jobs] domains
+    and returns the results in index order. The queue is split into one
+    contiguous range per worker; a worker that drains its own range steals
+    from the tail of the other ranges, so an unbalanced task list still
+    keeps every domain busy. Each result lands in its own slot, so the
+    returned array — and anything merged from it in index order — is
+    {b independent of scheduling}: the same bytes whatever [jobs] is.
+
+    [jobs = 1] runs on the calling domain with no pool at all, so the
+    sequential path is exactly the historical code path.
+
+    Tasks must not share mutable state: anything a task mutates must be
+    task-local (per-task {!Secpol_trace.Metrics} shards, per-task media)
+    or explicitly domain-safe ({!Cache}). A task that raises aborts the
+    whole map: remaining tasks are abandoned, the pool is joined, and the
+    exception of the lowest-indexed failing task is re-raised — a
+    deterministic choice, whatever domain saw its exception first. *)
+
+type worker_stats = {
+  worker : int;
+  tasks : int;  (** tasks this worker executed *)
+  steals : int;  (** tasks taken from another worker's range *)
+  idle_probes : int;  (** empty range probes before the worker retired *)
+}
+
+type stats = {
+  jobs : int;  (** domains the pool actually used *)
+  task_count : int;
+  workers : worker_stats list;  (** one per worker, in worker order *)
+}
+
+val total : stats -> int * int * int
+(** Summed [(tasks, steals, idle_probes)] over the workers. [tasks] always
+    equals [task_count]; steals and idle probes are scheduling noise and
+    vary from run to run — report them as telemetry, never in output that
+    promises determinism. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val max_jobs : int
+(** Upper bound on [jobs] (clamped, currently 64). *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a array * stats
+(** [map ~jobs n f] is [[| f 0; ...; f (n-1) |]] computed on [max 1
+    (min jobs max_jobs)] domains (never more than [n]). *)
+
+val run : jobs:int -> int -> (int -> unit) -> stats
+(** [map] for effect-only tasks. *)

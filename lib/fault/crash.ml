@@ -11,6 +11,7 @@ module Frame = Secpol_journal.Frame
 module Runner = Secpol_journal.Runner
 module Metrics = Secpol_trace.Metrics
 module Sink = Secpol_trace.Sink
+module Pool = Secpol_engine.Pool
 
 (* The crash-recovery sweep: the durable runner's fail-secure proof by
    exhaustion. For every corpus entry, every allow(J) policy and a spread
@@ -69,6 +70,7 @@ type report = {
   metrics : Metrics.t;
   findings : finding list;
   ok : bool;
+  pool : Pool.stats;
 }
 
 let max_findings = 20
@@ -136,43 +138,85 @@ let survivable = function
 let default_fuel = 2000
 let default_snapshot_every = 8
 
-let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
-    ?(crash_points = 50) ?(base_seed = 0) ?(fuel = default_fuel)
-    ?(snapshot_every = default_snapshot_every) ?(inputs_per_case = 4)
-    ?(sink = Sink.null) () =
+(* One engine task per (entry, policy, input) case. The per-case RNG seed
+   is derived from the case's coordinates alone — never from anything
+   another case did — so the damage stream, and with it the whole report,
+   is identical whatever order (or domain) the cases run in. *)
+type case = {
+  k_ei : int;
+  k_entry : Paper.entry;
+  k_policy : Policy.t;
+  k_ii : int;
+  k_input : Value.t array;
+}
+
+type shard = { s_metrics : Metrics.t; s_findings : finding list }
+
+let register_counters metrics =
+  let c name = Metrics.counter metrics name in
+  ( c "cases",
+    c "crashes",
+    c "identical",
+    c "complete_replays",
+    c "recovery_notices",
+    c "tamper_survived",
+    c "divergent",
+    c "fail_open",
+    c "journal_mismatch",
+    Metrics.histogram metrics "replayed_records" )
+
+let cases_of ~entries ~inputs_per_case =
+  List.concat
+    (List.mapi
+       (fun ei (entry : Paper.entry) ->
+         let g = Paper.graph entry in
+         let all_inputs = List.of_seq (Space.enumerate entry.Paper.space) in
+         let inputs = spread inputs_per_case all_inputs in
+         List.concat_map
+           (fun policy ->
+             List.mapi
+               (fun ii a ->
+                 {
+                   k_ei = ei;
+                   k_entry = entry;
+                   k_policy = policy;
+                   k_ii = ii;
+                   k_input = a;
+                 })
+               inputs)
+           (policies_of_arity g.Secpol_flowgraph.Graph.arity))
+       entries)
+
+let run_case ~mode ~crash_points ~base_seed ~fuel ~snapshot_every ~sink
+    ~resolve case =
   let metrics = Metrics.create () in
-  let c_cases = Metrics.counter metrics "cases" in
-  let c_crashes = Metrics.counter metrics "crashes" in
-  let c_identical = Metrics.counter metrics "identical" in
-  let c_complete = Metrics.counter metrics "complete_replays" in
-  let c_recovery = Metrics.counter metrics "recovery_notices" in
-  let c_survived = Metrics.counter metrics "tamper_survived" in
-  let c_divergent = Metrics.counter metrics "divergent" in
-  let c_fail_open = Metrics.counter metrics "fail_open" in
-  let c_journal_mismatch = Metrics.counter metrics "journal_mismatch" in
-  let h_replayed = Metrics.histogram metrics "replayed_records" in
+  let ( c_cases,
+        c_crashes,
+        c_identical,
+        c_complete,
+        c_recovery,
+        c_survived,
+        c_divergent,
+        c_fail_open,
+        c_journal_mismatch,
+        h_replayed ) =
+    register_counters metrics
+  in
   let findings = ref [] in
+  let n_found = ref 0 in
   let note f =
-    if List.length !findings < max_findings then findings := f :: !findings
+    if !n_found < max_findings then begin
+      incr n_found;
+      findings := f :: !findings
+    end
   in
-  let resolve (h : Runner.header) =
-    match List.find_opt (fun (e : Paper.entry) -> e.Paper.name = h.Runner.program_ref) entries with
-    | Some e -> Ok (Paper.graph e)
-    | None -> Error (Printf.sprintf "no corpus entry named %s" h.Runner.program_ref)
-  in
-  List.iteri
-    (fun ei (entry : Paper.entry) ->
-      let g = Paper.graph entry in
-      let all_inputs = List.of_seq (Space.enumerate entry.Paper.space) in
-      let inputs = spread inputs_per_case all_inputs in
-      List.iter
-        (fun policy ->
-          let pname = Policy.name policy in
-          let cfg = Dynamic.config ~fuel ~mode policy in
-          List.iteri
-            (fun ii a ->
-              let a = Array.of_list (Array.to_list a) in
-              Metrics.incr c_cases;
+  let ei = case.k_ei and entry = case.k_entry in
+  let policy = case.k_policy and ii = case.k_ii in
+  let g = Paper.graph entry in
+  let pname = Policy.name policy in
+  let cfg = Dynamic.config ~fuel ~mode policy in
+  (let a = Array.copy case.k_input in
+   Metrics.incr c_cases;
               let iname = show_input a in
               let fault ?(crash_point = -1) ?(tamper = "none") counter detail =
                 Metrics.incr counter;
@@ -287,10 +331,44 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
                                   Λ/recovery"
                                  (show_reply reply))
                         end)
-              done)
-            inputs)
-        (policies_of_arity g.Secpol_flowgraph.Graph.arity))
-    entries;
+              done);
+  { s_metrics = metrics; s_findings = List.rev !findings }
+
+let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
+    ?(crash_points = 50) ?(base_seed = 0) ?(fuel = default_fuel)
+    ?(snapshot_every = default_snapshot_every) ?(inputs_per_case = 4)
+    ?(sink = Sink.null) ?(jobs = 1) () =
+  let sink = if jobs > 1 then Sink.synchronized sink else sink in
+  let resolve (h : Runner.header) =
+    match
+      List.find_opt
+        (fun (e : Paper.entry) -> e.Paper.name = h.Runner.program_ref)
+        entries
+    with
+    | Some e -> Ok (Paper.graph e)
+    | None ->
+        Error (Printf.sprintf "no corpus entry named %s" h.Runner.program_ref)
+  in
+  let cases = Array.of_list (cases_of ~entries ~inputs_per_case) in
+  let shards, pool =
+    Pool.map ~jobs (Array.length cases) (fun i ->
+        run_case ~mode ~crash_points ~base_seed ~fuel ~snapshot_every ~sink
+          ~resolve cases.(i))
+  in
+  let metrics = Metrics.create () in
+  let _ = register_counters metrics in
+  let c_tasks = Metrics.counter metrics "engine_tasks" in
+  Array.iter (fun s -> Metrics.merge ~into:metrics s.s_metrics) shards;
+  Metrics.incr ~by:pool.Pool.task_count c_tasks;
+  let findings =
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | f :: rest -> f :: take (n - 1) rest
+    in
+    take max_findings
+      (List.concat_map (fun s -> s.s_findings) (Array.to_list shards))
+  in
   let v name = Metrics.counter_value metrics name in
   let totals =
     {
@@ -311,10 +389,11 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance)
     mode;
     totals;
     metrics;
-    findings = List.rev !findings;
+    findings;
     ok =
       totals.divergent = 0 && totals.fail_open = 0
       && totals.journal_mismatch = 0;
+    pool;
   }
 
 let report_of r =

@@ -60,6 +60,9 @@ type report = {
   findings : finding list;  (** capped at {!max_findings} *)
   ok : bool;
       (** [divergent = 0 && fail_open = 0 && journal_mismatch = 0] *)
+  pool : Secpol_engine.Pool.stats;
+      (** scheduling telemetry — absent from {!pp}/{!to_json}, which are
+          byte-identical across [jobs] *)
 }
 
 val max_findings : int
@@ -81,13 +84,18 @@ val run :
   ?snapshot_every:int ->
   ?inputs_per_case:int ->
   ?sink:Secpol_trace.Sink.t ->
+  ?jobs:int ->
   unit ->
   report
 (** Defaults: the whole corpus, [Surveillance] monitors, 50 crash points,
     base seed 0, {!default_fuel}, {!default_snapshot_every}, 4 inputs
-    spread across each entry's space. Policies are all [2^arity] subsets
-    of each entry's inputs. [sink] (default null) receives the journal
-    lifecycle events of every baseline run and resume the sweep drives. *)
+    spread across each entry's space, [jobs = 1]. Policies are all
+    [2^arity] subsets of each entry's inputs. [sink] (default null)
+    receives the journal lifecycle events of every baseline run and resume
+    the sweep drives; with [jobs > 1] it is synchronized and interleaved.
+    The engine runs one task per (entry, policy, input) case; each case's
+    tamper RNG is seeded from its coordinates, so every output except
+    [pool] is byte-identical whatever [jobs] is. *)
 
 val pp : Format.formatter -> report -> unit
 val to_json : report -> Secpol_staticflow.Lint.Json.value

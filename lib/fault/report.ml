@@ -38,6 +38,47 @@ type t = {
   verdict_fail : string;
 }
 
+(* Findings are rendered in sorted order, not accumulation order: a total
+   order over their JSON fields (then detail) is a stable key no scheduler
+   can perturb, so text and JSON stay byte-identical whatever order the
+   sweep discovered them in. *)
+let rec compare_json a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> 0
+  | Json.Null, _ -> -1
+  | _, Json.Null -> 1
+  | Json.Bool a, Json.Bool b -> Bool.compare a b
+  | Json.Bool _, _ -> -1
+  | _, Json.Bool _ -> 1
+  | Json.Int a, Json.Int b -> Int.compare a b
+  | Json.Int _, _ -> -1
+  | _, Json.Int _ -> 1
+  | Json.String a, Json.String b -> String.compare a b
+  | Json.String _, _ -> -1
+  | _, Json.String _ -> 1
+  | Json.List a, Json.List b -> compare_json_list a b
+  | Json.List _, _ -> -1
+  | _, Json.List _ -> 1
+  | Json.Obj a, Json.Obj b ->
+      compare_json_list
+        (List.map (fun (k, v) -> Json.List [ Json.String k; v ]) a)
+        (List.map (fun (k, v) -> Json.List [ Json.String k; v ]) b)
+
+and compare_json_list a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare_json x y in
+      if c <> 0 then c else compare_json_list xs ys
+
+let compare_finding a b =
+  let c = compare_json (Json.Obj a.fields) (Json.Obj b.fields) in
+  if c <> 0 then c else String.compare a.detail b.detail
+
+let sort_findings fs = List.stable_sort compare_finding fs
+
 let pp ppf r =
   Format.fprintf ppf "%s@." r.title;
   let width =
@@ -53,7 +94,7 @@ let pp ppf r =
     (fun f ->
       Format.fprintf ppf "  ! %s: %s@." (String.concat " / " f.subject)
         f.detail)
-    r.findings;
+    (sort_findings r.findings);
   Format.fprintf ppf "verdict: %s@."
     (if r.ok then r.verdict_ok else r.verdict_fail)
 
@@ -75,7 +116,7 @@ let to_json r =
             (List.map
                (fun f ->
                  Json.Obj (f.fields @ [ ("detail", Json.String f.detail) ]))
-               r.findings) );
+               (sort_findings r.findings)) );
         ("metrics", Metrics.to_json r.metrics);
         ("ok", Json.Bool r.ok);
       ])

@@ -47,8 +47,15 @@ type t = {
   verdict_fail : string;  (** verdict line otherwise *)
 }
 
+val compare_finding : finding -> finding -> int
+(** Total order on findings: JSON fields compared structurally, then
+    [detail]. The stable key both renderers sort by. *)
+
+val sort_findings : finding list -> finding list
+
 val pp : Format.formatter -> t -> unit
-(** Title, one aligned line per row, [  ! subject: detail] per finding,
+(** Title, one aligned line per row, [  ! subject: detail] per finding
+    ({b sorted} by {!compare_finding} — accumulation order never shows),
     then the verdict line. *)
 
 val to_json : t -> Json.value

@@ -8,6 +8,10 @@ module Paper = Secpol_corpus.Paper_programs
 module Json = Secpol_staticflow.Lint.Json
 module Metrics = Secpol_trace.Metrics
 module Sink = Secpol_trace.Sink
+module Pool = Secpol_engine.Pool
+module Cache = Secpol_engine.Cache
+module Memo = Secpol_engine.Memo
+module Runner = Secpol_journal.Runner
 
 type totals = {
   runs : int;
@@ -37,6 +41,7 @@ type report = {
   metrics : Metrics.t;
   findings : finding list;
   ok : bool;
+  pool : Pool.stats;
 }
 
 let max_findings = 20
@@ -45,119 +50,238 @@ let show_input = Report.show_input
 let show_response = Report.show_response
 let policies_of_arity = Report.policies_of_arity
 
-let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
-    ?(base_seed = 0) ?(horizon = 24) ?(retries = 2) ?(sink = Sink.null) () =
-  let metrics = Metrics.create () in
+(* The sweep decomposes into a fixed task list — one task per (entry,
+   policy, chunk of [seed_chunk] seeds) — that does NOT depend on [jobs]:
+   the same tasks run whatever the pool width, their shard registries and
+   findings are merged in task order, so the report is byte-identical at
+   any [--jobs]. The first chunk of each (entry, policy) also carries the
+   fault-free guarded pass the sequential sweep ran before its seed loop. *)
+let seed_chunk = 25
+
+type task = {
+  t_entry : Paper.entry;
+  t_policy : Policy.t;
+  t_seed_lo : int;
+  t_seed_count : int;
+  t_first : bool;
+}
+
+type shard = { s_metrics : Metrics.t; s_findings : finding list }
+
+let register_counters metrics =
   (* Registered up front so renderings keep this order whatever fires
      first. *)
-  let c_runs = Metrics.counter metrics "runs" in
-  let c_plans = Metrics.counter metrics "plans" in
-  let c_grants = Metrics.counter metrics "grants" in
-  let c_recovered = Metrics.counter metrics "recovered" in
-  let c_notices = Metrics.counter metrics "notices" in
-  let c_degraded = Metrics.counter metrics "degraded" in
-  let c_fail_open = Metrics.counter metrics "fail_open" in
-  let c_clean_mismatch = Metrics.counter metrics "clean_mismatch" in
-  let c_unguarded = Metrics.counter metrics "unguarded_failures" in
-  let h_steps = Metrics.histogram metrics "guard_steps" in
+  let c name = Metrics.counter metrics name in
+  ( c "runs",
+    c "plans",
+    c "grants",
+    c "recovered",
+    c "notices",
+    c "degraded",
+    c "fail_open",
+    c "clean_mismatch",
+    c "unguarded_failures",
+    Metrics.histogram metrics "guard_steps" )
+
+let run_task ~mode ~horizon ~config ~sink ~cache t =
+  let metrics = Metrics.create () in
+  let ( c_runs,
+        c_plans,
+        c_grants,
+        c_recovered,
+        c_notices,
+        c_degraded,
+        c_fail_open,
+        c_clean_mismatch,
+        c_unguarded,
+        h_steps ) =
+    register_counters metrics
+  in
   let findings = ref [] in
-  let note f = if List.length !findings < max_findings then findings := f :: !findings in
-  let config = { Guard.default with Guard.retries } in
-  List.iter
+  let n_found = ref 0 in
+  let note f =
+    if !n_found < max_findings then begin
+      incr n_found;
+      findings := f :: !findings
+    end
+  in
+  let entry = t.t_entry and policy = t.t_policy in
+  let g = Paper.graph entry in
+  let inputs = List.of_seq (Space.enumerate entry.Paper.space) in
+  let pname = Policy.name policy in
+  let clean_mech = Dynamic.mechanism (Dynamic.config ~mode policy) g in
+  (* Clean baselines through the exact-key cache: any chunk of this
+     (entry, policy) may compute them, every other chunk reuses them. The
+     key is the full input vector, so this is sound for any mechanism —
+     no soundness assumption needed for baselines. *)
+  let cached_clean =
+    Memo.exact ~cache
+      ~digest:(Runner.graph_hash g)
+      ~tag:(Printf.sprintf "chaos-clean|%s|%s" (Dynamic.mode_name mode) pname)
+      clean_mech
+  in
+  let clean =
+    List.map (fun a -> (a, Mechanism.respond cached_clean a)) inputs
+  in
+  if t.t_first then
+    (* Fault-free guarded pass: with no injector the guard must be a
+       bit-identical wrapper. *)
+    List.iter
+      (fun (a, (c : Mechanism.reply)) ->
+        let r = Guard.reply_of_outcome (Guard.run ~config ~sink clean_mech a) in
+        if r <> c then begin
+          Metrics.incr c_clean_mismatch;
+          note
+            {
+              entry = entry.Paper.name;
+              policy = pname;
+              seed = -1;
+              input = show_input a;
+              detail =
+                Printf.sprintf
+                  "guard without faults not bit-identical: %s (%d steps) vs \
+                   clean %s (%d steps)"
+                  (show_response r.Mechanism.response)
+                  r.Mechanism.steps
+                  (show_response c.Mechanism.response)
+                  c.Mechanism.steps;
+            }
+        end)
+      clean;
+  for seed = t.t_seed_lo to t.t_seed_lo + t.t_seed_count - 1 do
+    Metrics.incr c_plans;
+    let plan = Plan.generate ~horizon ~seed () in
+    let injector = Injector.create plan in
+    let faulty =
+      Dynamic.mechanism
+        (Dynamic.config ~hook:(Injector.hook injector) ~mode policy)
+        g
+    in
+    List.iter
+      (fun (a, (c : Mechanism.reply)) ->
+        let fault counter detail =
+          note
+            {
+              entry = entry.Paper.name;
+              policy = pname;
+              seed;
+              input = show_input a;
+              detail = Printf.sprintf "[plan %s] %s" (Plan.describe plan) detail;
+            };
+          Metrics.incr counter
+        in
+        (* Contrast pass: same faulty monitor, no supervisor. Raw-Q with
+           live fault injection is exactly the unsound case the verdict
+           cache must never serve — it bypasses the cache entirely. *)
+        Injector.reset injector;
+        (match (Mechanism.respond faulty a).Mechanism.response with
+        | Mechanism.Failed _ | Mechanism.Hung -> Metrics.incr c_unguarded
+        | Mechanism.Granted _ | Mechanism.Denied _ -> ());
+        (* Guarded pass. *)
+        let outcome, steps = Guard.run ~config ~injector ~sink faulty a in
+        Metrics.incr c_runs;
+        Metrics.observe h_steps steps;
+        let fired = Injector.fired_total injector > 0 in
+        (match outcome with
+        | Guard.Output v -> (
+            match c.Mechanism.response with
+            | Mechanism.Granted w when Value.equal v w ->
+                Metrics.incr c_grants;
+                if fired then Metrics.incr c_recovered
+            | _ ->
+                fault c_fail_open
+                  (Printf.sprintf
+                     "FAIL-OPEN: guarded run granted %s but clean monitor \
+                      replied %s"
+                     (Value.to_string v)
+                     (show_response c.Mechanism.response)))
+        | Guard.Notice _ -> Metrics.incr c_notices
+        | Guard.Degraded _ -> Metrics.incr c_degraded);
+        if not fired then begin
+          let r = Guard.reply_of_outcome (outcome, steps) in
+          if r <> c then
+            fault c_clean_mismatch
+              (Printf.sprintf
+                 "no fault fired yet reply differs: %s (%d steps) vs clean \
+                  %s (%d steps)"
+                 (show_response r.Mechanism.response)
+                 r.Mechanism.steps
+                 (show_response c.Mechanism.response)
+                 c.Mechanism.steps)
+        end)
+      clean
+  done;
+  { s_metrics = metrics; s_findings = List.rev !findings }
+
+let tasks_of ~entries ~seeds ~base_seed =
+  List.concat_map
     (fun (entry : Paper.entry) ->
       let g = Paper.graph entry in
-      let inputs = List.of_seq (Space.enumerate entry.Paper.space) in
-      List.iter
+      List.concat_map
         (fun policy ->
-          let pname = Policy.name policy in
-          let clean_mech = Dynamic.mechanism_of ~mode policy g in
-          let clean = List.map (fun a -> (a, Mechanism.respond clean_mech a)) inputs in
-          (* Fault-free guarded pass: with no injector the guard must be a
-             bit-identical wrapper. *)
-          List.iter
-            (fun (a, (c : Mechanism.reply)) ->
-              let r = Guard.reply_of_outcome (Guard.run ~config ~sink clean_mech a) in
-              if r <> c then begin
-                Metrics.incr c_clean_mismatch;
-                note
-                  {
-                    entry = entry.Paper.name;
-                    policy = pname;
-                    seed = -1;
-                    input = show_input a;
-                    detail =
-                      Printf.sprintf
-                        "guard without faults not bit-identical: %s (%d steps) \
-                         vs clean %s (%d steps)"
-                        (show_response r.Mechanism.response)
-                        r.Mechanism.steps
-                        (show_response c.Mechanism.response)
-                        c.Mechanism.steps;
-                  }
-              end)
-            clean;
-          for seed = base_seed to base_seed + seeds - 1 do
-            Metrics.incr c_plans;
-            let plan = Plan.generate ~horizon ~seed () in
-            let injector = Injector.create plan in
-            let faulty =
-              Dynamic.mechanism_of ~hook:(Injector.hook injector) ~mode policy g
-            in
-            List.iter
-              (fun (a, (c : Mechanism.reply)) ->
-                let fault counter detail =
-                  note
-                    {
-                      entry = entry.Paper.name;
-                      policy = pname;
-                      seed;
-                      input = show_input a;
-                      detail =
-                        Printf.sprintf "[plan %s] %s" (Plan.describe plan) detail;
-                    };
-                  Metrics.incr counter
-                in
-                (* Contrast pass: same faulty monitor, no supervisor. *)
-                Injector.reset injector;
-                (match (Mechanism.respond faulty a).Mechanism.response with
-                | Mechanism.Failed _ | Mechanism.Hung -> Metrics.incr c_unguarded
-                | Mechanism.Granted _ | Mechanism.Denied _ -> ());
-                (* Guarded pass. *)
-                let outcome, steps = Guard.run ~config ~injector ~sink faulty a in
-                Metrics.incr c_runs;
-                Metrics.observe h_steps steps;
-                let fired = Injector.fired_total injector > 0 in
-                (match outcome with
-                | Guard.Output v -> (
-                    match c.Mechanism.response with
-                    | Mechanism.Granted w when Value.equal v w ->
-                        Metrics.incr c_grants;
-                        if fired then Metrics.incr c_recovered
-                    | _ ->
-                        fault c_fail_open
-                          (Printf.sprintf
-                             "FAIL-OPEN: guarded run granted %s but clean \
-                              monitor replied %s"
-                             (Value.to_string v)
-                             (show_response c.Mechanism.response)))
-                | Guard.Notice _ -> Metrics.incr c_notices
-                | Guard.Degraded _ -> Metrics.incr c_degraded);
-                if not fired then begin
-                  let r = Guard.reply_of_outcome (outcome, steps) in
-                  if r <> c then
-                    fault c_clean_mismatch
-                      (Printf.sprintf
-                         "no fault fired yet reply differs: %s (%d steps) vs \
-                          clean %s (%d steps)"
-                         (show_response r.Mechanism.response)
-                         r.Mechanism.steps
-                         (show_response c.Mechanism.response)
-                         c.Mechanism.steps)
-                end)
-              clean
-          done)
+          let rec chunks lo acc =
+            if lo >= base_seed + seeds then List.rev acc
+            else
+              let count = min seed_chunk (base_seed + seeds - lo) in
+              chunks (lo + count)
+                ({
+                   t_entry = entry;
+                   t_policy = policy;
+                   t_seed_lo = lo;
+                   t_seed_count = count;
+                   t_first = lo = base_seed;
+                 }
+                :: acc)
+          in
+          if seeds <= 0 then
+            (* No seeds still means the fault-free guarded pass. *)
+            [
+              {
+                t_entry = entry;
+                t_policy = policy;
+                t_seed_lo = base_seed;
+                t_seed_count = 0;
+                t_first = true;
+              };
+            ]
+          else chunks base_seed [])
         (policies_of_arity g.Secpol_flowgraph.Graph.arity))
-    entries;
+    entries
+
+let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
+    ?(base_seed = 0) ?(horizon = 24) ?(retries = 2) ?(sink = Sink.null)
+    ?(jobs = 1) () =
+  let sink = if jobs > 1 then Sink.synchronized sink else sink in
+  let config = { Guard.default with Guard.retries } in
+  let cache = Cache.create () in
+  let tasks = Array.of_list (tasks_of ~entries ~seeds ~base_seed) in
+  let shards, pool =
+    Pool.map ~jobs (Array.length tasks) (fun i ->
+        run_task ~mode ~horizon ~config ~sink ~cache tasks.(i))
+  in
+  let metrics = Metrics.create () in
+  let _ = register_counters metrics in
+  let c_tasks = Metrics.counter metrics "engine_tasks" in
+  let c_hits = Metrics.counter metrics "cache_hits" in
+  let c_misses = Metrics.counter metrics "cache_misses" in
+  Array.iter (fun s -> Metrics.merge ~into:metrics s.s_metrics) shards;
+  (* Deterministic engine telemetry: the task list is fixed and the cache
+     counts with compute-once semantics (misses = distinct keys), so these
+     merge into the report without breaking jobs-independence. Steal and
+     idle counts are scheduling noise and stay in [pool], outside the
+     rendered report. *)
+  Metrics.incr ~by:pool.Pool.task_count c_tasks;
+  Metrics.incr ~by:(Cache.hits cache) c_hits;
+  Metrics.incr ~by:(Cache.misses cache) c_misses;
+  let findings =
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | f :: rest -> f :: take (n - 1) rest
+    in
+    take max_findings
+      (List.concat_map (fun s -> s.s_findings) (Array.to_list shards))
+  in
   let v name = Metrics.counter_value metrics name in
   let totals =
     {
@@ -178,8 +302,9 @@ let run ?(entries = Paper.all) ?(mode = Dynamic.Surveillance) ?(seeds = 100)
     mode;
     totals;
     metrics;
-    findings = List.rev !findings;
+    findings;
     ok = totals.fail_open = 0 && totals.clean_mismatch = 0;
+    pool;
   }
 
 let report_of r =
@@ -209,6 +334,9 @@ let report_of r =
           Some "absorbed into F by the guard" );
         ("fail_open", "fail-open", None);
         ("clean_mismatch", "clean mismatches", None);
+        ("engine_tasks", "engine tasks", None);
+        ("cache_hits", "cache hits", Some "clean baselines reused");
+        ("cache_misses", "cache misses", None);
       ];
     findings =
       List.map

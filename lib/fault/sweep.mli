@@ -52,9 +52,18 @@ type report = {
           [guard_steps] histogram (steps per guarded run) *)
   findings : finding list;  (** capped at {!max_findings} *)
   ok : bool;  (** [fail_open = 0 && clean_mismatch = 0] *)
+  pool : Secpol_engine.Pool.stats;
+      (** scheduling telemetry (steals, idle probes) — deliberately absent
+          from {!pp}/{!to_json}, which promise byte-identity across
+          [jobs] *)
 }
 
 val max_findings : int
+
+val seed_chunk : int
+(** Seeds per engine task. The decomposition into tasks — one per (entry,
+    policy, chunk of [seed_chunk] seeds) — is fixed, so reports and
+    deterministic counters do not depend on [jobs]. *)
 
 val run :
   ?entries:Secpol_corpus.Paper_programs.entry list ->
@@ -64,13 +73,19 @@ val run :
   ?horizon:int ->
   ?retries:int ->
   ?sink:Secpol_trace.Sink.t ->
+  ?jobs:int ->
   unit ->
   report
 (** Defaults: the whole corpus, [Surveillance] monitors, 100 seeds from
-    base seed 0, fault-step horizon 24, 2 retries. Policies are {e all}
-    [2^arity] subsets of each entry's inputs. [sink] (default null)
-    receives the {!Guard}'s retry/degradation events from every guarded
-    run of the sweep. *)
+    base seed 0, fault-step horizon 24, 2 retries, [jobs = 1]. Policies
+    are {e all} [2^arity] subsets of each entry's inputs. [sink] (default
+    null) receives the {!Guard}'s retry/degradation events from every
+    guarded run of the sweep; with [jobs > 1] it is wrapped with
+    {!Secpol_trace.Sink.synchronized} and events interleave across tasks.
+    [jobs] picks the engine pool width; every output except [pool] is
+    byte-identical whatever its value. Clean baselines are fetched through
+    the engine's exact-key verdict cache ([cache_hits]/[cache_misses]
+    counters in [metrics]); faulty runs never touch the cache. *)
 
 val pp : Format.formatter -> report -> unit
 

@@ -39,8 +39,29 @@ let graph_hash g = Digest.string (Format.asprintf "%a" Graph.pp g)
    strayed records — its verdict included — must never be adopted under the
    new header (a stale grant under different inputs or policy would be
    fail-open). *)
-let nonce_rng = lazy (Random.State.make_self_init ())
-let fresh_nonce () = Random.State.full_int (Lazy.force nonce_rng) max_int
+(* Domain-safe: parallel sweeps mint nonces from several domains at once,
+   and [lazy (Random.State.make_self_init ())] is neither safe to force
+   concurrently nor safe to share. An atomic counter mixed (splitmix64
+   finalizer) with a per-process seed gives process-unique, well-spread
+   nonces without any lock. *)
+let nonce_seed =
+  Int64.add
+    (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B97F4A7C15L)
+
+let nonce_counter = Atomic.make 0
+
+let fresh_nonce () =
+  let z =
+    Int64.add nonce_seed
+      (Int64.mul
+         (Int64.of_int (1 + Atomic.fetch_and_add nonce_counter 1))
+         0x9E3779B97F4A7C15L)
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land max_int
 
 let config_of_header ?(emit = Emit.none) h =
   {

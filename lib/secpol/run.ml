@@ -1,0 +1,120 @@
+module Mechanism = Secpol_core.Mechanism
+module Interp = Secpol_flowgraph.Interp
+module Hook = Secpol_flowgraph.Hook
+module Graph = Secpol_flowgraph.Graph
+module Dynamic = Secpol_taint.Dynamic
+module Guard = Secpol_fault.Guard
+module Runner = Secpol_journal.Runner
+module Media = Secpol_journal.Media
+module Sink = Secpol_trace.Sink
+module Pool = Secpol_engine.Pool
+
+type journal = {
+  media : [ `Memory | `Dir of string ];
+  snapshot_every : int;
+  program_ref : string;
+}
+
+type config = {
+  policy : Secpol_core.Policy.t option;
+  mode : Dynamic.mode;
+  fuel : int;
+  cost : Secpol_flowgraph.Expr.cost_model;
+  hook : Hook.t;
+  trace : Sink.t;
+  guard : Guard.config option;
+  journal : journal option;
+  jobs : int;
+}
+
+let config ?policy ?(mode = Dynamic.Surveillance) ?(fuel = Interp.default_fuel)
+    ?(cost = Secpol_flowgraph.Expr.Uniform) ?(hook = Hook.none)
+    ?(trace = Sink.null) ?guard ?journal ?(jobs = 1) () =
+  { policy; mode; fuel; cost; hook; trace; guard; journal; jobs }
+
+let journal_memory ?(snapshot_every = Runner.default_snapshot_every)
+    ~program_ref () =
+  { media = `Memory; snapshot_every; program_ref }
+
+let journal_dir ?(snapshot_every = Runner.default_snapshot_every) ~program_ref
+    dir =
+  { media = `Dir dir; snapshot_every; program_ref }
+
+(* The stack is composed inside-out: monitor (or plain interpreter), then
+   journal, then guard. Each layer is the underlying module verbatim, so a
+   one-layer config is bit-identical to calling that module directly. *)
+
+let monitored cfg g =
+  let emit = Sink.emitter ~graph:g cfg.trace in
+  match cfg.policy with
+  | Some policy ->
+      Dynamic.mechanism
+        (Dynamic.config ~fuel:cfg.fuel ~cost:cfg.cost ~hook:cfg.hook ~emit
+           ~mode:cfg.mode policy)
+        g
+  | None -> Interp.graph_mechanism ~fuel:cfg.fuel ~hook:cfg.hook ~emit g
+
+let journaled cfg j g =
+  let policy =
+    match cfg.policy with
+    | Some p -> p
+    | None -> invalid_arg "Run: a journaled run needs a policy"
+  in
+  let emit = Sink.emitter ~graph:g cfg.trace in
+  let dcfg =
+    Dynamic.config ~fuel:cfg.fuel ~cost:cfg.cost ~hook:cfg.hook ~emit
+      ~mode:cfg.mode policy
+  in
+  let respond a =
+    let media =
+      match j.media with `Memory -> Media.memory () | `Dir d -> Media.dir d
+    in
+    let outcome =
+      Runner.run ~snapshot_every:j.snapshot_every ~sink:cfg.trace ~media
+        ~program_ref:j.program_ref dcfg g a
+    in
+    Media.close media;
+    match outcome with
+    | Runner.Completed r -> r
+    | Runner.Killed _ -> assert false (* no kill_at through this path *)
+  in
+  Mechanism.make
+    ~name:(Printf.sprintf "journal(%s)" g.Graph.name)
+    ~arity:g.Graph.arity respond
+
+let mechanism cfg g =
+  let base =
+    match cfg.journal with
+    | Some j -> journaled cfg j g
+    | None -> monitored cfg g
+  in
+  match cfg.guard with
+  | Some gc -> Guard.protect ~config:gc ~sink:cfg.trace base
+  | None -> base
+
+let run cfg g a = Mechanism.respond (mechanism cfg g) a
+
+let batch cfg g inputs =
+  (match cfg.journal with
+  | Some { media = `Dir _; _ } when cfg.jobs > 1 ->
+      invalid_arg "Run.batch: parallel runs cannot share a journal directory"
+  | _ -> ());
+  let cfg =
+    if cfg.jobs > 1 then { cfg with trace = Sink.synchronized cfg.trace }
+    else cfg
+  in
+  let arr = Array.of_list inputs in
+  let m = mechanism cfg g in
+  let replies, stats =
+    Pool.map ~jobs:cfg.jobs (Array.length arr) (fun i ->
+        Mechanism.respond m arr.(i))
+  in
+  (Array.to_list replies, stats)
+
+let resume cfg ~resolve ~media =
+  Runner.resume
+    ~emit:(Sink.emitter cfg.trace)
+    ~sink:cfg.trace ~resolve ~media ()
+
+let reply_of_resume res =
+  Guard.reply_of_recovery (Result.map (fun r -> r.Runner.reply) res)

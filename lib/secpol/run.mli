@@ -1,0 +1,102 @@
+(** One front door for monitored execution.
+
+    Four run entry points grew up separately — the plain interpreter
+    ({!Secpol_flowgraph.Interp}), the dynamic monitor
+    ({!Secpol_taint.Dynamic}), the fail-secure supervisor
+    ({!Secpol_fault.Guard}) and the durable runner
+    ({!Secpol_journal.Runner}) — each with its own optional-argument
+    spelling of the same knobs. [Run] composes all four behind a single
+    {!config} record:
+
+    - [policy = Some p] runs the monitor for [p]; [None] runs the plain
+      interpreter (raw [Q] — never cached, never claimed sound);
+    - [journal = Some j] makes the run durable on [j]'s medium;
+    - [guard = Some c] supervises the result fail-securely;
+    - [trace] receives every layer's events through one sink;
+    - [jobs] picks the engine pool width for {!batch}.
+
+    The layering is fixed: guard(journal(monitor | interp)). Each layer is
+    the exact underlying module — a config with only [policy] set replies
+    bit-identically to calling {!Secpol_taint.Dynamic} yourself. *)
+
+type journal = {
+  media : [ `Memory | `Dir of string ];
+      (** [`Memory] mints a fresh in-memory medium per run; [`Dir d]
+          journals into [d] (reused across runs — last run wins) *)
+  snapshot_every : int;
+  program_ref : string;  (** how {!resume}'s resolver finds the program *)
+}
+
+type config = {
+  policy : Secpol_core.Policy.t option;
+  mode : Secpol_taint.Dynamic.mode;
+  fuel : int;
+  cost : Secpol_flowgraph.Expr.cost_model;
+  hook : Secpol_flowgraph.Hook.t;
+      (** fault-injection hook; must be domain-safe if used with
+          [jobs > 1] *)
+  trace : Secpol_trace.Sink.t;
+  guard : Secpol_fault.Guard.config option;
+  journal : journal option;
+  jobs : int;  (** engine pool width used by {!batch} *)
+}
+
+val config :
+  ?policy:Secpol_core.Policy.t ->
+  ?mode:Secpol_taint.Dynamic.mode ->
+  ?fuel:int ->
+  ?cost:Secpol_flowgraph.Expr.cost_model ->
+  ?hook:Secpol_flowgraph.Hook.t ->
+  ?trace:Secpol_trace.Sink.t ->
+  ?guard:Secpol_fault.Guard.config ->
+  ?journal:journal ->
+  ?jobs:int ->
+  unit ->
+  config
+(** Defaults: no policy (plain interpretation), [Surveillance],
+    {!Secpol_flowgraph.Interp.default_fuel}, [Uniform] cost, no hook,
+    null sink, unguarded, unjournaled, [jobs = 1]. *)
+
+val journal_memory : ?snapshot_every:int -> program_ref:string -> unit -> journal
+
+val journal_dir : ?snapshot_every:int -> program_ref:string -> string -> journal
+
+val mechanism : config -> Secpol_flowgraph.Graph.t -> Secpol_core.Mechanism.t
+(** The configured stack packaged as a protection mechanism. Journaled
+    configurations journal once per [respond]. *)
+
+val run :
+  config ->
+  Secpol_flowgraph.Graph.t ->
+  Secpol_core.Value.t array ->
+  Secpol_core.Mechanism.reply
+(** [Mechanism.respond (mechanism cfg g)].
+    @raise Invalid_argument on a journaled config without a policy: the
+    durable runner journals monitored runs only. *)
+
+val batch :
+  config ->
+  Secpol_flowgraph.Graph.t ->
+  Secpol_core.Value.t array list ->
+  Secpol_core.Mechanism.reply list * Secpol_engine.Pool.stats
+(** All inputs through the engine pool ([config.jobs] domains); replies in
+    input order — independent of [jobs], like every engine result. With
+    [jobs > 1] the trace sink is synchronized (events interleave).
+    @raise Invalid_argument on a [`Dir] journal with [jobs > 1]: parallel
+    runs cannot share one journal directory. *)
+
+val resume :
+  config ->
+  resolve:
+    (Secpol_journal.Runner.header ->
+    (Secpol_flowgraph.Graph.t, string) result) ->
+  media:Secpol_journal.Media.t ->
+  (Secpol_journal.Runner.resumed, Secpol_journal.Runner.failure) result
+(** Crash recovery on [media], tracing to [config.trace]. *)
+
+val reply_of_resume :
+  (Secpol_journal.Runner.resumed, Secpol_journal.Runner.failure) result ->
+  Secpol_core.Mechanism.reply
+(** The supervisor's collapse into [E ∪ F]: a successful resume delivers
+    its reply, any failure becomes [Λ/recovery]
+    ({!Secpol_fault.Guard.reply_of_recovery}). *)

@@ -47,6 +47,20 @@ module Fault_plan = Secpol_fault.Plan
 module Injector = Secpol_fault.Injector
 module Guard = Secpol_fault.Guard
 module Chaos = Secpol_fault.Sweep
+module Crash = Secpol_fault.Crash
+
+(* Durable runs and tracing. *)
+module Media = Secpol_journal.Media
+module Runner = Secpol_journal.Runner
+module Sink = Secpol_trace.Sink
+module Metrics = Secpol_trace.Metrics
+
+(* The parallel enforcement engine and the unified run API. *)
+module Pool = Secpol_engine.Pool
+module Cache = Secpol_engine.Cache
+module Memo = Secpol_engine.Memo
+module Exhaustive = Secpol_engine.Exhaustive
+module Run = Run
 
 (* Measurement. *)
 module Partition = Secpol_probe.Partition

@@ -198,7 +198,13 @@ val mechanism_of :
   Secpol_core.Policy.t ->
   Graph.t ->
   Secpol_core.Mechanism.t
-(** Convenience: configuration and packaging in one step. *)
+[@@deprecated
+  "use Dynamic.mechanism (Dynamic.config ... policy) g, or the Secpol.Run \
+   facade"]
+(** Convenience: configuration and packaging in one step.
+    @deprecated The one-entry-point spelling is
+    [mechanism (config ?fuel ?cost ?hook ?emit ~mode policy) g]; whole-stack
+    callers should use [Secpol.Run]. *)
 
 val notice : string
 (** The violation notice Λ used by all four mechanisms. *)

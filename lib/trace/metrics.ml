@@ -92,6 +92,33 @@ let summary h =
   done;
   { n = h.n; sum = h.sum; min = h.min; max = h.max; buckets = !buckets }
 
+let merge_hist ~(into : hist) (src : hist) =
+  if src.n > 0 then begin
+    if into.n = 0 then (
+      into.min <- src.min;
+      into.max <- src.max)
+    else (
+      if src.min < into.min then into.min <- src.min;
+      if src.max > into.max then into.max <- src.max);
+    into.n <- into.n + src.n;
+    into.sum <- into.sum + src.sum;
+    Array.iteri
+      (fun b c -> into.bucket_counts.(b) <- into.bucket_counts.(b) + c)
+      src.bucket_counts
+  end
+
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match (Hashtbl.find src.tbl name, Hashtbl.find_opt into.tbl name) with
+      | C c, None -> incr ~by:c.c (counter into name)
+      | C c, Some (C _) -> incr ~by:c.c (counter into name)
+      | H h, None -> merge_hist ~into:(histogram into name) h
+      | H h, Some (H _) -> merge_hist ~into:(histogram into name) h
+      | C _, Some (H _) | H _, Some (C _) ->
+          invalid_arg (Printf.sprintf "Metrics.merge: %S changes kind" name))
+    (List.rev src.rev_order)
+
 type stat = Counter of int | Histogram of summary
 
 let stats t =

@@ -52,6 +52,18 @@ type summary = {
 
 val summary : histogram -> summary
 
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters are summed,
+    histograms are combined (counts, sums, bounds and buckets). Names
+    unknown to [into] are registered in [src]'s registration order after
+    [into]'s existing names — so merging per-shard registries created by
+    the same code into a registry pre-seeded with that code's names keeps
+    the sequential rendering order. A registry is single-domain mutable
+    state: merge shards after joining their workers, never concurrently.
+    @raise Invalid_argument if a name changes kind. *)
+
 (** {1 Rendering} *)
 
 type stat = Counter of int | Histogram of summary

@@ -16,6 +16,7 @@ type t =
   | Null
   | Memory of { mutable rev_events : Event.t list; mutable n : int }
   | Stream of stream_state
+  | Synced of { lock : Mutex.t; inner : t }
 
 let null = Null
 
@@ -27,9 +28,14 @@ let to_file format path =
   let oc = open_out path in
   Stream { oc; format; owns_channel = true; emitted = 0; closed = false }
 
-let emit t e =
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let rec emit t e =
   match t with
   | Null -> ()
+  | Synced s -> locked s.lock (fun () -> emit s.inner e)
   | Memory m ->
       m.rev_events <- e :: m.rev_events;
       m.n <- m.n + 1
@@ -45,14 +51,20 @@ let emit t e =
               (Secpol_staticflow.Lint.Json.render (Event.to_chrome e)));
         s.emitted <- s.emitted + 1)
 
-let events = function
+let rec events = function
   | Null | Stream _ -> []
+  | Synced s -> locked s.lock (fun () -> events s.inner)
   | Memory m -> List.rev m.rev_events
 
-let count = function Null -> 0 | Memory m -> m.n | Stream s -> s.emitted
+let rec count = function
+  | Null -> 0
+  | Synced s -> locked s.lock (fun () -> count s.inner)
+  | Memory m -> m.n
+  | Stream s -> s.emitted
 
-let close = function
+let rec close = function
   | Null | Memory _ -> ()
+  | Synced s -> locked s.lock (fun () -> close s.inner)
   | Stream s ->
       if not s.closed then (
         s.closed <- true;
@@ -61,12 +73,22 @@ let close = function
         | Chrome -> output_string s.oc (if s.emitted = 0 then "[]\n" else "\n]\n"));
         if s.owns_channel then close_out s.oc else flush s.oc)
 
-let is_null = function Null -> true | Memory _ | Stream _ -> false
+let rec is_null = function
+  | Null -> true
+  | Synced s -> is_null s.inner
+  | Memory _ | Stream _ -> false
+
+let synchronized t =
+  if is_null t then t
+  else
+    match t with
+    | Synced _ -> t
+    | t -> Synced { lock = Mutex.create (); inner = t }
 
 let emitter ?graph t =
   match t with
   | Null -> Emit.none
-  | Memory _ | Stream _ ->
+  | Synced _ | Memory _ | Stream _ ->
       let span node =
         match graph with None -> None | Some g -> Graph.span g node
       in

@@ -34,6 +34,14 @@ val stream : format -> out_channel -> t
 val to_file : format -> string -> t
 (** Opens [path] for writing; {!close} flushes and closes it. *)
 
+val synchronized : t -> t
+(** A mutex-guarded view of the sink, safe to share across domains: every
+    {!emit}, {!events}, {!count} and {!close} takes the lock. Events from
+    concurrent runs interleave in lock-acquisition order — fine for
+    telemetry, meaningless as a deterministic transcript; give each task
+    its own sink when order matters. [synchronized null == null] (already
+    safe), and wrapping twice is a no-op. *)
+
 val emit : t -> Event.t -> unit
 
 val events : t -> Event.t list

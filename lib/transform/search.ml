@@ -69,12 +69,13 @@ let search ?(max_depth = 2) ?(while_bound = 4) ~policy ~space prog =
         let g = Compile.compile p' in
         let attempts =
           [
-            (label ^ "+surv", Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g);
+            (label ^ "+surv", Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g);
             ( label ^ "+guard",
               Halt_guard.mechanism ~policy (Transforms.split_halts g) );
             ( label ^ "+gite+surv",
-              Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy
-                (Graph_ite.rewrite g) );
+              Dynamic.mechanism
+                  (Dynamic.config ~mode:Dynamic.Surveillance policy)
+                  (Graph_ite.rewrite g) );
           ]
         in
         List.filter_map

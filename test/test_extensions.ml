@@ -129,7 +129,7 @@ let prop_soundness_antitone =
       let stricter = Policy.allow [ 1 ] and laxer = Policy.allow [ 0; 1 ] in
       (* Use the stricter policy's own surveillance mechanism as the test
          subject: sound for stricter by Theorem 3; must be sound for laxer. *)
-      let m = Dynamic.mechanism_of ~mode:Dynamic.Surveillance stricter g in
+      let m = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance stricter) g in
       Policy_order.reveals_at_most stricter laxer space
       && Soundness.is_sound laxer m space)
 
@@ -144,8 +144,8 @@ let prop_surveillance_monotone_in_policy =
       let space = Generator.space_for params in
       List.for_all
         (fun mode ->
-          let m_small = Dynamic.mechanism_of ~mode (Policy.allow [ 1 ]) g in
-          let m_big = Dynamic.mechanism_of ~mode (Policy.allow [ 0; 1 ]) g in
+          let m_small = Dynamic.mechanism (Dynamic.config ~mode (Policy.allow [ 1 ])) g in
+          let m_big = Dynamic.mechanism (Dynamic.config ~mode (Policy.allow [ 0; 1 ])) g in
           Completeness.as_complete_as m_big m_small ~q space = Ok ())
         Dynamic.all_modes)
 

@@ -24,12 +24,14 @@ module Runner = Secpol_journal.Runner
 let entries = [ Paper.forgetting; Paper.branch_allowed; Paper.direct_flow ]
 
 let clean_mech (e : Paper.entry) =
-  Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e)
+  Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy) (Paper.graph e)
 
 let faulty_mech (e : Paper.entry) injector =
-  Dynamic.mechanism_of
-    ~hook:(Injector.hook injector)
-    ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e)
+  Dynamic.mechanism
+    (Dynamic.config
+       ~hook:(Injector.hook injector)
+       ~mode:Dynamic.Surveillance e.Paper.policy)
+    (Paper.graph e)
 
 (* --- plans ------------------------------------------------------------- *)
 
@@ -212,7 +214,7 @@ let test_fuel_exhaustion_is_notice_everywhere () =
   let e = Paper.loop_then_secretfree in
   let g = Paper.graph e in
   (* Starve both constructions of the surveillance mechanism. *)
-  let dyn = Dynamic.mechanism_of ~fuel:2 ~mode:Dynamic.Surveillance e.Paper.policy g in
+  let dyn = Dynamic.mechanism (Dynamic.config ~fuel:2 ~mode:Dynamic.Surveillance e.Paper.policy) g in
   (match (Mechanism.respond dyn (ints [ 3; 1 ])).Mechanism.response with
   | Mechanism.Denied n -> Alcotest.(check string) "dynamic fuel notice" Dynamic.fuel_notice n
   | _ -> Alcotest.fail "dynamic: starved monitor must deny, not hang");

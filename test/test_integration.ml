@@ -25,9 +25,9 @@ let mechanisms_for (e : Paper.entry) =
   let g = Paper.graph e in
   let policy = e.Paper.policy in
   [
-    ("high-water", Dynamic.mechanism_of ~mode:Dynamic.High_water policy g);
-    ("surveillance", Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g);
-    ("timed", Dynamic.mechanism_of ~mode:Dynamic.Timed policy g);
+    ("high-water", Dynamic.mechanism (Dynamic.config ~mode:Dynamic.High_water policy) g);
+    ("surveillance", Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g);
+    ("timed", Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g);
     ("instrumented", Instrument.mechanism Instrument.Untimed ~policy g);
     ("static", Certify.mechanism ~policy e.Paper.prog);
     ("halt-guard", Halt_guard.mechanism ~policy g);
@@ -75,7 +75,7 @@ let test_maximal_dominates_everything () =
 let test_heterogeneous_join () =
   let e = Paper.ex8 in
   let q = Paper.program e in
-  let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e) in
+  let ms = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy) (Paper.graph e) in
   let serves_three =
     Mechanism.make ~name:"x1=3" ~arity:2 (fun a ->
         if Value.to_int a.(1) = 3 then
@@ -192,7 +192,7 @@ let test_thm4_flowchart_family () =
         e.Paper.space;
       (* Surveillance cannot tell the two cases apart: denies both. *)
       let ms =
-        Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy (Paper.graph e)
+        Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy) (Paper.graph e)
       in
       check_ratio (e.Paper.name ^ ": surveillance blind") ~expected:0.0 ms ~q
         e.Paper.space)
@@ -219,7 +219,7 @@ let test_termination_channel () =
     space;
   (* The timed surveillance mechanism kills the run at the tainted decision
      and stays sound even against the divergence observer. *)
-  let mt = Dynamic.mechanism_of ~fuel:200 ~mode:Dynamic.Timed Policy.allow_none (Compile.compile p) in
+  let mt = Dynamic.mechanism (Dynamic.config ~fuel:200 ~mode:Dynamic.Timed Policy.allow_none) (Compile.compile p) in
   check_sound "timed surveillance closes it" Policy.allow_none mt space;
   ignore q
 

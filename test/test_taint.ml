@@ -16,7 +16,7 @@ module Paper = Secpol_corpus.Paper_programs
 module Generator = Secpol_corpus.Generator
 open Expr.Build
 
-let mech mode (e : Paper.entry) = Dynamic.mechanism_of ~mode e.Paper.policy (Paper.graph e)
+let mech mode (e : Paper.entry) = Dynamic.mechanism (Dynamic.config ~mode e.Paper.policy) (Paper.graph e)
 
 (* --- The Section 3 comparison: surveillance vs high-water ------------- *)
 
@@ -79,8 +79,8 @@ let test_timed_mode () =
   in
   let g = Compile.compile branchy in
   let policy = Policy.allow [ 1 ] in
-  let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
-  let mt' = Dynamic.mechanism_of ~mode:Dynamic.Timed policy g in
+  let ms = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
+  let mt' = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g in
   let space = Space.ints ~lo:0 ~hi:3 ~arity:2 in
   check_sound "surveillance sound untimed" policy ms space;
   check_unsound "surveillance leaks through time" ~config:Soundness.timed policy
@@ -96,7 +96,7 @@ let test_timed_denies_at_decision () =
       (Ast.If (x 0 =: i 0, Ast.Assign (Var.Out, i 1), Ast.Assign (Var.Out, i 1)))
   in
   let g = Compile.compile branchy in
-  let m = Dynamic.mechanism_of ~mode:Dynamic.Timed Policy.allow_none g in
+  let m = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed Policy.allow_none) g in
   let r0 = Mechanism.respond m (ints [ 0 ]) in
   let r5 = Mechanism.respond m (ints [ 3 ]) in
   (match (r0.Mechanism.response, r5.Mechanism.response) with
@@ -136,8 +136,8 @@ let test_scoped_helps_soundly_sometimes () =
   let g = Compile.compile p in
   let policy = Policy.allow [ 1 ] in
   let space = Space.ints ~lo:0 ~hi:2 ~arity:2 in
-  let msc = Dynamic.mechanism_of ~mode:Dynamic.Scoped policy g in
-  let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+  let msc = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Scoped policy) g in
+  let ms = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
   let q = Interp.graph_program g in
   check_ratio "scoped grants" ~expected:1.0 msc ~q space;
   check_ratio "surveillance denies" ~expected:0.0 ms ~q space;
@@ -192,7 +192,7 @@ let prop_instrumentation_agrees_with_interpreter =
     (fun (prog, allowed_list) ->
       let g = Compile.compile prog in
       let policy = Policy.allow allowed_list in
-      let m_interp = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+      let m_interp = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
       let m_instr = Instrument.mechanism Instrument.Untimed ~policy g in
       Seq.for_all
         (fun a ->
@@ -206,7 +206,7 @@ let prop_timed_instrumentation_agrees =
     (fun prog ->
       let g = Compile.compile prog in
       let policy = Policy.allow [ 0 ] in
-      let m_interp = Dynamic.mechanism_of ~mode:Dynamic.Timed policy g in
+      let m_interp = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g in
       let m_instr = Instrument.mechanism Instrument.Timed_variant ~policy g in
       Seq.for_all
         (fun a ->
@@ -228,7 +228,7 @@ let prop_theorem3_surveillance_sound =
       List.for_all
         (fun policy ->
           Soundness.is_sound policy
-            (Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g)
+            (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g)
             space)
         policy_cases)
 
@@ -243,7 +243,7 @@ let prop_theorem3'_timed_sound =
       List.for_all
         (fun policy ->
           Soundness.is_sound ~config:Soundness.timed policy
-            (Dynamic.mechanism_of ~mode:Dynamic.Timed policy g)
+            (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g)
             space)
         policy_cases)
 
@@ -276,8 +276,8 @@ let prop_high_water_sound_and_below_surveillance =
       let space = Generator.space_for params in
       List.for_all
         (fun policy ->
-          let mh = Dynamic.mechanism_of ~mode:Dynamic.High_water policy g in
-          let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+          let mh = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.High_water policy) g in
+          let ms = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
           Soundness.is_sound policy mh space
           && Completeness.as_complete_as ms mh ~q space = Ok ())
         policy_cases)
@@ -294,7 +294,7 @@ let prop_modes_are_protection_mechanisms =
       List.for_all
         (fun mode ->
           Mechanism.check_protects
-            (Dynamic.mechanism_of ~mode (Policy.allow [ 0 ]) g)
+            (Dynamic.mechanism (Dynamic.config ~mode (Policy.allow [ 0 ])) g)
             q space
           = Ok ())
         Dynamic.all_modes)
@@ -311,7 +311,7 @@ let prop_maximal_dominates_surveillance =
       let space = Generator.space_for params in
       List.for_all
         (fun policy ->
-          let ms = Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g in
+          let ms = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g in
           let mx = Maximal.build policy q space in
           Completeness.as_complete_as mx ms ~q space = Ok ())
         policy_cases)
@@ -355,12 +355,14 @@ let test_cost_model_breaks_timed_soundness () =
   let g = Compile.compile prog in
   let policy = Policy.allow_none in
   let space = Space.ints ~lo:0 ~hi:7 ~arity:1 in
-  let uniform = Dynamic.mechanism_of ~mode:Dynamic.Timed policy g in
+  let uniform = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Timed policy) g in
   check_sound "uniform cost: timed-sound" ~config:Soundness.timed policy uniform
     space;
   let sized =
-    Dynamic.mechanism_of
-      ~cost:Secpol_flowgraph.Expr.Operand_sized ~mode:Dynamic.Timed policy g
+    Dynamic.mechanism
+      (Dynamic.config ~cost:Secpol_flowgraph.Expr.Operand_sized
+         ~mode:Dynamic.Timed policy)
+      g
   in
   (* Values still fine... *)
   check_sound "operand-sized: still value-sound" policy sized space;

@@ -383,8 +383,10 @@ let test_instrument_parity () =
         (fun a ->
           let dyn_sink = Sink.memory () in
           let dyn =
-            Dynamic.mechanism_of ~fuel:10000 ~mode:Dynamic.Surveillance
-              ~emit:(Sink.emitter ~graph:g dyn_sink) e.Paper.policy g
+            Dynamic.mechanism
+                (Dynamic.config ~fuel:10000 ~mode:Dynamic.Surveillance
+                   ~emit:(Sink.emitter ~graph:g dyn_sink) e.Paper.policy)
+                g
           in
           let r1 = Mechanism.respond dyn a in
           let ins_sink = Sink.memory () in
@@ -522,8 +524,10 @@ let test_explain_corpus () =
                   in
                   let sink = Sink.memory () in
                   let m =
-                    Dynamic.mechanism_of ~fuel:2000 ~mode
-                      ~emit:(Sink.emitter ~graph:g sink) e.Paper.policy g
+                    Dynamic.mechanism
+                        (Dynamic.config ~fuel:2000 ~mode
+                           ~emit:(Sink.emitter ~graph:g sink) e.Paper.policy)
+                        g
                   in
                   Sink.emit sink
                     (Event.run_header ~program:e.Paper.name

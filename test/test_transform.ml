@@ -13,7 +13,7 @@ module Paper = Secpol_corpus.Paper_programs
 module Generator = Secpol_corpus.Generator
 
 let surveil policy prog =
-  Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy (Compile.compile prog)
+  Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) (Compile.compile prog)
 
 let check_equiv msg p1 p2 space =
   match Transforms.equivalent_on p1 p2 space with
@@ -230,7 +230,7 @@ let test_graph_ite_matches_ast_ite_on_ex7 () =
   let e = Paper.ex7 in
   let q = Paper.program e in
   let g' = Graph_ite.rewrite (Compile.compile e.Paper.prog) in
-  let m = Dynamic.mechanism_of ~mode:Dynamic.Surveillance e.Paper.policy g' in
+  let m = Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance e.Paper.policy) g' in
   check_ratio "graph-level transform also reaches 100%" ~expected:1.0 m ~q
     e.Paper.space;
   check_sound "and stays sound" e.Paper.policy m e.Paper.space
@@ -286,7 +286,7 @@ let prop_graph_ite_surveillance_sound =
       List.for_all
         (fun policy ->
           Soundness.is_sound policy
-            (Dynamic.mechanism_of ~mode:Dynamic.Surveillance policy g')
+            (Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) g')
             space)
         [ Policy.allow_none; Policy.allow [ 0 ]; Policy.allow [ 1 ] ])
 
