@@ -29,6 +29,30 @@ lint-corpus:
 	  fi; \
 	done; exit $$status
 
+# Certify every example program against its policy hint and fail on an
+# unexpected verdict (exit 0 proved, 1 refuted/unknown). The same sweep
+# runs inside `dune runtest` (test/certify_corpus.ml, which also covers the
+# paper corpus); this target drives it through the CLI. Note mix.spl: the
+# linter certifies its dead store of the secret (overwritten on every
+# path), but the certifier answers for every monitor mode and high-water
+# taint never forgets an overwrite — it condemns.
+certify-corpus:
+	@dune build bin/secpol_cli.exe
+	@status=0; \
+	for f in examples/programs/*.spl; do \
+	  ./_build/default/bin/secpol_cli.exe certify $$f > /dev/null 2>&1; code=$$?; \
+	  case $$(basename $$f) in \
+	    gcd.spl) want=0 ;; \
+	    blind_vote.spl|bounded_search.spl|mix.spl|wage_gap.spl) want=1 ;; \
+	    *) echo "UNEXPECTED $$f: add it here and to test/certify_corpus.ml"; status=1; continue ;; \
+	  esac; \
+	  if [ $$code -ne $$want ]; then \
+	    echo "FAIL $$f: exit $$code, want $$want"; status=1; \
+	  else \
+	    echo "ok   $$f (exit $$code)"; \
+	  fi; \
+	done; exit $$status
+
 # Differential fault-injection sweep over the whole corpus: every seeded
 # fault must land in a violation notice, never in a fail-open grant. The
 # same sweep runs inside `dune runtest` (test/chaos_sweep.ml); this target
@@ -78,4 +102,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force lint-corpus chaos chaos-crash chaos-par experiments bench bench-json examples doc clean
+.PHONY: all test test-force lint-corpus certify-corpus chaos chaos-crash chaos-par experiments bench bench-json examples doc clean

@@ -35,6 +35,7 @@ module Dynamic = Secpol_taint.Dynamic
 module Instrument = Secpol_taint.Instrument
 module Certify = Secpol_staticflow.Certify
 module Dataflow = Secpol_staticflow.Dataflow
+module Certifier = Secpol_staticflow.Certifier
 module Logon = Secpol_channels.Logon
 open Expr.Build
 
@@ -100,6 +101,49 @@ let compile_time_tests =
       staged "postdominators" (fun () -> Graphalgo.immediate_postdominator graph);
       staged "maximal-10x10" (fun () ->
           Maximal.build policy (Interp.graph_program graph) space10);
+    ]
+
+(* Residual-monitoring workload: a long loop entirely on the allowed input
+   plus one box that touches the secret but feeds no check — the certifier
+   proves it and the residual plan releases every box, so the monitored
+   loop body does no taint bookkeeping at all. *)
+let residual_workload =
+  Ast.prog ~name:"residual-workload" ~arity:2
+    (Ast.seq
+       [
+         Ast.Assign (Var.Reg 0, (x 0 %: i 50) +: i 200);
+         Ast.Assign (Var.Reg 1, i 0);
+         Ast.While
+           ( r 0 >: i 0,
+             Ast.seq
+               [
+                 Ast.Assign (Var.Reg 0, r 0 -: i 1);
+                 Ast.Assign (Var.Reg 1, (r 1 +: r 0) %: i 97);
+               ] );
+         Ast.Assign (Var.Reg 2, x 1);
+         Ast.Assign (Var.Out, r 1);
+       ])
+
+let residual_graph = Compile.compile residual_workload
+let residual_allowed = Iset.singleton 0
+
+let residual_plan =
+  Certifier.residual_plan ~allowed:residual_allowed residual_graph
+
+let static_tests =
+  let cfg = Dynamic.config ~mode:Dynamic.Surveillance policy in
+  Test.make_grouped ~name:"static"
+    [
+      staged "summarize" (fun () -> Certifier.summarize graph);
+      staged "certify" (fun () ->
+          Certifier.certify ~allowed:(Iset.of_list [ 0 ]) graph);
+      staged "residual-plan" (fun () ->
+          Certifier.residual_plan ~allowed:residual_allowed residual_graph);
+      staged "monitor-full" (fun () ->
+          Dynamic.run cfg residual_graph inputs);
+      staged "monitor-residual" (fun () ->
+          Dynamic.run_residual cfg ~watch:residual_plan.Certifier.watch
+            residual_graph inputs);
     ]
 
 let journal_tests =
@@ -230,8 +274,31 @@ let tests =
   Test.make_grouped ~name:"secpol"
     [
       interp_tests; monitor_tests; instrumented_tests; compile_time_tests;
-      attack_tests; journal_tests; trace_tests; scaling_tests; engine_tests;
+      static_tests; attack_tests; journal_tests; trace_tests; scaling_tests;
+      engine_tests;
     ]
+
+(* The fraction of (corpus program, allow(J)) pairs the certifier decides
+   outright — Proved or Refuted, no run-time monitor needed. Reported in
+   the table and in BENCH_secpol.json for trend lines. *)
+let decided_fraction_pct () =
+  let decided = ref 0 and total = ref 0 in
+  List.iter
+    (fun (e : Secpol_corpus.Paper_programs.entry) ->
+      let g = Secpol_corpus.Paper_programs.graph e in
+      let arity = g.Secpol_flowgraph.Graph.arity in
+      List.iter
+        (fun mask ->
+          incr total;
+          let report =
+            Certifier.certify ~allowed:(Iset.of_mask mask) g
+          in
+          match report.Certifier.verdict with
+          | Certifier.Proved | Certifier.Refuted _ -> incr decided
+          | Certifier.Unknown -> ())
+        (List.init (1 lsl arity) Fun.id))
+    Secpol_corpus.Paper_programs.all;
+  (100.0 *. float_of_int !decided /. float_of_int !total, !decided, !total)
 
 let () =
   let ols =
@@ -253,6 +320,8 @@ let () =
       results []
     |> List.sort compare
   in
+  let pct, decided, total_pairs = decided_fraction_pct () in
+  let rows = rows @ [ ("secpol/static/decided-fraction-pct", pct) ] in
   Printf.printf "%-45s %14s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 60 '-');
   List.iter (fun (name, ns) -> Printf.printf "%-45s %14.1f\n" name ns) rows;
@@ -362,6 +431,53 @@ let () =
     end
   else
     Printf.printf "  speedup gate waived: fewer than 4 cores on this machine\n";
+  (* The residual-monitor gate: under the certifier's plan the monitored
+     replies stay bit-identical in every mode on a grid of inputs, and the
+     monitor does strictly less surveillance work (fewer watched boxes than
+     committed boxes — the loop body is released). Deterministic, so a hard
+     gate rather than a timing one. *)
+  Printf.printf
+    "\nresidual gate (%s, allow(%s)): bit-identical replies, fewer monitored \
+     boxes:\n"
+    residual_graph.Secpol_flowgraph.Graph.name
+    (Iset.to_string residual_allowed);
+  let residual_inputs =
+    List.concat_map
+      (fun a -> List.map (fun b -> [| Value.int a; Value.int b |]) [ 0; 3; 9 ])
+      [ 0; 7; 49 ]
+  in
+  let max_watched = ref 0 and min_committed = ref max_int in
+  List.iter
+    (fun mode ->
+      let cfg = Dynamic.config ~mode (Policy.allow [ 0 ]) in
+      List.iter
+        (fun a ->
+          let full = Dynamic.run cfg residual_graph a in
+          let residual, stats =
+            Dynamic.run_residual cfg ~watch:residual_plan.Certifier.watch
+              residual_graph a
+          in
+          if full <> residual then begin
+            Printf.printf "  REPLY DRIFT under %s\n" (Dynamic.mode_name mode);
+            gate := false
+          end;
+          let committed =
+            stats.Dynamic.watched_boxes + stats.Dynamic.skipped_boxes
+          in
+          max_watched := max !max_watched stats.Dynamic.watched_boxes;
+          min_committed := min !min_committed committed)
+        residual_inputs)
+    Dynamic.all_modes;
+  Printf.printf "  watched <= %d of >= %d committed boxes per run%s\n"
+    !max_watched !min_committed
+    (if !max_watched < !min_committed then " (ok)" else "");
+  if !max_watched >= !min_committed then begin
+    Printf.printf "  NO REDUCTION: the residual plan released nothing\n";
+    gate := false
+  end;
+  Printf.printf
+    "\nstatically decided: %d of %d (corpus x allow(J)) pairs (%.1f%%)\n"
+    decided total_pairs pct;
   (* Machine-readable results for CI trend lines: series name -> ns/run.
      Hand-rolled JSON; names are [A-Za-z0-9/_-] so no escaping is needed. *)
   if Array.exists (( = ) "--json") Sys.argv then begin

@@ -486,21 +486,131 @@ let resume_cmd =
 
 (* --- certify --------------------------------------------------------------- *)
 
+(* Corpus programs are hand-built ASTs with no source spans; recover them
+   by re-parsing the pretty-printed source, which `fmt` guarantees is
+   stable. File programs come spanned already. Shared by lint and
+   certify. *)
+let spanned_prog (e : Paper.entry) =
+  let src = Secpol_lang.Source.to_source e.Paper.prog in
+  let prog =
+    match Secpol_lang.Source.parse src with
+    | Ok prog -> prog
+    | Error _ -> e.Paper.prog
+  in
+  (src, prog)
+
 let certify_cmd =
-  let run name policy =
+  let module Certifier = Secpol_staticflow.Certifier in
+  let module Label = Secpol_core.Lattice.Label in
+  let module Json = Certifier.Json in
+  let order_conv =
+    let parse s =
+      match s with
+      | "two-point" -> Ok Label.two_point
+      | "diamond" -> Ok Label.diamond
+      | _ when String.length s > 6 && String.sub s 0 6 = "chain:" -> (
+          let levels =
+            String.sub s 6 (String.length s - 6)
+            |> String.split_on_char ','
+            |> List.filter (fun x -> x <> "")
+          in
+          try Ok (Label.chain ~name:s levels)
+          with Invalid_argument m -> Error (`Msg m))
+      | _ -> Error (`Msg (s ^ ": expected two-point|diamond|chain:a,b,..."))
+    in
+    Arg.conv (parse, fun ppf o -> Format.fprintf ppf "%s" (Label.name o))
+  in
+  let order_arg =
+    let doc =
+      "Label lattice for --labels: two-point (low ⊑ high), diamond, or \
+       chain:a,b,... (lowest first)."
+    in
+    Arg.(value & opt order_conv Label.two_point & info [ "order" ] ~docv:"ORDER" ~doc)
+  in
+  let labels_arg =
+    let doc =
+      "Certify against a label-lattice policy instead of -p: one level per \
+       input, comma-separated, e.g. low,high."
+    in
+    Arg.(value & opt (some string) None & info [ "labels" ] ~docv:"LABELS" ~doc)
+  in
+  let clearance_arg =
+    let doc =
+      "Observer clearance for --labels (defaults to the order's bottom)."
+    in
+    Arg.(value & opt (some string) None & info [ "clearance" ] ~docv:"LEVEL" ~doc)
+  in
+  let run name policy order labels clearance format json =
+    let format = output_format json format in
     let e = entry_of_name name in
-    let p = resolve_policy e policy in
-    match Policy.allowed_indices p with
-    | None -> prerr_endline "certification needs an allow(...) policy"; exit 2
-    | Some allowed ->
-        let report = Certify.analyze ~allowed e.Paper.prog in
-        Printf.printf "policy:    %s\n" (Policy.name p);
-        Format.printf "out taint: %a@." Secpol_core.Iset.pp report.Certify.out_taint;
-        Printf.printf "certified: %b\n" report.Certify.certified
+    let _, prog = spanned_prog e in
+    let g = Compile.compile prog in
+    let report, label_policy =
+      match labels with
+      | Some ls -> (
+          let levels =
+            String.split_on_char ',' ls |> List.filter (fun x -> x <> "")
+          in
+          let clearance =
+            Option.value clearance ~default:(Label.bottom order)
+          in
+          try
+            let lp = Label.policy ~order ~labels:levels ~clearance in
+            (Certifier.certify_label ~policy:lp g, Some lp)
+          with Invalid_argument m ->
+            prerr_endline m;
+            exit 2)
+      | None -> (
+          if clearance <> None then begin
+            prerr_endline "--clearance requires --labels";
+            exit 2
+          end;
+          let p = resolve_policy e policy in
+          match Policy.allowed_indices p with
+          | None ->
+              prerr_endline "certification needs an allow(...) policy";
+              exit 2
+          | Some _ -> (Certifier.certify_policy ~policy:p g, None))
+    in
+    (match format with
+    | `Json ->
+        let js =
+          match (Certifier.to_json report, label_policy) with
+          | Json.Obj fields, Some lp ->
+              Json.Obj
+                (fields
+                @ [
+                    ( "output-label",
+                      Json.String (Certifier.output_label ~policy:lp report) );
+                    ("clearance", Json.String (Label.clearance lp));
+                    ("order", Json.String (Label.name (Label.policy_order lp)));
+                  ])
+          | js, _ -> js
+        in
+        print_endline (Json.render js)
+    | `Text ->
+        (match label_policy with
+        | Some lp ->
+            Format.printf "labels:       %a@." Label.pp_policy lp;
+            Printf.printf "output label: %s (clearance %s)\n"
+              (Certifier.output_label ~policy:lp report)
+              (Label.clearance lp)
+        | None -> ());
+        Format.printf "%a@." Certifier.pp_report report);
+    exit (match report.Certifier.verdict with Certifier.Proved -> 0 | _ -> 1)
   in
   Cmd.v
-    (Cmd.info "certify" ~doc:"Statically certify a corpus program for a policy")
-    Term.(const run $ program_arg $ policy_arg)
+    (Cmd.info "certify"
+       ~doc:
+         "Statically certify a program: prove it policy-clean for every \
+          input and every monitor mode, refute it with a replayable \
+          counterexample input, or report the residual-monitor plan for the \
+          undecided rest. Policies are allow-sets (-p) or label-lattice \
+          assignments (--labels/--clearance/--order). Exits 0 when proved, \
+          1 otherwise, 2 on usage errors.")
+    Term.(
+      const run $ program_arg $ policy_arg $ order_arg $ labels_arg
+      $ clearance_arg $ format_arg $ json_arg)
 
 (* --- measure --------------------------------------------------------------- *)
 
@@ -648,6 +758,8 @@ let synthesize_cmd =
 
 let lint_cmd =
   let module Lint = Secpol_staticflow.Lint in
+  let module Metrics = Secpol_trace.Metrics in
+  let module Json = Lint.Json in
   let run name policy format json =
     let format = output_format json format in
     let e = entry_of_name name in
@@ -657,18 +769,32 @@ let lint_cmd =
         prerr_endline "linting needs an allow(...) policy";
         exit 2
     | Some allowed ->
-        (* Corpus programs are hand-built ASTs with no source spans; recover
-           them by re-parsing the pretty-printed source, which `fmt`
-           guarantees is stable. File programs come spanned already. *)
-        let src = Secpol_lang.Source.to_source e.Paper.prog in
-        let prog =
-          match Secpol_lang.Source.parse src with
-          | Ok prog -> prog
-          | Error _ -> e.Paper.prog
-        in
+        let src, prog = spanned_prog e in
         let report = Lint.check ~prog ~allowed (Compile.compile prog) in
+        (* The summary goes through the shared metrics registry, so the
+           linter's counters render exactly like every other monitored
+           report's. *)
+        let metrics = Metrics.create () in
+        Metrics.incr (Metrics.counter metrics "lint/programs");
+        if report.Lint.certified then
+          Metrics.incr (Metrics.counter metrics "lint/certified");
+        List.iter
+          (fun (f : Lint.finding) ->
+            Metrics.incr
+              (Metrics.counter metrics
+                 (Printf.sprintf "lint/%s/%s"
+                    (Lint.severity_name f.Lint.severity)
+                    (Lint.rule_name f.Lint.rule))))
+          report.Lint.findings;
         (match format with
-        | `Json -> print_endline (Lint.to_json_string report)
+        | `Json ->
+            let js =
+              match Lint.to_json report with
+              | Json.Obj fields ->
+                  Json.Obj (fields @ [ ("metrics", Metrics.to_json metrics) ])
+              | v -> v
+            in
+            print_endline (Json.render js)
         | `Text ->
             let lines = String.split_on_char '\n' src in
             List.iteri
@@ -676,7 +802,8 @@ let lint_cmd =
                   Printf.printf "%3d | %s\n" (i + 1) l)
               lines;
             print_newline ();
-            Format.printf "%a@." Lint.pp_report report);
+            Format.printf "%a@." Lint.pp_report report;
+            Format.printf "@.%a@." Metrics.pp metrics);
         exit (if report.Lint.certified then 0 else 1)
   in
   Cmd.v

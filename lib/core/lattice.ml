@@ -27,6 +27,183 @@ let equivalent m1 m2 ~q space =
     (fun a -> Completeness.grants m1 ~q a = Completeness.grants m2 ~q a)
     (Space.enumerate space)
 
+(* Finite security-label lattices. The mechanism lattice above is the
+   paper's remark after Theorem 1; this submodule is the other lattice the
+   literature attaches to the same model: a finite partial order of
+   classification levels (Denning's lattice model), with a per-input label
+   assignment reducing to the paper's allow(J) policies — an input may be
+   learned iff its label flows to the observer's clearance. *)
+module Label = struct
+  type order = {
+    o_name : string;
+    levels : string array;
+    index : (string, int) Hashtbl.t;
+    o_leq : bool array array;
+    o_join : int array array;
+    o_meet : int array array;
+    o_bottom : int;
+    o_top : int;
+  }
+
+  let name o = o.o_name
+  let levels o = Array.to_list o.levels
+
+  let idx o l =
+    match Hashtbl.find_opt o.index l with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Lattice.Label: unknown level %S in order %s" l
+             o.o_name)
+
+  let order ~name ~levels ~covers =
+    let levels = Array.of_list levels in
+    let n = Array.length levels in
+    if n = 0 then invalid_arg "Lattice.Label.order: no levels";
+    let index = Hashtbl.create n in
+    Array.iteri
+      (fun i l ->
+        if Hashtbl.mem index l then
+          invalid_arg (Printf.sprintf "Lattice.Label.order: duplicate level %S" l);
+        Hashtbl.add index l i)
+      levels;
+    let find l =
+      match Hashtbl.find_opt index l with
+      | Some i -> i
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Lattice.Label.order: cover names unknown level %S" l)
+    in
+    let leq = Array.init n (fun i -> Array.init n (fun j -> i = j)) in
+    List.iter (fun (lo, hi) -> leq.(find lo).(find hi) <- true) covers;
+    (* Reflexive-transitive closure, then antisymmetry: a cycle would make
+       two distinct levels order-equivalent. *)
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if leq.(i).(k) && leq.(k).(j) then leq.(i).(j) <- true
+        done
+      done
+    done;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && leq.(i).(j) && leq.(j).(i) then
+          invalid_arg
+            (Printf.sprintf "Lattice.Label.order: %S and %S form a cycle"
+               levels.(i) levels.(j))
+      done
+    done;
+    (* Every pair must have a least upper bound and a greatest lower bound —
+       the lattice property the certifier's join of dependency labels
+       relies on. *)
+    let bound ~up i j =
+      let le a b = if up then leq.(a).(b) else leq.(b).(a) in
+      let bounds =
+        List.filter (fun k -> le i k && le j k) (List.init n Fun.id)
+      in
+      match List.filter (fun k -> List.for_all (fun k' -> le k k') bounds) bounds with
+      | [ k ] -> k
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Lattice.Label.order: %S and %S have no unique %s — not a lattice"
+               levels.(i) levels.(j)
+               (if up then "least upper bound" else "greatest lower bound"))
+    in
+    let join = Array.init n (fun i -> Array.init n (fun j -> bound ~up:true i j)) in
+    let meet = Array.init n (fun i -> Array.init n (fun j -> bound ~up:false i j)) in
+    let fold_all table =
+      let acc = ref 0 in
+      for i = 1 to n - 1 do acc := table.(!acc).(i) done;
+      !acc
+    in
+    let bottom = fold_all meet and top = fold_all join in
+    {
+      o_name = name;
+      levels;
+      index;
+      o_leq = leq;
+      o_join = join;
+      o_meet = meet;
+      o_bottom = bottom;
+      o_top = top;
+    }
+
+  let leq o a b = o.o_leq.(idx o a).(idx o b)
+  let join o a b = o.levels.(o.o_join.(idx o a).(idx o b))
+  let meet o a b = o.levels.(o.o_meet.(idx o a).(idx o b))
+  let bottom o = o.levels.(o.o_bottom)
+  let top o = o.levels.(o.o_top)
+
+  let two_point =
+    order ~name:"two-point" ~levels:[ "low"; "high" ] ~covers:[ ("low", "high") ]
+
+  let chain ~name levels =
+    let rec covers = function
+      | a :: (b :: _ as rest) -> (a, b) :: covers rest
+      | _ -> []
+    in
+    order ~name ~levels ~covers:(covers levels)
+
+  let diamond =
+    order ~name:"diamond"
+      ~levels:[ "bot"; "left"; "right"; "top" ]
+      ~covers:[ ("bot", "left"); ("bot", "right"); ("left", "top"); ("right", "top") ]
+
+  type policy = { p_order : order; p_labels : string array; p_clearance : string }
+
+  let policy ~order:o ~labels ~clearance =
+    List.iter (fun l -> ignore (idx o l)) labels;
+    ignore (idx o clearance);
+    { p_order = o; p_labels = Array.of_list labels; p_clearance = clearance }
+
+  let policy_order p = p.p_order
+  let clearance p = p.p_clearance
+  let arity p = Array.length p.p_labels
+
+  let label p i =
+    if i < 0 || i >= Array.length p.p_labels then
+      invalid_arg (Printf.sprintf "Lattice.Label.label: input %d out of range" i);
+    p.p_labels.(i)
+
+  let labels p = Array.to_list p.p_labels
+
+  (* The reduction to the paper's policy family: input i is visible iff its
+     label flows to the clearance. This is exactly the equivalence relation
+     allow(J) induces, so every theorem about allow(J) applies verbatim. *)
+  let allowed_of p =
+    let o = p.p_order in
+    let c = p.p_clearance in
+    let rec go i acc =
+      if i >= Array.length p.p_labels then acc
+      else go (i + 1) (if leq o p.p_labels.(i) c then Iset.add i acc else acc)
+    in
+    go 0 Iset.empty
+
+  let to_policy p = Policy.allow_set (allowed_of p)
+
+  let output_label p deps =
+    let o = p.p_order in
+    Iset.fold (fun i acc -> join o (label p i) acc) deps (bottom o)
+
+  (* allow(J) as the two-point special case: allowed inputs are public,
+     the rest secret, and the observer is cleared for public only. *)
+  let of_allow ~arity:k allowed =
+    {
+      p_order = two_point;
+      p_labels =
+        Array.init k (fun i -> if Iset.mem i allowed then "low" else "high");
+      p_clearance = "low";
+    }
+
+  let pp_policy ppf p =
+    Format.fprintf ppf "%s[%s -> %s]" p.p_order.o_name
+      (String.concat ","
+         (Array.to_list
+            (Array.mapi (fun i l -> Printf.sprintf "x%d:%s" i l) p.p_labels)))
+      p.p_clearance
+end
+
 let of_grant_predicate ~name ~q pred =
   let respond a =
     if pred a then begin

@@ -21,6 +21,96 @@ val meet : Mechanism.t -> Mechanism.t -> Mechanism.t
 (** [meet m1 m2] grants (with [m1]'s reply) exactly where both grant;
     elsewhere it answers the single violation notice. *)
 
+(** Finite security-label lattices and the policies they induce.
+
+    The model's policies are information filters; the classification
+    lattices of the surrounding literature (Denning's lattice model; the
+    paper cites the same military levels in Example 1) fit the model by
+    reduction: fix a finite lattice of levels, give every input a label and
+    the observer a clearance, and the induced policy is [allow(J)] for [J]
+    = the inputs whose label flows to the clearance. The static certifier
+    ({!Secpol_staticflow.Certifier}) checks label policies through exactly
+    this reduction, and reports the {e output label} — the join of the
+    labels of every input the output may depend on. *)
+module Label : sig
+  type order
+  (** A finite lattice of level names: a validated partial order in which
+      every pair of levels has a least upper bound and a greatest lower
+      bound. *)
+
+  val order :
+    name:string -> levels:string list -> covers:(string * string) list -> order
+  (** [order ~name ~levels ~covers] builds the reflexive-transitive closure
+      of the [(lower, higher)] cover pairs.
+      @raise Invalid_argument on duplicate or unknown level names, an order
+      cycle, or a pair of levels without a unique join or meet (i.e. a
+      partial order that is not a lattice). *)
+
+  val name : order -> string
+
+  val levels : order -> string list
+  (** In declaration order. *)
+
+  val leq : order -> string -> string -> bool
+  (** [leq o a b] iff information at level [a] may flow to level [b].
+      @raise Invalid_argument on an unknown level (also the other
+      accessors below). *)
+
+  val join : order -> string -> string -> string
+  val meet : order -> string -> string -> string
+
+  val bottom : order -> string
+  (** The least level — the label of public data and of constants. *)
+
+  val top : order -> string
+
+  val two_point : order
+  (** ["low"] ⊑ ["high"] — the lattice that makes [allow(J)] a label
+      policy. *)
+
+  val chain : name:string -> string list -> order
+  (** A total order, lowest first (e.g. unclassified ⊑ secret ⊑ top-secret). *)
+
+  val diamond : order
+  (** ["bot"] ⊑ ["left"], ["right"] ⊑ ["top"] — the smallest lattice with
+      incomparable levels; exercises joins that are neither argument. *)
+
+  type policy
+  (** A label assignment: one level per input index, plus the observer's
+      clearance. *)
+
+  val policy : order:order -> labels:string list -> clearance:string -> policy
+  (** [labels] in input-index order.
+      @raise Invalid_argument on an unknown level name. *)
+
+  val policy_order : policy -> order
+  val clearance : policy -> string
+  val arity : policy -> int
+
+  val label : policy -> int -> string
+  (** @raise Invalid_argument out of range. *)
+
+  val labels : policy -> string list
+
+  val allowed_of : policy -> Iset.t
+  (** The inputs whose label flows to the clearance. *)
+
+  val to_policy : policy -> Policy.t
+  (** The induced [allow(J)] policy — the reduction under which every
+      enforcement theorem about [allow(J)] applies to label policies. *)
+
+  val output_label : policy -> Iset.t -> string
+  (** [output_label p deps] is the join of the labels of the inputs in
+      [deps] ([bottom] for no dependencies) — the classification of an
+      output that depends on exactly those inputs. *)
+
+  val of_allow : arity:int -> Iset.t -> policy
+  (** [allow(J)] as a two-point label policy: allowed inputs ["low"],
+      the rest ["high"], clearance ["low"]. *)
+
+  val pp_policy : Format.formatter -> policy -> unit
+end
+
 val equivalent : Mechanism.t -> Mechanism.t -> q:Program.t -> Space.t -> bool
 (** Same grant set over the space (the lattice's underlying equality). *)
 

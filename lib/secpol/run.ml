@@ -7,7 +7,9 @@ module Guard = Secpol_fault.Guard
 module Runner = Secpol_journal.Runner
 module Media = Secpol_journal.Media
 module Sink = Secpol_trace.Sink
+module Metrics = Secpol_trace.Metrics
 module Pool = Secpol_engine.Pool
+module Certifier = Secpol_staticflow.Certifier
 
 type journal = {
   media : [ `Memory | `Dir of string ];
@@ -25,12 +27,16 @@ type config = {
   guard : Guard.config option;
   journal : journal option;
   jobs : int;
+  residual : bool;
+  metrics : Metrics.t option;
 }
 
 let config ?policy ?(mode = Dynamic.Surveillance) ?(fuel = Interp.default_fuel)
     ?(cost = Secpol_flowgraph.Expr.Uniform) ?(hook = Hook.none)
-    ?(trace = Sink.null) ?guard ?journal ?(jobs = 1) () =
-  { policy; mode; fuel; cost; hook; trace; guard; journal; jobs }
+    ?(trace = Sink.null) ?guard ?journal ?(jobs = 1) ?(residual = false)
+    ?metrics () =
+  { policy; mode; fuel; cost; hook; trace; guard; journal; jobs; residual;
+    metrics }
 
 let journal_memory ?(snapshot_every = Runner.default_snapshot_every)
     ~program_ref () =
@@ -48,11 +54,44 @@ let monitored cfg g =
   let emit = Sink.emitter ~graph:g cfg.trace in
   match cfg.policy with
   | Some policy ->
-      Dynamic.mechanism
-        (Dynamic.config ~fuel:cfg.fuel ~cost:cfg.cost ~hook:cfg.hook ~emit
-           ~mode:cfg.mode policy)
-        g
-  | None -> Interp.graph_mechanism ~fuel:cfg.fuel ~hook:cfg.hook ~emit g
+      let dcfg =
+        Dynamic.config ~fuel:cfg.fuel ~cost:cfg.cost ~hook:cfg.hook ~emit
+          ~mode:cfg.mode policy
+      in
+      if not cfg.residual then Dynamic.mechanism dcfg g
+      else begin
+        (* The certifier's watch plan is fixed per (graph, policy) pair;
+           compute it once here, outside the respond path. *)
+        let plan = Certifier.residual_plan ~allowed:dcfg.Dynamic.allowed g in
+        let record stats =
+          match cfg.metrics with
+          | None -> ()
+          | Some m ->
+              Metrics.incr (Metrics.counter m "run/residual/runs");
+              Metrics.incr
+                ~by:stats.Dynamic.watched_boxes
+                (Metrics.counter m "run/residual/watched-boxes");
+              Metrics.incr
+                ~by:stats.Dynamic.skipped_boxes
+                (Metrics.counter m "run/residual/skipped-boxes")
+        in
+        Mechanism.make
+          ~name:
+            (Printf.sprintf "residual-%s(%s)"
+               (Dynamic.mode_name cfg.mode)
+               g.Graph.name)
+          ~arity:g.Graph.arity
+          (fun a ->
+            let reply, stats =
+              Dynamic.run_residual dcfg ~watch:plan.Certifier.watch g a
+            in
+            record stats;
+            reply)
+      end
+  | None ->
+      if cfg.residual then
+        invalid_arg "Run: a residual run needs a policy to certify against";
+      Interp.graph_mechanism ~fuel:cfg.fuel ~hook:cfg.hook ~emit g
 
 let journaled cfg j g =
   let policy =
@@ -85,6 +124,10 @@ let journaled cfg j g =
 let mechanism cfg g =
   let base =
     match cfg.journal with
+    | Some _ when cfg.residual ->
+        invalid_arg
+          "Run: residual monitoring does not journal (a residual taint \
+           image would not resume into a full monitor)"
     | Some j -> journaled cfg j g
     | None -> monitored cfg g
   in

@@ -39,6 +39,19 @@ type config = {
   guard : Secpol_fault.Guard.config option;
   journal : journal option;
   jobs : int;  (** engine pool width used by {!batch} *)
+  residual : bool;
+      (** Monitor under the static certifier's residual plan
+          ({!Secpol_staticflow.Certifier.residual_plan}): statically clean
+          boxes skip their surveillance work, replies stay bit-identical
+          to the fully monitored run. Requires a policy; incompatible with
+          [journal] (a residual taint image would not resume into a full
+          monitor). The plan is computed once per {!mechanism}. *)
+  metrics : Secpol_trace.Metrics.t option;
+      (** When set, residual runs count into
+          ["run/residual/runs"], ["run/residual/watched-boxes"] and
+          ["run/residual/skipped-boxes"]. A registry is single-domain
+          mutable state — with [jobs > 1], pass per-worker registries and
+          {!Secpol_trace.Metrics.merge} them after the join, or omit. *)
 }
 
 val config :
@@ -51,11 +64,14 @@ val config :
   ?guard:Secpol_fault.Guard.config ->
   ?journal:journal ->
   ?jobs:int ->
+  ?residual:bool ->
+  ?metrics:Secpol_trace.Metrics.t ->
   unit ->
   config
 (** Defaults: no policy (plain interpretation), [Surveillance],
     {!Secpol_flowgraph.Interp.default_fuel}, [Uniform] cost, no hook,
-    null sink, unguarded, unjournaled, [jobs = 1]. *)
+    null sink, unguarded, unjournaled, [jobs = 1], full (non-residual)
+    monitoring, no metrics. *)
 
 val journal_memory : ?snapshot_every:int -> program_ref:string -> unit -> journal
 
@@ -63,7 +79,9 @@ val journal_dir : ?snapshot_every:int -> program_ref:string -> string -> journal
 
 val mechanism : config -> Secpol_flowgraph.Graph.t -> Secpol_core.Mechanism.t
 (** The configured stack packaged as a protection mechanism. Journaled
-    configurations journal once per [respond]. *)
+    configurations journal once per [respond].
+    @raise Invalid_argument on [residual] without a policy, or combined
+    with [journal]. *)
 
 val run :
   config ->

@@ -36,6 +36,8 @@ module Dynamic = Secpol_taint.Dynamic
 module Instrument = Secpol_taint.Instrument
 module Certify = Secpol_staticflow.Certify
 module Dataflow = Secpol_staticflow.Dataflow
+module Lint = Secpol_staticflow.Lint
+module Certifier = Secpol_staticflow.Certifier
 module Halt_guard = Secpol_staticflow.Halt_guard
 module Transforms = Secpol_transform.Transforms
 module Graph_ite = Secpol_transform.Graph_ite
@@ -61,6 +63,7 @@ module Cache = Secpol_engine.Cache
 module Memo = Secpol_engine.Memo
 module Exhaustive = Secpol_engine.Exhaustive
 module Run = Run
+module Static = Static
 
 (* Measurement. *)
 module Partition = Secpol_probe.Partition

@@ -1,0 +1,93 @@
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Space = Secpol_core.Space
+module Mechanism = Secpol_core.Mechanism
+module Program = Secpol_core.Program
+module Graph = Secpol_flowgraph.Graph
+module Expr = Secpol_flowgraph.Expr
+module Hook = Secpol_flowgraph.Hook
+module Interp = Secpol_flowgraph.Interp
+module Dynamic = Secpol_taint.Dynamic
+module Certifier = Secpol_staticflow.Certifier
+module Runner = Secpol_journal.Runner
+module Cache = Secpol_engine.Cache
+module Sink = Secpol_trace.Sink
+
+let cost_name = function
+  | Expr.Uniform -> "uniform"
+  | Expr.Operand_sized -> "operand-sized"
+
+let cache_tag (cfg : Run.config) =
+  let policy =
+    match cfg.Run.policy with Some p -> Policy.name p | None -> "none"
+  in
+  Printf.sprintf "run|%s|fuel=%d|cost=%s|%s"
+    (Dynamic.mode_name cfg.Run.mode)
+    cfg.Run.fuel (cost_name cfg.Run.cost) policy
+
+let certify ?space ?max_checks (cfg : Run.config) g =
+  match cfg.Run.policy with
+  | None -> invalid_arg "Static.certify: the config has no policy to certify"
+  | Some p ->
+      Certifier.certify_policy ~fuel:cfg.Run.fuel ?space ?max_checks ~policy:p
+        g
+
+(* The reply a monitored run of a PROVED program returns, computed from a
+   plain (unmonitored) run. [Interp.reply_of_outcome] is not reusable here:
+   it maps [Diverged] to [Hung], but the monitor is a watchdogged total
+   function that reports fuel exhaustion as the distinguished denial
+   Λ/fuel — and both machines trip the check at the same step count. *)
+let reply_of_plain (o : Program.outcome) =
+  let response =
+    match o.Program.result with
+    | Program.Value v -> Mechanism.Granted v
+    | Program.Diverged -> Mechanism.Denied Dynamic.fuel_notice
+    | Program.Fault m -> Mechanism.Failed m
+  in
+  { Mechanism.response; steps = o.Program.steps }
+
+let preseed ?report ~cache (cfg : Run.config) g space =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match cfg.Run.policy with
+  | None -> err "preseed: the config has no policy"
+  | Some policy -> (
+      match Policy.allowed_indices policy with
+      | None -> err "preseed: %s is not an allow(...) policy" (Policy.name policy)
+      | Some _ ->
+          if cfg.Run.guard <> None then
+            err "preseed: a guarded stack rewrites replies; refusing to seed"
+          else if cfg.Run.journal <> None then
+            err "preseed: journaled runs are not cached"
+          else if not (cfg.Run.hook == Hook.none) then
+            err "preseed: a fault hook makes replies input-history-dependent"
+          else if Space.arity space <> g.Graph.arity then
+            err "preseed: space arity %d, program arity %d" (Space.arity space)
+              g.Graph.arity
+          else
+            let report =
+              match report with
+              | Some r -> r
+              | None -> certify ~space cfg g
+            in
+            if report.Certifier.verdict <> Certifier.Proved then
+              err "preseed: verdict is %s, only proved programs pre-seed"
+                (Certifier.verdict_name report.Certifier.verdict)
+            else begin
+              let digest = Runner.graph_hash g in
+              let tag = cache_tag cfg in
+              let seen = Hashtbl.create 64 in
+              Seq.iter
+                (fun a ->
+                  let image = Policy.image policy a in
+                  if not (Hashtbl.mem seen image) then begin
+                    Hashtbl.add seen image ();
+                    let key = { Cache.digest; tag; projection = image } in
+                    ignore
+                      (Cache.find_or_compute cache key (fun () ->
+                           reply_of_plain
+                             (Interp.run_graph ~fuel:cfg.Run.fuel
+                                ~cost:cfg.Run.cost g a)))
+                  end)
+                (Space.enumerate space);
+              Ok (Hashtbl.length seen)
+            end)

@@ -1,0 +1,65 @@
+(** Static certification wired into the run stack: prove once, then skip
+    (or pre-answer) the monitor.
+
+    {!Secpol_staticflow.Certifier} issues whole-program verdicts; this
+    module connects a [Proved] verdict to the execution machinery the rest
+    of [Secpol] uses:
+
+    - {!certify} runs the certifier under a {!Run.config}'s policy and
+      fuel, so the verdict talks about exactly the stack the config would
+      run;
+    - {!preseed} converts a [Proved] verdict into warm
+      {!Secpol_engine.Cache} entries, one per policy-equivalence class of
+      the input space, without ever running the monitor.
+
+    {b Why pre-seeding is sound.} [Proved] means every dependency channel
+    of the program — halt checks, decisions (hence the timed monitor's
+    condemnation points and the termination channel), and fault sites — is
+    confined to allowed inputs. Consequently on every input [a] the
+    monitored run grants, and its entire reply (output value, step count,
+    fuel denial on divergence, fault message) is a function of the allowed
+    coordinates alone, i.e. of the policy image [I(a)]. A plain run on any
+    representative of [I(a)]'s class therefore {e is} the monitored reply
+    for the whole class, and may be stored under the same
+    [(program digest, config tag, I-projection)] key that sound-mechanism
+    memoization ({!Secpol_engine.Memo.mechanism}, justified by
+    [M = M' ∘ I]) reads — subsequent monitored runs become cache hits.
+
+    The conversion from plain outcome to monitored reply maps [Diverged]
+    to the monitor's fuel denial Λ/fuel (not [Hung]: the monitor is a
+    watchdogged total function), at the same step count — both machines
+    check [steps >= fuel] before committing a box. A parity test pins
+    this. *)
+
+val cache_tag : Run.config -> string
+(** The configuration fingerprint for {!Secpol_engine.Cache.key}[.tag]:
+    mode, fuel, cost model and policy name. Build memoizers for the same
+    config with the same tag so {!preseed}'s entries are the ones they
+    hit. *)
+
+val certify :
+  ?space:Secpol_core.Space.t ->
+  ?max_checks:int ->
+  Run.config ->
+  Secpol_flowgraph.Graph.t ->
+  Secpol_staticflow.Certifier.report
+(** {!Secpol_staticflow.Certifier.certify_policy} under the config's
+    policy and fuel.
+    @raise Invalid_argument if the config has no policy, or a non-[allow]
+    one. *)
+
+val preseed :
+  ?report:Secpol_staticflow.Certifier.report ->
+  cache:Secpol_engine.Cache.t ->
+  Run.config ->
+  Secpol_flowgraph.Graph.t ->
+  Secpol_core.Space.t ->
+  (int, string) result
+(** [preseed ~cache cfg g space] certifies [g] (or reuses [report]) and,
+    on [Proved], stores one plain-run reply per policy-equivalence class
+    of [space] under [(graph_hash g, cache_tag cfg, I(a))]. Returns the
+    number of classes seeded. [Error] (nothing seeded) when the verdict is
+    not [Proved], the config has no [allow] policy, the space's arity
+    differs from the program's, or the config carries a guard, journal or
+    fault hook — layers under which a cached monitored reply would not be
+    the stack's reply. *)

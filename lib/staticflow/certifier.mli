@@ -1,0 +1,156 @@
+(** The static policy certifier: whole-program verdicts before any input
+    arrives.
+
+    Section 5 argues that compile-time enforcement "would result in
+    efficient security enforcement"; {!Certify} and {!Dataflow} realize it
+    as all-or-nothing certification against one analysis. This module is
+    the production form of that idea: a whole-program abstract
+    interpretation whose result is a {e verdict} —
+
+    - [Proved]: {e no} dynamic mechanism is needed. For every input and
+      every monitor mode ({!Secpol_taint.Dynamic.mode}, with the single
+      notice Λ), the monitored run grants exactly what the plain
+      interpreter computes (or reports the same input-independent fuel
+      denial / fault); the program as a mechanism is sound for the policy.
+    - [Refuted w]: a concrete input on which a dynamic monitor condemns the
+      run — found by bounded enumeration and replayable ([w] names the
+      mode, the input and the notice, and carries a span-bearing
+      {!Lint.finding} for the offending flow).
+    - [Unknown]: the analysis cannot prove the program clean and the
+      bounded search found no condemnation — monitor at run time, using
+      the {!residual} plan to watch only the boxes that matter.
+
+    {b The abstraction.} One maximal fixed point over {e high-water}
+    transfer functions (an assignment's taint joins its old value) with a
+    {e monotone} program-counter taint (test taints join into every
+    successor's context and are never restored). On every run the taint
+    state of each dynamic mode is pointwise below this abstraction — scoped
+    below surveillance below high-water — so a single analysis soundly
+    over-approximates all four monitors. Three dependency channels feed the
+    verdict: [halt_deps] (what the output-plus-context check at each halt
+    box can see — explicit and implicit flows), [control_deps] (what any
+    test can see: the timed monitor's decision-box check, and the
+    termination channel), and [fault_deps] (what can decide whether
+    evaluation faults — a division by zero distinguishes inputs the policy
+    calls equivalent). [Proved] requires all three clear of disallowed
+    indices. {!Dataflow}'s region-bounded pc matches only the scoped
+    monitor and must not be substituted.
+
+    {b Soundness of cache pre-seeding.} A [Proved] program's monitored
+    reply is a function of the policy image [I(a)] alone (it equals the
+    plain run's reply, whose every ingredient — value, step count, fault,
+    divergence — depends only on allowed inputs), so one plain run per
+    I-class is a sound {!Secpol_engine.Cache} entry under the same
+    [(digest, tag, I-projection)] key that [M = M' ∘ I] justifies.
+    [Secpol.Static.preseed] implements this.
+
+    Verdicts assume the monitors' single-notice discipline
+    ([chatty_notices = false], the default). *)
+
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Graph = Secpol_flowgraph.Graph
+module Dynamic = Secpol_taint.Dynamic
+
+type summary = {
+  halt_deps : Iset.t;
+      (** joined over reachable halt boxes: output taint plus context *)
+  control_deps : Iset.t;
+      (** joined over reachable decisions: test taint plus context *)
+  fault_deps : Iset.t;
+      (** inputs that can decide whether expression evaluation faults *)
+  deps : Iset.t;  (** union of the three channels *)
+  violation_halts : bool;
+      (** a reachable [Halt_violation] box (instrumented graphs); such a
+          graph is never [Proved] — it denies by construction *)
+}
+
+val summarize : Graph.t -> summary
+(** The dependency summary alone, policy-independent. *)
+
+(** The residual-monitor plan for an undecided program: [watch.(n)] iff the
+    dynamic monitor must still track taint at box [n]. Unwatched
+    assignments provably write taint with no disallowed part (or feed no
+    check at all); unwatched decisions provably add no disallowed bits to
+    the control context. {!Secpol_taint.Dynamic.run_residual} consumes the
+    plan and returns replies bit-identical to the fully monitored run —
+    with strictly less surveillance work wherever [skipped_boxes > 0]. *)
+type residual = {
+  watch : bool array;  (** indexed by node; consulted for assign/decision *)
+  watched_boxes : int;  (** reachable assign/decision boxes kept *)
+  skipped_boxes : int;  (** reachable assign/decision boxes released *)
+}
+
+val residual_plan : allowed:Iset.t -> Graph.t -> residual
+
+type witness = {
+  w_input : Value.t array;  (** the condemned input *)
+  w_mode : Dynamic.mode;  (** which monitor condemns it *)
+  w_notice : string;  (** the violation notice issued *)
+  w_steps : int;
+  w_finding : Lint.finding option;
+      (** a span-carrying provenance chain for the flow, when the linter
+          locates one *)
+}
+
+type verdict = Proved | Refuted of witness | Unknown
+
+type report = {
+  program : string;
+  allowed : Iset.t;
+  summary : summary;
+  verdict : verdict;
+  residual : residual;
+      (** always present; for [Proved] every box is skippable *)
+}
+
+val certify :
+  ?fuel:int ->
+  ?space:Secpol_core.Space.t ->
+  ?max_checks:int ->
+  allowed:Iset.t ->
+  Graph.t ->
+  report
+(** [space] bounds the witness search (default [{0..2}^arity]);
+    [max_checks] caps enumerated inputs (default 2048); [fuel] is the
+    monitor budget used for witness replay (default
+    {!Secpol_flowgraph.Interp.default_fuel}). *)
+
+val certify_policy :
+  ?fuel:int ->
+  ?space:Secpol_core.Space.t ->
+  ?max_checks:int ->
+  policy:Secpol_core.Policy.t ->
+  Graph.t ->
+  report
+(** @raise Invalid_argument on a non-[allow] policy. *)
+
+val certify_label :
+  ?fuel:int ->
+  ?space:Secpol_core.Space.t ->
+  ?max_checks:int ->
+  policy:Secpol_core.Lattice.Label.policy ->
+  Graph.t ->
+  report
+(** Certification against a label-lattice policy, through the reduction
+    [allow(J)] with [J] = the inputs whose label flows to the clearance
+    ({!Secpol_core.Lattice.Label.allowed_of}).
+    @raise Invalid_argument if the label assignment's arity differs from
+    the program's. *)
+
+val output_label :
+  policy:Secpol_core.Lattice.Label.policy -> report -> string
+(** The join of the labels of every input in [report.summary.deps] — the
+    classification the certifier can prove for the output. [Proved] is
+    exactly "output label flows to the clearance" plus clean control and
+    fault channels. *)
+
+val verdict_name : verdict -> string
+(** ["proved"], ["refuted"], ["unknown"]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+module Json = Lint.Json
+
+val to_json : report -> Json.value
+val to_json_string : report -> string

@@ -4,6 +4,7 @@ module Mechanism = Secpol_core.Mechanism
 module Var = Secpol_flowgraph.Var
 module Expr = Secpol_flowgraph.Expr
 module Ast = Secpol_flowgraph.Ast
+module Span = Secpol_flowgraph.Span
 module Interp = Secpol_flowgraph.Interp
 
 type env = Iset.t Var.Map.t
@@ -52,13 +53,78 @@ let initial_env arity : env =
   in
   add 0 Var.Map.empty
 
-type report = { certified : bool; out_taint : Iset.t; env : env }
+type counterexample = { cx_input : int; cx_span : Span.t option }
+
+type report = {
+  certified : bool;
+  out_taint : Iset.t;
+  env : env;
+  counterexamples : counterexample list;
+}
+
+(* Re-run the abstract interpretation carrying the innermost [At] span, and
+   record where each input's taint surfaces: at an assignment whose
+   right-hand side (plus context) carries it — output-targeted preferred —
+   or at the test that reads it. First location with a span wins within
+   each category. *)
+let locate (p : Ast.prog) =
+  let out_assigns = Hashtbl.create 8
+  and any_assigns = Hashtbl.create 8
+  and decisions = Hashtbl.create 8 in
+  let record tbl j sp =
+    match Hashtbl.find_opt tbl j with
+    | None -> Hashtbl.add tbl j sp
+    | Some None when sp <> None -> Hashtbl.replace tbl j sp
+    | Some _ -> ()
+  in
+  let record_set tbl t sp = Iset.fold (fun j () -> record tbl j sp) t () in
+  let rec go sp pc env = function
+    | Ast.Skip -> env
+    | Ast.Assign (v, e) ->
+        let t = Iset.union (expr_taint env e) pc in
+        record_set (if v = Var.Out then out_assigns else any_assigns) t sp;
+        Var.Map.add v t env
+    | Ast.Seq l -> List.fold_left (go sp pc) env l
+    | Ast.If (p, a, b) ->
+        let tt = pred_taint env p in
+        record_set decisions tt sp;
+        let pc' = Iset.union pc tt in
+        merge (go sp pc' env a) (go sp pc' env b)
+    | Ast.While (p, body) ->
+        let rec fix env =
+          let tt = pred_taint env p in
+          record_set decisions tt sp;
+          let env' = merge env (go sp (Iset.union pc tt) env body) in
+          if env_equal env env' then env' else fix env'
+        in
+        fix env
+    | Ast.At (s, stmt) -> go (Some s) pc env stmt
+  in
+  ignore (go None Iset.empty (initial_env p.Ast.arity) p.Ast.body);
+  fun j ->
+    match
+      ( Hashtbl.find_opt out_assigns j,
+        Hashtbl.find_opt any_assigns j,
+        Hashtbl.find_opt decisions j )
+    with
+    | Some sp, _, _ | None, Some sp, _ | None, None, Some sp -> sp
+    | None, None, None -> None
 
 let analyze ?(presimplify = false) ~allowed (p : Ast.prog) =
   let p = if presimplify then Ast.simplify_exprs p else p in
   let env = exec Iset.empty (initial_env p.Ast.arity) p.Ast.body in
   let out_taint = taint_of env Var.Out in
-  { certified = Iset.subset out_taint allowed; out_taint; env }
+  let certified = Iset.subset out_taint allowed in
+  let counterexamples =
+    if certified then []
+    else
+      let where = locate p in
+      List.rev
+        (Iset.fold
+           (fun j acc -> { cx_input = j; cx_span = where j } :: acc)
+           (Iset.diff out_taint allowed) [])
+  in
+  { certified; out_taint; env; counterexamples }
 
 let allowed_of policy =
   match Policy.allowed_indices policy with

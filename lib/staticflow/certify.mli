@@ -19,11 +19,23 @@
     but non-certified programs may still be perfectly innocent — the E9
     experiment measures that gap against the dynamic mechanisms. *)
 
+(** A located reason certification failed: disallowed input [cx_input]
+    taints the output, exhibited at the source span of an assignment that
+    carries it (output-targeted preferred) or of the test that reads it —
+    when the AST carries {!Secpol_flowgraph.Ast.At} spans (parser-produced
+    programs do; hand-built ones may not). *)
+type counterexample = {
+  cx_input : int;
+  cx_span : Secpol_flowgraph.Span.t option;
+}
+
 type report = {
   certified : bool;
   out_taint : Secpol_core.Iset.t;  (** final taint of the output variable *)
   env : Secpol_core.Iset.t Secpol_flowgraph.Var.Map.t;
       (** final taint of every variable *)
+  counterexamples : counterexample list;
+      (** one per offending input, ascending; empty iff [certified] *)
 }
 
 val analyze :

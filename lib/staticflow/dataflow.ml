@@ -4,6 +4,7 @@ module Mechanism = Secpol_core.Mechanism
 module Var = Secpol_flowgraph.Var
 module Expr = Secpol_flowgraph.Expr
 module Graph = Secpol_flowgraph.Graph
+module Span = Secpol_flowgraph.Span
 module Interp = Secpol_flowgraph.Interp
 module Graphalgo = Secpol_flowgraph.Graphalgo
 
@@ -34,10 +35,17 @@ let region g d stop =
   List.iter visit (Graph.successors g d);
   in_region
 
+type counterexample = {
+  cx_input : int;
+  cx_node : int option;
+  cx_span : Span.t option;
+}
+
 type report = {
   certified : bool;
   halt_taints : (int * Iset.t) list;
   pc_taint : Iset.t array;
+  counterexamples : counterexample list;
 }
 
 let analyze ~allowed g =
@@ -120,7 +128,59 @@ let analyze ~allowed g =
   let certified =
     List.for_all (fun (_, t) -> Iset.subset t allowed) halt_taints
   in
-  { certified; halt_taints; pc_taint = pc }
+  (* One located counterexample per offending input: prefer an assignment
+     into the output whose taint carries it (the explicit flow a reader can
+     point at), then any tainted assignment, then the decision whose test
+     reads it — so even pure control-channel violations get a source span
+     when the graph carries one. *)
+  let counterexamples =
+    if certified then []
+    else begin
+      let offending =
+        List.fold_left
+          (fun acc (_, t) -> Iset.union acc (Iset.diff t allowed))
+          Iset.empty halt_taints
+      in
+      List.rev
+        (Iset.fold
+           (fun j acc ->
+             let out_assign = ref None
+             and any_assign = ref None
+             and any_decision = ref None in
+             let remember r i = if !r = None then r := Some i in
+             for i = 0 to n - 1 do
+               if reach.(i) then
+                 match g.Graph.nodes.(i) with
+                 | Graph.Assign (v, e, _) ->
+                     let t =
+                       Iset.union (vars_taint in_env.(i) (Expr.vars e)) pc.(i)
+                     in
+                     if Iset.mem j t then
+                       remember
+                         (if v = Var.Out then out_assign else any_assign)
+                         i
+                 | Graph.Decision (p, _, _) ->
+                     if
+                       Iset.mem j
+                         (vars_taint in_env.(i) (Expr.pred_vars p))
+                     then remember any_decision i
+                 | Graph.Start _ | Graph.Halt | Graph.Halt_violation _ -> ()
+             done;
+             let cx_node =
+               match (!out_assign, !any_assign, !any_decision) with
+               | (Some _ as n), _, _ | None, (Some _ as n), _ -> n
+               | None, None, n -> n
+             in
+             {
+               cx_input = j;
+               cx_node;
+               cx_span = Option.bind cx_node (Graph.span g);
+             }
+             :: acc)
+           offending [])
+    end
+  in
+  { certified; halt_taints; pc_taint = pc; counterexamples }
 
 let allowed_of policy =
   match Policy.allowed_indices policy with

@@ -17,12 +17,25 @@
     the dynamic scoped mechanism is not — the classic static/dynamic
     flow-sensitivity asymmetry, measured in experiment E9. *)
 
+(** A located reason certification failed: disallowed input [cx_input]
+    reaches a halt check, exhibited at [cx_node] — an assignment whose
+    taint carries the input (output-targeted when one exists) or, for pure
+    control-channel flows, the decision that tests it — with the node's
+    source span when {!Secpol_flowgraph.Compile} threaded one. *)
+type counterexample = {
+  cx_input : int;
+  cx_node : int option;
+  cx_span : Secpol_flowgraph.Span.t option;
+}
+
 type report = {
   certified : bool;
       (** every reachable halt box outputs taint within the allowed set *)
   halt_taints : (int * Secpol_core.Iset.t) list;
       (** per reachable halt node: the output-plus-context taint checked *)
   pc_taint : Secpol_core.Iset.t array;  (** control context per node *)
+  counterexamples : counterexample list;
+      (** one per offending input, ascending; empty iff [certified] *)
 }
 
 val analyze : allowed:Secpol_core.Iset.t -> Secpol_flowgraph.Graph.t -> report

@@ -99,5 +99,9 @@ module Json : sig
   (** Field lookup; [None] on missing field or non-object. *)
 end
 
+val json_of_finding : finding -> Json.value
+(** One finding, as embedded in {!to_json}'s ["findings"] list — also
+    reused by {!Certifier} witnesses. *)
+
 val to_json : report -> Json.value
 val to_json_string : report -> string

@@ -546,6 +546,204 @@ let out_taint ?(fuel = Interp.default_fuel) g inputs =
         (try go g.Graph.entry 0
          with Expr.Runtime_fault e -> Error (Expr.error_message e))
 
+(* --- residual monitoring -------------------------------------------------
+
+   [run_residual] executes a static watch plan ([Secpol_staticflow.Certifier.
+   residual_plan]): boxes marked unwatched skip their surveillance work.
+   The reply is bit-identical to [run]'s because verdicts depend only on
+   the DISALLOWED part of each checked taint set (with the single notice,
+   "taint within allowed" is "no disallowed bits"), and the plan guarantees
+   skipping preserves those parts exactly:
+
+   - an unwatched assignment writes the empty set in place of the join its
+     static bound proves free of disallowed bits (or whose target can never
+     reach a check) — both copies, so the redundant-store cross-check keeps
+     working;
+   - an unwatched decision leaves C-bar unchanged — the bits it would add
+     are all allowed — and, in scoped mode, still pushes its restore frame
+     so inner watched decisions pop the same contexts;
+   - halt boxes, the fuel watchdog, the fault hook and the consistency
+     check run unchanged; step accounting is untouched.
+
+   Chatty notices are refused: their text quotes the full taint value,
+   which residual tracking deliberately does not maintain. Trace events
+   still fire but carry residual taint values; journaling composes with
+   the FULL monitor only (a residual image would not resume into one). *)
+
+type residual_stats = { watched_boxes : int; skipped_boxes : int }
+
+let rec run_residual cfg ~watch g inputs =
+  if cfg.chatty_notices then
+    invalid_arg
+      "Dynamic.run_residual: chatty notices quote taint values the residual \
+       monitor does not track";
+  if Array.length watch <> Array.length g.Graph.nodes then
+    invalid_arg
+      (Printf.sprintf
+         "Dynamic.run_residual %s: plan covers %d nodes, graph has %d"
+         g.Graph.name (Array.length watch)
+         (Array.length g.Graph.nodes));
+  let m = prepare cfg g in
+  let watched = ref 0 and skipped = ref 0 in
+  let commit node = incr (if watch.(node) then watched else skipped) in
+  let rec go st =
+    match residual_step m ~watch ~commit st with
+    | Step st -> go st
+    | Final r -> r
+  in
+  let reply =
+    match start m inputs with Error r -> r | Ok st -> go st
+  in
+  (reply, { watched_boxes = !watched; skipped_boxes = !skipped })
+
+and residual_step m ~watch ~commit st =
+  let cfg = m.m_cfg and g = m.m_graph in
+  let steps = st.st_steps in
+  let pc, frames =
+    if cfg.mode = Scoped then restore_frames st.st_node st.st_pc st.st_frames
+    else (st.st_pc, st.st_frames)
+  in
+  (match cfg.emit with
+  | Emit.Null -> ()
+  | Emit.Sink _ ->
+      if not (frames == st.st_frames) then
+        Emit.pc cfg.emit ~step:steps ~node:st.st_node ~pc ~srcs:Var.Set.empty);
+  let taints = st.st_taints in
+  let env = Store.lookup st.st_store in
+  let ok l = Iset.subset l cfg.allowed in
+  let stricken () =
+    let injected =
+      match cfg.hook ~step:steps with
+      | Some (Hook.Crash msg) ->
+          Some (reply (Mechanism.Failed (Interp.monitor_fault_prefix ^ msg)) steps)
+      | Some Hook.Starve -> Some (out_of_fuel steps)
+      | Some Hook.Corrupt ->
+          Taint_store.corrupt taints ~step:steps;
+          None
+      | None -> None
+    in
+    match injected with
+    | Some _ as r -> r
+    | None ->
+        if Taint_store.consistent taints then None
+        else Some (reply (Mechanism.Failed corruption_fault) steps)
+  in
+  try
+    match g.Graph.nodes.(st.st_node) with
+    | Graph.Start next ->
+        Step { st with st_node = next; st_pc = pc; st_frames = frames }
+    | Graph.Assign (v, e, next) -> (
+        match stricken () with
+        | Some r -> Final r
+        | None ->
+            if steps >= cfg.fuel then Final (out_of_fuel steps)
+            else begin
+              commit st.st_node;
+              let taint =
+                if watch.(st.st_node) then begin
+                  let vs = Expr.vars e in
+                  let rhs_taint = Taint_store.of_vars taints vs in
+                  let base = Iset.union rhs_taint pc in
+                  match cfg.mode with
+                  | High_water -> Iset.union (Taint_store.get taints v) base
+                  | Surveillance | Scoped | Timed -> base
+                end
+                else Iset.empty
+              in
+              let value, extra = Expr.eval_cost cfg.cost env e in
+              Store.set st.st_store v value;
+              Taint_store.set taints v taint;
+              Emit.box cfg.emit ~step:steps ~node:st.st_node;
+              if watch.(st.st_node) then
+                Emit.taint cfg.emit ~step:steps ~node:st.st_node ~var:v ~taint
+                  ~srcs:(Expr.vars e);
+              Step
+                {
+                  st with
+                  st_node = next;
+                  st_steps = steps + 1 + extra;
+                  st_pc = pc;
+                  st_frames = frames;
+                }
+            end)
+    | Graph.Decision (p, if_true, if_false) -> (
+        match stricken () with
+        | Some r -> Final r
+        | None ->
+            if steps >= cfg.fuel then Final (out_of_fuel steps)
+            else begin
+              commit st.st_node;
+              (* Scoped frames are pushed watched or not: an inner watched
+                 decision must pop the same saved contexts either way. *)
+              let frames =
+                if cfg.mode = Scoped && m.m_ipd.(st.st_node) >= 0 then
+                  (pc, m.m_ipd.(st.st_node)) :: frames
+                else frames
+              in
+              if watch.(st.st_node) then begin
+                let pvs = Expr.pred_vars p in
+                let test_taint = Taint_store.of_vars taints pvs in
+                match cfg.mode with
+                | Timed when not (ok (Iset.union test_taint pc)) ->
+                    let taint = Iset.union test_taint pc in
+                    Emit.box cfg.emit ~step:steps ~node:st.st_node;
+                    Emit.condemn cfg.emit ~step:steps ~node:st.st_node
+                      ~at_decision:true ~taint ~srcs:pvs
+                      ~notice:(denial_text cfg ~taint);
+                    Final (denied cfg ~taint steps)
+                | High_water | Surveillance | Scoped | Timed ->
+                    let pc = Iset.union pc test_taint in
+                    let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                    Emit.box cfg.emit ~step:steps ~node:st.st_node;
+                    Emit.pc cfg.emit ~step:steps ~node:st.st_node ~pc ~srcs:pvs;
+                    Step
+                      {
+                        st with
+                        st_node = (if taken then if_true else if_false);
+                        st_steps = steps + 1 + extra;
+                        st_pc = pc;
+                        st_frames = frames;
+                      }
+              end
+              else begin
+                (* The plan proved this test adds only allowed bits, so the
+                   timed check cannot fire and C-bar's disallowed part is
+                   unchanged. *)
+                let taken, extra = Expr.eval_pred_cost cfg.cost env p in
+                Emit.box cfg.emit ~step:steps ~node:st.st_node;
+                Step
+                  {
+                    st with
+                    st_node = (if taken then if_true else if_false);
+                    st_steps = steps + 1 + extra;
+                    st_pc = pc;
+                    st_frames = frames;
+                  }
+              end
+            end)
+    | Graph.Halt -> (
+        match stricken () with
+        | Some r -> Final r
+        | None ->
+            let out_taint = Iset.union (Taint_store.get taints Var.Out) pc in
+            Emit.box cfg.emit ~step:steps ~node:st.st_node;
+            if ok out_taint then
+              Final
+                (reply (Mechanism.Granted (Value.Int (Store.output st.st_store))) steps)
+            else begin
+              Emit.condemn cfg.emit ~step:steps ~node:st.st_node
+                ~at_decision:false ~taint:out_taint ~srcs:out_src
+                ~notice:(denial_text cfg ~taint:out_taint);
+              Final (denied cfg ~taint:out_taint steps)
+            end)
+    | Graph.Halt_violation n ->
+        Emit.box cfg.emit ~step:steps ~node:st.st_node;
+        Emit.condemn cfg.emit ~step:steps ~node:st.st_node ~at_decision:false
+          ~taint:Iset.empty ~srcs:Var.Set.empty ~notice:n;
+        Final (reply (Mechanism.Denied n) steps)
+  with Expr.Runtime_fault e ->
+    Final (reply (Mechanism.Failed (Expr.error_message e)) steps)
+
 let mechanism cfg g =
   Mechanism.make
     ~name:(Printf.sprintf "%s(%s)" (mode_name cfg.mode) g.Graph.name)

@@ -103,6 +103,36 @@ val run :
     runtime fault of the program or an injected fault of the monitor all
     come back as [Failed] (or [Denied]) replies — it never raises. *)
 
+(** Surveillance-work counters from a residual run: how many committed
+    assignment/decision boxes still did taint bookkeeping ([watched_boxes])
+    versus how many the static plan released ([skipped_boxes]). Halt boxes
+    are not counted — their check always runs. *)
+type residual_stats = { watched_boxes : int; skipped_boxes : int }
+
+val run_residual :
+  config ->
+  watch:bool array ->
+  Graph.t ->
+  Secpol_core.Value.t array ->
+  Secpol_core.Mechanism.reply * residual_stats
+(** One monitored execution under a static watch plan
+    ({!Secpol_staticflow.Certifier.residual_plan}): boxes with
+    [watch.(node) = false] skip their surveillance work — an unwatched
+    assignment records the empty taint (both redundant copies), an
+    unwatched decision leaves the control-context taint untouched and
+    performs no timed check. Because the plan only releases boxes whose
+    taint contribution provably has no disallowed part (or feeds no check),
+    the reply is {e bit-identical} to {!run}'s on every input: same
+    response, same notice, same step count. Fuel, fault hooks, the
+    redundant-store consistency check and halt-box checks run unchanged;
+    scoped-mode restore frames are pushed at every decision, watched or
+    not. Trace events still fire but carry residual taint values, so
+    provenance from a residual run is partial by design.
+
+    @raise Invalid_argument if [cfg.chatty_notices] is set (chatty notices
+    quote taint values the residual monitor does not maintain) or if the
+    plan's length differs from the graph's node count. *)
+
 (** {2 The step machine}
 
     [run] folded open: a prepared {!machine} (configuration plus the

@@ -1,0 +1,113 @@
+(* Certify every corpus program against its paper policy and every example
+   program against its "# policy:" hint, and compare the verdict with this
+   expected table. `make certify-corpus` drives the example half through the
+   CLI; this executable wires both halves into `dune runtest`.
+
+   Note the deliberate divergence from lint_corpus: mix.spl lints clean
+   (the linter's strong updates erase its dead store of the secret), but
+   the certifier speaks for ALL monitor modes, and high-water taint never
+   forgets an overwrite — so here mix is refuted, not proved. *)
+
+module Policy = Secpol_core.Policy
+module Compile = Secpol_flowgraph.Compile
+module Certifier = Secpol_staticflow.Certifier
+module Paper = Secpol_corpus.Paper_programs
+module Source = Secpol_lang.Source
+
+let examples_dir = "../examples/programs"
+
+(* corpus entry name -> verdict under the entry's own policy *)
+let expected_corpus =
+  [
+    ("forgetting", "refuted");
+    ("constant-branch", "refuted");
+    ("ex7", "refuted");
+    ("ex8", "refuted");
+    ("ex9", "refuted");
+    ("timing-constant", "refuted");
+    ("loop-then-secretfree", "refuted");
+    ("scoped-trap", "refuted");
+    ("direct-flow", "refuted");
+    ("branch-allowed", "proved");
+  ]
+
+(* example file -> verdict under its policy hint (allow_none when absent) *)
+let expected_examples =
+  [
+    ("blind_vote.spl", "refuted");
+    ("bounded_search.spl", "refuted");
+    ("gcd.spl", "proved");
+    ("mix.spl", "refuted");
+    ("wage_gap.spl", "refuted");
+  ]
+
+let check want got label failed =
+  if got <> want then begin
+    Printf.printf "FAIL %-24s verdict=%s (want %s)\n" label got want;
+    true
+  end
+  else begin
+    Printf.printf "ok   %-24s verdict=%s\n" label got;
+    failed
+  end
+
+let check_entry failed (e : Paper.entry) =
+  match List.assoc_opt e.Paper.name expected_corpus with
+  | None ->
+      Printf.printf "FAIL %-24s not in the expected table; add a verdict\n"
+        e.Paper.name;
+      true
+  | Some want ->
+      let report =
+        Certifier.certify_policy ~policy:e.Paper.policy (Paper.graph e)
+      in
+      check want (Certifier.verdict_name report.Certifier.verdict) e.Paper.name
+        failed
+
+let check_file failed file =
+  match List.assoc_opt file expected_examples with
+  | None ->
+      Printf.printf "FAIL %-24s not in the expected table; add a verdict\n" file;
+      true
+  | Some want -> (
+      let path = Filename.concat examples_dir file in
+      match Source.load_with_hint path with
+      | Error m ->
+          Printf.printf "FAIL %-24s does not parse: %s\n" file m;
+          true
+      | Ok (prog, hint) ->
+          let policy = Option.value hint ~default:Policy.allow_none in
+          let report =
+            Certifier.certify_policy ~policy (Compile.compile prog)
+          in
+          check want (Certifier.verdict_name report.Certifier.verdict) file
+            failed)
+
+let () =
+  let failed = List.fold_left check_entry false Paper.all in
+  let missing_entries =
+    List.filter
+      (fun (n, _) ->
+        not (List.exists (fun (e : Paper.entry) -> e.Paper.name = n) Paper.all))
+      expected_corpus
+  in
+  List.iter
+    (fun (n, _) -> Printf.printf "FAIL %-24s expected but not in corpus\n" n)
+    missing_entries;
+  let files =
+    Sys.readdir examples_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".spl")
+    |> List.sort compare
+  in
+  let missing_files =
+    List.filter (fun (f, _) -> not (List.mem f files)) expected_examples
+  in
+  List.iter
+    (fun (f, _) -> Printf.printf "FAIL %-24s expected but not on disk\n" f)
+    missing_files;
+  let failed =
+    List.fold_left check_file
+      (failed || missing_entries <> [] || missing_files <> [])
+      files
+  in
+  if failed then exit 1

@@ -1,0 +1,586 @@
+(* The static policy certifier: label-lattice policies, verdict semantics
+   (Proved / Refuted / Unknown), residual-monitor parity, cache pre-seeding,
+   and the differential gates tying the certifier to the dynamic monitors
+   on corpus and random programs. *)
+
+open Util
+module Expr = Secpol_flowgraph.Expr
+module Var = Secpol_flowgraph.Var
+module Ast = Secpol_flowgraph.Ast
+module Graph = Secpol_flowgraph.Graph
+module Compile = Secpol_flowgraph.Compile
+module Certifier = Secpol_staticflow.Certifier
+module Dynamic = Secpol_taint.Dynamic
+module Label = Secpol_core.Lattice.Label
+module Paper = Secpol_corpus.Paper_programs
+module Generator = Secpol_corpus.Generator
+module Source = Secpol_lang.Source
+module Run = Secpol.Run
+module Static = Secpol.Static
+module Cache = Secpol_engine.Cache
+module Memo = Secpol_engine.Memo
+module Runner = Secpol_journal.Runner
+module Metrics = Secpol_trace.Metrics
+open Expr.Build
+
+let examples_dir = "../examples/programs"
+
+let load_spl file =
+  let path = Filename.concat examples_dir file in
+  match Source.load_with_hint path with
+  | Ok (prog, hint) -> (prog, hint)
+  | Error m -> Alcotest.failf "%s: %s" file m
+
+(* Every subset of the program's input indices, as allowed sets. *)
+let all_allowed_sets arity = List.init (1 lsl arity) Iset.of_mask
+
+let verdict_of report = Certifier.verdict_name report.Certifier.verdict
+
+let check_reply msg want got =
+  if want <> got then
+    Alcotest.failf "%s: %s vs %s" msg (show_mech_reply want) (show_mech_reply got)
+
+(* A condemnation is a denial with a notice other than the fuel watchdog's:
+   Proved programs may still exhaust fuel, never issue Λ proper. *)
+let condemned (reply : Mechanism.reply) =
+  match reply.Mechanism.response with
+  | Mechanism.Denied n -> n <> Dynamic.fuel_notice
+  | _ -> false
+
+(* --- Label lattices ----------------------------------------------------- *)
+
+let chain3 = Label.chain ~name:"c3" [ "low"; "mid"; "high" ]
+let test_orders = [ Label.two_point; Label.diamond; chain3 ]
+
+let test_lattice_laws () =
+  List.iter
+    (fun ord ->
+      let ls = Label.levels ord in
+      let name = Label.name ord in
+      List.iter
+        (fun a ->
+          Alcotest.(check bool)
+            (name ^ ": leq refl") true (Label.leq ord a a);
+          Alcotest.(check string)
+            (name ^ ": bottom is unit of join")
+            a
+            (Label.join ord (Label.bottom ord) a);
+          Alcotest.(check string)
+            (name ^ ": top absorbs join")
+            (Label.top ord)
+            (Label.join ord (Label.top ord) a);
+          List.iter
+            (fun b ->
+              Alcotest.(check string)
+                (name ^ ": join comm") (Label.join ord a b) (Label.join ord b a);
+              Alcotest.(check string)
+                (name ^ ": meet comm") (Label.meet ord a b) (Label.meet ord b a);
+              Alcotest.(check string)
+                (name ^ ": absorption")
+                a
+                (Label.join ord a (Label.meet ord a b));
+              Alcotest.(check bool)
+                (name ^ ": leq iff join")
+                (Label.leq ord a b)
+                (Label.join ord a b = b);
+              List.iter
+                (fun c ->
+                  Alcotest.(check string)
+                    (name ^ ": join assoc")
+                    (Label.join ord a (Label.join ord b c))
+                    (Label.join ord (Label.join ord a b) c);
+                  Alcotest.(check string)
+                    (name ^ ": meet assoc")
+                    (Label.meet ord a (Label.meet ord b c))
+                    (Label.meet ord (Label.meet ord a b) c))
+                ls)
+            ls)
+        ls)
+    test_orders
+
+let expect_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let test_order_rejects () =
+  (* a, b below both c and d: {a, b} has two minimal upper bounds, so no
+     least one — a partial order but not a lattice. *)
+  expect_invalid "no unique join" (fun () ->
+      Label.order ~name:"m2" ~levels:[ "a"; "b"; "c"; "d" ]
+        ~covers:[ ("a", "c"); ("a", "d"); ("b", "c"); ("b", "d") ]);
+  expect_invalid "cycle" (fun () ->
+      Label.order ~name:"cyc" ~levels:[ "a"; "b" ]
+        ~covers:[ ("a", "b"); ("b", "a") ]);
+  expect_invalid "duplicate level" (fun () ->
+      Label.order ~name:"dup" ~levels:[ "a"; "a" ] ~covers:[]);
+  expect_invalid "unknown cover name" (fun () ->
+      Label.order ~name:"unk" ~levels:[ "a" ] ~covers:[ ("a", "z") ]);
+  expect_invalid "unknown label in policy" (fun () ->
+      Label.policy ~order:Label.two_point ~labels:[ "low"; "hi" ]
+        ~clearance:"low");
+  expect_invalid "unknown clearance" (fun () ->
+      Label.policy ~order:Label.two_point ~labels:[ "low" ] ~clearance:"zz")
+
+let test_of_allow_roundtrip () =
+  let arity = 3 in
+  List.iter
+    (fun allowed ->
+      let lp = Label.of_allow ~arity allowed in
+      Alcotest.check iset_testable "allowed_of inverts of_allow" allowed
+        (Label.allowed_of lp);
+      Alcotest.(check (option (list int)))
+        "to_policy induces allow(J)"
+        (Some (Iset.to_list allowed))
+        (Option.map Iset.to_list
+           (Policy.allowed_indices (Label.to_policy lp))))
+    (all_allowed_sets arity)
+
+let test_output_label () =
+  let lp =
+    Label.policy ~order:Label.diamond ~labels:[ "left"; "right"; "bot" ]
+      ~clearance:"top"
+  in
+  Alcotest.check iset_testable "everything flows to top"
+    (Iset.of_list [ 0; 1; 2 ])
+    (Label.allowed_of lp);
+  Alcotest.(check string)
+    "join of incomparables is top" "top"
+    (Label.output_label lp (Iset.of_list [ 0; 1 ]));
+  Alcotest.(check string)
+    "single label" "left"
+    (Label.output_label lp (Iset.singleton 0));
+  Alcotest.(check string)
+    "no deps: bottom" "bot"
+    (Label.output_label lp Iset.empty);
+  let mid =
+    Label.policy ~order:chain3 ~labels:[ "low"; "mid"; "high" ]
+      ~clearance:"mid"
+  in
+  Alcotest.check iset_testable "chain clearance cuts the chain"
+    (Iset.of_list [ 0; 1 ])
+    (Label.allowed_of mid)
+
+(* --- Verdicts on hand-built programs ------------------------------------ *)
+
+let compile name arity body = Compile.compile (Ast.prog ~name ~arity body)
+
+let test_proved_direct () =
+  let g = compile "copy-allowed" 2 (Ast.Assign (Var.Out, x 0)) in
+  let report = Certifier.certify ~allowed:(Iset.singleton 0) g in
+  Alcotest.(check string) "verdict" "proved" (verdict_of report);
+  (* a Proved program's residual plan releases every box *)
+  Alcotest.(check int)
+    "no boxes watched" 0 report.Certifier.residual.Certifier.watched_boxes;
+  Alcotest.(check bool)
+    "some boxes released" true
+    (report.Certifier.residual.Certifier.skipped_boxes > 0)
+
+let test_refuted_direct () =
+  let g = compile "copy-secret" 2 (Ast.Assign (Var.Out, x 1)) in
+  let report = Certifier.certify ~allowed:(Iset.singleton 0) g in
+  match report.Certifier.verdict with
+  | Certifier.Refuted w ->
+      Alcotest.(check bool)
+        "not a fuel denial" true
+        (w.Certifier.w_notice <> Dynamic.fuel_notice);
+      let cfg =
+        Dynamic.config ~mode:w.Certifier.w_mode (Policy.allow [ 0 ])
+      in
+      let reply = Dynamic.run cfg g w.Certifier.w_input in
+      (match reply.Mechanism.response with
+      | Mechanism.Denied n ->
+          Alcotest.(check string) "witness notice replays" w.Certifier.w_notice n
+      | _ ->
+          Alcotest.failf "witness does not replay: %s" (show_mech_reply reply));
+      Alcotest.(check bool)
+        "witness carries a located finding" true
+        (w.Certifier.w_finding <> None)
+  | v -> Alcotest.failf "expected refuted, got %s" (Certifier.verdict_name v)
+
+(* Statically the output may depend on x1 (one branch arm copies it), but on
+   the witness-search space {0..2} the guard x0 < 0 never fires, so no
+   monitor ever condemns: the certifier must answer Unknown. *)
+let test_unknown () =
+  let g =
+    compile "guarded-secret" 2
+      (Ast.If (x 0 <: i 0, Ast.Assign (Var.Out, x 1), Ast.Assign (Var.Out, x 0)))
+  in
+  let report = Certifier.certify ~allowed:(Iset.singleton 0) g in
+  Alcotest.(check string) "verdict" "unknown" (verdict_of report);
+  Alcotest.(check bool)
+    "static deps include the secret" true
+    (Iset.mem 1 report.Certifier.summary.Certifier.deps)
+
+(* Surveillance forgets taint on overwrite and grants; only the high-water
+   monitor condemns. The certifier abstracts high-water, so it refutes — and
+   the witness must name the mode that actually condemns. *)
+let test_high_water_witness () =
+  let g =
+    compile "overwrite-then-out" 2
+      (Ast.seq
+         [
+           Ast.Assign (Var.Reg 0, x 1);
+           Ast.Assign (Var.Reg 0, i 0);
+           Ast.Assign (Var.Out, r 0);
+         ])
+  in
+  let report = Certifier.certify ~allowed:(Iset.singleton 0) g in
+  match report.Certifier.verdict with
+  | Certifier.Refuted w ->
+      Alcotest.(check string)
+        "only high-water condemns" "high-water"
+        (Dynamic.mode_name w.Certifier.w_mode)
+  | v -> Alcotest.failf "expected refuted, got %s" (Certifier.verdict_name v)
+
+let test_corpus_poles () =
+  let refuted = Certifier.certify_policy
+      ~policy:Paper.loop_then_secretfree.Paper.policy
+      (Paper.graph Paper.loop_then_secretfree)
+  in
+  Alcotest.(check string)
+    "loop-then-secretfree refuted" "refuted" (verdict_of refuted);
+  let proved =
+    Certifier.certify_policy ~policy:Paper.branch_allowed.Paper.policy
+      (Paper.graph Paper.branch_allowed)
+  in
+  Alcotest.(check string) "branch-allowed proved" "proved" (verdict_of proved);
+  Alcotest.(check int)
+    "proved watches nothing" 0
+    proved.Certifier.residual.Certifier.watched_boxes;
+  Alcotest.(check bool)
+    "proved releases its boxes" true
+    (proved.Certifier.residual.Certifier.skipped_boxes > 0)
+
+(* --- QCheck: verdicts vs the dynamic monitors on random programs -------- *)
+
+let gen_params = Generator.default
+let gen_space = Generator.space_for gen_params
+
+(* Proved ⇒ no monitor mode ever condemns, and the monitored mechanism is
+   sound; Refuted ⇒ the witness replays to the recorded condemnation. *)
+let prop_verdicts_vs_monitors prog =
+  let g = Compile.compile prog in
+  List.iter
+    (fun allowed ->
+      let report = Certifier.certify ~allowed g in
+      match report.Certifier.verdict with
+      | Certifier.Proved ->
+          List.iter
+            (fun mode ->
+              let policy = Policy.allow_set allowed in
+              let cfg = Dynamic.config ~mode policy in
+              Seq.iter
+                (fun a ->
+                  let reply = Dynamic.run cfg g a in
+                  if condemned reply then
+                    Alcotest.failf "proved for %a yet %s condemns: %s"
+                      Iset.pp allowed (Dynamic.mode_name mode)
+                      (show_mech_reply reply))
+                (Space.enumerate gen_space);
+              check_sound "proved program is sound monitored" policy
+                (Dynamic.mechanism cfg g) gen_space)
+            Dynamic.all_modes
+      | Certifier.Refuted w ->
+          let cfg =
+            Dynamic.config ~mode:w.Certifier.w_mode (Policy.allow_set allowed)
+          in
+          let reply = Dynamic.run cfg g w.Certifier.w_input in
+          (match reply.Mechanism.response with
+          | Mechanism.Denied n when n = w.Certifier.w_notice -> ()
+          | _ ->
+              Alcotest.failf "witness does not replay for %a: %s" Iset.pp
+                allowed (show_mech_reply reply));
+          if w.Certifier.w_notice = Dynamic.fuel_notice then
+            Alcotest.fail "fuel exhaustion counted as a refutation"
+      | Certifier.Unknown -> ())
+    (all_allowed_sets prog.Ast.arity);
+  true
+
+(* The residual plan never changes a reply, in any mode, for any input. *)
+let prop_residual_parity prog =
+  let g = Compile.compile prog in
+  List.iter
+    (fun allowed ->
+      let plan = Certifier.residual_plan ~allowed g in
+      List.iter
+        (fun mode ->
+          let cfg = Dynamic.config ~mode (Policy.allow_set allowed) in
+          Seq.iter
+            (fun a ->
+              let full = Dynamic.run cfg g a in
+              let residual, _stats =
+                Dynamic.run_residual cfg ~watch:plan.Certifier.watch g a
+              in
+              check_reply
+                (Printf.sprintf "residual parity (%s, %s)"
+                   (Dynamic.mode_name mode)
+                   (Format.asprintf "%a" Iset.pp allowed))
+                full residual)
+            (Space.enumerate gen_space))
+        Dynamic.all_modes)
+    (all_allowed_sets prog.Ast.arity);
+  true
+
+(* --- Residual monitoring on the corpus ---------------------------------- *)
+
+let test_residual_corpus () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      match Policy.allowed_indices e.Paper.policy with
+      | None -> ()
+      | Some allowed ->
+          let g = Paper.graph e in
+          let report = Certifier.certify ~allowed g in
+          let plan = report.Certifier.residual in
+          List.iter
+            (fun mode ->
+              let cfg = Dynamic.config ~mode e.Paper.policy in
+              Seq.iter
+                (fun a ->
+                  let full = Dynamic.run cfg g a in
+                  let residual, stats =
+                    Dynamic.run_residual cfg ~watch:plan.Certifier.watch g a
+                  in
+                  check_reply
+                    (Printf.sprintf "%s/%s residual parity" e.Paper.name
+                       (Dynamic.mode_name mode))
+                    full residual;
+                  (* a Proved program commits no watched boxes at all *)
+                  if report.Certifier.verdict = Certifier.Proved then
+                    Alcotest.(check int)
+                      (e.Paper.name ^ ": proved run watches nothing") 0
+                      stats.Dynamic.watched_boxes)
+                (Space.enumerate e.Paper.space))
+            Dynamic.all_modes)
+    Paper.all
+
+let test_residual_chatty_refused () =
+  let g = Paper.graph Paper.forgetting in
+  let cfg =
+    Dynamic.config ~mode:Dynamic.Surveillance ~chatty_notices:true
+      Paper.forgetting.Paper.policy
+  in
+  let plan =
+    Certifier.residual_plan
+      ~allowed:(Option.get (Policy.allowed_indices Paper.forgetting.Paper.policy))
+      g
+  in
+  expect_invalid "chatty notices break D-part-exactness" (fun () ->
+      Dynamic.run_residual cfg ~watch:plan.Certifier.watch g (ints [ 1; 0 ]))
+
+(* --- Run integration ----------------------------------------------------- *)
+
+let test_run_residual () =
+  let metrics = Metrics.create () in
+  let total = ref 0 in
+  List.iter
+    (fun (e : Paper.entry) ->
+      let g = Paper.graph e in
+      let full = Run.config ~policy:e.Paper.policy () in
+      let residual =
+        Run.config ~policy:e.Paper.policy ~residual:true ~metrics ()
+      in
+      Seq.iter
+        (fun a ->
+          incr total;
+          check_reply
+            (e.Paper.name ^ ": residual Run parity")
+            (Run.run full g a) (Run.run residual g a))
+        (Space.enumerate e.Paper.space))
+    [ Paper.forgetting; Paper.branch_allowed ];
+  Alcotest.(check int)
+    "every run counted" !total
+    (Metrics.counter_value metrics "run/residual/runs");
+  Alcotest.(check bool)
+    "released boxes counted" true
+    (Metrics.counter_value metrics "run/residual/skipped-boxes" > 0)
+
+let test_run_residual_errors () =
+  let g = Paper.graph Paper.forgetting in
+  expect_invalid "residual without a policy" (fun () ->
+      Run.mechanism (Run.config ~residual:true ()) g);
+  expect_invalid "residual cannot journal" (fun () ->
+      Run.mechanism
+        (Run.config ~policy:Paper.forgetting.Paper.policy ~residual:true
+           ~journal:(Run.journal_memory ~program_ref:"forgetting" ())
+           ())
+        g)
+
+(* --- Cache pre-seeding --------------------------------------------------- *)
+
+let memoized cache cfg g =
+  match cfg.Run.policy with
+  | Some policy ->
+      Memo.mechanism ~cache ~digest:(Runner.graph_hash g)
+        ~tag:(Static.cache_tag cfg) ~policy (Run.mechanism cfg g)
+  | None -> Alcotest.fail "memoized: config has no policy"
+
+let test_preseed_gcd () =
+  let prog, hint = load_spl "gcd.spl" in
+  let policy =
+    match hint with
+    | Some p -> p
+    | None -> Alcotest.fail "gcd.spl lost its policy hint"
+  in
+  let g = Compile.compile prog in
+  let cfg = Run.config ~policy () in
+  let space = Space.ints ~lo:0 ~hi:3 ~arity:2 in
+  let cache = Cache.create () in
+  (match Static.preseed ~cache cfg g space with
+  | Ok n ->
+      (* both inputs allowed: every input is its own policy class *)
+      Alcotest.(check int) "one class per input" (Space.size space) n
+  | Error m -> Alcotest.failf "preseed failed: %s" m);
+  let misses_after_seed = Cache.misses cache in
+  let m = memoized cache cfg g in
+  Seq.iter
+    (fun a ->
+      check_reply "preseeded reply is the monitored reply"
+        (Run.run cfg g a) (Mechanism.respond m a))
+    (Space.enumerate space);
+  Alcotest.(check int)
+    "no monitored run ever computed into the cache" misses_after_seed
+    (Cache.misses cache);
+  Alcotest.(check int) "every lookup hit" (Space.size space) (Cache.hits cache)
+
+(* A Proved diverging program: the seeded plain outcome must surface as the
+   monitor's fuel denial Λ/fuel at the same step count — both machines check
+   the budget before committing a box. *)
+let test_preseed_divergence () =
+  let g =
+    compile "spin" 1
+      (Ast.seq
+         [
+           Ast.Assign (Var.Out, x 0);
+           Ast.While (i 0 <: i 1, Ast.Assign (Var.Reg 0, i 0));
+         ])
+  in
+  let cfg = Run.config ~policy:(Policy.allow [ 0 ]) ~fuel:200 () in
+  let report = Static.certify cfg g in
+  Alcotest.(check string)
+    "no reachable halt: proved" "proved" (verdict_of report);
+  let space = Space.ints ~lo:0 ~hi:2 ~arity:1 in
+  let cache = Cache.create () in
+  (match Static.preseed ~report ~cache cfg g space with
+  | Ok n -> Alcotest.(check int) "three classes" 3 n
+  | Error m -> Alcotest.failf "preseed failed: %s" m);
+  let m = memoized cache cfg g in
+  Seq.iter
+    (fun a ->
+      let cached = Mechanism.respond m a in
+      (match cached.Mechanism.response with
+      | Mechanism.Denied n when n = Dynamic.fuel_notice -> ()
+      | _ ->
+          Alcotest.failf "expected the fuel denial, got %s"
+            (show_mech_reply cached));
+      check_reply "fuel denial parity" (Run.run cfg g a) cached)
+    (Space.enumerate space)
+
+let test_preseed_errors () =
+  let e = Paper.direct_flow in
+  let g = Paper.graph e in
+  let space = e.Paper.space in
+  let refused msg cfg g =
+    match Static.preseed ~cache:(Cache.create ()) cfg g space with
+    | Error _ -> ()
+    | Ok n -> Alcotest.failf "%s: seeded %d classes" msg n
+  in
+  refused "refuted program" (Run.config ~policy:e.Paper.policy ()) g;
+  refused "no policy" (Run.config ()) g;
+  refused "journaled config"
+    (Run.config ~policy:e.Paper.policy
+       ~journal:(Run.journal_memory ~program_ref:"direct-flow" ())
+       ())
+    g;
+  let proved = Paper.branch_allowed in
+  refused "guarded config"
+    (Run.config ~policy:proved.Paper.policy
+       ~guard:Secpol_fault.Guard.default ())
+    (Paper.graph proved)
+
+(* --- Differential: lattice policies reduce to allow(J) ------------------- *)
+
+let test_label_reduction_corpus () =
+  List.iter
+    (fun (e : Paper.entry) ->
+      let g = Paper.graph e in
+      List.iter
+        (fun allowed ->
+          let direct = Certifier.certify ~allowed g in
+          let lp = Label.of_allow ~arity:g.Graph.arity allowed in
+          let via_labels = Certifier.certify_label ~policy:lp g in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s: label reduction verdict" e.Paper.name
+               (Format.asprintf "%a" Iset.pp allowed))
+            (verdict_of direct) (verdict_of via_labels);
+          (* Proved is exactly "the output label flows to the clearance"
+             (plus clean control/fault channels, which deps already folds
+             in) — on violation-free graphs. *)
+          if not via_labels.Certifier.summary.Certifier.violation_halts then
+            Alcotest.(check bool)
+              (e.Paper.name ^ ": proved iff output label clears")
+              (via_labels.Certifier.verdict = Certifier.Proved)
+              (Label.leq Label.two_point
+                 (Certifier.output_label ~policy:lp via_labels)
+                 (Label.clearance lp)))
+        (all_allowed_sets g.Graph.arity))
+    Paper.all
+
+let test_label_arity_mismatch () =
+  let g = Paper.graph Paper.forgetting in
+  expect_invalid "label arity must match the program" (fun () ->
+      Certifier.certify_label
+        ~policy:(Label.of_allow ~arity:3 (Iset.singleton 0))
+        g)
+
+let () =
+  Alcotest.run "certifier"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "lattice laws" `Quick test_lattice_laws;
+          Alcotest.test_case "invalid orders rejected" `Quick test_order_rejects;
+          Alcotest.test_case "of_allow round-trip" `Quick test_of_allow_roundtrip;
+          Alcotest.test_case "output labels" `Quick test_output_label;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "proved: direct copy" `Quick test_proved_direct;
+          Alcotest.test_case "refuted: direct leak" `Quick test_refuted_direct;
+          Alcotest.test_case "unknown: unreachable leak" `Quick test_unknown;
+          Alcotest.test_case "high-water witness" `Quick test_high_water_witness;
+          Alcotest.test_case "corpus poles" `Quick test_corpus_poles;
+        ] );
+      ( "random",
+        [
+          qtest ~count:60 "verdicts vs every monitor"
+            (Generator.arbitrary gen_params)
+            prop_verdicts_vs_monitors;
+          qtest ~count:60 "residual parity"
+            (Generator.arbitrary gen_params)
+            prop_residual_parity;
+        ] );
+      ( "residual",
+        [
+          Alcotest.test_case "corpus parity, all modes" `Quick
+            test_residual_corpus;
+          Alcotest.test_case "chatty notices refused" `Quick
+            test_residual_chatty_refused;
+          Alcotest.test_case "Run integration" `Quick test_run_residual;
+          Alcotest.test_case "Run misuse rejected" `Quick
+            test_run_residual_errors;
+        ] );
+      ( "preseed",
+        [
+          Alcotest.test_case "gcd: all hits" `Quick test_preseed_gcd;
+          Alcotest.test_case "divergence parity" `Quick test_preseed_divergence;
+          Alcotest.test_case "refusals" `Quick test_preseed_errors;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "corpus label reduction" `Quick
+            test_label_reduction_corpus;
+          Alcotest.test_case "arity mismatch" `Quick test_label_arity_mismatch;
+        ] );
+    ]
