@@ -9,49 +9,45 @@ test:
 test-force:
 	dune runtest --force --no-buffer
 
-# Lint every example program and fail on an unexpected verdict. The same
-# sweep runs inside `dune runtest` (test/lint_corpus.ml); this target drives
-# it through the CLI, exit codes and all.
-lint-corpus:
+# Lint / certify every example program and fail on an unexpected verdict.
+# Both targets (and test/lint_corpus.ml, test/certify_corpus.ml inside
+# `dune runtest`) read the same expectation table,
+# examples/programs/corpus.manifest, so adding an example cannot silently
+# skip one gate: a file missing from the manifest — or a manifest line
+# with no file on disk — fails the sweep. $(1) is the CLI subcommand,
+# $(2) the manifest verdict column it answers for.
+MANIFEST := examples/programs/corpus.manifest
+define corpus_sweep
 	@dune build bin/secpol_cli.exe
 	@status=0; \
 	for f in examples/programs/*.spl; do \
-	  ./_build/default/bin/secpol_cli.exe lint $$f > /dev/null 2>&1; code=$$?; \
-	  case $$(basename $$f) in \
-	    gcd.spl|mix.spl) want=0 ;; \
-	    blind_vote.spl|bounded_search.spl|wage_gap.spl) want=1 ;; \
-	    *) echo "UNEXPECTED $$f: add it here and to test/lint_corpus.ml"; status=1; continue ;; \
+	  b=$$(basename $$f); \
+	  verdict=$$(awk -v f="$$b" '!/^\#/ && $$1 == f { print $$$(2) }' $(MANIFEST)); \
+	  case "$$verdict" in \
+	    proved) want=0 ;; \
+	    refuted) want=1 ;; \
+	    *) echo "UNEXPECTED $$f: add it to $(MANIFEST)"; status=1; continue ;; \
 	  esac; \
+	  ./_build/default/bin/secpol_cli.exe $(1) $$f > /dev/null 2>&1; code=$$?; \
 	  if [ $$code -ne $$want ]; then \
-	    echo "FAIL $$f: exit $$code, want $$want"; status=1; \
+	    echo "FAIL $$f: exit $$code, want $$want ($$verdict)"; status=1; \
 	  else \
-	    echo "ok   $$f (exit $$code)"; \
+	    echo "ok   $$f (exit $$code, $$verdict)"; \
 	  fi; \
-	done; exit $$status
+	done; \
+	for b in $$(awk '!/^\#/ && NF { print $$1 }' $(MANIFEST)); do \
+	  if [ ! -f "examples/programs/$$b" ]; then \
+	    echo "MISSING $$b: listed in $(MANIFEST) but not on disk"; status=1; \
+	  fi; \
+	done; \
+	exit $$status
+endef
 
-# Certify every example program against its policy hint and fail on an
-# unexpected verdict (exit 0 proved, 1 refuted/unknown). The same sweep
-# runs inside `dune runtest` (test/certify_corpus.ml, which also covers the
-# paper corpus); this target drives it through the CLI. Note mix.spl: the
-# linter certifies its dead store of the secret (overwritten on every
-# path), but the certifier answers for every monitor mode and high-water
-# taint never forgets an overwrite — it condemns.
+lint-corpus:
+	$(call corpus_sweep,lint,2)
+
 certify-corpus:
-	@dune build bin/secpol_cli.exe
-	@status=0; \
-	for f in examples/programs/*.spl; do \
-	  ./_build/default/bin/secpol_cli.exe certify $$f > /dev/null 2>&1; code=$$?; \
-	  case $$(basename $$f) in \
-	    gcd.spl) want=0 ;; \
-	    blind_vote.spl|bounded_search.spl|mix.spl|wage_gap.spl) want=1 ;; \
-	    *) echo "UNEXPECTED $$f: add it here and to test/certify_corpus.ml"; status=1; continue ;; \
-	  esac; \
-	  if [ $$code -ne $$want ]; then \
-	    echo "FAIL $$f: exit $$code, want $$want"; status=1; \
-	  else \
-	    echo "ok   $$f (exit $$code)"; \
-	  fi; \
-	done; exit $$status
+	$(call corpus_sweep,certify,3)
 
 # Differential fault-injection sweep over the whole corpus: every seeded
 # fault must land in a violation notice, never in a fail-open grant. The
@@ -67,12 +63,21 @@ chaos:
 chaos-crash:
 	dune exec bin/secpol_cli.exe -- chaos --crash --crash-points 50
 
+# Distributed chaos sweep: split every run across cooperating shard
+# enforcers under seeded shard-kill / network-fault / coordinator-timeout
+# plans, and verify no merge ever fail-opens, with undisturbed runs
+# bit-identical to the guarded single enforcer. The same sweep runs inside
+# `dune runtest` (test/dist_sweep.ml).
+chaos-dist:
+	dune exec bin/secpol_cli.exe -- chaos --dist --seeds 30
+
 # Both sweeps through the engine pool at 4 domains. Reports are promised
 # byte-identical to the sequential ones; the pool's scheduling telemetry
 # (steals, idle probes) lands on stderr.
 chaos-par:
 	dune exec bin/secpol_cli.exe -- chaos --seeds 100 --jobs 4
 	dune exec bin/secpol_cli.exe -- chaos --crash --crash-points 50 --jobs 4
+	dune exec bin/secpol_cli.exe -- chaos --dist --seeds 30 --jobs 4
 
 # Regenerates experiments_output.txt (gitignored — it is derived output;
 # EXPERIMENTS.md narrates the numbers).
@@ -102,4 +107,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force lint-corpus certify-corpus chaos chaos-crash chaos-par experiments bench bench-json examples doc clean
+.PHONY: all test test-force lint-corpus certify-corpus chaos chaos-crash chaos-dist chaos-par experiments bench bench-json examples doc clean

@@ -322,6 +322,16 @@ let () =
   in
   let pct, decided, total_pairs = decided_fraction_pct () in
   let rows = rows @ [ ("secpol/static/decided-fraction-pct", pct) ] in
+  (* The detected core count rides along in the JSON so a trend line that
+     regresses (or a waived speedup gate) can be read against the machine
+     it ran on. *)
+  let rows =
+    rows
+    @ [
+        ( "secpol/engine/recommended-domain-count",
+          float_of_int (Domain.recommended_domain_count ()) );
+      ]
+  in
   Printf.printf "%-45s %14s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 60 '-');
   List.iter (fun (name, ns) -> Printf.printf "%-45s %14.1f\n" name ns) rows;

@@ -160,6 +160,22 @@ let check_jobs jobs =
   end;
   jobs
 
+let shards_arg =
+  let doc =
+    "Split the enforcement across $(docv) cooperating shard enforcers \
+     merged fail-securely by a coordinator; on a fault-free host the \
+     reply is bit-identical to the single enforcer. Requires an \
+     allow(...) policy."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let check_shards shards =
+  if shards < 1 || shards > Pool.max_jobs then begin
+    Printf.eprintf "--shards must be between 1 and %d\n" Pool.max_jobs;
+    exit 2
+  end;
+  shards
+
 (* Scheduling telemetry is stderr-only: stdout carries the report, whose
    bytes are promised independent of --jobs. *)
 let report_pool (stats : Pool.stats) =
@@ -308,12 +324,45 @@ let show_cmd =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name inputs journal kill_at snapshot_every trace trace_format =
+  let run name inputs shards journal kill_at snapshot_every trace trace_format =
+    let shards = check_shards shards in
     let e = entry_of_name name in
     let a = parse_inputs inputs in
     check_arity e a;
     let code =
       with_sink trace trace_format (fun sink ->
+          if shards > 1 then begin
+            (* Sharding needs the step machine and an allow(J) policy, so
+               the run goes through the monitored interpreter under
+               allow(everything) — same outputs, distributed for real. *)
+            if kill_at <> None then begin
+              prerr_endline
+                "--kill-at applies to journaled single-enforcer runs; with \
+                 --shards, kills are exercised by `secpol chaos --dist`";
+              exit 2
+            end;
+            let g = Paper.graph e in
+            let p = Policy.allow_all ~arity:e.Paper.prog.Ast.arity in
+            let journal =
+              Option.map
+                (fun dir ->
+                  Run.journal_dir ~snapshot_every ~program_ref:name dir)
+                journal
+            in
+            let r =
+              Run.run (Run.config ~policy:p ~shards ?journal ~trace:sink ()) g a
+            in
+            (match r.Mechanism.response with
+            | Mechanism.Granted v -> Format.printf "output: %a@." Value.pp v
+            | Mechanism.Denied n when n = Dynamic.fuel_notice ->
+                print_endline "output: <diverged>"
+            | Mechanism.Denied n -> Printf.printf "violation notice: %s\n" n
+            | Mechanism.Hung -> print_endline "output: <diverged>"
+            | Mechanism.Failed m -> Printf.printf "output: <fault: %s>\n" m);
+            Printf.printf "steps:  %d\n" r.Mechanism.steps;
+            0
+          end
+          else
           match journal with
           | None ->
               (* A policy-less Run config is the plain graph interpreter:
@@ -360,10 +409,11 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:
          "Run a corpus program unprotected; with --journal, run it durably \
-          under an allow-everything monitor")
+          under an allow-everything monitor; with --shards, split it \
+          across cooperating shard enforcers")
     Term.(
-      const run $ program_arg $ inputs_arg $ journal_arg $ kill_at_arg
-      $ snapshot_every_arg $ trace_arg $ trace_format_arg)
+      const run $ program_arg $ inputs_arg $ shards_arg $ journal_arg
+      $ kill_at_arg $ snapshot_every_arg $ trace_arg $ trace_format_arg)
 
 (* --- enforce -------------------------------------------------------------- *)
 
@@ -376,8 +426,9 @@ let show_enforce_reply (r : Mechanism.reply) =
   Printf.printf "steps:  %d\n" r.Mechanism.steps
 
 let enforce_cmd =
-  let run name inputs mode policy journal kill_at snapshot_every trace
+  let run name inputs mode policy shards journal kill_at snapshot_every trace
       trace_format =
+    let shards = check_shards shards in
     let e = entry_of_name name in
     let p = resolve_policy e policy in
     let a = parse_inputs inputs in
@@ -385,6 +436,32 @@ let enforce_cmd =
     let g = Paper.graph e in
     let code =
       with_sink trace trace_format (fun sink ->
+          if shards > 1 then begin
+            if Policy.allowed_indices p = None then begin
+              prerr_endline "distributed enforcement needs an allow(...) policy";
+              exit 2
+            end;
+            if kill_at <> None then begin
+              prerr_endline
+                "--kill-at applies to journaled single-enforcer runs; with \
+                 --shards, kills are exercised by `secpol chaos --dist`";
+              exit 2
+            end;
+            let journal =
+              Option.map
+                (fun dir ->
+                  Run.journal_dir ~snapshot_every ~program_ref:name dir)
+                journal
+            in
+            let r =
+              Run.run
+                (Run.config ~policy:p ~mode ~shards ?journal ~trace:sink ())
+                g a
+            in
+            show_enforce_reply r;
+            0
+          end
+          else
           match journal with
           | None ->
               Sink.emit sink
@@ -415,11 +492,12 @@ let enforce_cmd =
     (Cmd.info "enforce"
        ~doc:
          "Run a corpus program under a dynamic protection mechanism, \
-          optionally journaled for crash recovery")
+          optionally journaled for crash recovery or split across \
+          cooperating shard enforcers")
     Term.(
       const run $ program_arg $ inputs_arg $ mode_arg $ policy_arg
-      $ journal_arg $ kill_at_arg $ snapshot_every_arg $ trace_arg
-      $ trace_format_arg)
+      $ shards_arg $ journal_arg $ kill_at_arg $ snapshot_every_arg
+      $ trace_arg $ trace_format_arg)
 
 (* --- resume ---------------------------------------------------------------- *)
 
@@ -819,16 +897,31 @@ let lint_cmd =
 let chaos_cmd =
   let module Sweep = Secpol_fault.Sweep in
   let module Crash = Secpol_fault.Crash in
+  let module Dist = Secpol_dist.Sweep in
   let run program mode seeds base_seed horizon retries crash crash_points
-      snapshot_every format json jobs trace trace_format =
+      snapshot_every dist format json jobs trace trace_format =
     let jobs = check_jobs jobs in
     let format = output_format json format in
     let entries =
       match program with None -> Paper.all | Some name -> [ entry_of_name name ]
     in
+    if dist && crash then begin
+      prerr_endline "--dist and --crash are separate sweeps; pick one";
+      exit 2
+    end;
     let code =
       with_sink trace trace_format (fun sink ->
-          if crash then begin
+          if dist then begin
+            let report =
+              Dist.run ~entries ~mode ~seeds ~base_seed ~sink ~jobs ()
+            in
+            report_pool report.Dist.pool;
+            (match format with
+            | `Json -> print_endline (Dist.to_json_string report)
+            | `Text -> Format.printf "%a" Dist.pp report);
+            if report.Dist.ok then 0 else 1
+          end
+          else if crash then begin
             let report =
               Crash.run ~entries ~mode ~crash_points ~base_seed ~snapshot_every
                 ~sink ~jobs ()
@@ -860,6 +953,15 @@ let chaos_cmd =
        bit-identical to the uninterrupted run or degrades to \xce\x9b/recovery."
     in
     Arg.(value & flag & info [ "crash" ] ~doc)
+  in
+  let dist =
+    let doc =
+      "Run the distributed sweep instead: split runs across seeded \
+       shard-kill / network-fault / coordinator-timeout plans and verify \
+       zero fail-open merges, with undisturbed runs bit-identical to the \
+       guarded single enforcer."
+    in
+    Arg.(value & flag & info [ "dist" ] ~doc)
   in
   let crash_points =
     let doc = "Crash points per (program, policy, input) case (with --crash)." in
@@ -900,7 +1002,7 @@ let chaos_cmd =
           usage errors.")
     Term.(
       const run $ program $ mode_arg $ seeds $ seed_arg $ horizon $ retries
-      $ crash $ crash_points $ snapshot_every $ format_arg $ json_arg
+      $ crash $ crash_points $ snapshot_every $ dist $ format_arg $ json_arg
       $ jobs_arg $ trace_arg $ trace_format_arg)
 
 (* --- explain ---------------------------------------------------------------- *)

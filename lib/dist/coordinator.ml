@@ -1,0 +1,216 @@
+module Mechanism = Secpol_core.Mechanism
+module Value = Secpol_core.Value
+module Iset = Secpol_core.Iset
+module Dynamic = Secpol_taint.Dynamic
+module Rng = Secpol_fault.Plan.Rng
+module Event = Secpol_trace.Event
+module Sink = Secpol_trace.Sink
+module Pool = Secpol_engine.Pool
+
+type config = {
+  deadline_rounds : int;
+  retries : int;
+  backoff_base : int;
+  jitter : int option;
+}
+
+let default = { deadline_rounds = 4; retries = 2; backoff_base = 4; jitter = None }
+
+let partition_notice = "\xce\x9b/partition" (* Λ/partition *)
+
+let nonce_counter = Atomic.make 1
+let fresh_nonce () = Atomic.fetch_and_add nonce_counter 1
+
+type stats = {
+  rounds : int;
+  retransmits : int;
+  lost : int;
+  rejected : int;
+  foreign : int;
+  duplicates : int;
+  disagreements : int;
+  backoff_steps : int;
+  complete : bool;
+}
+
+(* Λ and Λ/fuel are verdicts about the monitored program — deterministic,
+   valid whatever the other shards would have said. Everything else
+   (Λ/degraded, Λ/recovery, Λ/partition) reports a fault of the
+   machinery; rank them after the monitor notices so the minimum-step
+   merge prefers a real verdict at equal steps. *)
+let notice_rank notice =
+  if notice = Dynamic.notice then 0
+  else if notice = Dynamic.fuel_notice then 1
+  else 2
+
+let enforce ?(config = default) ?net ?(sink = Sink.null) ?(jobs = 1) ~nonce
+    shards a =
+  let n = Array.length shards in
+  if n = 0 then invalid_arg "Coordinator.enforce: no shards";
+  let net = match net with Some net -> net | None -> Net.create () in
+  let expected_mask = Array.map Shard.watch_mask shards in
+  let received : Msg.report option array = Array.make n None in
+  let rejected = ref 0
+  and foreign = ref 0
+  and duplicates = ref 0
+  and disagreements = ref 0 in
+  (* A contradicting duplicate means some enforcer is lying: no grant can
+     be trusted, so the run is poisoned straight to Λ/partition. *)
+  let poisoned = ref false in
+  let emit kind ~shard detail =
+    if not (Sink.is_null sink) then
+      Sink.emit sink (Event.Dist { kind; shard; round = Net.round net; detail })
+  in
+  let deliver bytes =
+    match Msg.decode bytes with
+    | Error _ -> incr rejected
+    | Ok r ->
+        if r.Msg.nonce <> nonce then incr foreign
+        else if
+          r.Msg.shards <> n || r.Msg.shard_id < 0 || r.Msg.shard_id >= n
+          || r.Msg.watch_mask <> expected_mask.(r.Msg.shard_id)
+        then incr rejected
+        else begin
+          match r.Msg.reply.Mechanism.response with
+          | Mechanism.Hung | Mechanism.Failed _ ->
+              (* Not an element of E ∪ F: a malfunctioning shard's raw
+                 symptom. Discarded — the shard counts as lost. *)
+              incr rejected
+          | Mechanism.Granted _ | Mechanism.Denied _ -> (
+              match received.(r.Msg.shard_id) with
+              | None ->
+                  received.(r.Msg.shard_id) <- Some r;
+                  emit Event.Shard_reply ~shard:r.Msg.shard_id
+                    (Printf.sprintf "attempt %d, %d steps" r.Msg.attempt
+                       r.Msg.reply.Mechanism.steps)
+              | Some prev ->
+                  incr duplicates;
+                  if not (Msg.content_equal prev r) then begin
+                    incr disagreements;
+                    poisoned := true
+                  end)
+        end
+  in
+  Array.iteri
+    (fun i s ->
+      emit Event.Shard_start ~shard:i
+        (Printf.sprintf "watch %s" (Iset.to_string (Shard.slice s).Shard.watch_set)))
+    shards;
+  let outs, _pool = Pool.map ~jobs n (fun i -> Shard.execute shards.(i) ~nonce a) in
+  Array.iter (function Some bytes -> Net.send net bytes | None -> ()) outs;
+  let complete () = Array.for_all Option.is_some received in
+  let jitter_rng = Option.map Rng.create config.jitter in
+  let backoff = ref 0 and retransmits = ref 0 in
+  let window () =
+    let budget = ref config.deadline_rounds in
+    while (not (complete ())) && (not !poisoned) && !budget > 0 do
+      decr budget;
+      List.iter deliver (Net.tick net)
+    done
+  in
+  let rec collect attempt =
+    window ();
+    if (not (complete ())) && (not !poisoned) && attempt <= config.retries
+    then begin
+      let base = config.backoff_base * (1 lsl (attempt - 1)) in
+      let penalty =
+        match jitter_rng with
+        | Some st when base > 0 -> base + Rng.below st base
+        | _ -> base
+      in
+      backoff := !backoff + penalty;
+      Array.iteri
+        (fun i r ->
+          if r = None then begin
+            emit Event.Shard_retry ~shard:i
+              (Printf.sprintf "request %d" (attempt + 1));
+            incr retransmits;
+            match Shard.retransmit shards.(i) ~nonce with
+            | Some bytes -> Net.send net bytes
+            | None -> ()
+          end)
+        received;
+      collect (attempt + 1)
+    end
+  in
+  collect 1;
+  let lost = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if r = None then begin
+        incr lost;
+        emit Event.Shard_lost ~shard:i "no valid report"
+      end)
+    received;
+  let reports = List.filter_map Fun.id (Array.to_list received) in
+  let denials =
+    List.filter_map
+      (fun (r : Msg.report) ->
+        match r.Msg.reply.Mechanism.response with
+        | Mechanism.Denied notice ->
+            Some (r.Msg.reply.Mechanism.steps, notice_rank notice, notice)
+        | _ -> None)
+      reports
+  in
+  let best = function
+    | [] -> None
+    | d :: ds ->
+        Some
+          (List.fold_left
+             (fun (s, k, nt) (s', k', nt') ->
+               if s' < s || (s' = s && (k' < k || (k' = k && nt' < nt))) then
+                 (s', k', nt')
+               else (s, k, nt))
+             d ds)
+  in
+  let partition = { Mechanism.response = Mechanism.Denied partition_notice; steps = 0 } in
+  let all_in = (not !poisoned) && !lost = 0 in
+  let merged =
+    if all_in then
+      match best denials with
+      | Some (steps, _, notice) ->
+          { Mechanism.response = Mechanism.Denied notice; steps }
+      | None -> (
+          (* All granted: a value flows only on unanimity, in value AND
+             step count — a replica that disagrees is indistinguishable
+             from a corrupted enforcer. *)
+          match reports with
+          | [] -> assert false (* n >= 1 and all_in *)
+          | first :: rest ->
+              if
+                List.for_all
+                  (fun (r : Msg.report) -> r.Msg.reply = first.Msg.reply)
+                  rest
+              then first.Msg.reply
+              else begin
+                incr disagreements;
+                partition
+              end)
+    else
+      (* Shards missing: only a surviving monitor verdict may still be
+         delivered; grants need the lost shards' testimony and fault
+         notices describe machinery, not the program. *)
+      match best (List.filter (fun (_, k, _) -> k <= 1) denials) with
+      | Some (steps, _, notice) ->
+          { Mechanism.response = Mechanism.Denied notice; steps }
+      | None -> partition
+  in
+  let reply = { merged with Mechanism.steps = merged.Mechanism.steps + !backoff } in
+  emit Event.Merge ~shard:(-1)
+    (match reply.Mechanism.response with
+    | Mechanism.Granted v -> "granted " ^ Value.to_string v
+    | Mechanism.Denied notice ->
+        Printf.sprintf "denied %s (%d lost)" notice !lost
+    | Mechanism.Hung | Mechanism.Failed _ -> assert false);
+  ( reply,
+    {
+      rounds = Net.round net;
+      retransmits = !retransmits;
+      lost = !lost;
+      rejected = !rejected;
+      foreign = !foreign;
+      duplicates = !duplicates;
+      disagreements = !disagreements;
+      backoff_steps = !backoff;
+      complete = all_in;
+    } )

@@ -1,0 +1,99 @@
+(** The fail-secure merge: one reply in [E ∪ F] from many shard reports.
+
+    The coordinator launches every shard on the input, collects their
+    framed {!Msg} reports off the {!Net} under a deadline, requests
+    retransmissions with jittered exponential backoff, and merges what
+    arrived. The merge direction is the whole point: {b a lost or lying
+    shard can cost completeness, never soundness}.
+
+    - A {e grant} needs unanimity: every shard reported, no report was
+      invalid, all verdicts granted the same value in the same step
+      count. Anything less and no value flows.
+    - A {e denial} needs only evidence. With every report in hand the
+      merged denial is the minimum over shard denials ordered by
+      (steps, notice rank Λ < Λ/fuel < fault notices) — exactly the full
+      monitor's first check, reconstructed ({!Shard}). With shards
+      missing, a surviving {e monitor} denial (Λ or Λ/fuel: a verdict
+      about the program, valid whatever other shards would have said) is
+      still delivered, smallest first.
+    - Everything else — timeouts, quorum failure, disagreeing
+      duplicates, grants with shards missing — collapses to the fresh
+      violation notice {!partition_notice} ∈ F.
+
+    Reports are validated before they count: frame checksum and codec
+    version ({!Msg.decode}), the run nonce, shard id range, shard count
+    and the watch mask the coordinator assigned. Duplicates must be
+    content-identical ({!Msg.content_equal}) — the merge is idempotent
+    under duplicated and reordered delivery — and a contradicting
+    duplicate poisons the run to {!partition_notice} (some enforcer is
+    lying; no grant can be trusted).
+
+    On a fault-free run every report arrives in the first round: no
+    backoff is charged and the merged reply is bit-identical — response
+    and step count — to the guarded single enforcer's, at any shard
+    count. Backoff penalty steps, when charged, are added to the final
+    reply's step count exactly like the {!Secpol_fault.Guard}'s own
+    backoff. *)
+
+module Mechanism = Secpol_core.Mechanism
+module Value = Secpol_core.Value
+module Sink = Secpol_trace.Sink
+
+type config = {
+  deadline_rounds : int;
+      (** network rounds ticked per collection window; the default (4)
+          covers the longest {!Net} delay, so delays alone never
+          trigger a retransmission *)
+  retries : int;  (** retransmission requests per missing shard *)
+  backoff_base : int;
+      (** window [i]'s expiry charges [backoff_base * 2^(i-1)] penalty
+          steps, mirroring {!Secpol_fault.Guard.config} *)
+  jitter : int option;
+      (** [Some seed] jitters each backoff penalty to [\[p, 2p)] from a
+          deterministic {!Secpol_fault.Plan.Rng} stream, as in
+          {!Secpol_fault.Guard.config}; [None] keeps the exact
+          schedule *)
+}
+
+val default : config
+(** [{ deadline_rounds = 4; retries = 2; backoff_base = 4; jitter = None }]. *)
+
+val partition_notice : string
+(** "Λ/partition" — the single violation notice for every distributed
+    failure the merge cannot decide soundly. Deliberately as
+    uninformative as [Λ/degraded]: which shard was lost is
+    fault-pattern data and must not split a policy class. *)
+
+val fresh_nonce : unit -> int
+(** Process-unique run nonces; reports from other runs are rejected. *)
+
+type stats = {
+  rounds : int;  (** network rounds consumed *)
+  retransmits : int;  (** retransmission requests issued *)
+  lost : int;  (** shards with no valid report at merge time *)
+  rejected : int;  (** undecodable or misaddressed messages discarded *)
+  foreign : int;  (** messages carrying another run's nonce *)
+  duplicates : int;  (** redundant deliveries of an already-held report *)
+  disagreements : int;
+      (** contradicting duplicates or non-unanimous grants — each one
+          poisons the run to {!partition_notice} *)
+  backoff_steps : int;  (** penalty steps charged into the reply *)
+  complete : bool;  (** every shard's report was in hand and agreed *)
+}
+
+val enforce :
+  ?config:config ->
+  ?net:Net.t ->
+  ?sink:Sink.t ->
+  ?jobs:int ->
+  nonce:int ->
+  Shard.t array ->
+  Value.t array ->
+  Mechanism.reply * stats
+(** One distributed enforcement: launch the shards ([jobs] of them at a
+    time on the engine pool; default 1), feed their reports through
+    [net] (default: a perfect network), collect, merge. [sink] receives
+    the distributed lifecycle as {!Secpol_trace.Event.Dist} events —
+    shard launches, accepted reports, retransmission requests, losses,
+    and the final merge; pass a synchronized sink when [jobs > 1].
+    @raise Invalid_argument on an empty shard array. *)

@@ -1,0 +1,92 @@
+module Codec = Secpol_journal.Codec
+module Frame = Secpol_journal.Frame
+module Mechanism = Secpol_core.Mechanism
+
+type report = {
+  shard_id : int;
+  shards : int;
+  nonce : int;
+  attempt : int;
+  watch_mask : int;
+  watched_boxes : int;
+  skipped_boxes : int;
+  reply : Mechanism.reply;
+}
+
+let write_response w = function
+  | Mechanism.Granted v ->
+      Codec.W.int w 0;
+      Codec.write_value w v
+  | Mechanism.Denied notice ->
+      Codec.W.int w 1;
+      Codec.W.string w notice
+  | Mechanism.Hung -> Codec.W.int w 2
+  | Mechanism.Failed msg ->
+      Codec.W.int w 3;
+      Codec.W.string w msg
+
+let malformed msg = raise (Codec.Error (Codec.Malformed msg))
+
+let read_response r =
+  match Codec.R.int r with
+  | 0 -> Mechanism.Granted (Codec.read_value r)
+  | 1 -> Mechanism.Denied (Codec.R.string r)
+  | 2 -> Mechanism.Hung
+  | 3 -> Mechanism.Failed (Codec.R.string r)
+  | tag -> malformed (Printf.sprintf "unknown response tag %d" tag)
+
+let encode t =
+  let w = Codec.W.create () in
+  Codec.write_version w;
+  Codec.W.int w t.shard_id;
+  Codec.W.int w t.shards;
+  Codec.W.int w t.nonce;
+  Codec.W.int w t.attempt;
+  Codec.W.int w t.watch_mask;
+  Codec.W.int w t.watched_boxes;
+  Codec.W.int w t.skipped_boxes;
+  write_response w t.reply.Mechanism.response;
+  Codec.W.int w t.reply.Mechanism.steps;
+  Frame.frame (Codec.W.contents w)
+
+let decode bytes =
+  Result.bind (Frame.one bytes) (fun payload ->
+      Codec.guard (fun () ->
+          let r = Codec.R.of_string payload in
+          Codec.read_version r;
+          let shard_id = Codec.R.int r in
+          let shards = Codec.R.int r in
+          let nonce = Codec.R.int r in
+          let attempt = Codec.R.int r in
+          let watch_mask = Codec.R.int r in
+          let watched_boxes = Codec.R.int r in
+          let skipped_boxes = Codec.R.int r in
+          let response = read_response r in
+          let steps = Codec.R.int r in
+          if not (Codec.R.eof r) then
+            malformed "trailing bytes after shard report";
+          if shard_id < 0 then malformed "negative shard id";
+          if shards < 1 then malformed "shard count below 1";
+          if shard_id >= shards then malformed "shard id out of range";
+          if attempt < 1 then malformed "attempt below 1";
+          if watch_mask < 0 then malformed "negative watch mask";
+          if watched_boxes < 0 || skipped_boxes < 0 then
+            malformed "negative box counter";
+          if steps < 0 then malformed "negative step count";
+          {
+            shard_id;
+            shards;
+            nonce;
+            attempt;
+            watch_mask;
+            watched_boxes;
+            skipped_boxes;
+            reply = { Mechanism.response; steps };
+          }))
+
+let content_equal a b =
+  a.shard_id = b.shard_id && a.shards = b.shards && a.nonce = b.nonce
+  && a.watch_mask = b.watch_mask
+  && a.watched_boxes = b.watched_boxes
+  && a.skipped_boxes = b.skipped_boxes
+  && a.reply = b.reply

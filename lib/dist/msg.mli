@@ -1,0 +1,53 @@
+(** Wire messages between shard enforcers and the coordinator.
+
+    A shard's whole contribution to a distributed run is one {!report}:
+    which shard it is, which run it answers (the coordinator's nonce),
+    which disallowed coordinates it watched, and its proposed
+    {!Secpol_core.Mechanism.reply}. Reports travel as single
+    {!Secpol_journal.Frame} frames whose payload opens with the journal
+    {!Secpol_journal.Codec.format_version}, so the coordinator rejects —
+    with a typed error, never a misread — exactly the same damage the
+    journal decoder rejects: truncation, checksum failure, foreign layout
+    versions, nonsense lengths. {!decode} is total; an undecodable report
+    is indistinguishable from a lost one, which the fail-secure merge
+    already handles. *)
+
+module Codec = Secpol_journal.Codec
+module Mechanism = Secpol_core.Mechanism
+
+type report = {
+  shard_id : int;  (** 0-based index within the run's shard array *)
+  shards : int;  (** how many shards the sender believes the run has *)
+  nonce : int;
+      (** the coordinator's run nonce; a report carrying any other nonce
+          is a stray from another run and must never be adopted *)
+  attempt : int;
+      (** 1 for the original report, incremented per retransmission that
+          re-derived the reply (journal recovery); ignored by
+          {!content_equal} so a recovered retransmission that reproduces
+          the original reply bit-for-bit still counts as agreement *)
+  watch_mask : int;
+      (** {!Secpol_core.Iset.to_mask} of the disallowed coordinates this
+          shard watched; the coordinator checks it against the slice it
+          assigned — a mismatch means the report cannot be trusted to
+          cover its share of the policy *)
+  watched_boxes : int;  (** residual-monitor work telemetry, [>= 0] *)
+  skipped_boxes : int;
+  reply : Mechanism.reply;  (** the shard's proposed verdict *)
+}
+
+val encode : report -> string
+(** One framed payload, ready for {!Net.send}. *)
+
+val decode : string -> (report, Codec.decode_error) result
+(** Total inverse of {!encode} on exact encodings. Rejects torn or
+    multi-frame inputs, trailing payload bytes, foreign
+    {!Codec.format_version}s, and semantically impossible fields
+    (negative ids, [shard_id >= shards], zero attempts, negative
+    counters or steps). *)
+
+val content_equal : report -> report -> bool
+(** Equality of everything except [attempt] — the merge's idempotence
+    relation: duplicated deliveries and faithful retransmissions of one
+    report are "the same report", two reports that differ anywhere else
+    are a disagreement. *)

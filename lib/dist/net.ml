@@ -1,0 +1,123 @@
+module Rng = Secpol_fault.Plan.Rng
+
+type fault = Drop | Delay | Duplicate | Reorder | Corrupt
+
+let all_faults = [ Drop; Delay; Duplicate; Reorder; Corrupt ]
+
+type counters = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  delayed : int;
+  duplicated : int;
+  reordered : int;
+  corrupted : int;
+}
+
+(* [key] orders deliveries within a round: 0 for normal messages,
+   negative (more negative = sent later) for reordered ones, so a
+   reordered message overtakes everything that was sent before it.
+   [serial] breaks ties in send order — delivery is a pure function of
+   the send sequence and the seed. *)
+type item = { due : int; key : int; serial : int; payload : string }
+
+type t = {
+  rng : Rng.state option;
+  rate : int;
+  kinds : fault array;
+  mutable queue : item list;
+  mutable round : int;
+  mutable serial : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable corrupted : int;
+}
+
+let create ?seed ?(rate = 25) ?(kinds = all_faults) () =
+  if rate < 0 || rate > 100 then invalid_arg "Net.create: rate outside [0,100]";
+  if kinds = [] then invalid_arg "Net.create: empty fault palette";
+  {
+    rng = Option.map Rng.create seed;
+    rate;
+    kinds = Array.of_list kinds;
+    queue = [];
+    round = 0;
+    serial = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    delayed = 0;
+    duplicated = 0;
+    reordered = 0;
+    corrupted = 0;
+  }
+
+let push t ~due ~key payload =
+  t.serial <- t.serial + 1;
+  t.queue <- { due; key; serial = t.serial; payload } :: t.queue
+
+let flip_one_bit st payload =
+  if String.length payload = 0 then payload
+  else begin
+    let b = Bytes.of_string payload in
+    let i = Rng.below st (Bytes.length b) in
+    let bit = Rng.below st 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let send t payload =
+  t.sent <- t.sent + 1;
+  let next = t.round + 1 in
+  match t.rng with
+  | Some st when t.rate > 0 && Rng.below st 100 < t.rate -> (
+      match t.kinds.(Rng.below st (Array.length t.kinds)) with
+      | Drop -> t.dropped <- t.dropped + 1
+      | Delay ->
+          t.delayed <- t.delayed + 1;
+          push t ~due:(next + 1 + Rng.below st 3) ~key:0 payload
+      | Duplicate ->
+          t.duplicated <- t.duplicated + 1;
+          push t ~due:next ~key:0 payload;
+          push t ~due:next ~key:0 payload
+      | Reorder ->
+          t.reordered <- t.reordered + 1;
+          push t ~due:next ~key:(-t.serial - 1) payload
+      | Corrupt ->
+          t.corrupted <- t.corrupted + 1;
+          push t ~due:next ~key:0 (flip_one_bit st payload))
+  | _ -> push t ~due:next ~key:0 payload
+
+let tick t =
+  t.round <- t.round + 1;
+  let due, rest = List.partition (fun it -> it.due <= t.round) t.queue in
+  t.queue <- rest;
+  let due =
+    List.sort
+      (fun a b ->
+        match compare a.key b.key with 0 -> compare a.serial b.serial | c -> c)
+      due
+  in
+  t.delivered <- t.delivered + List.length due;
+  List.map (fun it -> it.payload) due
+
+let round t = t.round
+let pending t = List.length t.queue
+
+let counters t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    delayed = t.delayed;
+    duplicated = t.duplicated;
+    reordered = t.reordered;
+    corrupted = t.corrupted;
+  }
+
+let faults_applied t =
+  t.dropped + t.delayed + t.duplicated + t.reordered + t.corrupted

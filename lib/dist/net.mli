@@ -1,0 +1,64 @@
+(** A deterministic in-process message network with seeded fault
+    injection.
+
+    The shard-to-coordinator channel, modeled as discrete delivery
+    rounds: {!send} enqueues a message for the next round, {!tick}
+    advances one round and returns what arrives in it. A seeded
+    splitmix64 stream ({!Secpol_fault.Plan.Rng} — the same pinned,
+    platform-stable generator behind every other chaos sweep here)
+    decides per message whether a network fault strikes and which:
+
+    - [`Drop] — the message never arrives;
+    - [`Delay] — it arrives 1–3 rounds late;
+    - [`Duplicate] — it arrives twice in its round;
+    - [`Reorder] — it jumps ahead of the other messages of its round;
+    - [`Corrupt] — one bit of its payload flips (which {!Msg.decode}'s
+      framing then rejects — corruption downgrades to loss).
+
+    Without a seed the network is perfect: every message arrives exactly
+    once, unmodified, in send order, one round after it was sent.
+    Deliveries within a round are sorted by a deterministic key, so the
+    whole transcript is a pure function of (seed, send sequence) —
+    re-running a failing sweep seed replays the exact loss pattern. *)
+
+type fault = Drop | Delay | Duplicate | Reorder | Corrupt
+
+val all_faults : fault list
+
+type counters = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  delayed : int;
+  duplicated : int;
+  reordered : int;
+  corrupted : int;
+}
+
+type t
+
+val create : ?seed:int -> ?rate:int -> ?kinds:fault list -> unit -> t
+(** [rate] is the per-message fault probability in percent (default 25,
+    only meaningful with a [seed]); [kinds] restricts the fault palette
+    (default {!all_faults}) — e.g. [[Duplicate; Reorder]] builds the
+    delivery-order-independence tests a perfect-content network needs.
+    @raise Invalid_argument if [rate] is outside [0,100] or [kinds] is
+    empty. *)
+
+val send : t -> string -> unit
+
+val tick : t -> string list
+(** Advance one round; the messages due in it, in deterministic order. *)
+
+val round : t -> int
+(** Rounds ticked so far. *)
+
+val pending : t -> int
+(** Messages still in flight (delayed ones included). *)
+
+val counters : t -> counters
+
+val faults_applied : t -> int
+(** Total faults the stream actually injected so far; [0] means every
+    delivery so far was perfect and the run must be indistinguishable
+    from one on a fault-free network. *)

@@ -1,0 +1,87 @@
+module Fplan = Secpol_fault.Plan
+module Rng = Fplan.Rng
+
+type shard_fault = Healthy | Kill | Faulty of Fplan.t
+
+type t = {
+  seed : int;
+  shards : int;
+  shard_faults : shard_fault array;
+  net_seed : int option;
+  net_rate : int;
+  coordinator_timeout : bool;
+}
+
+let fault_free ~shards =
+  if shards < 1 then invalid_arg "Plan.fault_free: shards < 1";
+  {
+    seed = -1;
+    shards;
+    shard_faults = Array.make shards Healthy;
+    net_seed = None;
+    net_rate = 0;
+    coordinator_timeout = false;
+  }
+
+let generate ?(horizon = 24) ~shards ~seed () =
+  if shards < 1 then invalid_arg "Plan.generate: shards < 1";
+  let st = Rng.create seed in
+  let shard_faults =
+    Array.init shards (fun _ ->
+        let r = Rng.below st 100 in
+        if r < 15 then Kill
+        else if r < 40 then
+          Faulty (Fplan.generate ~horizon ~seed:(Rng.below st 0x3FFFFFFF) ())
+        else Healthy)
+  in
+  let lossy = Rng.below st 100 < 60 in
+  let net_seed = Rng.below st 0x3FFFFFFF in
+  let net_rate = 20 + Rng.below st 40 in
+  let coordinator_timeout = Rng.below st 100 < 5 in
+  {
+    seed;
+    shards;
+    shard_faults;
+    net_seed = (if lossy then Some net_seed else None);
+    net_rate = (if lossy then net_rate else 0);
+    coordinator_timeout;
+  }
+
+let is_fault_free t =
+  t.net_seed = None
+  && (not t.coordinator_timeout)
+  && Array.for_all (function Healthy -> true | Kill | Faulty _ -> false)
+       t.shard_faults
+
+let kills t =
+  Array.fold_left
+    (fun n -> function Kill -> n + 1 | Healthy | Faulty _ -> n)
+    0 t.shard_faults
+
+let monitor_faults t =
+  Array.fold_left
+    (fun n -> function Faulty _ -> n + 1 | Healthy | Kill -> n)
+    0 t.shard_faults
+
+let describe t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "shards %d:" t.shards);
+  let any = ref false in
+  Array.iteri
+    (fun i -> function
+      | Healthy -> ()
+      | Kill ->
+          any := true;
+          Buffer.add_string b (Printf.sprintf " kill@%d" i)
+      | Faulty p ->
+          any := true;
+          Buffer.add_string b (Printf.sprintf " faulty@%d[%s]" i (Fplan.describe p)))
+    t.shard_faults;
+  if not !any then Buffer.add_string b " (all healthy)";
+  (match t.net_seed with
+  | Some s -> Buffer.add_string b (Printf.sprintf "; net(seed %d, %d%%)" s t.net_rate)
+  | None -> ());
+  if t.coordinator_timeout then Buffer.add_string b "; timeout";
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

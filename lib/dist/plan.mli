@@ -1,0 +1,53 @@
+(** Deterministic, seedable fault plans for a whole distributed run.
+
+    The distributed counterpart of {!Secpol_fault.Plan}: one value
+    scripts everything that will go wrong in one coordinator + shards
+    run — which shards die, which shards' monitors malfunction (reusing
+    the single-enforcer fault plans verbatim), how lossy the message
+    network is, and whether the coordinator itself times out. Plans are
+    pure data derived from an integer seed by the same splitmix64
+    stream as every other sweep here, so a failing distributed-chaos
+    seed replays bit-for-bit. *)
+
+module Fplan = Secpol_fault.Plan
+
+type shard_fault =
+  | Healthy
+  | Kill
+      (** the shard enforcer process dies: journaled shards die mid-run
+          and can later recover from their journal on a retransmission
+          request; unjournaled shards are simply gone *)
+  | Faulty of Fplan.t
+      (** the shard's monitor runs under this injected fault plan *)
+
+type t = {
+  seed : int;  (** [-1] for hand-built plans *)
+  shards : int;
+  shard_faults : shard_fault array;  (** length [shards] *)
+  net_seed : int option;  (** [None]: a perfect network *)
+  net_rate : int;  (** per-message fault percentage, 0 when perfect *)
+  coordinator_timeout : bool;
+      (** the coordinator's collection deadline collapses to zero
+          rounds and no retries — every shard looks lost *)
+}
+
+val fault_free : shards:int -> t
+(** Nothing goes wrong: the distributed run must be bit-identical to
+    the guarded single-enforcer run. *)
+
+val generate : ?horizon:int -> shards:int -> seed:int -> unit -> t
+(** Roughly: each shard is healthy ~60% of the time, monitor-faulty
+    ~25% (a {!Fplan.generate} plan over [horizon], default 24) and
+    killed ~15%; the network is lossy ~60% of the time at a 20–59%
+    fault rate; the coordinator times out ~5% of the time.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val is_fault_free : t -> bool
+
+val kills : t -> int
+val monitor_faults : t -> int
+
+val describe : t -> string
+(** E.g. ["shards 3: kill@1 faulty@2[crash@5]; net(seed 77, 40%); timeout"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+(** One shard enforcer: a cooperating monitor that watches a slice of
+    the policy.
+
+    The policy [allow(J)] over arity [k] disallows the coordinate set
+    [D = {0..k-1} \ J]. {!slices} deals [D] round-robin across [n]
+    shards; shard [s] receives the watch set [D_s] and enforces the
+    {e sub-policy} [allow({0..k-1} \ D_s)] — a coarsening of the real
+    policy that still condemns every flow of a [D_s] coordinate. The
+    full monitor's verdict decomposes over the shards: its first
+    disallowed-taint check is the earliest check any shard fires, so the
+    coordinator's minimum-step merge over sub-policy verdicts
+    reconstructs the single enforcer's reply exactly ({!Coordinator}).
+
+    Each shard runs its sub-policy under its own {!Secpol_fault.Guard}
+    (so a shard is total into [E ∪ F] whatever its monitor does) and,
+    unjournaled, under the {!Secpol_staticflow.Certifier.residual_plan}
+    for its sub-policy — the static certificate of what a shard may skip
+    while staying bit-identical. Journaled shards run the full
+    sub-policy monitor through {!Secpol_journal.Runner} on their own
+    {!Secpol_journal.Media} instead (the residual monitor's skipped
+    taint state cannot be checkpointed), which buys them crash recovery:
+    a shard killed mid-run answers a later retransmission request by
+    {!Secpol_journal.Runner.resume}-ing from its journal. *)
+
+module Iset = Secpol_core.Iset
+module Value = Secpol_core.Value
+module Graph = Secpol_flowgraph.Graph
+module Expr = Secpol_flowgraph.Expr
+module Dynamic = Secpol_taint.Dynamic
+module Certifier = Secpol_staticflow.Certifier
+module Guard = Secpol_fault.Guard
+module Injector = Secpol_fault.Injector
+module Media = Secpol_journal.Media
+module Sink = Secpol_trace.Sink
+
+type slice = {
+  shard_id : int;
+  shards : int;
+  arity : int;
+  watch_set : Iset.t;  (** [D_s]: the disallowed coordinates this shard owns *)
+  sub_allowed : Iset.t;  (** [{0..arity-1} \ D_s]: its sub-policy's allow set *)
+}
+
+val slices : shards:int -> arity:int -> allowed:Iset.t -> slice array
+(** Deterministic round-robin over the ascending disallowed
+    coordinates. The watch sets partition the disallowed set: their
+    union is [D] and they are pairwise disjoint; with more shards than
+    disallowed coordinates the surplus shards get an empty watch set and
+    act as redundant replicas (they cross-check grant values and step
+    counts in the merge).
+    @raise Invalid_argument if [shards < 1]. *)
+
+type t
+
+val create :
+  ?guard:Guard.config ->
+  ?injector:Injector.t ->
+  ?journal:(unit -> Media.t) ->
+  ?snapshot_every:int ->
+  ?residual:Certifier.residual ->
+  ?sink:Sink.t ->
+  ?fuel:int ->
+  ?cost:Expr.cost_model ->
+  mode:Dynamic.mode ->
+  slice ->
+  Graph.t ->
+  t
+(** A shard enforcer for [slice] of [g]'s policy. [guard] supervises
+    every monitored attempt (default {!Guard.default}); [injector]
+    threads a {!Secpol_fault.Plan} into the monitor, chaos-sweep style.
+    [journal] supplies a fresh medium per monitored attempt (journaled
+    shards run the full sub-policy monitor; without it the shard runs
+    the residual monitor, with [residual] short-circuiting the
+    {!Certifier.residual_plan} computation when the caller already has
+    it). [sink] receives the shard's guard/journal events.
+    @raise Invalid_argument if [slice] and [g] disagree on arity. *)
+
+val slice : t -> slice
+val watch_mask : t -> int
+
+val kill : t -> unit
+(** Permanent process death: the shard never responds again — not even
+    to retransmission requests. The partition case. *)
+
+val killed : t -> bool
+
+val arm_kill : t -> int -> unit
+(** One-shot mid-run death: the next {!execute} dies after journaling
+    that many boxes (journaled shards — the journal survives for
+    {!retransmit} to recover from) or vanishes outright (unjournaled
+    shards, equivalent to {!kill}). *)
+
+val execute : t -> nonce:int -> Value.t array -> string option
+(** Run the guarded sub-policy monitor and return the encoded
+    {!Msg.report}, or [None] if the shard (was) killed. The report is
+    cached for faithful retransmission. *)
+
+val retransmit : t -> nonce:int -> string option
+(** Answer a retransmission request for run [nonce]: the cached report
+    if one exists for that nonce, else — for a journaled shard that died
+    mid-run — the reply recovered by resuming its journal (packaged with
+    an incremented attempt; recovery failures degrade fail-secure to a
+    denial, never to a grant). [None] if the shard is dead or has
+    nothing for that nonce. *)
+
+val resumes : t -> int
+(** Retransmissions answered through journal recovery so far. *)

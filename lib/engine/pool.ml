@@ -39,8 +39,168 @@ let ranges_of n jobs =
    draining already-claimed tasks but stop claiming new ones. *)
 type failure = { index : int; exn : exn; bt : Printexc.raw_backtrace }
 
+(* One posted parallel section: the sliced queue, the task body, and a
+   completion latch. Participant 0 is always the calling domain. *)
+type job = {
+  ranges : range array;
+  width : int;
+  body : int -> unit;
+  failed : failure option Atomic.t;
+  slots : worker_stats option array;
+  pending : int Atomic.t;
+  done_m : Mutex.t;
+  done_c : Condition.t;
+}
+
+let participate job w =
+  let tasks = ref 0 and steals = ref 0 and idle = ref 0 in
+  let note_failure index exn bt =
+    let rec go () =
+      let cur = Atomic.get job.failed in
+      let better = match cur with None -> true | Some f -> index < f.index in
+      if better then
+        if not (Atomic.compare_and_set job.failed cur (Some { index; exn; bt }))
+        then go ()
+    in
+    go ()
+  in
+  let exec ~stolen i =
+    incr tasks;
+    if stolen then incr steals;
+    match job.body i with
+    | () -> ()
+    | exception exn -> note_failure i exn (Printexc.get_raw_backtrace ())
+  in
+  let claim r =
+    let i = Atomic.fetch_and_add r.next 1 in
+    if i < r.limit then Some i else None
+  in
+  (* Own range first, then sweep the others until every range is dry.
+     Claimed-but-running tasks belong to their claimants, so a worker
+     may retire while others still run. *)
+  let rec drain_own () =
+    if Atomic.get job.failed = None then
+      match claim job.ranges.(w) with
+      | Some i ->
+          exec ~stolen:false i;
+          drain_own ()
+      | None -> ()
+  in
+  let rec scavenge () =
+    if Atomic.get job.failed = None then begin
+      let found = ref false in
+      for d = 1 to job.width - 1 do
+        if not !found then
+          let r = job.ranges.((w + d) mod job.width) in
+          if Atomic.get r.next < r.limit then
+            match claim r with
+            | Some i ->
+                found := true;
+                exec ~stolen:true i
+            | None -> ()
+      done;
+      if !found then scavenge () else incr idle
+    end
+  in
+  drain_own ();
+  scavenge ();
+  job.slots.(w) <-
+    Some { worker = w; tasks = !tasks; steals = !steals; idle_probes = !idle };
+  if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+    Mutex.lock job.done_m;
+    Condition.broadcast job.done_c;
+    Mutex.unlock job.done_m
+  end
+
+(* The persistent pool: worker domains are spawned once, on demand, and
+   parked on a condition variable between parallel sections — waking a
+   parked domain costs microseconds where a Domain.spawn + join costs
+   milliseconds of runtime ceremony, which used to dominate small maps.
+   Parked worker [k] serves participant [k + 1] of whatever section is
+   running (participant 0 is the caller); a global section lock serializes
+   concurrent top-level sections, and a DLS flag makes nested sections from
+   inside a task degrade to the sequential path instead of deadlocking on
+   that lock. *)
+
+type worker = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable post : (job * int) option;
+  mutable quit : bool;
+}
+
+let in_pool_worker = Domain.DLS.new_key (fun () -> false)
+
+let pool_m = Mutex.create ()
+let section_m = Mutex.create ()
+let parked : worker list ref = ref []
+let parked_count = ref 0
+let domains : unit Domain.t list ref = ref []
+let shutdown_registered = ref false
+
+let worker_loop w =
+  Domain.DLS.set in_pool_worker true;
+  let rec loop () =
+    Mutex.lock w.m;
+    while w.post = None && not w.quit do
+      Condition.wait w.c w.m
+    done;
+    let post = w.post in
+    w.post <- None;
+    let quit = w.quit in
+    Mutex.unlock w.m;
+    match post with
+    | Some (job, slot) ->
+        participate job slot;
+        loop ()
+    | None -> if not quit then loop ()
+  in
+  loop ()
+
+let shutdown () =
+  Mutex.lock pool_m;
+  let ws = !parked and ds = !domains in
+  parked := [];
+  parked_count := 0;
+  domains := [];
+  Mutex.unlock pool_m;
+  List.iter
+    (fun w ->
+      Mutex.lock w.m;
+      w.quit <- true;
+      Condition.signal w.c;
+      Mutex.unlock w.m)
+    ws;
+  List.iter Domain.join ds
+
+(* Grow the pool to [k] parked workers; returns the first [k], oldest
+   first, so participant slots are stable across sections. *)
+let ensure_workers k =
+  Mutex.lock pool_m;
+  if not !shutdown_registered then begin
+    shutdown_registered := true;
+    at_exit shutdown
+  end;
+  while !parked_count < k do
+    let w =
+      { m = Mutex.create (); c = Condition.create (); post = None; quit = false }
+    in
+    parked := !parked @ [ w ];
+    incr parked_count;
+    domains := Domain.spawn (fun () -> worker_loop w) :: !domains
+  done;
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | w :: rest -> w :: take (n - 1) rest
+  in
+  let ws = take k !parked in
+  Mutex.unlock pool_m;
+  ws
+
 let run ~jobs n f =
   let jobs = max 1 (min (min jobs max_jobs) (max 1 n)) in
+  let jobs = if Domain.DLS.get in_pool_worker then 1 else jobs in
   if jobs = 1 then begin
     for i = 0 to n - 1 do
       f i
@@ -52,74 +212,54 @@ let run ~jobs n f =
     }
   end
   else begin
-    let ranges = ranges_of n jobs in
-    let failed : failure option Atomic.t = Atomic.make None in
-    let note_failure index exn bt =
-      let rec go () =
-        let cur = Atomic.get failed in
-        let better =
-          match cur with None -> true | Some f -> index < f.index
+    Mutex.lock section_m;
+    (* The caller is participant 0 of the section it just opened: flag it
+       like a pool worker so a nested map issued from one of its own tasks
+       degrades to sequential instead of re-locking the section. *)
+    Domain.DLS.set in_pool_worker true;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set in_pool_worker false;
+        Mutex.unlock section_m)
+      (fun () ->
+        let job =
+          {
+            ranges = ranges_of n jobs;
+            width = jobs;
+            body = f;
+            failed = Atomic.make None;
+            slots = Array.make jobs None;
+            pending = Atomic.make jobs;
+            done_m = Mutex.create ();
+            done_c = Condition.create ();
+          }
         in
-        if better then
-          if not (Atomic.compare_and_set failed cur (Some { index; exn; bt }))
-          then go ()
-      in
-      go ()
-    in
-    let worker w =
-      let tasks = ref 0 and steals = ref 0 and idle = ref 0 in
-      let exec ~stolen i =
-        incr tasks;
-        if stolen then incr steals;
-        match f i with
-        | () -> ()
-        | exception exn ->
-            note_failure i exn (Printexc.get_raw_backtrace ())
-      in
-      let claim r =
-        let i = Atomic.fetch_and_add r.next 1 in
-        if i < r.limit then Some i else None
-      in
-      (* Own range first, then sweep the others until every range is dry.
-         Claimed-but-running tasks belong to their claimants, so a worker
-         may retire while others still run. *)
-      let rec drain_own () =
-        if Atomic.get failed = None then
-          match claim ranges.(w) with
-          | Some i ->
-              exec ~stolen:false i;
-              drain_own ()
-          | None -> ()
-      in
-      let rec scavenge () =
-        if Atomic.get failed = None then begin
-          let found = ref false in
-          for d = 1 to jobs - 1 do
-            if not !found then
-              let r = ranges.((w + d) mod jobs) in
-              if Atomic.get r.next < r.limit then
-                match claim r with
-                | Some i ->
-                    found := true;
-                    exec ~stolen:true i
-                | None -> ()
-          done;
-          if !found then scavenge () else incr idle
-        end
-      in
-      drain_own ();
-      scavenge ();
-      { worker = w; tasks = !tasks; steals = !steals; idle_probes = !idle }
-    in
-    let spawned =
-      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
-    in
-    let own = worker 0 in
-    let others = Array.to_list (Array.map Domain.join spawned) in
-    (match Atomic.get failed with
-    | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
-    | None -> ());
-    { jobs; task_count = n; workers = own :: others }
+        let ws = ensure_workers (jobs - 1) in
+        List.iteri
+          (fun k w ->
+            Mutex.lock w.m;
+            w.post <- Some (job, k + 1);
+            Condition.signal w.c;
+            Mutex.unlock w.m)
+          ws;
+        participate job 0;
+        Mutex.lock job.done_m;
+        while Atomic.get job.pending > 0 do
+          Condition.wait job.done_c job.done_m
+        done;
+        Mutex.unlock job.done_m;
+        (match Atomic.get job.failed with
+        | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+        | None -> ());
+        let workers =
+          Array.to_list
+            (Array.map
+               (function
+                 | Some s -> s
+                 | None -> assert false (* every participant retired *))
+               job.slots)
+        in
+        { jobs; task_count = n; workers })
   end
 
 let map ~jobs n f =

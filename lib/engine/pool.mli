@@ -1,12 +1,24 @@
-(** A fixed pool of domains draining an indexed work queue.
+(** A persistent pool of domains draining an indexed work queue.
 
-    [map ~jobs n f] evaluates [f 0 .. f (n-1)] on a pool of [jobs] domains
-    and returns the results in index order. The queue is split into one
+    [map ~jobs n f] evaluates [f 0 .. f (n-1)] on [jobs] domains and
+    returns the results in index order. The queue is split into one
     contiguous range per worker; a worker that drains its own range steals
     from the tail of the other ranges, so an unbalanced task list still
     keeps every domain busy. Each result lands in its own slot, so the
     returned array — and anything merged from it in index order — is
     {b independent of scheduling}: the same bytes whatever [jobs] is.
+
+    Worker domains are spawned once, on demand, and parked between calls:
+    waking a parked domain costs microseconds where the historical
+    spawn-per-call design paid milliseconds of [Domain.spawn]/[join]
+    ceremony — enough to make [jobs = 4] {e slower} than [jobs = 1] on
+    small task sets (the bench inversion this rework removes). The calling
+    domain always participates as worker 0, so [jobs = j] still means [j]
+    domains computing. Concurrent top-level sections serialize on an
+    internal lock; a nested [map]/[run] issued from {e inside} a pool task
+    runs sequentially on its worker instead of deadlocking on that lock,
+    so composed parallel layers degrade gracefully. The pool is torn down
+    by an [at_exit] hook.
 
     [jobs = 1] runs on the calling domain with no pool at all, so the
     sequential path is exactly the historical code path.
@@ -14,8 +26,8 @@
     Tasks must not share mutable state: anything a task mutates must be
     task-local (per-task {!Secpol_trace.Metrics} shards, per-task media)
     or explicitly domain-safe ({!Cache}). A task that raises aborts the
-    whole map: remaining tasks are abandoned, the pool is joined, and the
-    exception of the lowest-indexed failing task is re-raised — a
+    whole map: remaining tasks are abandoned, the section completes, and
+    the exception of the lowest-indexed failing task is re-raised — a
     deterministic choice, whatever domain saw its exception first. *)
 
 type worker_stats = {

@@ -15,9 +15,15 @@ type fault_report = {
 
 type outcome = Output of Value.t | Notice of string | Degraded of fault_report
 
-type config = { retries : int; backoff_base : int; step_budget : int option }
+type config = {
+  retries : int;
+  backoff_base : int;
+  step_budget : int option;
+  jitter : int option;
+}
 
-let default = { retries = 2; backoff_base = 4; step_budget = None }
+let default =
+  { retries = 2; backoff_base = 4; step_budget = None; jitter = None }
 
 let degraded_notice = "\xce\x9b/degraded" (* Λ/degraded *)
 let recovery_notice = "\xce\x9b/recovery" (* Λ/recovery *)
@@ -46,6 +52,11 @@ let classify config (reply : Mechanism.reply) =
 
 let run ?(config = default) ?injector ?(sink = Sink.null) (m : Mechanism.t) a =
   Option.iter Injector.reset injector;
+  (* One jitter stream per supervised invocation, seeded from the config:
+     the schedule is deterministic per (seed, attempt sequence) — replayable
+     like everything else driven by Plan.Rng — while distinct seeds
+     desynchronize co-located retry loops. *)
+  let jitter_rng = Option.map Plan.Rng.create config.jitter in
   let total_steps = ref 0 in
   let backoff_steps = ref 0 in
   let symptoms = ref [] in
@@ -89,8 +100,15 @@ let run ?(config = default) ?injector ?(sink = Sink.null) (m : Mechanism.t) a =
                  detail = symptom;
                });
           (* Exponential backoff, charged in steps: under an observable
-             clock the penalty is part of the reply's timing. *)
-          let penalty = config.backoff_base * (1 lsl (i - 1)) in
+             clock the penalty is part of the reply's timing. With jitter,
+             attempt [i]'s penalty lands in [p, 2p) for p = base * 2^(i-1). *)
+          let base_penalty = config.backoff_base * (1 lsl (i - 1)) in
+          let penalty =
+            match jitter_rng with
+            | Some st when base_penalty > 0 ->
+                base_penalty + Plan.Rng.below st base_penalty
+            | _ -> base_penalty
+          in
           backoff_steps := !backoff_steps + penalty;
           total_steps := !total_steps + penalty;
           Option.iter Injector.next_attempt injector;

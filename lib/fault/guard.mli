@@ -49,10 +49,21 @@ type config = {
   step_budget : int option;
       (** watchdog: an attempt whose reply reports more steps than this is
           treated as hung, whatever its response *)
+  jitter : int option;
+      (** [None] (the default) keeps the exact exponential schedule.
+          [Some seed] jitters each retry penalty deterministically from a
+          {!Plan.Rng} stream seeded here: attempt [i]'s penalty is drawn
+          uniformly from [\[p, 2p)] for [p = backoff_base * 2^(i-1)], so a
+          run's total backoff after [k] failed attempts lies in
+          [\[B, 2B)] where [B = backoff_base * (2^k - 1)] is the unjittered
+          budget. The stream restarts at every supervised invocation —
+          schedules are replayable per seed — while distinct seeds (one per
+          co-located shard enforcer) desynchronize simultaneous retry
+          storms. *)
 }
 
 val default : config
-(** [{ retries = 2; backoff_base = 4; step_budget = None }]. *)
+(** [{ retries = 2; backoff_base = 4; step_budget = None; jitter = None }]. *)
 
 val degraded_notice : string
 (** The single canonical notice ("Λ/degraded") for all degraded outcomes.

@@ -10,6 +10,8 @@ module Sink = Secpol_trace.Sink
 module Metrics = Secpol_trace.Metrics
 module Pool = Secpol_engine.Pool
 module Certifier = Secpol_staticflow.Certifier
+module Dist_shard = Secpol_dist.Shard
+module Dist_coordinator = Secpol_dist.Coordinator
 
 type journal = {
   media : [ `Memory | `Dir of string ];
@@ -28,15 +30,16 @@ type config = {
   journal : journal option;
   jobs : int;
   residual : bool;
+  shards : int;
   metrics : Metrics.t option;
 }
 
 let config ?policy ?(mode = Dynamic.Surveillance) ?(fuel = Interp.default_fuel)
     ?(cost = Secpol_flowgraph.Expr.Uniform) ?(hook = Hook.none)
     ?(trace = Sink.null) ?guard ?journal ?(jobs = 1) ?(residual = false)
-    ?metrics () =
+    ?(shards = 1) ?metrics () =
   { policy; mode; fuel; cost; hook; trace; guard; journal; jobs; residual;
-    metrics }
+    shards; metrics }
 
 let journal_memory ?(snapshot_every = Runner.default_snapshot_every)
     ~program_ref () =
@@ -121,7 +124,113 @@ let journaled cfg j g =
     ~name:(Printf.sprintf "journal(%s)" g.Graph.name)
     ~arity:g.Graph.arity respond
 
+(* Distributed enforcement: deal the policy's disallowed coordinates
+   across [cfg.shards] shard enforcers, run them in parallel on the
+   engine pool, and merge fail-securely. The guard moves INSIDE each
+   shard (a shard is total into E ∪ F on its own); the coordinator's
+   merge supplies the outer totalization, collapsing every distributed
+   failure to Λ/partition. *)
+let distributed cfg g =
+  let policy =
+    match cfg.policy with
+    | Some p -> p
+    | None -> invalid_arg "Run: distributed enforcement needs a policy"
+  in
+  let allowed =
+    match Secpol_core.Policy.allowed_indices policy with
+    | Some j -> j
+    | None ->
+        invalid_arg "Run: distributed enforcement needs an allow(J) policy"
+  in
+  if cfg.residual then
+    invalid_arg
+      "Run: distributed shards pick their own residual plans; drop the \
+       residual flag";
+  if cfg.hook != Hook.none then
+    invalid_arg
+      "Run: distributed shards do not thread a host fault hook; use the \
+       distributed chaos sweep for fault injection";
+  if cfg.shards > Pool.max_jobs then
+    invalid_arg
+      (Printf.sprintf "Run: at most %d shards are supported" Pool.max_jobs);
+  let guard = Option.value cfg.guard ~default:Guard.default in
+  let slices =
+    Dist_shard.slices ~shards:cfg.shards ~arity:g.Graph.arity ~allowed
+  in
+  (* Residual plans are fixed per (graph, sub-policy): compute them once,
+     outside the respond path — unjournaled shards only. *)
+  let residuals =
+    match cfg.journal with
+    | Some _ -> [||]
+    | None ->
+        Array.map
+          (fun (sl : Dist_shard.slice) ->
+            Certifier.residual_plan ~allowed:sl.Dist_shard.sub_allowed g)
+          slices
+  in
+  let record (stats : Dist_coordinator.stats) =
+    match cfg.metrics with
+    | None -> ()
+    | Some m ->
+        let incr ?by name = Metrics.incr ?by (Metrics.counter m name) in
+        incr "run/dist/runs";
+        incr ~by:stats.Dist_coordinator.rounds "run/dist/rounds";
+        incr ~by:stats.Dist_coordinator.retransmits "run/dist/retransmits";
+        incr ~by:stats.Dist_coordinator.lost "run/dist/lost-shards";
+        incr ~by:stats.Dist_coordinator.backoff_steps "run/dist/backoff-steps"
+  in
+  let respond a =
+    let shards =
+      Array.map
+        (fun (sl : Dist_shard.slice) ->
+          let i = sl.Dist_shard.shard_id in
+          (* Distinct jitter seeds desynchronize co-located shards'
+             retry storms while keeping each schedule replayable. *)
+          let guard =
+            {
+              guard with
+              Guard.jitter = Option.map (fun s -> s + i) guard.Guard.jitter;
+            }
+          in
+          match cfg.journal with
+          | Some j ->
+              let journal () =
+                match j.media with
+                | `Memory -> Media.memory ()
+                | `Dir d ->
+                    if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+                    Media.dir (Filename.concat d (Printf.sprintf "shard-%d" i))
+              in
+              Dist_shard.create ~guard ~journal
+                ~snapshot_every:j.snapshot_every ~sink:cfg.trace ~fuel:cfg.fuel
+                ~cost:cfg.cost ~mode:cfg.mode sl g
+          | None ->
+              Dist_shard.create ~guard ~residual:residuals.(i) ~sink:cfg.trace
+                ~fuel:cfg.fuel ~cost:cfg.cost ~mode:cfg.mode sl g)
+        slices
+    in
+    let sink =
+      if cfg.jobs > 1 then Sink.synchronized cfg.trace else cfg.trace
+    in
+    let reply, stats =
+      Dist_coordinator.enforce ~sink ~jobs:cfg.jobs
+        ~nonce:(Dist_coordinator.fresh_nonce ())
+        shards a
+    in
+    record stats;
+    reply
+  in
+  Mechanism.make
+    ~name:
+      (Printf.sprintf "dist%d-%s(%s)" cfg.shards
+         (Dynamic.mode_name cfg.mode)
+         g.Graph.name)
+    ~arity:g.Graph.arity respond
+
 let mechanism cfg g =
+  if cfg.shards < 1 then invalid_arg "Run: shards must be at least 1";
+  if cfg.shards > 1 then distributed cfg g
+  else
   let base =
     match cfg.journal with
     | Some _ when cfg.residual ->

@@ -46,10 +46,28 @@ type config = {
           to the fully monitored run. Requires a policy; incompatible with
           [journal] (a residual taint image would not resume into a full
           monitor). The plan is computed once per {!mechanism}. *)
+  shards : int;
+      (** [> 1] splits each run across that many cooperating shard
+          enforcers ({!Secpol_dist.Shard}) merged fail-securely by
+          {!Secpol_dist.Coordinator}: the policy's disallowed coordinates
+          are dealt round-robin, each shard monitors its sub-policy under
+          its own guard (the [guard] config, {!Secpol_fault.Guard.default}
+          if unset, with per-shard jitter seeds when jittered) and — when
+          [journal] is set — its own medium ([`Dir d] becomes
+          [d/shard-<i>]; [`Memory] a fresh medium per shard attempt);
+          unjournaled shards run their sub-policy's residual plan. Shards
+          execute [jobs] at a time on the engine pool. On a fault-free
+          host the reply is bit-identical to the guarded single-enforcer
+          run. Requires an [allow(J)] policy; incompatible with
+          [residual] (shards pick their own plans) and with [hook] (use
+          the distributed chaos sweep for fault injection). *)
   metrics : Secpol_trace.Metrics.t option;
       (** When set, residual runs count into
           ["run/residual/runs"], ["run/residual/watched-boxes"] and
-          ["run/residual/skipped-boxes"]. A registry is single-domain
+          ["run/residual/skipped-boxes"], and distributed runs into
+          ["run/dist/runs"], ["run/dist/rounds"],
+          ["run/dist/retransmits"], ["run/dist/lost-shards"] and
+          ["run/dist/backoff-steps"]. A registry is single-domain
           mutable state — with [jobs > 1], pass per-worker registries and
           {!Secpol_trace.Metrics.merge} them after the join, or omit. *)
 }
@@ -65,13 +83,14 @@ val config :
   ?journal:journal ->
   ?jobs:int ->
   ?residual:bool ->
+  ?shards:int ->
   ?metrics:Secpol_trace.Metrics.t ->
   unit ->
   config
 (** Defaults: no policy (plain interpretation), [Surveillance],
     {!Secpol_flowgraph.Interp.default_fuel}, [Uniform] cost, no hook,
     null sink, unguarded, unjournaled, [jobs = 1], full (non-residual)
-    monitoring, no metrics. *)
+    monitoring, a single enforcer ([shards = 1]), no metrics. *)
 
 val journal_memory : ?snapshot_every:int -> program_ref:string -> unit -> journal
 

@@ -51,6 +51,15 @@ module Guard = Secpol_fault.Guard
 module Chaos = Secpol_fault.Sweep
 module Crash = Secpol_fault.Crash
 
+(* Distributed enforcement: cooperating shard enforcers, the fail-secure
+   merge, and their chaos sweep. *)
+module Dist_msg = Secpol_dist.Msg
+module Dist_net = Secpol_dist.Net
+module Dist_plan = Secpol_dist.Plan
+module Shard = Secpol_dist.Shard
+module Coordinator = Secpol_dist.Coordinator
+module Dist_chaos = Secpol_dist.Sweep
+
 (* Durable runs and tracing. *)
 module Media = Secpol_journal.Media
 module Runner = Secpol_journal.Runner

@@ -7,6 +7,8 @@ type guard_kind = Retry | Degraded
 
 type journal_kind = Checkpoint | Resume | Replay_skip
 
+type dist_kind = Shard_start | Shard_reply | Shard_retry | Shard_lost | Merge
+
 type response_kind = Granted | Denied | Hung | Failed
 
 type t =
@@ -45,6 +47,7 @@ type t =
     }
   | Guard of { kind : guard_kind; mechanism : string; attempt : int; detail : string }
   | Journal of { kind : journal_kind; step : int; detail : string }
+  | Dist of { kind : dist_kind; shard : int; round : int; detail : string }
   | Verdict of { response : response_kind; text : string; steps : int }
 
 let equal (a : t) (b : t) = a = b
@@ -74,6 +77,13 @@ let journal_kind_name = function
   | Checkpoint -> "checkpoint"
   | Resume -> "resume"
   | Replay_skip -> "replay-skip"
+
+let dist_kind_name = function
+  | Shard_start -> "shard-start"
+  | Shard_reply -> "shard-reply"
+  | Shard_retry -> "shard-retry"
+  | Shard_lost -> "shard-lost"
+  | Merge -> "merge"
 
 let response_kind_name = function
   | Granted -> "granted"
@@ -157,6 +167,15 @@ let to_json = function
           ("ev", Json.String "journal");
           ("kind", Json.String (journal_kind_name kind));
           ("step", Json.Int step);
+          ("detail", Json.String detail);
+        ]
+  | Dist { kind; shard; round; detail } ->
+      Json.Obj
+        [
+          ("ev", Json.String "dist");
+          ("kind", Json.String (dist_kind_name kind));
+          ("shard", Json.Int shard);
+          ("round", Json.Int round);
           ("detail", Json.String detail);
         ]
   | Verdict { response; text; steps } ->
@@ -270,6 +289,14 @@ let journal_kind_of_string = function
   | "replay-skip" -> Ok Replay_skip
   | s -> Error (Printf.sprintf "bad journal kind %S" s)
 
+let dist_kind_of_string = function
+  | "shard-start" -> Ok Shard_start
+  | "shard-reply" -> Ok Shard_reply
+  | "shard-retry" -> Ok Shard_retry
+  | "shard-lost" -> Ok Shard_lost
+  | "merge" -> Ok Merge
+  | s -> Error (Printf.sprintf "bad dist kind %S" s)
+
 let response_kind_of_string = function
   | "granted" -> Ok Granted
   | "denied" -> Ok Denied
@@ -346,6 +373,13 @@ let of_json j =
       let* step = int_field "step" j in
       let* detail = string_field "detail" j in
       Ok (Journal { kind; step; detail })
+  | "dist" ->
+      let* kind_s = string_field "kind" j in
+      let* kind = dist_kind_of_string kind_s in
+      let* shard = int_field "shard" j in
+      let* round = int_field "round" j in
+      let* detail = string_field "detail" j in
+      Ok (Dist { kind; shard; round; detail })
   | "verdict" ->
       let* response_s = string_field "response" j in
       let* response = response_kind_of_string response_s in
@@ -487,6 +521,12 @@ let to_chrome = function
         ~name:(Printf.sprintf "journal %s" (journal_kind_name kind))
         ~cat:"journal" ~ts:step
         ~args:[ ("detail", Json.String detail) ]
+        ()
+  | Dist { kind; shard; round; detail } ->
+      instant
+        ~name:(Printf.sprintf "dist %s" (dist_kind_name kind))
+        ~cat:"dist" ~ts:round
+        ~args:[ ("shard", Json.Int shard); ("detail", Json.String detail) ]
         ()
   | Verdict { response; text; steps } ->
       instant

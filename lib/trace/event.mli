@@ -21,6 +21,8 @@ type guard_kind = Retry | Degraded
 
 type journal_kind = Checkpoint | Resume | Replay_skip
 
+type dist_kind = Shard_start | Shard_reply | Shard_retry | Shard_lost | Merge
+
 type response_kind = Granted | Denied | Hung | Failed
 
 type t =
@@ -63,6 +65,12 @@ type t =
       (** A fault guard observed a symptom: a retry or a degradation. *)
   | Journal of { kind : journal_kind; step : int; detail : string }
       (** Journal lifecycle: checkpoint taken, run resumed, record skipped. *)
+  | Dist of { kind : dist_kind; shard : int; round : int; detail : string }
+      (** Distributed-enforcement lifecycle: a shard enforcer starting,
+          its report arriving, a retransmission being requested, a shard
+          given up for lost, or the coordinator merging. [shard] is the
+          shard index ([-1] for coordinator-level events); [round] is the
+          delivery round the observation was made in. *)
   | Verdict of { response : response_kind; text : string; steps : int }
       (** Final reply of the run: granted value or denial notice. *)
 

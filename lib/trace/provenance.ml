@@ -153,7 +153,7 @@ let explain ?allowed events =
       | Event.Condemn { step; node; span; at_decision; taint; srcs; notice } ->
           if !condemned = None then
             condemned := Some (step, node, span, at_decision, taint, srcs, notice)
-      | Event.Guard _ | Event.Journal _ -> ()
+      | Event.Guard _ | Event.Journal _ | Event.Dist _ -> ()
       | Event.Verdict { response; text; steps } ->
           if !verdict = None then verdict := Some (response, text, steps))
     events;

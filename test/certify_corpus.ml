@@ -31,15 +31,12 @@ let expected_corpus =
     ("branch-allowed", "proved");
   ]
 
-(* example file -> verdict under its policy hint (allow_none when absent) *)
+(* example file -> verdict under its policy hint (allow_none when absent),
+   from the shared manifest `make certify-corpus` also reads *)
 let expected_examples =
-  [
-    ("blind_vote.spl", "refuted");
-    ("bounded_search.spl", "refuted");
-    ("gcd.spl", "proved");
-    ("mix.spl", "refuted");
-    ("wage_gap.spl", "refuted");
-  ]
+  List.map
+    (fun (r : Util.manifest_row) -> (r.Util.mf_file, r.Util.mf_certify_verdict))
+    (Util.load_corpus_manifest ())
 
 let check want got label failed =
   if got <> want then begin

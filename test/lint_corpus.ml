@@ -1,8 +1,9 @@
 (* Lint every example program against its "# policy:" hint and compare the
-   verdict and the set of fired rules with this expected table. `make
-   lint-corpus` drives the same sweep through the CLI; this executable wires
-   it into `dune runtest`. A new .spl file must be added to the table — the
-   sweep fails on unexpected files as well as unexpected verdicts. *)
+   verdict and the set of fired rules with the shared expectation table
+   (examples/programs/corpus.manifest — the same table `make lint-corpus`
+   reads). This executable wires the sweep into `dune runtest`. A new
+   .spl file must be added to the manifest — the sweep fails on
+   unexpected files as well as unexpected verdicts, in both tools. *)
 
 module Iset = Secpol_core.Iset
 module Policy = Secpol_core.Policy
@@ -14,13 +15,10 @@ let examples_dir = "../examples/programs"
 
 (* file -> (certified, rules fired, in kebab-case and sorted) *)
 let expected =
-  [
-    ("blind_vote.spl", (false, [ "explicit-flow" ]));
-    ("bounded_search.spl", (false, [ "explicit-flow"; "imprecision" ]));
-    ("gcd.spl", (true, []));
-    ("mix.spl", (true, []));
-    ("wage_gap.spl", (false, [ "implicit-flow" ]));
-  ]
+  List.map
+    (fun (r : Util.manifest_row) ->
+      (r.Util.mf_file, (r.Util.mf_lint_certified, List.sort compare r.Util.mf_lint_rules)))
+    (Util.load_corpus_manifest ())
 
 let lint file =
   let path = Filename.concat examples_dir file in

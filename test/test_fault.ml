@@ -414,6 +414,48 @@ let prop_transient_retry_recovers =
             (Space.enumerate e.Paper.space))
         entries)
 
+(* --- jittered backoff bounds --------------------------------------------- *)
+
+(* A mechanism that always faults forces the guard through its whole retry
+   budget, so the charged backoff is the full schedule: attempt [i]'s
+   penalty is [backoff_base * 2^(i-1)] unjittered, drawn from [p, 2p) when
+   jittered — totals exactly B = base*(2^k - 1), respectively in [B, 2B). *)
+let prop_jitter_backoff_bounds =
+  qtest ~count:300 "jittered-backoff-within-documented-bounds"
+    QCheck.(triple (int_range 0 1_000_000) (int_range 1 5) (int_range 1 16))
+    (fun (seed, retries, base) ->
+      let broken =
+        Mechanism.make ~name:"broken" ~arity:1 (fun _ ->
+            { Mechanism.response = Mechanism.Failed "injected"; steps = 0 })
+      in
+      let a = ints [ 0 ] in
+      let backoff config =
+        match Guard.run ~config broken a with
+        | Guard.Degraded r, _ -> r.Guard.backoff_steps
+        | _ -> Alcotest.fail "a broken mechanism must degrade"
+      in
+      let unjittered =
+        backoff { Guard.default with retries; backoff_base = base }
+      in
+      let b = base * ((1 lsl retries) - 1) in
+      if unjittered <> b then
+        QCheck.Test.fail_reportf "unjittered backoff %d, schedule says %d"
+          unjittered b;
+      let jittered =
+        backoff
+          { Guard.default with retries; backoff_base = base; jitter = Some seed }
+      in
+      let again =
+        backoff
+          { Guard.default with retries; backoff_base = base; jitter = Some seed }
+      in
+      if jittered <> again then
+        QCheck.Test.fail_reportf "jitter seed %d not replayable: %d vs %d" seed
+          jittered again;
+      jittered >= b && jittered < 2 * b
+      || QCheck.Test.fail_reportf "jittered backoff %d outside [%d, %d)"
+           jittered b (2 * b))
+
 let () =
   Alcotest.run "fault"
     [
@@ -449,6 +491,7 @@ let () =
           prop_sound_modulo_notices_under_faults;
           prop_guarded_below_clean;
           prop_transient_retry_recovers;
+          prop_jitter_backoff_bounds;
         ] );
       ( "durability",
         [ prop_truncation_always_resumes; prop_bitflip_never_diverges ] );

@@ -112,6 +112,20 @@ let gen_event =
            (oneofl [ Event.Checkpoint; Event.Resume; Event.Replay_skip ])
            nat gen_str);
       map
+        (fun (kind, shard, round, detail) ->
+          Event.Dist { kind; shard; round; detail })
+        (quad
+           (oneofl
+              [
+                Event.Shard_start;
+                Event.Shard_reply;
+                Event.Shard_retry;
+                Event.Shard_lost;
+                Event.Merge;
+              ])
+           (map (fun n -> n - 1) nat)
+           nat gen_str);
+      map
         (fun (response, text, steps) -> Event.Verdict { response; text; steps })
         (triple
            (oneofl [ Event.Granted; Event.Denied; Event.Hung; Event.Failed ])
@@ -178,6 +192,8 @@ let sample_events =
     Event.Guard
       { kind = Event.Retry; mechanism = "m"; attempt = 1; detail = "boom" };
     Event.Journal { kind = Event.Checkpoint; step = 4; detail = "snapshot" };
+    Event.Dist
+      { kind = Event.Shard_reply; shard = 1; round = 2; detail = "Λ in 4" };
     Event.Verdict { response = Event.Denied; text = "Λ"; steps = 9 };
   ]
 

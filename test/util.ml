@@ -66,3 +66,54 @@ let show_mech_reply (r : Mechanism.reply) =
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest ~verbose:false
     (QCheck.Test.make ~count ~name gen prop)
+
+(* The example-program expectation table shared with `make lint-corpus` /
+   `make certify-corpus`: one line per .spl file —
+   [file lint_verdict certify_verdict rules] with verdicts proved|refuted
+   and rules a comma-separated list ("-" for none). *)
+type manifest_row = {
+  mf_file : string;
+  mf_lint_certified : bool;
+  mf_certify_verdict : string;
+  mf_lint_rules : string list;
+}
+
+let corpus_manifest_path = "../examples/programs/corpus.manifest"
+
+let load_corpus_manifest () =
+  let ic = open_in corpus_manifest_path in
+  let certified = function
+    | "proved" -> true
+    | "refuted" -> false
+    | v -> failwith (Printf.sprintf "%s: bad verdict %S" corpus_manifest_path v)
+  in
+  let rec loop rows =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev rows
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then loop rows
+        else
+          match
+            String.split_on_char ' ' line
+            |> List.filter (fun s -> s <> "")
+          with
+          | [ file; lint_v; certify_v; rules ] ->
+              loop
+                ({
+                   mf_file = file;
+                   mf_lint_certified = certified lint_v;
+                   mf_certify_verdict = certify_v;
+                   mf_lint_rules =
+                     (if rules = "-" then []
+                      else String.split_on_char ',' rules);
+                 }
+                :: rows)
+          | _ ->
+              failwith
+                (Printf.sprintf "%s: malformed line %S" corpus_manifest_path
+                   line))
+  in
+  loop []
