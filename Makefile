@@ -71,13 +71,24 @@ chaos-crash:
 chaos-dist:
 	dune exec bin/secpol_cli.exe -- chaos --dist --seeds 30
 
-# Both sweeps through the engine pool at 4 domains. Reports are promised
-# byte-identical to the sequential ones; the pool's scheduling telemetry
-# (steals, idle probes) lands on stderr.
+# Enforcement-service chaos sweep: seeded client misbehaviour
+# (disconnects, slowloris stalls, malformed frames, overload bursts) and
+# process kills mid-request against the service engine. Every tracked
+# request must be answered in E ∪ F — the clean verdict or a violation
+# notice, Λ/overload under shedding, Λ/recovery after an unrecoverable
+# kill — never a fail-open grant, never silence. The same sweep runs
+# inside `dune runtest` (test/server_sweep.ml).
+serve-chaos:
+	dune exec bin/secpol_cli.exe -- chaos --server --seeds 100
+
+# All four sweeps through the engine pool at 4 domains. Reports are
+# promised byte-identical to the sequential ones; the pool's scheduling
+# telemetry (steals, idle probes) lands on stderr.
 chaos-par:
 	dune exec bin/secpol_cli.exe -- chaos --seeds 100 --jobs 4
 	dune exec bin/secpol_cli.exe -- chaos --crash --crash-points 50 --jobs 4
 	dune exec bin/secpol_cli.exe -- chaos --dist --seeds 30 --jobs 4
+	dune exec bin/secpol_cli.exe -- chaos --server --seeds 100 --jobs 4
 
 # Regenerates experiments_output.txt (gitignored — it is derived output;
 # EXPERIMENTS.md narrates the numbers).
@@ -107,4 +118,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force lint-corpus certify-corpus chaos chaos-crash chaos-dist chaos-par experiments bench bench-json examples doc clean
+.PHONY: all test test-force lint-corpus certify-corpus chaos chaos-crash chaos-dist serve-chaos chaos-par experiments bench bench-json examples doc clean

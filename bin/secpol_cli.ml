@@ -898,20 +898,34 @@ let chaos_cmd =
   let module Sweep = Secpol_fault.Sweep in
   let module Crash = Secpol_fault.Crash in
   let module Dist = Secpol_dist.Sweep in
+  let module Serverchaos = Secpol_server.Chaos in
   let run program mode seeds base_seed horizon retries crash crash_points
-      snapshot_every dist format json jobs trace trace_format =
+      snapshot_every dist server format json jobs trace trace_format =
     let jobs = check_jobs jobs in
     let format = output_format json format in
     let entries =
       match program with None -> Paper.all | Some name -> [ entry_of_name name ]
     in
-    if dist && crash then begin
-      prerr_endline "--dist and --crash are separate sweeps; pick one";
+    if (if dist then 1 else 0) + (if crash then 1 else 0)
+       + (if server then 1 else 0)
+       > 1
+    then begin
+      prerr_endline "--dist, --crash and --server are separate sweeps; pick one";
       exit 2
     end;
     let code =
       with_sink trace trace_format (fun sink ->
-          if dist then begin
+          if server then begin
+            let report =
+              Serverchaos.run ~entries ~mode ~seeds ~base_seed ~sink ~jobs ()
+            in
+            report_pool report.Serverchaos.pool;
+            (match format with
+            | `Json -> print_endline (Serverchaos.to_json_string report)
+            | `Text -> Format.printf "%a" Serverchaos.pp report);
+            if report.Serverchaos.ok then 0 else 1
+          end
+          else if dist then begin
             let report =
               Dist.run ~entries ~mode ~seeds ~base_seed ~sink ~jobs ()
             in
@@ -963,6 +977,16 @@ let chaos_cmd =
     in
     Arg.(value & flag & info [ "dist" ] ~doc)
   in
+  let server =
+    let doc =
+      "Run the enforcement-service sweep instead: drive seeded client \
+       misbehaviour (disconnects, slowloris, malformed frames, overload \
+       bursts) and engine kills against an in-process service and verify \
+       every request is answered in E \xe2\x88\xaa F — no fail-open grant, \
+       no silence."
+    in
+    Arg.(value & flag & info [ "server" ] ~doc)
+  in
   let crash_points =
     let doc = "Crash points per (program, policy, input) case (with --crash)." in
     Arg.(value & opt int 50 & info [ "crash-points" ] ~docv:"N" ~doc)
@@ -1002,8 +1026,311 @@ let chaos_cmd =
           usage errors.")
     Term.(
       const run $ program $ mode_arg $ seeds $ seed_arg $ horizon $ retries
-      $ crash $ crash_points $ snapshot_every $ dist $ format_arg $ json_arg
-      $ jobs_arg $ trace_arg $ trace_format_arg)
+      $ crash $ crash_points $ snapshot_every $ dist $ server $ format_arg
+      $ json_arg $ jobs_arg $ trace_arg $ trace_format_arg)
+
+(* --- serve / client -------------------------------------------------------- *)
+
+module SDaemon = Secpol_server.Daemon
+module SEngine = Secpol_server.Engine
+module SStore = Secpol_server.Store
+module SClient = Secpol_server.Client
+module SLoadgen = Secpol_server.Loadgen
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the enforcement service." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "TCP endpoint of the enforcement service, e.g. 127.0.0.1:7070 (when \
+     serving, port 0 lets the kernel pick; the bound address is printed)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let address_of socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ ->
+      prerr_endline "--socket and --tcp are exclusive; pick one";
+      exit 2
+  | Some path, None -> SDaemon.Unix_path path
+  | None, Some hostport -> (
+      match String.rindex_opt hostport ':' with
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port =
+            String.sub hostport (i + 1) (String.length hostport - i - 1)
+          in
+          match int_of_string_opt port with
+          | Some port when host <> "" && port >= 0 -> SDaemon.Tcp (host, port)
+          | _ ->
+              prerr_endline "--tcp expects HOST:PORT, e.g. 127.0.0.1:7070";
+              exit 2)
+      | None ->
+          prerr_endline "--tcp expects HOST:PORT, e.g. 127.0.0.1:7070";
+          exit 2)
+  | None, None ->
+      prerr_endline "need --socket PATH or --tcp HOST:PORT";
+      exit 2
+
+let session_arg =
+  let doc = "Session name on the service." in
+  Arg.(value & opt string "cli" & info [ "session" ] ~docv:"NAME" ~doc)
+
+let serve_cmd =
+  let run socket tcp store capacity exec_budget frame_deadline deadline_ms
+      jobs trace trace_format =
+    let address = address_of socket tcp in
+    let jobs = check_jobs jobs in
+    if capacity < 1 then begin
+      prerr_endline "--capacity must be at least 1";
+      exit 2
+    end;
+    let config =
+      {
+        SEngine.default_config with
+        SEngine.capacity;
+        exec_budget;
+        frame_deadline;
+        default_deadline_us = deadline_ms * 1000;
+        jobs;
+      }
+    in
+    let store = Option.map SStore.dir store in
+    let code =
+      with_sink trace trace_format (fun sink ->
+          (try
+             SDaemon.serve ~config ~sink ?store
+               ~ready:(fun a ->
+                 Printf.printf "secpol serve: listening on %s\n%!"
+                   (SDaemon.address_to_string a))
+               address
+           with Unix.Unix_error (e, fn, arg) ->
+             Printf.eprintf "cannot serve: %s: %s %s\n" fn
+               (Unix.error_message e) arg;
+             exit 2);
+          0)
+    in
+    exit code
+  in
+  let store =
+    let doc =
+      "Durable state directory (session manifests and journals survive \
+       restarts); an in-memory store when omitted."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let capacity =
+    let doc = "Admission queue bound; requests beyond it are shed \xce\x9b/overload." in
+    Arg.(
+      value
+      & opt int SEngine.default_config.SEngine.capacity
+      & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let exec_budget =
+    let doc = "Queued requests executed per scheduling round." in
+    Arg.(
+      value
+      & opt int SEngine.default_config.SEngine.exec_budget
+      & info [ "exec-budget" ] ~docv:"N" ~doc)
+  in
+  let frame_deadline =
+    let doc = "Seconds a partially written frame may stall before the \
+               connection is refused (slowloris)." in
+    Arg.(
+      value
+      & opt float SEngine.default_config.SEngine.frame_deadline
+      & info [ "frame-deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let deadline_ms =
+    let doc = "Default per-request deadline in milliseconds, applied when a \
+               request does not carry its own." in
+    Arg.(
+      value
+      & opt int (SEngine.default_config.SEngine.default_deadline_us / 1000)
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the enforcement service: a long-lived daemon answering \
+          enforce requests over a Unix or TCP socket, with per-request \
+          deadlines, a bounded admission queue that sheds \xce\x9b/overload \
+          under load, and graceful drain on SIGTERM. With --store, \
+          journaled sessions survive crash-restart.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ store $ capacity $ exec_budget
+      $ frame_deadline $ deadline_ms $ jobs_arg $ trace_arg
+      $ trace_format_arg)
+
+let client_cmd =
+  let run socket tcp action program session policy mode journaled inputs
+      request_id deadline_ms requests window retries =
+    let address = address_of socket tcp in
+    let with_session () =
+      match program with
+      | None ->
+          prerr_endline "enforce and load need PROGRAM";
+          exit 2
+      | Some name ->
+          let e = entry_of_name name in
+          let p = resolve_policy e policy in
+          let spec =
+            try SLoadgen.session_spec ~session ~mode ~journaled ~policy:p ()
+            with Invalid_argument _ ->
+              prerr_endline "the service needs an allow(...) policy";
+              exit 2
+          in
+          (e, spec)
+    in
+    let c =
+      try SClient.connect ~retries ~retry_delay:0.1 address
+      with Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "cannot connect: %s: %s %s\n" fn (Unix.error_message e)
+          arg;
+        exit 2
+    in
+    let open_session spec =
+      match SClient.open_session c spec with
+      | Ok () -> ()
+      | Error m ->
+          prerr_endline ("session refused: " ^ m);
+          exit 1
+    in
+    let show = function
+      | Ok reply ->
+          show_enforce_reply reply;
+          0
+      | Error m ->
+          prerr_endline ("refused: " ^ m);
+          1
+    in
+    let code =
+      try
+        match action with
+        | `Enforce ->
+            let e, spec = with_session () in
+            let a =
+              match inputs with
+              | Some s -> parse_inputs s
+              | None ->
+                  prerr_endline "enforce needs --inputs";
+                  exit 2
+            in
+            check_arity e a;
+            open_session spec;
+            let deadline_us =
+              if deadline_ms < 0 then -1 else deadline_ms * 1000
+            in
+            show
+              (SClient.enforce c ~deadline_us ~session ~request_id
+                 ~program:e.Paper.name a)
+        | `Resume -> show (SClient.resume c ~session ~request_id)
+        | `Stats -> (
+            match SClient.stats c with
+            | Ok body ->
+                print_endline body;
+                0
+            | Error m ->
+                prerr_endline ("refused: " ^ m);
+                1)
+        | `Drain -> (
+            match SClient.drain c with
+            | Ok outstanding ->
+                Printf.printf "draining; %d outstanding\n" outstanding;
+                0
+            | Error m ->
+                prerr_endline ("refused: " ^ m);
+                1)
+        | `Load ->
+            let e, spec = with_session () in
+            let r = SLoadgen.run_client ~requests ~window ~client:c ~spec ~entry:e () in
+            Format.printf "%a" SLoadgen.pp r;
+            if r.SLoadgen.fail_open = 0 then 0 else 1
+      with
+      | SClient.Protocol_error m ->
+          prerr_endline ("protocol error: " ^ m);
+          1
+      | Failure m ->
+          prerr_endline m;
+          1
+    in
+    SClient.close c;
+    exit code
+  in
+  let action =
+    let doc =
+      "What to ask the service: $(b,enforce) one request, $(b,resume) a \
+       crashed journaled request, $(b,stats) for metrics JSON, $(b,drain) \
+       for graceful shutdown, or $(b,load) to run the pipelined load \
+       generator."
+    in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("enforce", `Enforce);
+                  ("resume", `Resume);
+                  ("stats", `Stats);
+                  ("drain", `Drain);
+                  ("load", `Load);
+                ]))
+          None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let program =
+    let doc = "Corpus program name (for enforce and load)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let inputs =
+    let doc = "Comma-separated integer inputs, e.g. 3,0 (for enforce)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "inputs" ] ~docv:"INPUTS" ~doc)
+  in
+  let journaled =
+    let doc =
+      "Open the session journaled: every run is durable and resumable \
+       after a crash."
+    in
+    Arg.(value & flag & info [ "journaled" ] ~doc)
+  in
+  let request_id =
+    let doc = "Client-chosen request id (echoed in the reply; the resume \
+               key for journaled runs)." in
+    Arg.(value & opt int 0 & info [ "request-id" ] ~docv:"N" ~doc)
+  in
+  let deadline_ms =
+    let doc = "Per-request deadline in milliseconds; 0 is already expired \
+               (always \xce\x9b/overload), negative means the server \
+               default." in
+    Arg.(value & opt int (-1) & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let requests =
+    let doc = "Requests to send (for load)." in
+    Arg.(value & opt int 2000 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let window =
+    let doc = "Requests kept outstanding (for load)." in
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let retries =
+    let doc = "Connection attempts to a daemon still booting." in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running enforcement service: enforce a request, resume \
+          a crashed journaled run, fetch stats, ask for drain, or drive \
+          the load generator against it.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ action $ program $ session_arg
+      $ policy_arg $ mode_arg $ journaled $ inputs $ request_id $ deadline_ms
+      $ requests $ window $ retries)
 
 (* --- explain ---------------------------------------------------------------- *)
 
@@ -1131,6 +1458,6 @@ let () =
   let code =
     Cmd.eval ~term_err:2
       (Cmd.group info
-         [ list_cmd; show_cmd; run_cmd; enforce_cmd; resume_cmd; explain_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; fmt_cmd ])
+         [ list_cmd; show_cmd; run_cmd; enforce_cmd; resume_cmd; explain_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; serve_cmd; client_cmd; fmt_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

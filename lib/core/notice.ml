@@ -1,0 +1,31 @@
+type t = Condemned | Fuel | Degraded | Recovery | Partition | Overload
+
+let prefix = "\xce\x9b" (* Λ *)
+
+let to_string = function
+  | Condemned -> prefix
+  | Fuel -> prefix ^ "/fuel"
+  | Degraded -> prefix ^ "/degraded"
+  | Recovery -> prefix ^ "/recovery"
+  | Partition -> prefix ^ "/partition"
+  | Overload -> prefix ^ "/overload"
+
+let all = [ Condemned; Fuel; Degraded; Recovery; Partition; Overload ]
+
+let members = List.map to_string all
+
+let of_string s = List.find_opt (fun n -> to_string n = s) all
+
+let mem s = List.exists (String.equal s) members
+
+let in_f s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let describe = function
+  | Condemned -> "the monitor condemned a disallowed flow"
+  | Fuel -> "the interpreter's step budget ran out before a verdict"
+  | Degraded -> "the fail-secure guard gave up on a faulty monitor"
+  | Recovery -> "crash recovery found a journal it cannot trust"
+  | Partition -> "the distributed merge lost shards it cannot recover"
+  | Overload -> "the enforcement service shed, expired or refused the request"

@@ -1,0 +1,54 @@
+(** The violation-notice namespace [F].
+
+    Every layer of the enforcement stack that can fail must land its
+    failure in [F] — a violation notice — never in [E] and never in
+    silence. The notices themselves used to be string literals scattered
+    across the layers ([Dynamic], [Guard], [Coordinator], the server);
+    this module is the one place they are enumerated, so the
+    exhaustiveness test can check that everything any layer emits is a
+    member of [F], and so no two layers can drift into colliding or
+    misspelled notices.
+
+    Each notice is deliberately uninformative (a fixed string, no
+    diagnostic payload): per-failure diagnostic text would let the
+    {e pattern} of failures split a policy-equivalence class — the
+    chatty-notice trap of the paper's Example 4. The single exception,
+    [Dynamic]'s opt-in chatty mode, still stays inside [F] because its
+    text extends the [Λ] prefix. *)
+
+type t =
+  | Condemned  (** ["Λ"] — the monitor's verdict on a disallowed flow *)
+  | Fuel  (** ["Λ/fuel"] — the step budget ran out before the verdict *)
+  | Degraded  (** ["Λ/degraded"] — the guard gave up on a faulty monitor *)
+  | Recovery  (** ["Λ/recovery"] — crash recovery found an untrusted journal *)
+  | Partition  (** ["Λ/partition"] — distributed merge lost its quorum *)
+  | Overload  (** ["Λ/overload"] — the service shed, expired or refused the request *)
+
+val prefix : string
+(** ["Λ"] (the two UTF-8 bytes [0xCE 0x9B]). Every member of [F] starts
+    with it; no program output does (outputs are integer values). *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Exact inverse of {!to_string} on the enumerated members; [None] for
+    anything else (including chatty texts). *)
+
+val all : t list
+(** Every notice, in the order declared above. *)
+
+val members : string list
+(** [List.map to_string all]. *)
+
+val mem : string -> bool
+(** Exact membership in {!members}. *)
+
+val in_f : string -> bool
+(** The semantic check: does the string live in the violation-notice
+    namespace? True iff it starts with {!prefix}. Strictly wider than
+    {!mem} — chatty monitor notices ["Λ: ..."] and the provenance
+    classifications ["Λ/explicit"], ["Λ/implicit"], ["Λ/timed"] are in
+    [F] without being canonical machinery notices. *)
+
+val describe : t -> string
+(** One line: which layer emits it and why. *)

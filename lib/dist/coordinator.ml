@@ -16,7 +16,7 @@ type config = {
 
 let default = { deadline_rounds = 4; retries = 2; backoff_base = 4; jitter = None }
 
-let partition_notice = "\xce\x9b/partition" (* Λ/partition *)
+let partition_notice = Secpol_core.Notice.(to_string Partition) (* Λ/partition *)
 
 let nonce_counter = Atomic.make 1
 let fresh_nonce () = Atomic.fetch_and_add nonce_counter 1

@@ -25,8 +25,8 @@ type config = {
 let default =
   { retries = 2; backoff_base = 4; step_budget = None; jitter = None }
 
-let degraded_notice = "\xce\x9b/degraded" (* Λ/degraded *)
-let recovery_notice = "\xce\x9b/recovery" (* Λ/recovery *)
+let degraded_notice = Secpol_core.Notice.(to_string Degraded) (* Λ/degraded *)
+let recovery_notice = Secpol_core.Notice.(to_string Recovery) (* Λ/recovery *)
 
 let reply_of_recovery = function
   | Ok reply -> reply

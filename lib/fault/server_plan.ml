@@ -1,0 +1,96 @@
+module Rng = Plan.Rng
+
+type damage = Bad_magic | Bad_crc | Truncated | Foreign_version | Garbage
+
+type fault =
+  | Clean
+  | Disconnect
+  | Slowloris
+  | Malformed of damage
+  | Kill
+
+type t = {
+  seed : int;
+  faults : fault array;
+  burst : int;
+  burst_at : int;
+  journaled : bool;
+}
+
+let fault_free ~requests =
+  if requests < 1 then invalid_arg "Server_plan.fault_free: requests < 1";
+  {
+    seed = -1;
+    faults = Array.make requests Clean;
+    burst = 0;
+    burst_at = 0;
+    journaled = true;
+  }
+
+let damage_of_int = function
+  | 0 -> Bad_magic
+  | 1 -> Bad_crc
+  | 2 -> Truncated
+  | 3 -> Foreign_version
+  | _ -> Garbage
+
+let generate ?(requests = 6) ~seed () =
+  if requests < 3 then invalid_arg "Server_plan.generate: requests < 3";
+  let st = Rng.create seed in
+  let n = 3 + Rng.below st (requests - 2) in
+  let faults =
+    Array.init n (fun _ ->
+        let r = Rng.below st 100 in
+        if r < 40 then Clean
+        else if r < 55 then Disconnect
+        else if r < 70 then Slowloris
+        else if r < 85 then Malformed (damage_of_int (Rng.below st 5))
+        else Kill)
+  in
+  let burst = if Rng.below st 100 < 35 then 2 + Rng.below st 6 else 0 in
+  let burst_at = Rng.below st n in
+  let journaled = Rng.below st 100 < 50 in
+  { seed; faults; burst; burst_at; journaled }
+
+let is_fault_free t =
+  t.burst = 0 && Array.for_all (function Clean -> true | _ -> false) t.faults
+
+let kills t =
+  Array.fold_left (fun n -> function Kill -> n + 1 | _ -> n) 0 t.faults
+
+let overload t = t.burst
+
+let damage_name = function
+  | Bad_magic -> "bad-magic"
+  | Bad_crc -> "bad-crc"
+  | Truncated -> "truncated"
+  | Foreign_version -> "foreign-version"
+  | Garbage -> "garbage"
+
+let fault_name = function
+  | Clean -> "clean"
+  | Disconnect -> "disconnect"
+  | Slowloris -> "slowloris"
+  | Malformed d -> Printf.sprintf "malformed(%s)" (damage_name d)
+  | Kill -> "kill"
+
+let describe t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b
+    (Printf.sprintf "%d requests%s:" (Array.length t.faults)
+       (if t.journaled then " (journaled)" else ""));
+  let any = ref false in
+  Array.iteri
+    (fun i f ->
+      match f with
+      | Clean -> ()
+      | f ->
+          any := true;
+          Buffer.add_string b (Printf.sprintf " %s@%d" (fault_name f) i))
+    t.faults;
+  if not !any then Buffer.add_string b " (all clean)";
+  if t.burst > 0 then
+    Buffer.add_string b (Printf.sprintf "; burst(%d)@%d" t.burst t.burst_at);
+  Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,59 @@
+(** Deterministic fault plans for the enforcement service.
+
+    Where {!Plan} scripts failures of the monitor and {!Secpol_dist}'s
+    plan scripts failures of a shard fleet, a server plan scripts the
+    failures a long-lived enforcement daemon sees from the outside world:
+    clients that disconnect mid-frame, slow writers that trickle a frame
+    past its deadline, malformed or foreign-version bytes, request bursts
+    above the admission queue's capacity, and the process being killed
+    mid-run and restarted. Plans are pure data derived from an integer
+    seed by the shared {!Plan.Rng} splitmix64 stream, so the server chaos
+    sweep replays bit-for-bit from its seed. *)
+
+(** How a frame's bytes are damaged on the wire. *)
+type damage =
+  | Bad_magic  (** the frame header's magic is wrong *)
+  | Bad_crc  (** one payload byte flipped under an intact checksum *)
+  | Truncated  (** a strict prefix of the frame, then silence *)
+  | Foreign_version  (** an intact frame whose payload stamps a foreign wire version *)
+  | Garbage  (** bytes that were never a frame *)
+
+(** What happens to one scripted request. *)
+type fault =
+  | Clean  (** delivered whole, on time *)
+  | Disconnect  (** a strict prefix of the frame, then the client hangs up *)
+  | Slowloris  (** the frame trickles in slower than the frame deadline *)
+  | Malformed of damage
+  | Kill  (** the server process dies mid-run; restarted, the client asks again *)
+
+type t = {
+  seed : int;  (** generator seed, [-1] if built by hand *)
+  faults : fault array;  (** one per scripted request, in arrival order *)
+  burst : int;
+      (** extra copies of the burst request injected in the same step,
+          [0] for no burst — sized to overflow a small admission queue *)
+  burst_at : int;  (** index of the request the burst rides on *)
+  journaled : bool;  (** the session journals its runs (kills then recover) *)
+}
+
+val fault_free : requests:int -> t
+(** [requests] clean requests, no burst, journaled. *)
+
+val generate : ?requests:int -> seed:int -> unit -> t
+(** Derive a plan deterministically from [seed]: between 3 and [requests]
+    (default 6) scripted requests with a fault mix over all five classes,
+    a burst on roughly a third of the plans, journaling on roughly half. *)
+
+val is_fault_free : t -> bool
+
+val kills : t -> int
+(** Number of [Kill] requests in the plan. *)
+
+val overload : t -> int
+(** The burst size ([0] when the plan has no burst). *)
+
+val fault_name : fault -> string
+
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit

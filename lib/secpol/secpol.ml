@@ -11,6 +11,7 @@
 (* The basic model (paper Section 2). *)
 module Value = Secpol_core.Value
 module Iset = Secpol_core.Iset
+module Notice = Secpol_core.Notice
 module Space = Secpol_core.Space
 module Program = Secpol_core.Program
 module Policy = Secpol_core.Policy

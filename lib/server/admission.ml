@@ -1,0 +1,79 @@
+module Rng = Secpol_fault.Plan.Rng
+
+type 'a entry = {
+  seq : int;
+  conn : int;
+  session : string;
+  request_id : int;
+  deadline : float;
+  work : 'a;
+}
+
+type reason = Expired | Queue_full | Draining
+
+let reason_name = function
+  | Expired -> "expired"
+  | Queue_full -> "queue-full"
+  | Draining -> "draining"
+
+type 'a t = {
+  cap : int;
+  rng : Rng.state;
+  mutable queue : 'a entry list;  (* admission order, head = oldest *)
+  mutable next_seq : int;
+  mutable draining : bool;
+}
+
+let create ?(seed = 0) ~capacity () =
+  if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  { cap = capacity; rng = Rng.create seed; queue = []; next_seq = 0; draining = false }
+
+let capacity t = t.cap
+let length t = List.length t.queue
+let draining t = t.draining
+let to_list t = t.queue
+
+let offer t ~now ~conn ~session ~request_id ~deadline work =
+  let e =
+    { seq = t.next_seq; conn; session; request_id; deadline; work }
+  in
+  t.next_seq <- t.next_seq + 1;
+  if t.draining then [ `Shed (e, Draining) ]
+  else if deadline <= now then [ `Shed (e, Expired) ]
+  else if List.length t.queue < t.cap then begin
+    t.queue <- t.queue @ [ e ];
+    [ `Admitted e ]
+  end
+  else begin
+    (* Full: shed the candidate with the latest deadline among the queue
+       and the newcomer; seeded draw on deadline ties so the choice is a
+       pure function of (seed, queue state). *)
+    let latest =
+      List.fold_left
+        (fun acc c -> if c.deadline > acc.deadline then c else acc)
+        e t.queue
+    in
+    let ties =
+      List.filter (fun c -> c.deadline = latest.deadline) (e :: t.queue)
+    in
+    let victim =
+      match ties with
+      | [ v ] -> v
+      | vs -> List.nth vs (Rng.below t.rng (List.length vs))
+    in
+    if victim.seq = e.seq then [ `Shed (e, Queue_full) ]
+    else begin
+      t.queue <-
+        List.filter (fun c -> c.seq <> victim.seq) t.queue @ [ e ];
+      [ `Shed (victim, Queue_full); `Admitted e ]
+    end
+  end
+
+let pop t ~now =
+  match t.queue with
+  | [] -> `Empty
+  | e :: rest ->
+      t.queue <- rest;
+      if e.deadline <= now then `Expired e else `Run e
+
+let drain t = t.draining <- true

@@ -1,0 +1,97 @@
+(** The server chaos sweep: seeded client misbehaviour and process death
+    against the enforcement service, with a zero-fail-open gate.
+
+    One task per (corpus entry, policy); per task one fault-free plan plus
+    [seeds] generated {!Secpol_fault.Server_plan}s. Each plan boots a
+    fresh {!Engine} on a memory {!Store} with a small admission queue and
+    a virtual clock, opens a session, and drives the scripted requests:
+
+    - {e clean} requests must be answered bit-identically to the guarded
+      single enforcer (the same Guard-over-Dynamic layers a local
+      {!Secpol_secpol.Run} composes);
+    - {e disconnects} abandon a half-written frame — the server carries
+      on;
+    - {e slowloris} frames stall past the frame deadline and must be
+      refused;
+    - {e malformed} frames (bad magic, bad CRC, truncation, foreign wire
+      version, garbage) must be refused — decode errors cost the sender
+      its connection, nothing else;
+    - {e kills} strike mid-request; the engine is rebuilt on the same
+      store and the client asks {!Wire.Resume} — a journaled run must
+      come back bit-identical, an unjournaled one as [Λ/recovery];
+    - {e bursts} push more requests than the queue holds — every one must
+      be answered, the clean verdict or [Λ/overload];
+    - the plan ends in a {!Wire.Drain} and every tracked request must
+      have been answered.
+
+    Fail-open is: a grant differing from the clean monitor, a reply
+    outside [E ∪ F] ([Hung]/[Failed] or a denial whose notice is not in
+    [F]), or an accepted request never answered. The sweep also fails on
+    clean-path divergence and on missed refusals. Deterministic per seed;
+    the report is byte-identical at any [jobs]. *)
+
+module Dynamic = Secpol_taint.Dynamic
+module Metrics = Secpol_trace.Metrics
+module Sink = Secpol_trace.Sink
+module Pool = Secpol_engine.Pool
+module Paper = Secpol_corpus.Paper_programs
+module Json = Secpol_staticflow.Lint.Json
+
+type totals = {
+  plans : int;
+  requests : int;  (** tracked enforce requests sent *)
+  grants : int;  (** grants, all bit-identical to the clean monitor *)
+  monitor_denials : int;
+  overload_denials : int;  (** [Λ/overload] — shed, expired, drained *)
+  recovery_denials : int;  (** [Λ/recovery] — unrecoverable after a kill *)
+  fault_denials : int;  (** [Λ/degraded] *)
+  fail_open : int;
+  clean_mismatch : int;
+  unanswered : int;
+  proto_refusals : int;  (** connections refused (expected under faults) *)
+  proto_misses : int;  (** a fault the server should have refused but didn't *)
+  disconnects : int;
+  slowloris : int;
+  malformed : int;
+  kills : int;
+  kill_survivals : int;  (** armed kills the run completed ahead of *)
+  restarts : int;
+  resumes : int;
+  burst_requests : int;
+}
+
+type finding = {
+  entry : string;
+  policy : string;
+  seed : int;
+  input : string;
+  detail : string;
+}
+
+type report = {
+  base_seed : int;
+  seeds : int;
+  mode : Dynamic.mode;
+  totals : totals;
+  metrics : Metrics.t;
+  findings : finding list;
+  ok : bool;
+  pool : Pool.stats;
+}
+
+val run :
+  ?entries:Paper.entry list ->
+  ?mode:Dynamic.mode ->
+  ?seeds:int ->
+  ?base_seed:int ->
+  ?inputs_per_case:int ->
+  ?sink:Sink.t ->
+  ?jobs:int ->
+  unit ->
+  report
+(** Defaults: the whole corpus, surveillance mode, 30 seeds from 0, 3
+    inputs per case, 1 job — 1178 plans over 38 (entry, policy) tasks. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Json.value
+val to_json_string : report -> string

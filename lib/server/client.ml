@@ -1,0 +1,119 @@
+module Mechanism = Secpol_core.Mechanism
+
+exception Protocol_error of string
+
+type t = { fd : Unix.file_descr; stream : Wire.Stream.t; buf : Bytes.t }
+
+let proto fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+let sockaddr_of = function
+  | Daemon.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Daemon.Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> proto "unknown host %S" host)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (addr, port))
+
+let connect ?(retries = 0) ?(retry_delay = 0.1) address =
+  let domain, addr = sockaddr_of address in
+  let rec attempt left =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when left > 0
+      ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try ignore (Unix.select [] [] [] retry_delay) with _ -> ());
+        attempt (left - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  let fd = attempt retries in
+  { fd; stream = Wire.Stream.create (); buf = Bytes.create 65536 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let post t req =
+  let s = Wire.encode_request req in
+  let rec write_all off len =
+    if len > 0 then begin
+      let n = Unix.write_substring t.fd s off len in
+      write_all (off + n) (len - n)
+    end
+  in
+  try write_all 0 (String.length s)
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    proto "connection closed while sending %s" (Wire.request_name req)
+
+let rec next_response t =
+  match Wire.Stream.next t.stream with
+  | `Frame payload -> (
+      match Wire.decode_response payload with
+      | Ok r -> r
+      | Error e -> proto "bad response frame: %s" (Wire.Codec.error_message e))
+  | `Corrupt e -> proto "corrupt response stream: %s" (Wire.Codec.error_message e)
+  | `Await -> (
+      match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 -> proto "connection closed by server"
+      | n ->
+          Wire.Stream.feed t.stream ~now:0. (Bytes.sub_string t.buf 0 n);
+          next_response t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_response t
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          proto "connection reset by server")
+
+let request t req = post t req; next_response t
+
+let refused code detail = Error (Printf.sprintf "%s: %s" code detail)
+
+let hello t ~client =
+  match request t (Wire.Hello { client }) with
+  | Wire.Welcome { server } -> Ok server
+  | Wire.Refused { code; detail } -> refused code detail
+  | r -> proto "expected welcome, got %s" (Wire.response_name r)
+
+let open_session t spec =
+  match request t (Wire.Open_session spec) with
+  | Wire.Session_opened _ -> Ok ()
+  | Wire.Refused { code; detail } -> refused code detail
+  | r -> proto "expected session-opened, got %s" (Wire.response_name r)
+
+(* Replies are matched by (session, request_id): the service pipelines,
+   and a shed reply can overtake an admitted one. Interleaved responses
+   for other ids would mean the caller mixed blocking calls with [post]
+   pipelining — refuse loudly instead of misattributing a verdict. *)
+let await_reply t ~session ~request_id =
+  match next_response t with
+  | Wire.Reply { session = s; request_id = id; reply }
+    when s = session && id = request_id ->
+      Ok reply
+  | Wire.Reply { request_id = id; _ } ->
+      proto "reply for request %d while waiting for %d" id request_id
+  | Wire.Refused { code; detail } -> refused code detail
+  | r -> proto "expected reply, got %s" (Wire.response_name r)
+
+let enforce t ?(deadline_us = -1) ~session ~request_id ~program inputs =
+  post t
+    (Wire.Enforce { Wire.session; request_id; program; inputs; deadline_us });
+  await_reply t ~session ~request_id
+
+let resume t ~session ~request_id =
+  post t (Wire.Resume { session; request_id });
+  await_reply t ~session ~request_id
+
+let stats t =
+  match request t Wire.Stats with
+  | Wire.Stats_reply { body } -> Ok body
+  | Wire.Refused { code; detail } -> refused code detail
+  | r -> proto "expected stats-reply, got %s" (Wire.response_name r)
+
+let drain t =
+  match request t Wire.Drain with
+  | Wire.Draining { outstanding } -> Ok outstanding
+  | Wire.Refused { code; detail } -> refused code detail
+  | r -> proto "expected draining, got %s" (Wire.response_name r)

@@ -1,0 +1,53 @@
+(** Blocking client for the enforcement service.
+
+    One connection, one outstanding request at a time for the typed
+    helpers; {!post}/{!next_response} expose the raw pipeline for callers
+    that window many requests ({!Loadgen}).
+
+    Transport and protocol failures raise {!Protocol_error}; the
+    service's own {!Wire.Refused} answers come back as [Error "code:
+    detail"]. Verdicts ({!Wire.Reply}) are ordinary [Ok] values — a
+    denial is an answer, not an error. *)
+
+module Mechanism = Secpol_core.Mechanism
+
+exception Protocol_error of string
+
+type t
+
+val connect : ?retries:int -> ?retry_delay:float -> Daemon.address -> t
+(** [retries] extra attempts on [ECONNREFUSED]/[ENOENT] (a daemon still
+    booting), [retry_delay] seconds apart. *)
+
+val close : t -> unit
+
+val hello : t -> client:string -> (string, string) result
+(** Returns the server's name. *)
+
+val open_session : t -> Wire.open_session -> (unit, string) result
+(** Idempotent for an identical spec; refused for a conflicting one. *)
+
+val enforce :
+  t ->
+  ?deadline_us:int ->
+  session:string ->
+  request_id:int ->
+  program:string ->
+  Secpol_core.Value.t array ->
+  (Mechanism.reply, string) result
+
+val resume :
+  t -> session:string -> request_id:int -> (Mechanism.reply, string) result
+(** The verdict of a journaled run interrupted by a crash — bit-identical
+    if the journal recovered, [Denied Λ/recovery] otherwise. *)
+
+val stats : t -> (string, string) result
+(** The server's metrics, rendered as JSON. *)
+
+val drain : t -> (int, string) result
+(** Ask the server to drain; returns the outstanding queue length. *)
+
+(** {1 Raw pipeline} *)
+
+val post : t -> Wire.request -> unit
+val next_response : t -> Wire.response

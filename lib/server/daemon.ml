@@ -1,0 +1,144 @@
+module Sink = Secpol_trace.Sink
+module Metrics = Secpol_trace.Metrics
+
+type address = Unix_path of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* Monotonic-clamped wall clock: gettimeofday can step backwards (NTP);
+   deadlines and the slowloris clock must not. *)
+let clock () =
+  let last = ref (Unix.gettimeofday ()) in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> invalid_arg (Printf.sprintf "Daemon: unknown host %S" host))
+
+let listen_socket address =
+  match address with
+  | Unix_path path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, address)
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+      Unix.listen fd 64;
+      (* port 0 asks the kernel for a free port; report the real one. *)
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> Tcp (host, p)
+        | _ -> address
+      in
+      (fd, bound)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
+    ?(signals = true) ?(ready = fun _ -> ()) ?(should_stop = fun () -> false)
+    address =
+  let store = match store with Some s -> s | None -> Store.memory () in
+  let now = clock () in
+  let engine = Engine.create ?config ~sink ?metrics ~store ~now:(now ()) () in
+  let lfd, bound = listen_socket address in
+  let conns : (Unix.file_descr, int) Hashtbl.t = Hashtbl.create 16 in
+  let drain_requested = ref false in
+  let old_handlers = ref [] in
+  if signals then begin
+    let install s =
+      let old =
+        Sys.signal s (Sys.Signal_handle (fun _ -> drain_requested := true))
+      in
+      old_handlers := (s, old) :: !old_handlers
+    in
+    install Sys.sigterm;
+    install Sys.sigint;
+    (try
+       old_handlers :=
+         (Sys.sigpipe, Sys.signal Sys.sigpipe Sys.Signal_ignore)
+         :: !old_handlers
+     with Invalid_argument _ | Sys_error _ -> ())
+  end;
+  let drop fd =
+    (match Hashtbl.find_opt conns fd with
+    | Some id -> Engine.close_conn engine ~conn:id
+    | None -> ());
+    Hashtbl.remove conns fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let buf = Bytes.create 65536 in
+  let read_conn fd =
+    match Hashtbl.find_opt conns fd with
+    | None -> ()
+    | Some id -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> drop fd
+        | n -> Engine.feed engine ~conn:id ~now:(now ()) (Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            drop fd
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  in
+  let flush_conn fd =
+    match Hashtbl.find_opt conns fd with
+    | None -> ()
+    | Some id ->
+        let out = Engine.output engine ~conn:id in
+        (if out <> "" then
+           try write_all fd out 0 (String.length out)
+           with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+             drop fd);
+        if Engine.conn_closing engine ~conn:id then drop fd
+  in
+  ready bound;
+  (try
+     let running = ref true in
+     while !running do
+       if !drain_requested && not (Engine.draining engine) then
+         Engine.drain engine ~now:(now ());
+       let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+       let readable, _, _ =
+         try Unix.select fds [] [] poll
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       List.iter
+         (fun fd ->
+           if fd = lfd then (
+             match Unix.accept lfd with
+             | cfd, _ ->
+                 let id = Engine.open_conn engine ~now:(now ()) in
+                 Hashtbl.replace conns cfd id
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+           else read_conn fd)
+         readable;
+       Engine.step engine ~now:(now ());
+       List.iter flush_conn (Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []);
+       if Engine.drained engine || should_stop () then running := false
+     done
+   with e ->
+     Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) conns;
+     (try Unix.close lfd with _ -> ());
+     List.iter (fun (s, h) -> try ignore (Sys.signal s h) with _ -> ()) !old_handlers;
+     raise e);
+  (* Final flush: the drain answers are already in the buffers. *)
+  List.iter flush_conn (Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []);
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) conns;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (match bound with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  List.iter (fun (s, h) -> try ignore (Sys.signal s h) with _ -> ()) !old_handlers

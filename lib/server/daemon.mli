@@ -1,0 +1,44 @@
+(** The enforcement service as a process: a [Unix.select] loop around
+    {!Engine}.
+
+    The daemon owns the sockets and the wall clock and nothing else — all
+    protocol and policy behaviour lives in the transport-agnostic
+    {!Engine}, which is what the chaos sweep and the property tests
+    exercise. Time is a {e monotonic-clamped} wall clock: [gettimeofday]
+    stepped backwards (NTP) never rewinds deadlines or the slowloris
+    clock.
+
+    Shutdown is graceful by construction: SIGTERM/SIGINT (or a client's
+    {!Wire.Drain}) put the engine into drain — new enforce requests are
+    answered [Λ/overload], the queue keeps executing — and the loop exits
+    once the queue is empty and the last reply bytes are flushed. *)
+
+module Sink = Secpol_trace.Sink
+module Metrics = Secpol_trace.Metrics
+
+type address = Unix_path of string | Tcp of string * int
+
+val address_to_string : address -> string
+
+val serve :
+  ?config:Engine.config ->
+  ?sink:Sink.t ->
+  ?metrics:Metrics.t ->
+  ?store:Store.t ->
+  ?poll:float ->
+  ?signals:bool ->
+  ?ready:(address -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  address ->
+  unit
+(** Bind, listen, serve until drained. [store] defaults to a fresh
+    memory store; give {!Store.dir} to survive restarts. [poll] is the
+    select timeout (the engine steps at least this often even when idle,
+    so deadlines and slowloris stalls fire without traffic). [signals]
+    installs SIGTERM/SIGINT drain handlers (and ignores SIGPIPE);
+    restores the old handlers on exit. [ready] is called once with the
+    {e bound} address — for [Tcp (host, 0)] it carries the kernel-chosen
+    port. [should_stop] is polled once per loop round (for in-process
+    tests).
+
+    @raise Unix.Unix_error if the address cannot be bound. *)

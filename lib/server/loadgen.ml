@@ -1,0 +1,247 @@
+module Value = Secpol_core.Value
+module Policy = Secpol_core.Policy
+module Space = Secpol_core.Space
+module Mechanism = Secpol_core.Mechanism
+module Notice = Secpol_core.Notice
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Guard = Secpol_fault.Guard
+
+type result = {
+  requests : int;
+  granted : int;
+  denied : int;
+  overloads : int;
+  fail_open : int;
+  duration : float;
+  rps : float;
+  p50_us : float;
+  p99_us : float;
+}
+
+let session_fuel = 4096
+
+let session_spec ?(session = "load") ?(mode = Dynamic.Surveillance)
+    ?(journaled = false) ~policy () =
+  let allowed =
+    match Policy.allowed_indices policy with
+    | Some s -> s
+    | None -> invalid_arg "Loadgen: needs an allow(...) policy"
+  in
+  {
+    Wire.session;
+    allowed;
+    mode;
+    fuel = session_fuel;
+    guard_retries = Guard.default.Guard.retries;
+    journaled;
+  }
+
+(* Monotonic-clamped wall clock (same discipline as the daemon). *)
+let clock () =
+  let last = ref (Unix.gettimeofday ()) in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+(* The generator checks its own replies against the clean monitor: a load
+   test that would accept a wrong grant is not a fail-secure gate. *)
+type tally = {
+  expected : Mechanism.reply array;  (** per input index *)
+  input_of : int -> int;  (** request id -> input index *)
+  mutable granted : int;
+  mutable denied : int;
+  mutable overloads : int;
+  mutable fail_open : int;
+}
+
+let tally_of ~(spec : Wire.open_session) ~entry =
+  let g = Paper.graph entry in
+  let clean =
+    Dynamic.mechanism
+      (Dynamic.config ~fuel:spec.Wire.fuel ~mode:spec.Wire.mode
+         (Policy.allow_set spec.Wire.allowed))
+      g
+  in
+  let inputs =
+    Array.of_list (List.of_seq (Space.enumerate entry.Paper.space))
+  in
+  let len = Array.length inputs in
+  {
+    expected = Array.map (Mechanism.respond clean) inputs;
+    input_of = (fun id -> id mod len);
+    granted = 0;
+    denied = 0;
+    overloads = 0;
+    fail_open = 0;
+  }
+
+let inputs_of ~entry =
+  Array.of_list (List.of_seq (Space.enumerate entry.Paper.space))
+
+let record t id (reply : Mechanism.reply) =
+  let expected = t.expected.(t.input_of id) in
+  match reply.Mechanism.response with
+  | Mechanism.Granted v -> (
+      match expected.Mechanism.response with
+      | Mechanism.Granted w when Value.equal v w -> t.granted <- t.granted + 1
+      | _ -> t.fail_open <- t.fail_open + 1)
+  | Mechanism.Denied n ->
+      if n = Wire.overload_notice then t.overloads <- t.overloads + 1
+      else if Notice.in_f n then t.denied <- t.denied + 1
+      else t.fail_open <- t.fail_open + 1
+  | Mechanism.Hung | Mechanism.Failed _ -> t.fail_open <- t.fail_open + 1
+
+let finish t ~requests ~duration latencies =
+  Array.sort Float.compare latencies;
+  {
+    requests;
+    granted = t.granted;
+    denied = t.denied;
+    overloads = t.overloads;
+    fail_open = t.fail_open;
+    duration;
+    rps = (if duration > 0. then float_of_int requests /. duration else 0.);
+    p50_us = percentile latencies 0.50 *. 1e6;
+    p99_us = percentile latencies 0.99 *. 1e6;
+  }
+
+(* ---------- in-process driver (the bench hot path: no sockets) ---------- *)
+
+let run_engine ?(requests = 10_000) ?(window = 64) ?config ?mode ?journaled
+    ~entry ~policy () =
+  if requests < 1 then invalid_arg "Loadgen.run_engine: requests < 1";
+  if window < 1 then invalid_arg "Loadgen.run_engine: window < 1";
+  let spec = session_spec ?mode ?journaled ~policy () in
+  let t = tally_of ~spec ~entry in
+  let inputs = inputs_of ~entry in
+  let config =
+    let base = match config with Some c -> c | None -> Engine.default_config in
+    {
+      base with
+      Engine.capacity = max base.Engine.capacity (2 * window);
+      exec_budget = max base.Engine.exec_budget window;
+    }
+  in
+  let now = clock () in
+  let store = Store.memory () in
+  let engine = Engine.create ~config ~store ~now:(now ()) () in
+  let conn = Engine.open_conn engine ~now:(now ()) in
+  let cst = Wire.Stream.create () in
+  Engine.feed engine ~conn ~now:(now ())
+    (Wire.encode_request (Wire.Open_session spec));
+  Engine.step engine ~now:(now ());
+  (let bytes = Engine.output engine ~conn in
+   Wire.Stream.feed cst ~now:0. bytes;
+   match Wire.Stream.next cst with
+   | `Frame p -> (
+       match Wire.decode_response p with
+       | Ok (Wire.Session_opened _) -> ()
+       | Ok (Wire.Refused { code; detail }) ->
+           failwith (Printf.sprintf "Loadgen: session refused %s: %s" code detail)
+       | Ok r ->
+           failwith ("Loadgen: unexpected " ^ Wire.response_name r)
+       | Error e -> failwith (Wire.Codec.error_message e))
+   | `Await | `Corrupt _ -> failwith "Loadgen: no session acknowledgement");
+  let send_at = Array.make requests 0. in
+  let latencies = Array.make requests 0. in
+  let sent = ref 0 in
+  let answered = ref 0 in
+  let t_start = now () in
+  while !answered < requests do
+    while !sent < requests && !sent - !answered < window do
+      let id = !sent in
+      let a = inputs.(t.input_of id) in
+      send_at.(id) <- now ();
+      Engine.feed engine ~conn ~now:(now ())
+        (Wire.encode_request
+           (Wire.Enforce
+              {
+                Wire.session = spec.Wire.session;
+                request_id = id;
+                program = entry.Paper.name;
+                inputs = a;
+                deadline_us = -1;
+              }));
+      Stdlib.incr sent
+    done;
+    Engine.step engine ~now:(now ());
+    let bytes = Engine.output engine ~conn in
+    Wire.Stream.feed cst ~now:0. bytes;
+    let continue = ref true in
+    while !continue do
+      match Wire.Stream.next cst with
+      | `Frame p -> (
+          match Wire.decode_response p with
+          | Ok (Wire.Reply { request_id; reply; _ }) ->
+              latencies.(request_id) <- now () -. send_at.(request_id);
+              record t request_id reply;
+              Stdlib.incr answered
+          | Ok _ | Error _ -> ())
+      | `Await | `Corrupt _ -> continue := false
+    done
+  done;
+  finish t ~requests ~duration:(now () -. t_start) latencies
+
+(* ---------- socket driver (CI: a real daemon on the other end) ---------- *)
+
+let run_client ?(requests = 2_000) ?(window = 32) ~client ~spec ~entry () =
+  if requests < 1 then invalid_arg "Loadgen.run_client: requests < 1";
+  if window < 1 then invalid_arg "Loadgen.run_client: window < 1";
+  let t = tally_of ~spec ~entry in
+  let inputs = inputs_of ~entry in
+  (match Client.open_session client spec with
+  | Ok () -> ()
+  | Error m -> failwith ("Loadgen: session refused: " ^ m));
+  let now = clock () in
+  let send_at = Array.make requests 0. in
+  let latencies = Array.make requests 0. in
+  let send id =
+    send_at.(id) <- now ();
+    Client.post client
+      (Wire.Enforce
+         {
+           Wire.session = spec.Wire.session;
+           request_id = id;
+           program = entry.Paper.name;
+           inputs = inputs.(t.input_of id);
+           deadline_us = -1;
+         })
+  in
+  let sent = ref 0 in
+  let answered = ref 0 in
+  let t_start = now () in
+  while !sent < requests && !sent < window do
+    send !sent;
+    Stdlib.incr sent
+  done;
+  while !answered < requests do
+    (match Client.next_response client with
+    | Wire.Reply { request_id; reply; _ } ->
+        latencies.(request_id) <- now () -. send_at.(request_id);
+        record t request_id reply;
+        Stdlib.incr answered
+    | Wire.Refused { code; detail } ->
+        failwith (Printf.sprintf "Loadgen: refused %s: %s" code detail)
+    | _ -> ());
+    if !sent < requests then begin
+      send !sent;
+      Stdlib.incr sent
+    end
+  done;
+  finish t ~requests ~duration:(now () -. t_start) latencies
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%d requests in %.3fs: %.0f req/s, p50 %.0fus, p99 %.0fus@\n\
+     granted %d, denied %d, overloads %d, fail-open %d@\n"
+    r.requests r.duration r.rps r.p50_us r.p99_us r.granted r.denied
+    r.overloads r.fail_open

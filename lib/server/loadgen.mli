@@ -1,0 +1,69 @@
+(** Windowed load generator for the enforcement service.
+
+    Two drivers around one tally: {!run_engine} pumps frames straight
+    through an in-process {!Engine} (the bench hot path — protocol cost
+    without socket cost), {!run_client} pipelines over a real connection
+    to a daemon. Both keep [window] requests outstanding, sample
+    per-request latency, and check {e every} reply against the clean
+    monitor: a grant that differs from the monitor's own verdict, a
+    denial whose notice is not in [F], or a reply outside [E ∪ F] counts
+    as [fail_open] — a load test that would accept a wrong grant is not
+    a fail-secure gate. [Λ/overload] answers are counted separately:
+    under deliberate overload they are the correct outcome, not a
+    failure. *)
+
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Policy = Secpol_core.Policy
+
+type result = {
+  requests : int;
+  granted : int;  (** bit-identical to the clean monitor's grant *)
+  denied : int;  (** violation notices in [F] (except overload) *)
+  overloads : int;  (** [Λ/overload] *)
+  fail_open : int;
+  duration : float;  (** seconds *)
+  rps : float;
+  p50_us : float;
+  p99_us : float;
+}
+
+val session_spec :
+  ?session:string ->
+  ?mode:Dynamic.mode ->
+  ?journaled:bool ->
+  policy:Policy.t ->
+  unit ->
+  Wire.open_session
+(** @raise Invalid_argument for a policy without allowed indices. *)
+
+val run_engine :
+  ?requests:int ->
+  ?window:int ->
+  ?config:Engine.config ->
+  ?mode:Dynamic.mode ->
+  ?journaled:bool ->
+  entry:Paper.entry ->
+  policy:Policy.t ->
+  unit ->
+  result
+(** In-process: fresh engine on a memory store, queue sized to the
+    window. Defaults: 10000 requests, window 64. *)
+
+val run_client :
+  ?requests:int ->
+  ?window:int ->
+  client:Client.t ->
+  spec:Wire.open_session ->
+  entry:Paper.entry ->
+  unit ->
+  result
+(** Over a connected {!Client}: opens (or re-opens) the session, then
+    pipelines. Defaults: 2000 requests, window 32.
+    @raise Failure if the session or a request is refused. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p]: nearest-rank percentile of an ascending
+    array. *)
+
+val pp : Format.formatter -> result -> unit

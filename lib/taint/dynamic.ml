@@ -31,8 +31,8 @@ type config = {
   emit : Emit.t;
 }
 
-let notice = "\xce\x9b" (* Λ *)
-let fuel_notice = notice ^ "/fuel"
+let notice = Secpol_core.Notice.(to_string Condemned) (* Λ *)
+let fuel_notice = Secpol_core.Notice.(to_string Fuel)
 let corruption_fault = Interp.monitor_fault_prefix ^ "surveillance state corrupted"
 
 let config ?(fuel = Interp.default_fuel) ?(cost = Expr.Uniform)

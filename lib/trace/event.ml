@@ -9,6 +9,19 @@ type journal_kind = Checkpoint | Resume | Replay_skip
 
 type dist_kind = Shard_start | Shard_reply | Shard_retry | Shard_lost | Merge
 
+type server_kind =
+  | Conn_open
+  | Conn_close
+  | Session_open
+  | Admit
+  | Shed
+  | Expire
+  | Serve
+  | Resume_serve
+  | Proto_error
+  | Drain
+  | Restart
+
 type response_kind = Granted | Denied | Hung | Failed
 
 type t =
@@ -48,6 +61,7 @@ type t =
   | Guard of { kind : guard_kind; mechanism : string; attempt : int; detail : string }
   | Journal of { kind : journal_kind; step : int; detail : string }
   | Dist of { kind : dist_kind; shard : int; round : int; detail : string }
+  | Server of { kind : server_kind; conn : int; session : string; detail : string }
   | Verdict of { response : response_kind; text : string; steps : int }
 
 let equal (a : t) (b : t) = a = b
@@ -84,6 +98,19 @@ let dist_kind_name = function
   | Shard_retry -> "shard-retry"
   | Shard_lost -> "shard-lost"
   | Merge -> "merge"
+
+let server_kind_name = function
+  | Conn_open -> "conn-open"
+  | Conn_close -> "conn-close"
+  | Session_open -> "session-open"
+  | Admit -> "admit"
+  | Shed -> "shed"
+  | Expire -> "expire"
+  | Serve -> "serve"
+  | Resume_serve -> "resume-serve"
+  | Proto_error -> "proto-error"
+  | Drain -> "drain"
+  | Restart -> "restart"
 
 let response_kind_name = function
   | Granted -> "granted"
@@ -176,6 +203,15 @@ let to_json = function
           ("kind", Json.String (dist_kind_name kind));
           ("shard", Json.Int shard);
           ("round", Json.Int round);
+          ("detail", Json.String detail);
+        ]
+  | Server { kind; conn; session; detail } ->
+      Json.Obj
+        [
+          ("ev", Json.String "server");
+          ("kind", Json.String (server_kind_name kind));
+          ("conn", Json.Int conn);
+          ("session", Json.String session);
           ("detail", Json.String detail);
         ]
   | Verdict { response; text; steps } ->
@@ -297,6 +333,20 @@ let dist_kind_of_string = function
   | "merge" -> Ok Merge
   | s -> Error (Printf.sprintf "bad dist kind %S" s)
 
+let server_kind_of_string = function
+  | "conn-open" -> Ok Conn_open
+  | "conn-close" -> Ok Conn_close
+  | "session-open" -> Ok Session_open
+  | "admit" -> Ok Admit
+  | "shed" -> Ok Shed
+  | "expire" -> Ok Expire
+  | "serve" -> Ok Serve
+  | "resume-serve" -> Ok Resume_serve
+  | "proto-error" -> Ok Proto_error
+  | "drain" -> Ok Drain
+  | "restart" -> Ok Restart
+  | s -> Error (Printf.sprintf "bad server kind %S" s)
+
 let response_kind_of_string = function
   | "granted" -> Ok Granted
   | "denied" -> Ok Denied
@@ -380,6 +430,13 @@ let of_json j =
       let* round = int_field "round" j in
       let* detail = string_field "detail" j in
       Ok (Dist { kind; shard; round; detail })
+  | "server" ->
+      let* kind_s = string_field "kind" j in
+      let* kind = server_kind_of_string kind_s in
+      let* conn = int_field "conn" j in
+      let* session = string_field "session" j in
+      let* detail = string_field "detail" j in
+      Ok (Server { kind; conn; session; detail })
   | "verdict" ->
       let* response_s = string_field "response" j in
       let* response = response_kind_of_string response_s in
@@ -527,6 +584,17 @@ let to_chrome = function
         ~name:(Printf.sprintf "dist %s" (dist_kind_name kind))
         ~cat:"dist" ~ts:round
         ~args:[ ("shard", Json.Int shard); ("detail", Json.String detail) ]
+        ()
+  | Server { kind; conn; session; detail } ->
+      instant
+        ~name:(Printf.sprintf "server %s" (server_kind_name kind))
+        ~cat:"server" ~ts:0
+        ~args:
+          [
+            ("conn", Json.Int conn);
+            ("session", Json.String session);
+            ("detail", Json.String detail);
+          ]
         ()
   | Verdict { response; text; steps } ->
       instant

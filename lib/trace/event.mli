@@ -23,6 +23,19 @@ type journal_kind = Checkpoint | Resume | Replay_skip
 
 type dist_kind = Shard_start | Shard_reply | Shard_retry | Shard_lost | Merge
 
+type server_kind =
+  | Conn_open
+  | Conn_close
+  | Session_open
+  | Admit
+  | Shed
+  | Expire
+  | Serve
+  | Resume_serve
+  | Proto_error
+  | Drain
+  | Restart
+
 type response_kind = Granted | Denied | Hung | Failed
 
 type t =
@@ -71,6 +84,12 @@ type t =
           given up for lost, or the coordinator merging. [shard] is the
           shard index ([-1] for coordinator-level events); [round] is the
           delivery round the observation was made in. *)
+  | Server of { kind : server_kind; conn : int; session : string; detail : string }
+      (** Enforcement-service lifecycle: connections opening and closing,
+          sessions opening, requests admitted / shed / expired / served /
+          recovered, protocol errors, drain and restart. [conn] is the
+          connection id ([-1] for engine-level events); [session] is the
+          session name ([""] when none applies). *)
   | Verdict of { response : response_kind; text : string; steps : int }
       (** Final reply of the run: granted value or denial notice. *)
 

@@ -21,7 +21,7 @@ type chain = {
 
 type kind = Explicit | Implicit | Timed | Other of string
 
-let notice_prefix = "\xce\x9b" (* Λ *)
+let notice_prefix = Secpol_core.Notice.prefix (* Λ *)
 
 let kind_name = function
   | Explicit -> notice_prefix ^ "/explicit"
@@ -153,7 +153,7 @@ let explain ?allowed events =
       | Event.Condemn { step; node; span; at_decision; taint; srcs; notice } ->
           if !condemned = None then
             condemned := Some (step, node, span, at_decision, taint, srcs, notice)
-      | Event.Guard _ | Event.Journal _ | Event.Dist _ -> ()
+      | Event.Guard _ | Event.Journal _ | Event.Dist _ | Event.Server _ -> ()
       | Event.Verdict { response; text; steps } ->
           if !verdict = None then verdict := Some (response, text, steps))
     events;

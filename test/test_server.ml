@@ -1,0 +1,683 @@
+(* The enforcement service: the wire protocol is a total codec over a
+   CRC-framed stream; the admission queue is bounded, deterministic and
+   never silent; the engine answers every request with the clean
+   monitor's verdict or a notice in F — under overload, deadlines,
+   drain, circuit-breaking, kills and restarts; and the real daemon
+   (forked, on a real socket) serves, resumes and drains cleanly. *)
+
+open Util
+module Wire = Secpol_server.Wire
+module Engine = Secpol_server.Engine
+module Store = Secpol_server.Store
+module Admission = Secpol_server.Admission
+module Daemon = Secpol_server.Daemon
+module Client = Secpol_server.Client
+module Loadgen = Secpol_server.Loadgen
+module Chaos = Secpol_server.Chaos
+module Dynamic = Secpol_taint.Dynamic
+module Paper = Secpol_corpus.Paper_programs
+module Guard = Secpol_fault.Guard
+module FReport = Secpol_fault.Report
+module Hook = Secpol_flowgraph.Hook
+module Frame = Secpol_journal.Frame
+module Metrics = Secpol_trace.Metrics
+
+let overload = Wire.overload_notice
+let recovery = Guard.recovery_notice
+
+let flip_byte s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  Bytes.to_string b
+
+(* --- wire ----------------------------------------------------------------- *)
+
+let spec_gen =
+  QCheck.Gen.(
+    let* session = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+    let* arity = int_range 0 3 in
+    let* mask = int_range 0 15 in
+    let* fuel = int_range 1 100_000 in
+    let* retries = int_range 0 5 in
+    let* journaled = bool in
+    let* mode = oneofl Dynamic.[ High_water; Surveillance; Scoped; Timed ] in
+    return
+      {
+        Wire.session;
+        allowed =
+          Iset.of_list
+            (List.filter
+               (fun i -> (mask lsr i) land 1 = 1)
+               (List.init arity Fun.id));
+        mode;
+        fuel;
+        guard_retries = retries;
+        journaled;
+      })
+
+let request_gen =
+  QCheck.Gen.(
+    let* tag = int_range 0 5 in
+    match tag with
+    | 0 ->
+        let* c = string_size (int_range 0 12) in
+        return (Wire.Hello { client = c })
+    | 1 ->
+        let* spec = spec_gen in
+        return (Wire.Open_session spec)
+    | 2 ->
+        let* session = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+        let* request_id = int_range 0 10_000 in
+        let* program = oneofl [ "ex7"; "ex8"; "forgetting" ] in
+        let* n = int_range 0 3 in
+        let* xs = list_size (return n) (int_range (-9) 9) in
+        let* deadline_us = oneofl [ -1; 0; 1; 1_000; 5_000_000 ] in
+        return
+          (Wire.Enforce
+             {
+               Wire.session;
+               request_id;
+               program;
+               inputs = Array.of_list (List.map Value.int xs);
+               deadline_us;
+             })
+    | 3 ->
+        let* session = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+        let* request_id = int_range 0 10_000 in
+        return (Wire.Resume { session; request_id })
+    | 4 -> return Wire.Stats
+    | _ -> return Wire.Drain)
+
+(* One frame, fed to the stream in random-sized chunks, decodes back to
+   the request that produced it. *)
+let prop_wire_round_trip =
+  qtest ~count:500 "request-round-trip"
+    (QCheck.make QCheck.Gen.(pair request_gen (int_range 1 64)))
+    (fun (req, chunk) ->
+      let bytes = Wire.encode_request req in
+      let st = Wire.Stream.create () in
+      let n = String.length bytes in
+      let i = ref 0 in
+      while !i < n do
+        let len = min chunk (n - !i) in
+        Wire.Stream.feed st ~now:0. (String.sub bytes !i len);
+        i := !i + len
+      done;
+      match Wire.Stream.next st with
+      | `Frame payload -> (
+          match Wire.decode_request payload with
+          | Ok req' ->
+              req' = req
+              || QCheck.Test.fail_reportf "decoded %s from %s"
+                   (Wire.request_name req') (Wire.request_name req)
+          | Error e ->
+              QCheck.Test.fail_reportf "decode failed: %s"
+                (Wire.Codec.error_message e))
+      | `Await -> QCheck.Test.fail_report "frame incomplete after full feed"
+      | `Corrupt e ->
+          QCheck.Test.fail_reportf "corrupt: %s" (Wire.Codec.error_message e))
+
+let test_response_round_trip () =
+  let reply response = { Mechanism.response; steps = 17 } in
+  List.iter
+    (fun r ->
+      let bytes = Wire.encode_response r in
+      let st = Wire.Stream.create () in
+      Wire.Stream.feed st ~now:0. bytes;
+      match Wire.Stream.next st with
+      | `Frame payload ->
+          Alcotest.(check bool)
+            (Wire.response_name r ^ " round-trips")
+            true
+            (Wire.decode_response payload = Ok r)
+      | _ -> Alcotest.failf "%s: no frame" (Wire.response_name r))
+    [
+      Wire.Welcome { server = "s" };
+      Wire.Session_opened { session = "load" };
+      Wire.Reply
+        {
+          session = "load";
+          request_id = 3;
+          reply = reply (Mechanism.Granted (Value.int 7));
+        };
+      Wire.Reply
+        {
+          session = "load";
+          request_id = 4;
+          reply = reply (Mechanism.Denied overload);
+        };
+      Wire.Stats_reply { body = "{}" };
+      Wire.Draining { outstanding = 2 };
+      Wire.Refused { code = "proto"; detail = "bad frame" };
+    ]
+
+(* Damaged frames never decode into a message: bad magic and bad CRC are
+   [`Corrupt]; truncation stays [`Await] (the stream keeps waiting — the
+   slowloris deadline, not the codec, kills the connection); a foreign
+   wire version re-framed with a valid CRC decodes to a typed error. *)
+let test_wire_damage_rejected () =
+  let bytes = Wire.encode_request (Wire.Hello { client = "damage" }) in
+  let feed s =
+    let st = Wire.Stream.create () in
+    Wire.Stream.feed st ~now:0. s;
+    Wire.Stream.next st
+  in
+  (match feed (flip_byte bytes 0) with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  (match feed (flip_byte bytes (String.length bytes - 1)) with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad CRC accepted");
+  (match feed (String.sub bytes 0 (String.length bytes - 2)) with
+  | `Await -> ()
+  | _ -> Alcotest.fail "truncated frame not awaited");
+  (let payload =
+     String.sub bytes Frame.header_size
+       (String.length bytes - Frame.header_size)
+   in
+   let foreign = Frame.frame (flip_byte payload 0) in
+   match feed foreign with
+   | `Frame p -> (
+       match Wire.decode_request p with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "foreign version decoded")
+   | _ -> Alcotest.fail "foreign-version frame did not parse as a frame");
+  match feed "no frame starts like this" with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "garbage accepted"
+
+(* --- admission ------------------------------------------------------------ *)
+
+(* Conservation, no silence: every offer is answered exactly once —
+   shed (at offer time, or displaced later, or refused in drain) or
+   popped — the queue never exceeds capacity, and expired offers are
+   shed as Expired. An entry may legitimately be admitted first and
+   displaced by a later offer; it must then not also be popped. *)
+let prop_admission_conserves =
+  qtest ~count:300 "admission-conserves-every-request"
+    QCheck.(triple (int_range 1 8) (int_range 1 40) (int_range 0 1_000_000))
+    (fun (capacity, offers, seed) ->
+      (* QCheck's int shrinker can leave the generated range *)
+      let capacity = max 1 capacity and offers = max 1 offers in
+      let q = Admission.create ~seed ~capacity () in
+      (* request_id -> `Admitted (still queued) | `Answered (shed/popped) *)
+      let state = Hashtbl.create 16 in
+      for id = 0 to offers - 1 do
+        let deadline = float_of_int ((seed + (id * 7)) mod 5) -. 1. in
+        let decisions =
+          Admission.offer q ~now:0.5 ~conn:0 ~session:"s" ~request_id:id
+            ~deadline ()
+        in
+        List.iter
+          (function
+            | `Admitted (e : unit Admission.entry) ->
+                if Hashtbl.mem state e.Admission.request_id then
+                  QCheck.Test.fail_reportf "request %d admitted twice"
+                    e.Admission.request_id;
+                Hashtbl.add state e.Admission.request_id `Admitted
+            | `Shed (e, reason) -> (
+                (match Hashtbl.find_opt state e.Admission.request_id with
+                | None -> Hashtbl.add state e.Admission.request_id `Answered
+                | Some `Admitted ->
+                    (* displaced from the queue by the newcomer *)
+                    Hashtbl.replace state e.Admission.request_id `Answered
+                | Some `Answered ->
+                    QCheck.Test.fail_reportf "request %d answered twice"
+                      e.Admission.request_id);
+                if e.Admission.request_id = id && deadline <= 0.5 then
+                  match reason with
+                  | Admission.Expired -> ()
+                  | r ->
+                      QCheck.Test.fail_reportf "expired offer shed as %s"
+                        (Admission.reason_name r)))
+          decisions;
+        if Admission.length q > capacity then
+          QCheck.Test.fail_reportf "queue over capacity: %d > %d"
+            (Admission.length q) capacity;
+        if not (Hashtbl.mem state id) then
+          QCheck.Test.fail_reportf "offer %d got no decision" id
+      done;
+      Admission.drain q;
+      (match
+         Admission.offer q ~now:0.5 ~conn:0 ~session:"s" ~request_id:offers
+           ~deadline:99. ()
+       with
+      | [ `Shed (_, Admission.Draining) ] -> ()
+      | _ -> QCheck.Test.fail_report "drained queue did not refuse the offer");
+      let continue = ref true in
+      while !continue do
+        match Admission.pop q ~now:0.6 with
+        | `Empty -> continue := false
+        | `Run e | `Expired e -> (
+            match Hashtbl.find_opt state e.Admission.request_id with
+            | Some `Admitted ->
+                Hashtbl.replace state e.Admission.request_id `Answered
+            | Some `Answered ->
+                QCheck.Test.fail_reportf "request %d popped after answering"
+                  e.Admission.request_id
+            | None ->
+                QCheck.Test.fail_reportf "popped unoffered request %d"
+                  e.Admission.request_id)
+      done;
+      (* drain never drops an admitted request: everything is Answered *)
+      for id = 0 to offers - 1 do
+        match Hashtbl.find_opt state id with
+        | Some `Answered -> ()
+        | Some `Admitted ->
+            QCheck.Test.fail_reportf "request %d admitted but never popped" id
+        | None -> QCheck.Test.fail_reportf "request %d vanished" id
+      done;
+      true)
+
+(* Deterministic shedding: the same seed and offer sequence replays the
+   same decision trace bit-for-bit. *)
+let prop_admission_deterministic =
+  qtest ~count:300 "admission-deterministic-given-seed"
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 30) (int_range 0 1_000_000)
+        (int_range 0 1_000_000))
+    (fun (capacity, offers, seed, dseed) ->
+      let capacity = max 1 capacity and offers = max 1 offers in
+      let trace () =
+        let q = Admission.create ~seed ~capacity () in
+        let log = Buffer.create 64 in
+        for id = 0 to offers - 1 do
+          let deadline = float_of_int ((dseed + (id * 13)) mod 7) in
+          List.iter
+            (function
+              | `Admitted (e : unit Admission.entry) ->
+                  Buffer.add_string log
+                    (Printf.sprintf "A%d;" e.Admission.request_id)
+              | `Shed (e, reason) ->
+                  Buffer.add_string log
+                    (Printf.sprintf "S%d/%s;" e.Admission.request_id
+                       (Admission.reason_name reason)))
+            (Admission.offer q ~now:1. ~conn:0 ~session:"s" ~request_id:id
+               ~deadline ())
+        done;
+        Buffer.contents log
+      in
+      trace () = trace ()
+      || QCheck.Test.fail_report "same seed, different decisions")
+
+(* --- engine --------------------------------------------------------------- *)
+
+let session_name = "t"
+
+(* Drive an in-process engine through the wire: open a session, send
+   requests, pump replies with a virtual clock. *)
+type driver = {
+  engine : Engine.t;
+  conn : int;
+  stream : Wire.Stream.t;
+  now : float ref;
+  replies : (int, Mechanism.reply) Hashtbl.t;
+  refusals : (string * string) list ref;
+}
+
+let pump d =
+  Wire.Stream.feed d.stream ~now:0. (Engine.output d.engine ~conn:d.conn);
+  let continue = ref true in
+  while !continue do
+    match Wire.Stream.next d.stream with
+    | `Frame p -> (
+        match Wire.decode_response p with
+        | Ok (Wire.Reply { request_id; reply; _ }) ->
+            Hashtbl.replace d.replies request_id reply
+        | Ok (Wire.Refused { code; detail }) ->
+            d.refusals := (code, detail) :: !(d.refusals)
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "driver: %s" (Wire.Codec.error_message e))
+    | `Await | `Corrupt _ -> continue := false
+  done
+
+let step d =
+  d.now := !(d.now) +. 0.001;
+  Engine.step d.engine ~now:!(d.now);
+  pump d
+
+let settle ?(rounds = 60) d =
+  for _ = 1 to rounds do
+    step d
+  done
+
+let send d req =
+  Engine.feed d.engine ~conn:d.conn ~now:!(d.now) (Wire.encode_request req)
+
+let enforce d ?(deadline_us = -1) ~id entry a =
+  send d
+    (Wire.Enforce
+       {
+         Wire.session = session_name;
+         request_id = id;
+         program = entry.Paper.name;
+         inputs = a;
+         deadline_us;
+       })
+
+let driver ?(config = Engine.default_config) ?(journaled = false)
+    ?(guard_retries = Guard.default.Guard.retries) ?store ~policy () =
+  let store = match store with Some s -> s | None -> Store.memory () in
+  let now = ref 1000. in
+  let engine = Engine.create ~config ~store ~now:!now () in
+  let conn = Engine.open_conn engine ~now:!now in
+  let d =
+    {
+      engine;
+      conn;
+      stream = Wire.Stream.create ();
+      now;
+      replies = Hashtbl.create 16;
+      refusals = ref [];
+    }
+  in
+  let allowed =
+    match Policy.allowed_indices policy with
+    | Some s -> s
+    | None -> Alcotest.fail "driver needs an allow policy"
+  in
+  send d
+    (Wire.Open_session
+       {
+         Wire.session = session_name;
+         allowed;
+         mode = Dynamic.Surveillance;
+         fuel = 4096;
+         guard_retries;
+         journaled;
+       });
+  step d;
+  d
+
+let clean_reply entry ~policy a =
+  let m =
+    Dynamic.mechanism
+      (Dynamic.config ~fuel:4096 ~mode:Dynamic.Surveillance
+         (Policy.allow_set (Option.get (Policy.allowed_indices policy))))
+      (Paper.graph entry)
+  in
+  Mechanism.respond m a
+
+let reply_of d id =
+  match Hashtbl.find_opt d.replies id with
+  | Some r -> r
+  | None -> Alcotest.failf "request %d unanswered" id
+
+let denial_of d id =
+  match (reply_of d id).Mechanism.response with
+  | Mechanism.Denied n -> n
+  | r ->
+      Alcotest.failf "request %d: expected a denial, got %s" id
+        (FReport.show_response r)
+
+(* Clean parity: through the whole service stack, every verdict is
+   bit-identical to the clean monitor's. *)
+let test_engine_clean_parity () =
+  List.iter
+    (fun name ->
+      let entry = Paper.find name in
+      let policy = Policy.allow [ 0 ] in
+      let d = driver ~policy () in
+      let inputs =
+        Array.of_list (List.of_seq (Space.enumerate entry.Paper.space))
+      in
+      Array.iteri (fun id a -> enforce d ~id entry a) inputs;
+      settle d;
+      Array.iteri
+        (fun id a ->
+          let got = reply_of d id in
+          let want = clean_reply entry ~policy a in
+          if got <> want then
+            Alcotest.failf "%s input %d: %s, clean %s" name id
+              (FReport.show_reply got) (FReport.show_reply want))
+        inputs)
+    [ "ex7"; "forgetting"; "constant-branch" ]
+
+(* A deadline of zero is already expired: always Λ/overload, never served,
+   whatever the queue looks like. *)
+let test_deadline_zero_always_shed () =
+  let entry = Paper.find "ex7" in
+  let d = driver ~policy:(Policy.allow [ 0 ]) () in
+  for id = 0 to 9 do
+    enforce d ~deadline_us:0 ~id entry (ints [ 1; 1 ])
+  done;
+  settle d;
+  for id = 0 to 9 do
+    Alcotest.(check string)
+      (Printf.sprintf "request %d shed" id)
+      overload (denial_of d id)
+  done
+
+(* A burst over capacity: every request answered, the clean verdict or
+   Λ/overload — and the queue bound means some really were shed. *)
+let test_overload_burst_all_answered () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let config = { Engine.default_config with Engine.capacity = 4 } in
+  let d = driver ~config ~policy () in
+  let a = ints [ 2; 1 ] in
+  let want = clean_reply entry ~policy a in
+  let n = 16 in
+  for id = 0 to n - 1 do
+    enforce d ~id entry a
+  done;
+  settle d;
+  let sheds = ref 0 in
+  for id = 0 to n - 1 do
+    let got = reply_of d id in
+    if got = want then ()
+    else if got.Mechanism.response = Mechanism.Denied overload then
+      Stdlib.incr sheds
+    else Alcotest.failf "request %d: %s" id (FReport.show_reply got)
+  done;
+  if !sheds = 0 then Alcotest.fail "burst over capacity shed nothing"
+
+(* Drain answers the queue and refuses newcomers with Λ/overload; the
+   engine reports drained only once the queue is empty. *)
+let test_drain_answers_everything () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let config =
+    { Engine.default_config with Engine.capacity = 8; exec_budget = 1 }
+  in
+  let d = driver ~config ~policy () in
+  let a = ints [ 3; 1 ] in
+  for id = 0 to 3 do
+    enforce d ~id entry a
+  done;
+  d.now := !(d.now) +. 0.001;
+  Engine.step d.engine ~now:!(d.now);
+  pump d;
+  Engine.drain d.engine ~now:!(d.now);
+  enforce d ~id:9 entry a;
+  settle d;
+  Alcotest.(check bool) "drained" true (Engine.drained d.engine);
+  let want = clean_reply entry ~policy a in
+  for id = 0 to 3 do
+    let got = reply_of d id in
+    if got <> want && got.Mechanism.response <> Mechanism.Denied overload then
+      Alcotest.failf "admitted request %d: %s" id (FReport.show_reply got)
+  done;
+  Alcotest.(check string) "post-drain request refused" overload (denial_of d 9)
+
+(* Kill and restart on the same store: a journaled run resumes
+   bit-identically, an unjournaled one degrades to Λ/recovery — never a
+   grant out of thin air, never silence. *)
+let test_kill_restart_resume () =
+  List.iter
+    (fun journaled ->
+      let entry = Paper.find "ex7" in
+      let policy = Policy.allow [ 0 ] in
+      let store = Store.memory () in
+      let a = ints [ 2; 1 ] in
+      let d = driver ~journaled ~store ~policy () in
+      Engine.kill_next d.engine ~at_box:2;
+      enforce d ~id:5 entry a;
+      (match
+         try
+           settle d;
+           `Survived
+         with Engine.Died -> `Died
+       with
+      | `Died -> ()
+      | `Survived -> Alcotest.fail "armed kill never struck");
+      (* restart: fresh engine, same store *)
+      let d2 = driver ~journaled ~store ~policy () in
+      send d2 (Wire.Resume { session = session_name; request_id = 5 });
+      settle d2;
+      let got = reply_of d2 5 in
+      if journaled then begin
+        let want = clean_reply entry ~policy a in
+        if got <> want then
+          Alcotest.failf "journaled resume diverged: %s, clean %s"
+            (FReport.show_reply got) (FReport.show_reply want)
+      end
+      else
+        Alcotest.(check string) "unjournaled resume degrades" recovery
+          (denial_of d2 5))
+    [ true; false ]
+
+(* The per-session circuit breaker: consecutive degraded outcomes trip
+   it, tripped means Λ/overload (shed before execution), and the cooldown
+   closes it again. *)
+let test_breaker_trips_and_recovers () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let config =
+    {
+      Engine.default_config with
+      Engine.breaker_threshold = 2;
+      breaker_cooldown = 0.5;
+      hook = (fun ~step:_ -> Some (Hook.Crash "injected"));
+    }
+  in
+  let d = driver ~config ~guard_retries:1 ~policy () in
+  let a = ints [ 1; 1 ] in
+  (* consecutive degraded outcomes trip the breaker... *)
+  for id = 0 to 1 do
+    enforce d ~id entry a;
+    settle ~rounds:5 d
+  done;
+  Alcotest.(check string) "degraded" Guard.degraded_notice (denial_of d 0);
+  Alcotest.(check string) "degraded" Guard.degraded_notice (denial_of d 1);
+  (* ... so the next request is shed without running *)
+  enforce d ~id:2 entry a;
+  settle ~rounds:5 d;
+  Alcotest.(check string) "breaker open" overload (denial_of d 2);
+  Alcotest.(check bool) "breaker-sheds counted" true
+    (Metrics.counter_value (Engine.metrics d.engine) "server/breaker-sheds"
+    > 0);
+  (* past the cooldown the breaker closes and the guard runs (and
+     degrades) again *)
+  d.now := !(d.now) +. 1.0;
+  enforce d ~id:3 entry a;
+  settle ~rounds:5 d;
+  Alcotest.(check string) "breaker closed after cooldown"
+    Guard.degraded_notice (denial_of d 3)
+
+(* --- loadgen -------------------------------------------------------------- *)
+
+let test_loadgen_engine () =
+  let entry = Paper.find "ex7" in
+  let r =
+    Loadgen.run_engine ~requests:3000 ~window:32 ~entry
+      ~policy:(Policy.allow [ 0 ]) ()
+  in
+  Alcotest.(check int) "all requests tallied" 3000
+    (r.Loadgen.granted + r.Loadgen.denied + r.Loadgen.overloads);
+  Alcotest.(check int) "no fail-open" 0 r.Loadgen.fail_open;
+  Alcotest.(check bool) "made progress" true (r.Loadgen.rps > 0.)
+
+(* --- chaos ---------------------------------------------------------------- *)
+
+(* The sweep report is byte-identical whatever the pool width. *)
+let test_chaos_jobs_parity () =
+  let entries = [ Paper.find "ex7" ] in
+  let json jobs =
+    Chaos.to_json_string (Chaos.run ~entries ~seeds:4 ~jobs ())
+  in
+  Alcotest.(check string) "jobs 1 = jobs 2" (json 1) (json 2)
+
+(* --- the daemon, for real ------------------------------------------------- *)
+
+(* A real daemon on a real Unix socket (in its own domain — its select
+   loop and the blocking client run concurrently), talked to with the
+   typed client, drained, and joined cleanly. *)
+let test_daemon_socket_smoke () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "secpol-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let dom =
+    Domain.spawn (fun () ->
+        try
+          Daemon.serve ~signals:false (Daemon.Unix_path path);
+          `Ok
+        with e -> `Err (Printexc.to_string e))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c = Client.connect ~retries:50 (Daemon.Unix_path path) in
+      (match Client.hello c ~client:"test" with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "hello refused: %s" m);
+      let spec = Loadgen.session_spec ~session:"smoke" ~policy () in
+      (match Client.open_session c spec with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "session refused: %s" m);
+      Seq.iteri
+        (fun id a ->
+          match
+            Client.enforce c ~session:"smoke" ~request_id:id ~program:"ex7" a
+          with
+          | Ok got ->
+              let want = clean_reply entry ~policy a in
+              if got <> want then
+                Alcotest.failf "daemon diverged on input %d: %s vs %s" id
+                  (FReport.show_reply got) (FReport.show_reply want)
+          | Error m -> Alcotest.failf "enforce refused: %s" m)
+        (Space.enumerate entry.Paper.space);
+      (match Client.drain c with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "drain refused: %s" m);
+      Client.close c;
+      match Domain.join dom with
+      | `Ok -> ()
+      | `Err m -> Alcotest.failf "daemon raised: %s" m)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          prop_wire_round_trip;
+          Alcotest.test_case "response-round-trip" `Quick
+            test_response_round_trip;
+          Alcotest.test_case "damage-rejected" `Quick test_wire_damage_rejected;
+        ] );
+      ("admission", [ prop_admission_conserves; prop_admission_deterministic ]);
+      ( "engine",
+        [
+          Alcotest.test_case "clean-parity" `Quick test_engine_clean_parity;
+          Alcotest.test_case "deadline-zero" `Quick
+            test_deadline_zero_always_shed;
+          Alcotest.test_case "overload-burst" `Quick
+            test_overload_burst_all_answered;
+          Alcotest.test_case "drain" `Quick test_drain_answers_everything;
+          Alcotest.test_case "kill-restart-resume" `Quick
+            test_kill_restart_resume;
+          Alcotest.test_case "circuit-breaker" `Quick
+            test_breaker_trips_and_recovers;
+        ] );
+      ("loadgen", [ Alcotest.test_case "engine" `Quick test_loadgen_engine ]);
+      ( "chaos",
+        [ Alcotest.test_case "jobs-parity" `Quick test_chaos_jobs_parity ] );
+      ( "daemon",
+        [ Alcotest.test_case "socket-smoke" `Quick test_daemon_socket_smoke ]
+      );
+    ]

@@ -126,6 +126,26 @@ let gen_event =
            (map (fun n -> n - 1) nat)
            nat gen_str);
       map
+        (fun (kind, conn, session, detail) ->
+          Event.Server { kind; conn; session; detail })
+        (quad
+           (oneofl
+              [
+                Event.Conn_open;
+                Event.Conn_close;
+                Event.Session_open;
+                Event.Admit;
+                Event.Shed;
+                Event.Expire;
+                Event.Serve;
+                Event.Resume_serve;
+                Event.Proto_error;
+                Event.Drain;
+                Event.Restart;
+              ])
+           (map (fun n -> n - 1) nat)
+           gen_str gen_str);
+      map
         (fun (response, text, steps) -> Event.Verdict { response; text; steps })
         (triple
            (oneofl [ Event.Granted; Event.Denied; Event.Hung; Event.Failed ])
