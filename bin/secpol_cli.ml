@@ -1036,6 +1036,9 @@ module SEngine = Secpol_server.Engine
 module SStore = Secpol_server.Store
 module SClient = Secpol_server.Client
 module SLoadgen = Secpol_server.Loadgen
+module STop = Secpol_server.Top
+module SMetrics = Secpol_trace.Metrics
+module LJson = Secpol_staticflow.Lint.Json
 
 let socket_arg =
   let doc = "Unix-domain socket path of the enforcement service." in
@@ -1077,10 +1080,33 @@ let session_arg =
   let doc = "Session name on the service." in
   Arg.(value & opt string "cli" & info [ "session" ] ~docv:"NAME" ~doc)
 
+(* Like [address_of], but both-omitted means "no metrics plane". *)
+let metrics_address_of msocket mtcp =
+  match (msocket, mtcp) with
+  | None, None -> None
+  | _ -> Some (address_of msocket mtcp)
+
+let metrics_socket_arg =
+  let doc = "Serve GET /metrics and /healthz on this Unix-domain socket." in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-socket" ] ~docv:"PATH" ~doc)
+
+let metrics_tcp_arg =
+  let doc =
+    "Serve GET /metrics (Prometheus text) and /healthz on this TCP endpoint, \
+     e.g. 127.0.0.1:9464 (port 0 lets the kernel pick; the bound address is \
+     printed)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-tcp" ] ~docv:"HOST:PORT" ~doc)
+
 let serve_cmd =
-  let run socket tcp store capacity exec_budget frame_deadline deadline_ms
-      jobs trace trace_format =
+  let run socket tcp msocket mtcp store capacity exec_budget frame_deadline
+      deadline_ms jobs trace trace_format =
     let address = address_of socket tcp in
+    let metrics_address = metrics_address_of msocket mtcp in
     let jobs = check_jobs jobs in
     if capacity < 1 then begin
       prerr_endline "--capacity must be at least 1";
@@ -1103,6 +1129,10 @@ let serve_cmd =
              SDaemon.serve ~config ~sink ?store
                ~ready:(fun a ->
                  Printf.printf "secpol serve: listening on %s\n%!"
+                   (SDaemon.address_to_string a))
+               ?metrics_address
+               ~metrics_ready:(fun a ->
+                 Printf.printf "secpol serve: metrics on %s\n%!"
                    (SDaemon.address_to_string a))
                address
            with Unix.Unix_error (e, fn, arg) ->
@@ -1157,15 +1187,49 @@ let serve_cmd =
           enforce requests over a Unix or TCP socket, with per-request \
           deadlines, a bounded admission queue that sheds \xce\x9b/overload \
           under load, and graceful drain on SIGTERM. With --store, \
-          journaled sessions survive crash-restart.")
+          journaled sessions survive crash-restart. With --metrics-tcp or \
+          --metrics-socket, a second listener serves GET /metrics \
+          (Prometheus text) and GET /healthz, and keeps answering through \
+          drain.")
     Term.(
-      const run $ socket_arg $ tcp_arg $ store $ capacity $ exec_budget
-      $ frame_deadline $ deadline_ms $ jobs_arg $ trace_arg
-      $ trace_format_arg)
+      const run $ socket_arg $ tcp_arg $ metrics_socket_arg $ metrics_tcp_arg
+      $ store $ capacity $ exec_budget $ frame_deadline $ deadline_ms
+      $ jobs_arg $ trace_arg $ trace_format_arg)
+
+(* The service's stats payload is Metrics JSON; render it as the same
+   kind of table every other report uses. Falls back to the raw payload
+   if a newer/older daemon sends a shape this build cannot parse. *)
+let render_stats_table body =
+  match Result.bind (LJson.parse body) SMetrics.snapshot_of_json with
+  | Error m ->
+      Printf.eprintf "unparseable stats payload (%s); raw JSON follows\n" m;
+      print_endline body
+  | Ok snap ->
+      let t = Tabulate.create ~header:[ "metric"; "kind"; "value" ] in
+      List.iter
+        (fun (name, stat) ->
+          match (stat : SMetrics.stat) with
+          | SMetrics.Counter c ->
+              Tabulate.add_row t [ name; "counter"; string_of_int c ]
+          | SMetrics.Gauge g ->
+              Tabulate.add_row t [ name; "gauge"; string_of_int g ]
+          | SMetrics.Histogram s ->
+              Tabulate.add_row t
+                [
+                  name;
+                  "histogram";
+                  Printf.sprintf "n=%d min=%d p50=%d p99=%d max=%d"
+                    s.SMetrics.n s.SMetrics.min
+                    (STop.percentile s 0.50)
+                    (STop.percentile s 0.99)
+                    s.SMetrics.max;
+                ])
+        snap;
+      Tabulate.print t
 
 let client_cmd =
   let run socket tcp action program session policy mode journaled inputs
-      request_id deadline_ms requests window retries =
+      request_id deadline_ms requests window retries stats_json =
     let address = address_of socket tcp in
     let with_session () =
       match program with
@@ -1229,7 +1293,8 @@ let client_cmd =
         | `Stats -> (
             match SClient.stats c with
             | Ok body ->
-                print_endline body;
+                if stats_json then print_endline body
+                else render_stats_table body;
                 0
             | Error m ->
                 prerr_endline ("refused: " ^ m);
@@ -1321,6 +1386,13 @@ let client_cmd =
     let doc = "Connection attempts to a daemon still booting." in
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
+  let stats_json =
+    let doc =
+      "Print the stats payload as the service's raw JSON instead of a \
+       table (for stats)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
@@ -1330,7 +1402,115 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ action $ program $ session_arg
       $ policy_arg $ mode_arg $ journaled $ inputs $ request_id $ deadline_ms
-      $ requests $ window $ retries)
+      $ requests $ window $ retries $ stats_json)
+
+(* --- top -------------------------------------------------------------------- *)
+
+let top_cmd =
+  let run socket tcp from interval frames once no_clear =
+    if interval <= 0. then begin
+      prerr_endline "--interval must be positive";
+      exit 2
+    end;
+    if frames < 0 then begin
+      prerr_endline "--frames must be non-negative";
+      exit 2
+    end;
+    let frames = if once then 1 else frames in
+    let clear = if no_clear then "" else "\x1b[2J\x1b[H" in
+    let show prev snap =
+      print_string clear;
+      print_string (STop.render ?prev ~interval snap);
+      flush stdout
+    in
+    let code =
+      match from with
+      | Some path ->
+          (* Replay: one frame per JSONL line, rates from consecutive
+             frames — the same renderer the live mode drives, testable
+             without a daemon. *)
+          let contents =
+            try In_channel.with_open_bin path In_channel.input_all
+            with Sys_error m ->
+              prerr_endline m;
+              exit 2
+          in
+          (match STop.frames_of_jsonl contents with
+          | Error m ->
+              Printf.eprintf "%s: %s\n" path m;
+              2
+          | Ok fs ->
+              let rec go prev shown = function
+                | [] -> 0
+                | _ when frames > 0 && shown >= frames -> 0
+                | f :: rest ->
+                    show prev f;
+                    go (Some f) (shown + 1) rest
+              in
+              go None 0 fs)
+      | None ->
+          let address = address_of socket tcp in
+          let rec go prev shown =
+            match STop.scrape_snapshot address with
+            | Error m ->
+                prerr_endline ("scrape failed: " ^ m);
+                1
+            | Ok snap ->
+                show prev snap;
+                if frames > 0 && shown + 1 >= frames then 0
+                else begin
+                  Unix.sleepf interval;
+                  go (Some snap) (shown + 1)
+                end
+          in
+          go None 0
+    in
+    exit code
+  in
+  let socket =
+    let doc = "Unix-domain socket path of the daemon's $(i,metrics) plane." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp =
+    let doc =
+      "TCP endpoint of the daemon's $(i,metrics) plane, e.g. 127.0.0.1:9464."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let from =
+    let doc =
+      "Replay recorded frames instead of scraping: one JSON metrics \
+       snapshot per line (the format `secpol client stats --json` and the \
+       trace sinks emit)."
+    in
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"FILE" ~doc)
+  in
+  let interval =
+    let doc = "Seconds between scrapes (and the rate window)." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let frames =
+    let doc = "Stop after $(docv) frames; 0 means until interrupted." in
+    Arg.(value & opt int 0 & info [ "frames" ] ~docv:"N" ~doc)
+  in
+  let once =
+    let doc = "Render a single frame and exit (same as --frames 1)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let no_clear =
+    let doc = "Do not clear the screen between frames (for piping)." in
+    Arg.(value & flag & info [ "no-clear" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a daemon's /metrics: one row per session \
+          with request rate, p50/p99 latency, sheds, verdict-cache hits \
+          and breaker state. Scrapes the metrics address every --interval \
+          seconds, or replays recorded JSONL frames with --from. Exits 0, \
+          1 when a scrape fails, 2 on usage errors.")
+    Term.(
+      const run $ socket $ tcp $ from $ interval $ frames $ once $ no_clear)
 
 (* --- explain ---------------------------------------------------------------- *)
 
@@ -1458,6 +1638,6 @@ let () =
   let code =
     Cmd.eval ~term_err:2
       (Cmd.group info
-         [ list_cmd; show_cmd; run_cmd; enforce_cmd; resume_cmd; explain_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; serve_cmd; client_cmd; fmt_cmd ])
+         [ list_cmd; show_cmd; run_cmd; enforce_cmd; resume_cmd; explain_cmd; certify_cmd; lint_cmd; measure_cmd; leak_cmd; plan_cmd; synthesize_cmd; chaos_cmd; serve_cmd; client_cmd; top_cmd; fmt_cmd ])
   in
   exit (if code = Cmd.Exit.cli_error then 2 else code)

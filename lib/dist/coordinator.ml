@@ -214,3 +214,25 @@ let enforce ?(config = default) ?net ?(sink = Sink.null) ?(jobs = 1) ~nonce
       backoff_steps = !backoff;
       complete = all_in;
     } )
+
+(* One registry vocabulary for distributed enforcement, shared by the Run
+   facade, the dist chaos sweep and the service's /metrics: per-run vote
+   outcome, the full per-shard tally, and the fail-secure collapses. *)
+let record ?(prefix = "run/dist") m ~(reply : Mechanism.reply) (s : stats) =
+  let module Metrics = Secpol_trace.Metrics in
+  let incr ?by name = Metrics.incr ?by (Metrics.counter m (prefix ^ "/" ^ name)) in
+  incr "runs";
+  incr ~by:s.rounds "rounds";
+  incr ~by:s.retransmits "retransmits";
+  incr ~by:s.lost "lost-shards";
+  incr ~by:s.rejected "rejected-messages";
+  incr ~by:s.foreign "foreign-messages";
+  incr ~by:s.duplicates "duplicate-reports";
+  incr ~by:s.disagreements "disagreements";
+  incr ~by:s.backoff_steps "backoff-steps";
+  incr (if s.complete then "votes-complete" else "votes-incomplete");
+  match reply.Mechanism.response with
+  | Mechanism.Denied n when n = partition_notice -> incr "partition-collapses"
+  | Mechanism.Granted _ | Mechanism.Denied _ | Mechanism.Hung
+  | Mechanism.Failed _ ->
+      ()

@@ -97,3 +97,18 @@ val enforce :
     shard launches, accepted reports, retransmission requests, losses,
     and the final merge; pass a synchronized sink when [jobs > 1].
     @raise Invalid_argument on an empty shard array. *)
+
+val record :
+  ?prefix:string ->
+  Secpol_trace.Metrics.t ->
+  reply:Mechanism.reply ->
+  stats ->
+  unit
+(** Fold one enforcement's [stats] (and its [reply]) into a registry
+    under [prefix] (default ["run/dist"]): runs, rounds, retransmits,
+    lost shards, rejected/foreign/duplicate messages, disagreements,
+    backoff steps, the vote outcome ([votes-complete] /
+    [votes-incomplete]) and — when the reply collapsed to
+    {!partition_notice} — [partition-collapses]. One vocabulary for the
+    {!Secpol.Run} facade, the chaos sweeps and the service's
+    [/metrics]. *)

@@ -60,6 +60,29 @@ let find_or_compute c key f =
   in
   acquire ()
 
+let find c key =
+  Mutex.lock c.lock;
+  let r =
+    match Hashtbl.find_opt c.table key with
+    | Some (Done v) ->
+        c.hit_count <- c.hit_count + 1;
+        Some v
+    | Some Pending | None ->
+        c.miss_count <- c.miss_count + 1;
+        None
+  in
+  Mutex.unlock c.lock;
+  r
+
+let store c key v =
+  Mutex.lock c.lock;
+  (* Never overwrite: a resident verdict (or one being computed under
+     [find_or_compute]'s compute-once discipline) wins. *)
+  (match Hashtbl.find_opt c.table key with
+  | Some (Done _ | Pending) -> ()
+  | None -> Hashtbl.replace c.table key (Done v));
+  Mutex.unlock c.lock
+
 let hits c =
   Mutex.lock c.lock;
   let n = c.hit_count in

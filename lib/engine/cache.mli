@@ -32,9 +32,19 @@ val find_or_compute :
     key is released, every waiter is woken, and the exception propagates —
     the next requester retries the computation. *)
 
+val find : t -> key -> Secpol_core.Mechanism.reply option
+(** Non-blocking lookup. Counts a hit or a miss; never waits on a
+    pending computation (a pending key reads as a miss). Lets callers
+    that must not cache every reply — e.g. a session cache that skips
+    transient [Hung]/[Failed] verdicts — pair it with {!store}. *)
+
+val store : t -> key -> Secpol_core.Mechanism.reply -> unit
+(** Insert if absent; a resident or pending verdict is never
+    overwritten. *)
+
 val hits : t -> int
 
 val misses : t -> int
-(** Completed first-computations — the number of distinct keys resident. *)
+(** Completed first-computations plus {!find} lookups that missed. *)
 
 val size : t -> int

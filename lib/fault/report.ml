@@ -104,7 +104,7 @@ let to_json r =
       (fun (name, stat) ->
         match stat with
         | Metrics.Counter n -> Some (name, Json.Int n)
-        | Metrics.Histogram _ -> None)
+        | Metrics.Gauge _ | Metrics.Histogram _ -> None)
       (Metrics.stats r.metrics)
   in
   Json.Obj

@@ -168,16 +168,10 @@ let distributed cfg g =
             Certifier.residual_plan ~allowed:sl.Dist_shard.sub_allowed g)
           slices
   in
-  let record (stats : Dist_coordinator.stats) =
+  let record ~reply stats =
     match cfg.metrics with
     | None -> ()
-    | Some m ->
-        let incr ?by name = Metrics.incr ?by (Metrics.counter m name) in
-        incr "run/dist/runs";
-        incr ~by:stats.Dist_coordinator.rounds "run/dist/rounds";
-        incr ~by:stats.Dist_coordinator.retransmits "run/dist/retransmits";
-        incr ~by:stats.Dist_coordinator.lost "run/dist/lost-shards";
-        incr ~by:stats.Dist_coordinator.backoff_steps "run/dist/backoff-steps"
+    | Some m -> Dist_coordinator.record m ~reply stats
   in
   let respond a =
     let shards =
@@ -217,7 +211,7 @@ let distributed cfg g =
         ~nonce:(Dist_coordinator.fresh_nonce ())
         shards a
     in
-    record stats;
+    record ~reply stats;
     reply
   in
   Mechanism.make

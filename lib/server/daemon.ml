@@ -51,12 +51,23 @@ let rec write_all fd s off len =
 
 let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
     ?(signals = true) ?(ready = fun _ -> ()) ?(should_stop = fun () -> false)
-    address =
+    ?metrics_address ?(metrics_ready = fun _ -> ()) address =
   let store = match store with Some s -> s | None -> Store.memory () in
   let now = clock () in
   let engine = Engine.create ?config ~sink ?metrics ~store ~now:(now ()) () in
   let lfd, bound = listen_socket address in
+  (* The observability plane listens on its own address, served from the
+     same loop: a scrape never preempts enforcement, it just takes its
+     turn in the select round. *)
+  let mfd, mbound =
+    match metrics_address with
+    | None -> (None, None)
+    | Some a ->
+        let fd, b = listen_socket a in
+        (Some fd, Some b)
+  in
   let conns : (Unix.file_descr, int) Hashtbl.t = Hashtbl.create 16 in
+  let http_conns : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
   let drain_requested = ref false in
   let old_handlers = ref [] in
   if signals then begin
@@ -82,6 +93,32 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
   let buf = Bytes.create 65536 in
+  let drop_http fd =
+    Hashtbl.remove http_conns fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  (* One shot: read until the request line is in, answer, close. *)
+  let read_http fd =
+    match Hashtbl.find_opt http_conns fd with
+    | None -> ()
+    | Some b -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> drop_http fd
+        | n -> (
+            Buffer.add_subbytes b buf 0 n;
+            if Buffer.length b > 8192 then drop_http fd
+            else
+              match Http.request_of_buffer (Buffer.contents b) with
+              | None -> ()
+              | Some req ->
+                  let resp = Http.handle engine ~now:(now ()) req in
+                  (try write_all fd resp 0 (String.length resp)
+                   with Unix.Unix_error _ -> ());
+                  drop_http fd)
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            drop_http fd
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  in
   let read_conn fd =
     match Hashtbl.find_opt conns fd with
     | None -> ()
@@ -105,12 +142,28 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
         if Engine.conn_closing engine ~conn:id then drop fd
   in
   ready bound;
+  Option.iter metrics_ready mbound;
+  let close_all () =
+    Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) conns;
+    Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) http_conns;
+    (try Unix.close lfd with _ -> ());
+    (match mfd with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ());
+    (match mbound with
+    | Some (Unix_path p) -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | Some (Tcp _) | None -> ());
+    List.iter (fun (s, h) -> try ignore (Sys.signal s h) with _ -> ()) !old_handlers
+  in
   (try
      let running = ref true in
      while !running do
        if !drain_requested && not (Engine.draining engine) then
          Engine.drain engine ~now:(now ());
        let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+       let fds =
+         match mfd with
+         | Some fd -> fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) http_conns fds
+         | None -> fds
+       in
        let readable, _, _ =
          try Unix.select fds [] [] poll
          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
@@ -123,6 +176,11 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
                  let id = Engine.open_conn engine ~now:(now ()) in
                  Hashtbl.replace conns cfd id
              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+           else if Some fd = mfd then (
+             match Unix.accept fd with
+             | cfd, _ -> Hashtbl.replace http_conns cfd (Buffer.create 256)
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+           else if Hashtbl.mem http_conns fd then read_http fd
            else read_conn fd)
          readable;
        Engine.step engine ~now:(now ());
@@ -130,15 +188,11 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
        if Engine.drained engine || should_stop () then running := false
      done
    with e ->
-     Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) conns;
-     (try Unix.close lfd with _ -> ());
-     List.iter (fun (s, h) -> try ignore (Sys.signal s h) with _ -> ()) !old_handlers;
+     close_all ();
      raise e);
   (* Final flush: the drain answers are already in the buffers. *)
   List.iter flush_conn (Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []);
-  Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) conns;
-  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  close_all ();
   (match bound with
   | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
-  | Tcp _ -> ());
-  List.iter (fun (s, h) -> try ignore (Sys.signal s h) with _ -> ()) !old_handlers
+  | Tcp _ -> ())

@@ -29,6 +29,8 @@ val serve :
   ?signals:bool ->
   ?ready:(address -> unit) ->
   ?should_stop:(unit -> bool) ->
+  ?metrics_address:address ->
+  ?metrics_ready:(address -> unit) ->
   address ->
   unit
 (** Bind, listen, serve until drained. [store] defaults to a fresh
@@ -41,4 +43,13 @@ val serve :
     port. [should_stop] is polled once per loop round (for in-process
     tests).
 
-    @raise Unix.Unix_error if the address cannot be bound. *)
+    [metrics_address] opens the observability plane on a second listen
+    socket in the same loop: [GET /metrics] (Prometheus text rendered
+    from a {!Secpol_trace.Metrics.snapshot} of the engine registry) and
+    [GET /healthz] ({!Engine.health_json}; 503 while draining), one
+    request per connection, HTTP/1.0, close after answering — see
+    {!Http}. [metrics_ready] receives its bound address. The socket
+    keeps answering through drain (that is when an operator most wants
+    it) and closes when the daemon exits.
+
+    @raise Unix.Unix_error if an address cannot be bound. *)

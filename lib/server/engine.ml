@@ -1,4 +1,7 @@
 module Mechanism = Secpol_core.Mechanism
+module Policy = Secpol_core.Policy
+module Soundness = Secpol_core.Soundness
+module Value = Secpol_core.Value
 module Dynamic = Secpol_taint.Dynamic
 module Graph = Secpol_flowgraph.Graph
 module Hook = Secpol_flowgraph.Hook
@@ -11,6 +14,7 @@ module Sink = Secpol_trace.Sink
 module Event = Secpol_trace.Event
 module Metrics = Secpol_trace.Metrics
 module Pool = Secpol_engine.Pool
+module Cache = Secpol_engine.Cache
 module Json = Secpol_staticflow.Lint.Json
 
 exception Died
@@ -26,6 +30,7 @@ type config = {
   breaker_threshold : int;
   breaker_cooldown : float;
   snapshot_every : int;
+  session_cache : bool;
   hook : Hook.t;
 }
 
@@ -41,6 +46,7 @@ let default_config =
     breaker_threshold = 3;
     breaker_cooldown = 0.5;
     snapshot_every = Runner.default_snapshot_every;
+    session_cache = true;
     hook = Hook.none;
   }
 
@@ -56,6 +62,8 @@ type work = {
   w_enforce : Wire.enforce;
   w_graph : Graph.t;
   w_session : Session.t;
+  w_arrival : float;  (* admission instant, for the latency histograms *)
+  w_ckey : Cache.key option;  (* session verdict-cache key; [None] = don't cache *)
 }
 
 type t = {
@@ -64,7 +72,11 @@ type t = {
   sink : Sink.t;
   ms : Metrics.t;
   graphs : (string, Graph.t) Hashtbl.t;
+  spaces : (string, Secpol_core.Space.t) Hashtbl.t;  (* program -> corpus input space *)
   mechs : (string, Mechanism.t) Hashtbl.t;  (* unjournaled, per session/program *)
+  ikeys : (string, bool) Hashtbl.t;
+      (* per session/program: is the session mechanism timed-view sound for
+         its policy, i.e. may the verdict cache key on the I-projection? *)
   sessions : (string, Session.t) Hashtbl.t;
   conns : (int, conn) Hashtbl.t;
   queue : work Admission.t;
@@ -99,6 +111,7 @@ let graph_of t program =
       | entry ->
           let g = Paper.graph entry in
           Hashtbl.add t.graphs program g;
+          Hashtbl.add t.spaces program entry.Paper.space;
           Some g
       | exception Not_found -> None)
 
@@ -166,7 +179,9 @@ let create ?(config = default_config) ?(sink = Sink.null) ?metrics ~store ~now:_
       sink;
       ms;
       graphs = Hashtbl.create 16;
+      spaces = Hashtbl.create 16;
       mechs = Hashtbl.create 16;
+      ikeys = Hashtbl.create 16;
       sessions = Hashtbl.create 16;
       conns = Hashtbl.create 16;
       queue = Admission.create ~seed:config.shed_seed ~capacity:config.capacity ();
@@ -239,6 +254,88 @@ let overload_reply =
 let recovery_reply =
   { Mechanism.response = Mechanism.Denied Guard.recovery_notice; steps = 0 }
 
+let sname session what = Printf.sprintf "server/session/%s/%s" session what
+let sbump ?by t session what = bump ?by t (sname session what)
+
+(* ---------- cross-request session verdict cache ---------- *)
+
+let mech_key session program = session ^ "\x00" ^ program
+
+(* The cache key may collapse inputs to their I-projection only when that
+   is {e proven} for this session's mechanism: sound under the timed view,
+   so the whole reply — steps included — is constant per I-class and a
+   cached representative is bit-identical to a fresh run (DESIGN §13). The
+   proof is the exhaustive Soundness check over the program's corpus
+   space, run once per (session, program) on the clean mechanism; when it
+   fails (or no space is known) the key falls back to the full input
+   vector, which is sound for any mechanism. *)
+let ikey_strategy t (session : Session.t) program g =
+  let key = mech_key (Session.name session) program in
+  match Hashtbl.find_opt t.ikeys key with
+  | Some b -> b
+  | None ->
+      let b =
+        match Hashtbl.find_opt t.spaces program with
+        | None -> false
+        | Some space ->
+            let policy = Session.policy session in
+            let m =
+              Dynamic.mechanism
+                (Dynamic.config ~fuel:session.Session.spec.Wire.fuel
+                   ~mode:session.Session.spec.Wire.mode policy)
+                g
+            in
+            Soundness.is_sound ~config:Soundness.timed policy m space
+      in
+      Hashtbl.add t.ikeys key b;
+      bump t (if b then "server/cache-ikeys" else "server/cache-exact-keys");
+      b
+
+let cache_key t (session : Session.t) program g inputs =
+  let ikey = ikey_strategy t session program g in
+  let projection =
+    if ikey then Policy.image (Session.policy session) inputs
+    else Value.tuple (Array.to_list inputs)
+  in
+  {
+    Cache.digest = Runner.graph_hash g;
+    tag =
+      Printf.sprintf "%s|fuel=%d|%s"
+        (Dynamic.mode_name session.Session.spec.Wire.mode)
+        session.Session.spec.Wire.fuel
+        (if ikey then "I" else "exact");
+    projection;
+  }
+
+(* Only settled monitor verdicts are cached: grants and policy denials are
+   deterministic functions of the key, while [Λ/degraded]/[Λ/recovery]/
+   [Λ/overload], [Hung] and [Failed] describe the infrastructure of one
+   particular attempt — caching those would make a transient fault
+   permanent. *)
+let cacheable (reply : Mechanism.reply) =
+  match reply.Mechanism.response with
+  | Mechanism.Granted _ -> true
+  | Mechanism.Denied n ->
+      n <> Guard.degraded_notice && n <> Guard.recovery_notice
+      && n <> Wire.overload_notice
+  | Mechanism.Hung | Mechanism.Failed _ -> false
+
+(* Surface the session cache's own hit/miss counts as monotone counters,
+   per session and in aggregate. Counters only move forward, so publish
+   the delta since the last sync. *)
+let sync_cache_counters t (session : Session.t) =
+  let name = Session.name session in
+  let sync what v =
+    let n = sname name what in
+    let d = v - Metrics.counter_value t.ms n in
+    if d > 0 then begin
+      bump ~by:d t n;
+      bump ~by:d t ("server/session-" ^ what)
+    end
+  in
+  sync "cache-hits" (Cache.hits session.Session.cache);
+  sync "cache-misses" (Cache.misses session.Session.cache)
+
 let shed t (e : work Admission.entry) reason =
   push t e.Admission.conn
     (Wire.Reply
@@ -261,7 +358,8 @@ let shed t (e : work Admission.entry) reason =
              (Admission.reason_name reason);
        });
   bump t "server/shed";
-  bump t (Printf.sprintf "server/shed-%s" (Admission.reason_name reason))
+  bump t (Printf.sprintf "server/shed-%s" (Admission.reason_name reason));
+  sbump t e.Admission.session "sheds"
 
 let handle_enforce t (cn : conn) ~now (e : Wire.enforce) =
   match Hashtbl.find_opt t.sessions e.Wire.session with
@@ -279,15 +377,27 @@ let handle_enforce t (cn : conn) ~now (e : Wire.enforce) =
                Graph.(g.arity) (Array.length e.Wire.inputs) e.Wire.request_id)
       | Some g ->
           bump t "server/requests";
+          sbump t e.Wire.session "requests";
           let d_us =
             if e.Wire.deadline_us < 0 then t.cfg.default_deadline_us
             else e.Wire.deadline_us
           in
           let deadline = now +. (float_of_int d_us /. 1e6) in
+          let ckey =
+            if t.cfg.session_cache && not session.Session.spec.Wire.journaled
+            then Some (cache_key t session e.Wire.program g e.Wire.inputs)
+            else None
+          in
           let decisions =
             Admission.offer t.queue ~now ~conn:cn.id ~session:e.Wire.session
               ~request_id:e.Wire.request_id ~deadline
-              { w_enforce = e; w_graph = g; w_session = session }
+              {
+                w_enforce = e;
+                w_graph = g;
+                w_session = session;
+                w_arrival = now;
+                w_ckey = ckey;
+              }
           in
           List.iter
             (function
@@ -387,8 +497,6 @@ let drain t ~now:_ =
 
 (* ---------- execution ---------- *)
 
-let mech_key session program = session ^ "\x00" ^ program
-
 (* The guarded monitor of an unjournaled session, built once per
    (session, program): exactly Guard over Dynamic, the same two layers
    Run.mechanism composes, so a served verdict is bit-identical to a
@@ -448,17 +556,30 @@ let execute_one t (w : work) inputs =
          before box [at]; either way no guard retries a killed process. *)
       let reply = Mechanism.respond m inputs in
       (reply, false)
-  | None ->
-      let m =
-        if session.Session.spec.Wire.journaled then
-          journaled_mechanism t session w.w_enforce w.w_graph ~kill_at:None
-        else base_mechanism t session w.w_enforce.Wire.program w.w_graph
+  | None -> (
+      let cached =
+        match w.w_ckey with
+        | Some key -> Cache.find session.Session.cache key
+        | None -> None
       in
-      let outcome, steps =
-        Guard.run ~config:(Session.guard_config session) ~sink:t.sink m inputs
-      in
-      let degraded = match outcome with Guard.Degraded _ -> true | _ -> false in
-      (Guard.reply_of_outcome (outcome, steps), degraded)
+      match cached with
+      | Some reply -> (reply, false)
+      | None ->
+          let m =
+            if session.Session.spec.Wire.journaled then
+              journaled_mechanism t session w.w_enforce w.w_graph ~kill_at:None
+            else base_mechanism t session w.w_enforce.Wire.program w.w_graph
+          in
+          let outcome, steps =
+            Guard.run ~config:(Session.guard_config session) ~sink:t.sink m inputs
+          in
+          let degraded = match outcome with Guard.Degraded _ -> true | _ -> false in
+          let reply = Guard.reply_of_outcome (outcome, steps) in
+          (match w.w_ckey with
+          | Some key when (not degraded) && cacheable reply ->
+              Cache.store session.Session.cache key reply
+          | _ -> ());
+          (reply, degraded))
 
 let classify t (reply : Mechanism.reply) =
   match reply.Mechanism.response with
@@ -497,10 +618,18 @@ let execute t ~now =
       let e = batch.(i) in
       execute_one t e.Admission.work e.Admission.work.w_enforce.Wire.inputs
     in
+    Metrics.set (Metrics.gauge t.ms "server/pool-in-flight") nb;
     let results =
       if nb = 1 || t.cfg.jobs <= 1 then Array.init nb run
-      else fst (Pool.map ~jobs:t.cfg.jobs nb run)
+      else begin
+        let rs, _pstats = Pool.map ~jobs:t.cfg.jobs nb run in
+        (* Only the deterministic part of the pool telemetry lands in the
+           registry; steals/idle probes are scheduling noise (stderr). *)
+        bump ~by:nb t "server/pool-tasks";
+        rs
+      end
     in
+    Metrics.set (Metrics.gauge t.ms "server/pool-in-flight") 0;
     Array.iteri
       (fun i (reply, degraded) ->
         let e = batch.(i) in
@@ -509,6 +638,18 @@ let execute t ~now =
           ~cooldown:t.cfg.breaker_cooldown ~degraded;
         classify t reply;
         bump t "server/served";
+        (match reply.Mechanism.response with
+        | Mechanism.Granted _ -> sbump t e.Admission.session "granted"
+        | Mechanism.Denied _ | Mechanism.Hung | Mechanism.Failed _ -> ());
+        let latency_us =
+          let us = int_of_float ((now -. w.w_arrival) *. 1e6) in
+          if us < 0 then 0 else us
+        in
+        Metrics.observe (Metrics.histogram t.ms "server/latency-us") latency_us;
+        Metrics.observe
+          (Metrics.histogram t.ms (sname e.Admission.session "latency-us"))
+          latency_us;
+        sync_cache_counters t w.w_session;
         Metrics.observe (Metrics.histogram t.ms "server/exec-steps")
           reply.Mechanism.steps;
         emit t
@@ -536,7 +677,9 @@ let parse_conn t (cn : conn) ~now =
     | `Frame payload -> (
         match Wire.decode_request payload with
         | Ok req -> handle_request t cn ~now req
-        | Error e -> refuse t cn "proto" (Codec.error_message e))
+        | Error e ->
+            bump t "server/wire-decode-errors";
+            refuse t cn "proto" (Codec.error_message e))
     | `Await ->
         (match Wire.Stream.stalled_since cn.stream with
         | Some t0
@@ -547,9 +690,31 @@ let parse_conn t (cn : conn) ~now =
         | _ -> ());
         continue := false
     | `Corrupt e ->
+        bump t "server/wire-decode-errors";
         refuse t cn "proto" (Codec.error_message e);
         continue := false
   done
+
+(* Instantaneous state, published after every step so a scrape between
+   steps reads the post-step truth. Session order is sorted-name so the
+   registration order (and with it every rendering) is deterministic. *)
+let refresh_gauges t ~now =
+  Metrics.set (Metrics.gauge t.ms "server/queue-now") (Admission.length t.queue);
+  Metrics.set (Metrics.gauge t.ms "server/open-conns") (Hashtbl.length t.conns);
+  Metrics.set
+    (Metrics.gauge t.ms "server/open-sessions")
+    (Hashtbl.length t.sessions);
+  let open_breakers = ref 0 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.sessions name with
+      | None -> ()
+      | Some s ->
+          let b = if Session.breaker_open s ~now then 1 else 0 in
+          open_breakers := !open_breakers + b;
+          Metrics.set (Metrics.gauge t.ms (sname name "breaker-open")) b)
+    (session_names t);
+  Metrics.set (Metrics.gauge t.ms "server/breakers-open") !open_breakers
 
 let step t ~now =
   let ids =
@@ -561,4 +726,68 @@ let step t ~now =
       | Some cn -> parse_conn t cn ~now
       | None -> ())
     ids;
-  execute t ~now
+  execute t ~now;
+  refresh_gauges t ~now
+
+(* ---------- health ---------- *)
+
+type health = {
+  ok : bool;
+  status : string;
+  draining : bool;
+  drained : bool;
+  queue : int;
+  capacity : int;
+  sessions : int;
+  conns : int;
+  breakers_open : int;
+  recovery_refusals : int;
+}
+
+let health t ~now =
+  let is_draining = draining t and is_drained = drained t in
+  let sessions = Hashtbl.length t.sessions in
+  let breakers_open =
+    Hashtbl.fold
+      (fun _ s acc -> if Session.breaker_open s ~now then acc + 1 else acc)
+      t.sessions 0
+  in
+  let recovery_refusals = Metrics.counter_value t.ms "server/recovery-refusals" in
+  let saturated = sessions > 0 && breakers_open = sessions in
+  let status =
+    if is_drained then "drained"
+    else if is_draining then "draining"
+    else if saturated then "breakers-saturated"
+    else if recovery_refusals > 0 then "recovery-refusals"
+    else "ok"
+  in
+  {
+    (* Refused journals are already answered fail-secure (Λ/recovery per
+       request); they mark the health detail, not liveness. *)
+    ok = (status = "ok" || status = "recovery-refusals");
+    status;
+    draining = is_draining;
+    drained = is_drained;
+    queue = Admission.length t.queue;
+    capacity = t.cfg.capacity;
+    sessions;
+    conns = Hashtbl.length t.conns;
+    breakers_open;
+    recovery_refusals;
+  }
+
+let health_json (h : health) =
+  Json.render
+    (Json.Obj
+       [
+         ("ok", Json.Bool h.ok);
+         ("status", Json.String h.status);
+         ("draining", Json.Bool h.draining);
+         ("drained", Json.Bool h.drained);
+         ("queue", Json.Int h.queue);
+         ("capacity", Json.Int h.capacity);
+         ("sessions", Json.Int h.sessions);
+         ("conns", Json.Int h.conns);
+         ("breakers_open", Json.Int h.breakers_open);
+         ("recovery_refusals", Json.Int h.recovery_refusals);
+       ])

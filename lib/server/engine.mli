@@ -41,6 +41,12 @@ type config = {
   breaker_threshold : int;  (** consecutive degraded outcomes that trip it *)
   breaker_cooldown : float;  (** seconds the breaker stays open *)
   snapshot_every : int;  (** journal snapshot cadence for journaled runs *)
+  session_cache : bool;
+      (** cross-request verdict caching in unjournaled sessions: keyed on
+          the sound {!Secpol_engine.Memo} I-projection when the session's
+          mechanism proves timed-view sound over the program's corpus
+          space, on the full input vector otherwise — either way a hit
+          replays a bit-identical earlier verdict. Default [true]. *)
   hook : Hook.t;  (** interpreter fault hook (tests and chaos only) *)
 }
 
@@ -54,6 +60,32 @@ val create :
 val config : t -> config
 val metrics : t -> Metrics.t
 val stats_json : t -> string
+
+(** {1 Health}
+
+    The /healthz truth: [ok] iff the service is accepting and serving
+    (not draining, breakers not saturated). Recovery refusals left over
+    from a crash-restart are reported — every affected request is already
+    answered fail-secure with [Λ/recovery], so they mark [status], not
+    [ok]. *)
+
+type health = {
+  ok : bool;
+  status : string;
+      (** ["ok"] | ["recovery-refusals"] | ["breakers-saturated"] |
+          ["draining"] | ["drained"] *)
+  draining : bool;
+  drained : bool;
+  queue : int;
+  capacity : int;
+  sessions : int;
+  conns : int;
+  breakers_open : int;
+  recovery_refusals : int;
+}
+
+val health : t -> now:float -> health
+val health_json : health -> string
 
 val open_conn : t -> now:float -> int
 

@@ -1,0 +1,47 @@
+module Metrics = Secpol_trace.Metrics
+module Expo = Secpol_trace.Expo
+
+type request = { meth : string; target : string }
+
+let request_of_buffer buf =
+  match String.index_opt buf '\n' with
+  | None -> None
+  | Some eol -> (
+      let line = String.trim (String.sub buf 0 eol) in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ -> Some { meth; target }
+      | _ -> Some { meth = ""; target = "" })
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ~status ?(content_type = "text/plain; charset=utf-8") body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status (reason status) content_type (String.length body) body
+
+let handle engine ~now req =
+  if req.meth <> "GET" then response ~status:405 "method not allowed\n"
+  else
+    match req.target with
+    | "/metrics" ->
+        response ~status:200
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (Expo.render (Metrics.snapshot (Engine.metrics engine)))
+    | "/healthz" ->
+        let h = Engine.health engine ~now in
+        response
+          ~status:(if h.Engine.ok then 200 else 503)
+          ~content_type:"application/json"
+          (Engine.health_json h ^ "\n")
+    | _ -> response ~status:404 "not found\n"

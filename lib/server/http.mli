@@ -1,0 +1,30 @@
+(** Minimal HTTP/1.0 for the observability plane.
+
+    Just enough protocol to answer [GET /metrics] and [GET /healthz]
+    from the daemon's own select loop — request-line parsing, response
+    framing, and the two routes — with no dependency beyond [Unix]
+    (which this module does not even touch: it is pure string-in,
+    string-out, so the chaos/property tests can drive it without a
+    socket). Every response carries [Content-Length] and
+    [Connection: close]; the daemon writes it and closes, which is all
+    an HTTP/1.0 client (curl, Prometheus) needs. *)
+
+type request = { meth : string; target : string }
+
+val request_of_buffer : string -> request option
+(** [Some] once the buffered bytes contain a complete request line
+    ([METHOD SP TARGET ...\n]); [None] while it is still partial.
+    Trailing headers need not have arrived — the routes depend only on
+    the request line. *)
+
+val response :
+  status:int -> ?content_type:string -> string -> string
+(** Full response bytes: status line (with the standard reason phrase),
+    [Content-Type] (default [text/plain; charset=utf-8]),
+    [Content-Length], [Connection: close], blank line, body. *)
+
+val handle : Engine.t -> now:float -> request -> string
+(** The router: [GET /metrics] renders a {!Secpol_trace.Expo} snapshot
+    of the engine registry (200), [GET /healthz] renders
+    {!Engine.health_json} (200 when [ok], 503 otherwise), anything else
+    is 404; non-GET methods are 405. Never raises. *)

@@ -17,6 +17,7 @@ type result = {
   rps : float;
   p50_us : float;
   p99_us : float;
+  scrapes : int;
 }
 
 let session_fuel = 4096
@@ -100,7 +101,7 @@ let record t id (reply : Mechanism.reply) =
       else t.fail_open <- t.fail_open + 1
   | Mechanism.Hung | Mechanism.Failed _ -> t.fail_open <- t.fail_open + 1
 
-let finish t ~requests ~duration latencies =
+let finish ?(scrapes = 0) t ~requests ~duration latencies =
   Array.sort Float.compare latencies;
   {
     requests;
@@ -112,14 +113,18 @@ let finish t ~requests ~duration latencies =
     rps = (if duration > 0. then float_of_int requests /. duration else 0.);
     p50_us = percentile latencies 0.50 *. 1e6;
     p99_us = percentile latencies 0.99 *. 1e6;
+    scrapes;
   }
 
 (* ---------- in-process driver (the bench hot path: no sockets) ---------- *)
 
 let run_engine ?(requests = 10_000) ?(window = 64) ?config ?mode ?journaled
-    ~entry ~policy () =
+    ?scrape_hz ~entry ~policy () =
   if requests < 1 then invalid_arg "Loadgen.run_engine: requests < 1";
   if window < 1 then invalid_arg "Loadgen.run_engine: window < 1";
+  (match scrape_hz with
+  | Some hz when hz <= 0. -> invalid_arg "Loadgen.run_engine: scrape_hz <= 0"
+  | _ -> ());
   let spec = session_spec ?mode ?journaled ~policy () in
   let t = tally_of ~spec ~entry in
   let inputs = inputs_of ~entry in
@@ -156,6 +161,31 @@ let run_engine ?(requests = 10_000) ?(window = 64) ?config ?mode ?journaled
   let sent = ref 0 in
   let answered = ref 0 in
   let t_start = now () in
+  (* A concurrent scraper, modelled in-process: every 1/hz seconds the
+     registry is snapshotted and rendered to Prometheus text, exactly the
+     work a [GET /metrics] costs the daemon.  The bench pairs scraped vs
+     unscraped runs to gate the overhead. *)
+  let scrapes = ref 0 in
+  let next_scrape =
+    ref (match scrape_hz with Some hz -> t_start +. (1. /. hz) | None -> infinity)
+  in
+  let maybe_scrape () =
+    match scrape_hz with
+    | None -> ()
+    | Some hz ->
+        let t = now () in
+        if t >= !next_scrape then begin
+          ignore
+            (Secpol_trace.Expo.render
+               (Secpol_trace.Metrics.snapshot (Engine.metrics engine)));
+          Stdlib.incr scrapes;
+          (* Skip missed ticks rather than bursting to catch up. *)
+          let period = 1. /. hz in
+          while !next_scrape <= t do
+            next_scrape := !next_scrape +. period
+          done
+        end
+  in
   while !answered < requests do
     while !sent < requests && !sent - !answered < window do
       let id = !sent in
@@ -174,6 +204,7 @@ let run_engine ?(requests = 10_000) ?(window = 64) ?config ?mode ?journaled
       Stdlib.incr sent
     done;
     Engine.step engine ~now:(now ());
+    maybe_scrape ();
     let bytes = Engine.output engine ~conn in
     Wire.Stream.feed cst ~now:0. bytes;
     let continue = ref true in
@@ -189,7 +220,7 @@ let run_engine ?(requests = 10_000) ?(window = 64) ?config ?mode ?journaled
       | `Await | `Corrupt _ -> continue := false
     done
   done;
-  finish t ~requests ~duration:(now () -. t_start) latencies
+  finish ~scrapes:!scrapes t ~requests ~duration:(now () -. t_start) latencies
 
 (* ---------- socket driver (CI: a real daemon on the other end) ---------- *)
 

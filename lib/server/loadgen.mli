@@ -26,6 +26,7 @@ type result = {
   rps : float;
   p50_us : float;
   p99_us : float;
+  scrapes : int;  (** simulated [/metrics] renders ({!run_engine} [?scrape_hz]) *)
 }
 
 val session_spec :
@@ -43,12 +44,19 @@ val run_engine :
   ?config:Engine.config ->
   ?mode:Dynamic.mode ->
   ?journaled:bool ->
+  ?scrape_hz:float ->
   entry:Paper.entry ->
   policy:Policy.t ->
   unit ->
   result
 (** In-process: fresh engine on a memory store, queue sized to the
-    window. Defaults: 10000 requests, window 64. *)
+    window. Defaults: 10000 requests, window 64. [scrape_hz] models a
+    concurrent scraper: every [1/hz] seconds the engine registry is
+    snapshotted and rendered to Prometheus text in-loop — the same work
+    a [GET /metrics] costs the daemon — so the bench can pair scraped
+    against unscraped throughput. Missed ticks are skipped, not
+    bursted; the count lands in [result.scrapes].
+    @raise Invalid_argument if [scrape_hz <= 0]. *)
 
 val run_client :
   ?requests:int ->

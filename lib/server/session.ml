@@ -6,9 +6,16 @@ type t = {
   spec : Wire.open_session;
   mutable consecutive_degraded : int;
   mutable open_until : float;
+  cache : Secpol_engine.Cache.t;
 }
 
-let create spec = { spec; consecutive_degraded = 0; open_until = 0. }
+let create spec =
+  {
+    spec;
+    consecutive_degraded = 0;
+    open_until = 0.;
+    cache = Secpol_engine.Cache.create ();
+  }
 
 let name t = t.spec.Wire.session
 

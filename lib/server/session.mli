@@ -21,6 +21,9 @@ type t = {
   spec : Wire.open_session;
   mutable consecutive_degraded : int;
   mutable open_until : float;  (** breaker open until this instant; [0.] = closed *)
+  cache : Secpol_engine.Cache.t;
+      (** cross-request verdict cache, keyed on the sound
+          {!Secpol_engine.Memo} I-projection; dies with the session *)
 }
 
 val create : Wire.open_session -> t

@@ -1,0 +1,39 @@
+(** The [secpol top] dashboard: sessions × (rps, p50/p99, sheds, breaker).
+
+    Pure rendering over {!Secpol_trace.Metrics.snapshot} values, so the
+    deterministic tests drive it from replayed JSONL frames; the live
+    mode drives the same renderer from {!scrape}d [/metrics] text.
+
+    Interval rates come from {!Secpol_trace.Metrics.diff} between the
+    previous and current frame; percentiles are read off the log2
+    latency histograms by a cumulative bucket walk (the reported value
+    is the bucket's inclusive upper bound — same resolution the
+    histogram stores). *)
+
+module Metrics = Secpol_trace.Metrics
+
+val sessions_of : Metrics.snapshot -> string list
+(** Session names mentioned by [server/session/<name>/...] series, in
+    first-appearance order. *)
+
+val percentile : Metrics.summary -> float -> int
+(** [percentile s q] for [0 < q <= 1]: smallest occupied-bucket upper
+    bound covering [ceil (q * n)] samples; [0] when the histogram is
+    empty. *)
+
+val render : ?prev:Metrics.snapshot -> ?interval:float -> Metrics.snapshot -> string
+(** The dashboard frame: a totals header (requests, granted, sheds,
+    queue, conns, breakers) and one table row per session. With [prev],
+    rps is the request delta over [interval] seconds (default [1.]);
+    without it the rps column shows the cumulative total instead. *)
+
+val frames_of_jsonl : string -> (Metrics.snapshot list, string) result
+(** One JSON snapshot ({!Metrics.snapshot_of_json}) per non-empty line —
+    the replay format for deterministic tests and [secpol top --from]. *)
+
+val scrape : Daemon.address -> path:string -> (string, string) result
+(** One HTTP/1.0 GET against a daemon's metrics address; returns the
+    body on a 200, [Error] on connection failure or any other status. *)
+
+val scrape_snapshot : Daemon.address -> (Metrics.snapshot, string) result
+(** [scrape]s [/metrics] and parses it with {!Secpol_trace.Expo.parse}. *)

@@ -1,0 +1,294 @@
+(* Prometheus text exposition (render + parse) for Metrics snapshots.
+
+   The original registry name travels in a name="..." label on every
+   sample; the sanitized family name is only for Prometheus's benefit.
+   Parsing reconstructs the snapshot from the labels, which makes the
+   render/parse pair exactly inverse and QCheck-testable. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize name =
+  String.map (fun c -> if is_name_char c then c else '_') name
+
+let escape_label v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let unescape_label v =
+  let b = Buffer.create (String.length v) in
+  let n = String.length v in
+  let i = ref 0 in
+  while !i < n do
+    (if v.[!i] = '\\' && !i + 1 < n then (
+       (match v.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | '"' -> Buffer.add_char b '"'
+       | 'n' -> Buffer.add_char b '\n'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       incr i)
+     else Buffer.add_char b v.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+(* --- render ----------------------------------------------------------- *)
+
+let render ?(prefix = "secpol_") (snap : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  (* Sanitization can collide; keep emitted family names unique so every
+     [# TYPE] line is declared once. *)
+  let taken = Hashtbl.create 16 in
+  let family name =
+    let base = prefix ^ sanitize name in
+    let rec pick candidate i =
+      if Hashtbl.mem taken candidate then
+        pick (Printf.sprintf "%s_%d" base i) (i + 1)
+      else (
+        Hashtbl.add taken candidate ();
+        candidate)
+    in
+    pick base 2
+  in
+  let lbl name = Printf.sprintf "{name=\"%s\"}" (escape_label name) in
+  let simple kind name v =
+    let f = family name in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f kind);
+    Buffer.add_string buf (Printf.sprintf "%s%s %d\n" f (lbl name) v)
+  in
+  List.iter
+    (fun (name, stat) ->
+      match (stat : Metrics.stat) with
+      | Metrics.Counter c -> simple "counter" name c
+      | Metrics.Gauge g -> simple "gauge" name g
+      | Metrics.Histogram s ->
+          let f = family name in
+          let l = escape_label name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" f);
+          let cum = ref 0 in
+          List.iter
+            (fun (upper, c) ->
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{name=\"%s\",le=\"%d\"} %d\n" f l
+                   upper !cum))
+            s.Metrics.buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{name=\"%s\",le=\"+Inf\"} %d\n" f l
+               s.Metrics.n);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum{name=\"%s\"} %d\n" f l s.Metrics.sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count{name=\"%s\"} %d\n" f l s.Metrics.n);
+          (* Summary bounds as sibling gauge families, tied back to the
+             histogram by the name label. *)
+          let bound suffix v =
+            let bf = family (name ^ suffix) in
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" bf);
+            Buffer.add_string buf (Printf.sprintf "%s%s %d\n" bf (lbl name) v)
+          in
+          bound "_min" s.Metrics.min;
+          bound "_max" s.Metrics.max)
+    snap;
+  Buffer.contents buf
+
+(* --- parse ------------------------------------------------------------ *)
+
+type partial_hist = {
+  mutable pn : int;
+  mutable psum : int;
+  mutable pmin : int;
+  mutable pmax : int;
+  mutable pbuckets : (int * int) list;  (* cumulative, reverse order *)
+}
+
+type partial =
+  | PCounter of int
+  | PGauge of int
+  | PHist of partial_hist
+
+exception Parse_error of string
+
+let split_labels s =
+  (* ["k=\"v\""] pieces of a {...} label block, respecting escapes. *)
+  let out = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let eq =
+      match String.index_from_opt s !i '=' with
+      | Some e -> e
+      | None -> raise (Parse_error "label without '='")
+    in
+    let key = String.sub s !i (eq - !i) in
+    if eq + 1 >= n || s.[eq + 1] <> '"' then
+      raise (Parse_error "label value not quoted");
+    let j = ref (eq + 2) in
+    let b = Buffer.create 16 in
+    let fin = ref false in
+    while not !fin do
+      if !j >= n then raise (Parse_error "unterminated label value")
+      else if s.[!j] = '\\' && !j + 1 < n then (
+        Buffer.add_char b '\\';
+        Buffer.add_char b s.[!j + 1];
+        j := !j + 2)
+      else if s.[!j] = '"' then fin := true
+      else (
+        Buffer.add_char b s.[!j];
+        incr j)
+    done;
+    out := (key, unescape_label (Buffer.contents b)) :: !out;
+    i := !j + 1;
+    if !i < n && s.[!i] = ',' then incr i
+  done;
+  List.rev !out
+
+let parse text =
+  (* Entries keyed by the name label, in first-appearance order.
+     Histogram families from # TYPE lines tell us which samples are
+     _bucket/_sum/_count; the _min/_max gauges fold into an existing
+     histogram entry via the shared name label. *)
+  let hist_families = Hashtbl.create 16 in
+  let family_kind = Hashtbl.create 16 in
+  let entries : (string, partial) Hashtbl.t = Hashtbl.create 16 in
+  let rev_order = ref [] in
+  let get_hist name =
+    match Hashtbl.find_opt entries name with
+    | Some (PHist h) -> h
+    | Some _ -> raise (Parse_error (Printf.sprintf "%S is not a histogram" name))
+    | None ->
+        let h = { pn = 0; psum = 0; pmin = 0; pmax = 0; pbuckets = [] } in
+        Hashtbl.add entries name (PHist h);
+        rev_order := name :: !rev_order;
+        h
+  in
+  let put name p =
+    if Hashtbl.mem entries name then
+      raise (Parse_error (Printf.sprintf "duplicate series for %S" name));
+    Hashtbl.add entries name p;
+    rev_order := name :: !rev_order
+  in
+  let chop m suffix =
+    if String.length m > String.length suffix && Filename.check_suffix m suffix
+    then Some (String.sub m 0 (String.length m - String.length suffix))
+    else None
+  in
+  let sample line =
+    let brace =
+      match String.index_opt line '{' with
+      | Some b -> b
+      | None -> raise (Parse_error "sample without labels")
+    in
+    let close =
+      match String.rindex_opt line '}' with
+      | Some c when c > brace -> c
+      | _ -> raise (Parse_error "unterminated label block")
+    in
+    let metric = String.sub line 0 brace in
+    let labels = split_labels (String.sub line (brace + 1) (close - brace - 1)) in
+    let value =
+      let v = String.trim (String.sub line (close + 1) (String.length line - close - 1)) in
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> raise (Parse_error (Printf.sprintf "bad sample value %S" v))
+    in
+    let name =
+      match List.assoc_opt "name" labels with
+      | Some n -> n
+      | None -> raise (Parse_error "sample without a name label")
+    in
+    let hist_suffix =
+      List.find_map
+        (fun (suffix, role) ->
+          match chop metric suffix with
+          | Some base when Hashtbl.mem hist_families base -> Some role
+          | _ -> None)
+        [ ("_bucket", `Bucket); ("_sum", `Sum); ("_count", `Count) ]
+    in
+    match hist_suffix with
+    | Some `Bucket -> (
+        let h = get_hist name in
+        match List.assoc_opt "le" labels with
+        | Some "+Inf" -> ()
+        | Some le -> (
+            match int_of_string_opt le with
+            | Some upper -> h.pbuckets <- (upper, value) :: h.pbuckets
+            | None -> raise (Parse_error (Printf.sprintf "bad le %S" le)))
+        | None -> raise (Parse_error "bucket sample without le"))
+    | Some `Sum -> (get_hist name).psum <- value
+    | Some `Count -> (get_hist name).pn <- value
+    | None -> (
+        (* A _min/_max bound of an already-seen histogram, or a plain
+           counter/gauge sample. *)
+        match Hashtbl.find_opt entries name with
+        | Some (PHist h) ->
+            if Filename.check_suffix metric "_min" then h.pmin <- value
+            else if Filename.check_suffix metric "_max" then h.pmax <- value
+            else
+              raise
+                (Parse_error
+                   (Printf.sprintf "stray sample %S for histogram %S" metric name))
+        | Some _ -> raise (Parse_error (Printf.sprintf "duplicate series for %S" name))
+        | None -> (
+            match Hashtbl.find_opt family_kind metric with
+            | Some "counter" -> put name (PCounter value)
+            | Some "gauge" -> put name (PGauge value)
+            | Some k ->
+                raise (Parse_error (Printf.sprintf "unlabelled %s sample" k))
+            | None ->
+                raise (Parse_error (Printf.sprintf "sample for undeclared family %S" metric))))
+  in
+  let line_no = ref 0 in
+  try
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           incr line_no;
+           let line = String.trim line in
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '#' then (
+             match String.split_on_char ' ' line with
+             | [ "#"; "TYPE"; fam; kind ] ->
+                 Hashtbl.replace family_kind fam kind;
+                 if kind = "histogram" then Hashtbl.replace hist_families fam ()
+             | _ -> () (* HELP and comments: ignored *))
+           else sample line);
+    let decumulate cum =
+      (* ascending cumulative -> per-bucket counts *)
+      let rec go prev = function
+        | [] -> []
+        | (upper, c) :: rest -> (upper, c - prev) :: go c rest
+      in
+      go 0 (List.rev cum)
+    in
+    Ok
+      (List.rev_map
+         (fun name ->
+           match Hashtbl.find entries name with
+           | PCounter c -> (name, Metrics.Counter c)
+           | PGauge g -> (name, Metrics.Gauge g)
+           | PHist h ->
+               ( name,
+                 Metrics.Histogram
+                   {
+                     Metrics.n = h.pn;
+                     sum = h.psum;
+                     min = h.pmin;
+                     max = h.pmax;
+                     buckets = decumulate h.pbuckets;
+                   } ))
+         !rev_order)
+  with Parse_error msg ->
+    Error (Printf.sprintf "Expo.parse: line %d: %s" !line_no msg)

@@ -1,0 +1,24 @@
+(** Prometheus text exposition for [Metrics] snapshots.
+
+    [render] turns a point-in-time {!Metrics.snapshot} into the
+    Prometheus text format (version 0.0.4): one family per metric, a
+    [# TYPE] line each, counters and gauges as single samples, log2
+    histograms as the cumulative [_bucket{le=...}]/[_sum]/[_count]
+    convention with the summary bounds as [_min]/[_max] gauge families.
+
+    Family names are [prefix ^ sanitized-name] (characters outside
+    [[A-Za-z0-9_:]] become [_]); because sanitization can collide
+    ([a-b] and [a_b]) and registry names are richer than metric names,
+    every sample carries the exact original name in a [name="..."]
+    label, with full label-value escaping. That label is ground truth:
+    {!parse} reconstructs the snapshot from it — same names, same
+    kinds, same values, same order — so rendering is lossless and the
+    round trip is testable by QCheck. *)
+
+val render : ?prefix:string -> Metrics.snapshot -> string
+(** [prefix] defaults to ["secpol_"]. Deterministic: snapshot order is
+    family order. Ends with a trailing newline when non-empty. *)
+
+val parse : string -> (Metrics.snapshot, string) result
+(** Inverse of {!render} on its image; on other input returns [Error]
+    with a line-located message rather than raising. *)

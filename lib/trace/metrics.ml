@@ -10,7 +10,9 @@ type hist = {
   bucket_counts : int array;  (* index b counts samples with 2^b <= s < 2^(b+1); index 0 also holds 0 *)
 }
 
-type entry = C of counter | H of hist
+type gauge = { mutable g : int }
+
+type entry = C of counter | H of hist | G of gauge
 
 type t = {
   tbl : (string, entry) Hashtbl.t;
@@ -28,7 +30,8 @@ let register t name entry =
 let counter t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (C c) -> c
-  | Some (H _) -> invalid_arg (Printf.sprintf "Metrics.counter: %S is a histogram" name)
+  | Some (H _ | G _) ->
+      invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
   | None ->
       let c = { c = 0 } in
       register t name (C c);
@@ -43,14 +46,34 @@ let count c = c.c
 let counter_value t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (C c) -> c.c
-  | Some (H _) | None -> 0
+  | Some (H _ | G _) | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (G g) -> g
+  | Some (C _ | H _) ->
+      invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+  | None ->
+      let g = { g = 0 } in
+      register t name (G g);
+      g
+
+let set g v = g.g <- v
+let add g d = g.g <- g.g + d
+let gauge_read g = g.g
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (G g) -> g.g
+  | Some (C _ | H _) | None -> 0
 
 let hist_buckets = 62
 
 let histogram t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (H h) -> h
-  | Some (C _) -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is a counter" name)
+  | Some (C _ | G _) ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
   | None ->
       let h =
         { n = 0; sum = 0; min = 0; max = 0; bucket_counts = Array.make hist_buckets 0 }
@@ -111,21 +134,21 @@ let merge ~into src =
   List.iter
     (fun name ->
       match (Hashtbl.find src.tbl name, Hashtbl.find_opt into.tbl name) with
-      | C c, None -> incr ~by:c.c (counter into name)
-      | C c, Some (C _) -> incr ~by:c.c (counter into name)
-      | H h, None -> merge_hist ~into:(histogram into name) h
-      | H h, Some (H _) -> merge_hist ~into:(histogram into name) h
-      | C _, Some (H _) | H _, Some (C _) ->
+      | C c, (None | Some (C _)) -> incr ~by:c.c (counter into name)
+      | H h, (None | Some (H _)) -> merge_hist ~into:(histogram into name) h
+      | G g, (None | Some (G _)) -> add (gauge into name) g.g
+      | (C _ | H _ | G _), Some _ ->
           invalid_arg (Printf.sprintf "Metrics.merge: %S changes kind" name))
     (List.rev src.rev_order)
 
-type stat = Counter of int | Histogram of summary
+type stat = Counter of int | Gauge of int | Histogram of summary
 
 let stats t =
   List.rev_map
     (fun name ->
       match Hashtbl.find t.tbl name with
       | C c -> (name, Counter c.c)
+      | G g -> (name, Gauge g.g)
       | H h -> (name, Histogram (summary h)))
     t.rev_order
 
@@ -133,6 +156,7 @@ let find t name =
   match Hashtbl.find_opt t.tbl name with
   | None -> None
   | Some (C c) -> Some (Counter c.c)
+  | Some (G g) -> Some (Gauge g.g)
   | Some (H h) -> Some (Histogram (summary h))
 
 let pp ppf t =
@@ -143,6 +167,7 @@ let pp ppf t =
     (fun (name, stat) ->
       match stat with
       | Counter c -> Format.fprintf ppf "  %-*s %6d@," width name c
+      | Gauge g -> Format.fprintf ppf "  %-*s %6d (gauge)@," width name g
       | Histogram s ->
           if s.n = 0 then Format.fprintf ppf "  %-*s (no samples)@," width name
           else
@@ -151,26 +176,100 @@ let pp ppf t =
               (float_of_int s.sum /. float_of_int s.n))
     (stats t)
 
-let to_json t =
-  Json.Obj
-    (List.map
-       (fun (name, stat) ->
-         match stat with
-         | Counter c -> (name, Json.Int c)
-         | Histogram s ->
-             ( name,
-               Json.Obj
-                 [
-                   ("count", Json.Int s.n);
-                   ("sum", Json.Int s.sum);
-                   ("min", Json.Int s.min);
-                   ("max", Json.Int s.max);
-                   ( "buckets",
-                     Json.List
-                       (List.map
-                          (fun (upper, c) -> Json.List [ Json.Int upper; Json.Int c ])
-                          s.buckets) );
-                 ] ))
-       (stats t))
+(* --- snapshots -------------------------------------------------------- *)
 
+type snapshot = (string * stat) list
+
+let snapshot = stats
+
+let diff ~older newer =
+  let old_of name = List.assoc_opt name older in
+  List.map
+    (fun (name, stat) ->
+      match (stat, old_of name) with
+      | Counter c, Some (Counter c0) -> (name, Counter (Stdlib.max 0 (c - c0)))
+      | Histogram s, Some (Histogram s0) ->
+          let buckets =
+            List.filter_map
+              (fun (upper, c) ->
+                let c0 =
+                  match List.assoc_opt upper s0.buckets with Some c0 -> c0 | None -> 0
+                in
+                if c - c0 > 0 then Some (upper, c - c0) else None)
+              s.buckets
+          in
+          ( name,
+            Histogram
+              {
+                n = Stdlib.max 0 (s.n - s0.n);
+                sum = Stdlib.max 0 (s.sum - s0.sum);
+                min = s.min;
+                max = s.max;
+                buckets;
+              } )
+      (* Gauges are instantaneous: the newer value is the interval value.
+         Kind changes and names unknown to [older] also keep the newer
+         stat whole — a fresh series' first interval is its whole life. *)
+      | _, _ -> (name, stat))
+    newer
+
+let stat_to_json = function
+  | Counter c -> Json.Int c
+  | Gauge g -> Json.Obj [ ("gauge", Json.Int g) ]
+  | Histogram s ->
+      Json.Obj
+        [
+          ("count", Json.Int s.n);
+          ("sum", Json.Int s.sum);
+          ("min", Json.Int s.min);
+          ("max", Json.Int s.max);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (upper, c) -> Json.List [ Json.Int upper; Json.Int c ])
+                 s.buckets) );
+        ]
+
+let snapshot_to_json snap =
+  Json.Obj (List.map (fun (name, stat) -> (name, stat_to_json stat)) snap)
+
+let snapshot_of_json j =
+  let exception Bad of string in
+  let int = function Json.Int i -> i | _ -> raise (Bad "expected int") in
+  let stat_of = function
+    | Json.Int c -> Counter c
+    | Json.Obj [ ("gauge", Json.Int g) ] -> Gauge g
+    | Json.Obj fields -> (
+        let f name =
+          match List.assoc_opt name fields with
+          | Some v -> v
+          | None -> raise (Bad (Printf.sprintf "histogram missing %S" name))
+        in
+        match f "buckets" with
+        | Json.List bs ->
+            let buckets =
+              List.map
+                (function
+                  | Json.List [ u; c ] -> (int u, int c)
+                  | _ -> raise (Bad "bad bucket"))
+                bs
+            in
+            Histogram
+              {
+                n = int (f "count");
+                sum = int (f "sum");
+                min = int (f "min");
+                max = int (f "max");
+                buckets;
+              }
+        | _ -> raise (Bad "histogram buckets not a list"))
+    | _ -> raise (Bad "expected int or object")
+  in
+  match j with
+  | Json.Obj fields -> (
+      try Ok (List.map (fun (name, v) -> (name, stat_of v)) fields)
+      with Bad msg -> Error ("Metrics.snapshot_of_json: " ^ msg))
+  | _ -> Error "Metrics.snapshot_of_json: expected an object"
+
+let to_json t = snapshot_to_json (snapshot t)
 let to_json_string t = Json.render (to_json t)

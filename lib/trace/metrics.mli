@@ -1,13 +1,14 @@
-(** A small counters/histograms registry.
+(** A small counters/gauges/histograms registry.
 
     Replaces the ad-hoc mutable tallies that used to live inside
     [Fault.Sweep] and [Fault.Crash]: a registry is a named collection of
-    monotone counters and integer histograms, rendered uniformly as text
-    or JSON. Names are registered on first use and keep their
-    registration order in every rendering, so reports stay stable.
+    monotone counters, instantaneous gauges and integer histograms,
+    rendered uniformly as text or JSON. Names are registered on first
+    use and keep their registration order in every rendering, so reports
+    stay stable.
 
-    Counters and histograms share one namespace; re-registering a name
-    with the other kind raises [Invalid_argument]. *)
+    All kinds share one namespace; re-registering a name with another
+    kind raises [Invalid_argument]. *)
 
 module Json = Secpol_staticflow.Lint.Json
 
@@ -28,6 +29,25 @@ val incr : ?by:int -> counter -> unit
 val count : counter -> int
 
 val counter_value : t -> string -> int
+(** [0] if the name was never registered. *)
+
+(** {1 Gauges}
+
+    A gauge is the current value of something — queue depth, open
+    sessions, breaker state — not a monotone tally. Unlike counters it
+    may go down: [add] accepts negative deltas and [set] overwrites. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+(** Get or create (initial value [0]). *)
+
+val set : gauge -> int -> unit
+val add : gauge -> int -> unit
+
+val gauge_read : gauge -> int
+
+val gauge_value : t -> string -> int
 (** [0] if the name was never registered. *)
 
 (** {1 Histograms} *)
@@ -55,7 +75,8 @@ val summary : histogram -> summary
 (** {1 Merging} *)
 
 val merge : into:t -> t -> unit
-(** [merge ~into src] folds [src] into [into]: counters are summed,
+(** [merge ~into src] folds [src] into [into]: counters and gauges are
+    summed (a gauge shard holds its worker's share of the live total),
     histograms are combined (counts, sums, bounds and buckets). Names
     unknown to [into] are registered in [src]'s registration order after
     [into]'s existing names — so merging per-shard registries created by
@@ -66,7 +87,7 @@ val merge : into:t -> t -> unit
 
 (** {1 Rendering} *)
 
-type stat = Counter of int | Histogram of summary
+type stat = Counter of int | Gauge of int | Histogram of summary
 
 val stats : t -> (string * stat) list
 (** Registration order. *)
@@ -75,8 +96,32 @@ val find : t -> string -> stat option
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Snapshots}
+
+    A snapshot is an immutable point-in-time copy of the whole registry.
+    Every exposition (JSON, Prometheus, [secpol top]) renders a snapshot,
+    never the live registry, so a scrape cannot observe a torn state. *)
+
+type snapshot = (string * stat) list
+(** Registration order, same shape as [stats]. *)
+
+val snapshot : t -> snapshot
+
+val diff : older:snapshot -> snapshot -> snapshot
+(** Interval rates: counters and histogram counts/sums/buckets subtract
+    (clamped at 0), gauges keep the newer instantaneous value, histogram
+    [min]/[max] keep the newer (cumulative) bounds. Names present only in
+    the newer snapshot pass through whole; names that changed kind (or
+    vanished) keep the newer stat. *)
+
+val snapshot_to_json : snapshot -> Json.value
+val snapshot_of_json : Json.value -> (snapshot, string) result
+(** Inverse of [snapshot_to_json]: counters are bare ints, gauges
+    [{"gauge": int}], histograms the count/sum/min/max/buckets object. *)
+
 val to_json : t -> Json.value
-(** [{"name": int, ...}] for counters;
+(** [snapshot_to_json (snapshot t)] — [{"name": int, ...}] for counters;
+    [{"gauge": int}] for gauges;
     [{"count":_, "sum":_, "min":_, "max":_, "buckets":[[upper,count],...]}]
     for histograms. *)
 

@@ -21,9 +21,18 @@ module FReport = Secpol_fault.Report
 module Hook = Secpol_flowgraph.Hook
 module Frame = Secpol_journal.Frame
 module Metrics = Secpol_trace.Metrics
+module Expo = Secpol_trace.Expo
+module Http = Secpol_server.Http
+module Top = Secpol_server.Top
+module Json = Secpol_staticflow.Lint.Json
 
 let overload = Wire.overload_notice
 let recovery = Guard.recovery_notice
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
 
 let flip_byte s i =
   let b = Bytes.of_string s in
@@ -567,13 +576,264 @@ let test_breaker_trips_and_recovers () =
   Alcotest.(check bool) "breaker-sheds counted" true
     (Metrics.counter_value (Engine.metrics d.engine) "server/breaker-sheds"
     > 0);
-  (* past the cooldown the breaker closes and the guard runs (and
-     degrades) again *)
+  (* the dashboard reads the open breaker off the gauge *)
+  Alcotest.(check int) "breaker gauge raised" 1
+    (Metrics.gauge_value (Engine.metrics d.engine)
+       ("server/session/" ^ session_name ^ "/breaker-open"));
+  let frame = Top.render (Metrics.snapshot (Engine.metrics d.engine)) in
+  Alcotest.(check bool) "top shows the breaker OPEN" true
+    (contains frame "OPEN");
+  (* past the cooldown the breaker closes (the gauge follows) and the
+     guard runs — and degrades — again, re-tripping it *)
   d.now := !(d.now) +. 1.0;
+  settle ~rounds:1 d;
+  Alcotest.(check int) "breaker gauge lowered after cooldown" 0
+    (Metrics.gauge_value (Engine.metrics d.engine)
+       ("server/session/" ^ session_name ^ "/breaker-open"));
   enforce d ~id:3 entry a;
   settle ~rounds:5 d;
   Alcotest.(check string) "breaker closed after cooldown"
-    Guard.degraded_notice (denial_of d 3)
+    Guard.degraded_notice (denial_of d 3);
+  Alcotest.(check int) "degraded outcome re-trips the breaker" 1
+    (Metrics.gauge_value (Engine.metrics d.engine)
+       ("server/session/" ^ session_name ^ "/breaker-open"))
+
+(* --- health --------------------------------------------------------------- *)
+
+let test_engine_health () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let config =
+    { Engine.default_config with Engine.capacity = 8; exec_budget = 1 }
+  in
+  let d = driver ~config ~policy () in
+  for id = 0 to 3 do
+    enforce d ~id entry (ints [ 1; 1 ])
+  done;
+  step d;
+  let h = Engine.health d.engine ~now:!(d.now) in
+  Alcotest.(check bool) "serving is ok" true h.Engine.ok;
+  Alcotest.(check string) "status ok" "ok" h.Engine.status;
+  Alcotest.(check int) "one session" 1 h.Engine.sessions;
+  (match Json.parse (Engine.health_json h) with
+  | Ok (Json.Obj fields) -> (
+      match List.assoc_opt "ok" fields with
+      | Some (Json.Bool true) -> ()
+      | _ -> Alcotest.fail "health json lost the ok bit")
+  | Ok _ | Error _ -> Alcotest.fail "health json unparseable");
+  (* with the queue still holding work, drain is reported in progress *)
+  Engine.drain d.engine ~now:!(d.now);
+  let h = Engine.health d.engine ~now:!(d.now) in
+  Alcotest.(check bool) "draining is not ok" false h.Engine.ok;
+  Alcotest.(check string) "status draining" "draining" h.Engine.status;
+  settle d;
+  let h = Engine.health d.engine ~now:!(d.now) in
+  Alcotest.(check bool) "drained reported" true h.Engine.drained;
+  Alcotest.(check string) "status drained" "drained" h.Engine.status
+
+(* --- session verdict cache ------------------------------------------------- *)
+
+(* Replaying the input space through one session: replies stay
+   bit-identical to the clean monitor while the I-projection cache takes
+   the repeats, and the hit/miss counters land on the registry (both the
+   per-session series /metrics exposes and the aggregate). *)
+let test_session_verdict_cache () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let d = driver ~policy () in
+  let inputs =
+    Array.of_list (List.of_seq (Space.enumerate entry.Paper.space))
+  in
+  let n = Array.length inputs in
+  let rounds = 3 in
+  for rep = 0 to rounds - 1 do
+    Array.iteri (fun i a -> enforce d ~id:((rep * n) + i) entry a) inputs;
+    settle d
+  done;
+  for rep = 0 to rounds - 1 do
+    Array.iteri
+      (fun i a ->
+        let got = reply_of d ((rep * n) + i) in
+        let want = clean_reply entry ~policy a in
+        if got <> want then
+          Alcotest.failf "round %d input %d: %s, clean %s" rep i
+            (FReport.show_reply got) (FReport.show_reply want))
+      inputs
+  done;
+  let m = Engine.metrics d.engine in
+  let hits = Metrics.counter_value m "server/session-cache-hits" in
+  let misses = Metrics.counter_value m "server/session-cache-misses" in
+  Alcotest.(check bool) "repeats hit the cache" true (hits > 0);
+  Alcotest.(check int) "every request consulted the cache" (rounds * n)
+    (hits + misses);
+  Alcotest.(check int) "per-session hits match" hits
+    (Metrics.counter_value m
+       ("server/session/" ^ session_name ^ "/cache-hits"));
+  (* the cache is invisible in the disabled configuration *)
+  let d2 =
+    driver
+      ~config:{ Engine.default_config with Engine.session_cache = false }
+      ~policy ()
+  in
+  for rep = 0 to 1 do
+    Array.iteri (fun i a -> enforce d2 ~id:((rep * n) + i) entry a) inputs;
+    settle d2
+  done;
+  Alcotest.(check int) "disabled cache never hits" 0
+    (Metrics.counter_value (Engine.metrics d2.engine)
+       "server/session-cache-hits");
+  Array.iteri
+    (fun i a ->
+      let got = reply_of d2 (n + i) in
+      let want = clean_reply entry ~policy a in
+      if got <> want then
+        Alcotest.failf "uncached input %d: %s, clean %s" i
+          (FReport.show_reply got) (FReport.show_reply want))
+    inputs
+
+(* Per-session latency histograms: one sample per executed request. *)
+let test_session_latency_histogram () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let d = driver ~policy () in
+  for id = 0 to 9 do
+    enforce d ~id entry (ints [ id mod 4; 1 ])
+  done;
+  settle d;
+  let m = Engine.metrics d.engine in
+  let served = Metrics.counter_value m "server/served" in
+  Alcotest.(check int) "all served" 10 served;
+  match Metrics.find m ("server/session/" ^ session_name ^ "/latency-us") with
+  | Some (Metrics.Histogram s) ->
+      Alcotest.(check int) "one latency sample per served request" served
+        s.Metrics.n
+  | _ -> Alcotest.fail "per-session latency histogram missing"
+
+(* --- http ------------------------------------------------------------------ *)
+
+let split_response resp =
+  let n = String.length resp in
+  let rec find i =
+    if i + 3 >= n then Alcotest.fail "response has no header terminator"
+    else if String.sub resp i 4 = "\r\n\r\n" then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (String.sub resp 0 i, String.sub resp (i + 4) (n - i - 4))
+
+let content_length headers =
+  let lines = String.split_on_char '\n' headers in
+  List.fold_left
+    (fun acc line ->
+      let line = String.trim line in
+      match String.index_opt line ':' with
+      | Some i when String.lowercase_ascii (String.sub line 0 i)
+                    = "content-length" ->
+          int_of_string_opt
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | _ -> acc)
+    None lines
+
+let test_http_routes () =
+  (match Http.request_of_buffer "GET /met" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "partial request line parsed");
+  (match Http.request_of_buffer "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n" with
+  | Some { Http.meth = "GET"; target = "/metrics" } -> ()
+  | _ -> Alcotest.fail "request line not parsed");
+  let entry = Paper.find "ex7" in
+  let d = driver ~policy:(Policy.allow [ 0 ]) () in
+  enforce d ~id:0 entry (ints [ 1; 1 ]);
+  settle ~rounds:5 d;
+  let get target = Http.handle d.engine ~now:!(d.now) { Http.meth = "GET"; target } in
+  (* /metrics: 200, framed, and the body parses back to the exact registry
+     snapshot *)
+  let resp = get "/metrics" in
+  let headers, body = split_response resp in
+  Alcotest.(check bool) "metrics 200" true
+    (String.length resp > 12 && String.sub resp 0 15 = "HTTP/1.0 200 OK");
+  Alcotest.(check bool) "connection closed" true
+    (contains headers "Connection: close");
+  (match content_length headers with
+  | Some len -> Alcotest.(check int) "content-length" (String.length body) len
+  | None -> Alcotest.fail "no Content-Length");
+  (match Expo.parse body with
+  | Ok snap ->
+      Alcotest.(check bool) "scrape equals the registry snapshot" true
+        (snap = Metrics.snapshot (Engine.metrics d.engine))
+  | Error e -> Alcotest.failf "scrape unparseable: %s" e);
+  (* /healthz mirrors Engine.health *)
+  let resp = get "/healthz" in
+  let _, body = split_response resp in
+  Alcotest.(check bool) "healthz 200 while serving" true
+    (String.sub resp 0 12 = "HTTP/1.0 200");
+  Alcotest.(check string) "healthz body"
+    (Engine.health_json (Engine.health d.engine ~now:!(d.now)))
+    (String.trim body);
+  (* unknown target, wrong method *)
+  Alcotest.(check bool) "404" true
+    (String.sub (get "/nope") 0 12 = "HTTP/1.0 404");
+  Alcotest.(check bool) "405" true
+    (String.sub
+       (Http.handle d.engine ~now:!(d.now) { Http.meth = "POST"; target = "/metrics" })
+       0 12
+    = "HTTP/1.0 405");
+  (* draining flips /healthz to 503 but /metrics keeps answering *)
+  Engine.drain d.engine ~now:!(d.now);
+  Alcotest.(check bool) "healthz 503 in drain" true
+    (String.sub (get "/healthz") 0 12 = "HTTP/1.0 503");
+  Alcotest.(check bool) "metrics still served in drain" true
+    (String.sub (get "/metrics") 0 12 = "HTTP/1.0 200")
+
+(* --- top ------------------------------------------------------------------- *)
+
+let test_top_render_and_replay () =
+  let m = Metrics.create () in
+  let bump name by = Metrics.incr ~by (Metrics.counter m name) in
+  bump "server/requests" 40;
+  bump "server/granted" 30;
+  Metrics.set (Metrics.gauge m "server/queue-now") 3;
+  bump "server/session/alpha/requests" 40;
+  List.iter
+    (Metrics.observe (Metrics.histogram m "server/session/alpha/latency-us"))
+    [ 10; 20; 900 ];
+  bump "server/session/alpha/sheds" 2;
+  bump "server/session/alpha/cache-hits" 7;
+  Metrics.set (Metrics.gauge m "server/session/alpha/breaker-open") 0;
+  let s1 = Metrics.snapshot m in
+  bump "server/requests" 10;
+  bump "server/session/alpha/requests" 10;
+  bump "server/session/beta/requests" 5;
+  let s2 = Metrics.snapshot m in
+  Alcotest.(check (list string)) "sessions in first-appearance order"
+    [ "alpha"; "beta" ] (Top.sessions_of s2);
+  let total = Top.render s2 in
+  Alcotest.(check bool) "totals header" true
+    (contains total "requests 50" && contains total "queue 3");
+  Alcotest.(check bool) "cumulative column without prev" true
+    (contains total "TOTAL");
+  let rated = Top.render ~prev:s1 ~interval:2.0 s2 in
+  (* alpha gained 10 requests over 2 seconds *)
+  Alcotest.(check bool) "rps = delta / interval" true (contains rated "5.0");
+  Alcotest.(check bool) "new session appears" true (contains rated "beta");
+  (* percentiles walk the log2 buckets *)
+  (match Metrics.find m "server/session/alpha/latency-us" with
+  | Some (Metrics.Histogram s) ->
+      Alcotest.(check int) "p50 bucket bound" 31 (Top.percentile s 0.5);
+      Alcotest.(check int) "p99 bucket bound" 1023 (Top.percentile s 0.99)
+  | _ -> Alcotest.fail "alpha latency histogram missing");
+  (* the replay path feeds the same renderer *)
+  let jsonl =
+    Json.render (Metrics.snapshot_to_json s1)
+    ^ "\n"
+    ^ Json.render (Metrics.snapshot_to_json s2)
+    ^ "\n"
+  in
+  match Top.frames_of_jsonl jsonl with
+  | Ok [ r1; r2 ] ->
+      Alcotest.(check bool) "frames round-trip" true (r1 = s1 && r2 = s2)
+  | Ok fs -> Alcotest.failf "expected 2 frames, got %d" (List.length fs)
+  | Error e -> Alcotest.failf "replay: %s" e
 
 (* --- loadgen -------------------------------------------------------------- *)
 
@@ -587,6 +847,19 @@ let test_loadgen_engine () =
     (r.Loadgen.granted + r.Loadgen.denied + r.Loadgen.overloads);
   Alcotest.(check int) "no fail-open" 0 r.Loadgen.fail_open;
   Alcotest.(check bool) "made progress" true (r.Loadgen.rps > 0.)
+
+(* Running loadgen with the simulated scraper in the loop changes
+   nothing about the replies — observability must not perturb verdicts. *)
+let test_loadgen_scrape_parity () =
+  let entry = Paper.find "ex7" in
+  let r =
+    Loadgen.run_engine ~requests:2000 ~window:32 ~scrape_hz:200. ~entry
+      ~policy:(Policy.allow [ 0 ]) ()
+  in
+  Alcotest.(check int) "all requests tallied" 2000
+    (r.Loadgen.granted + r.Loadgen.denied + r.Loadgen.overloads);
+  Alcotest.(check int) "no fail-open with scraping on" 0 r.Loadgen.fail_open;
+  Alcotest.(check bool) "the scraper actually ran" true (r.Loadgen.scrapes > 0)
 
 (* --- chaos ---------------------------------------------------------------- *)
 
@@ -650,6 +923,96 @@ let test_daemon_socket_smoke () =
       | `Ok -> ()
       | `Err m -> Alcotest.failf "daemon raised: %s" m)
 
+(* The observability plane on a real daemon: /healthz answers ok,
+   /metrics scrapes to a snapshot carrying the advertised series, and the
+   plane goes down with the daemon after drain. *)
+let test_daemon_metrics_plane () =
+  let tmp = Filename.get_temp_dir_name () in
+  let path =
+    Filename.concat tmp (Printf.sprintf "secpol-mp-%d.sock" (Unix.getpid ()))
+  in
+  let mpath =
+    Filename.concat tmp (Printf.sprintf "secpol-mp-%d-m.sock" (Unix.getpid ()))
+  in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; mpath ];
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let maddr = Daemon.Unix_path mpath in
+  let dom =
+    Domain.spawn (fun () ->
+        try
+          Daemon.serve ~signals:false ~metrics_address:maddr
+            (Daemon.Unix_path path);
+          `Ok
+        with e -> `Err (Printexc.to_string e))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; mpath ])
+    (fun () ->
+      let c = Client.connect ~retries:50 (Daemon.Unix_path path) in
+      let spec = Loadgen.session_spec ~session:"smoke" ~policy () in
+      (match Client.open_session c spec with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "session refused: %s" m);
+      Seq.iteri
+        (fun id a ->
+          match
+            Client.enforce c ~session:"smoke" ~request_id:id ~program:"ex7" a
+          with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "enforce refused: %s" m)
+        (Space.enumerate entry.Paper.space);
+      let rec scrape_ok what path retries =
+        match Top.scrape maddr ~path with
+        | Ok body -> body
+        | Error _ when retries > 0 ->
+            Unix.sleepf 0.05;
+            scrape_ok what path (retries - 1)
+        | Error m -> Alcotest.failf "%s: %s" what m
+      in
+      let health = scrape_ok "healthz" "/healthz" 50 in
+      Alcotest.(check bool) "healthz reports ok" true
+        (contains health "\"ok\":true");
+      (match Top.scrape_snapshot maddr with
+      | Error m -> Alcotest.failf "metrics scrape: %s" m
+      | Ok snap ->
+          let served =
+            match List.assoc_opt "server/served" snap with
+            | Some (Metrics.Counter c) -> c
+            | _ -> 0
+          in
+          Alcotest.(check bool) "served counter over the wire" true
+            (served > 0);
+          List.iter
+            (fun name ->
+              if not (List.mem_assoc name snap) then
+                Alcotest.failf "required series %s missing" name)
+            [
+              "server/requests";
+              "server/open-sessions";
+              "server/queue-now";
+              "server/session/smoke/requests";
+              "server/session/smoke/latency-us";
+              "server/session/smoke/cache-hits";
+            ];
+          Alcotest.(check bool) "top sees the session" true
+            (List.mem "smoke" (Top.sessions_of snap)));
+      (match Client.drain c with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "drain refused: %s" m);
+      Client.close c;
+      (match Domain.join dom with
+      | `Ok -> ()
+      | `Err m -> Alcotest.failf "daemon raised: %s" m);
+      match Top.scrape maddr ~path:"/healthz" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "metrics plane survived the daemon")
+
 let () =
   Alcotest.run "server"
     [
@@ -673,11 +1036,28 @@ let () =
             test_kill_restart_resume;
           Alcotest.test_case "circuit-breaker" `Quick
             test_breaker_trips_and_recovers;
+          Alcotest.test_case "health" `Quick test_engine_health;
+          Alcotest.test_case "session-verdict-cache" `Quick
+            test_session_verdict_cache;
+          Alcotest.test_case "latency-histogram" `Quick
+            test_session_latency_histogram;
         ] );
-      ("loadgen", [ Alcotest.test_case "engine" `Quick test_loadgen_engine ]);
+      ( "observability",
+        [
+          Alcotest.test_case "http-routes" `Quick test_http_routes;
+          Alcotest.test_case "top-render-and-replay" `Quick
+            test_top_render_and_replay;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "engine" `Quick test_loadgen_engine;
+          Alcotest.test_case "scrape-parity" `Quick test_loadgen_scrape_parity;
+        ] );
       ( "chaos",
         [ Alcotest.test_case "jobs-parity" `Quick test_chaos_jobs_parity ] );
       ( "daemon",
-        [ Alcotest.test_case "socket-smoke" `Quick test_daemon_socket_smoke ]
-      );
+        [
+          Alcotest.test_case "socket-smoke" `Quick test_daemon_socket_smoke;
+          Alcotest.test_case "metrics-plane" `Quick test_daemon_metrics_plane;
+        ] );
     ]

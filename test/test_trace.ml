@@ -341,6 +341,198 @@ let test_metrics_registry () =
         (List.for_all (fun k -> List.mem_assoc k fields) [ "alpha"; "lat"; "beta" ])
   | Ok _ | Error _ -> Alcotest.fail "metrics JSON unparseable"
 
+let test_metrics_gauges () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "depth" in
+  Alcotest.(check int) "initial" 0 (Metrics.gauge_read g);
+  Metrics.set g 7;
+  Alcotest.(check int) "set" 7 (Metrics.gauge_read g);
+  Metrics.add g 5;
+  Metrics.add g (-10);
+  Alcotest.(check int) "add goes down" 2 (Metrics.gauge_read g);
+  Metrics.add g (-5);
+  Alcotest.(check int) "may go negative" (-3) (Metrics.gauge_read g);
+  Alcotest.(check int) "gauge_value by name" (-3) (Metrics.gauge_value m "depth");
+  Alcotest.(check int) "absent gauge reads 0" 0 (Metrics.gauge_value m "nope");
+  expect_invalid "gauge/counter kind clash" (fun () -> Metrics.counter m "depth");
+  expect_invalid "gauge/histogram kind clash" (fun () ->
+      Metrics.histogram m "depth");
+  expect_invalid "counter/gauge kind clash" (fun () ->
+      let _ = Metrics.counter m "c" in
+      Metrics.gauge m "c");
+  (* Snapshot JSON keeps the gauge shape and round-trips exactly. *)
+  let snap = Metrics.snapshot m in
+  (match Metrics.snapshot_of_json (Metrics.snapshot_to_json snap) with
+  | Ok back ->
+      Alcotest.(check bool) "snapshot json round-trip" true (back = snap)
+  | Error e -> Alcotest.fail ("snapshot json: " ^ e));
+  match Metrics.find m "depth" with
+  | Some (Metrics.Gauge (-3)) -> ()
+  | _ -> Alcotest.fail "find did not report the gauge"
+
+let test_metrics_merge () =
+  let mk fill =
+    let m = Metrics.create () in
+    fill m;
+    m
+  in
+  let into =
+    mk (fun m ->
+        Metrics.incr ~by:3 (Metrics.counter m "c");
+        Metrics.set (Metrics.gauge m "g") 5;
+        List.iter (Metrics.observe (Metrics.histogram m "h")) [ 1; 4 ])
+  in
+  let src =
+    mk (fun m ->
+        Metrics.incr ~by:2 (Metrics.counter m "c");
+        Metrics.set (Metrics.gauge m "g") (-1);
+        List.iter (Metrics.observe (Metrics.histogram m "h")) [ 4; 100 ];
+        Metrics.incr (Metrics.counter m "only-src"))
+  in
+  Metrics.merge ~into src;
+  Alcotest.(check int) "counters sum" 5 (Metrics.counter_value into "c");
+  Alcotest.(check int) "gauges sum" 4 (Metrics.gauge_value into "g");
+  Alcotest.(check int) "new names registered" 1
+    (Metrics.counter_value into "only-src");
+  (match Metrics.find into "h" with
+  | Some (Metrics.Histogram s) ->
+      Alcotest.(check int) "hist n" 4 s.Metrics.n;
+      Alcotest.(check int) "hist sum" 109 s.Metrics.sum;
+      Alcotest.(check int) "hist min" 1 s.Metrics.min;
+      Alcotest.(check int) "hist max" 100 s.Metrics.max
+  | _ -> Alcotest.fail "merged histogram missing");
+  (* Kind conflicts refuse to merge, whichever pair collides. *)
+  let clash fill_into fill_src =
+    let into = mk fill_into and src = mk fill_src in
+    expect_invalid "merge kind clash" (fun () -> Metrics.merge ~into src)
+  in
+  clash
+    (fun m -> ignore (Metrics.counter m "x"))
+    (fun m -> ignore (Metrics.gauge m "x"));
+  clash
+    (fun m -> ignore (Metrics.gauge m "x"))
+    (fun m -> ignore (Metrics.histogram m "x"));
+  clash
+    (fun m -> ignore (Metrics.histogram m "x"))
+    (fun m -> ignore (Metrics.counter m "x"))
+
+let test_metrics_boundaries () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "edge" in
+  Metrics.observe h 0;
+  Metrics.observe h 1;
+  Metrics.observe h max_int;
+  match Metrics.summary h with
+  | s ->
+      Alcotest.(check int) "n" 3 s.Metrics.n;
+      Alcotest.(check int) "min" 0 s.Metrics.min;
+      Alcotest.(check int) "max" max_int s.Metrics.max;
+      (* 0 and 1 share the first bucket (upper bound 1); max_int lands in
+         the last bucket, whose upper bound is max_int itself — no
+         overflow into a negative bound. *)
+      (match s.Metrics.buckets with
+      | [ (1, 2); (upper, 1) ] ->
+          Alcotest.(check int) "last bucket bound" max_int upper
+      | _ -> Alcotest.fail "unexpected bucket shape");
+      Alcotest.(check bool) "bounds ascend" true
+        (let uppers = List.map fst s.Metrics.buckets in
+         List.sort compare uppers = uppers)
+
+let test_metrics_diff () =
+  let older =
+    [
+      ("c", Metrics.Counter 10);
+      ("g", Metrics.Gauge 9);
+      ("h", Metrics.Histogram
+          { Metrics.n = 2; sum = 5; min = 1; max = 4; buckets = [ (1, 1); (7, 1) ] });
+      ("gone-backwards", Metrics.Counter 100);
+    ]
+  in
+  let newer =
+    [
+      ("c", Metrics.Counter 15);
+      ("g", Metrics.Gauge 2);
+      ("h", Metrics.Histogram
+          { Metrics.n = 5; sum = 25; min = 1; max = 16; buckets = [ (1, 1); (7, 2); (31, 2) ] });
+      ("gone-backwards", Metrics.Counter 40);
+      ("fresh", Metrics.Counter 3);
+    ]
+  in
+  match Metrics.diff ~older newer with
+  | [
+      ("c", Metrics.Counter 5);
+      ("g", Metrics.Gauge 2);
+      ("h", Metrics.Histogram hs);
+      ("gone-backwards", Metrics.Counter 0);
+      ("fresh", Metrics.Counter 3);
+    ] ->
+      Alcotest.(check int) "interval n" 3 hs.Metrics.n;
+      Alcotest.(check int) "interval sum" 20 hs.Metrics.sum;
+      Alcotest.(check int) "cumulative max kept" 16 hs.Metrics.max;
+      Alcotest.(check bool) "zero buckets dropped" true
+        (hs.Metrics.buckets = [ (7, 1); (31, 2) ])
+  | d ->
+      Alcotest.failf "diff shape unexpected (%d entries)" (List.length d)
+
+(* --- Prometheus exposition round-trip ------------------------------------ *)
+
+(* Registry names are arbitrary strings — slashes, quotes, backslashes,
+   newlines, unicode — while Prometheus family names are [A-Za-z0-9_:].
+   The renderer must carry the exact name through the name="..." label
+   whatever we throw at it. *)
+let gen_metric_name =
+  QCheck.Gen.(
+    string_size ~gen:
+      (frequency
+         [
+           (6, char_range 'a' 'z');
+           (2, oneofl [ '/'; '-'; '_'; ':' ]);
+           (2, oneofl [ '"'; '\\'; '\n'; ' '; '{'; '}'; ','; '='; '\xce'; '\x9b' ]);
+         ])
+      (int_range 1 18))
+
+let gen_snapshot_ops =
+  QCheck.Gen.(
+    list_size (int_bound 10)
+      (triple gen_metric_name (int_bound 2)
+         (list_size (int_bound 6) (frequency [ (5, int_bound 1000); (1, return 0); (1, return max_int) ]))))
+
+(* Build a real registry from the generated ops (first kind wins for a
+   repeated name, matching registry semantics) and snapshot it. *)
+let snapshot_of_ops ops =
+  let m = Metrics.create () in
+  List.iter
+    (fun (name, kind, samples) ->
+      match Metrics.find m name with
+      | Some _ -> ()
+      | None -> (
+          match kind with
+          | 0 ->
+              Metrics.incr ~by:(List.fold_left ( + ) 0 (List.map (fun s -> s land 0xff) samples))
+                (Metrics.counter m name)
+          | 1 ->
+              Metrics.set (Metrics.gauge m name)
+                (List.fold_left ( - ) 17 (List.map (fun s -> s land 0xffff) samples))
+          | _ -> List.iter (Metrics.observe (Metrics.histogram m name)) samples))
+    ops;
+  Metrics.snapshot m
+
+let snapshot_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      Secpol_trace.Expo.render (snapshot_of_ops ops))
+    gen_snapshot_ops
+
+let expo_roundtrip ops =
+  let snap = snapshot_of_ops ops in
+  let text = Secpol_trace.Expo.render snap in
+  (* Deterministic: same snapshot, same bytes. *)
+  if text <> Secpol_trace.Expo.render snap then false
+  else
+    match Secpol_trace.Expo.parse text with
+    | Ok back -> back = snap
+    | Error _ -> false
+
 (* --- bit-identity across the corpus -------------------------------------- *)
 
 (* Tracing must be invisible: on every corpus entry, mode, and input, a
@@ -662,7 +854,14 @@ let () =
           Alcotest.test_case "chrome file sink" `Quick test_chrome_file_sink;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "gauges" `Quick test_metrics_gauges;
+          Alcotest.test_case "merge and kind conflicts" `Quick test_metrics_merge;
+          Alcotest.test_case "histogram boundaries" `Quick test_metrics_boundaries;
+          Alcotest.test_case "snapshot diff" `Quick test_metrics_diff;
+          qtest "prometheus round-trip" snapshot_arb expo_roundtrip;
+        ] );
       ( "invisibility",
         [
           Alcotest.test_case "traced replies = un-traced replies" `Quick
