@@ -1,4 +1,5 @@
-(** A domain-safe verdict cache with compute-once semantics.
+(** A domain-safe verdict cache with compute-once semantics and an
+    optional LRU bound.
 
     Keys are [(digest, tag, projection)]: the MD5 digest of the program,
     a caller-built configuration fingerprint (mode, fuel, policy, ...),
@@ -12,7 +13,15 @@
     misses always equal the number of distinct keys requested and hits the
     remaining lookups, independent of how domains are scheduled — so the
     counters can appear in reports that promise byte-identical output
-    across [--jobs]. *)
+    across [--jobs].
+
+    {b Bounding}: with [~capacity] the cache holds at most that many
+    settled verdicts and evicts the least recently used one on overflow
+    (an in-flight computation is never evicted). Eviction only forgets —
+    a later request recomputes and re-inserts — so a bounded cache stays
+    sound; callers fed attacker-chosen keys (the per-session verdict
+    cache of [Server.Session]) must bound, while exhaustive drivers over
+    a finite space ({!Memo}, the certifier) may stay unbounded. *)
 
 type t
 
@@ -23,7 +32,10 @@ type key = {
       (** what the cached verdict is a function of *)
 }
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [create ()] is unbounded; [create ~capacity ()] keeps at most
+    [capacity] settled verdicts, LRU-evicted.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val find_or_compute :
   t -> key -> (unit -> Secpol_core.Mechanism.reply) -> Secpol_core.Mechanism.reply
@@ -46,5 +58,8 @@ val hits : t -> int
 
 val misses : t -> int
 (** Completed first-computations plus {!find} lookups that missed. *)
+
+val evictions : t -> int
+(** Verdicts dropped by the LRU bound; always [0] when unbounded. *)
 
 val size : t -> int

@@ -49,9 +49,36 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
+(* Bounded best-effort send for the metrics plane: the fd is switched to
+   non-blocking and given at most [budget] seconds of short write/select
+   rounds. A scraper that stops reading loses its response; it can never
+   stall the enforcement loop. Returns whether everything was written. *)
+let write_within ~now ~budget fd s =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  let deadline = now () +. budget in
+  let n = String.length s in
+  let off = ref 0 in
+  let give_up = ref false in
+  while !off < n && not !give_up do
+    match Unix.write_substring fd s !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if now () >= deadline then give_up := true
+        else begin
+          match Unix.select [] [ fd ] [] (min 0.05 budget) with
+          | _, [], _ -> if now () >= deadline then give_up := true
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> give_up := true
+  done;
+  !off = n
+
 let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
     ?(signals = true) ?(ready = fun _ -> ()) ?(should_stop = fun () -> false)
-    ?metrics_address ?(metrics_ready = fun _ -> ()) address =
+    ?metrics_address ?(metrics_ready = fun _ -> ()) ?(http_deadline = 2.0)
+    address =
   let store = match store with Some s -> s | None -> Store.memory () in
   let now = clock () in
   let engine = Engine.create ?config ~sink ?metrics ~store ~now:(now ()) () in
@@ -67,7 +94,11 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
         (Some fd, Some b)
   in
   let conns : (Unix.file_descr, int) Hashtbl.t = Hashtbl.create 16 in
-  let http_conns : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  (* request buffer + accept instant: a scraper gets [http_deadline]
+     seconds to deliver its request line before the fd is reclaimed. *)
+  let http_conns : (Unix.file_descr, Buffer.t * float) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let drain_requested = ref false in
   let old_handlers = ref [] in
   if signals then begin
@@ -97,11 +128,13 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
     Hashtbl.remove http_conns fd;
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
-  (* One shot: read until the request line is in, answer, close. *)
+  (* One shot: read until the request line is in, answer, close. The
+     response write is itself bounded — a scraper that stops reading is
+     cut off, never the loop. *)
   let read_http fd =
     match Hashtbl.find_opt http_conns fd with
     | None -> ()
-    | Some b -> (
+    | Some (b, _) -> (
         match Unix.read fd buf 0 (Bytes.length buf) with
         | 0 -> drop_http fd
         | n -> (
@@ -112,12 +145,21 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
               | None -> ()
               | Some req ->
                   let resp = Http.handle engine ~now:(now ()) req in
-                  (try write_all fd resp 0 (String.length resp)
-                   with Unix.Unix_error _ -> ());
+                  ignore (write_within ~now ~budget:http_deadline fd resp);
                   drop_http fd)
         | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
             drop_http fd
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  in
+  (* Reclaim scraper fds that never produced a full request line. *)
+  let expire_http t_now =
+    let stale =
+      Hashtbl.fold
+        (fun fd (_, since) acc ->
+          if t_now -. since > http_deadline then fd :: acc else acc)
+        http_conns []
+    in
+    List.iter drop_http stale
   in
   let read_conn fd =
     match Hashtbl.find_opt conns fd with
@@ -178,11 +220,13 @@ let serve ?config ?(sink = Sink.null) ?metrics ?store ?(poll = 0.05)
              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
            else if Some fd = mfd then (
              match Unix.accept fd with
-             | cfd, _ -> Hashtbl.replace http_conns cfd (Buffer.create 256)
+             | cfd, _ ->
+                 Hashtbl.replace http_conns cfd (Buffer.create 256, now ())
              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
            else if Hashtbl.mem http_conns fd then read_http fd
            else read_conn fd)
          readable;
+       expire_http (now ());
        Engine.step engine ~now:(now ());
        List.iter flush_conn (Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []);
        if Engine.drained engine || should_stop () then running := false

@@ -31,6 +31,7 @@ val serve :
   ?should_stop:(unit -> bool) ->
   ?metrics_address:address ->
   ?metrics_ready:(address -> unit) ->
+  ?http_deadline:float ->
   address ->
   unit
 (** Bind, listen, serve until drained. [store] defaults to a fresh
@@ -50,6 +51,11 @@ val serve :
     request per connection, HTTP/1.0, close after answering — see
     {!Http}. [metrics_ready] receives its bound address. The socket
     keeps answering through drain (that is when an operator most wants
-    it) and closes when the daemon exits.
+    it) and closes when the daemon exits. The plane cannot hold the
+    loop hostage: a connection gets [http_deadline] seconds (default
+    [2.0]) to deliver its request line before the fd is reclaimed, and
+    the response write is non-blocking with the same budget, so a
+    scraper that connects and goes silent — or stops reading — is cut
+    off, never enforcement.
 
     @raise Unix.Unix_error if an address cannot be bound. *)

@@ -1,6 +1,7 @@
 module Mechanism = Secpol_core.Mechanism
 module Policy = Secpol_core.Policy
 module Soundness = Secpol_core.Soundness
+module Space = Secpol_core.Space
 module Value = Secpol_core.Value
 module Dynamic = Secpol_taint.Dynamic
 module Graph = Secpol_flowgraph.Graph
@@ -31,6 +32,7 @@ type config = {
   breaker_cooldown : float;
   snapshot_every : int;
   session_cache : bool;
+  ikey_space_limit : int;
   hook : Hook.t;
 }
 
@@ -47,6 +49,7 @@ let default_config =
     breaker_cooldown = 0.5;
     snapshot_every = Runner.default_snapshot_every;
     session_cache = true;
+    ikey_space_limit = 4096;
     hook = Hook.none;
   }
 
@@ -268,7 +271,13 @@ let mech_key session program = session ^ "\x00" ^ program
    proof is the exhaustive Soundness check over the program's corpus
    space, run once per (session, program) on the clean mechanism; when it
    fails (or no space is known) the key falls back to the full input
-   vector, which is sound for any mechanism. *)
+   vector, which is sound for any mechanism.
+
+   The proof runs synchronously on the serving loop, so it is bounded:
+   a space larger than [ikey_space_limit] (or whose size overflows) is
+   never enumerated on the request path — the session simply keys on
+   exact inputs, which costs cache density, never correctness or
+   latency. *)
 let ikey_strategy t (session : Session.t) program g =
   let key = mech_key (Session.name session) program in
   match Hashtbl.find_opt t.ikeys key with
@@ -278,21 +287,45 @@ let ikey_strategy t (session : Session.t) program g =
         match Hashtbl.find_opt t.spaces program with
         | None -> false
         | Some space ->
-            let policy = Session.policy session in
-            let m =
-              Dynamic.mechanism
-                (Dynamic.config ~fuel:session.Session.spec.Wire.fuel
-                   ~mode:session.Session.spec.Wire.mode policy)
-                g
+            let provable =
+              match Space.size space with
+              | n -> n <= t.cfg.ikey_space_limit
+              | exception Invalid_argument _ -> false
             in
-            Soundness.is_sound ~config:Soundness.timed policy m space
+            if not provable then begin
+              bump t "server/cache-ikey-skips";
+              false
+            end
+            else
+              let policy = Session.policy session in
+              let m =
+                Dynamic.mechanism
+                  (Dynamic.config ~fuel:session.Session.spec.Wire.fuel
+                     ~mode:session.Session.spec.Wire.mode policy)
+                  g
+              in
+              Soundness.is_sound ~config:Soundness.timed policy m space
       in
       Hashtbl.add t.ikeys key b;
       bump t (if b then "server/cache-ikeys" else "server/cache-exact-keys");
       b
 
 let cache_key t (session : Session.t) program g inputs =
-  let ikey = ikey_strategy t session program g in
+  (* The soundness proof quantifies over the corpus space only, so the
+     I-projection covers exactly the inputs in that space. An arbitrary
+     wire input outside it must key on the full vector: its Policy.image
+     may collide with an in-space input's class, and replaying that
+     class's cached verdict for it is exactly the enforcement hole the
+     proof does not rule out. *)
+  let ikey =
+    ikey_strategy t session program g
+    &&
+    match Hashtbl.find_opt t.spaces program with
+    | Some space when Space.mem space inputs -> true
+    | _ ->
+        bump t "server/cache-out-of-space";
+        false
+  in
   let projection =
     if ikey then Policy.image (Session.policy session) inputs
     else Value.tuple (Array.to_list inputs)
@@ -334,7 +367,8 @@ let sync_cache_counters t (session : Session.t) =
     end
   in
   sync "cache-hits" (Cache.hits session.Session.cache);
-  sync "cache-misses" (Cache.misses session.Session.cache)
+  sync "cache-misses" (Cache.misses session.Session.cache);
+  sync "cache-evictions" (Cache.evictions session.Session.cache)
 
 let shed t (e : work Admission.entry) reason =
   push t e.Admission.conn

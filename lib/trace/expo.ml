@@ -47,22 +47,29 @@ let unescape_label v =
 
 (* --- render ----------------------------------------------------------- *)
 
+let hist_suffixes = [ "_bucket"; "_sum"; "_count" ]
+
 let render ?(prefix = "secpol_") (snap : Metrics.snapshot) =
   let buf = Buffer.create 1024 in
   (* Sanitization can collide; keep emitted family names unique so every
-     [# TYPE] line is declared once. *)
+     [# TYPE] line is declared once. A histogram additionally reserves
+     its implicit [_bucket]/[_sum]/[_count] sample names, so no later
+     family (and no earlier one — the reservation is checked both ways)
+     can shadow them with a [# TYPE] of its own. *)
   let taken = Hashtbl.create 16 in
-  let family name =
+  let family_reserving siblings name =
     let base = prefix ^ sanitize name in
     let rec pick candidate i =
-      if Hashtbl.mem taken candidate then
-        pick (Printf.sprintf "%s_%d" base i) (i + 1)
+      if List.exists (fun s -> Hashtbl.mem taken (candidate ^ s)) ("" :: siblings)
+      then pick (Printf.sprintf "%s_%d" base i) (i + 1)
       else (
-        Hashtbl.add taken candidate ();
+        List.iter (fun s -> Hashtbl.add taken (candidate ^ s) ()) ("" :: siblings);
         candidate)
     in
     pick base 2
   in
+  let family = family_reserving [] in
+  let hist_family = family_reserving hist_suffixes in
   let lbl name = Printf.sprintf "{name=\"%s\"}" (escape_label name) in
   let simple kind name v =
     let f = family name in
@@ -75,7 +82,7 @@ let render ?(prefix = "secpol_") (snap : Metrics.snapshot) =
       | Metrics.Counter c -> simple "counter" name c
       | Metrics.Gauge g -> simple "gauge" name g
       | Metrics.Histogram s ->
-          let f = family name in
+          let f = hist_family name in
           let l = escape_label name in
           Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" f);
           let cum = ref 0 in
@@ -186,6 +193,16 @@ let parse text =
     then Some (String.sub m 0 (String.length m - String.length suffix))
     else None
   in
+  (* Collision renaming appends [_<n>] to a family ([render]'s [pick]);
+     strip one such group so suffix classification sees the base name. *)
+  let strip_collision_suffix m =
+    let n = String.length m in
+    let i = ref (n - 1) in
+    while !i >= 0 && m.[!i] >= '0' && m.[!i] <= '9' do
+      decr i
+    done;
+    if !i >= 0 && !i < n - 1 && m.[!i] = '_' then String.sub m 0 !i else m
+  in
   let sample line =
     let brace =
       match String.index_opt line '{' with
@@ -210,46 +227,60 @@ let parse text =
       | Some n -> n
       | None -> raise (Parse_error "sample without a name label")
     in
-    let hist_suffix =
-      List.find_map
-        (fun (suffix, role) ->
-          match chop metric suffix with
-          | Some base when Hashtbl.mem hist_families base -> Some role
-          | _ -> None)
-        [ ("_bucket", `Bucket); ("_sum", `Sum); ("_count", `Count) ]
-    in
-    match hist_suffix with
-    | Some `Bucket -> (
-        let h = get_hist name in
-        match List.assoc_opt "le" labels with
-        | Some "+Inf" -> ()
-        | Some le -> (
-            match int_of_string_opt le with
-            | Some upper -> h.pbuckets <- (upper, value) :: h.pbuckets
-            | None -> raise (Parse_error (Printf.sprintf "bad le %S" le)))
-        | None -> raise (Parse_error "bucket sample without le"))
-    | Some `Sum -> (get_hist name).psum <- value
-    | Some `Count -> (get_hist name).pn <- value
-    | None -> (
-        (* A _min/_max bound of an already-seen histogram, or a plain
-           counter/gauge sample. *)
+    (* Route by the emitting family's own [# TYPE] first: every family
+       [render] registers gets one, and the histogram sibling samples
+       ([_bucket]/[_sum]/[_count]) are exactly the undeclared metrics.
+       Suffix matching alone would misroute collision-renamed families
+       (a gauge registered as [h_min] before histogram [h] pushes the
+       histogram's real min bound to [..._min_2]). *)
+    match Hashtbl.find_opt family_kind metric with
+    | Some "counter" -> (
+        match Hashtbl.find_opt entries name with
+        | Some _ ->
+            raise (Parse_error (Printf.sprintf "duplicate series for %S" name))
+        | None -> put name (PCounter value))
+    | Some "gauge" -> (
         match Hashtbl.find_opt entries name with
         | Some (PHist h) ->
-            if Filename.check_suffix metric "_min" then h.pmin <- value
-            else if Filename.check_suffix metric "_max" then h.pmax <- value
+            (* The min/max bound of an already-seen histogram, tied back
+               by the shared name label; the gauge family may carry a
+               collision suffix on top of [_min]/[_max]. *)
+            let stem = strip_collision_suffix metric in
+            if Filename.check_suffix stem "_min" then h.pmin <- value
+            else if Filename.check_suffix stem "_max" then h.pmax <- value
             else
               raise
                 (Parse_error
                    (Printf.sprintf "stray sample %S for histogram %S" metric name))
-        | Some _ -> raise (Parse_error (Printf.sprintf "duplicate series for %S" name))
-        | None -> (
-            match Hashtbl.find_opt family_kind metric with
-            | Some "counter" -> put name (PCounter value)
-            | Some "gauge" -> put name (PGauge value)
-            | Some k ->
-                raise (Parse_error (Printf.sprintf "unlabelled %s sample" k))
-            | None ->
-                raise (Parse_error (Printf.sprintf "sample for undeclared family %S" metric))))
+        | Some _ ->
+            raise (Parse_error (Printf.sprintf "duplicate series for %S" name))
+        | None -> put name (PGauge value))
+    | Some k -> raise (Parse_error (Printf.sprintf "unlabelled %s sample" k))
+    | None -> (
+        let hist_suffix =
+          List.find_map
+            (fun (suffix, role) ->
+              match chop metric suffix with
+              | Some base when Hashtbl.mem hist_families base -> Some role
+              | _ -> None)
+            [ ("_bucket", `Bucket); ("_sum", `Sum); ("_count", `Count) ]
+        in
+        match hist_suffix with
+        | Some `Bucket -> (
+            let h = get_hist name in
+            match List.assoc_opt "le" labels with
+            | Some "+Inf" -> ()
+            | Some le -> (
+                match int_of_string_opt le with
+                | Some upper -> h.pbuckets <- (upper, value) :: h.pbuckets
+                | None -> raise (Parse_error (Printf.sprintf "bad le %S" le)))
+            | None -> raise (Parse_error "bucket sample without le"))
+        | Some `Sum -> (get_hist name).psum <- value
+        | Some `Count -> (get_hist name).pn <- value
+        | None ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "sample for undeclared family %S" metric)))
   in
   let line_no = ref 0 in
   try

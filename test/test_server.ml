@@ -691,6 +691,76 @@ let test_session_verdict_cache () =
           (FReport.show_reply got) (FReport.show_reply want))
     inputs
 
+(* The I-projection soundness proof quantifies over the corpus space
+   only: a wire input outside it must fall back to the exact key even
+   when its Policy.image collides with a proven in-space class —
+   replaying that class's cached verdict for it would be an enforcement
+   hole the proof never ruled out. *)
+let test_session_cache_out_of_space () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let d = driver ~policy () in
+  let inside = ints [ 2; 1 ] in
+  (* Same image under allow [0] (coordinate 0 is 2), outside the 0..3
+     corpus space on coordinate 1. *)
+  let outside = ints [ 2; 9 ] in
+  enforce d ~id:0 entry inside;
+  settle d;
+  enforce d ~id:1 entry outside;
+  settle d;
+  enforce d ~id:2 entry outside;
+  settle d;
+  let m = Engine.metrics d.engine in
+  Alcotest.(check int) "the proof ran and passed" 1
+    (Metrics.counter_value m "server/cache-ikeys");
+  Alcotest.(check int) "out-of-space requests counted" 2
+    (Metrics.counter_value m "server/cache-out-of-space");
+  List.iter
+    (fun (id, a) ->
+      let got = reply_of d id in
+      let want = clean_reply entry ~policy a in
+      if got <> want then
+        Alcotest.failf "request %d: %s, clean %s" id (FReport.show_reply got)
+          (FReport.show_reply want))
+    [ (0, inside); (1, outside); (2, outside) ];
+  (* The exact-key fallback still caches: the repeat was a hit. *)
+  Alcotest.(check bool) "repeat of the out-of-space input hits" true
+    (Metrics.counter_value m "server/session-cache-hits" > 0)
+
+(* A space over the proof budget is never enumerated on the serving
+   loop: the session keys on exact inputs, which still cache — only the
+   I-collapse is lost. *)
+let test_session_cache_space_limit () =
+  let entry = Paper.find "ex7" in
+  let policy = Policy.allow [ 0 ] in
+  let config = { Engine.default_config with Engine.ikey_space_limit = 0 } in
+  let d = driver ~config ~policy () in
+  let inputs =
+    Array.of_list (List.of_seq (Space.enumerate entry.Paper.space))
+  in
+  let n = Array.length inputs in
+  for rep = 0 to 1 do
+    Array.iteri (fun i a -> enforce d ~id:((rep * n) + i) entry a) inputs;
+    settle d
+  done;
+  let m = Engine.metrics d.engine in
+  Alcotest.(check int) "proof skipped" 1
+    (Metrics.counter_value m "server/cache-ikey-skips");
+  Alcotest.(check int) "session fell back to exact keys" 1
+    (Metrics.counter_value m "server/cache-exact-keys");
+  Alcotest.(check int) "no I keys" 0
+    (Metrics.counter_value m "server/cache-ikeys");
+  Alcotest.(check bool) "exact keys still hit on the second round" true
+    (Metrics.counter_value m "server/session-cache-hits" >= n);
+  Array.iteri
+    (fun i a ->
+      let got = reply_of d (n + i) in
+      let want = clean_reply entry ~policy a in
+      if got <> want then
+        Alcotest.failf "input %d: %s, clean %s" i (FReport.show_reply got)
+          (FReport.show_reply want))
+    inputs
+
 (* Per-session latency histograms: one sample per executed request. *)
 let test_session_latency_histogram () =
   let entry = Paper.find "ex7" in
@@ -944,7 +1014,7 @@ let test_daemon_metrics_plane () =
     Domain.spawn (fun () ->
         try
           Daemon.serve ~signals:false ~metrics_address:maddr
-            (Daemon.Unix_path path);
+            ~http_deadline:0.2 (Daemon.Unix_path path);
           `Ok
         with e -> `Err (Printexc.to_string e))
   in
@@ -1002,6 +1072,27 @@ let test_daemon_metrics_plane () =
             ];
           Alcotest.(check bool) "top sees the session" true
             (List.mem "smoke" (Top.sessions_of snap)));
+      (* A scraper that connects and never sends a request line is
+         reclaimed once the http deadline passes — and meanwhile never
+         blocks the plane for anyone else. *)
+      let silent = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect silent (Unix.ADDR_UNIX mpath);
+      Unix.sleepf 0.5;
+      ignore (scrape_ok "healthz with a silent scraper" "/healthz" 50);
+      let reclaimed =
+        match Unix.select [ silent ] [] [] 5.0 with
+        | [], _, _ -> false (* still open and quiet after the deadline *)
+        | _ -> (
+            let b = Bytes.create 1 in
+            match Unix.read silent b 0 1 with
+            | 0 -> true
+            | _ -> false
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                true)
+      in
+      Unix.close silent;
+      Alcotest.(check bool) "silent scraper reclaimed" true reclaimed;
       (match Client.drain c with
       | Ok _ -> ()
       | Error m -> Alcotest.failf "drain refused: %s" m);
@@ -1039,6 +1130,10 @@ let () =
           Alcotest.test_case "health" `Quick test_engine_health;
           Alcotest.test_case "session-verdict-cache" `Quick
             test_session_verdict_cache;
+          Alcotest.test_case "cache-out-of-space-fallback" `Quick
+            test_session_cache_out_of_space;
+          Alcotest.test_case "cache-space-limit" `Quick
+            test_session_cache_space_limit;
           Alcotest.test_case "latency-histogram" `Quick
             test_session_latency_histogram;
         ] );

@@ -533,6 +533,37 @@ let expo_roundtrip ops =
     | Ok back -> back = snap
     | Error _ -> false
 
+(* Registry names that sanitize onto a histogram's sibling families
+   (_min/_max/_bucket/_sum/_count) force collision renames in the
+   exposition — registered before the histogram they displace its bound
+   and sample families, registered after they are displaced themselves.
+   Parse routes by the emitting family's # TYPE plus the name label, so
+   the inverse must survive both orders. *)
+let test_expo_sibling_collisions () =
+  let round_trip what m =
+    let snap = Metrics.snapshot m in
+    match Secpol_trace.Expo.parse (Secpol_trace.Expo.render snap) with
+    | Ok back -> Alcotest.(check bool) (what ^ " round-trips") true (back = snap)
+    | Error e -> Alcotest.failf "%s: render not parseable: %s" what e
+  in
+  (* Siblings first: histogram "h" and its bounds get renamed families. *)
+  let m = Metrics.create () in
+  Metrics.set (Metrics.gauge m "h_min") 1;
+  Metrics.set (Metrics.gauge m "h_max") 2;
+  Metrics.set (Metrics.gauge m "h_bucket") 3;
+  Metrics.incr (Metrics.counter m "h_sum");
+  Metrics.incr (Metrics.counter m "h_count");
+  List.iter (Metrics.observe (Metrics.histogram m "h")) [ 0; 5; 1000 ];
+  round_trip "siblings before histogram" m;
+  (* Histogram first: the later families are the renamed ones — including
+     a second histogram landing on a reserved sibling name. *)
+  let m = Metrics.create () in
+  List.iter (Metrics.observe (Metrics.histogram m "g")) [ 2; 9 ];
+  Metrics.set (Metrics.gauge m "g_min") 4;
+  Metrics.set (Metrics.gauge m "g_bucket") 5;
+  Metrics.observe (Metrics.histogram m "g_count") 7;
+  round_trip "siblings after histogram" m
+
 (* --- bit-identity across the corpus -------------------------------------- *)
 
 (* Tracing must be invisible: on every corpus entry, mode, and input, a
@@ -861,6 +892,8 @@ let () =
           Alcotest.test_case "histogram boundaries" `Quick test_metrics_boundaries;
           Alcotest.test_case "snapshot diff" `Quick test_metrics_diff;
           qtest "prometheus round-trip" snapshot_arb expo_roundtrip;
+          Alcotest.test_case "exposition survives sibling-name collisions"
+            `Quick test_expo_sibling_collisions;
         ] );
       ( "invisibility",
         [
