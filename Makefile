@@ -90,6 +90,15 @@ chaos-par:
 	dune exec bin/secpol_cli.exe -- chaos --dist --seeds 30 --jobs 4
 	dune exec bin/secpol_cli.exe -- chaos --server --seeds 100 --jobs 4
 
+# Refined-vs-brute differential sweep: partition refinement (the default
+# algorithm behind Secpol.Analyze and `secpol measure --algo refine`) must
+# reproduce the brute-force yardstick bit-for-bit — class tables under both
+# observables, mechanisms, grant tallies, soundness verdicts and witnesses —
+# over the corpus, random programs and adversarial spaces, at jobs 1 and 4.
+# The same suite runs inside `dune runtest` (test/test_refine.ml).
+refine-diff:
+	dune exec test/test_refine.exe
+
 # Regenerates experiments_output.txt (gitignored — it is derived output;
 # EXPERIMENTS.md narrates the numbers).
 experiments:
@@ -118,4 +127,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force lint-corpus certify-corpus chaos chaos-crash chaos-dist serve-chaos chaos-par experiments bench bench-json examples doc clean
+.PHONY: all test test-force lint-corpus certify-corpus chaos chaos-crash chaos-dist serve-chaos chaos-par refine-diff experiments bench bench-json examples doc clean

@@ -40,6 +40,11 @@ module Certify = Secpol_staticflow.Certify
 module Dataflow = Secpol_staticflow.Dataflow
 module Certifier = Secpol_staticflow.Certifier
 module Logon = Secpol_channels.Logon
+module Refine = Secpol_core.Refine
+
+(* The unified analysis facade (Bechamel already claims the name
+   [Analyze], so the yardstick facade benches under [Yard]). *)
+module Yard = Secpol.Analyze
 open Expr.Build
 
 (* Workload: gcd by subtraction plus a polynomial epilogue - a loop whose
@@ -246,8 +251,21 @@ let scaling_tests =
     staged (Printf.sprintf "maximal-%dx%d" side side) (fun () ->
         Maximal.build policy q space)
   in
+  (* Partition refinement pushes the yardstick past where brute force
+     leaves the bench budget: 32x32 = 1024 points collapse to 32 classes
+     under allow(0), and only the class prefixes up to the first split are
+     ever run. Brute stays in the series up to 16x16 as the oracle. *)
+  let maximal_refined_at side =
+    let space = Space.ints ~lo:0 ~hi:(side - 1) ~arity:2 in
+    let q = Interp.graph_program graph in
+    let cfg = Yard.config ~algo:Yard.Refine space in
+    staged (Printf.sprintf "maximal-%dx%d-refined" side side) (fun () ->
+        Yard.maximal cfg policy q)
+  in
   Test.make_grouped ~name:"scaling"
-    (List.map monitor_at [ 4; 16; 64 ] @ List.map maximal_at [ 4; 8; 16 ])
+    (List.map monitor_at [ 4; 16; 64 ]
+    @ List.map maximal_at [ 4; 8; 16 ]
+    @ List.map maximal_refined_at [ 32 ])
 
 (* The parallel engine: the same exhaustive checks and chaos sweep, routed
    through the domain pool at 1 domain vs the widest width this machine
@@ -280,6 +298,10 @@ let engine_tests =
           Exhaustive.check ~jobs:par_jobs policy surv space16);
       staged "maximal-16x16-par" (fun () ->
           Exhaustive.build_maximal ~jobs:par_jobs policy q space16);
+      staged "maximal-16x16-refined" (fun () ->
+          Yard.maximal (Yard.config ~jobs:1 space16) policy q);
+      staged "maximal-16x16-refined-par" (fun () ->
+          Yard.maximal (Yard.config ~jobs:par_jobs space16) policy q);
     ]
 
 (* The enforcement service: one enforce round-trip through the full wire
@@ -565,7 +587,111 @@ let () =
     [
       ("secpol/engine/chaos-ex7-par", "secpol/engine/chaos-ex7-jobs1");
       ("secpol/engine/soundness-16x16-par", "secpol/engine/soundness-16x16-jobs1");
+      ("secpol/engine/maximal-16x16-refined-par", "secpol/engine/maximal-16x16-refined");
     ];
+  (* The refined-yardstick gate. Two promises, checked at 16x16 on the
+     bench workload under allow(0):
+
+     - zero verdict drift, ALWAYS fatal: the refined class table must
+       render byte-identically to the brute oracle's under BOTH
+       observables, sequentially and at [par_jobs] domains, the granted
+       tally must match [Completeness.grant_count] of the brute
+       mechanism, and the refined soundness check must return the brute
+       verdict on a real monitor. A 32x32 fingerprint rides along so the
+       new scaling row is oracle-checked at full size, not just timed.
+     - a >= 5x wall-clock speedup over brute under the [`Timed]
+       observable — the observable that splits classes earliest (the
+       first step-count divergence), so refinement skips the most runs.
+       The [`Value] ratio is printed as telemetry: gcd collapses many
+       inputs to equal outputs, so value classes split late and save
+       less. Paired interleaved blocks, minimum per side, like the trace
+       gate but sized for half-millisecond builds. *)
+  let module Exhaustive = Secpol_engine.Exhaustive in
+  let q16 = Interp.graph_program graph in
+  let space16 = Space.ints ~lo:0 ~hi:15 ~arity:2 in
+  let space32 = Space.ints ~lo:0 ~hi:31 ~arity:2 in
+  Printf.printf
+    "\nrefined-yardstick gate (16x16, drift always fatal, >= 5x timed):\n";
+  List.iter
+    (fun (view, vname, space, side) ->
+      let fp = Refine.table_fingerprint in
+      let oracle = fp (Maximal.table view policy q16 space) in
+      let seq_tbl, stats = Refine.table_stats view policy q16 space in
+      let (par_tbl, _), _, _ =
+        Exhaustive.maximal_table_refined ~view ~jobs:par_jobs policy q16 space
+      in
+      if oracle <> fp seq_tbl || oracle <> fp par_tbl then begin
+        Printf.printf "  %s %s: VERDICT DRIFT vs the brute oracle\n" side vname;
+        gate := false
+      end
+      else
+        Printf.printf
+          "  %s %s: tables bit-identical to brute (%d of %d runs, %d classes)\n"
+          side vname stats.Refine.runs stats.Refine.space_size
+          stats.Refine.class_count)
+    [
+      (`Value, "value", space16, "16x16");
+      (`Timed, "timed", space16, "16x16");
+      (`Timed, "timed", space32, "32x32");
+    ];
+  let surv16 =
+    Dynamic.mechanism (Dynamic.config ~mode:Dynamic.Surveillance policy) graph
+  in
+  let grants_brute =
+    Secpol_core.Completeness.grant_count
+      (Maximal.build policy q16 space16)
+      ~q:q16 space16
+  in
+  let ratio_refined, _ =
+    Yard.maximal_ratio (Yard.config space16) policy q16
+  in
+  let g, t = grants_brute in
+  if Float.abs (ratio_refined -. (float_of_int g /. float_of_int t)) > 1e-12
+  then begin
+    Printf.printf "  TALLY DRIFT: refined grant count differs from brute\n";
+    gate := false
+  end
+  else Printf.printf "  grant tally: %d of %d points under both paths\n" g t;
+  let verdict_str algo =
+    Format.asprintf "%a" Secpol_core.Soundness.pp_verdict
+      (fst
+         (Yard.soundness
+            (Yard.config ~jobs:par_jobs ~algo space16)
+            policy surv16))
+  in
+  if verdict_str Yard.Brute <> verdict_str Yard.Refine then begin
+    Printf.printf "  VERDICT DRIFT: refined soundness differs from brute\n";
+    gate := false
+  end
+  else Printf.printf "  soundness verdict: refined = brute on surveillance\n";
+  let refined_ratio view =
+    let iters = 20 and rounds = 7 in
+    let block f =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    let brute () = Maximal.table view policy q16 space16 in
+    let refined () = Refine.table view policy q16 space16 in
+    ignore (block brute);
+    ignore (block refined);
+    let best_b = ref infinity and best_r = ref infinity in
+    for _ = 1 to rounds do
+      best_b := Float.min !best_b (block brute);
+      best_r := Float.min !best_r (block refined)
+    done;
+    !best_b /. !best_r
+  in
+  let timed_x = refined_ratio `Timed and value_x = refined_ratio `Value in
+  Printf.printf "  speedup: %.2fx timed (gated), %.2fx value (telemetry)\n"
+    timed_x value_x;
+  if timed_x >= 5.0 then Printf.printf "  ok (gate: >= 5x under `Timed)\n"
+  else begin
+    Printf.printf "  UNDER BUDGET: expected refined >= 5x brute at 16x16\n";
+    gate := false
+  end;
   (* The server gate: the enforcement service must clear 10k enforce
      requests per second through the full wire path with zero fail-open —
      a grant the clean monitor would not issue, a denial outside F, or a

@@ -692,36 +692,74 @@ let certify_cmd =
 
 (* --- measure --------------------------------------------------------------- *)
 
+let algo_arg =
+  let doc =
+    "Analysis algorithm: $(b,refine) partitions the space by policy image \
+     and runs the program once per representative until each class is \
+     proven constant or mixed; $(b,brute) enumerates every point. Both \
+     give bit-identical verdicts and tables — brute is kept as the \
+     differential oracle the refined path is gated against."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("refine", Secpol.Analyze.Refine); ("brute", Secpol.Analyze.Brute) ])
+        Secpol.Analyze.Refine
+    & info [ "algo" ] ~docv:"ALGO" ~doc)
+
 let measure_cmd =
-  let run name policy jobs =
+  let module Analyze = Secpol.Analyze in
+  let module Json = Secpol_staticflow.Lint.Json in
+  let run name policy jobs algo json =
     let jobs = check_jobs jobs in
     let e = entry_of_name name in
     let p = resolve_policy e policy in
     let q = Paper.program e in
     let g = Paper.graph e in
     let space = e.Paper.space in
+    let cache = Secpol.Cache.create () in
+    let analyze = Analyze.config ~jobs ~cache ~algo space in
     let pool_runs = ref [] in
-    let note s = pool_runs := s :: !pool_runs in
+    let refined = ref [] in
+    let note (t : Analyze.telemetry) =
+      pool_runs := t.Analyze.pool :: !pool_runs;
+      match t.Analyze.refine with
+      | Some r -> refined := r :: !refined
+      | None -> ()
+    in
     let t =
       Tabulate.create ~header:[ "mechanism"; "completeness"; "sound"; "avg leak (bits)" ]
     in
+    let rows = ref [] in
     let add label m =
       (* The exhaustive soundness check is the expensive cell: route it
-         through the engine pool. Verdicts are bit-identical to the
-         sequential Soundness.check whatever --jobs is. *)
-      let verdict, stats = Exhaustive.check ~jobs p m space in
+         through the Analyze facade (engine pool + chosen algorithm).
+         Verdicts are bit-identical to the sequential Soundness.check
+         whatever --jobs or --algo is. *)
+      let verdict, stats = Analyze.soundness analyze p m in
       note stats;
       let sound =
         match verdict with
         | Soundness.Sound -> "yes"
         | Soundness.Unsound _ -> "NO"
       in
+      let ratio = Analyze.ratio analyze ~q m in
+      let leak = (Leakage.of_mechanism p m space).Leakage.avg_bits in
+      rows :=
+        Json.Obj
+          [
+            ("mechanism", Json.String label);
+            ("completeness", Json.String (Printf.sprintf "%.4f" ratio));
+            ("sound", Json.Bool (verdict = Soundness.Sound));
+            ("avg-leak-bits", Json.String (Printf.sprintf "%.3f" leak));
+          ]
+        :: !rows;
       Tabulate.add_row t
         [
           label;
-          Printf.sprintf "%.0f%%" (100.0 *. Completeness.ratio m ~q space);
+          Printf.sprintf "%.0f%%" (100.0 *. ratio);
           sound;
-          Printf.sprintf "%.3f" (Leakage.of_mechanism p m space).Leakage.avg_bits;
+          Printf.sprintf "%.3f" leak;
         ]
     in
     add "program itself" (Mechanism.of_program q);
@@ -729,10 +767,33 @@ let measure_cmd =
       (fun mode -> add (Dynamic.mode_name mode) (Dynamic.mechanism (Dynamic.config ~mode p) g))
       Dynamic.all_modes;
     add "static (certify)" (Certify.mechanism ~policy:p e.Paper.prog);
-    let mx, mx_stats = Exhaustive.build_maximal ~jobs p q space in
+    let mx, mx_stats = Analyze.maximal analyze p q in
     note mx_stats;
-    add "maximal (brute force)" mx;
-    Tabulate.print ~title:(Printf.sprintf "%s under %s" e.Paper.name (Policy.name p)) t;
+    add (Printf.sprintf "maximal (%s)" (Analyze.algo_name algo)) mx;
+    if json then
+      print_endline
+        (Json.render
+           (Json.Obj
+              [
+                ("program", Json.String e.Paper.name);
+                ("policy", Json.String (Policy.name p));
+                ("algo", Json.String (Analyze.algo_name algo));
+                ("jobs", Json.Int jobs);
+                ("rows", Json.List (List.rev !rows));
+              ]))
+    else
+      Tabulate.print
+        ~title:(Printf.sprintf "%s under %s" e.Paper.name (Policy.name p))
+        t;
+    (match !refined with
+    | [] -> ()
+    | rs ->
+        let runs = List.fold_left (fun a r -> a + r.Secpol.Refine.runs) 0 rs in
+        let saved = List.fold_left (fun a r -> a + r.Secpol.Refine.saved) 0 rs in
+        Format.eprintf
+          "refine: %d refined pass(es): %d run(s), %d skipped by the \
+           I-kernel partition@."
+          (List.length rs) runs saved);
     if jobs > 1 then begin
       let tasks, steals, idle =
         List.fold_left
@@ -749,8 +810,11 @@ let measure_cmd =
   in
   Cmd.v
     (Cmd.info "measure"
-       ~doc:"Exhaustively measure every mechanism for a corpus program")
-    Term.(const run $ program_arg $ policy_arg $ jobs_arg)
+       ~doc:
+         "Exhaustively measure every mechanism for a corpus program. The \
+          soundness and maximal-yardstick cells run through the unified \
+          Secpol.Analyze facade; pick the algorithm with --algo.")
+    Term.(const run $ program_arg $ policy_arg $ jobs_arg $ algo_arg $ json_arg)
 
 (* --- leak ------------------------------------------------------------------ *)
 

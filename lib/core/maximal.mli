@@ -13,7 +13,13 @@
     notice. The result is sound (it factors through the image by
     construction) and grants wherever {e any} sound mechanism could: a sound
     [M] granting at [a] must grant [Q(a)] on the whole class of [a], which
-    forces [Q] constant there. *)
+    forces [Q] constant there.
+
+    {b Deprecated as an application entry point}: this enumerate-everything
+    builder is kept as the differential oracle for {!Refine} and the
+    engine's refined drivers. New application code should go through
+    [Secpol.Analyze], which picks the refined algorithm (and the engine
+    pool, and raw-run caching) behind one config record. *)
 
 type entry = Serve of Program.outcome * Program.Obs.t | Mixed
     (** Per-class verdict: serve [Q]'s common outcome, or deny a mixed

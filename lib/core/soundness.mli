@@ -14,7 +14,13 @@
     Violation notices are part of [M]'s output: a mechanism whose {e choice
     of notice} (or whose decision to emit one) depends on disallowed data is
     unsound — this is how the model captures leakage-through-error-message
-    (Example 4) and negative inference. *)
+    (Example 4) and negative inference.
+
+    {b Deprecated as an application entry point}: the point-by-point
+    {!check} is kept as the differential oracle for {!Refine.check} and
+    the engine's refined drivers. New application code should go through
+    [Secpol.Analyze], which picks the refined algorithm and the engine
+    pool behind one config record. *)
 
 type config = {
   view : Program.view;  (** is running time observable? *)

@@ -71,3 +71,135 @@ let build_maximal ?view ~jobs policy q space =
 let granted_classes ?view ~jobs policy q space =
   let tbl, stats = maximal_table ?view ~jobs policy q space in
   (Maximal.classes_of_table tbl, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Refined drivers: partition first, then one pool task per class.     *)
+(* ------------------------------------------------------------------ *)
+
+type share = { cache : Cache.t; digest : string; tag : string }
+
+(* Raw-Q runs cache losslessly as mechanism replies: Value/Diverged/Fault
+   map onto Granted/Hung/Failed with the step count preserved, and Denied
+   can never appear under a raw-Q key. The tag deliberately excludes the
+   view — observables are projected from the cached outcome after the
+   lookup, so [`Value] and [`Timed] analyses share every run. *)
+let reply_of_outcome (o : Program.outcome) =
+  match o.Program.result with
+  | Program.Value v -> { Mechanism.response = Mechanism.Granted v; steps = o.Program.steps }
+  | Program.Diverged -> { Mechanism.response = Mechanism.Hung; steps = o.Program.steps }
+  | Program.Fault m -> { Mechanism.response = Mechanism.Failed m; steps = o.Program.steps }
+
+let outcome_of_reply (r : Mechanism.reply) =
+  match r.Mechanism.response with
+  | Mechanism.Granted v -> { Program.result = Program.Value v; steps = r.Mechanism.steps }
+  | Mechanism.Hung -> { Program.result = Program.Diverged; steps = r.Mechanism.steps }
+  | Mechanism.Failed m -> { Program.result = Program.Fault m; steps = r.Mechanism.steps }
+  | Mechanism.Denied _ ->
+      invalid_arg "Exhaustive: Denied reply under a raw-Q cache key"
+
+let runner ?share q =
+  match share with
+  | None -> Program.run q
+  | Some s ->
+      fun a ->
+        let key =
+          {
+            Cache.digest = s.digest;
+            tag = s.tag;
+            projection = Value.tuple (Array.to_list a);
+          }
+        in
+        outcome_of_reply
+          (Cache.find_or_compute s.cache key (fun () ->
+               reply_of_outcome (Program.run q a)))
+
+let maximal_table_refined ?(view = `Value) ~jobs ?share policy q space =
+  let pt = Refine.partition policy space in
+  let k = Array.length pt.Refine.keys in
+  let run = runner ?share q in
+  let cells, pstats = Pool.map ~jobs k (Refine.refine_class ~view ~run pt) in
+  let tbl : (Value.t, Maximal.entry) Hashtbl.t = Hashtbl.create 1024 in
+  let runs = ref 0 in
+  Array.iteri
+    (fun c (entry, r) ->
+      runs := !runs + r;
+      Hashtbl.replace tbl pt.Refine.keys.(c) entry)
+    cells;
+  let rstats =
+    {
+      Refine.space_size = Array.length pt.Refine.points;
+      class_count = k;
+      runs = !runs;
+      saved = Array.length pt.Refine.points - !runs;
+    }
+  in
+  ((tbl, pt), rstats, pstats)
+
+let build_maximal_refined ?view ~jobs ?share policy q space =
+  let (tbl, _), rstats, pstats =
+    maximal_table_refined ?view ~jobs ?share policy q space
+  in
+  (Maximal.of_table policy q tbl, rstats, pstats)
+
+let granted_classes_refined ?view ~jobs ?share policy q space =
+  let (tbl, _), rstats, pstats =
+    maximal_table_refined ?view ~jobs ?share policy q space
+  in
+  (Maximal.classes_of_table tbl, rstats, pstats)
+
+let grant_count_refined ?view ~jobs ?share policy q space =
+  let (tbl, pt), rstats, pstats =
+    maximal_table_refined ?view ~jobs ?share policy q space
+  in
+  (Refine.grant_count_of_table pt tbl, rstats, pstats)
+
+let check_refined ?(config = Soundness.default) ~jobs policy m space =
+  let pt = Refine.partition policy space in
+  let k = Array.length pt.Refine.keys in
+  let obs_of a =
+    Soundness.canonicalize config
+      (Mechanism.observe config.Soundness.view (Mechanism.respond m a))
+  in
+  (* Per class (independently, so classes parallelize): the first member
+     whose observable splits from the representative's, if any. Members
+     are ascending, so the candidate is the class's earliest mismatch;
+     the globally-earliest candidate is exactly the witness the
+     sequential scan reports. Singleton classes are never probed. *)
+  let cells, pstats =
+    Pool.map ~jobs k (fun c ->
+        let ms = pt.Refine.members.(c) in
+        let n = Array.length ms in
+        if n < 2 then None
+        else
+          let obs0 = obs_of pt.Refine.points.(ms.(0)) in
+          let rec scan i =
+            if i >= n then None
+            else
+              let o = obs_of pt.Refine.points.(ms.(i)) in
+              if Program.Obs.equal o obs0 then scan (i + 1)
+              else Some (ms.(i), c, obs0, o)
+          in
+          scan 1)
+  in
+  let best =
+    Array.fold_left
+      (fun acc cand ->
+        match (acc, cand) with
+        | None, c -> c
+        | Some (i, _, _, _), Some (j, _, _, _) when j < i -> cand
+        | _ -> acc)
+      None cells
+  in
+  let verdict =
+    match best with
+    | None -> Soundness.Sound
+    | Some (i, c, obs_a, obs_b) ->
+        Soundness.Unsound
+          {
+            Soundness.input_a = pt.Refine.points.(pt.Refine.members.(c).(0));
+            input_b = pt.Refine.points.(i);
+            obs_a;
+            obs_b;
+          }
+  in
+  (verdict, pstats)

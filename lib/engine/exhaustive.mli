@@ -41,3 +41,76 @@ val granted_classes :
   Secpol_core.Program.t ->
   Secpol_core.Space.t ->
   (int * int) * Pool.stats
+
+(** {1 Refined drivers}
+
+    The refined drivers partition the space by policy image first
+    ({!Secpol_core.Refine.partition}) and hand the pool {e one task per
+    class}; each task refines its class with
+    {!Secpol_core.Refine.refine_class} — run the representative, then
+    members until the first split. Results are merged in class-creation
+    order, so tables, verdicts and witnesses are bit-identical to the
+    sequential refined path (and to the brute oracle) at any [jobs]. *)
+
+type share = { cache : Cache.t; digest : string; tag : string }
+(** Share raw-Q runs across analyses through an exact-key {!Cache}: the
+    projection is the whole input vector, and outcomes round-trip
+    losslessly as replies (Value/Diverged/Fault ↔ Granted/Hung/Failed,
+    steps preserved). The [tag] must identify the program configuration
+    but {b not} the view — observables are projected after the lookup, so
+    [`Value] and [`Timed] analyses of the same program share every run. *)
+
+val maximal_table_refined :
+  ?view:Secpol_core.Program.view ->
+  jobs:int ->
+  ?share:share ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  ((Secpol_core.Value.t, Secpol_core.Maximal.entry) Hashtbl.t
+  * Secpol_core.Refine.partition)
+  * Secpol_core.Refine.stats
+  * Pool.stats
+(** Refined [maximal_table]: same keys, same entries, fewer runs. Also
+    returns the partition so callers can read grant counts off the table
+    ({!Secpol_core.Refine.grant_count_of_table}) without re-partitioning. *)
+
+val build_maximal_refined :
+  ?view:Secpol_core.Program.view ->
+  jobs:int ->
+  ?share:share ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  Secpol_core.Mechanism.t * Secpol_core.Refine.stats * Pool.stats
+
+val granted_classes_refined :
+  ?view:Secpol_core.Program.view ->
+  jobs:int ->
+  ?share:share ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  (int * int) * Secpol_core.Refine.stats * Pool.stats
+
+val grant_count_refined :
+  ?view:Secpol_core.Program.view ->
+  jobs:int ->
+  ?share:share ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Space.t ->
+  (int * int) * Secpol_core.Refine.stats * Pool.stats
+(** [(granted, total)] points of the maximal mechanism, read off the
+    refined class table — equals [Completeness.grant_count] of the built
+    mechanism without ever running it. *)
+
+val check_refined :
+  ?config:Secpol_core.Soundness.config ->
+  jobs:int ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Space.t ->
+  Secpol_core.Soundness.verdict * Pool.stats
+(** Refined [Soundness.check]: singleton classes are never probed and each
+    class stops at its first split. Same verdict, same witness. *)

@@ -1,0 +1,113 @@
+module Value = Secpol_core.Value
+module Space = Secpol_core.Space
+module Program = Secpol_core.Program
+module Policy = Secpol_core.Policy
+module Mechanism = Secpol_core.Mechanism
+module Soundness = Secpol_core.Soundness
+module Completeness = Secpol_core.Completeness
+module Refine = Secpol_core.Refine
+module Pool = Secpol_engine.Pool
+module Cache = Secpol_engine.Cache
+module Exhaustive = Secpol_engine.Exhaustive
+
+type algo = Refine | Brute
+
+let algo_name = function Refine -> "refine" | Brute -> "brute"
+
+type config = {
+  view : Program.view;
+  space : Space.t;
+  jobs : int;
+  cache : Cache.t option;
+  algo : algo;
+  identify_violations : bool;
+}
+
+let config ?(view = `Value) ?(jobs = 1) ?cache ?(algo = Refine)
+    ?(identify_violations = false) space =
+  { view; space; jobs; cache; algo; identify_violations }
+
+type telemetry = { refine : Refine.stats option; pool : Pool.stats }
+
+let soundness_config cfg =
+  { Soundness.view = cfg.view; identify_violations = cfg.identify_violations }
+
+(* Raw-Q runs are shared through the exact-key cache under the program's
+   name; the tag carries the algorithm family but never the view, so
+   [`Value] and [`Timed] analyses of the same program hit the same
+   entries. The name-as-digest convention means one cache must not see
+   two different programs under one name — the facade's caller owns the
+   cache, so it owns that invariant too. *)
+let share_of cfg (q : Program.t) =
+  match cfg.cache with
+  | None -> None
+  | Some cache ->
+      Some
+        {
+          Exhaustive.cache;
+          digest = "analyze:" ^ q.Program.name;
+          tag = "raw-Q";
+        }
+
+let soundness cfg policy m =
+  let config = soundness_config cfg in
+  let verdict, pool =
+    match cfg.algo with
+    | Brute -> Exhaustive.check ~config ~jobs:cfg.jobs policy m cfg.space
+    | Refine -> Exhaustive.check_refined ~config ~jobs:cfg.jobs policy m cfg.space
+  in
+  (verdict, { refine = None; pool })
+
+let maximal cfg policy q =
+  match cfg.algo with
+  | Brute ->
+      let m, pool =
+        Exhaustive.build_maximal ~view:cfg.view ~jobs:cfg.jobs policy q cfg.space
+      in
+      (m, { refine = None; pool })
+  | Refine ->
+      let m, rstats, pool =
+        Exhaustive.build_maximal_refined ~view:cfg.view ~jobs:cfg.jobs
+          ?share:(share_of cfg q) policy q cfg.space
+      in
+      (m, { refine = Some rstats; pool })
+
+let granted_classes cfg policy q =
+  match cfg.algo with
+  | Brute ->
+      let classes, pool =
+        Exhaustive.granted_classes ~view:cfg.view ~jobs:cfg.jobs policy q
+          cfg.space
+      in
+      (classes, { refine = None; pool })
+  | Refine ->
+      let classes, rstats, pool =
+        Exhaustive.granted_classes_refined ~view:cfg.view ~jobs:cfg.jobs
+          ?share:(share_of cfg q) policy q cfg.space
+      in
+      (classes, { refine = Some rstats; pool })
+
+let ratio cfg ~q m = Completeness.ratio m ~q cfg.space
+
+let maximal_ratio cfg policy q =
+  match cfg.algo with
+  | Brute ->
+      let m, pool =
+        Exhaustive.build_maximal ~view:cfg.view ~jobs:cfg.jobs policy q cfg.space
+      in
+      (Completeness.ratio m ~q cfg.space, { refine = None; pool })
+  | Refine ->
+      let (granted, total), rstats, pool =
+        Exhaustive.grant_count_refined ~view:cfg.view ~jobs:cfg.jobs
+          ?share:(share_of cfg q) policy q cfg.space
+      in
+      let r =
+        if total = 0 then 1.0 else float_of_int granted /. float_of_int total
+      in
+      (r, { refine = Some rstats; pool })
+
+let pp_telemetry ppf t =
+  (match t.refine with
+  | Some r -> Format.fprintf ppf "%a;@ " Refine.pp_stats r
+  | None -> ());
+  Pool.pp_stats ppf t.pool

@@ -1,0 +1,109 @@
+(** One front door for exhaustive analysis.
+
+    What {!Run} did for monitored execution, [Analyze] does for the
+    measuring apparatus: the soundness check, the maximal-mechanism
+    yardstick (paper Theorem 2) and the completeness ratio all answer to
+    one {!config} record instead of scattered direct calls into
+    {!Secpol_core.Soundness}, {!Secpol_core.Maximal} and
+    {!Secpol_engine.Exhaustive}.
+
+    - [algo = Refine] (the default) runs partition refinement over the
+      I-kernel ({!Secpol_core.Refine}): group the space by policy image,
+      run [Q] once per representative until each class is proven constant
+      or mixed. Orders of magnitude fewer runs on spaces with fat
+      classes; {b bit-identical} verdicts, witnesses, mechanisms and
+      tallies to the brute path.
+    - [algo = Brute] enumerates every point — kept as the differential
+      oracle the refined path is gated against (see [test/test_refine.ml]
+      and the bench gate), and reachable from the CLI as
+      [secpol measure --algo brute].
+    - [jobs] spreads either algorithm over the engine {!Pool}; results
+      are independent of [jobs].
+    - [cache] (refined path only) shares raw-Q runs across calls and
+      views through an exact-key {!Secpol_engine.Cache} — see
+      {!Secpol_engine.Exhaustive.share}.
+
+    Direct calls to [Soundness.check] / [Maximal.build] /
+    [Exhaustive.build_maximal] in application code are deprecated in
+    favour of this facade; the core modules stay public as the oracle
+    and for single-point uses. *)
+
+type algo = Refine | Brute
+
+val algo_name : algo -> string
+
+type config = {
+  view : Secpol_core.Program.view;
+  space : Secpol_core.Space.t;
+  jobs : int;  (** engine pool width *)
+  cache : Secpol_engine.Cache.t option;
+      (** shares raw-Q runs (refined path only); the cache keys on the
+          program's {e name}, so never show one cache two different
+          programs under the same name *)
+  algo : algo;
+  identify_violations : bool;
+      (** collapse violation notices before comparing observables
+          ({!Secpol_core.Soundness.config}) *)
+}
+
+val config :
+  ?view:Secpol_core.Program.view ->
+  ?jobs:int ->
+  ?cache:Secpol_engine.Cache.t ->
+  ?algo:algo ->
+  ?identify_violations:bool ->
+  Secpol_core.Space.t ->
+  config
+(** Defaults: [`Value] view, [jobs = 1], no cache, [Refine], violation
+    notices kept distinct. *)
+
+type telemetry = {
+  refine : Secpol_core.Refine.stats option;
+      (** refinement savings; [None] on the brute path and for
+          {!soundness} (whose refined driver reports pool stats only) *)
+  pool : Secpol_engine.Pool.stats;
+}
+
+val soundness_config : config -> Secpol_core.Soundness.config
+
+val soundness :
+  config ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Mechanism.t ->
+  Secpol_core.Soundness.verdict * telemetry
+(** The verdict — witness included — of [Soundness.check], whatever the
+    algorithm or [jobs]. *)
+
+val maximal :
+  config ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  Secpol_core.Mechanism.t * telemetry
+(** The maximal sound mechanism, bit-identical to [Maximal.build]. *)
+
+val granted_classes :
+  config ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  (int * int) * telemetry
+(** [(served, total)] equivalence classes of the maximal mechanism. *)
+
+val ratio :
+  config -> q:Secpol_core.Program.t -> Secpol_core.Mechanism.t -> float
+(** [Completeness.ratio] of an arbitrary mechanism against [q] over the
+    config's space. Point-wise by nature (an arbitrary mechanism has no
+    class structure to refine), so [algo] and [cache] do not apply. *)
+
+val maximal_ratio :
+  config ->
+  Secpol_core.Policy.t ->
+  Secpol_core.Program.t ->
+  float * telemetry
+(** The completeness ratio of the maximal mechanism itself — the paper's
+    yardstick number. On the refined path this is read directly off the
+    class table ({!Secpol_core.Refine.grant_count_of_table}): a class
+    grants iff it serves a proper value, so no mechanism is ever built or
+    run. Equal to [Completeness.ratio (Maximal.build ...)] under either
+    view. *)
+
+val pp_telemetry : Format.formatter -> telemetry -> unit

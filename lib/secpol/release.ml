@@ -2,8 +2,6 @@ module Policy = Secpol_core.Policy
 module Program = Secpol_core.Program
 module Mechanism = Secpol_core.Mechanism
 module Soundness = Secpol_core.Soundness
-module Completeness = Secpol_core.Completeness
-module Maximal = Secpol_core.Maximal
 module Ast = Secpol_flowgraph.Ast
 module Graph = Secpol_flowgraph.Graph
 module Compile = Secpol_flowgraph.Compile
@@ -40,8 +38,9 @@ let plan ?(search_depth = 2) ~policy ~space (prog : Ast.prog) =
   | Some _ -> ()
   | None -> invalid_arg "Release.plan: needs an allow(...) policy");
   let q = Interp.ast_program prog in
-  let ratio m = Completeness.ratio m ~q space in
-  let mx_ratio = ratio (Maximal.build policy q space) in
+  let analyze = Analyze.config space in
+  let ratio m = Analyze.ratio analyze ~q m in
+  let mx_ratio = fst (Analyze.maximal_ratio analyze policy q) in
   let certified = Certify.certified ~policy prog in
   let finish route mechanism notes =
     {
@@ -91,7 +90,7 @@ let plan ?(search_depth = 2) ~policy ~space (prog : Ast.prog) =
         (List.length search.Search.candidates)
         (100.0 *. ratio monitor);
       (* The construction is sound by composition; verify anyway. *)
-      match Soundness.check policy monitor space with
+      match fst (Analyze.soundness analyze policy monitor) with
       | Soundness.Sound -> finish (Monitored monitor) monitor !notes
       | Soundness.Unsound _ ->
           (* Cannot happen: joins of verified-sound mechanisms. Refuse

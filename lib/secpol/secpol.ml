@@ -20,6 +20,7 @@ module Mechanism = Secpol_core.Mechanism
 module Soundness = Secpol_core.Soundness
 module Completeness = Secpol_core.Completeness
 module Maximal = Secpol_core.Maximal
+module Refine = Secpol_core.Refine
 module Integrity = Secpol_core.Integrity
 module Lattice = Secpol_core.Lattice
 
@@ -74,6 +75,7 @@ module Memo = Secpol_engine.Memo
 module Exhaustive = Secpol_engine.Exhaustive
 module Run = Run
 module Static = Static
+module Analyze = Analyze
 
 (* Measurement. *)
 module Partition = Secpol_probe.Partition

@@ -9,6 +9,7 @@ module Hook = Secpol_flowgraph.Hook
 module Interp = Secpol_flowgraph.Interp
 module Dynamic = Secpol_taint.Dynamic
 module Certifier = Secpol_staticflow.Certifier
+module Refine = Secpol_core.Refine
 module Runner = Secpol_journal.Runner
 module Cache = Secpol_engine.Cache
 module Sink = Secpol_trace.Sink
@@ -75,19 +76,23 @@ let preseed ?report ~cache (cfg : Run.config) g space =
             else begin
               let digest = Runner.graph_hash g in
               let tag = cache_tag cfg in
-              let seen = Hashtbl.create 64 in
-              Seq.iter
-                (fun a ->
-                  let image = Policy.image policy a in
-                  if not (Hashtbl.mem seen image) then begin
-                    Hashtbl.add seen image ();
-                    let key = { Cache.digest; tag; projection = image } in
-                    ignore
-                      (Cache.find_or_compute cache key (fun () ->
-                           reply_of_plain
-                             (Interp.run_graph ~fuel:cfg.Run.fuel
-                                ~cost:cfg.Run.cost g a)))
-                  end)
-                (Space.enumerate space);
-              Ok (Hashtbl.length seen)
+              (* One representative per policy-equivalence class: the
+                 I-kernel partition's classes come keyed and in
+                 first-appearance order, and each class's first member is
+                 exactly the representative the old enumerate-and-dedup
+                 loop seeded. *)
+              let pt = Refine.partition policy space in
+              Array.iteri
+                (fun c ms ->
+                  let a = pt.Refine.points.(ms.(0)) in
+                  let key =
+                    { Cache.digest; tag; projection = pt.Refine.keys.(c) }
+                  in
+                  ignore
+                    (Cache.find_or_compute cache key (fun () ->
+                         reply_of_plain
+                           (Interp.run_graph ~fuel:cfg.Run.fuel
+                              ~cost:cfg.Run.cost g a))))
+                pt.Refine.members;
+              Ok (Array.length pt.Refine.keys)
             end)

@@ -214,9 +214,12 @@ let test_memo_exact_any_mechanism () =
   Alcotest.(check int) "hits = repeated inputs" (Space.size e.Paper.space)
     (Cache.hits cache)
 
-(* --- exhaustive drivers ----------------------------------------------- *)
+(* --- exhaustive drivers (through the Analyze facade) ------------------- *)
+
+module Analyze = Secpol.Analyze
 
 let verdict_str v = Format.asprintf "%a" Soundness.pp_verdict v
+let both_algos = [ Analyze.Brute; Analyze.Refine ]
 
 let test_exhaustive_check_parity () =
   List.iter
@@ -233,11 +236,17 @@ let test_exhaustive_check_parity () =
           let seq = Soundness.check policy m e.Paper.space in
           List.iter
             (fun jobs ->
-              let par, _ = Exhaustive.check ~jobs policy m e.Paper.space in
-              Alcotest.(check string)
-                (Printf.sprintf "%s/%s jobs=%d: same verdict, same witness"
-                   e.Paper.name (Policy.name policy) jobs)
-                (verdict_str seq) (verdict_str par))
+              List.iter
+                (fun algo ->
+                  let cfg = Analyze.config ~jobs ~algo e.Paper.space in
+                  let got, _ = Analyze.soundness cfg policy m in
+                  Alcotest.(check string)
+                    (Printf.sprintf
+                       "%s/%s jobs=%d algo=%s: same verdict, same witness"
+                       e.Paper.name (Policy.name policy) jobs
+                       (Analyze.algo_name algo))
+                    (verdict_str seq) (verdict_str got))
+                both_algos)
             [ 1; 4 ])
         (Report.policies_of_arity arity))
     Paper.all
@@ -251,10 +260,14 @@ let test_exhaustive_check_timed_view () =
       (Paper.graph e)
   in
   let seq = Soundness.check ~config:Soundness.timed p m e.Paper.space in
-  let par, _ =
-    Exhaustive.check ~config:Soundness.timed ~jobs:4 p m e.Paper.space
-  in
-  Alcotest.(check string) "timed view parity" (verdict_str seq) (verdict_str par)
+  List.iter
+    (fun algo ->
+      let cfg = Analyze.config ~view:`Timed ~jobs:4 ~algo e.Paper.space in
+      let got, _ = Analyze.soundness cfg p m in
+      Alcotest.(check string)
+        (Printf.sprintf "timed view parity (%s)" (Analyze.algo_name algo))
+        (verdict_str seq) (verdict_str got))
+    both_algos
 
 let test_exhaustive_maximal_parity () =
   List.iter
@@ -263,17 +276,29 @@ let test_exhaustive_maximal_parity () =
       let q = Paper.program e in
       let p = e.Paper.policy in
       let seq = Maximal.build p q e.Paper.space in
-      let par, _ = Exhaustive.build_maximal ~jobs:4 p q e.Paper.space in
-      Seq.iter
-        (fun a ->
-          Alcotest.(check string)
-            (Printf.sprintf "%s maximal on %s" name (Report.show_input a))
-            (show_mech_reply (Mechanism.respond seq a))
-            (show_mech_reply (Mechanism.respond par a)))
-        (Space.enumerate e.Paper.space);
-      Alcotest.(check (pair int int)) (name ^ " granted classes")
-        (Maximal.granted_classes p q e.Paper.space)
-        (fst (Exhaustive.granted_classes ~jobs:4 p q e.Paper.space)))
+      List.iter
+        (fun algo ->
+          let cfg = Analyze.config ~jobs:4 ~algo e.Paper.space in
+          let got, _ = Analyze.maximal cfg p q in
+          Seq.iter
+            (fun a ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s maximal (%s) on %s" name
+                   (Analyze.algo_name algo) (Report.show_input a))
+                (show_mech_reply (Mechanism.respond seq a))
+                (show_mech_reply (Mechanism.respond got a)))
+            (Space.enumerate e.Paper.space);
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "%s granted classes (%s)" name
+               (Analyze.algo_name algo))
+            (Maximal.granted_classes p q e.Paper.space)
+            (fst (Analyze.granted_classes cfg p q));
+          Alcotest.(check (float 1e-12))
+            (Printf.sprintf "%s maximal ratio (%s)" name
+               (Analyze.algo_name algo))
+            (Completeness.ratio seq ~q e.Paper.space)
+            (fst (Analyze.maximal_ratio cfg p q)))
+        both_algos)
     [ "ex7"; "ex8"; "direct-flow" ]
 
 (* --- determinism of the parallel sweeps -------------------------------- *)
